@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Area and yield impact of register-file under-provisioning (the
+ * paper's Section 1 economic argument: the GPU register file rivals a
+ * CPU's last-level cache in capacity, so halving it matters for die
+ * cost and yield).
+ */
+#include <iostream>
+
+#include "common/table.h"
+#include "power/area_model.h"
+
+int
+main()
+{
+    using namespace rfv;
+    constexpr u32 kSms = 16; // paper-scale chip
+    std::cout << "Area & yield impact of register-file size (16 SMs, "
+                 "Fermi-class 529mm^2 die, 40nm, Poisson yield)\n\n";
+    Table t({"RF/SM", "RF area (mm^2)", "Die (mm^2)", "Yield (%)",
+             "Good dies/wafer", "vs 128KB (%)"});
+    const auto base = evaluateRfSize(128 * 1024, kSms);
+    for (u32 kb : {128u, 96u, 64u, 48u}) {
+        const auto pt = evaluateRfSize(kb * 1024, kSms);
+        t.addRow({std::to_string(kb) + "KB",
+                  Table::num(pt.rfAreaMm2, 1),
+                  Table::num(pt.dieMm2, 1),
+                  Table::num(100.0 * pt.yield, 1),
+                  Table::num(pt.goodDiesPerWafer, 1),
+                  Table::num(100.0 * (pt.goodDiesPerWafer /
+                                          base.goodDiesPerWafer -
+                                      1.0),
+                             2)});
+    }
+    std::cout << t.str();
+    std::cout << "\nGPU-shrink-50 banks these gains while Fig. 11(a) "
+                 "shows the performance cost is negligible.\n";
+    return 0;
+}

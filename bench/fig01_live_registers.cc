@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fig. 1: fraction of live registers among compiler-reserved registers
+ * over a 10K-cycle execution window, for six representative
+ * applications (MatrixMul, Reduction, VectorAdd, LPS, BackProp,
+ * HotSpot).
+ *
+ * "Live" is measured as architected registers currently holding a
+ * mapped (written, not yet released) value under virtualization; the
+ * denominator is the compiler reservation of all resident warps.
+ * Paper: most apps barely use half their allocation; VectorAdd peaks
+ * near 100% early because the kernel is tiny.
+ */
+#include <map>
+
+#include "bench/bench_common.h"
+#include "common/table.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace rfv;
+    auto args = BenchArgs::parse(argc, argv);
+
+    const std::vector<std::string> names = {
+        "MatrixMul", "Reduction", "VectorAdd",
+        "LPS",       "BackProp",  "HotSpot"};
+    constexpr Cycle kWindow = 10000;
+    constexpr Cycle kPeriod = 500;
+
+    std::cout << "Fig. 1: Fraction of live registers among compiler "
+                 "reserved registers (SM0, sampled every " << kPeriod
+              << " cycles over a " << kWindow << "-cycle window)\n\n";
+
+    std::vector<std::string> header = {"Cycle"};
+    for (const auto &n : names)
+        header.push_back(n);
+    Table t(header);
+
+    std::map<std::string, std::map<Cycle, double>> series;
+    for (const auto &name : names) {
+        TraceHooks hooks;
+        hooks.samplePeriod = kPeriod;
+        auto &mine = series[name];
+        hooks.liveSample = [&mine](Cycle cyc, u32 mapped,
+                                   u32 reserved) {
+            if (cyc <= kWindow && reserved > 0)
+                mine[cyc] = 100.0 * mapped / reserved;
+        };
+        Simulator sim(args.apply(RunConfig::virtualized()));
+        sim.runWorkload(*findWorkload(name), hooks);
+    }
+
+    for (Cycle c = 0; c <= kWindow; c += kPeriod) {
+        std::vector<std::string> row = {std::to_string(c)};
+        for (const auto &name : names) {
+            auto it = series[name].find(c);
+            row.push_back(it == series[name].end()
+                              ? std::string("-")
+                              : Table::num(it->second, 1));
+        }
+        t.addRow(row);
+    }
+    std::cout << t.str();
+    std::cout << "\nPaper: five of the six applications barely use "
+                 "half of the allocated registers; VectorAdd reaches "
+                 "~100% briefly because its kernel is short.\n";
+    return 0;
+}

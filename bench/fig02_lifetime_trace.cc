@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Fig. 2(a)/3: dynamic register lifetime traces of the MatrixMul
+ * kernel (one warp), reproducing the paper's three representative
+ * patterns:
+ *   - a long-lived register, alive for the whole kernel (paper's r1),
+ *   - a looped register with many short lifetimes (paper's r0),
+ *   - a short-lived register used only around the prologue/epilogue
+ *     (paper's r3).
+ *
+ * Definition and release events come from the register-event trace
+ * hook; the timeline renders '#' while a value is live.
+ */
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace rfv;
+    auto args = BenchArgs::parse(argc, argv);
+
+    struct Event {
+        Cycle cycle;
+        RegEvent kind;
+    };
+    std::map<u32, std::vector<Event>> events; // per register, warp 0
+    Cycle firstCycle = ~0ull, lastCycle = 0;
+
+    TraceHooks hooks;
+    hooks.regEvent = [&](Cycle cyc, u32 sm, u32 warp, u32 reg,
+                         RegEvent kind) {
+        if (sm != 0 || warp != 0)
+            return;
+        events[reg].push_back({cyc, kind});
+        firstCycle = std::min(firstCycle, cyc);
+        lastCycle = std::max(lastCycle, cyc);
+    };
+    RunConfig cfg = RunConfig::virtualized();
+    Simulator sim(args.apply(cfg));
+    sim.runWorkload(*findWorkload("MatrixMul"), hooks);
+
+    if (events.empty() || lastCycle <= firstCycle) {
+        std::cout << "no events traced\n";
+        return 1;
+    }
+
+    // Live-span per register over warp 0's first CTA execution.
+    struct Summary {
+        u32 reg;
+        u64 liveCycles = 0;
+        u32 lifetimes = 0;
+    };
+    std::vector<Summary> summaries;
+    const Cycle span = lastCycle - firstCycle + 1;
+    for (auto &[reg, evs] : events) {
+        // Only the first CTA occupying warp slot 0.
+        Summary s{reg, 0, 0};
+        Cycle openAt = 0;
+        bool open = false;
+        for (const auto &e : evs) {
+            if (e.cycle > firstCycle + span)
+                break;
+            if (e.kind == RegEvent::kDef && !open) {
+                open = true;
+                openAt = e.cycle;
+                ++s.lifetimes;
+            } else if (e.kind == RegEvent::kRelease && open) {
+                s.liveCycles += e.cycle - openAt;
+                open = false;
+            }
+        }
+        if (open)
+            s.liveCycles += lastCycle - openAt;
+        summaries.push_back(s);
+    }
+    std::sort(summaries.begin(), summaries.end(),
+              [](const Summary &a, const Summary &b) {
+                  return a.liveCycles > b.liveCycles;
+              });
+
+    // Pick the paper's three patterns: longest-lived, most lifetimes
+    // (looped), shortest-lived.
+    const Summary longest = summaries.front();
+    const Summary shortest = summaries.back();
+    Summary looped = summaries.front();
+    for (const auto &s : summaries)
+        if (s.lifetimes > looped.lifetimes)
+            looped = s;
+
+    std::cout << "Fig. 2(a): MatrixMul register lifetime traces "
+                 "(warp 0, cycles " << firstCycle << ".." << lastCycle
+              << ")\n\n";
+    constexpr u32 kCols = 64;
+    auto render = [&](const Summary &s, const char *role) {
+        std::vector<char> line(kCols, '.');
+        bool open = false;
+        Cycle openAt = firstCycle;
+        auto mark = [&](Cycle a, Cycle b) {
+            const u32 c0 = static_cast<u32>((a - firstCycle) * kCols /
+                                            span);
+            const u32 c1 = static_cast<u32>((b - firstCycle) * kCols /
+                                            span);
+            for (u32 c = c0; c <= c1 && c < kCols; ++c)
+                line[c] = '#';
+        };
+        for (const auto &e : events[s.reg]) {
+            if (e.kind == RegEvent::kDef && !open) {
+                open = true;
+                openAt = e.cycle;
+            } else if (e.kind == RegEvent::kRelease && open) {
+                mark(openAt, e.cycle);
+                open = false;
+            }
+        }
+        if (open)
+            mark(openAt, lastCycle);
+        std::cout << "r" << s.reg << " (" << role << ", "
+                  << s.lifetimes << " lifetimes, live "
+                  << 100.0 * static_cast<double>(s.liveCycles) /
+                         static_cast<double>(span)
+                  << "% of kernel)\n  |"
+                  << std::string(line.begin(), line.end()) << "|\n\n";
+    };
+    render(longest, "long-lived, like paper r1");
+    render(looped, "looped short lifetimes, like paper r0");
+    render(shortest, "short-lived, like paper r3");
+
+    std::cout << "('#' = value live, '.' = register released/dead)\n";
+    return 0;
+}

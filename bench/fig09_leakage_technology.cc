@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Fig. 9: register-file leakage-power fraction across technology
+ * nodes, normalized to 40 nm planar.  Planar scaling climbs; FinFET at
+ * 22 nm resets the fraction near the 40 nm baseline; the climb then
+ * resumes toward 10 nm (modeled after the paper's GPUWattch + PTM
+ * data).
+ */
+#include <iostream>
+
+#include "common/table.h"
+#include "power/energy_model.h"
+
+int
+main()
+{
+    using namespace rfv;
+    std::cout << "Fig. 9: Leakage under various technologies "
+                 "(P: planar, F: FinFET), normalized to 40nm\n\n";
+    Table t({"Technology", "Device", "Leakage fraction (norm.)"});
+    for (const auto &node : technologyLeakageTable()) {
+        t.addRow({node.name, node.finfet ? "FinFET" : "Planar",
+                  Table::num(node.leakageNorm, 2)});
+    }
+    std::cout << t.str();
+    return 0;
+}

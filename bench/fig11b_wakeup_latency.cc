@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fig. 11(b): sensitivity of total execution time to the subarray
+ * wakeup latency when power gating is enabled (1, 3, 10 cycles),
+ * normalized to no power gating.  Paper: below 2% even at 10 cycles,
+ * because wake events are rare relative to total cycles.
+ */
+#include "bench/bench_common.h"
+#include "common/table.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace rfv;
+    const auto args = BenchArgs::parse(argc, argv);
+    const std::vector<u32> latencies = {1, 3, 10};
+    // A representative subset keeps the sweep fast.
+    const std::vector<std::string> names = {
+        "MatrixMul", "Reduction", "BackProp", "HotSpot", "LPS", "MUM"};
+
+    std::cout << "Fig. 11(b): Normalized total simulation cycles vs. "
+                 "subarray wakeup latency (power gating on, "
+                 "virtualized 128KB RF)\n\n";
+    Table t({"Wakeup latency (cycles)", "Normalized cycles",
+             "Wake stalls / Mcycle"});
+    // Reference: power gating off.
+    double refSum = 0;
+    std::vector<double> refCycles;
+    for (const auto &name : names) {
+        const auto out =
+            runOne(args, RunConfig::virtualized(false),
+                   *findWorkload(name));
+        refCycles.push_back(static_cast<double>(out.sim.cycles));
+        refSum += static_cast<double>(out.sim.cycles);
+    }
+    for (u32 lat : latencies) {
+        double ratioSum = 0;
+        u64 wakes = 0;
+        Cycle cycles = 0;
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            RunConfig cfg = RunConfig::virtualized(true);
+            cfg.wakeupLatency = lat;
+            const auto out =
+                runOne(args, cfg, *findWorkload(names[i]));
+            ratioSum += static_cast<double>(out.sim.cycles) /
+                        refCycles[i];
+            wakes += out.sim.wakeStallEvents;
+            cycles += out.sim.cycles;
+        }
+        t.addRow({std::to_string(lat),
+                  Table::num(ratioSum / names.size(), 4),
+                  Table::num(1e6 * static_cast<double>(wakes) /
+                                 static_cast<double>(cycles),
+                             1)});
+    }
+    std::cout << t.str();
+    std::cout << "\nPaper: overhead < 2% even with a 10-cycle wakeup "
+                 "delay (wake events are rare).\n";
+    return 0;
+}

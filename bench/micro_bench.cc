@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator's hot components:
+ * physical-register allocation/release, the release-flag cache, SIMT
+ * stack operations, kernel compilation, and end-to-end simulated
+ * cycles per second.
+ */
+#include <benchmark/benchmark.h>
+
+#include "compiler/pipeline.h"
+#include "core/simulator.h"
+#include "regfile/register_manager.h"
+#include "regfile/release_flag_cache.h"
+#include "sim/simt_stack.h"
+
+namespace rfv {
+namespace {
+
+void
+BM_PhysRegAllocRelease(benchmark::State &state)
+{
+    RegFileConfig cfg;
+    cfg.mode = RegFileMode::kVirtualized;
+    PhysRegFile rf(cfg);
+    u32 wake = 0;
+    for (auto _ : state) {
+        const u32 phys = rf.alloc(0, 0, wake);
+        benchmark::DoNotOptimize(phys);
+        rf.release(phys);
+    }
+}
+BENCHMARK(BM_PhysRegAllocRelease);
+
+void
+BM_RenamingRoundTrip(benchmark::State &state)
+{
+    RegFileConfig cfg;
+    cfg.mode = RegFileMode::kVirtualized;
+    RegisterManager mgr(cfg, 48);
+    mgr.configureKernel(20, 0);
+    mgr.launchCta(0, 0, 8);
+    for (auto _ : state) {
+        mgr.ensureMappedForWrite(0, 0, 5);
+        mgr.countOperandRead(0, 5);
+        mgr.releaseReg(0, 0, 5);
+    }
+}
+BENCHMARK(BM_RenamingRoundTrip);
+
+void
+BM_FlagCacheAccess(benchmark::State &state)
+{
+    ReleaseFlagCache cache(10);
+    u32 pc = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(pc));
+        pc = (pc + 7) % 64;
+    }
+}
+BENCHMARK(BM_FlagCacheAccess);
+
+void
+BM_SimtStackDivergence(benchmark::State &state)
+{
+    SimtStack st;
+    for (auto _ : state) {
+        st.reset(0xffffffffu);
+        st.branch(10, 1, 0x0000ffffu, 20);
+        st.advance(20);
+        st.advance(20);
+        benchmark::DoNotOptimize(st.done());
+    }
+}
+BENCHMARK(BM_SimtStackDivergence);
+
+void
+BM_CompileMatrixMul(benchmark::State &state)
+{
+    const Program input = findWorkload("MatrixMul")->buildKernel();
+    CompileOptions opts;
+    opts.virtualize = true;
+    for (auto _ : state) {
+        auto ck = compileKernel(input, opts);
+        benchmark::DoNotOptimize(ck.program.code.size());
+    }
+}
+BENCHMARK(BM_CompileMatrixMul);
+
+void
+BM_SimulatedCyclesPerSecond(benchmark::State &state)
+{
+    const auto w = findWorkload("VectorAdd");
+    RunConfig cfg = RunConfig::virtualized();
+    cfg.numSms = 1;
+    cfg.roundsPerSm = 1;
+    u64 cycles = 0;
+    for (auto _ : state) {
+        Simulator sim(cfg);
+        const auto out = sim.runWorkload(*w);
+        cycles += out.sim.cycles;
+    }
+    state.counters["sim_cycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatedCyclesPerSecond);
+
+} // namespace
+} // namespace rfv
+
+BENCHMARK_MAIN();

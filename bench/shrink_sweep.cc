@@ -1,0 +1,55 @@
+/**
+ * @file
+ * GPU-shrink size sweep (paper Sec. 9.2 text): GPU-shrink-50/40/30 all
+ * ran with effectively zero overhead because the additional registers
+ * beyond the live demand were never needed.  This bench sweeps the
+ * shrink percentage and reports the mean cycle overhead and energy.
+ */
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "common/table.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace rfv;
+    const auto args = BenchArgs::parse(argc, argv);
+
+    std::cout << "GPU-shrink sweep: mean overhead vs. register file "
+                 "size (all 16 workloads, normalized to 128KB "
+                 "baseline)\n\n";
+
+    std::vector<double> baseCycles, baseEnergy;
+    for (const auto &w : allWorkloads()) {
+        const auto out = runOne(args, RunConfig::baseline(), *w);
+        baseCycles.push_back(static_cast<double>(out.sim.cycles));
+        baseEnergy.push_back(out.energy.totalJ());
+    }
+
+    Table t({"Shrink (%)", "RF size", "Mean cycle overhead (%)",
+             "Mean RF energy (norm.)", "Throttled runs"});
+    for (u32 shrink : {0u, 10u, 20u, 30u, 40u, 50u}) {
+        double cycleSum = 0, energySum = 0;
+        u32 throttled = 0, i = 0;
+        RunConfig cfg = RunConfig::gpuShrink(shrink, true);
+        for (const auto &w : allWorkloads()) {
+            const auto out = runOne(args, cfg, *w);
+            cycleSum += static_cast<double>(out.sim.cycles) /
+                        baseCycles[i];
+            energySum += out.energy.totalJ() / baseEnergy[i];
+            throttled += out.sim.throttleActiveCycles > 0;
+            ++i;
+        }
+        const double n = static_cast<double>(allWorkloads().size());
+        t.addRow({std::to_string(shrink),
+                  std::to_string(cfg.rfSizeBytes / 1024) + "KB",
+                  Table::num(100.0 * (cycleSum / n - 1.0), 2),
+                  Table::num(energySum / n, 3),
+                  std::to_string(throttled)});
+    }
+    std::cout << t.str();
+    std::cout << "\nPaper: 30/40/50% shrink all showed no additional "
+                 "latency impact; energy keeps falling with size.\n";
+    return 0;
+}

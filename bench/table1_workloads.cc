@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Table 1: workload characteristics (# CTAs, threads/CTA, registers per
+ * kernel, concurrent CTAs per SM), printed from the workload registry,
+ * plus the measured spill-free register minimum (the paper's
+ * parenthesized values) from the compiler's pressure analysis.
+ */
+#include "bench/bench_common.h"
+#include "common/bit_utils.h"
+#include "common/table.h"
+#include "compiler/cfg.h"
+#include "compiler/liveness.h"
+
+namespace rfv {
+namespace {
+
+u32
+maxPressure(const Program &p)
+{
+    const Cfg cfg(p);
+    const Liveness live = computeLiveness(p, cfg);
+    const auto after = computeLiveAfter(p, cfg, live);
+    u32 peak = 0;
+    for (u32 pc = 0; pc < p.code.size(); ++pc) {
+        const Instr &ins = p.code[pc];
+        const u64 before = (after[pc] & ~defMask(ins)) | useMask(ins);
+        peak = std::max({peak, popcount64(before),
+                         popcount64(after[pc])});
+    }
+    return peak;
+}
+
+} // namespace
+} // namespace rfv
+
+int
+main()
+{
+    using namespace rfv;
+    std::cout << "Table 1: Workloads\n"
+              << "(# Regs/Kernel in parentheses: spill-free minimum "
+                 "from liveness pressure analysis)\n\n";
+    Table t({"Name", "# CTAs", "# Thrds/CTA", "# Regs/Kernel",
+             "Conc. CTAs/Core"});
+    for (const auto &w : allWorkloads()) {
+        const auto &c = w->config();
+        const u32 minRegs = maxPressure(w->buildKernel());
+        t.addRow({c.name, std::to_string(c.gridCtas),
+                  std::to_string(c.threadsPerCta),
+                  std::to_string(c.regsPerKernel) + "(" +
+                      std::to_string(minRegs) + ")",
+                  std::to_string(c.concCtasPerSm)});
+    }
+    std::cout << t.str();
+    return 0;
+}

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Table 2: renaming-table and register-bank energy parameters at 40 nm
+ * (the paper's CACTI-5.3 numbers, as configured in the energy model).
+ */
+#include <iostream>
+
+#include "common/table.h"
+#include "power/energy_model.h"
+
+int
+main()
+{
+    using namespace rfv;
+    const EnergyParams p;
+    std::cout << "Table 2: Register renaming table and register bank "
+                 "energy in 40nm technology\n\n";
+    Table t({"Parameter", "Renaming table", "Register bank"});
+    t.addRow({"Size", "1KB", "4KB"});
+    t.addRow({"# Banks", std::to_string(p.renameTableBanks), "1"});
+    t.addRow({"Vdd", "0.96V", "0.96V"});
+    t.addRow({"Per-access energy",
+              Table::num(p.renameTablePerAccessPj, 2) + " pJ",
+              Table::num(p.rfPerAccessPj, 2) + " pJ"});
+    t.addRow({"Per-bank leakage power",
+              Table::num(p.renameTableLeakPerBankMw, 2) + " mW",
+              Table::num(p.rfLeakPerMw4kb, 1) + " mW"});
+    std::cout << t.str();
+    std::cout << "\nDerived: per-access energy scales with file size as"
+                 " (size/128KB)^"
+              << Table::num(p.dynSizeExponent, 4)
+              << " (calibrated to Fig. 7).\n";
+    return 0;
+}

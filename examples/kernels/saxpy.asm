@@ -1,0 +1,12 @@
+.kernel saxpy
+// out[i] = 3*x[i] + y[i]; x at 0, y at 64KB, out at 128KB
+    s2r r0, %tid
+    s2r r1, %ctaid
+    s2r r2, %ntid
+    imad r0, r1, r2, r0
+    shl r0, r0, 2
+    ldg r1, [r0+0]
+    ldg r2, [r0+65536]
+    imad r1, r1, 3, r2
+    stg [r0+131072], r1
+    exit

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Quickstart: build a small kernel with the C++ builder API, compile it
+ * with release-flag metadata, run it under the baseline and the
+ * GPU-shrink register files, and compare cycles and energy.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+#include <iostream>
+
+#include "core/simulator.h"
+#include "isa/builder.h"
+
+using namespace rfv;
+
+/** saxpy-style kernel: out[i] = a*x[i] + y[i] (integers). */
+static Program
+buildSaxpy()
+{
+    KernelBuilder b("saxpy");
+    const u32 tid = b.reg(), cta = b.reg(), n = b.reg(),
+              addr = b.reg(), x = b.reg(), y = b.reg();
+    b.s2r(tid, SpecialReg::kTid);
+    b.s2r(cta, SpecialReg::kCtaId);
+    b.s2r(n, SpecialReg::kNTid);
+    b.imad(addr, R(cta), R(n), R(tid)); // global thread id
+    b.shl(addr, R(addr), I(2));
+    b.ldg(x, addr, 0);        // x[] at byte offset 0
+    b.ldg(y, addr, 64 * 1024); // y[] at byte offset 64K
+    b.imad(x, R(x), I(3), R(y));
+    b.stg(addr, 128 * 1024, x); // out[]
+    b.exit();
+    return b.build();
+}
+
+int
+main()
+{
+    const Program kernel = buildSaxpy();
+    std::cout << "Kernel under test:\n" << kernel.disassemble() << "\n";
+
+    LaunchParams launch;
+    launch.gridCtas = 32;
+    launch.threadsPerCta = 256;
+    launch.concCtasPerSm = 6;
+
+    for (const RunConfig &cfg :
+         {RunConfig::baseline(), RunConfig::virtualized(true),
+          RunConfig::gpuShrink(50, true)}) {
+        GlobalMemory mem(192 * 1024 + launch.gridCtas * 1024 * 4);
+        const u32 elems = launch.gridCtas * launch.threadsPerCta;
+        for (u32 i = 0; i < elems; ++i) {
+            mem.setWord(i, i);
+            mem.setWord(64 * 1024 / 4 + i, 1000 + i);
+        }
+
+        Simulator sim(cfg);
+        const RunOutcome out = sim.runProgram(kernel, launch, mem);
+
+        // Verify the computation really happened.
+        for (u32 i = 0; i < elems; ++i) {
+            if (mem.word(128 * 1024 / 4 + i) != i * 3 + 1000 + i) {
+                std::cerr << "wrong result at " << i << "\n";
+                return 1;
+            }
+        }
+
+        std::cout << cfg.label << ":\n"
+                  << "  cycles            " << out.sim.cycles << "\n"
+                  << "  warp instructions " << out.sim.issuedInstrs
+                  << "\n"
+                  << "  peak phys regs    " << out.sim.rf.allocWatermark
+                  << " of "
+                  << sim.gpuConfig().regFile.physRegs() * cfg.numSms
+                  << "\n"
+                  << "  RF energy         " << out.energy.totalJ() * 1e6
+                  << " uJ (dyn " << out.energy.dynamicJ * 1e6
+                  << ", static " << out.energy.staticJ * 1e6 << ")\n";
+    }
+    std::cout << "\nAll three configurations computed identical "
+                 "results.\n";
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Workload runner: execute any registered Table-1 benchmark under any
+ * named register-file configuration and print a summary or a CSV row —
+ * the everyday driver a downstream user scripts sweeps with.
+ *
+ * Usage:
+ *   run_workload <workload|all> [--config=baseline|virtualized|
+ *                                         shrink50|spill50|hwonly]
+ *                [--sms=N] [--rounds=N] [--gating] [--csv]
+ *
+ * Examples:
+ *   run_workload MatrixMul --config=shrink50 --gating
+ *   run_workload all --config=virtualized --csv > sweep.csv
+ */
+#include <iostream>
+
+#include "core/report.h"
+
+using namespace rfv;
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::cerr << "usage: run_workload <workload|all> "
+                     "[--config=...] [--sms=N] [--rounds=N] "
+                     "[--gating] [--csv]\n       workloads:";
+        for (const auto &w : allWorkloads())
+            std::cerr << " " << w->name();
+        std::cerr << "\n";
+        return 2;
+    }
+    const std::string target = argv[1];
+    std::string configName = "virtualized";
+    u32 sms = 4, rounds = 3;
+    bool gating = false, csv = false;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--config=", 0) == 0)
+            configName = arg.substr(9);
+        else if (arg.rfind("--sms=", 0) == 0)
+            sms = static_cast<u32>(std::stoul(arg.substr(6)));
+        else if (arg.rfind("--rounds=", 0) == 0)
+            rounds = static_cast<u32>(std::stoul(arg.substr(9)));
+        else if (arg == "--gating")
+            gating = true;
+        else if (arg == "--csv")
+            csv = true;
+        else {
+            std::cerr << "unknown option " << arg << "\n";
+            return 2;
+        }
+    }
+
+    RunConfig cfg;
+    if (configName == "baseline")
+        cfg = RunConfig::baseline();
+    else if (configName == "virtualized")
+        cfg = RunConfig::virtualized(gating);
+    else if (configName == "shrink50")
+        cfg = RunConfig::gpuShrink(50, gating);
+    else if (configName == "spill50")
+        cfg = RunConfig::compilerSpillShrink(50);
+    else if (configName == "hwonly")
+        cfg = RunConfig::hardwareOnly(gating);
+    else {
+        std::cerr << "unknown config " << configName << "\n";
+        return 2;
+    }
+    cfg.numSms = sms;
+    cfg.roundsPerSm = rounds;
+
+    std::vector<std::shared_ptr<Workload>> targets;
+    if (target == "all") {
+        targets = allWorkloads();
+    } else {
+        targets.push_back(findWorkload(target));
+    }
+
+    try {
+        Simulator sim(cfg);
+        if (csv)
+            std::cout << csvHeader() << "\n";
+        for (const auto &w : targets) {
+            const RunOutcome out = sim.runWorkload(*w);
+            if (csv)
+                std::cout << csvRow(out) << "\n";
+            else
+                std::cout << summarize(out) << "\n";
+        }
+    } catch (const std::exception &e) {
+        std::cerr << e.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

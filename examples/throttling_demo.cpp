@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Throttling and spill-engine demonstration (paper Section 8.1).
+ *
+ * Runs a register-hungry kernel on progressively smaller register
+ * files, down to a file too small to hold even one CTA's worth of
+ * architected registers — the corner case where the warp scheduler
+ * must spill pending warps' registers to memory to guarantee forward
+ * progress.  Results are functionally verified every time.
+ */
+#include <iostream>
+
+#include "common/table.h"
+#include "core/simulator.h"
+#include "isa/builder.h"
+
+using namespace rfv;
+
+/** A kernel holding many concurrently-live registers per thread. */
+static Program
+buildHungryKernel(u32 liveRegs)
+{
+    KernelBuilder b("hungry");
+    const u32 tid = b.reg(), cta = b.reg(), n = b.reg(),
+              addr = b.reg();
+    b.s2r(tid, SpecialReg::kTid);
+    b.s2r(cta, SpecialReg::kCtaId);
+    b.s2r(n, SpecialReg::kNTid);
+    b.imad(addr, R(cta), R(n), R(tid));
+    b.shl(addr, R(addr), I(2));
+    std::vector<u32> regs;
+    for (u32 i = 0; i < liveRegs; ++i) {
+        const u32 r = b.reg();
+        regs.push_back(r);
+        b.imad(r, R(tid), I(i + 3), I(i * 7 + 1));
+    }
+    // Consume them all at the end so they stay live together.
+    const u32 acc = b.reg();
+    b.mov(acc, I(0));
+    for (u32 r : regs)
+        b.iadd(acc, R(acc), R(r));
+    b.stg(addr, 0, acc);
+    b.exit();
+    return b.build();
+}
+
+int
+main()
+{
+    constexpr u32 kLive = 24;
+    const Program kernel = buildHungryKernel(kLive);
+    LaunchParams launch;
+    launch.gridCtas = 6;
+    launch.threadsPerCta = 128; // 4 warps x 28 regs each
+    launch.concCtasPerSm = 3;
+
+    std::cout << "Kernel with ~" << kernel.numRegs
+              << " concurrently-live registers per thread, "
+              << launch.warpsPerCta() << " warps/CTA\n\n";
+
+    Table t({"RF size (regs)", "Cycles", "Throttled cycles",
+             "Spill events", "Spilled regs", "Refills", "Verified"});
+    for (u32 kb : {128u, 32u, 16u, 8u, 6u}) {
+        RunConfig cfg = RunConfig::virtualized();
+        cfg.rfSizeBytes = kb * 1024;
+        cfg.numSms = 1;
+        Simulator sim(cfg);
+
+        GlobalMemory mem(launch.gridCtas * launch.threadsPerCta * 4);
+        const auto out = sim.runProgram(kernel, launch, mem);
+
+        bool ok = true;
+        for (u32 c = 0; c < launch.gridCtas && ok; ++c) {
+            for (u32 tIdx = 0; tIdx < launch.threadsPerCta && ok;
+                 ++tIdx) {
+                u32 expect = 0;
+                for (u32 i = 0; i < kLive; ++i)
+                    expect += tIdx * (i + 3) + i * 7 + 1;
+                ok = mem.word(c * launch.threadsPerCta + tIdx) ==
+                     expect;
+            }
+        }
+        t.addRow({std::to_string(kb * 1024 / kBytesPerWarpReg),
+                  std::to_string(out.sim.cycles),
+                  std::to_string(out.sim.throttleActiveCycles),
+                  std::to_string(out.sim.spillEvents),
+                  std::to_string(out.sim.spilledRegs),
+                  std::to_string(out.sim.refilledRegs),
+                  ok ? "yes" : "NO"});
+    }
+    std::cout << t.str();
+    std::cout
+        << "\nAt 6KB (48 warp-registers) a single CTA's demand (4 "
+           "warps x 28 regs = 112) exceeds the whole file: the "
+           "scheduler-issued spill engine keeps the machine making "
+           "progress, exactly the corner case of paper Section 8.1.\n";
+    return 0;
+}

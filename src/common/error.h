@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Error handling helpers.
+ *
+ * Follows the gem5 fatal()/panic() distinction:
+ *  - fatal(): the user supplied an impossible configuration or program;
+ *    raised as ConfigError.
+ *  - panic(): an internal invariant of the simulator was violated;
+ *    raised as InternalError.
+ */
+#ifndef RFV_COMMON_ERROR_H
+#define RFV_COMMON_ERROR_H
+
+#include <stdexcept>
+#include <string>
+
+namespace rfv {
+
+/** Raised when a user-visible configuration or input program is invalid. */
+class ConfigError : public std::runtime_error {
+  public:
+    explicit ConfigError(const std::string &msg)
+        : std::runtime_error("config error: " + msg) {}
+};
+
+/** Raised when an internal simulator invariant is violated (a bug). */
+class InternalError : public std::logic_error {
+  public:
+    explicit InternalError(const std::string &msg)
+        : std::logic_error("internal error: " + msg) {}
+};
+
+/** Abort with a user-level error. */
+[[noreturn]] inline void
+fatal(const std::string &msg)
+{
+    throw ConfigError(msg);
+}
+
+/** Abort with an internal invariant violation. */
+[[noreturn]] inline void
+panic(const std::string &msg)
+{
+    throw InternalError(msg);
+}
+
+/** panic() unless the invariant holds. */
+inline void
+panicIf(bool condition, const std::string &msg)
+{
+    if (condition)
+        panic(msg);
+}
+
+/** fatal() unless the user-level condition holds. */
+inline void
+fatalIf(bool condition, const std::string &msg)
+{
+    if (condition)
+        fatal(msg);
+}
+
+} // namespace rfv
+
+#endif // RFV_COMMON_ERROR_H

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator.
+ *
+ * A splitmix64-seeded xoshiro256** generator.  Every stochastic element of
+ * the simulator and the test suite draws from this class so that runs are
+ * reproducible from a single seed.
+ */
+#ifndef RFV_COMMON_RNG_H
+#define RFV_COMMON_RNG_H
+
+#include "common/types.h"
+
+namespace rfv {
+
+/** Deterministic, seedable PRNG (xoshiro256**). */
+class Rng {
+  public:
+    explicit Rng(u64 seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+    /** Re-initialize the state from a 64-bit seed via splitmix64. */
+    void
+    reseed(u64 seed)
+    {
+        for (auto &word : state_)
+            word = splitmix64(seed);
+    }
+
+    /** Next raw 64-bit draw. */
+    u64
+    next64()
+    {
+        const u64 result = rotl(state_[1] * 5, 7) * 9;
+        const u64 t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform draw in [0, bound); bound must be nonzero. */
+    u64
+    below(u64 bound)
+    {
+        return next64() % bound;
+    }
+
+    /** Uniform draw in [lo, hi] inclusive. */
+    u64
+    range(u64 lo, u64 hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Bernoulli draw: true with probability num/den. */
+    bool
+    chance(u64 num, u64 den)
+    {
+        return below(den) < num;
+    }
+
+  private:
+    static u64
+    rotl(u64 x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    static u64
+    splitmix64(u64 &x)
+    {
+        u64 z = (x += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    u64 state_[4];
+};
+
+} // namespace rfv
+
+#endif // RFV_COMMON_RNG_H

@@ -1,0 +1,56 @@
+#include "common/table.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace rfv {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    panicIf(cells.size() != header_.size(),
+            "table row width does not match header");
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+Table::str() const
+{
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        width[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(width[c]) + 2)
+               << cells[c];
+        }
+        os << '\n';
+    };
+    emit(header_);
+    std::string rule;
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        rule += std::string(width[c], '-') + "  ";
+    os << rule << '\n';
+    for (const auto &row : rows_)
+        emit(row);
+    return os.str();
+}
+
+} // namespace rfv

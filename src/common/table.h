@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Fixed-width console table formatter used by the benchmark harnesses to
+ * print paper-style rows/series.
+ */
+#ifndef RFV_COMMON_TABLE_H
+#define RFV_COMMON_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace rfv {
+
+/**
+ * A simple column-aligned text table.
+ *
+ * Usage:
+ * @code
+ *   Table t({"Benchmark", "Cycles", "Overhead (%)"});
+ *   t.addRow({"MatrixMul", "105432", "0.4"});
+ *   std::cout << t.str();
+ * @endcode
+ */
+class Table {
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Append one row; must have as many cells as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the table, header underlined, columns padded. */
+    std::string str() const;
+
+    /** Format a double with fixed precision. */
+    static std::string num(double v, int precision = 2);
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace rfv
+
+#endif // RFV_COMMON_TABLE_H

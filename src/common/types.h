@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fundamental scalar types and global constants shared by every module.
+ */
+#ifndef RFV_COMMON_TYPES_H
+#define RFV_COMMON_TYPES_H
+
+#include <cstdint>
+#include <cstddef>
+
+namespace rfv {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/** Simulation time expressed in core clock cycles. */
+using Cycle = u64;
+
+/** SIMT width: number of lanes (threads) per warp, as in Fermi. */
+inline constexpr u32 kWarpSize = 32;
+
+/** Maximum architected registers per thread (Fermi: 63, 6-bit ids). */
+inline constexpr u32 kMaxArchRegs = 63;
+
+/** Number of main register banks per SM (Fermi-style). */
+inline constexpr u32 kNumRegBanks = 4;
+
+/** Sub-banks per bank; each feeds a 4-lane SIMT cluster. */
+inline constexpr u32 kSubBanksPerBank = 8;
+
+/** Bytes held by one warp-wide register (32 lanes x 4 bytes). */
+inline constexpr u32 kBytesPerWarpReg = kWarpSize * 4;
+
+/** Sentinel for "no register operand". */
+inline constexpr i32 kNoReg = -1;
+
+/** Sentinel for "no predicate guard". */
+inline constexpr i32 kNoPred = -1;
+
+/** Number of per-thread predicate registers. */
+inline constexpr u32 kNumPredRegs = 8;
+
+/** Invalid / unresolved program counter. */
+inline constexpr u32 kInvalidPc = 0xffffffffu;
+
+/** Invalid physical register id. */
+inline constexpr u32 kInvalidPhysReg = 0xffffffffu;
+
+} // namespace rfv
+
+#endif // RFV_COMMON_TYPES_H

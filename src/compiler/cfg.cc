@@ -1,0 +1,103 @@
+#include "compiler/cfg.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace rfv {
+
+Cfg::Cfg(const Program &prog)
+{
+    const auto &code = prog.code;
+    const u32 n = static_cast<u32>(code.size());
+    panicIf(n == 0, "cannot build CFG of empty program");
+    for (const auto &ins : code)
+        panicIf(isMeta(ins.op), "CFG requires a metadata-free program");
+
+    // Identify leaders.
+    std::vector<bool> leader(n, false);
+    leader[0] = true;
+    for (u32 pc = 0; pc < n; ++pc) {
+        const Instr &ins = code[pc];
+        if (ins.op == Opcode::kBra) {
+            leader[ins.target] = true;
+            if (pc + 1 < n)
+                leader[pc + 1] = true;
+        } else if (ins.op == Opcode::kExit) {
+            if (pc + 1 < n)
+                leader[pc + 1] = true;
+        }
+    }
+
+    // Carve blocks.
+    pcToBlock_.assign(n, 0);
+    for (u32 pc = 0; pc < n;) {
+        BasicBlock bb;
+        bb.id = static_cast<u32>(blocks_.size());
+        bb.first = pc;
+        u32 end = pc;
+        while (end < n) {
+            if (endsBlock(code[end].op))
+                break;
+            if (end + 1 < n && leader[end + 1])
+                break;
+            ++end;
+        }
+        bb.last = std::min(end, n - 1);
+        for (u32 q = bb.first; q <= bb.last; ++q)
+            pcToBlock_[q] = bb.id;
+        pc = bb.last + 1;
+        blocks_.push_back(std::move(bb));
+    }
+
+    // Wire edges.
+    for (auto &bb : blocks_) {
+        const Instr &tail = code[bb.last];
+        auto addEdge = [&](u32 target_pc) {
+            const u32 succ = pcToBlock_[target_pc];
+            bb.succs.push_back(succ);
+        };
+        if (tail.op == Opcode::kBra) {
+            addEdge(tail.target);
+            const bool conditional = tail.guardPred != kNoPred;
+            if (conditional && bb.last + 1 < n)
+                addEdge(bb.last + 1);
+        } else if (tail.op == Opcode::kExit) {
+            // A guarded exit retires only the lanes whose guard holds;
+            // the survivors fall through.
+            if (tail.guardPred != kNoPred && bb.last + 1 < n)
+                addEdge(bb.last + 1);
+        } else if (bb.last + 1 < n) {
+            addEdge(bb.last + 1);
+        }
+        // Dedupe (a conditional branch to the fall-through).
+        std::sort(bb.succs.begin(), bb.succs.end());
+        bb.succs.erase(std::unique(bb.succs.begin(), bb.succs.end()),
+                       bb.succs.end());
+    }
+    for (const auto &bb : blocks_)
+        for (u32 s : bb.succs)
+            blocks_[s].preds.push_back(bb.id);
+}
+
+bool
+Cfg::dominates(u32 anc, u32 node, const std::vector<i32> &idom)
+{
+    i32 cur = static_cast<i32>(node);
+    while (cur >= 0) {
+        if (static_cast<u32>(cur) == anc)
+            return true;
+        if (idom[cur] == cur)
+            break; // entry node is its own idom
+        cur = idom[cur];
+    }
+    return false;
+}
+
+bool
+Cfg::isBackedge(u32 from, u32 to, const std::vector<i32> &idom)
+{
+    return dominates(to, from, idom);
+}
+
+} // namespace rfv

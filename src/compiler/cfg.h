@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Control-flow graph over a kernel program.
+ *
+ * Built on programs that do not yet contain metadata instructions (the
+ * compile pipeline inserts pir/pbr after all analyses).  Basic blocks
+ * are contiguous pc ranges; block ids are assigned in layout order.
+ */
+#ifndef RFV_COMPILER_CFG_H
+#define RFV_COMPILER_CFG_H
+
+#include <vector>
+
+#include "isa/program.h"
+
+namespace rfv {
+
+/** One basic block: the inclusive pc range [first, last]. */
+struct BasicBlock {
+    u32 id = 0;
+    u32 first = 0;
+    u32 last = 0;
+    std::vector<u32> succs;
+    std::vector<u32> preds;
+};
+
+/** Control-flow graph of a program. */
+class Cfg {
+  public:
+    /** Build the CFG; the program must not contain metadata. */
+    explicit Cfg(const Program &prog);
+
+    const std::vector<BasicBlock> &blocks() const { return blocks_; }
+    u32 numBlocks() const { return static_cast<u32>(blocks_.size()); }
+
+    /** Block containing instruction @p pc. */
+    u32 blockOf(u32 pc) const { return pcToBlock_[pc]; }
+
+    const BasicBlock &block(u32 id) const { return blocks_[id]; }
+
+    /**
+     * True if the edge from→to is a loop backedge, i.e. @p to dominates
+     * @p from (requires the caller-supplied immediate-dominator array).
+     */
+    static bool isBackedge(u32 from, u32 to, const std::vector<i32> &idom);
+
+    /** True if @p anc dominates @p node under @p idom (anc == node ok). */
+    static bool dominates(u32 anc, u32 node, const std::vector<i32> &idom);
+
+  private:
+    std::vector<BasicBlock> blocks_;
+    std::vector<u32> pcToBlock_;
+};
+
+} // namespace rfv
+
+#endif // RFV_COMPILER_CFG_H

@@ -1,0 +1,127 @@
+#include "compiler/dominators.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace rfv {
+
+namespace {
+
+/**
+ * Cooper-Harvey-Kennedy iterative dominators on an abstract graph.
+ *
+ * @param n      number of nodes
+ * @param entry  root node
+ * @param succs  forward adjacency (traversal direction)
+ * @param preds  reverse adjacency
+ * @return idom per node; idom[entry] == entry, unreachable == -1
+ */
+std::vector<i32>
+idomGeneric(u32 n, u32 entry, const std::vector<std::vector<u32>> &succs,
+            const std::vector<std::vector<u32>> &preds)
+{
+    // Reverse post-order from entry.
+    std::vector<i32> rpoIndex(n, -1);
+    std::vector<u32> order; // post-order
+    std::vector<u32> stack = {entry};
+    std::vector<u8> state(n, 0); // 0 unvisited, 1 on stack, 2 done
+    state[entry] = 1;
+    std::vector<u32> childIdx(n, 0);
+    while (!stack.empty()) {
+        const u32 node = stack.back();
+        if (childIdx[node] < succs[node].size()) {
+            const u32 next = succs[node][childIdx[node]++];
+            if (state[next] == 0) {
+                state[next] = 1;
+                stack.push_back(next);
+            }
+        } else {
+            state[node] = 2;
+            order.push_back(node);
+            stack.pop_back();
+        }
+    }
+    std::reverse(order.begin(), order.end()); // now RPO
+    for (u32 i = 0; i < order.size(); ++i)
+        rpoIndex[order[i]] = static_cast<i32>(i);
+
+    std::vector<i32> idom(n, -1);
+    idom[entry] = static_cast<i32>(entry);
+
+    auto intersect = [&](i32 a, i32 b) {
+        while (a != b) {
+            while (rpoIndex[a] > rpoIndex[b])
+                a = idom[a];
+            while (rpoIndex[b] > rpoIndex[a])
+                b = idom[b];
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (u32 node : order) {
+            if (node == entry)
+                continue;
+            i32 newIdom = -1;
+            for (u32 p : preds[node]) {
+                if (rpoIndex[p] < 0 || idom[p] < 0)
+                    continue; // unreachable pred
+                newIdom = newIdom < 0
+                              ? static_cast<i32>(p)
+                              : intersect(newIdom, static_cast<i32>(p));
+            }
+            if (newIdom >= 0 && idom[node] != newIdom) {
+                idom[node] = newIdom;
+                changed = true;
+            }
+        }
+    }
+    return idom;
+}
+
+} // namespace
+
+std::vector<i32>
+immediateDominators(const Cfg &cfg)
+{
+    const u32 n = cfg.numBlocks();
+    std::vector<std::vector<u32>> succs(n), preds(n);
+    for (const auto &bb : cfg.blocks()) {
+        succs[bb.id] = bb.succs;
+        preds[bb.id] = bb.preds;
+    }
+    return idomGeneric(n, 0, succs, preds);
+}
+
+std::vector<i32>
+immediatePostDominators(const Cfg &cfg)
+{
+    const u32 n = cfg.numBlocks();
+    const u32 virtualExit = n;
+    // Traversal graph is the reverse CFG rooted at a virtual exit that
+    // collects every block without successors.
+    std::vector<std::vector<u32>> succs(n + 1), preds(n + 1);
+    for (const auto &bb : cfg.blocks()) {
+        for (u32 p : bb.preds)
+            succs[bb.id].push_back(p);
+        for (u32 s : bb.succs)
+            preds[bb.id].push_back(s);
+        if (bb.succs.empty()) {
+            succs[virtualExit].push_back(bb.id);
+            preds[bb.id].push_back(virtualExit);
+        }
+    }
+
+    auto pidom = idomGeneric(n + 1, virtualExit, succs, preds);
+    std::vector<i32> out(n, -1);
+    for (u32 b = 0; b < n; ++b) {
+        if (pidom[b] >= 0 && pidom[b] != static_cast<i32>(virtualExit))
+            out[b] = pidom[b];
+    }
+    return out;
+}
+
+} // namespace rfv

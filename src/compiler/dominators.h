@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Dominator and post-dominator computation.
+ *
+ * Post-dominators drive reconvergence-point (IPDOM) selection for SIMT
+ * divergence, exactly as GPGPU-Sim derives PDOM reconvergence points.
+ * Forward dominators classify loop backedges, which the release-point
+ * analysis treats differently from if-divergence (paper Fig. 4(d)/(e)).
+ */
+#ifndef RFV_COMPILER_DOMINATORS_H
+#define RFV_COMPILER_DOMINATORS_H
+
+#include <vector>
+
+#include "compiler/cfg.h"
+
+namespace rfv {
+
+/**
+ * Immediate dominators per block.  idom[entry] == entry; blocks
+ * unreachable from the entry get -1.
+ */
+std::vector<i32> immediateDominators(const Cfg &cfg);
+
+/**
+ * Immediate post-dominators per block.  A block whose immediate
+ * post-dominator is the virtual exit (or that cannot reach any exit)
+ * gets -1.
+ */
+std::vector<i32> immediatePostDominators(const Cfg &cfg);
+
+} // namespace rfv
+
+#endif // RFV_COMPILER_DOMINATORS_H

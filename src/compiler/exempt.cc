@@ -1,0 +1,106 @@
+#include "compiler/exempt.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/bit_utils.h"
+#include "common/error.h"
+
+namespace rfv {
+
+ExemptResult
+selectRenamingExemptions(const Program &prog,
+                         const std::vector<RegisterStat> &stats,
+                         u32 table_budget_bytes, u32 entry_bits,
+                         u32 resident_warps)
+{
+    panicIf(stats.size() != prog.numRegs,
+            "register stats do not match program footprint");
+
+    ExemptResult res;
+    res.unconstrainedTableBytes = static_cast<u32>(
+        ceilDiv(static_cast<u64>(resident_warps) * prog.numRegs *
+                    entry_bits,
+                8));
+
+    u32 renamed = prog.numRegs;
+    if (table_budget_bytes > 0 && resident_warps > 0) {
+        const u64 budget_bits = static_cast<u64>(table_budget_bytes) * 8;
+        const u64 k = budget_bits / (static_cast<u64>(entry_bits) *
+                                     resident_warps);
+        renamed = static_cast<u32>(
+            std::min<u64>(k, prog.numRegs));
+    }
+    const u32 num_exempt = prog.numRegs - renamed;
+    res.numExempt = num_exempt;
+    res.constrainedTableBytes = static_cast<u32>(
+        ceilDiv(static_cast<u64>(resident_warps) * renamed * entry_bits,
+                8));
+
+    // Rank registers by renaming profitability: short estimated value
+    // lifetime first; among equals, fewer value instances first.
+    std::vector<u32> order(prog.numRegs);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](u32 a, u32 b) {
+        const double la = stats[a].avgLifetime();
+        const double lb = stats[b].avgLifetime();
+        if (la != lb)
+            return la < lb;
+        if (stats[a].defs != stats[b].defs)
+            return stats[a].defs < stats[b].defs;
+        return a < b;
+    });
+
+    // The last num_exempt registers in profitability order are exempt.
+    std::vector<bool> exempt(prog.numRegs, false);
+    for (u32 i = renamed; i < prog.numRegs; ++i)
+        exempt[order[i]] = true;
+
+    // Renumber: exempt registers take ids [0, N) in original-id order.
+    // Renamed registers take ids [N, numRegs) ordered by descending
+    // live span: since the register id selects the bank (id mod
+    // numBanks), consecutive ids land in different banks and the
+    // longest-lived (hottest-occupancy) registers spread evenly — the
+    // compiler bank balancing the paper's renaming preserves.
+    res.permutation.assign(prog.numRegs, 0);
+    u32 next_exempt = 0;
+    for (u32 r = 0; r < prog.numRegs; ++r)
+        if (exempt[r])
+            res.permutation[r] = next_exempt++;
+    {
+        std::vector<u32> renamedOrder;
+        for (u32 r = 0; r < prog.numRegs; ++r)
+            if (!exempt[r])
+                renamedOrder.push_back(r);
+        std::stable_sort(renamedOrder.begin(), renamedOrder.end(),
+                         [&](u32 a, u32 b) {
+                             return stats[a].liveSpan > stats[b].liveSpan;
+                         });
+        u32 next_renamed = num_exempt;
+        for (u32 r : renamedOrder)
+            res.permutation[r] = next_renamed++;
+    }
+
+    res.program = prog;
+    res.program.numExemptRegs = num_exempt;
+    const bool identity = [&] {
+        for (u32 r = 0; r < prog.numRegs; ++r)
+            if (res.permutation[r] != r)
+                return false;
+        return true;
+    }();
+    if (!identity) {
+        for (auto &ins : res.program.code) {
+            if (ins.dst != kNoReg)
+                ins.dst = static_cast<i32>(
+                    res.permutation[static_cast<u32>(ins.dst)]);
+            for (auto &s : ins.src)
+                if (s.isReg())
+                    s.value = res.permutation[s.value];
+        }
+        res.program.validate();
+    }
+    return res;
+}
+
+} // namespace rfv

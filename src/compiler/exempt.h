@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Renaming-exemption selection and register renumbering (paper Sec. 7.1).
+ *
+ * To bound the renaming table, only the K most profitable registers are
+ * renamed, where K is derived from the table budget.  Long-lived
+ * registers and registers with many value instances are exempted: the
+ * compiler renumbers them into the lowest N ids, which the hardware maps
+ * to fixed physical registers and never releases.
+ */
+#ifndef RFV_COMPILER_EXEMPT_H
+#define RFV_COMPILER_EXEMPT_H
+
+#include <vector>
+
+#include "compiler/release_analysis.h"
+
+namespace rfv {
+
+/** Result of exemption selection. */
+struct ExemptResult {
+    Program program;          //!< renumbered program
+    u32 numExempt = 0;        //!< N: ids [0, N) are renaming-exempt
+    std::vector<u32> permutation; //!< old register id -> new register id
+    u32 unconstrainedTableBytes = 0; //!< table size renaming all regs
+    u32 constrainedTableBytes = 0;   //!< table size actually required
+};
+
+/**
+ * Select renamed registers under a renaming-table byte budget and
+ * renumber the program accordingly.
+ *
+ * @param prog           metadata-free input program
+ * @param stats          per-register statistics from analyzeReleases()
+ * @param tableBudgetBytes  renaming-table budget; 0 = unconstrained
+ * @param entryBits      bits per table entry (10 for 1024 phys regs)
+ * @param residentWarps  warp contexts the table must serve
+ */
+ExemptResult selectRenamingExemptions(const Program &prog,
+                                      const std::vector<RegisterStat> &stats,
+                                      u32 tableBudgetBytes, u32 entryBits,
+                                      u32 residentWarps);
+
+} // namespace rfv
+
+#endif // RFV_COMPILER_EXEMPT_H

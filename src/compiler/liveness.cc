@@ -1,0 +1,83 @@
+#include "compiler/liveness.h"
+
+namespace rfv {
+
+u64
+useMask(const Instr &ins)
+{
+    u64 m = 0;
+    for (const auto &s : ins.src)
+        if (s.isReg())
+            m |= 1ull << s.value;
+    // A guarded destination is a partial definition: lanes whose guard
+    // is false keep the old value, so the old value is still consumed
+    // (SIMT-correct liveness must treat it as a use).
+    if (ins.guardPred != kNoPred && ins.dst != kNoReg)
+        m |= 1ull << static_cast<u32>(ins.dst);
+    return m;
+}
+
+u64
+defMask(const Instr &ins)
+{
+    if (ins.dst == kNoReg)
+        return 0;
+    return 1ull << static_cast<u32>(ins.dst);
+}
+
+Liveness
+computeLiveness(const Program &prog, const Cfg &cfg)
+{
+    const u32 n = cfg.numBlocks();
+    // Per-block gen (upward-exposed uses) and kill (defs).
+    std::vector<u64> gen(n, 0), kill(n, 0);
+    for (const auto &bb : cfg.blocks()) {
+        u64 g = 0, k = 0;
+        for (u32 pc = bb.first; pc <= bb.last; ++pc) {
+            const Instr &ins = prog.code[pc];
+            g |= useMask(ins) & ~k;
+            k |= defMask(ins);
+        }
+        gen[bb.id] = g;
+        kill[bb.id] = k;
+    }
+
+    Liveness live;
+    live.liveIn.assign(n, 0);
+    live.liveOut.assign(n, 0);
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        // Reverse layout order converges quickly for reducible CFGs.
+        for (u32 i = n; i-- > 0;) {
+            const auto &bb = cfg.block(i);
+            u64 out = 0;
+            for (u32 s : bb.succs)
+                out |= live.liveIn[s];
+            const u64 in = gen[i] | (out & ~kill[i]);
+            if (out != live.liveOut[i] || in != live.liveIn[i]) {
+                live.liveOut[i] = out;
+                live.liveIn[i] = in;
+                changed = true;
+            }
+        }
+    }
+    return live;
+}
+
+std::vector<u64>
+computeLiveAfter(const Program &prog, const Cfg &cfg, const Liveness &live)
+{
+    std::vector<u64> after(prog.code.size(), 0);
+    for (const auto &bb : cfg.blocks()) {
+        u64 cur = live.liveOut[bb.id];
+        for (u32 pc = bb.last + 1; pc-- > bb.first;) {
+            after[pc] = cur;
+            const Instr &ins = prog.code[pc];
+            cur = (cur & ~defMask(ins)) | useMask(ins);
+        }
+    }
+    return after;
+}
+
+} // namespace rfv

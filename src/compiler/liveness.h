@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Dataflow register liveness over the CFG.
+ *
+ * Register sets are u64 bitmasks (the ISA limits kernels to 63
+ * architected registers, bit i == register i).
+ */
+#ifndef RFV_COMPILER_LIVENESS_H
+#define RFV_COMPILER_LIVENESS_H
+
+#include <vector>
+
+#include "compiler/cfg.h"
+
+namespace rfv {
+
+/**
+ * Registers read by an instruction (bitmask).  A guarded destination
+ * register counts as a use: the write is partial (inactive lanes keep
+ * the previous value), so the previous value must stay live.
+ */
+u64 useMask(const Instr &ins);
+
+/** Registers written by an instruction (bitmask). */
+u64 defMask(const Instr &ins);
+
+/** Per-block live-in / live-out register sets. */
+struct Liveness {
+    std::vector<u64> liveIn;
+    std::vector<u64> liveOut;
+};
+
+/** Backward may-liveness fixpoint over the CFG. */
+Liveness computeLiveness(const Program &prog, const Cfg &cfg);
+
+/**
+ * Live-after set for every instruction, derived by a backward scan of
+ * each block seeded with its live-out.  liveAfter[pc] is the set of
+ * registers whose current value may still be read after @p pc executes.
+ */
+std::vector<u64> computeLiveAfter(const Program &prog, const Cfg &cfg,
+                                  const Liveness &live);
+
+} // namespace rfv
+
+#endif // RFV_COMPILER_LIVENESS_H

@@ -1,0 +1,119 @@
+#include "compiler/metadata_insert.h"
+
+#include "common/error.h"
+#include "isa/metadata.h"
+
+namespace rfv {
+
+void
+annotateReconvergence(Program &prog, const Cfg &cfg,
+                      const std::vector<i32> &ipdom)
+{
+    for (const auto &bb : cfg.blocks()) {
+        Instr &tail = prog.code[bb.last];
+        if (tail.op != Opcode::kBra || tail.guardPred == kNoPred)
+            continue;
+        const i32 reconv = ipdom[bb.id];
+        tail.reconvPc =
+            reconv >= 0 ? cfg.block(reconv).first : kInvalidPc;
+    }
+}
+
+Program
+insertReleaseMetadata(const Program &prog, const Cfg &cfg,
+                      const ReleaseInfo &info)
+{
+    Program out;
+    out.name = prog.name;
+    out.numRegs = prog.numRegs;
+    out.numExemptRegs = prog.numExemptRegs;
+    out.sharedMemBytes = prog.sharedMemBytes;
+    out.localMemSlots = prog.localMemSlots;
+    out.hasReleaseMetadata = true;
+
+    std::vector<u32> blockNewStart(cfg.numBlocks(), 0);
+
+    for (const auto &bb : cfg.blocks()) {
+        blockNewStart[bb.id] = static_cast<u32>(out.code.size());
+
+        // pbr releases first: they fire right at reconvergence.
+        const auto &pbrRegs = info.pbrAtBlock[bb.id];
+        for (std::size_t i = 0; i < pbrRegs.size(); i += kPbrSlots) {
+            std::vector<u32> chunk(
+                pbrRegs.begin() + static_cast<std::ptrdiff_t>(i),
+                pbrRegs.begin() +
+                    static_cast<std::ptrdiff_t>(
+                        std::min(i + kPbrSlots, pbrRegs.size())));
+            Instr pbr;
+            pbr.op = Opcode::kPbr;
+            pbr.metaPayload = encodePbr(chunk);
+            out.code.push_back(std::move(pbr));
+        }
+
+        // Regular instructions in runs of up to 18, each run preceded
+        // by a pir instruction when any of its operands is released.
+        u32 pc = bb.first;
+        while (pc <= bb.last) {
+            const u32 runEnd = std::min(bb.last, pc + kPirSlots - 1);
+            bool anyRelease = false;
+            std::array<u8, kPirSlots> masks{};
+            for (u32 q = pc; q <= runEnd; ++q) {
+                masks[q - pc] = info.pirMask[q];
+                anyRelease |= info.pirMask[q] != 0;
+            }
+            if (anyRelease) {
+                Instr pir;
+                pir.op = Opcode::kPir;
+                pir.metaPayload = encodePir(masks);
+                out.code.push_back(std::move(pir));
+            }
+            for (u32 q = pc; q <= runEnd; ++q) {
+                Instr ins = prog.code[q];
+                ins.pirMask = info.pirMask[q];
+                out.code.push_back(std::move(ins));
+            }
+            pc = runEnd + 1;
+        }
+    }
+
+    // Repatch branch targets and reconvergence pcs.
+    for (auto &ins : out.code) {
+        if (ins.op != Opcode::kBra)
+            continue;
+        const u32 targetBlock = cfg.blockOf(ins.target);
+        panicIf(cfg.block(targetBlock).first != ins.target,
+                "branch target is not a block leader");
+        ins.target = blockNewStart[targetBlock];
+    }
+    // reconvPc: recompute per conditional branch from block ipdoms.
+    {
+        u32 newPc = 0;
+        for (const auto &bb : cfg.blocks()) {
+            // Advance to this block's span in the new layout and find
+            // its tail instruction (the last instruction of the block).
+            (void)newPc;
+            const Instr &oldTail = prog.code[bb.last];
+            if (oldTail.op != Opcode::kBra ||
+                oldTail.guardPred == kNoPred) {
+                continue;
+            }
+            // Locate the copied tail: it is the last instruction before
+            // the next block's new start (or end of code).
+            const u32 spanEnd = bb.id + 1 < cfg.numBlocks()
+                                    ? blockNewStart[bb.id + 1]
+                                    : static_cast<u32>(out.code.size());
+            panicIf(spanEnd == 0, "empty block span");
+            Instr &newTail = out.code[spanEnd - 1];
+            panicIf(newTail.op != Opcode::kBra,
+                    "block tail mismatch after metadata insertion");
+            const i32 reconv = info.ipdom[bb.id];
+            newTail.reconvPc =
+                reconv >= 0 ? blockNewStart[reconv] : kInvalidPc;
+        }
+    }
+
+    out.validate();
+    return out;
+}
+
+} // namespace rfv

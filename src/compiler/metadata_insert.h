@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Metadata-instruction insertion and branch annotation (paper Sec. 6.2).
+ *
+ * Lays the program out with pbr instructions at release blocks and pir
+ * instructions ahead of every 18-instruction run that releases any
+ * operand, then repatches branch targets and fills each conditional
+ * branch's reconvergence pc (the first instruction of its immediate
+ * post-dominator block).
+ */
+#ifndef RFV_COMPILER_METADATA_INSERT_H
+#define RFV_COMPILER_METADATA_INSERT_H
+
+#include "compiler/release_analysis.h"
+
+namespace rfv {
+
+/**
+ * Annotate reconvergence pcs on conditional branches in place.  Used
+ * for baseline compilation, where no metadata is inserted but the SIMT
+ * stack still needs reconvergence points.
+ */
+void annotateReconvergence(Program &prog, const Cfg &cfg,
+                           const std::vector<i32> &ipdom);
+
+/**
+ * Produce a new program with pir/pbr metadata inserted and branches
+ * repatched.  The input program must be metadata-free and must be the
+ * same program the analyses were computed on.
+ */
+Program insertReleaseMetadata(const Program &prog, const Cfg &cfg,
+                              const ReleaseInfo &info);
+
+} // namespace rfv
+
+#endif // RFV_COMPILER_METADATA_INSERT_H

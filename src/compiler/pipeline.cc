@@ -1,0 +1,95 @@
+#include "compiler/pipeline.h"
+
+#include "common/error.h"
+#include "compiler/dominators.h"
+#include "compiler/exempt.h"
+#include "compiler/metadata_insert.h"
+#include "compiler/spill.h"
+
+namespace rfv {
+
+CompiledKernel
+compileKernel(const Program &input, const CompileOptions &opts)
+{
+    input.validate();
+    fatalIf(input.hasReleaseMetadata,
+            "compileKernel input must be metadata-free");
+
+    CompiledKernel out;
+    out.stats.inputRegs = input.numRegs;
+
+    Program prog = input;
+
+    if (opts.spillRegBudget > 0 && prog.numRegs > opts.spillRegBudget) {
+        SpillResult spilled = spillToBudget(prog, opts.spillRegBudget);
+        prog = std::move(spilled.program);
+        out.stats.demotedRegs = spilled.demotedRegs;
+        out.stats.spillLoads = spilled.insertedLoads;
+        out.stats.spillStores = spilled.insertedStores;
+    }
+
+    if (!opts.virtualize) {
+        const Cfg cfg(prog);
+        const auto ipdom = immediatePostDominators(cfg);
+        annotateReconvergence(prog, cfg, ipdom);
+        out.stats.finalRegs = prog.numRegs;
+        out.stats.staticRegular = prog.staticRegularCount();
+        // Register stats are still useful for reporting.
+        const Liveness live = computeLiveness(prog, cfg);
+        ReleaseOptions ropts;
+        const ReleaseInfo info = analyzeReleases(prog, cfg, live, ropts);
+        out.stats.regStats = info.regStats;
+        out.program = std::move(prog);
+        out.program.validate();
+        return out;
+    }
+
+    // ---- Virtualized compilation ----------------------------------------
+    // Pass 1: analyze the incoming program to rank registers.
+    {
+        const Cfg cfg(prog);
+        const Liveness live = computeLiveness(prog, cfg);
+        ReleaseOptions ropts;
+        ropts.aggressiveDiverged = opts.aggressiveDiverged;
+        const ReleaseInfo info = analyzeReleases(prog, cfg, live, ropts);
+
+        ExemptResult ex = selectRenamingExemptions(
+            prog, info.regStats, opts.renamingTableBytes,
+            opts.tableEntryBits, opts.residentWarps);
+        out.stats.numExempt = ex.numExempt;
+        out.stats.unconstrainedTableBytes = ex.unconstrainedTableBytes;
+        out.stats.constrainedTableBytes = ex.constrainedTableBytes;
+        prog = std::move(ex.program);
+    }
+
+    // Pass 2: release analysis on the renumbered program.
+    {
+        const Cfg cfg(prog);
+        const Liveness live = computeLiveness(prog, cfg);
+        ReleaseOptions ropts;
+        ropts.aggressiveDiverged = opts.aggressiveDiverged;
+        ropts.exemptBelow = prog.numExemptRegs;
+        const ReleaseInfo info = analyzeReleases(prog, cfg, live, ropts);
+        out.stats.numPirBits = info.numPirBits;
+        out.stats.numPbrRegs = info.numPbrRegs;
+        out.stats.regStats = info.regStats;
+
+        prog = insertReleaseMetadata(prog, cfg, info);
+    }
+
+    out.stats.finalRegs = prog.numRegs;
+    out.stats.staticRegular = prog.staticRegularCount();
+    out.stats.staticMeta = prog.staticMetaCount();
+    for (const auto &ins : prog.code) {
+        if (ins.op == Opcode::kPir)
+            ++out.stats.numPirInstrs;
+        else if (ins.op == Opcode::kPbr)
+            ++out.stats.numPbrInstrs;
+    }
+
+    out.program = std::move(prog);
+    out.program.validate();
+    return out;
+}
+
+} // namespace rfv

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The compile driver: runs the full pass pipeline over a kernel.
+ *
+ * Pipeline (virtualized): [spill] -> CFG/liveness -> exemption selection
+ * + renumbering -> release analysis -> metadata insertion -> reconvergence
+ * annotation.  Baseline compilation runs the same analyses but emits no
+ * metadata (reconvergence pcs are always annotated; the SIMT stack needs
+ * them in every mode).
+ */
+#ifndef RFV_COMPILER_PIPELINE_H
+#define RFV_COMPILER_PIPELINE_H
+
+#include "compiler/release_analysis.h"
+
+namespace rfv {
+
+/** Knobs for one compilation. */
+struct CompileOptions {
+    /** Insert release metadata and select renaming exemptions. */
+    bool virtualize = false;
+
+    /** Sound but more aggressive in-divergence releases (ablation). */
+    bool aggressiveDiverged = false;
+
+    /** Renaming table budget in bytes; 0 = unconstrained (full table). */
+    u32 renamingTableBytes = 1024;
+
+    /** Bits per renaming-table entry (10 bits index 1024 phys regs). */
+    u32 tableEntryBits = 10;
+
+    /** Warp contexts the renaming table serves (per SM). */
+    u32 residentWarps = 48;
+
+    /** If nonzero, spill-transform the kernel to this register budget. */
+    u32 spillRegBudget = 0;
+};
+
+/** Summary of what the compiler did. */
+struct CompileStats {
+    u32 inputRegs = 0;
+    u32 finalRegs = 0;
+    u32 numExempt = 0;
+    u32 staticRegular = 0;
+    u32 staticMeta = 0;
+    u32 numPirInstrs = 0;
+    u32 numPbrInstrs = 0;
+    u32 numPirBits = 0;
+    u32 numPbrRegs = 0;
+    u32 unconstrainedTableBytes = 0;
+    u32 constrainedTableBytes = 0;
+    u32 demotedRegs = 0;
+    u32 spillLoads = 0;
+    u32 spillStores = 0;
+    std::vector<RegisterStat> regStats; //!< per final register id
+
+    /** Static code growth from metadata, in percent. */
+    double
+    staticCodeIncreasePct() const
+    {
+        return staticRegular
+                   ? 100.0 * staticMeta / staticRegular
+                   : 0.0;
+    }
+};
+
+/** A compiled kernel plus its statistics. */
+struct CompiledKernel {
+    Program program;
+    CompileStats stats;
+};
+
+/** Run the pipeline. */
+CompiledKernel compileKernel(const Program &input,
+                             const CompileOptions &opts);
+
+} // namespace rfv
+
+#endif // RFV_COMPILER_PIPELINE_H

@@ -1,0 +1,282 @@
+#include "compiler/release_analysis.h"
+
+#include <algorithm>
+
+#include "common/bit_utils.h"
+#include "common/error.h"
+#include "compiler/dominators.h"
+
+namespace rfv {
+
+namespace {
+
+/** One forward (if-) divergent branch and its region. */
+struct DivergentRegion {
+    u32 branchBlock;
+    i32 reconvBlock;       //!< ipdom of the branch block, -1 if none
+    std::vector<u32> succs;
+    u64 succLiveIn[2] = {0, 0};
+    std::vector<bool> sideContains[2]; //!< per-side reachable blocks
+    std::vector<bool> contains;        //!< union of both sides
+};
+
+/** Blocks reachable from @p from without passing through @p stop. */
+void
+markReachable(const Cfg &cfg, u32 from, i32 stop, std::vector<bool> &seen)
+{
+    if (stop >= 0 && from == static_cast<u32>(stop))
+        return;
+    if (seen[from])
+        return;
+    std::vector<u32> work = {from};
+    seen[from] = true;
+    while (!work.empty()) {
+        const u32 b = work.back();
+        work.pop_back();
+        for (u32 s : cfg.block(b).succs) {
+            if (stop >= 0 && s == static_cast<u32>(stop))
+                continue;
+            if (!seen[s]) {
+                seen[s] = true;
+                work.push_back(s);
+            }
+        }
+    }
+}
+
+} // namespace
+
+ReleaseInfo
+analyzeReleases(const Program &prog, const Cfg &cfg, const Liveness &live,
+                const ReleaseOptions &opts)
+{
+    const u32 nBlocks = cfg.numBlocks();
+    ReleaseInfo info;
+    info.pirMask.assign(prog.code.size(), 0);
+    info.pbrAtBlock.assign(nBlocks, {});
+    info.regStats.assign(prog.numRegs, {});
+    info.idom = immediateDominators(cfg);
+    info.ipdom = immediatePostDominators(cfg);
+
+    const u64 exemptMask = lowMask(opts.exemptBelow);
+
+    // ---- Collect forward divergent regions -----------------------------
+    std::vector<DivergentRegion> regions;
+    for (const auto &bb : cfg.blocks()) {
+        const Instr &tail = prog.code[bb.last];
+        if (tail.op != Opcode::kBra || tail.guardPred == kNoPred)
+            continue;
+        if (bb.succs.size() < 2)
+            continue; // conditional branch to fall-through
+        bool backedge = false;
+        for (u32 s : bb.succs)
+            if (Cfg::isBackedge(bb.id, s, info.idom))
+                backedge = true;
+        if (backedge)
+            continue; // loop branch: liveness covers Fig. 4(d)/(e)
+
+        DivergentRegion region;
+        region.branchBlock = bb.id;
+        region.reconvBlock = info.ipdom[bb.id];
+        region.succs = bb.succs;
+        region.contains.assign(nBlocks, false);
+        for (u32 i = 0; i < bb.succs.size() && i < 2; ++i) {
+            region.succLiveIn[i] = live.liveIn[bb.succs[i]];
+            region.sideContains[i].assign(nBlocks, false);
+            markReachable(cfg, bb.succs[i], region.reconvBlock,
+                          region.sideContains[i]);
+            for (u32 blk = 0; blk < nBlocks; ++blk)
+                if (region.sideContains[i][blk])
+                    region.contains[blk] = true;
+        }
+        regions.push_back(std::move(region));
+    }
+
+    std::vector<std::vector<u32>> enclosing(nBlocks);
+    for (u32 r = 0; r < regions.size(); ++r)
+        for (u32 b = 0; b < nBlocks; ++b)
+            if (regions[r].contains[b])
+                enclosing[b].push_back(r);
+
+    // ---- Natural loops and their exit liveness --------------------------
+    // Releasing r anywhere inside a loop is SIMT-unsafe if r is live at
+    // any loop exit: lanes that already left the (divergent) loop keep
+    // their last value in the same warp-wide register, while CFG
+    // liveness at in-loop points only sees the upcoming redefinition
+    // (paper Fig. 4(e): in-loop release requires no post-loop use).
+    // loopUnsafe[b] = registers that must not be released in block b
+    // because of an enclosing loop.
+    std::vector<u64> loopUnsafe(nBlocks, 0);
+    for (const auto &bb : cfg.blocks()) {
+        for (u32 succ : bb.succs) {
+            if (!Cfg::isBackedge(bb.id, succ, info.idom))
+                continue;
+            const u32 header = succ;
+            const u32 latch = bb.id;
+            // Natural loop body: header + backward-reachable from latch.
+            std::vector<bool> inLoop(nBlocks, false);
+            inLoop[header] = true;
+            std::vector<u32> work;
+            if (!inLoop[latch]) {
+                inLoop[latch] = true;
+                work.push_back(latch);
+            }
+            while (!work.empty()) {
+                const u32 node = work.back();
+                work.pop_back();
+                for (u32 pred : cfg.block(node).preds) {
+                    if (!inLoop[pred]) {
+                        inLoop[pred] = true;
+                        work.push_back(pred);
+                    }
+                }
+            }
+            u64 liveAtExit = 0;
+            for (u32 b = 0; b < nBlocks; ++b) {
+                if (!inLoop[b])
+                    continue;
+                for (u32 s : cfg.block(b).succs)
+                    if (!inLoop[s])
+                        liveAtExit |= live.liveIn[s];
+            }
+            for (u32 b = 0; b < nBlocks; ++b)
+                if (inLoop[b])
+                    loopUnsafe[b] |= liveAtExit;
+        }
+    }
+
+    // Move a candidate release block out of all divergent regions by
+    // hopping to reconvergence points; -1 means "give up, no release".
+    auto deferTarget = [&](u32 block) -> i32 {
+        i32 cur = static_cast<i32>(block);
+        for (u32 hops = 0; hops <= nBlocks; ++hops) {
+            if (enclosing[cur].empty())
+                return cur;
+            const auto &region = regions[enclosing[cur].front()];
+            if (region.reconvBlock < 0)
+                return -1;
+            cur = region.reconvBlock;
+        }
+        return -1; // irreducible flow; skip the release (safe)
+    };
+
+    // In aggressive mode, a release of r at a point p inside divergent
+    // regions is allowed only when, for every enclosing branch b:
+    //
+    //  (a) r is dead on entry to every side of b that does NOT lead to
+    //      p — a sibling side may execute after p's side under the
+    //      SIMT stack, and its lanes still read the pre-branch value
+    //      from the same warp-wide register (even when p's own side
+    //      redefined r, which plain live-in-both-sides reasoning
+    //      misses); and
+    //  (b) r is dead at b's reconvergence point — a sibling side that
+    //      already executed may have REDEFINED r with a partial mask
+    //      into the same mapping; releasing r on p's side would
+    //      destroy those lanes' values before the post-join read.
+    //      (If the sibling neither reads nor writes r, the pre-branch
+    //      value flows to the join and rule (a) already fires.)
+    auto aggressiveSafe = [&](u32 block, u32 r) {
+        const u64 bit = 1ull << r;
+        for (u32 ridx : enclosing[block]) {
+            const auto &region = regions[ridx];
+            for (u32 i = 0; i < region.succs.size() && i < 2; ++i) {
+                if (!region.sideContains[i][block] &&
+                    (region.succLiveIn[i] & bit)) {
+                    return false;
+                }
+            }
+            if (region.reconvBlock >= 0 &&
+                ((live.liveIn[region.reconvBlock] >> r) & 1)) {
+                return false;
+            }
+        }
+        return true;
+    };
+
+    auto addPbr = [&](u32 block, u32 r) {
+        if ((loopUnsafe[block] >> r) & 1)
+            return; // exited lanes may still hold a live value
+        auto &list = info.pbrAtBlock[block];
+        if (std::find(list.begin(), list.end(), r) == list.end())
+            list.push_back(r);
+    };
+
+    const auto liveAfter = computeLiveAfter(prog, cfg, live);
+
+    // ---- Read deaths ----------------------------------------------------
+    for (const auto &bb : cfg.blocks()) {
+        const bool inRegion = !enclosing[bb.id].empty();
+        for (u32 pc = bb.first; pc <= bb.last; ++pc) {
+            const Instr &ins = prog.code[pc];
+            u64 dead =
+                useMask(ins) & ~liveAfter[pc] & ~defMask(ins) & ~exemptMask;
+            while (dead) {
+                const u32 r = findFirstSet(dead);
+                dead &= dead - 1;
+                if ((loopUnsafe[bb.id] >> r) & 1)
+                    continue; // live at an enclosing loop's exit
+                const bool canPir =
+                    !inRegion ||
+                    (opts.aggressiveDiverged && aggressiveSafe(bb.id, r));
+                if (canPir) {
+                    for (u32 k = 0; k < 3; ++k) {
+                        if (ins.src[k].isReg() && ins.src[k].value == r) {
+                            info.pirMask[pc] |= static_cast<u8>(1u << k);
+                            break;
+                        }
+                    }
+                    ++info.numPirBits;
+                } else {
+                    const i32 target = deferTarget(bb.id);
+                    if (target >= 0 &&
+                        !((live.liveIn[target] >> r) & 1)) {
+                        addPbr(static_cast<u32>(target), r);
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- Edge deaths -----------------------------------------------------
+    // r in liveOut(P) but not liveIn(S): the value dies on the edge; a
+    // pbr at S (possibly deferred out of divergent regions) releases it
+    // regardless of which path the warp took.
+    for (const auto &bb : cfg.blocks()) {
+        for (u32 s : bb.succs) {
+            u64 dead = live.liveOut[bb.id] & ~live.liveIn[s] & ~exemptMask;
+            while (dead) {
+                const u32 r = findFirstSet(dead);
+                dead &= dead - 1;
+                const i32 target = deferTarget(s);
+                if (target >= 0 && !((live.liveIn[target] >> r) & 1))
+                    addPbr(static_cast<u32>(target), r);
+            }
+        }
+    }
+
+    for (auto &list : info.pbrAtBlock) {
+        std::sort(list.begin(), list.end());
+        info.numPbrRegs += static_cast<u32>(list.size());
+    }
+
+    // ---- Per-register statistics -----------------------------------------
+    for (u32 pc = 0; pc < prog.code.size(); ++pc) {
+        const Instr &ins = prog.code[pc];
+        if (ins.dst != kNoReg)
+            ++info.regStats[ins.dst].defs;
+        for (const auto &srcOp : ins.src)
+            if (srcOp.isReg())
+                ++info.regStats[srcOp.value].uses;
+        u64 liveBits = liveAfter[pc];
+        while (liveBits) {
+            const u32 r = findFirstSet(liveBits);
+            liveBits &= liveBits - 1;
+            if (r < prog.numRegs)
+                ++info.regStats[r].liveSpan;
+        }
+    }
+
+    return info;
+}
+
+} // namespace rfv

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Register release-point analysis (paper Section 6.1).
+ *
+ * Decides, for every register death, whether the register can be
+ * released by a per-instruction release flag (pir) right after its last
+ * read, or must be deferred to a reconvergence point and released by a
+ * per-branch release flag (pbr).
+ *
+ * SIMT safety rule: within the divergent region of a forward (if-)
+ * branch — the blocks between the branch and its immediate
+ * post-dominator — a warp serially executes both paths, so releasing a
+ * register on the first-executed path could corrupt the other path.
+ * The paper handles this conservatively: all releases inside divergent
+ * regions move to the reconvergence point (Fig. 4(b)/(c)).  Loop
+ * backedge branches are exempt from this rule: a register with no
+ * loop-carried liveness and no liveness at the loop exits may be
+ * released inside the body (Fig. 4(e)); plain dataflow liveness
+ * captures exactly that.
+ *
+ * An optional "aggressive" mode releases inside a divergent region when
+ * the register is live into at most one side of every enclosing branch
+ * (sound, slightly stronger than the paper; kept as an ablation).
+ */
+#ifndef RFV_COMPILER_RELEASE_ANALYSIS_H
+#define RFV_COMPILER_RELEASE_ANALYSIS_H
+
+#include <vector>
+
+#include "compiler/cfg.h"
+#include "compiler/liveness.h"
+
+namespace rfv {
+
+/** Static per-register statistics used by renaming-exemption selection. */
+struct RegisterStat {
+    u32 defs = 0;
+    u32 uses = 0;
+    u32 liveSpan = 0; //!< instruction positions at which the reg is live
+
+    /** Estimated lifetime per value instance (paper Section 7.1). */
+    double
+    avgLifetime() const
+    {
+        return defs ? static_cast<double>(liveSpan) / defs
+                    : static_cast<double>(liveSpan);
+    }
+};
+
+/** Options controlling the analysis. */
+struct ReleaseOptions {
+    /** Release inside divergent regions when provably one-sided. */
+    bool aggressiveDiverged = false;
+    /** Registers with id < exemptBelow are renaming-exempt: no releases. */
+    u32 exemptBelow = 0;
+};
+
+/** Result of the release-point analysis. */
+struct ReleaseInfo {
+    /** Per-pc source release bits (bit k releases src[k] after read). */
+    std::vector<u8> pirMask;
+    /** Per-block registers to release at block entry via pbr. */
+    std::vector<std::vector<u32>> pbrAtBlock;
+    /** Per-register static statistics. */
+    std::vector<RegisterStat> regStats;
+    /** Immediate post-dominators (reconvergence blocks). */
+    std::vector<i32> ipdom;
+    /** Immediate dominators (backedge classification). */
+    std::vector<i32> idom;
+
+    u32 numPirBits = 0; //!< total pir release bits set
+    u32 numPbrRegs = 0; //!< total registers released via pbr
+};
+
+/** Run the analysis. */
+ReleaseInfo analyzeReleases(const Program &prog, const Cfg &cfg,
+                            const Liveness &live,
+                            const ReleaseOptions &opts);
+
+} // namespace rfv
+
+#endif // RFV_COMPILER_RELEASE_ANALYSIS_H

@@ -1,0 +1,220 @@
+#include "compiler/spill.h"
+
+#include <algorithm>
+
+#include "common/bit_utils.h"
+#include "common/error.h"
+#include "compiler/cfg.h"
+#include "compiler/liveness.h"
+
+namespace rfv {
+
+namespace {
+
+/** Greedy interference-graph coloring; returns colors used, fills map. */
+u32
+colorRegisters(const Program &prog, std::vector<u32> &color)
+{
+    const Cfg cfg(prog);
+    const Liveness live = computeLiveness(prog, cfg);
+    const auto liveAfter = computeLiveAfter(prog, cfg, live);
+
+    // Def-point interference: at each definition of r, r interferes
+    // with everything live after the instruction.  Complete for
+    // programs whose registers are defined before use on every path.
+    std::vector<u64> adj(prog.numRegs, 0);
+    std::vector<i64> firstDef(prog.numRegs, -1);
+    for (u32 pc = 0; pc < prog.code.size(); ++pc) {
+        const Instr &ins = prog.code[pc];
+        if (ins.dst == kNoReg)
+            continue;
+        const u32 r = static_cast<u32>(ins.dst);
+        if (firstDef[r] < 0)
+            firstDef[r] = pc;
+        const u64 others = liveAfter[pc] & ~(1ull << r);
+        adj[r] |= others;
+        u64 rest = others;
+        while (rest) {
+            const u32 s = findFirstSet(rest);
+            rest &= rest - 1;
+            if (s < prog.numRegs)
+                adj[s] |= 1ull << r;
+        }
+    }
+
+    std::vector<u32> order;
+    for (u32 r = 0; r < prog.numRegs; ++r)
+        order.push_back(r);
+    std::stable_sort(order.begin(), order.end(), [&](u32 a, u32 b) {
+        return firstDef[a] < firstDef[b];
+    });
+
+    color.assign(prog.numRegs, 0);
+    std::vector<bool> colored(prog.numRegs, false);
+    u32 used = 0;
+    for (u32 r : order) {
+        u64 taken = 0;
+        u64 rest = adj[r];
+        while (rest) {
+            const u32 s = findFirstSet(rest);
+            rest &= rest - 1;
+            if (s < prog.numRegs && colored[s])
+                taken |= 1ull << color[s];
+        }
+        u32 c = 0;
+        while ((taken >> c) & 1)
+            ++c;
+        color[r] = c;
+        colored[r] = true;
+        used = std::max(used, c + 1);
+    }
+    return used;
+}
+
+/** Maximum simultaneously-live register count across the program. */
+u32
+maxPressure(const Program &prog)
+{
+    const Cfg cfg(prog);
+    const Liveness live = computeLiveness(prog, cfg);
+    const auto liveAfter = computeLiveAfter(prog, cfg, live);
+    u32 peak = 0;
+    for (u32 pc = 0; pc < prog.code.size(); ++pc) {
+        const Instr &ins = prog.code[pc];
+        const u64 before =
+            (liveAfter[pc] & ~defMask(ins)) | useMask(ins);
+        peak = std::max(peak, popcount64(before));
+        peak = std::max(peak, popcount64(liveAfter[pc]));
+    }
+    return peak;
+}
+
+/** Pick the demotion victim: long-lived, rarely accessed. */
+i32
+pickVictim(const Program &prog, const std::vector<bool> &demoted)
+{
+    const Cfg cfg(prog);
+    const Liveness live = computeLiveness(prog, cfg);
+    const auto liveAfter = computeLiveAfter(prog, cfg, live);
+
+    std::vector<u32> span(prog.numRegs, 0), accesses(prog.numRegs, 0);
+    for (u32 pc = 0; pc < prog.code.size(); ++pc) {
+        const Instr &ins = prog.code[pc];
+        u64 liveBits = liveAfter[pc];
+        while (liveBits) {
+            const u32 r = findFirstSet(liveBits);
+            liveBits &= liveBits - 1;
+            if (r < prog.numRegs)
+                ++span[r];
+        }
+        if (ins.dst != kNoReg)
+            ++accesses[static_cast<u32>(ins.dst)];
+        for (const auto &s : ins.src)
+            if (s.isReg())
+                ++accesses[s.value];
+    }
+
+    i32 best = -1;
+    double bestScore = -1.0;
+    for (u32 r = 0; r < prog.numRegs; ++r) {
+        if (demoted[r] || span[r] == 0)
+            continue;
+        const double score =
+            static_cast<double>(span[r]) / (accesses[r] + 1.0);
+        if (score > bestScore) {
+            bestScore = score;
+            best = static_cast<i32>(r);
+        }
+    }
+    return best;
+}
+
+/** Rewrite the program so register @p victim lives in local slot. */
+Program
+demoteRegister(const Program &prog, u32 victim, u32 slot, u32 &loads,
+               u32 &stores)
+{
+    Program out;
+    out.name = prog.name;
+    out.numRegs = prog.numRegs;
+    out.sharedMemBytes = prog.sharedMemBytes;
+    out.localMemSlots = std::max(prog.localMemSlots, slot + 1);
+
+    std::vector<u32> newStart(prog.code.size(), 0);
+    for (u32 pc = 0; pc < prog.code.size(); ++pc) {
+        newStart[pc] = static_cast<u32>(out.code.size());
+        const Instr &ins = prog.code[pc];
+
+        if (ins.readsReg(victim)) {
+            Instr fill;
+            fill.op = Opcode::kLdLocal;
+            fill.dst = static_cast<i32>(victim);
+            fill.localSlot = slot;
+            out.code.push_back(std::move(fill));
+            ++loads;
+        }
+        out.code.push_back(ins);
+        if (ins.writesReg(victim)) {
+            Instr store;
+            store.op = Opcode::kStLocal;
+            store.src[0] = Operand::reg(victim);
+            store.localSlot = slot;
+            // Keep the writer's guard: a partial SIMT write must only
+            // update the active lanes' slots.
+            store.guardPred = ins.guardPred;
+            store.guardNeg = ins.guardNeg;
+            out.code.push_back(std::move(store));
+            ++stores;
+        }
+    }
+    for (auto &ins : out.code)
+        if (ins.op == Opcode::kBra)
+            ins.target = newStart[ins.target];
+    return out;
+}
+
+} // namespace
+
+SpillResult
+spillToBudget(const Program &input, u32 reg_budget)
+{
+    fatalIf(reg_budget < 4,
+            "spill budget below per-instruction register minimum");
+    input.validate();
+
+    SpillResult res;
+    res.program = input;
+    std::vector<bool> demoted(input.numRegs, false);
+
+    std::vector<u32> color;
+    for (u32 iter = 0; iter <= input.numRegs + 4; ++iter) {
+        const u32 colors = colorRegisters(res.program, color);
+        if (colors <= reg_budget) {
+            // Apply the coloring to compact the footprint.
+            for (auto &ins : res.program.code) {
+                if (ins.dst != kNoReg)
+                    ins.dst = static_cast<i32>(
+                        color[static_cast<u32>(ins.dst)]);
+                for (auto &s : ins.src)
+                    if (s.isReg())
+                        s.value = color[s.value];
+            }
+            res.program.numRegs = colors;
+            res.finalRegs = colors;
+            res.program.validate();
+            return res;
+        }
+        const i32 victim = pickVictim(res.program, demoted);
+        fatalIf(victim < 0,
+                "cannot reduce register pressure to the spill budget");
+        demoted[victim] = true;
+        res.program = demoteRegister(res.program, static_cast<u32>(victim),
+                                     res.program.localMemSlots,
+                                     res.insertedLoads, res.insertedStores);
+        ++res.demotedRegs;
+        (void)maxPressure(res.program); // keep analysis honest in debug
+    }
+    fatal("spill transform did not converge");
+}
+
+} // namespace rfv

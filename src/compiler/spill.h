@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Compiler register-pressure reduction by spilling (the paper's
+ * "Compiler spill" baseline for Fig. 11a).
+ *
+ * Demotes registers to per-thread local-memory slots until the program
+ * can be colored with at most the budgeted number of registers, then
+ * re-colors.  Every read of a demoted register is preceded by a fill
+ * (ldl) and every write followed by a store (stl, with the writer's
+ * guard so partial SIMT writes stay partial).
+ */
+#ifndef RFV_COMPILER_SPILL_H
+#define RFV_COMPILER_SPILL_H
+
+#include "isa/program.h"
+
+namespace rfv {
+
+/** Outcome of the spill transform. */
+struct SpillResult {
+    Program program;
+    u32 demotedRegs = 0;
+    u32 insertedLoads = 0;
+    u32 insertedStores = 0;
+    u32 finalRegs = 0; //!< register footprint after re-coloring
+};
+
+/**
+ * Rewrite @p input to use at most @p regBudget registers.
+ * @throws ConfigError if the budget is below the per-instruction
+ *         minimum (4) or the program cannot be reduced.
+ */
+SpillResult spillToBudget(const Program &input, u32 regBudget);
+
+} // namespace rfv
+
+#endif // RFV_COMPILER_SPILL_H

@@ -1,0 +1,64 @@
+#include "core/report.h"
+
+#include <sstream>
+
+namespace rfv {
+
+std::string
+csvHeader()
+{
+    return "workload,config,grid_ctas,threads_per_cta,regs_per_warp,"
+           "cycles,warp_instrs,thread_instrs,meta_encounters,"
+           "meta_decoded,flag_cache_hits,flag_cache_misses,"
+           "alloc_watermark,peak_resident_warps,alloc_reduction_pct,"
+           "dynamic_code_increase_pct,throttle_cycles,spill_events,"
+           "spilled_regs,dram_requests,dram_transactions,"
+           "energy_dynamic_j,energy_static_j,energy_rename_j,"
+           "energy_flag_j,energy_total_j,static_regular,static_meta,"
+           "num_exempt,demoted_regs";
+}
+
+std::string
+csvRow(const RunOutcome &o)
+{
+    std::ostringstream os;
+    os << o.workload << ',' << o.configLabel << ','
+       << o.launch.gridCtas << ',' << o.launch.threadsPerCta << ','
+       << o.sim.regsPerWarp << ',' << o.sim.cycles << ','
+       << o.sim.issuedInstrs << ',' << o.sim.threadInstrs << ','
+       << o.sim.metaEncounters << ',' << o.sim.metaDecoded << ','
+       << o.sim.flagCacheHits << ',' << o.sim.flagCacheMisses << ','
+       << o.sim.rf.allocWatermark << ',' << o.sim.peakResidentWarps
+       << ',' << o.sim.allocationReductionPct() << ','
+       << o.sim.dynamicCodeIncreasePct() << ','
+       << o.sim.throttleActiveCycles << ',' << o.sim.spillEvents << ','
+       << o.sim.spilledRegs << ',' << o.sim.dram.requests << ','
+       << o.sim.dram.transactions << ',' << o.energy.dynamicJ << ','
+       << o.energy.staticJ << ',' << o.energy.renameTableJ << ','
+       << o.energy.flagInstrJ << ',' << o.energy.totalJ() << ','
+       << o.compile.staticRegular << ',' << o.compile.staticMeta << ','
+       << o.compile.numExempt << ',' << o.compile.demotedRegs;
+    return os.str();
+}
+
+std::string
+summarize(const RunOutcome &o)
+{
+    std::ostringstream os;
+    os << o.workload << " under " << o.configLabel << ":\n"
+       << "  " << o.sim.cycles << " cycles, " << o.sim.issuedInstrs
+       << " warp instructions (" << o.sim.threadInstrs
+       << " thread instructions)\n"
+       << "  peak physical registers: " << o.sim.rf.allocWatermark
+       << " (reservation "
+       << o.sim.peakResidentWarps * o.sim.regsPerWarp << ", reduction "
+       << o.sim.allocationReductionPct() << "%)\n"
+       << "  register-file energy: " << o.energy.totalJ() * 1e6
+       << " uJ (dynamic " << o.energy.dynamicJ * 1e6 << ", static "
+       << o.energy.staticJ * 1e6 << ", renaming "
+       << o.energy.renameTableJ * 1e6 << ", metadata "
+       << o.energy.flagInstrJ * 1e6 << ")\n";
+    return os.str();
+}
+
+} // namespace rfv

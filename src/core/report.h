@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Machine-readable result export: CSV rows for run outcomes, so bench
+ * sweeps can be piped into plotting scripts.
+ */
+#ifndef RFV_CORE_REPORT_H
+#define RFV_CORE_REPORT_H
+
+#include <string>
+
+#include "core/simulator.h"
+
+namespace rfv {
+
+/** Column header matching csvRow(). */
+std::string csvHeader();
+
+/** One CSV line for a finished run (no trailing newline). */
+std::string csvRow(const RunOutcome &outcome);
+
+/** Human-readable multi-line summary of one run. */
+std::string summarize(const RunOutcome &outcome);
+
+} // namespace rfv
+
+#endif // RFV_CORE_REPORT_H

@@ -1,0 +1,58 @@
+#include "core/run_config.h"
+
+namespace rfv {
+
+RunConfig
+RunConfig::baseline()
+{
+    RunConfig cfg;
+    cfg.label = "baseline-128KB";
+    return cfg;
+}
+
+RunConfig
+RunConfig::virtualized(bool gating)
+{
+    RunConfig cfg;
+    cfg.label = gating ? "virtualized-128KB-PG" : "virtualized-128KB";
+    cfg.mode = RegFileMode::kVirtualized;
+    cfg.virtualize = true;
+    cfg.powerGating = gating;
+    return cfg;
+}
+
+RunConfig
+RunConfig::gpuShrink(u32 shrink_pct, bool gating)
+{
+    RunConfig cfg = virtualized(gating);
+    cfg.rfSizeBytes = 128 * 1024 * (100 - shrink_pct) / 100;
+    // Keep bank geometry legal: round to a multiple of 4 banks x 64
+    // subarray registers.
+    cfg.rfSizeBytes -= cfg.rfSizeBytes % (16 * kBytesPerWarpReg);
+    cfg.label = "gpu-shrink-" + std::to_string(shrink_pct) +
+                (gating ? "-PG" : "");
+    return cfg;
+}
+
+RunConfig
+RunConfig::compilerSpillShrink(u32 shrink_pct)
+{
+    RunConfig cfg;
+    cfg.label = "compiler-spill-" + std::to_string(shrink_pct);
+    cfg.rfSizeBytes = 128 * 1024 * (100 - shrink_pct) / 100;
+    cfg.rfSizeBytes -= cfg.rfSizeBytes % (16 * kBytesPerWarpReg);
+    cfg.compilerSpill = true;
+    return cfg;
+}
+
+RunConfig
+RunConfig::hardwareOnly(bool gating)
+{
+    RunConfig cfg;
+    cfg.label = gating ? "hardware-only-PG" : "hardware-only";
+    cfg.mode = RegFileMode::kHardwareOnly;
+    cfg.powerGating = gating;
+    return cfg;
+}
+
+} // namespace rfv

@@ -1,0 +1,516 @@
+#include "isa/assembler.h"
+
+#include <cctype>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.h"
+#include "isa/metadata.h"
+
+namespace rfv {
+
+namespace {
+
+/** Cursor over one source line. */
+class LineParser {
+  public:
+    LineParser(std::string text, u32 line_no)
+        : text_(std::move(text)), lineNo_(line_no) {}
+
+    [[noreturn]] void
+    error(const std::string &msg) const
+    {
+        fatal("asm line " + std::to_string(lineNo_) + ": " + msg +
+              " in '" + text_ + "'");
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    bool
+    atEnd()
+    {
+        skipSpace();
+        return pos_ >= text_.size();
+    }
+
+    char
+    peek()
+    {
+        skipSpace();
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    bool
+    consume(char c)
+    {
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    expect(char c)
+    {
+        if (!consume(c))
+            error(std::string("expected '") + c + "'");
+    }
+
+    /** Read an identifier-like token: [A-Za-z_.%][A-Za-z0-9_.]* */
+    std::string
+    ident()
+    {
+        skipSpace();
+        std::string out;
+        if (pos_ < text_.size() &&
+            (std::isalpha(static_cast<unsigned char>(text_[pos_])) ||
+             text_[pos_] == '_' || text_[pos_] == '.' ||
+             text_[pos_] == '%')) {
+            out += text_[pos_++];
+        } else {
+            error("expected identifier");
+        }
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_' || text_[pos_] == '.')) {
+            out += text_[pos_++];
+        }
+        return out;
+    }
+
+    /** Parse a (possibly negative, possibly hex) integer. */
+    i64
+    integer()
+    {
+        skipSpace();
+        std::size_t start = pos_;
+        if (pos_ < text_.size() &&
+            (text_[pos_] == '-' || text_[pos_] == '+')) {
+            ++pos_;
+        }
+        int base = 10;
+        if (pos_ + 1 < text_.size() && text_[pos_] == '0' &&
+            (text_[pos_ + 1] == 'x' || text_[pos_ + 1] == 'X')) {
+            base = 16;
+            pos_ += 2;
+        }
+        std::size_t digits_start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                (base == 16 &&
+                 std::isxdigit(static_cast<unsigned char>(text_[pos_]))))) {
+            ++pos_;
+        }
+        if (pos_ == digits_start)
+            error("expected integer");
+        const std::string token = text_.substr(start, pos_ - start);
+        return std::stoll(token, nullptr, 0);
+    }
+
+    /** Parse rN. */
+    u32
+    regId()
+    {
+        skipSpace();
+        if (pos_ >= text_.size() || text_[pos_] != 'r')
+            error("expected register");
+        ++pos_;
+        return static_cast<u32>(integer());
+    }
+
+    /** Parse pN. */
+    u32
+    predId()
+    {
+        skipSpace();
+        if (pos_ >= text_.size() || text_[pos_] != 'p')
+            error("expected predicate");
+        ++pos_;
+        return static_cast<u32>(integer());
+    }
+
+    /** Parse a register or immediate source operand. */
+    Operand
+    operand()
+    {
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == 'r' &&
+            pos_ + 1 < text_.size() &&
+            std::isdigit(static_cast<unsigned char>(text_[pos_ + 1]))) {
+            return Operand::reg(regId());
+        }
+        return Operand::imm(static_cast<u32>(integer()));
+    }
+
+    /** Remaining raw text (trimmed); used for labels in bra. */
+    std::string
+    rest()
+    {
+        skipSpace();
+        std::string out = text_.substr(pos_);
+        while (!out.empty() &&
+               std::isspace(static_cast<unsigned char>(out.back()))) {
+            out.pop_back();
+        }
+        pos_ = text_.size();
+        return out;
+    }
+
+  private:
+    std::string text_;
+    std::size_t pos_ = 0;
+    u32 lineNo_;
+};
+
+std::optional<CmpOp>
+parseCmp(const std::string &s)
+{
+    if (s == "eq") return CmpOp::kEq;
+    if (s == "ne") return CmpOp::kNe;
+    if (s == "lt") return CmpOp::kLt;
+    if (s == "le") return CmpOp::kLe;
+    if (s == "gt") return CmpOp::kGt;
+    if (s == "ge") return CmpOp::kGe;
+    return std::nullopt;
+}
+
+std::optional<SpecialReg>
+parseSreg(const std::string &s)
+{
+    if (s == "%tid") return SpecialReg::kTid;
+    if (s == "%ctaid") return SpecialReg::kCtaId;
+    if (s == "%ntid") return SpecialReg::kNTid;
+    if (s == "%nctaid") return SpecialReg::kNCtaId;
+    if (s == "%laneid") return SpecialReg::kLaneId;
+    if (s == "%warpid") return SpecialReg::kWarpId;
+    return std::nullopt;
+}
+
+std::optional<Opcode>
+parseOpcode(const std::string &s)
+{
+    static const std::unordered_map<std::string, Opcode> table = {
+        {"nop", Opcode::kNop},     {"mov", Opcode::kMov},
+        {"iadd", Opcode::kIAdd},   {"isub", Opcode::kISub},
+        {"imul", Opcode::kIMul},   {"imad", Opcode::kIMad},
+        {"imin", Opcode::kIMin},   {"imax", Opcode::kIMax},
+        {"shl", Opcode::kShl},     {"shr", Opcode::kShr},
+        {"and", Opcode::kAnd},     {"or", Opcode::kOr},
+        {"xor", Opcode::kXor},     {"fadd", Opcode::kFAdd},
+        {"fmul", Opcode::kFMul},   {"ffma", Opcode::kFFma},
+        {"frcp", Opcode::kFRcp},   {"psel", Opcode::kPSel},
+        {"setp", Opcode::kSetP},
+        {"s2r", Opcode::kS2R},     {"ldg", Opcode::kLdGlobal},
+        {"stg", Opcode::kStGlobal},{"lds", Opcode::kLdShared},
+        {"sts", Opcode::kStShared},{"ldl", Opcode::kLdLocal},
+        {"stl", Opcode::kStLocal}, {"bra", Opcode::kBra},
+        {"atom", Opcode::kAtomAdd},
+        {"exit", Opcode::kExit},   {"bar", Opcode::kBar},
+        {"pir", Opcode::kPir},     {"pbr", Opcode::kPbr},
+    };
+    auto it = table.find(s);
+    if (it == table.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::string
+stripComment(std::string line)
+{
+    for (const char *marker : {"//", "#", ";"}) {
+        auto pos = line.find(marker);
+        if (pos != std::string::npos)
+            line = line.substr(0, pos);
+    }
+    return line;
+}
+
+} // namespace
+
+Program
+assemble(const std::string &source)
+{
+    std::istringstream in(source);
+    std::string raw;
+    u32 line_no = 0;
+
+    std::string kernel_name = "kernel";
+    u32 explicit_regs = 0;
+    u32 shared_bytes = 0;
+    std::vector<Instr> code;
+    std::unordered_map<std::string, u32> labels;
+    u32 local_slots = 0;
+
+    while (std::getline(in, raw)) {
+        ++line_no;
+        std::string line = stripComment(raw);
+        LineParser lp(line, line_no);
+        if (lp.atEnd())
+            continue;
+
+        // Optional "pc:" numeric prefix emitted by the disassembler.
+        {
+            std::size_t i = 0;
+            while (i < line.size() &&
+                   std::isspace(static_cast<unsigned char>(line[i]))) {
+                ++i;
+            }
+            std::size_t j = i;
+            while (j < line.size() &&
+                   std::isdigit(static_cast<unsigned char>(line[j]))) {
+                ++j;
+            }
+            if (j > i && j < line.size() && line[j] == ':') {
+                line = line.substr(j + 1);
+                lp = LineParser(line, line_no);
+                if (lp.atEnd())
+                    continue;
+            }
+        }
+
+        // Directives.
+        if (lp.peek() == '.') {
+            const std::string dir = lp.ident();
+            if (dir == ".kernel") {
+                kernel_name = lp.rest();
+            } else if (dir == ".regs") {
+                explicit_regs = static_cast<u32>(lp.integer());
+            } else if (dir == ".shared") {
+                shared_bytes = static_cast<u32>(lp.integer());
+            } else if (dir == ".local") {
+                local_slots = static_cast<u32>(lp.integer());
+            } else {
+                lp.error("unknown directive " + dir);
+            }
+            continue;
+        }
+
+        // Label definition: "name:".
+        {
+            const auto colon = line.find(':');
+            if (colon != std::string::npos) {
+                // A colon with only identifier chars before it is a label.
+                bool is_label = colon > 0;
+                for (std::size_t i = 0; i < colon && is_label; ++i) {
+                    const char c = line[i];
+                    if (!(std::isalnum(static_cast<unsigned char>(c)) ||
+                          c == '_' ||
+                          std::isspace(static_cast<unsigned char>(c)))) {
+                        is_label = false;
+                    }
+                }
+                // Must not start with a digit (that's a pc prefix,
+                // already stripped) and must contain a letter.
+                if (is_label) {
+                    std::string name;
+                    for (std::size_t i = 0; i < colon; ++i)
+                        if (!std::isspace(
+                                static_cast<unsigned char>(line[i])))
+                            name += line[i];
+                    if (!name.empty() &&
+                        !std::isdigit(
+                            static_cast<unsigned char>(name[0]))) {
+                        fatalIf(labels.count(name) != 0,
+                                "asm line " + std::to_string(line_no) +
+                                    ": duplicate label " + name);
+                        labels[name] = static_cast<u32>(code.size());
+                        line = line.substr(colon + 1);
+                        lp = LineParser(line, line_no);
+                        if (lp.atEnd())
+                            continue;
+                    }
+                }
+            }
+        }
+
+        Instr ins;
+
+        // Optional guard.
+        if (lp.consume('@')) {
+            ins.guardNeg = lp.consume('!');
+            ins.guardPred = static_cast<i32>(lp.predId());
+        }
+
+        std::string mnem = lp.ident();
+        // setp.<cmp> carries the comparison as a suffix.
+        std::string suffix;
+        const auto dot = mnem.find('.');
+        if (dot != std::string::npos) {
+            suffix = mnem.substr(dot + 1);
+            mnem = mnem.substr(0, dot);
+        }
+
+        const auto op = parseOpcode(mnem);
+        if (!op)
+            lp.error("unknown mnemonic " + mnem);
+        ins.op = *op;
+
+        switch (*op) {
+          case Opcode::kNop:
+          case Opcode::kExit:
+          case Opcode::kBar:
+            break;
+          case Opcode::kSetP: {
+            const auto cmp = parseCmp(suffix);
+            if (!cmp)
+                lp.error("setp needs a comparison suffix");
+            ins.cmp = *cmp;
+            ins.dstPred = static_cast<i32>(lp.predId());
+            lp.expect(',');
+            ins.src[0] = lp.operand();
+            lp.expect(',');
+            ins.src[1] = lp.operand();
+            break;
+          }
+          case Opcode::kPSel:
+            ins.dst = static_cast<i32>(lp.regId());
+            lp.expect(',');
+            ins.dstPred = static_cast<i32>(lp.predId());
+            lp.expect(',');
+            ins.src[0] = lp.operand();
+            lp.expect(',');
+            ins.src[1] = lp.operand();
+            break;
+          case Opcode::kS2R: {
+            ins.dst = static_cast<i32>(lp.regId());
+            lp.expect(',');
+            const auto sreg = parseSreg(lp.ident());
+            if (!sreg)
+                lp.error("unknown special register");
+            ins.sreg = *sreg;
+            break;
+          }
+          case Opcode::kLdGlobal:
+          case Opcode::kLdShared:
+            ins.dst = static_cast<i32>(lp.regId());
+            lp.expect(',');
+            lp.expect('[');
+            ins.src[0] = Operand::reg(lp.regId());
+            lp.expect('+');
+            ins.src[1] = Operand::imm(static_cast<u32>(lp.integer()));
+            lp.expect(']');
+            break;
+          case Opcode::kAtomAdd:
+            ins.dst = static_cast<i32>(lp.regId());
+            lp.expect(',');
+            lp.expect('[');
+            ins.src[0] = Operand::reg(lp.regId());
+            lp.expect('+');
+            ins.src[1] = Operand::imm(static_cast<u32>(lp.integer()));
+            lp.expect(']');
+            lp.expect(',');
+            ins.src[2] = Operand::reg(lp.regId());
+            break;
+          case Opcode::kStGlobal:
+          case Opcode::kStShared:
+            lp.expect('[');
+            ins.src[0] = Operand::reg(lp.regId());
+            lp.expect('+');
+            ins.src[1] = Operand::imm(static_cast<u32>(lp.integer()));
+            lp.expect(']');
+            lp.expect(',');
+            ins.src[2] = Operand::reg(lp.regId());
+            break;
+          case Opcode::kLdLocal: {
+            ins.dst = static_cast<i32>(lp.regId());
+            lp.expect(',');
+            const std::string kw = lp.ident();
+            if (kw != "local")
+                lp.error("expected local[slot]");
+            lp.expect('[');
+            ins.localSlot = static_cast<u32>(lp.integer());
+            lp.expect(']');
+            local_slots = std::max(local_slots, ins.localSlot + 1);
+            break;
+          }
+          case Opcode::kStLocal: {
+            const std::string kw = lp.ident();
+            if (kw != "local")
+                lp.error("expected local[slot]");
+            lp.expect('[');
+            ins.localSlot = static_cast<u32>(lp.integer());
+            lp.expect(']');
+            lp.expect(',');
+            ins.src[0] = Operand::reg(lp.regId());
+            local_slots = std::max(local_slots, ins.localSlot + 1);
+            break;
+          }
+          case Opcode::kBra: {
+            const std::string target = lp.rest();
+            if (target.empty())
+                lp.error("bra needs a target");
+            if (std::isdigit(static_cast<unsigned char>(target[0]))) {
+                ins.target = static_cast<u32>(std::stoul(target));
+            } else {
+                ins.pendingLabel = target;
+            }
+            break;
+          }
+          case Opcode::kPir:
+            ins.metaPayload = static_cast<u64>(lp.integer());
+            break;
+          case Opcode::kPbr: {
+            std::vector<u32> regs;
+            while (!lp.atEnd()) {
+                regs.push_back(lp.regId());
+                if (!lp.consume(','))
+                    break;
+            }
+            ins.metaPayload = encodePbr(regs);
+            break;
+          }
+          default: {
+            // Generic ALU: dst, then up to numSrcRegsMax operands.
+            const OpInfo &info = opInfo(*op);
+            ins.dst = static_cast<i32>(lp.regId());
+            for (u32 i = 0; i < info.numSrcRegsMax; ++i) {
+                lp.expect(',');
+                ins.src[i] = lp.operand();
+            }
+            break;
+          }
+        }
+
+        if (!lp.atEnd())
+            lp.error("trailing junk");
+        code.push_back(std::move(ins));
+    }
+
+    // Resolve labels.
+    for (auto &ins : code) {
+        if (ins.op != Opcode::kBra || ins.pendingLabel.empty())
+            continue;
+        auto it = labels.find(ins.pendingLabel);
+        fatalIf(it == labels.end(),
+                "undefined label: " + ins.pendingLabel);
+        ins.target = it->second;
+        ins.pendingLabel.clear();
+    }
+
+    Program p;
+    p.name = kernel_name;
+    p.code = std::move(code);
+    p.sharedMemBytes = shared_bytes;
+    p.localMemSlots = local_slots;
+    p.numRegs = static_cast<u32>(p.maxRegUsed() + 1);
+    if (explicit_regs > 0) {
+        fatalIf(explicit_regs < p.numRegs,
+                ".regs below registers actually used");
+        p.numRegs = explicit_regs;
+    }
+    p.validate();
+    return p;
+}
+
+} // namespace rfv

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Text assembler for the SASS-like ISA.
+ *
+ * Accepts the same syntax Program::disassemble() emits (optional "pc:"
+ * prefixes are ignored), so disassembled programs round-trip.  Grammar
+ * sketch:
+ *
+ *   .kernel <name>           directive (optional; default name "kernel")
+ *   .regs <n>                force register footprint
+ *   .shared <bytes>          shared memory per CTA
+ *   label:                   bind label
+ *   [@[!]pN] mnemonic ops    one instruction per line
+ *
+ * Comments start with "//", "#" or ";" and run to end of line.
+ */
+#ifndef RFV_ISA_ASSEMBLER_H
+#define RFV_ISA_ASSEMBLER_H
+
+#include <string>
+
+#include "isa/program.h"
+
+namespace rfv {
+
+/**
+ * Assemble kernel source text into a validated Program.
+ * Throws ConfigError with a line-numbered message on any syntax error.
+ */
+Program assemble(const std::string &source);
+
+} // namespace rfv
+
+#endif // RFV_ISA_ASSEMBLER_H

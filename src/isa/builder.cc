@@ -1,0 +1,322 @@
+#include "isa/builder.h"
+
+#include "common/error.h"
+
+namespace rfv {
+
+KernelBuilder::KernelBuilder(std::string name) : name_(std::move(name)) {}
+
+u32
+KernelBuilder::reg()
+{
+    fatalIf(nextReg_ >= kMaxArchRegs, "kernel exceeds 63 registers");
+    return nextReg_++;
+}
+
+u32
+KernelBuilder::regs(u32 n)
+{
+    const u32 first = nextReg_;
+    for (u32 i = 0; i < n; ++i)
+        reg();
+    return first;
+}
+
+void
+KernelBuilder::setSharedMem(u32 bytes)
+{
+    sharedMemBytes_ = bytes;
+}
+
+void
+KernelBuilder::setNumRegs(u32 n)
+{
+    fatalIf(n > kMaxArchRegs, "kernel exceeds 63 registers");
+    explicitNumRegs_ = n;
+}
+
+void
+KernelBuilder::label(const std::string &name)
+{
+    fatalIf(labels_.count(name) != 0, "duplicate label: " + name);
+    labels_[name] = static_cast<u32>(code_.size());
+}
+
+KernelBuilder &
+KernelBuilder::guard(i32 pred, bool negated)
+{
+    pendingGuard_ = pred;
+    pendingGuardNeg_ = negated;
+    return *this;
+}
+
+void
+KernelBuilder::touch(u32 r)
+{
+    maxReg_ = std::max(maxReg_, r);
+    anyReg_ = true;
+    nextReg_ = std::max(nextReg_, r + 1);
+}
+
+void
+KernelBuilder::touch(const Operand &o)
+{
+    if (o.isReg())
+        touch(o.value);
+}
+
+Instr &
+KernelBuilder::emit(Instr ins)
+{
+    panicIf(built_, "builder reused after build()");
+    ins.guardPred = pendingGuard_;
+    ins.guardNeg = pendingGuardNeg_;
+    pendingGuard_ = kNoPred;
+    pendingGuardNeg_ = false;
+    if (ins.dst != kNoReg)
+        touch(static_cast<u32>(ins.dst));
+    for (const auto &s : ins.src)
+        touch(s);
+    code_.push_back(std::move(ins));
+    return code_.back();
+}
+
+namespace {
+
+Instr
+threeOp(Opcode op, u32 d, Operand a, Operand b, Operand c = Operand::none())
+{
+    Instr ins;
+    ins.op = op;
+    ins.dst = static_cast<i32>(d);
+    ins.src[0] = a;
+    ins.src[1] = b;
+    ins.src[2] = c;
+    return ins;
+}
+
+} // namespace
+
+void KernelBuilder::mov(u32 d, Operand s)
+{
+    Instr ins;
+    ins.op = Opcode::kMov;
+    ins.dst = static_cast<i32>(d);
+    ins.src[0] = s;
+    emit(ins);
+}
+
+void KernelBuilder::iadd(u32 d, Operand a, Operand b)
+{ emit(threeOp(Opcode::kIAdd, d, a, b)); }
+void KernelBuilder::isub(u32 d, Operand a, Operand b)
+{ emit(threeOp(Opcode::kISub, d, a, b)); }
+void KernelBuilder::imul(u32 d, Operand a, Operand b)
+{ emit(threeOp(Opcode::kIMul, d, a, b)); }
+void KernelBuilder::imad(u32 d, Operand a, Operand b, Operand c)
+{ emit(threeOp(Opcode::kIMad, d, a, b, c)); }
+void KernelBuilder::imin(u32 d, Operand a, Operand b)
+{ emit(threeOp(Opcode::kIMin, d, a, b)); }
+void KernelBuilder::imax(u32 d, Operand a, Operand b)
+{ emit(threeOp(Opcode::kIMax, d, a, b)); }
+void KernelBuilder::shl(u32 d, Operand a, Operand b)
+{ emit(threeOp(Opcode::kShl, d, a, b)); }
+void KernelBuilder::shr(u32 d, Operand a, Operand b)
+{ emit(threeOp(Opcode::kShr, d, a, b)); }
+void KernelBuilder::and_(u32 d, Operand a, Operand b)
+{ emit(threeOp(Opcode::kAnd, d, a, b)); }
+void KernelBuilder::or_(u32 d, Operand a, Operand b)
+{ emit(threeOp(Opcode::kOr, d, a, b)); }
+void KernelBuilder::xor_(u32 d, Operand a, Operand b)
+{ emit(threeOp(Opcode::kXor, d, a, b)); }
+void KernelBuilder::fadd(u32 d, Operand a, Operand b)
+{ emit(threeOp(Opcode::kFAdd, d, a, b)); }
+void KernelBuilder::fmul(u32 d, Operand a, Operand b)
+{ emit(threeOp(Opcode::kFMul, d, a, b)); }
+void KernelBuilder::ffma(u32 d, Operand a, Operand b, Operand c)
+{ emit(threeOp(Opcode::kFFma, d, a, b, c)); }
+
+void KernelBuilder::frcp(u32 d, Operand a)
+{
+    Instr ins;
+    ins.op = Opcode::kFRcp;
+    ins.dst = static_cast<i32>(d);
+    ins.src[0] = a;
+    emit(ins);
+}
+
+void
+KernelBuilder::setp(u32 p, CmpOp c, Operand a, Operand b)
+{
+    Instr ins;
+    ins.op = Opcode::kSetP;
+    ins.dstPred = static_cast<i32>(p);
+    ins.cmp = c;
+    ins.src[0] = a;
+    ins.src[1] = b;
+    emit(ins);
+}
+
+void
+KernelBuilder::psel(u32 d, u32 selPred, Operand a, Operand b)
+{
+    Instr ins;
+    ins.op = Opcode::kPSel;
+    ins.dst = static_cast<i32>(d);
+    ins.dstPred = static_cast<i32>(selPred);
+    ins.src[0] = a;
+    ins.src[1] = b;
+    emit(ins);
+}
+
+void
+KernelBuilder::s2r(u32 d, SpecialReg s)
+{
+    Instr ins;
+    ins.op = Opcode::kS2R;
+    ins.dst = static_cast<i32>(d);
+    ins.sreg = s;
+    emit(ins);
+}
+
+void
+KernelBuilder::ldg(u32 d, u32 addr_reg, u32 byte_off)
+{
+    Instr ins;
+    ins.op = Opcode::kLdGlobal;
+    ins.dst = static_cast<i32>(d);
+    ins.src[0] = R(addr_reg);
+    ins.src[1] = I(byte_off);
+    emit(ins);
+}
+
+void
+KernelBuilder::stg(u32 addr_reg, u32 byte_off, u32 val_reg)
+{
+    Instr ins;
+    ins.op = Opcode::kStGlobal;
+    ins.src[0] = R(addr_reg);
+    ins.src[1] = I(byte_off);
+    ins.src[2] = R(val_reg);
+    emit(ins);
+}
+
+void
+KernelBuilder::lds(u32 d, u32 addr_reg, u32 byte_off)
+{
+    Instr ins;
+    ins.op = Opcode::kLdShared;
+    ins.dst = static_cast<i32>(d);
+    ins.src[0] = R(addr_reg);
+    ins.src[1] = I(byte_off);
+    emit(ins);
+}
+
+void
+KernelBuilder::sts(u32 addr_reg, u32 byte_off, u32 val_reg)
+{
+    Instr ins;
+    ins.op = Opcode::kStShared;
+    ins.src[0] = R(addr_reg);
+    ins.src[1] = I(byte_off);
+    ins.src[2] = R(val_reg);
+    emit(ins);
+}
+
+void
+KernelBuilder::atomAdd(u32 d, u32 addr_reg, u32 byte_off, u32 val_reg)
+{
+    Instr ins;
+    ins.op = Opcode::kAtomAdd;
+    ins.dst = static_cast<i32>(d);
+    ins.src[0] = R(addr_reg);
+    ins.src[1] = I(byte_off);
+    ins.src[2] = R(val_reg);
+    emit(ins);
+}
+
+void
+KernelBuilder::ldl(u32 d, u32 slot)
+{
+    Instr ins;
+    ins.op = Opcode::kLdLocal;
+    ins.dst = static_cast<i32>(d);
+    ins.localSlot = slot;
+    localSlots_ = std::max(localSlots_, slot + 1);
+    emit(ins);
+}
+
+void
+KernelBuilder::stl(u32 slot, u32 val_reg)
+{
+    Instr ins;
+    ins.op = Opcode::kStLocal;
+    ins.src[0] = R(val_reg);
+    ins.localSlot = slot;
+    localSlots_ = std::max(localSlots_, slot + 1);
+    emit(ins);
+}
+
+void
+KernelBuilder::bra(const std::string &target)
+{
+    Instr ins;
+    ins.op = Opcode::kBra;
+    ins.pendingLabel = target;
+    emit(ins);
+}
+
+void KernelBuilder::bar()
+{
+    Instr ins;
+    ins.op = Opcode::kBar;
+    emit(ins);
+}
+
+void KernelBuilder::exit()
+{
+    Instr ins;
+    ins.op = Opcode::kExit;
+    emit(ins);
+}
+
+void KernelBuilder::nop()
+{
+    Instr ins;
+    ins.op = Opcode::kNop;
+    emit(ins);
+}
+
+Program
+KernelBuilder::build()
+{
+    panicIf(built_, "builder reused after build()");
+    built_ = true;
+
+    for (auto &ins : code_) {
+        if (ins.op != Opcode::kBra)
+            continue;
+        auto it = labels_.find(ins.pendingLabel);
+        fatalIf(it == labels_.end(),
+                "undefined label: " + ins.pendingLabel);
+        fatalIf(it->second >= code_.size(),
+                "label points past end of kernel: " + ins.pendingLabel);
+        ins.target = it->second;
+        ins.pendingLabel.clear();
+    }
+
+    Program p;
+    p.name = name_;
+    p.code = std::move(code_);
+    p.numRegs = anyReg_ ? maxReg_ + 1 : 0;
+    if (explicitNumRegs_ > 0) {
+        fatalIf(explicitNumRegs_ < p.numRegs,
+                "explicit register count below registers actually used");
+        p.numRegs = explicitNumRegs_;
+    }
+    p.sharedMemBytes = sharedMemBytes_;
+    p.localMemSlots = localSlots_;
+    p.validate();
+    return p;
+}
+
+} // namespace rfv

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Fluent kernel construction API.
+ *
+ * The builder is how workloads and tests author kernels in C++.  It
+ * resolves symbolic labels, tracks the register footprint, and validates
+ * the finished program.
+ */
+#ifndef RFV_ISA_BUILDER_H
+#define RFV_ISA_BUILDER_H
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/program.h"
+
+namespace rfv {
+
+/** Shorthand register operand. */
+inline Operand
+R(u32 r)
+{
+    return Operand::reg(r);
+}
+
+/** Shorthand immediate operand. */
+inline Operand
+I(u32 v)
+{
+    return Operand::imm(v);
+}
+
+/**
+ * Incrementally builds a Program.
+ *
+ * Typical use:
+ * @code
+ *   KernelBuilder b("saxpy");
+ *   u32 tid = b.reg(), x = b.reg();
+ *   b.s2r(tid, SpecialReg::kTid);
+ *   b.label("loop");
+ *   ...
+ *   b.guard(0).bra("loop");
+ *   b.exit();
+ *   Program p = b.build();
+ * @endcode
+ */
+class KernelBuilder {
+  public:
+    explicit KernelBuilder(std::string name);
+
+    /** Allocate the next unused register id. */
+    u32 reg();
+
+    /** Allocate @p n consecutive registers, returning the first id. */
+    u32 regs(u32 n);
+
+    /** Declare shared memory usage per CTA. */
+    void setSharedMem(u32 bytes);
+
+    /** Force the register footprint (must cover all used registers). */
+    void setNumRegs(u32 n);
+
+    /** Bind a label to the next emitted instruction. */
+    void label(const std::string &name);
+
+    /**
+     * Guard the next emitted instruction with @@p / @@!p.  The guard is
+     * consumed by that one instruction.
+     */
+    KernelBuilder &guard(i32 pred, bool negated = false);
+
+    // --- Instruction emitters -------------------------------------------
+    void mov(u32 d, Operand s);
+    void iadd(u32 d, Operand a, Operand b);
+    void isub(u32 d, Operand a, Operand b);
+    void imul(u32 d, Operand a, Operand b);
+    void imad(u32 d, Operand a, Operand b, Operand c);
+    void imin(u32 d, Operand a, Operand b);
+    void imax(u32 d, Operand a, Operand b);
+    void shl(u32 d, Operand a, Operand b);
+    void shr(u32 d, Operand a, Operand b);
+    void and_(u32 d, Operand a, Operand b);
+    void or_(u32 d, Operand a, Operand b);
+    void xor_(u32 d, Operand a, Operand b);
+    void fadd(u32 d, Operand a, Operand b);
+    void fmul(u32 d, Operand a, Operand b);
+    void ffma(u32 d, Operand a, Operand b, Operand c);
+    void frcp(u32 d, Operand a);
+    void setp(u32 p, CmpOp c, Operand a, Operand b);
+    void psel(u32 d, u32 selPred, Operand a, Operand b);
+    void s2r(u32 d, SpecialReg s);
+    void ldg(u32 d, u32 addrReg, u32 byteOff = 0);
+    void stg(u32 addrReg, u32 byteOff, u32 valReg);
+    void lds(u32 d, u32 addrReg, u32 byteOff = 0);
+    void sts(u32 addrReg, u32 byteOff, u32 valReg);
+    void atomAdd(u32 d, u32 addrReg, u32 byteOff, u32 valReg);
+    void ldl(u32 d, u32 slot);
+    void stl(u32 slot, u32 valReg);
+    void bra(const std::string &target);
+    void bar();
+    void exit();
+    void nop();
+
+    /** Number of instructions emitted so far. */
+    u32 size() const { return static_cast<u32>(code_.size()); }
+
+    /** Resolve labels, compute the footprint, validate, and return. */
+    Program build();
+
+  private:
+    Instr &emit(Instr ins);
+    void touch(u32 r);
+    void touch(const Operand &o);
+
+    std::string name_;
+    std::vector<Instr> code_;
+    std::unordered_map<std::string, u32> labels_;
+    u32 nextReg_ = 0;
+    u32 maxReg_ = 0;
+    bool anyReg_ = false;
+    u32 explicitNumRegs_ = 0;
+    u32 sharedMemBytes_ = 0;
+    u32 localSlots_ = 0;
+    i32 pendingGuard_ = kNoPred;
+    bool pendingGuardNeg_ = false;
+    bool built_ = false;
+};
+
+} // namespace rfv
+
+#endif // RFV_ISA_BUILDER_H

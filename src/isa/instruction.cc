@@ -1,0 +1,138 @@
+#include "isa/instruction.h"
+
+#include <sstream>
+
+#include "common/error.h"
+#include "isa/metadata.h"
+
+namespace rfv {
+
+const char *
+cmpName(CmpOp c)
+{
+    switch (c) {
+      case CmpOp::kEq: return "eq";
+      case CmpOp::kNe: return "ne";
+      case CmpOp::kLt: return "lt";
+      case CmpOp::kLe: return "le";
+      case CmpOp::kGt: return "gt";
+      case CmpOp::kGe: return "ge";
+    }
+    panic("bad cmp op");
+}
+
+const char *
+specialRegName(SpecialReg s)
+{
+    switch (s) {
+      case SpecialReg::kTid: return "%tid";
+      case SpecialReg::kCtaId: return "%ctaid";
+      case SpecialReg::kNTid: return "%ntid";
+      case SpecialReg::kNCtaId: return "%nctaid";
+      case SpecialReg::kLaneId: return "%laneid";
+      case SpecialReg::kWarpId: return "%warpid";
+    }
+    panic("bad special register");
+}
+
+namespace {
+
+std::string
+operandStr(const Operand &o)
+{
+    if (o.isReg())
+        return "r" + std::to_string(o.value);
+    if (o.isImm())
+        return std::to_string(static_cast<i32>(o.value));
+    return "<none>";
+}
+
+} // namespace
+
+std::string
+formatInstr(const Instr &ins)
+{
+    std::ostringstream os;
+    if (ins.guardPred != kNoPred)
+        os << '@' << (ins.guardNeg ? "!" : "") << 'p' << ins.guardPred
+           << ' ';
+
+    switch (ins.op) {
+      case Opcode::kSetP:
+        os << "setp." << cmpName(ins.cmp) << " p" << ins.dstPred << ", "
+           << operandStr(ins.src[0]) << ", " << operandStr(ins.src[1]);
+        break;
+      case Opcode::kPSel:
+        os << "psel r" << ins.dst << ", p" << ins.dstPred << ", "
+           << operandStr(ins.src[0]) << ", " << operandStr(ins.src[1]);
+        break;
+      case Opcode::kS2R:
+        os << "s2r r" << ins.dst << ", " << specialRegName(ins.sreg);
+        break;
+      case Opcode::kLdGlobal:
+      case Opcode::kLdShared:
+        os << opName(ins.op) << " r" << ins.dst << ", ["
+           << operandStr(ins.src[0]) << "+" << ins.src[1].value << "]";
+        break;
+      case Opcode::kAtomAdd:
+        os << "atom r" << ins.dst << ", [" << operandStr(ins.src[0])
+           << "+" << ins.src[1].value << "], "
+           << operandStr(ins.src[2]);
+        break;
+      case Opcode::kStGlobal:
+      case Opcode::kStShared:
+        os << opName(ins.op) << " [" << operandStr(ins.src[0]) << "+"
+           << ins.src[1].value << "], " << operandStr(ins.src[2]);
+        break;
+      case Opcode::kLdLocal:
+        os << "ldl r" << ins.dst << ", local[" << ins.localSlot << "]";
+        break;
+      case Opcode::kStLocal:
+        os << "stl local[" << ins.localSlot << "], "
+           << operandStr(ins.src[0]);
+        break;
+      case Opcode::kBra:
+        os << "bra ";
+        if (!ins.pendingLabel.empty())
+            os << ins.pendingLabel;
+        else
+            os << ins.target;
+        break;
+      case Opcode::kExit:
+      case Opcode::kBar:
+      case Opcode::kNop:
+        os << opName(ins.op);
+        break;
+      case Opcode::kPir: {
+        os << "pir";
+        const auto masks = decodePir(ins.metaPayload);
+        os << " 0x" << std::hex << ins.metaPayload << std::dec;
+        (void)masks;
+        break;
+      }
+      case Opcode::kPbr: {
+        os << "pbr";
+        const auto regs = decodePbr(ins.metaPayload);
+        for (std::size_t i = 0; i < regs.size(); ++i)
+            os << (i ? ", r" : " r") << regs[i];
+        break;
+      }
+      default: {
+        // Generic ALU formatting: op dst, srcs...
+        os << opName(ins.op);
+        if (ins.dst != kNoReg)
+            os << " r" << ins.dst;
+        bool first = ins.dst == kNoReg;
+        for (const auto &s : ins.src) {
+            if (s.isNone())
+                continue;
+            os << (first ? " " : ", ") << operandStr(s);
+            first = false;
+        }
+        break;
+      }
+    }
+    return os.str();
+}
+
+} // namespace rfv

@@ -1,0 +1,57 @@
+#include "isa/metadata.h"
+
+#include "common/bit_utils.h"
+#include "common/error.h"
+
+namespace rfv {
+
+u64
+encodePir(const std::array<u8, kPirSlots> &masks)
+{
+    u64 payload = 0;
+    for (u32 i = 0; i < kPirSlots; ++i) {
+        panicIf(masks[i] > 7, "pir slot mask wider than 3 bits");
+        payload = insertBits(payload, i * 3, 3, masks[i]);
+    }
+    return payload;
+}
+
+std::array<u8, kPirSlots>
+decodePir(u64 payload)
+{
+    std::array<u8, kPirSlots> masks{};
+    for (u32 i = 0; i < kPirSlots; ++i)
+        masks[i] = static_cast<u8>(bits(payload, i * 3, 3));
+    return masks;
+}
+
+u64
+encodePbr(const std::vector<u32> &regs)
+{
+    panicIf(regs.size() > kPbrSlots, "pbr releases more than 9 registers");
+    u64 payload = 0;
+    for (u32 i = 0; i < kPbrSlots; ++i) {
+        u32 slot = kPbrEmptySlot;
+        if (i < regs.size()) {
+            panicIf(regs[i] >= kPbrEmptySlot,
+                    "pbr register id must be < 63");
+            slot = regs[i];
+        }
+        payload = insertBits(payload, i * 6, 6, slot);
+    }
+    return payload;
+}
+
+std::vector<u32>
+decodePbr(u64 payload)
+{
+    std::vector<u32> regs;
+    for (u32 i = 0; i < kPbrSlots; ++i) {
+        const u32 slot = static_cast<u32>(bits(payload, i * 6, 6));
+        if (slot != kPbrEmptySlot)
+            regs.push_back(slot);
+    }
+    return regs;
+}
+
+} // namespace rfv

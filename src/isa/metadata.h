@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Encoding of the two release-flag metadata instructions (paper Sec. 6.2).
+ *
+ * Both flavors occupy one 64-bit instruction word: a 10-bit opcode
+ * (split 4+6 to match the Fermi encoding format) and a 54-bit payload.
+ *
+ *  - pir: 18 consecutive 3-bit per-instruction release flags.  Slot i
+ *    describes the i-th *regular* instruction following the pir within
+ *    the basic block; bit b of a slot releases source operand b after
+ *    that instruction reads it.
+ *  - pbr: up to 9 six-bit architected register ids to release at the
+ *    reconvergence point.  The all-ones pattern (63) marks an unused
+ *    slot, which is why threads are limited to 63 (not 64) registers.
+ */
+#ifndef RFV_ISA_METADATA_H
+#define RFV_ISA_METADATA_H
+
+#include <array>
+#include <vector>
+
+#include "common/types.h"
+
+namespace rfv {
+
+/** Number of 3-bit flag slots in one pir instruction. */
+inline constexpr u32 kPirSlots = 18;
+
+/** Number of 6-bit register slots in one pbr instruction. */
+inline constexpr u32 kPbrSlots = 9;
+
+/** Sentinel register id marking an unused pbr slot. */
+inline constexpr u32 kPbrEmptySlot = 63;
+
+/** Pack 18 three-bit release masks into a 54-bit pir payload. */
+u64 encodePir(const std::array<u8, kPirSlots> &masks);
+
+/** Unpack a pir payload into 18 three-bit release masks. */
+std::array<u8, kPirSlots> decodePir(u64 payload);
+
+/**
+ * Pack up to 9 register ids into a 54-bit pbr payload.
+ * Register ids must be < 63.
+ */
+u64 encodePbr(const std::vector<u32> &regs);
+
+/** Unpack a pbr payload into the list of register ids it releases. */
+std::vector<u32> decodePbr(u64 payload);
+
+} // namespace rfv
+
+#endif // RFV_ISA_METADATA_H

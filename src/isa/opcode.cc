@@ -1,0 +1,63 @@
+#include "isa/opcode.h"
+
+#include "common/error.h"
+
+namespace rfv {
+
+namespace {
+
+constexpr OpInfo kOpTable[] = {
+    // mnemonic     class                 srcs  dst
+    {"nop",         OpClass::kAlu,        0,    false}, // kNop
+    {"mov",         OpClass::kAlu,        1,    true},  // kMov
+    {"iadd",        OpClass::kAlu,        2,    true},  // kIAdd
+    {"isub",        OpClass::kAlu,        2,    true},  // kISub
+    {"imul",        OpClass::kMul,        2,    true},  // kIMul
+    {"imad",        OpClass::kMul,        3,    true},  // kIMad
+    {"imin",        OpClass::kAlu,        2,    true},  // kIMin
+    {"imax",        OpClass::kAlu,        2,    true},  // kIMax
+    {"shl",         OpClass::kAlu,        2,    true},  // kShl
+    {"shr",         OpClass::kAlu,        2,    true},  // kShr
+    {"and",         OpClass::kAlu,        2,    true},  // kAnd
+    {"or",          OpClass::kAlu,        2,    true},  // kOr
+    {"xor",         OpClass::kAlu,        2,    true},  // kXor
+    {"fadd",        OpClass::kFpu,        2,    true},  // kFAdd
+    {"fmul",        OpClass::kFpu,        2,    true},  // kFMul
+    {"ffma",        OpClass::kFpu,        3,    true},  // kFFma
+    {"frcp",        OpClass::kSfu,        1,    true},  // kFRcp
+    {"setp",        OpClass::kAlu,        2,    false}, // kSetP
+    {"psel",        OpClass::kAlu,        2,    true},  // kPSel
+    {"s2r",         OpClass::kAlu,        0,    true},  // kS2R
+    {"ldg",         OpClass::kMemGlobal,  1,    true},  // kLdGlobal
+    {"stg",         OpClass::kMemGlobal,  2,    false}, // kStGlobal
+    {"lds",         OpClass::kMemShared,  1,    true},  // kLdShared
+    {"sts",         OpClass::kMemShared,  2,    false}, // kStShared
+    {"ldl",         OpClass::kMemLocal,   0,    true},  // kLdLocal
+    {"stl",         OpClass::kMemLocal,   1,    false}, // kStLocal
+    {"atom",        OpClass::kMemGlobal,  2,    true},  // kAtomAdd
+    {"bra",         OpClass::kControl,    0,    false}, // kBra
+    {"exit",        OpClass::kControl,    0,    false}, // kExit
+    {"bar",         OpClass::kControl,    0,    false}, // kBar
+    {"pir",         OpClass::kMeta,       0,    false}, // kPir
+    {"pbr",         OpClass::kMeta,       0,    false}, // kPbr
+};
+
+constexpr std::size_t kNumOps = sizeof(kOpTable) / sizeof(kOpTable[0]);
+
+} // namespace
+
+const OpInfo &
+opInfo(Opcode op)
+{
+    const auto idx = static_cast<std::size_t>(op);
+    panicIf(idx >= kNumOps, "opcode out of range");
+    return kOpTable[idx];
+}
+
+std::string_view
+opName(Opcode op)
+{
+    return opInfo(op).mnemonic;
+}
+
+} // namespace rfv

@@ -1,0 +1,189 @@
+#include "isa/program.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.h"
+#include "isa/metadata.h"
+
+namespace rfv {
+
+u32
+Program::staticRegularCount() const
+{
+    u32 n = 0;
+    for (const auto &ins : code)
+        if (!isMeta(ins.op))
+            ++n;
+    return n;
+}
+
+u32
+Program::staticMetaCount() const
+{
+    u32 n = 0;
+    for (const auto &ins : code)
+        if (isMeta(ins.op))
+            ++n;
+    return n;
+}
+
+i32
+Program::maxRegUsed() const
+{
+    i32 hi = -1;
+    for (const auto &ins : code) {
+        if (ins.dst != kNoReg)
+            hi = std::max(hi, ins.dst);
+        for (const auto &s : ins.src)
+            if (s.isReg())
+                hi = std::max(hi, static_cast<i32>(s.value));
+    }
+    return hi;
+}
+
+namespace {
+
+void
+checkReg(const Operand &o, u32 num_regs, u32 pc, const char *what)
+{
+    if (o.isReg() && o.value >= num_regs) {
+        panic("pc " + std::to_string(pc) + ": " + what +
+              " register id out of range");
+    }
+}
+
+void
+checkPred(i32 p, u32 pc)
+{
+    if (p != kNoPred && (p < 0 || p >= static_cast<i32>(kNumPredRegs)))
+        panic("pc " + std::to_string(pc) + ": predicate id out of range");
+}
+
+} // namespace
+
+void
+Program::validate() const
+{
+    panicIf(numRegs > kMaxArchRegs, "kernel uses more than 63 registers");
+    panicIf(numExemptRegs > numRegs, "exempt register count exceeds regs");
+    panicIf(maxRegUsed() >= static_cast<i32>(numRegs),
+            "register referenced beyond kernel register footprint");
+
+    for (u32 pc = 0; pc < code.size(); ++pc) {
+        const Instr &ins = code[pc];
+        const OpInfo &info = opInfo(ins.op);
+
+        checkPred(ins.guardPred, pc);
+        checkPred(ins.dstPred, pc);
+        if (ins.dst != kNoReg) {
+            checkReg(Operand::reg(static_cast<u32>(ins.dst)), numRegs, pc,
+                     "destination");
+        }
+        for (const auto &s : ins.src)
+            checkReg(s, numRegs, pc, "source");
+
+        if (info.hasDst && ins.dst == kNoReg)
+            panic("pc " + std::to_string(pc) + ": missing destination");
+        if (!info.hasDst && ins.dst != kNoReg)
+            panic("pc " + std::to_string(pc) + ": unexpected destination");
+
+        // Release bits may only cover register sources.
+        for (u32 b = 0; b < 3; ++b) {
+            if ((ins.pirMask >> b) & 1) {
+                if (!ins.src[b].isReg()) {
+                    panic("pc " + std::to_string(pc) +
+                          ": pir bit on non-register operand");
+                }
+            }
+        }
+
+        switch (ins.op) {
+          case Opcode::kBra:
+            if (ins.target >= code.size())
+                panic("pc " + std::to_string(pc) + ": branch target oob");
+            break;
+          case Opcode::kSetP:
+            if (ins.dstPred == kNoPred)
+                panic("pc " + std::to_string(pc) + ": setp needs dst pred");
+            break;
+          case Opcode::kPSel:
+            if (ins.dstPred == kNoPred)
+                panic("pc " + std::to_string(pc) + ": psel needs selector");
+            break;
+          case Opcode::kLdGlobal:
+          case Opcode::kLdShared:
+            if (!ins.src[0].isReg() || !ins.src[1].isImm())
+                panic("pc " + std::to_string(pc) + ": bad load operands");
+            break;
+          case Opcode::kStGlobal:
+          case Opcode::kStShared:
+            if (!ins.src[0].isReg() || !ins.src[1].isImm() ||
+                !ins.src[2].isReg()) {
+                panic("pc " + std::to_string(pc) + ": bad store operands");
+            }
+            break;
+          case Opcode::kAtomAdd:
+            if (!ins.src[0].isReg() || !ins.src[1].isImm() ||
+                !ins.src[2].isReg()) {
+                panic("pc " + std::to_string(pc) +
+                      ": bad atomic operands");
+            }
+            break;
+          case Opcode::kLdLocal:
+          case Opcode::kStLocal:
+            if (ins.localSlot >= localMemSlots)
+                panic("pc " + std::to_string(pc) + ": local slot oob");
+            if (ins.op == Opcode::kStLocal && !ins.src[0].isReg())
+                panic("pc " + std::to_string(pc) + ": stl needs value reg");
+            break;
+          case Opcode::kPbr:
+            for (u32 r : decodePbr(ins.metaPayload)) {
+                if (r >= numRegs)
+                    panic("pc " + std::to_string(pc) + ": pbr reg oob");
+            }
+            break;
+          default:
+            break;
+        }
+    }
+
+    // pir payload consistency: each pir's slot i must equal the pirMask
+    // of the i-th following regular instruction in the same block span.
+    if (hasReleaseMetadata) {
+        for (u32 pc = 0; pc < code.size(); ++pc) {
+            if (code[pc].op != Opcode::kPir)
+                continue;
+            const auto masks = decodePir(code[pc].metaPayload);
+            u32 slot = 0;
+            for (u32 q = pc + 1; q < code.size() && slot < kPirSlots; ++q) {
+                if (isMeta(code[q].op))
+                    break; // next metadata instruction takes over
+                if (code[q].pirMask != masks[slot]) {
+                    panic("pc " + std::to_string(pc) + ": pir slot " +
+                          std::to_string(slot) +
+                          " disagrees with instruction flags");
+                }
+                ++slot;
+            }
+        }
+    }
+}
+
+std::string
+Program::disassemble() const
+{
+    std::ostringstream os;
+    os << ".kernel " << name << "\n";
+    os << ".regs " << numRegs << "\n";
+    if (sharedMemBytes)
+        os << ".shared " << sharedMemBytes << "\n";
+    if (localMemSlots)
+        os << ".local " << localMemSlots << "\n";
+    for (u32 pc = 0; pc < code.size(); ++pc) {
+        os << std::setw(4) << pc << ":  " << formatInstr(code[pc]) << "\n";
+    }
+    return os.str();
+}
+
+} // namespace rfv

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * A kernel program: a flat instruction vector plus kernel-level metadata.
+ */
+#ifndef RFV_ISA_PROGRAM_H
+#define RFV_ISA_PROGRAM_H
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/instruction.h"
+
+namespace rfv {
+
+/**
+ * One compiled kernel.
+ *
+ * The program counter is an index into @ref code.  Regular and metadata
+ * instructions live in the same stream, as in the modeled machine
+ * encoding; the simulator's fetch stage skips metadata cheaply (or pays
+ * a fetch/decode cost on release-flag-cache misses).
+ */
+struct Program {
+    std::string name;
+    std::vector<Instr> code;
+
+    /** Architected registers per thread (compiler register footprint). */
+    u32 numRegs = 0;
+
+    /**
+     * The lowest numExemptRegs register ids are renaming-exempt: the
+     * compiler renumbered long-lived registers into this range and the
+     * hardware maps them to fixed physical registers (Section 7.1).
+     */
+    u32 numExemptRegs = 0;
+
+    /** Shared memory bytes per CTA. */
+    u32 sharedMemBytes = 0;
+
+    /** Per-thread local-memory slots (4 bytes each) for spills. */
+    u32 localMemSlots = 0;
+
+    /** True once the compiler inserted pir/pbr metadata instructions. */
+    bool hasReleaseMetadata = false;
+
+    /** Count of non-metadata instructions. */
+    u32 staticRegularCount() const;
+
+    /** Count of metadata (pir/pbr) instructions. */
+    u32 staticMetaCount() const;
+
+    /**
+     * Check structural well-formedness; throws InternalError on any
+     * violation.  Verifies operand conventions per opcode, register id
+     * bounds, branch-target validity, predicate bounds, local-slot
+     * bounds, and — when release metadata is present — that each pir
+     * payload agrees with the authoritative Instr::pirMask bits of the
+     * following regular instructions.
+     */
+    void validate() const;
+
+    /** Highest register id referenced, or -1 if none. */
+    i32 maxRegUsed() const;
+
+    /** Full disassembly, one instruction per line with pc prefixes. */
+    std::string disassemble() const;
+};
+
+} // namespace rfv
+
+#endif // RFV_ISA_PROGRAM_H

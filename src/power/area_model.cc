@@ -1,0 +1,48 @@
+#include "power/area_model.h"
+
+#include <cmath>
+
+namespace rfv {
+
+double
+registerFileAreaMm2(u32 bytes_per_sm, u32 num_sms, const AreaParams &p)
+{
+    const double kb = static_cast<double>(bytes_per_sm) / 1024.0 *
+                      num_sms;
+    return kb * p.mm2PerKb * p.bankingOverhead;
+}
+
+double
+dieYield(double die_mm2, const AreaParams &p)
+{
+    // Poisson model: Y = exp(-A * D0).
+    const double area_cm2 = die_mm2 / 100.0;
+    return std::exp(-area_cm2 * p.defectsPerCm2);
+}
+
+double
+diesPerWafer(double die_mm2, const AreaParams &p)
+{
+    // Gross dies with the standard edge-loss correction.
+    const double d = p.waferDiameterMm;
+    const double waferArea = M_PI * d * d / 4.0;
+    return waferArea / die_mm2 -
+           M_PI * d / std::sqrt(2.0 * die_mm2);
+}
+
+AreaYieldPoint
+evaluateRfSize(u32 bytes_per_sm, u32 num_sms, const AreaParams &p)
+{
+    // The modeled chip: baseDieMm2 includes a 128 KB/SM register file;
+    // changing the file size changes the die by the area delta.
+    const double baseRf = registerFileAreaMm2(128 * 1024, num_sms, p);
+    AreaYieldPoint pt;
+    pt.rfBytesPerSm = bytes_per_sm;
+    pt.rfAreaMm2 = registerFileAreaMm2(bytes_per_sm, num_sms, p);
+    pt.dieMm2 = p.baseDieMm2 - baseRf + pt.rfAreaMm2;
+    pt.yield = dieYield(pt.dieMm2, p);
+    pt.goodDiesPerWafer = diesPerWafer(pt.dieMm2, p) * pt.yield;
+    return pt;
+}
+
+} // namespace rfv

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Register-file area and die-yield model.
+ *
+ * The paper's introduction argues that halving the register file —
+ * whose total capacity rivals a CPU's shared last-level cache — has
+ * "significant economic and yield impact" (citing Rabaey et al. [45]).
+ * This model quantifies that claim: CACTI-style SRAM area at 40 nm
+ * with banking overhead, a Poisson defect-yield model, and dies-per-
+ * wafer accounting.
+ */
+#ifndef RFV_POWER_AREA_MODEL_H
+#define RFV_POWER_AREA_MODEL_H
+
+#include "common/types.h"
+
+namespace rfv {
+
+/** Area/yield constants (40 nm-class process). */
+struct AreaParams {
+    /** SRAM macro density including periphery, mm^2 per KB at 40 nm. */
+    double mm2PerKb = 0.0042;
+    /** Extra area factor for banking/operand-collector wiring. */
+    double bankingOverhead = 1.25;
+    /** Fermi-class die area in mm^2 (GF100 ~529 mm^2). */
+    double baseDieMm2 = 529.0;
+    /** Poisson defect density per cm^2 (mature 40 nm line). */
+    double defectsPerCm2 = 0.25;
+    /** Wafer diameter in mm (300 mm line). */
+    double waferDiameterMm = 300.0;
+};
+
+/** Register-file area across the chip, in mm^2. */
+double registerFileAreaMm2(u32 bytesPerSm, u32 numSms,
+                           const AreaParams &p = {});
+
+/** Poisson yield for a die of @p dieMm2. */
+double dieYield(double dieMm2, const AreaParams &p = {});
+
+/** Gross dies per wafer for a die of @p dieMm2 (Murphy edge model). */
+double diesPerWafer(double dieMm2, const AreaParams &p = {});
+
+/** One row of the area/yield comparison. */
+struct AreaYieldPoint {
+    u32 rfBytesPerSm;
+    double rfAreaMm2;   //!< register-file area across all SMs
+    double dieMm2;      //!< resulting die area
+    double yield;       //!< Poisson die yield
+    double goodDiesPerWafer;
+};
+
+/** Evaluate a register-file size option on the modeled chip. */
+AreaYieldPoint evaluateRfSize(u32 bytesPerSm, u32 numSms,
+                              const AreaParams &p = {});
+
+} // namespace rfv
+
+#endif // RFV_POWER_AREA_MODEL_H

@@ -1,0 +1,104 @@
+#include "power/energy_model.h"
+
+#include <cmath>
+
+namespace rfv {
+
+EnergyBreakdown
+computeEnergy(const SimResult &result, const GpuConfig &cfg,
+              const EnergyParams &params)
+{
+    EnergyBreakdown out;
+    const RegFileConfig &rf = cfg.regFile;
+    const double clock_hz = params.clockGhz * 1e9;
+
+    // ---- Dynamic: bank accesses, per-access energy scaled by size ----
+    u64 accesses = 0;
+    for (u64 reads : result.rf.bankReads)
+        accesses += reads;
+    for (u64 writes : result.rf.bankWrites)
+        accesses += writes;
+    const double size_ratio =
+        static_cast<double>(rf.sizeBytes) / (128.0 * 1024.0);
+    const double per_access_j = params.rfPerAccessPj * 1e-12 *
+                                std::pow(size_ratio,
+                                         params.dynSizeExponent);
+    out.dynamicJ = static_cast<double>(accesses) * per_access_j;
+
+    // ---- Static: leakage of powered subarrays over time ---------------
+    // activeSubarrayCycles integrates powered-on subarrays per SM-cycle
+    // (all subarrays when power gating is off).
+    const double subarray_bytes =
+        static_cast<double>(rf.sizeBytes) /
+        (rf.numBanks * rf.subarraysPerBank);
+    const double leak_w_per_subarray =
+        params.rfLeakPerMw4kb * 1e-3 * (subarray_bytes / 4096.0);
+    out.staticJ = static_cast<double>(result.rf.activeSubarrayCycles) *
+                  leak_w_per_subarray / clock_hz;
+
+    // ---- Renaming table ------------------------------------------------
+    if (rf.mode != RegFileMode::kBaseline) {
+        const u64 table_accesses =
+            result.rename.lookups + result.rename.updates;
+        out.renameTableJ =
+            static_cast<double>(table_accesses) *
+                params.renameTablePerAccessPj * 1e-12 +
+            params.renameTableBanks * params.renameTableLeakPerBankMw *
+                1e-3 * static_cast<double>(result.rename.sampledCycles) /
+                clock_hz;
+    }
+
+    // ---- Flag instructions (fetch/decode + flag cache) -----------------
+    if (result.metaEncounters > 0) {
+        const u64 probes = result.flagCacheHits + result.flagCacheMisses;
+        out.flagInstrJ =
+            static_cast<double>(result.metaDecoded) * params.flagDecodePj *
+                1e-12 +
+            static_cast<double>(probes) * params.flagCacheAccessPj *
+                1e-12 +
+            params.flagCacheLeakMw * 1e-3 *
+                static_cast<double>(result.rename.sampledCycles) /
+                clock_hz;
+    }
+    return out;
+}
+
+std::vector<PowerVsSizePoint>
+powerVsSizeSweep(u32 points, const EnergyParams &params)
+{
+    // Operating-point split at full size (Fig. 7's calibration): the
+    // 128 KB register file burns roughly 2/3 dynamic, 1/3 leakage.
+    constexpr double kDynShare = 2.0 / 3.0;
+    constexpr double kLeakShare = 1.0 / 3.0;
+
+    std::vector<PowerVsSizePoint> sweep;
+    for (u32 i = 0; i < points; ++i) {
+        const double reduction =
+            50.0 * static_cast<double>(i) / (points - 1);
+        const double ratio = 1.0 - reduction / 100.0;
+        const double dyn = std::pow(ratio, params.dynSizeExponent);
+        const double leak = ratio;
+        sweep.push_back({reduction, 100.0 * dyn, 100.0 * leak,
+                         100.0 * (kDynShare * dyn + kLeakShare * leak)});
+    }
+    return sweep;
+}
+
+const std::vector<TechNode> &
+technologyLeakageTable()
+{
+    // Shape from paper Fig. 9 (GPUWattch + PTM): leakage climbs with
+    // planar scaling, FinFET at 22 nm resets to roughly the 40 nm
+    // fraction, then the climb resumes toward 10 nm.
+    static const std::vector<TechNode> table = {
+        {"40nm-P", false, 1.00},
+        {"32nm-P", false, 1.12},
+        {"22nm-P", false, 1.38},
+        {"22nm-F", true, 0.98},
+        {"16nm-F", true, 1.12},
+        {"10nm-F", true, 1.27},
+    };
+    return table;
+}
+
+} // namespace rfv

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Register-file energy model (paper Table 2, Figs. 7, 9 and 12).
+ *
+ * Parameters come from the paper's CACTI-5.3 numbers at 40 nm
+ * (Table 2).  Per-access energy scales with register-file size using an
+ * exponent calibrated to the paper's Fig. 7 ("halving the RF reduces
+ * dynamic power by ~20%"); leakage scales linearly with (active) size.
+ * The technology table reproduces the planar-vs-FinFET leakage shape of
+ * Fig. 9.
+ */
+#ifndef RFV_POWER_ENERGY_MODEL_H
+#define RFV_POWER_ENERGY_MODEL_H
+
+#include <string>
+#include <vector>
+
+#include "sim/gpu.h"
+
+namespace rfv {
+
+/** Energy/power constants (Table 2 plus GPUWattch-style estimates). */
+struct EnergyParams {
+    // Renaming table: 1 KB, 4 banks (Table 2).
+    double renameTablePerAccessPj = 1.14;
+    double renameTableLeakPerBankMw = 0.27;
+    u32 renameTableBanks = 4;
+
+    // Main register file (per warp-wide bank access; 4 KB CACTI bank).
+    double rfPerAccessPj = 4.68;
+    double rfLeakPerMw4kb = 2.8; //!< leakage per 4 KB of SRAM
+
+    // Release-flag metadata handling.
+    double flagDecodePj = 35.0;      //!< fetch+decode one metadata instr
+    double flagCacheAccessPj = 0.05; //!< probe of the 68 B flag cache
+    double flagCacheLeakMw = 0.004;
+
+    double clockGhz = 0.7;
+
+    /**
+     * Per-access energy ~ (size/128KB)^exponent; 0.3219 makes a 50%
+     * file cost 80% per access, matching Fig. 7's 20% dynamic saving.
+     */
+    double dynSizeExponent = 0.3219;
+};
+
+/** Joule breakdown of register-file energy (Fig. 12 components). */
+struct EnergyBreakdown {
+    double dynamicJ = 0;
+    double staticJ = 0;
+    double renameTableJ = 0;
+    double flagInstrJ = 0;
+
+    double
+    totalJ() const
+    {
+        return dynamicJ + staticJ + renameTableJ + flagInstrJ;
+    }
+};
+
+/** Compute the breakdown for one finished run. */
+EnergyBreakdown computeEnergy(const SimResult &result,
+                              const GpuConfig &cfg,
+                              const EnergyParams &params = {});
+
+/** One point of the Fig. 7 power-vs-size model sweep. */
+struct PowerVsSizePoint {
+    double sizeReductionPct; //!< 0..50
+    double dynPowerPct;      //!< normalized to the 128 KB file
+    double leakPowerPct;
+    double totalPowerPct;
+};
+
+/**
+ * Analytic Fig. 7 sweep: register-file power versus size reduction,
+ * normalized to the full-size file.  Uses a 2:1 dynamic:leakage power
+ * split at full size (40 nm operating point).
+ */
+std::vector<PowerVsSizePoint> powerVsSizeSweep(u32 points = 11,
+                                               const EnergyParams &p = {});
+
+/** One technology node of the Fig. 9 leakage model. */
+struct TechNode {
+    std::string name;   //!< e.g. "32nm-P", "16nm-F"
+    bool finfet;
+    double leakageNorm; //!< leakage fraction normalized to 40 nm planar
+};
+
+/**
+ * Leakage fraction across technology nodes, normalized to 40 nm planar
+ * (paper Fig. 9): planar scaling climbs, FinFET resets the baseline at
+ * 22 nm, then the climb resumes.
+ */
+const std::vector<TechNode> &technologyLeakageTable();
+
+} // namespace rfv
+
+#endif // RFV_POWER_ENERGY_MODEL_H

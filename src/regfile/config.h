@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Register-file configuration shared by the regfile, sim and power
+ * modules.
+ */
+#ifndef RFV_REGFILE_CONFIG_H
+#define RFV_REGFILE_CONFIG_H
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace rfv {
+
+/** Register management policy of an SM. */
+enum class RegFileMode : u8 {
+    /**
+     * Classic GPU allocation: every architected register of every warp
+     * of a CTA gets a physical register at CTA launch, released at CTA
+     * completion.  (The paper's baseline; also used for the
+     * compiler-spill comparison, where the program itself was rewritten
+     * to use fewer registers.)
+     */
+    kBaseline,
+    /**
+     * This paper: compiler-guided renaming.  Physical registers are
+     * allocated on write and released at pir/pbr release points,
+     * allowing warps to share the physical file.
+     */
+    kVirtualized,
+    /**
+     * Hardware-only renaming (NVIDIA patent [46]): allocate on first
+     * write, release only when the architected register is redefined or
+     * the CTA completes.  No compiler lifetime knowledge.
+     */
+    kHardwareOnly,
+};
+
+inline const char *
+regFileModeName(RegFileMode mode)
+{
+    switch (mode) {
+      case RegFileMode::kBaseline: return "baseline";
+      case RegFileMode::kVirtualized: return "virtualized";
+      case RegFileMode::kHardwareOnly: return "hardware-only";
+    }
+    panic("bad register file mode");
+}
+
+/** Physical register file configuration (per SM). */
+struct RegFileConfig {
+    u32 sizeBytes = 128 * 1024;    //!< Fermi-like baseline: 128 KB
+    u32 numBanks = kNumRegBanks;   //!< 4 main banks
+    u32 subarraysPerBank = 4;      //!< power-gating granularity
+    RegFileMode mode = RegFileMode::kBaseline;
+
+    /** Renamed registers stay in their compiler-assigned bank. */
+    bool bankRestrictedRenaming = true;
+
+    /** Subarray-level power gating enabled. */
+    bool powerGating = false;
+
+    /** Cycles to wake a gated subarray. */
+    u32 wakeupLatency = 1;
+
+    /** Overwrite released registers with a poison pattern (testing). */
+    bool poisonOnRelease = false;
+
+    /** Release-flag cache entries (0 disables the cache). */
+    u32 flagCacheEntries = 10;
+
+    u32
+    physRegs() const
+    {
+        return sizeBytes / kBytesPerWarpReg;
+    }
+
+    u32
+    regsPerBank() const
+    {
+        return physRegs() / numBanks;
+    }
+
+    u32
+    regsPerSubarray() const
+    {
+        return regsPerBank() / subarraysPerBank;
+    }
+
+    void
+    validate() const
+    {
+        fatalIf(numBanks == 0 || subarraysPerBank == 0,
+                "register file needs banks and subarrays");
+        fatalIf(sizeBytes % (kBytesPerWarpReg * numBanks) != 0,
+                "register file size must divide evenly into banks");
+        fatalIf(regsPerBank() % subarraysPerBank != 0,
+                "bank size must divide evenly into subarrays");
+        fatalIf(physRegs() == 0, "empty register file");
+    }
+};
+
+} // namespace rfv
+
+#endif // RFV_REGFILE_CONFIG_H

@@ -1,0 +1,323 @@
+#include "regfile/register_manager.h"
+
+#include <algorithm>
+
+namespace rfv {
+
+RegisterManager::RegisterManager(const RegFileConfig &cfg, u32 max_warp_slots)
+    : cfg_(cfg), maxWarpSlots_(max_warp_slots), file_(cfg)
+{
+    fatalIf(max_warp_slots == 0, "SM needs at least one warp slot");
+    configureKernel(0, 0);
+}
+
+u32
+RegisterManager::slotIndex(u32 warp_slot, u32 reg) const
+{
+    return warp_slot * (kMaxArchRegs + 1) + reg;
+}
+
+void
+RegisterManager::configureKernel(u32 regs_per_warp, u32 num_exempt)
+{
+    fatalIf(regs_per_warp > kMaxArchRegs, "kernel exceeds 63 registers");
+    fatalIf(num_exempt > regs_per_warp, "exempt count exceeds footprint");
+    regsPerWarp_ = regs_per_warp;
+    numExempt_ = cfg_.mode == RegFileMode::kVirtualized ? num_exempt : 0;
+
+    file_ = PhysRegFile(cfg_);
+    mapping_.assign(maxWarpSlots_ * (kMaxArchRegs + 1), kInvalidPhysReg);
+    state_.assign(mapping_.size(), RegState::kUnmapped);
+    spillStore_.assign(mapping_.size(), WarpValue{});
+    ctaAlloc_.assign(maxWarpSlots_, 0); // at most one CTA per warp slot
+    mapped_ = 0;
+    renameStats_ = RenameStats{};
+
+    // Exempt-region geometry: exempt register r of warp slot w lives
+    // at in-bank index w * exemptInBank[bank] + rank(r).  Cap the
+    // fixed-home reservation at half of each bank so renamed registers
+    // always have capacity; exempt registers beyond the cap allocate
+    // dynamically on first write (they are still never released).
+    fixedExempt_ = numExempt_;
+    auto reservationFits = [&](u32 m) {
+        u32 perBank[kNumRegBanks] = {};
+        for (u32 r = 0; r < m; ++r)
+            ++perBank[archBank(r)];
+        for (u32 b = 0; b < cfg_.numBanks; ++b) {
+            if (perBank[b] * maxWarpSlots_ > cfg_.regsPerBank() / 2)
+                return false;
+        }
+        return true;
+    };
+    while (fixedExempt_ > 0 && !reservationFits(fixedExempt_))
+        --fixedExempt_;
+
+    exemptInBank_.assign(cfg_.numBanks, 0);
+    exemptRankInBank_.assign(fixedExempt_, 0);
+    for (u32 r = 0; r < fixedExempt_; ++r) {
+        exemptRankInBank_[r] = exemptInBank_[archBank(r)]++;
+    }
+    reservedPerBank_.assign(cfg_.numBanks, 0);
+    for (u32 b = 0; b < cfg_.numBanks; ++b)
+        reservedPerBank_[b] = exemptInBank_[b] * maxWarpSlots_;
+}
+
+u32
+RegisterManager::exemptHome(u32 warp_slot, u32 reg) const
+{
+    const u32 bank = archBank(reg);
+    const u32 idx =
+        warp_slot * exemptInBank_[bank] + exemptRankInBank_[reg];
+    return bank * cfg_.regsPerBank() + idx;
+}
+
+bool
+RegisterManager::launchCta(u32 cta_slot, u32 first_warp_slot, u32 num_warps)
+{
+    panicIf(first_warp_slot + num_warps > maxWarpSlots_,
+            "warp slots out of range");
+    std::vector<std::pair<u32, u32>> done; // (warpSlot, reg) for rollback
+
+    auto rollback = [&]() {
+        for (auto [w, r] : done)
+            freeMapping(w, cta_slot, r);
+    };
+
+    if (cfg_.mode == RegFileMode::kBaseline) {
+        for (u32 w = first_warp_slot; w < first_warp_slot + num_warps;
+             ++w) {
+            for (u32 r = 0; r < regsPerWarp_; ++r) {
+                u32 wake = 0;
+                const u32 phys = file_.alloc(archBank(r), 0, wake);
+                if (phys == kInvalidPhysReg) {
+                    rollback();
+                    return false;
+                }
+                mapping_[slotIndex(w, r)] = phys;
+                state_[slotIndex(w, r)] = RegState::kMapped;
+                ++mapped_;
+                ++ctaAlloc_[cta_slot];
+                done.emplace_back(w, r);
+            }
+        }
+        return true;
+    }
+
+    if (cfg_.mode == RegFileMode::kVirtualized && fixedExempt_ > 0) {
+        for (u32 w = first_warp_slot; w < first_warp_slot + num_warps;
+             ++w) {
+            for (u32 r = 0; r < fixedExempt_; ++r) {
+                u32 wake = 0;
+                file_.allocAt(exemptHome(w, r), wake);
+                mapping_[slotIndex(w, r)] = exemptHome(w, r);
+                state_[slotIndex(w, r)] = RegState::kMapped;
+                ++mapped_;
+                ++ctaAlloc_[cta_slot];
+            }
+        }
+    }
+    return true;
+}
+
+void
+RegisterManager::completeCta(u32 cta_slot, u32 first_warp_slot,
+                             u32 num_warps)
+{
+    for (u32 w = first_warp_slot; w < first_warp_slot + num_warps; ++w) {
+        for (u32 r = 0; r <= kMaxArchRegs; ++r) {
+            const u32 idx = slotIndex(w, r);
+            if (state_[idx] == RegState::kMapped)
+                freeMapping(w, cta_slot, r);
+            else
+                state_[idx] = RegState::kUnmapped;
+        }
+    }
+}
+
+RegState
+RegisterManager::state(u32 warp_slot, u32 reg) const
+{
+    return state_[slotIndex(warp_slot, reg)];
+}
+
+u32
+RegisterManager::physOf(u32 warp_slot, u32 reg) const
+{
+    const u32 idx = slotIndex(warp_slot, reg);
+    panicIf(state_[idx] != RegState::kMapped,
+            "physOf on an unmapped register r" + std::to_string(reg) +
+                " of warp slot " + std::to_string(warp_slot));
+    return mapping_[idx];
+}
+
+u32
+RegisterManager::physBankOf(u32 warp_slot, u32 reg) const
+{
+    return file_.bankOf(physOf(warp_slot, reg));
+}
+
+WarpValue &
+RegisterManager::values(u32 warp_slot, u32 reg)
+{
+    return file_.values(physOf(warp_slot, reg));
+}
+
+RegisterManager::AllocOutcome
+RegisterManager::allocRenamed(u32 warp_slot, u32 cta_slot, u32 reg)
+{
+    const u32 bank = archBank(reg);
+    u32 wake = 0;
+    u32 phys = file_.alloc(bank, reservedPerBank_[bank], wake,
+                           warp_slot);
+    if (phys == kInvalidPhysReg && !cfg_.bankRestrictedRenaming) {
+        for (u32 b = 0; b < cfg_.numBanks && phys == kInvalidPhysReg;
+             ++b) {
+            if (b != bank)
+                phys = file_.alloc(b, reservedPerBank_[b], wake,
+                                   warp_slot);
+        }
+    }
+    if (phys == kInvalidPhysReg)
+        return {false, 0};
+    const u32 idx = slotIndex(warp_slot, reg);
+    mapping_[idx] = phys;
+    state_[idx] = RegState::kMapped;
+    ++mapped_;
+    ++ctaAlloc_[cta_slot];
+    ++renameStats_.updates;
+    return {true, wake};
+}
+
+RegisterManager::AllocOutcome
+RegisterManager::ensureMappedForWrite(u32 warp_slot, u32 cta_slot, u32 reg)
+{
+    const u32 idx = slotIndex(warp_slot, reg);
+    switch (cfg_.mode) {
+      case RegFileMode::kBaseline:
+        panicIf(state_[idx] != RegState::kMapped,
+                "baseline write to an unmapped register");
+        return {true, 0};
+      case RegFileMode::kHardwareOnly:
+      case RegFileMode::kVirtualized:
+        if (state_[idx] == RegState::kMapped)
+            return {true, 0};
+        panicIf(state_[idx] == RegState::kSpilled,
+                "write to a spilled register without refill");
+        return allocRenamed(warp_slot, cta_slot, reg);
+    }
+    panic("bad register file mode");
+}
+
+void
+RegisterManager::countOperandRead(u32 warp_slot, u32 reg)
+{
+    file_.countRead(physOf(warp_slot, reg));
+    if (cfg_.mode != RegFileMode::kBaseline && reg >= fixedExempt_)
+        ++renameStats_.lookups;
+}
+
+void
+RegisterManager::countOperandWrite(u32 warp_slot, u32 reg)
+{
+    file_.countWrite(physOf(warp_slot, reg));
+    if (cfg_.mode != RegFileMode::kBaseline && reg >= fixedExempt_)
+        ++renameStats_.lookups;
+}
+
+void
+RegisterManager::freeMapping(u32 warp_slot, u32 cta_slot, u32 reg)
+{
+    const u32 idx = slotIndex(warp_slot, reg);
+    panicIf(state_[idx] != RegState::kMapped, "free of unmapped register");
+    file_.release(mapping_[idx]);
+    mapping_[idx] = kInvalidPhysReg;
+    state_[idx] = RegState::kUnmapped;
+    panicIf(mapped_ == 0, "mapped count underflow");
+    --mapped_;
+    panicIf(ctaAlloc_[cta_slot] == 0, "CTA allocation count underflow");
+    --ctaAlloc_[cta_slot];
+}
+
+void
+RegisterManager::releaseReg(u32 warp_slot, u32 cta_slot, u32 reg)
+{
+    if (cfg_.mode != RegFileMode::kVirtualized)
+        return;
+    if (reg < numExempt_)
+        return;
+    const u32 idx = slotIndex(warp_slot, reg);
+    if (state_[idx] != RegState::kMapped)
+        return; // releasing an absent mapping is a no-op by design
+    freeMapping(warp_slot, cta_slot, reg);
+    ++renameStats_.updates;
+}
+
+std::vector<u32>
+RegisterManager::spillCandidates(u32 warp_slot) const
+{
+    std::vector<u32> out;
+    for (u32 r = fixedExempt_; r < regsPerWarp_; ++r)
+        if (state_[slotIndex(warp_slot, r)] == RegState::kMapped)
+            out.push_back(r);
+    return out;
+}
+
+void
+RegisterManager::spillReg(u32 warp_slot, u32 cta_slot, u32 reg)
+{
+    const u32 idx = slotIndex(warp_slot, reg);
+    panicIf(state_[idx] != RegState::kMapped, "spill of unmapped register");
+    panicIf(reg < fixedExempt_,
+            "fixed-home exempt registers are never spilled");
+    spillStore_[idx] = file_.values(mapping_[idx]);
+    freeMapping(warp_slot, cta_slot, reg);
+    state_[idx] = RegState::kSpilled;
+    ++renameStats_.spills;
+    ++renameStats_.updates;
+}
+
+RegisterManager::AllocOutcome
+RegisterManager::refillReg(u32 warp_slot, u32 cta_slot, u32 reg)
+{
+    const u32 idx = slotIndex(warp_slot, reg);
+    panicIf(state_[idx] != RegState::kSpilled,
+            "refill of a register that is not spilled");
+    state_[idx] = RegState::kUnmapped;
+    const AllocOutcome res = allocRenamed(warp_slot, cta_slot, reg);
+    if (!res.ok) {
+        state_[idx] = RegState::kSpilled;
+        return res;
+    }
+    file_.values(mapping_[idx]) = spillStore_[idx];
+    ++renameStats_.refills;
+    return res;
+}
+
+bool
+RegisterManager::hasSpilledRegs(u32 warp_slot) const
+{
+    for (u32 r = fixedExempt_; r < regsPerWarp_; ++r)
+        if (state_[slotIndex(warp_slot, r)] == RegState::kSpilled)
+            return true;
+    return false;
+}
+
+std::vector<u32>
+RegisterManager::spilledRegs(u32 warp_slot) const
+{
+    std::vector<u32> out;
+    for (u32 r = fixedExempt_; r < regsPerWarp_; ++r)
+        if (state_[slotIndex(warp_slot, r)] == RegState::kSpilled)
+            out.push_back(r);
+    return out;
+}
+
+void
+RegisterManager::sampleCycle()
+{
+    file_.sampleCycle();
+    renameStats_.mappedRegCycles += mapped_;
+    renameStats_.sampledCycles += 1;
+}
+
+} // namespace rfv

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Mode-aware register management for one SM (paper Sections 7 and 8).
+ *
+ * All register values flow through the architected-to-physical mapping,
+ * so an unsafe release (compiler bug, hardware bug) corrupts results
+ * and is caught by the functional test suite — the renaming is not just
+ * bookkeeping.
+ *
+ * Modes:
+ *  - Baseline: all registers of a CTA allocated at launch, freed at
+ *    completion.  Launch fails when the file is too small (occupancy
+ *    pressure), exactly like a real GPU.
+ *  - Virtualized: exempt registers (< numExempt) get fixed reserved
+ *    homes at launch; renamed registers are allocated on write
+ *    (bank-restricted to preserve compiler bank assignment) and freed
+ *    at pir/pbr release points.  Spill/refill hooks support the
+ *    GPU-shrink throttle's corner case.
+ *  - HardwareOnly: patent [46] - allocate on first write, free only on
+ *    CTA completion (redefinition reuses the mapping, which is
+ *    occupancy-equivalent to dealloc+realloc).
+ */
+#ifndef RFV_REGFILE_REGISTER_MANAGER_H
+#define RFV_REGFILE_REGISTER_MANAGER_H
+
+#include <vector>
+
+#include "regfile/phys_regfile.h"
+
+namespace rfv {
+
+/** Renaming-layer counters for the power model. */
+struct RenameStats {
+    u64 lookups = 0;     //!< renaming-table reads (operand lookups)
+    u64 updates = 0;     //!< renaming-table writes (alloc/release)
+    u64 spills = 0;      //!< registers spilled by the scheduler engine
+    u64 refills = 0;     //!< registers refilled from spill space
+    /** Sum over sampled cycles of mapped architected registers. */
+    u64 mappedRegCycles = 0;
+    u64 sampledCycles = 0;
+};
+
+/** Mapping state of one architected register of one warp slot. */
+enum class RegState : u8 { kUnmapped, kMapped, kSpilled };
+
+/** Per-SM register manager. */
+class RegisterManager {
+  public:
+    RegisterManager(const RegFileConfig &cfg, u32 maxWarpSlots);
+
+    /** Bind the kernel's footprint; resets all state. */
+    void configureKernel(u32 regsPerWarp, u32 numExempt);
+
+    /**
+     * CTA launch: Baseline maps every register of every warp;
+     * Virtualized maps the exempt registers into their reserved homes.
+     * @return false (with full rollback) if physical registers ran out —
+     *         the CTA cannot be resident yet.
+     */
+    bool launchCta(u32 ctaSlot, u32 firstWarpSlot, u32 numWarps);
+
+    /** CTA completion: frees everything the CTA still holds. */
+    void completeCta(u32 ctaSlot, u32 firstWarpSlot, u32 numWarps);
+
+    /** Outcome of a write-side mapping request. */
+    struct AllocOutcome {
+        bool ok = false;
+        u32 wakeCycles = 0;
+    };
+
+    /**
+     * Ensure the destination register is mapped before a write.
+     * Virtualized/HardwareOnly allocate on demand; Baseline expects the
+     * mapping to exist.  Fails (ok=false) when the register file bank
+     * is exhausted — the caller stalls or invokes the spill engine.
+     */
+    AllocOutcome ensureMappedForWrite(u32 warpSlot, u32 ctaSlot, u32 reg);
+
+    RegState state(u32 warpSlot, u32 reg) const;
+
+    /** Physical register backing (panics unless mapped). */
+    u32 physOf(u32 warpSlot, u32 reg) const;
+
+    /** Physical bank backing the register (operand-collector model). */
+    u32 physBankOf(u32 warpSlot, u32 reg) const;
+
+    /** Lane values (panics unless mapped). */
+    WarpValue &values(u32 warpSlot, u32 reg);
+
+    /** Account a warp-wide operand read (bank + renaming lookups). */
+    void countOperandRead(u32 warpSlot, u32 reg);
+
+    /** Account a warp-wide result write. */
+    void countOperandWrite(u32 warpSlot, u32 reg);
+
+    /**
+     * Release an architected register (pir/pbr).  No-op for exempt or
+     * unmapped registers (releasing an absent mapping is harmless by
+     * design) and in Baseline/HardwareOnly modes.
+     */
+    void releaseReg(u32 warpSlot, u32 ctaSlot, u32 reg);
+
+    // ---- GPU-shrink spill engine hooks ---------------------------------
+    /** Renamed, mapped registers of a warp (spill victims). */
+    std::vector<u32> spillCandidates(u32 warpSlot) const;
+
+    /** Save values to spill storage and free the physical register. */
+    void spillReg(u32 warpSlot, u32 ctaSlot, u32 reg);
+
+    /** Re-allocate and restore a spilled register. */
+    AllocOutcome refillReg(u32 warpSlot, u32 ctaSlot, u32 reg);
+
+    /** True if the warp has any spilled register. */
+    bool hasSpilledRegs(u32 warpSlot) const;
+
+    /** Spilled registers of a warp. */
+    std::vector<u32> spilledRegs(u32 warpSlot) const;
+
+    // ---- Queries ---------------------------------------------------------
+    u32 freeRegs() const { return file_.freeTotal(); }
+    u32 ctaAllocated(u32 ctaSlot) const { return ctaAlloc_[ctaSlot]; }
+    u32 mappedCount() const { return mapped_; }
+    u32 numExempt() const { return numExempt_; }
+    u32 fixedExempt() const { return fixedExempt_; }
+    u32 regsPerWarp() const { return regsPerWarp_; }
+
+    PhysRegFile &file() { return file_; }
+    const PhysRegFile &file() const { return file_; }
+    const RenameStats &renameStats() const { return renameStats_; }
+
+    /** Integrate per-cycle state (power gating, live-register trace). */
+    void sampleCycle();
+
+  private:
+    u32 slotIndex(u32 warpSlot, u32 reg) const;
+    u32 archBank(u32 reg) const { return reg % cfg_.numBanks; }
+    u32 exemptHome(u32 warpSlot, u32 reg) const;
+    AllocOutcome allocRenamed(u32 warpSlot, u32 ctaSlot, u32 reg);
+    void freeMapping(u32 warpSlot, u32 ctaSlot, u32 reg);
+
+    RegFileConfig cfg_;
+    u32 maxWarpSlots_;
+    u32 regsPerWarp_ = 0;
+    u32 numExempt_ = 0;
+    /**
+     * Exempt registers with fixed reserved homes.  May be fewer than
+     * numExempt_ when the reservation (exempt regs x warp slots) would
+     * starve a bank of renamed capacity; the remainder allocate
+     * dynamically on first write and — since the compiler never emits
+     * releases for exempt registers — still live until CTA completion.
+     */
+    u32 fixedExempt_ = 0;
+    PhysRegFile file_;
+
+    std::vector<u32> mapping_;   //!< (slot, reg) -> phys
+    std::vector<RegState> state_;
+    std::vector<WarpValue> spillStore_;
+    std::vector<u32> ctaAlloc_;  //!< registers held per CTA slot
+    u32 mapped_ = 0;
+
+    // Exempt-region geometry.
+    std::vector<u32> exemptInBank_;   //!< exempt regs per bank
+    std::vector<u32> exemptRankInBank_; //!< rank of exempt reg in its bank
+    std::vector<u32> reservedPerBank_;
+
+    RenameStats renameStats_;
+};
+
+} // namespace rfv
+
+#endif // RFV_REGFILE_REGISTER_MANAGER_H

@@ -1,0 +1,33 @@
+#include "regfile/release_flag_cache.h"
+
+namespace rfv {
+
+ReleaseFlagCache::ReleaseFlagCache(u32 entries) : entries_(entries)
+{
+    reset();
+}
+
+void
+ReleaseFlagCache::reset()
+{
+    tags_.assign(entries_ ? entries_ : 0, kInvalidPc);
+}
+
+bool
+ReleaseFlagCache::access(u32 pc)
+{
+    if (entries_ == 0) {
+        ++stats_.misses;
+        return false;
+    }
+    const u32 idx = indexOf(pc);
+    if (tags_[idx] == pc) {
+        ++stats_.hits;
+        return true;
+    }
+    tags_[idx] = pc;
+    ++stats_.misses;
+    return false;
+}
+
+} // namespace rfv

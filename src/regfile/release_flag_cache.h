@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Release flag cache (paper Section 7.2).
+ *
+ * A small, direct-mapped, PC-indexed cache of pir payloads shared by
+ * all warps of an SM.  Warps within a CTA execute the same code close
+ * together in time, so a ~10-entry cache absorbs nearly all repeated
+ * metadata fetch/decode work (paper Fig. 13).
+ */
+#ifndef RFV_REGFILE_RELEASE_FLAG_CACHE_H
+#define RFV_REGFILE_RELEASE_FLAG_CACHE_H
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace rfv {
+
+/** Hit/miss accounting for the power model and Fig. 13. */
+struct FlagCacheStats {
+    u64 hits = 0;
+    u64 misses = 0; //!< pir fetched+decoded from the instruction cache
+    u64 probes() const { return hits + misses; }
+};
+
+/** Direct-mapped PC-indexed cache of 54-bit pir payloads. */
+class ReleaseFlagCache {
+  public:
+    /** @param entries number of cache entries; 0 disables the cache. */
+    explicit ReleaseFlagCache(u32 entries);
+
+    /**
+     * Probe for the pir at @p pc; on miss the caller fetched and
+     * decoded it, and the entry is filled (replacing the resident one).
+     * @return true on hit.
+     */
+    bool access(u32 pc);
+
+    /** Drop all entries (kernel switch). */
+    void reset();
+
+    const FlagCacheStats &stats() const { return stats_; }
+
+  private:
+    u32 indexOf(u32 pc) const { return pc % entries_; }
+
+    u32 entries_;
+    std::vector<u32> tags_; //!< resident pc per entry; kInvalidPc empty
+    FlagCacheStats stats_;
+};
+
+} // namespace rfv
+
+#endif // RFV_REGFILE_RELEASE_FLAG_CACHE_H

@@ -1,0 +1,139 @@
+#include "sim/gpu.h"
+
+namespace rfv {
+
+Gpu::Gpu(const GpuConfig &cfg, const Program &prog,
+         const LaunchParams &launch, GlobalMemory &gmem, TraceHooks hooks)
+    : cfg_(cfg), prog_(prog), launch_(launch), gmem_(gmem),
+      hooks_(std::move(hooks)),
+      dram_(cfg.globalLatency, cfg.dramCyclesPerTransaction)
+{
+    cfg_.validate();
+    prog_.validate();
+    fatalIf(launch_.gridCtas == 0, "empty grid");
+    fatalIf(launch_.threadsPerCta == 0, "empty CTA");
+    for (u32 s = 0; s < cfg_.numSms; ++s) {
+        sms_.push_back(std::make_unique<Sm>(s, cfg_, prog_, launch_,
+                                            gmem_, dram_, hooks_));
+    }
+}
+
+SimResult
+aggregateResults(const std::vector<std::unique_ptr<Sm>> &sms,
+                 const DramModel &dram, Cycle cycles, u32 regs_per_warp)
+{
+    SimResult res;
+    res.cycles = cycles;
+    res.regsPerWarp = regs_per_warp;
+    res.dram = dram.stats();
+    res.rf.bankReads.assign(kNumRegBanks, 0);
+    res.rf.bankWrites.assign(kNumRegBanks, 0);
+    for (const auto &sm : sms) {
+        const SmStats &s = sm->stats();
+        res.issuedInstrs += s.issuedInstrs;
+        res.threadInstrs += s.threadInstrs;
+        res.metaEncounters += s.metaEncounters;
+        res.metaDecoded += s.metaDecoded;
+        res.scoreboardStalls += s.scoreboardStalls;
+        res.allocStallEvents += s.allocStallEvents;
+        res.throttleActiveCycles += s.throttleActiveCycles;
+        res.bankConflictCycles += s.bankConflictCycles;
+        res.spillEvents += s.spillEvents;
+        res.spilledRegs += s.spilledRegs;
+        res.refilledRegs += s.refilledRegs;
+        res.wakeStallEvents += s.wakeStallEvents;
+        res.icacheHits += s.icacheHits;
+        res.icacheMisses += s.icacheMisses;
+        res.dcacheHits += s.dcacheHits;
+        res.dcacheMisses += s.dcacheMisses;
+        res.peakResidentWarps += s.peakResidentWarps;
+        res.completedCtas += sm->completedCtas();
+
+        const auto &fc = sm->flagCache().stats();
+        res.flagCacheHits += fc.hits;
+        res.flagCacheMisses += fc.misses;
+
+        const auto &rf = sm->regs().file().stats();
+        for (u32 b = 0; b < rf.bankReads.size() && b < kNumRegBanks; ++b) {
+            res.rf.bankReads[b] += rf.bankReads[b];
+            res.rf.bankWrites[b] += rf.bankWrites[b];
+        }
+        res.rf.allocations += rf.allocations;
+        res.rf.releases += rf.releases;
+        res.rf.wakeEvents += rf.wakeEvents;
+        res.rf.activeSubarrayCycles += rf.activeSubarrayCycles;
+        res.rf.sampledCycles += rf.sampledCycles;
+        res.rf.allocWatermark += rf.allocWatermark;
+        res.rf.touchedCount += rf.touchedCount;
+        res.rf.crossWarpReuse += rf.crossWarpReuse;
+        res.rf.sameWarpReuse += rf.sameWarpReuse;
+
+        const auto &rn = sm->regs().renameStats();
+        res.rename.lookups += rn.lookups;
+        res.rename.updates += rn.updates;
+        res.rename.spills += rn.spills;
+        res.rename.refills += rn.refills;
+        res.rename.mappedRegCycles += rn.mappedRegCycles;
+        res.rename.sampledCycles += rn.sampledCycles;
+    }
+    return res;
+}
+
+SimResult
+Gpu::run()
+{
+    u32 next_cta = 0;
+    u32 completed = 0;
+    Cycle cycle = 0;
+
+    auto dispatch = [&]() {
+        // Round-robin CTAs onto SMs with free slots.
+        bool progress = true;
+        while (progress && next_cta < launch_.gridCtas) {
+            progress = false;
+            for (auto &sm : sms_) {
+                if (next_cta >= launch_.gridCtas)
+                    break;
+                if (sm->tryLaunchCta(next_cta, cycle)) {
+                    ++next_cta;
+                    progress = true;
+                }
+            }
+        }
+    };
+
+    dispatch();
+    fatalIf(next_cta == 0,
+            "no CTA could be launched: kernel exceeds the register file "
+            "even for a single CTA in baseline mode");
+
+    while (true) {
+        bool busy = false;
+        for (auto &sm : sms_)
+            busy |= sm->busy();
+        if (!busy && next_cta >= launch_.gridCtas)
+            break;
+
+        for (auto &sm : sms_)
+            sm->step(cycle);
+
+        if (next_cta < launch_.gridCtas)
+            dispatch();
+
+        ++cycle;
+        if (cycle >= cfg_.maxCycles) {
+            panic("watchdog: kernel exceeded " +
+                  std::to_string(cfg_.maxCycles) + " cycles");
+        }
+    }
+
+    completed = 0;
+    for (const auto &sm : sms_)
+        completed += sm->completedCtas();
+    panicIf(completed != launch_.gridCtas,
+            "not all CTAs completed at end of simulation");
+
+    return aggregateResults(sms_, dram_, cycle, prog_.numRegs);
+}
+
+} // namespace rfv

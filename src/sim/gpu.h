@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Multi-SM GPU driver: CTA dispatch, the cycle loop, and result
+ * aggregation.
+ */
+#ifndef RFV_SIM_GPU_H
+#define RFV_SIM_GPU_H
+
+#include <memory>
+
+#include "sim/sm.h"
+
+namespace rfv {
+
+/** Aggregated outcome of one kernel run. */
+struct SimResult {
+    Cycle cycles = 0;
+    u64 issuedInstrs = 0;
+    u64 threadInstrs = 0;
+    u64 metaEncounters = 0;
+    u64 metaDecoded = 0;
+    u64 flagCacheHits = 0;
+    u64 flagCacheMisses = 0;
+    u64 scoreboardStalls = 0;
+    u64 allocStallEvents = 0;
+    u64 throttleActiveCycles = 0;
+    u64 bankConflictCycles = 0;
+    u64 spillEvents = 0;
+    u64 spilledRegs = 0;
+    u64 refilledRegs = 0;
+    u64 wakeStallEvents = 0;
+    u64 icacheHits = 0;
+    u64 icacheMisses = 0;
+    u64 dcacheHits = 0;
+    u64 dcacheMisses = 0;
+    u32 peakResidentWarps = 0;
+    u32 completedCtas = 0;
+
+    PhysRegFileStats rf;     //!< summed over SMs
+    RenameStats rename;      //!< summed over SMs
+    DramStats dram;
+
+    /** Kernel footprint, for allocation-reduction metrics. */
+    u32 regsPerWarp = 0;
+
+    /**
+     * Dynamic code increase from metadata in percent:
+     * decoded metadata / issued regular instructions.
+     */
+    double
+    dynamicCodeIncreasePct() const
+    {
+        return issuedInstrs
+                   ? 100.0 * static_cast<double>(metaDecoded) /
+                         static_cast<double>(issuedInstrs)
+                   : 0.0;
+    }
+
+    /**
+     * Register allocation reduction vs. the compiler reservation at
+     * peak residency (paper Fig. 10): 1 - watermark/reserved.
+     */
+    double
+    allocationReductionPct() const
+    {
+        const double reserved =
+            static_cast<double>(peakResidentWarps) * regsPerWarp;
+        if (reserved <= 0)
+            return 0.0;
+        const double pct =
+            100.0 * (1.0 - static_cast<double>(rf.allocWatermark) /
+                               reserved);
+        return pct > 0 ? pct : 0.0;
+    }
+};
+
+/** One GPU instance bound to a compiled kernel and its memory. */
+class Gpu {
+  public:
+    Gpu(const GpuConfig &cfg, const Program &prog,
+        const LaunchParams &launch, GlobalMemory &gmem,
+        TraceHooks hooks = {});
+
+    /** Run the kernel to completion; throws on watchdog expiry. */
+    SimResult run();
+
+    /** SMs (read-only access for tests). */
+    const Sm &sm(u32 i) const { return *sms_[i]; }
+
+  private:
+    GpuConfig cfg_;
+    const Program &prog_;
+    LaunchParams launch_;
+    GlobalMemory &gmem_;
+    TraceHooks hooks_;
+    DramModel dram_;
+    std::vector<std::unique_ptr<Sm>> sms_;
+};
+
+/**
+ * Convenience wrapper: aggregate SM/DRAM statistics into a SimResult
+ * (shared by Gpu::run and tests).
+ */
+SimResult aggregateResults(const std::vector<std::unique_ptr<Sm>> &sms,
+                           const DramModel &dram, Cycle cycles,
+                           u32 regsPerWarp);
+
+} // namespace rfv
+
+#endif // RFV_SIM_GPU_H

@@ -1,0 +1,38 @@
+#include "sim/icache.h"
+
+#include "common/error.h"
+
+namespace rfv {
+
+ICache::ICache(u32 total_instrs, u32 line_instrs)
+    : numLines_(line_instrs ? total_instrs / line_instrs : 0),
+      lineInstrs_(line_instrs ? line_instrs : 1)
+{
+    reset();
+}
+
+void
+ICache::reset()
+{
+    tags_.assign(numLines_, kInvalidPc);
+}
+
+bool
+ICache::access(u32 pc)
+{
+    if (numLines_ == 0) {
+        ++stats_.hits; // disabled: ideal instruction supply
+        return true;
+    }
+    const u32 line = pc / lineInstrs_;
+    const u32 idx = line % numLines_;
+    if (tags_[idx] == line) {
+        ++stats_.hits;
+        return true;
+    }
+    tags_[idx] = line;
+    ++stats_.misses;
+    return false;
+}
+
+} // namespace rfv

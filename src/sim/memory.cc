@@ -1,0 +1,48 @@
+#include "sim/memory.h"
+
+#include <algorithm>
+
+namespace rfv {
+
+GlobalMemory::GlobalMemory(u32 bytes)
+{
+    fatalIf(bytes % 4 != 0, "global memory size must be word aligned");
+    words_.assign(bytes / 4, 0);
+}
+
+u32
+GlobalMemory::load(u32 byte_addr) const
+{
+    panicIf(byte_addr % 4 != 0, "unaligned global load");
+    const u32 w = byte_addr / 4;
+    panicIf(w >= words_.size(), "global load out of bounds at byte " +
+                                    std::to_string(byte_addr));
+    return words_[w];
+}
+
+void
+GlobalMemory::store(u32 byte_addr, u32 value)
+{
+    panicIf(byte_addr % 4 != 0, "unaligned global store");
+    const u32 w = byte_addr / 4;
+    panicIf(w >= words_.size(), "global store out of bounds at byte " +
+                                    std::to_string(byte_addr));
+    words_[w] = value;
+}
+
+u32
+coalescedTransactions(const std::vector<u32> &byte_addrs)
+{
+    if (byte_addrs.empty())
+        return 0;
+    std::vector<u32> segments;
+    segments.reserve(byte_addrs.size());
+    for (u32 a : byte_addrs)
+        segments.push_back(a / 128);
+    std::sort(segments.begin(), segments.end());
+    segments.erase(std::unique(segments.begin(), segments.end()),
+                   segments.end());
+    return static_cast<u32>(segments.size());
+}
+
+} // namespace rfv

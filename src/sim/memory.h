@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Functional global memory and a bandwidth/latency DRAM timing model.
+ */
+#ifndef RFV_SIM_MEMORY_H
+#define RFV_SIM_MEMORY_H
+
+#include <vector>
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace rfv {
+
+/**
+ * Flat, word-granular global memory shared by the whole GPU.
+ * Addresses are byte addresses and must be 4-byte aligned.
+ */
+class GlobalMemory {
+  public:
+    explicit GlobalMemory(u32 bytes);
+
+    u32 sizeBytes() const { return static_cast<u32>(words_.size()) * 4; }
+
+    u32 load(u32 byteAddr) const;
+    void store(u32 byteAddr, u32 value);
+
+    /** Convenience word accessors for workload setup/verification. */
+    u32 word(u32 index) const { return words_.at(index); }
+    void setWord(u32 index, u32 value) { words_.at(index) = value; }
+
+  private:
+    std::vector<u32> words_;
+};
+
+/** DRAM statistics. */
+struct DramStats {
+    u64 requests = 0;     //!< warp-level memory operations
+    u64 transactions = 0; //!< 128-byte segments transferred
+    u64 queueCycles = 0;  //!< total cycles requests waited for service
+};
+
+/**
+ * GPU-wide DRAM channel: a single service pipe with fixed per-128B
+ * transaction occupancy and a base access latency.  Contention appears
+ * as queueing delay — which is what lets CTA throttling *improve*
+ * memory-bound kernels (paper's MUM observation on Fig. 11a).
+ */
+class DramModel {
+  public:
+    DramModel(u32 baseLatency, u32 cyclesPerTransaction)
+        : baseLatency_(baseLatency),
+          cyclesPerTransaction_(cyclesPerTransaction)
+    {
+    }
+
+    /**
+     * Issue a request of @p transactions segments at @p now.
+     * @return completion cycle.
+     */
+    Cycle
+    access(Cycle now, u32 transactions)
+    {
+        const Cycle start = std::max(now, nextFree_);
+        nextFree_ = start + static_cast<Cycle>(transactions) *
+                                cyclesPerTransaction_;
+        ++stats_.requests;
+        stats_.transactions += transactions;
+        stats_.queueCycles += start - now;
+        return nextFree_ + baseLatency_;
+    }
+
+    const DramStats &stats() const { return stats_; }
+
+  private:
+    u32 baseLatency_;
+    u32 cyclesPerTransaction_;
+    Cycle nextFree_ = 0;
+    DramStats stats_;
+};
+
+/** Count distinct 128-byte segments touched by a set of addresses. */
+u32 coalescedTransactions(const std::vector<u32> &byteAddrs);
+
+} // namespace rfv
+
+#endif // RFV_SIM_MEMORY_H

@@ -1,0 +1,98 @@
+#include "sim/simt_stack.h"
+
+#include "common/error.h"
+
+namespace rfv {
+
+void
+SimtStack::reset(u32 initial_mask)
+{
+    entries_.clear();
+    if (initial_mask)
+        entries_.push_back({0, kInvalidPc, initial_mask});
+}
+
+u32
+SimtStack::pc() const
+{
+    panicIf(entries_.empty(), "pc of a finished warp");
+    return entries_.back().pc;
+}
+
+u32
+SimtStack::activeMask() const
+{
+    panicIf(entries_.empty(), "mask of a finished warp");
+    return entries_.back().mask;
+}
+
+void
+SimtStack::mergeAtReconvergence()
+{
+    while (!entries_.empty()) {
+        const SimtEntry &top = entries_.back();
+        if (top.pc != top.rpc || top.rpc == kInvalidPc)
+            break;
+        entries_.pop_back();
+    }
+}
+
+void
+SimtStack::advance(u32 next_pc)
+{
+    panicIf(entries_.empty(), "advance of a finished warp");
+    entries_.back().pc = next_pc;
+    mergeAtReconvergence();
+}
+
+void
+SimtStack::branch(u32 taken_pc, u32 fall_pc, u32 taken_mask, u32 rpc)
+{
+    panicIf(entries_.empty(), "branch of a finished warp");
+    SimtEntry &top = entries_.back();
+    const u32 active = top.mask;
+    panicIf((taken_mask & ~active) != 0,
+            "taken mask exceeds the active mask");
+    const u32 fall_mask = active & ~taken_mask;
+
+    if (fall_mask == 0) {
+        advance(taken_pc);
+        return;
+    }
+    if (taken_mask == 0) {
+        advance(fall_pc);
+        return;
+    }
+
+    // Divergence: current frame becomes the reconvergence continuation.
+    top.pc = rpc;
+    // If the compiler could not find a reconvergence point (both sides
+    // run to exit), there is no continuation frame to keep.
+    if (rpc == kInvalidPc)
+        entries_.pop_back();
+    entries_.push_back({fall_pc, rpc, fall_mask});
+    entries_.push_back({taken_pc, rpc, taken_mask});
+    // A side whose entry pc is already the reconvergence point (e.g. a
+    // branch straight to the join block) merges immediately; executing
+    // it with a partial mask would run the join — and its pbr releases
+    // — before the other side.
+    mergeAtReconvergence();
+}
+
+void
+SimtStack::exitLanes(u32 mask)
+{
+    for (auto &entry : entries_)
+        entry.mask &= ~mask;
+    // Drop empty frames wherever they are; order among survivors is
+    // preserved.
+    std::vector<SimtEntry> kept;
+    kept.reserve(entries_.size());
+    for (const auto &entry : entries_)
+        if (entry.mask)
+            kept.push_back(entry);
+    entries_ = std::move(kept);
+    mergeAtReconvergence();
+}
+
+} // namespace rfv

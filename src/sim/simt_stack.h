@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Per-warp SIMT reconvergence stack (PDOM scheme).
+ *
+ * Entries carry (pc, reconvergence pc, active mask).  On a divergent
+ * branch the current entry is re-pointed at the reconvergence pc and
+ * one entry per side is pushed; an entry whose pc reaches its rpc is
+ * popped, merging lanes back.
+ */
+#ifndef RFV_SIM_SIMT_STACK_H
+#define RFV_SIM_SIMT_STACK_H
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace rfv {
+
+/** One reconvergence stack frame. */
+struct SimtEntry {
+    u32 pc = 0;
+    u32 rpc = kInvalidPc;
+    u32 mask = 0;
+};
+
+/** The reconvergence stack of one warp. */
+class SimtStack {
+  public:
+    /** Reset for a fresh warp with @p initialMask active lanes. */
+    void reset(u32 initialMask);
+
+    /** True once every lane has exited. */
+    bool done() const { return entries_.empty(); }
+
+    /** Current fetch pc. */
+    u32 pc() const;
+
+    /** Current active mask. */
+    u32 activeMask() const;
+
+    /** Sequentially advance to @p nextPc (merges at reconvergence). */
+    void advance(u32 nextPc);
+
+    /**
+     * Take a (possibly divergent) branch.  @p takenMask must be a
+     * subset of the active mask; @p rpc is the compiler-provided
+     * reconvergence pc (kInvalidPc when the paths never reconverge
+     * before exit, in which case lanes simply run to exit).
+     */
+    void branch(u32 takenPc, u32 fallPc, u32 takenMask, u32 rpc);
+
+    /** Retire @p mask lanes (exit); drops empty frames. */
+    void exitLanes(u32 mask);
+
+    /** Current stack depth (tests/debug). */
+    u32 depth() const { return static_cast<u32>(entries_.size()); }
+
+  private:
+    void mergeAtReconvergence();
+
+    std::vector<SimtEntry> entries_;
+};
+
+} // namespace rfv
+
+#endif // RFV_SIM_SIMT_STACK_H

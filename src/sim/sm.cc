@@ -1,0 +1,1039 @@
+#include "sim/sm.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <bit>
+
+#include "common/bit_utils.h"
+#include "compiler/liveness.h"
+#include "isa/metadata.h"
+
+namespace rfv {
+
+namespace {
+
+/** Interpret a 32-bit word as float. */
+float
+asFloat(u32 bits)
+{
+    return std::bit_cast<float>(bits);
+}
+
+u32
+asBits(float f)
+{
+    return std::bit_cast<u32>(f);
+}
+
+/** Warp slots an SM provisions for this kernel. */
+u32
+computeMaxWarpSlots(const GpuConfig &cfg, const LaunchParams &launch)
+{
+    const u32 wpc = launch.warpsPerCta();
+    if (wpc == 0 || wpc > cfg.maxWarpsPerSm)
+        return 1;
+    const u32 conc = std::min({launch.concCtasPerSm, cfg.maxCtasPerSm,
+                               cfg.maxWarpsPerSm / wpc});
+    return std::max(1u, conc * wpc);
+}
+
+/** RFV_TRACE_RELEASE=1 prints warp-0 register releases to stderr. */
+bool
+traceReleases()
+{
+    static const bool enabled = std::getenv("RFV_TRACE_RELEASE");
+    return enabled;
+}
+
+bool
+compare(CmpOp op, u32 a, u32 b)
+{
+    const i32 sa = static_cast<i32>(a);
+    const i32 sb = static_cast<i32>(b);
+    switch (op) {
+      case CmpOp::kEq: return a == b;
+      case CmpOp::kNe: return a != b;
+      case CmpOp::kLt: return sa < sb;
+      case CmpOp::kLe: return sa <= sb;
+      case CmpOp::kGt: return sa > sb;
+      case CmpOp::kGe: return sa >= sb;
+    }
+    panic("bad cmp");
+}
+
+} // namespace
+
+Sm::Sm(u32 sm_id, const GpuConfig &cfg, const Program &prog,
+       const LaunchParams &launch, GlobalMemory &gmem, DramModel &dram,
+       const TraceHooks &hooks)
+    : smId_(sm_id), cfg_(cfg), prog_(prog), launch_(launch), gmem_(gmem),
+      dram_(dram), hooks_(hooks), warpsPerCta_(launch.warpsPerCta()),
+      maxConcCtas_(0),
+      mgr_(cfg.regFile, computeMaxWarpSlots(cfg, launch)),
+      flagCache_(cfg.regFile.flagCacheEntries),
+      icache_(cfg.icacheInstrs, cfg.icacheLineInstrs),
+      dcache_(cfg.dcacheLines, cfg.dcacheLineBytes),
+      effectiveReadyQueue_(cfg.scheduler == SchedulerPolicy::kTwoLevel
+                               ? cfg.readyQueueSize
+                               : cfg.maxWarpsPerSm),
+      twoLevel_(cfg.scheduler == SchedulerPolicy::kTwoLevel)
+{
+    fatalIf(warpsPerCta_ == 0, "CTA needs at least one warp");
+    fatalIf(warpsPerCta_ > cfg_.maxWarpsPerSm,
+            "CTA has more warps than an SM can hold");
+    maxConcCtas_ = std::min({launch.concCtasPerSm, cfg_.maxCtasPerSm,
+                             cfg_.maxWarpsPerSm / warpsPerCta_});
+    fatalIf(maxConcCtas_ == 0, "SM cannot hold even one CTA");
+
+    const u32 warp_slots = maxConcCtas_ * warpsPerCta_;
+    warps_.assign(warp_slots, Warp{});
+    ctaSlots_.assign(maxConcCtas_, CtaSlot{});
+    sharedMem_.assign(maxConcCtas_,
+                      std::vector<u32>(ceilDiv(prog.sharedMemBytes, 4), 0));
+    localMem_.assign(warp_slots,
+                     std::vector<WarpValue>(prog.localMemSlots));
+
+    bankPortUse_.assign(cfg.regFile.numBanks, 0);
+    mgr_.configureKernel(prog.numRegs, prog.numExemptRegs);
+}
+
+u32
+Sm::residentWarps() const
+{
+    u32 n = 0;
+    for (const auto &cta : ctaSlots_)
+        if (cta.active)
+            n += cta.numWarps;
+    return n;
+}
+
+bool
+Sm::tryLaunchCta(u32 global_cta_id, Cycle now)
+{
+    i32 slot = -1;
+    for (u32 s = 0; s < maxConcCtas_; ++s) {
+        if (!ctaSlots_[s].active) {
+            slot = static_cast<i32>(s);
+            break;
+        }
+    }
+    if (slot < 0)
+        return false;
+    const u32 s = static_cast<u32>(slot);
+    const u32 first = firstWarpSlot(s);
+
+    if (!mgr_.launchCta(s, first, warpsPerCta_))
+        return false; // register file cannot hold this CTA yet
+
+    ctaSlots_[s].active = true;
+    ctaSlots_[s].globalId = global_cta_id;
+    ctaSlots_[s].numWarps = warpsPerCta_;
+    ctaSlots_[s].warpsFinished = 0;
+    ctaSlots_[s].barrierArrived = 0;
+    std::fill(sharedMem_[s].begin(), sharedMem_[s].end(), 0);
+
+    for (u32 i = 0; i < warpsPerCta_; ++i) {
+        Warp &w = warps_[first + i];
+        w = Warp{};
+        w.valid = true;
+        w.ctaSlot = s;
+        w.warpInCta = i;
+        w.globalCtaId = global_cta_id;
+        const u32 threads_before = i * kWarpSize;
+        const u32 lanes = std::min(
+            kWarpSize, launch_.threadsPerCta - threads_before);
+        w.stack.reset(static_cast<u32>(lowMask(lanes)));
+        w.blockedUntil = now;
+        for (auto &mem : localMem_[first + i])
+            mem.fill(0);
+        pendingQueue_.push_back(first + i);
+    }
+    ++residentCtas_;
+    stats_.peakResidentWarps =
+        std::max(stats_.peakResidentWarps, residentWarps());
+    refillReadyQueue();
+    return true;
+}
+
+void
+Sm::refillReadyQueue()
+{
+    while (readyQueue_.size() < effectiveReadyQueue_ &&
+           !pendingQueue_.empty()) {
+        const u32 wi = pendingQueue_.front();
+        pendingQueue_.pop_front();
+        const Warp &w = warps_[wi];
+        if (!w.valid || w.finished)
+            continue;
+        readyQueue_.push_back(wi);
+    }
+}
+
+void
+Sm::demoteWarp(u32 warp_idx)
+{
+    auto it = std::find(readyQueue_.begin(), readyQueue_.end(), warp_idx);
+    if (it != readyQueue_.end())
+        readyQueue_.erase(it);
+    const Warp &w = warps_[warp_idx];
+    if (w.valid && !w.finished)
+        pendingQueue_.push_back(warp_idx);
+}
+
+void
+Sm::drainCompletions(Cycle now)
+{
+    while (!completions_.empty() && completions_.top().time <= now) {
+        const Completion c = completions_.top();
+        completions_.pop();
+        Warp &w = warps_[c.warp];
+        w.pendingRegs &= ~c.regMask;
+        w.pendingPreds &= ~c.predMask;
+        if (c.isLoad) {
+            panicIf(w.pendingLoads == 0, "load completion underflow");
+            --w.pendingLoads;
+            panicIf(inFlightLoads_ == 0, "MSHR underflow");
+            --inFlightLoads_;
+        }
+    }
+}
+
+void
+Sm::evaluateThrottle()
+{
+    throttleActive_ = false;
+    if (cfg_.regFile.mode != RegFileMode::kVirtualized)
+        return;
+    const u32 free = mgr_.freeRegs();
+    u32 min_balance = ~0u;
+    u32 argmin = 0;
+    bool any = false;
+    const u32 cta_max = warpsPerCta_ * prog_.numRegs;
+    for (u32 s = 0; s < maxConcCtas_; ++s) {
+        if (!ctaSlots_[s].active)
+            continue;
+        const u32 held = mgr_.ctaAllocated(s);
+        const u32 balance = cta_max > held ? cta_max - held : 0;
+        if (!any || balance < min_balance) {
+            min_balance = balance;
+            argmin = s;
+        }
+        any = true;
+    }
+    if (any && free <= min_balance) {
+        throttleActive_ = true;
+        throttleCta_ = argmin;
+    }
+}
+
+std::pair<Cycle, bool>
+Sm::dramLoadTiming(const std::vector<u32> &byte_addrs, Cycle now)
+{
+    // Count distinct line-sized segments; probe the L1 for each.
+    std::vector<u32> missing;
+    if (dcache_.enabled()) {
+        std::vector<u32> segs = byte_addrs;
+        for (u32 &a : segs)
+            a /= cfg_.dcacheLineBytes;
+        std::sort(segs.begin(), segs.end());
+        segs.erase(std::unique(segs.begin(), segs.end()), segs.end());
+        for (u32 seg : segs) {
+            if (dcache_.access(seg * cfg_.dcacheLineBytes))
+                ++stats_.dcacheHits;
+            else {
+                ++stats_.dcacheMisses;
+                missing.push_back(seg * cfg_.dcacheLineBytes);
+            }
+        }
+        if (missing.empty())
+            return {now + cfg_.dcacheHitLatency, false};
+        const Cycle done = dram_.access(
+            now, static_cast<u32>(missing.size()));
+        return {done, true};
+    }
+    const u32 txns = coalescedTransactions(byte_addrs);
+    return {dram_.access(now, txns), true};
+}
+
+u32
+Sm::warpLatency(const Instr &ins) const
+{
+    u32 lat = cfg_.aluLatency;
+    switch (opInfo(ins.op).cls) {
+      case OpClass::kAlu: lat = cfg_.aluLatency; break;
+      case OpClass::kMul: lat = cfg_.mulLatency; break;
+      case OpClass::kFpu: lat = cfg_.fpuLatency; break;
+      case OpClass::kSfu: lat = cfg_.sfuLatency; break;
+      case OpClass::kMemShared: lat = cfg_.sharedLatency; break;
+      default: lat = cfg_.aluLatency; break;
+    }
+    if (cfg_.regFile.mode != RegFileMode::kBaseline)
+        lat += cfg_.renamingLatency;
+    return lat;
+}
+
+WarpValue
+Sm::readOperand(u32 warp_idx, const Operand &op)
+{
+    WarpValue out{};
+    if (op.isImm()) {
+        out.fill(op.value);
+    } else if (op.isReg()) {
+        out = mgr_.values(warp_idx, op.value);
+    }
+    return out;
+}
+
+void
+Sm::writeDest(u32 warp_idx, u32 reg, const WarpValue &value, u32 exec_mask,
+              Cycle now)
+{
+    const bool was_def =
+        hooks_.regEvent && exec_mask != 0;
+    WarpValue &dst = mgr_.values(warp_idx, reg);
+    for (u32 l = 0; l < kWarpSize; ++l)
+        if ((exec_mask >> l) & 1)
+            dst[l] = value[l];
+    mgr_.countOperandWrite(warp_idx, reg);
+    if (was_def)
+        hooks_.regEvent(now, smId_, warp_idx, reg, RegEvent::kDef);
+}
+
+bool
+Sm::processMetadata(Warp &w, u32 warp_idx, Cycle now)
+{
+    while (!w.stack.done()) {
+        const u32 pc = w.stack.pc();
+        panicIf(pc >= prog_.code.size(), "pc ran past end of kernel");
+        const Instr &ins = prog_.code[pc];
+        if (!isMeta(ins.op))
+            return true;
+        ++stats_.metaEncounters;
+        if (ins.op == Opcode::kPbr) {
+            ++stats_.metaDecoded; // pbr is always fetched and decoded
+            for (u32 r : decodePbr(ins.metaPayload)) {
+                if (traceReleases() && warp_idx == 0)
+                    std::fprintf(stderr, "pbr release r%u at pc %u\n",
+                                 r, pc);
+                if (hooks_.regEvent &&
+                    mgr_.state(warp_idx, r) == RegState::kMapped) {
+                    hooks_.regEvent(now, smId_, warp_idx, r,
+                                    RegEvent::kRelease);
+                }
+                mgr_.releaseReg(warp_idx, w.ctaSlot, r);
+            }
+            w.stack.advance(pc + 1);
+        } else { // kPir
+            const bool hit = flagCache_.access(pc);
+            w.stack.advance(pc + 1);
+            if (!hit) {
+                ++stats_.metaDecoded;
+                if (cfg_.flagMissBubble) {
+                    w.blockedUntil = now + 1;
+                    return false;
+                }
+            }
+        }
+    }
+    return true;
+}
+
+Sm::IssueOutcome
+Sm::attemptIssue(u32 warp_idx, Cycle now)
+{
+    Warp &w = warps_[warp_idx];
+    if (!w.valid || w.finished)
+        return IssueOutcome::kDemoted;
+    if (w.atBarrier)
+        return IssueOutcome::kDemoted;
+    if (w.blockedUntil > now)
+        return IssueOutcome::kSkipped;
+
+    if (mgr_.hasSpilledRegs(warp_idx)) {
+        // Long-duration condition: rotate out of the ready set so
+        // other warps (notably the throttle-chosen CTA's) can issue.
+        tryRefill(w, warp_idx, now);
+        return IssueOutcome::kDemoted;
+    }
+
+    // Instruction fetch: a miss blocks the warp for the refill.  A
+    // paid miss delivers its instruction even if the line has been
+    // evicted since (no fetch-retry livelock under thrashing).
+    if (!w.stack.done()) {
+        const u32 fetch_pc = w.stack.pc();
+        if (w.paidFetchPc == fetch_pc) {
+            w.paidFetchPc = kInvalidPc;
+        } else if (icache_.access(fetch_pc)) {
+            ++stats_.icacheHits;
+        } else {
+            ++stats_.icacheMisses;
+            w.paidFetchPc = fetch_pc;
+            w.blockedUntil = now + cfg_.icacheMissLatency;
+            return IssueOutcome::kSkipped;
+        }
+    }
+
+    if (!processMetadata(w, warp_idx, now))
+        return IssueOutcome::kSkipped;
+    if (w.stack.done()) {
+        finishWarp(warp_idx, now);
+        return IssueOutcome::kDemoted;
+    }
+
+    const u32 pc = w.stack.pc();
+    const Instr &ins = prog_.code[pc];
+    currentPc_ = pc; // diagnostic context for panics
+
+    if (throttleActive_ && w.ctaSlot != throttleCta_) {
+        // Throttled warps must not occupy ready-queue slots, or the
+        // chosen CTA's warps could starve in the pending queue.
+        ++stats_.throttleSkips;
+        return IssueOutcome::kDemoted;
+    }
+
+    // Scoreboard.
+    u64 need_regs = useMask(ins) | defMask(ins);
+    u32 need_preds = 0;
+    if (ins.guardPred != kNoPred)
+        need_preds |= 1u << ins.guardPred;
+    if (ins.dstPred != kNoPred)
+        need_preds |= 1u << ins.dstPred;
+    if ((w.pendingRegs & need_regs) || (w.pendingPreds & need_preds)) {
+        ++stats_.scoreboardStalls;
+        if (w.pendingLoads > 0)
+            return IssueOutcome::kDemoted; // long-latency stall
+        return IssueOutcome::kSkipped;
+    }
+
+    // MSHR availability for long-latency loads.
+    const OpClass cls = opInfo(ins.op).cls;
+    const bool dram_load =
+        isLoad(ins.op) &&
+        (cls == OpClass::kMemGlobal || cls == OpClass::kMemLocal);
+    if (dram_load && inFlightLoads_ >= cfg_.mshrsPerSm)
+        return IssueOutcome::kSkipped;
+
+    // Destination register allocation (renaming).
+    if (ins.dst != kNoReg) {
+        const auto res =
+            mgr_.ensureMappedForWrite(warp_idx, w.ctaSlot,
+                                      static_cast<u32>(ins.dst));
+        if (!res.ok) {
+            ++stats_.allocStallEvents;
+            attemptSpill(warp_idx,
+                         static_cast<u32>(ins.dst) % cfg_.regFile.numBanks,
+                         now);
+            // Transient bank shortages resolve within a few cycles as
+            // other warps release registers, so retry from the ready
+            // queue first; only a persistent stall rotates the warp
+            // out (required for forward progress under throttling).
+            if (++w.allocStallStreak < 32)
+                return IssueOutcome::kSkipped;
+            w.allocStallStreak = 0;
+            return IssueOutcome::kDemoted;
+        }
+        w.allocStallStreak = 0;
+        if (res.wakeCycles > 0) {
+            ++stats_.wakeStallEvents;
+            w.blockedUntil = now + res.wakeCycles;
+            return IssueOutcome::kSkipped;
+        }
+    }
+
+    // Guard mask.
+    try {
+    const u32 active = w.stack.activeMask();
+    u32 exec_mask = active;
+    if (ins.guardPred != kNoPred) {
+        const u32 pm = w.predBits[ins.guardPred];
+        exec_mask &= ins.guardNeg ? ~pm : pm;
+    }
+
+    // Operand collection: each bank serves one warp-wide operand per
+    // cycle, shared by every instruction issued this cycle.  Extra
+    // readers of a bank delay this warp's next issue.
+    {
+        u32 conflicts = 0;
+        for (const auto &src : ins.src) {
+            if (!src.isReg())
+                continue;
+            mgr_.countOperandRead(warp_idx, src.value);
+            const u32 bank = mgr_.physBankOf(warp_idx, src.value);
+            conflicts += bankPortUse_[bank];
+            ++bankPortUse_[bank];
+        }
+        if (conflicts) {
+            stats_.bankConflictCycles += conflicts;
+            w.blockedUntil = std::max<Cycle>(w.blockedUntil,
+                                             now + conflicts);
+        }
+    }
+
+    execute(w, warp_idx, ins, exec_mask, now);
+
+    ++stats_.issuedInstrs;
+    stats_.threadInstrs += popcount64(exec_mask);
+
+    // pir releases: operands die after this read.
+    for (u32 k = 0; k < 3; ++k) {
+        if (!((ins.pirMask >> k) & 1))
+            continue;
+        const u32 r = ins.src[k].value;
+        if (traceReleases() && warp_idx == 0)
+            std::fprintf(stderr, "pir release r%u at pc %u\n", r, pc);
+        if (hooks_.regEvent &&
+            mgr_.state(warp_idx, r) == RegState::kMapped) {
+            hooks_.regEvent(now, smId_, warp_idx, r, RegEvent::kRelease);
+        }
+        mgr_.releaseReg(warp_idx, w.ctaSlot, r);
+    }
+    } catch (const InternalError &e) {
+        panic(std::string(e.what()) + " [pc " + std::to_string(pc) +
+              ": " + formatInstr(ins) + "]");
+    }
+    return IssueOutcome::kIssued;
+}
+
+void
+Sm::execute(Warp &w, u32 warp_idx, const Instr &ins, u32 exec_mask,
+            Cycle now)
+{
+    const u32 pc = w.stack.pc();
+    bool advanced = false;
+
+    u64 wb_regs = 0;
+    u32 wb_preds = 0;
+    bool is_dram_load = false;
+    Cycle completion = now + warpLatency(ins);
+
+    auto lanes = [exec_mask](auto &&fn) {
+        for (u32 l = 0; l < kWarpSize; ++l)
+            if ((exec_mask >> l) & 1)
+                fn(l);
+    };
+
+    switch (ins.op) {
+      case Opcode::kNop:
+        break;
+      case Opcode::kMov:
+      case Opcode::kIAdd:
+      case Opcode::kISub:
+      case Opcode::kIMul:
+      case Opcode::kIMad:
+      case Opcode::kIMin:
+      case Opcode::kIMax:
+      case Opcode::kShl:
+      case Opcode::kShr:
+      case Opcode::kAnd:
+      case Opcode::kOr:
+      case Opcode::kXor:
+      case Opcode::kFAdd:
+      case Opcode::kFMul:
+      case Opcode::kFFma:
+      case Opcode::kFRcp: {
+        if (exec_mask) {
+            const WarpValue a = readOperand(warp_idx, ins.src[0]);
+            const WarpValue b = readOperand(warp_idx, ins.src[1]);
+            const WarpValue c = readOperand(warp_idx, ins.src[2]);
+            WarpValue out{};
+            lanes([&](u32 l) {
+                switch (ins.op) {
+                  case Opcode::kMov: out[l] = a[l]; break;
+                  case Opcode::kIAdd: out[l] = a[l] + b[l]; break;
+                  case Opcode::kISub: out[l] = a[l] - b[l]; break;
+                  case Opcode::kIMul: out[l] = a[l] * b[l]; break;
+                  case Opcode::kIMad:
+                    out[l] = a[l] * b[l] + c[l];
+                    break;
+                  case Opcode::kIMin:
+                    out[l] = static_cast<u32>(
+                        std::min(static_cast<i32>(a[l]),
+                                 static_cast<i32>(b[l])));
+                    break;
+                  case Opcode::kIMax:
+                    out[l] = static_cast<u32>(
+                        std::max(static_cast<i32>(a[l]),
+                                 static_cast<i32>(b[l])));
+                    break;
+                  case Opcode::kShl: out[l] = a[l] << (b[l] & 31); break;
+                  case Opcode::kShr: out[l] = a[l] >> (b[l] & 31); break;
+                  case Opcode::kAnd: out[l] = a[l] & b[l]; break;
+                  case Opcode::kOr: out[l] = a[l] | b[l]; break;
+                  case Opcode::kXor: out[l] = a[l] ^ b[l]; break;
+                  case Opcode::kFAdd:
+                    out[l] = asBits(asFloat(a[l]) + asFloat(b[l]));
+                    break;
+                  case Opcode::kFMul:
+                    out[l] = asBits(asFloat(a[l]) * asFloat(b[l]));
+                    break;
+                  case Opcode::kFFma:
+                    out[l] = asBits(asFloat(a[l]) * asFloat(b[l]) +
+                                    asFloat(c[l]));
+                    break;
+                  case Opcode::kFRcp:
+                    out[l] = asBits(1.0f / asFloat(a[l]));
+                    break;
+                  default: panic("unreachable alu op");
+                }
+            });
+            writeDest(warp_idx, static_cast<u32>(ins.dst), out, exec_mask,
+                      now);
+            wb_regs = defMask(ins);
+        }
+        break;
+      }
+      case Opcode::kSetP: {
+        if (exec_mask) {
+            const WarpValue a = readOperand(warp_idx, ins.src[0]);
+            const WarpValue b = readOperand(warp_idx, ins.src[1]);
+            u32 bits = w.predBits[ins.dstPred];
+            lanes([&](u32 l) {
+                const bool v = compare(ins.cmp, a[l], b[l]);
+                bits = v ? (bits | (1u << l)) : (bits & ~(1u << l));
+            });
+            w.predBits[ins.dstPred] = bits;
+            wb_preds = 1u << ins.dstPred;
+        }
+        break;
+      }
+      case Opcode::kPSel: {
+        if (exec_mask) {
+            const WarpValue a = readOperand(warp_idx, ins.src[0]);
+            const WarpValue b = readOperand(warp_idx, ins.src[1]);
+            const u32 sel = w.predBits[ins.dstPred];
+            WarpValue out{};
+            lanes([&](u32 l) {
+                out[l] = ((sel >> l) & 1) ? a[l] : b[l];
+            });
+            writeDest(warp_idx, static_cast<u32>(ins.dst), out, exec_mask,
+                      now);
+            wb_regs = defMask(ins);
+        }
+        break;
+      }
+      case Opcode::kS2R: {
+        if (exec_mask) {
+            WarpValue out{};
+            lanes([&](u32 l) {
+                switch (ins.sreg) {
+                  case SpecialReg::kTid:
+                    out[l] = w.warpInCta * kWarpSize + l;
+                    break;
+                  case SpecialReg::kCtaId: out[l] = w.globalCtaId; break;
+                  case SpecialReg::kNTid:
+                    out[l] = launch_.threadsPerCta;
+                    break;
+                  case SpecialReg::kNCtaId:
+                    out[l] = launch_.gridCtas;
+                    break;
+                  case SpecialReg::kLaneId: out[l] = l; break;
+                  case SpecialReg::kWarpId: out[l] = w.warpInCta; break;
+                }
+            });
+            writeDest(warp_idx, static_cast<u32>(ins.dst), out, exec_mask,
+                      now);
+            wb_regs = defMask(ins);
+        }
+        break;
+      }
+      case Opcode::kLdGlobal:
+      case Opcode::kLdShared: {
+        if (exec_mask) {
+            const WarpValue addr = readOperand(warp_idx, ins.src[0]);
+            const u32 off = ins.src[1].value;
+            WarpValue out{};
+            std::vector<u32> touched;
+            lanes([&](u32 l) {
+                const u32 a = addr[l] + off;
+                if (ins.op == Opcode::kLdGlobal) {
+                    out[l] = gmem_.load(a);
+                    touched.push_back(a);
+                } else {
+                    const u32 word = a / 4;
+                    auto &shm = sharedMem_[w.ctaSlot];
+                    panicIf(a % 4 != 0, "unaligned shared load");
+                    panicIf(word >= shm.size(),
+                            "shared load out of bounds");
+                    out[l] = shm[word];
+                }
+            });
+            writeDest(warp_idx, static_cast<u32>(ins.dst), out, exec_mask,
+                      now);
+            wb_regs = defMask(ins);
+            if (ins.op == Opcode::kLdGlobal) {
+                const auto timing = dramLoadTiming(touched, now);
+                completion = timing.first;
+                is_dram_load = timing.second;
+            }
+        }
+        break;
+      }
+      case Opcode::kLdLocal: {
+        if (exec_mask) {
+            const WarpValue &mem = localMem_[warp_idx][ins.localSlot];
+            WarpValue out{};
+            lanes([&](u32 l) { out[l] = mem[l]; });
+            writeDest(warp_idx, static_cast<u32>(ins.dst), out, exec_mask,
+                      now);
+            wb_regs = defMask(ins);
+            // One coalesced warp-wide transaction per local slot; the
+            // synthetic address keys the slot into the data cache
+            // (bit 31 separates the local space from global).
+            const u32 synth = 0x80000000u |
+                              ((warp_idx * localMem_[warp_idx].size() +
+                                ins.localSlot) *
+                               128u);
+            const auto timing = dramLoadTiming({synth}, now);
+            completion = timing.first;
+            is_dram_load = timing.second;
+        }
+        break;
+      }
+      case Opcode::kAtomAdd: {
+        if (exec_mask) {
+            const WarpValue addr = readOperand(warp_idx, ins.src[0]);
+            const u32 off = ins.src[1].value;
+            const WarpValue val = readOperand(warp_idx, ins.src[2]);
+            WarpValue out{};
+            std::vector<u32> touched;
+            // Lanes commit in lane order (deterministic intra-warp
+            // atomicity; cross-warp order follows issue order).
+            lanes([&](u32 l) {
+                const u32 a = addr[l] + off;
+                const u32 old = gmem_.load(a);
+                gmem_.store(a, old + val[l]);
+                out[l] = old;
+                touched.push_back(a);
+            });
+            writeDest(warp_idx, static_cast<u32>(ins.dst), out,
+                      exec_mask, now);
+            wb_regs = defMask(ins);
+            // Read-modify-write: roughly twice the transactions.
+            const u32 txns = 2 * coalescedTransactions(touched);
+            completion = dram_.access(now, txns);
+            is_dram_load = true;
+        }
+        break;
+      }
+      case Opcode::kStGlobal:
+      case Opcode::kStShared: {
+        if (exec_mask) {
+            const WarpValue addr = readOperand(warp_idx, ins.src[0]);
+            const u32 off = ins.src[1].value;
+            const WarpValue val = readOperand(warp_idx, ins.src[2]);
+            std::vector<u32> touched;
+            lanes([&](u32 l) {
+                const u32 a = addr[l] + off;
+                if (ins.op == Opcode::kStGlobal) {
+                    gmem_.store(a, val[l]);
+                    touched.push_back(a);
+                } else {
+                    const u32 word = a / 4;
+                    auto &shm = sharedMem_[w.ctaSlot];
+                    panicIf(a % 4 != 0, "unaligned shared store");
+                    panicIf(word >= shm.size(),
+                            "shared store out of bounds");
+                    shm[word] = val[l];
+                }
+            });
+            if (ins.op == Opcode::kStGlobal) {
+                // Fire-and-forget: charge bandwidth, no warp stall.
+                dram_.access(now, coalescedTransactions(touched));
+            }
+        }
+        break;
+      }
+      case Opcode::kStLocal: {
+        if (exec_mask) {
+            const WarpValue val = readOperand(warp_idx, ins.src[0]);
+            WarpValue &mem = localMem_[warp_idx][ins.localSlot];
+            lanes([&](u32 l) { mem[l] = val[l]; });
+            // Local memory is cached write-back/write-allocate on
+            // Fermi: with the L1 enabled a store hit costs no DRAM
+            // bandwidth (dirty evictions are not modeled).
+            const u32 synth = 0x80000000u |
+                              ((warp_idx * localMem_[warp_idx].size() +
+                                ins.localSlot) *
+                               128u);
+            if (dcache_.enabled()) {
+                if (dcache_.access(synth))
+                    ++stats_.dcacheHits;
+                else {
+                    ++stats_.dcacheMisses;
+                    dram_.access(now, 1);
+                }
+            } else {
+                dram_.access(now, 1);
+            }
+        }
+        break;
+      }
+      case Opcode::kBra: {
+        const u32 taken = exec_mask;
+        w.stack.branch(ins.target, pc + 1, taken, ins.reconvPc);
+        advanced = true;
+        break;
+      }
+      case Opcode::kExit: {
+        w.stack.exitLanes(exec_mask);
+        advanced = true;
+        if (w.stack.done()) {
+            finishWarp(warp_idx, now);
+        } else if (w.stack.pc() == pc) {
+            w.stack.advance(pc + 1);
+        }
+        break;
+      }
+      case Opcode::kBar: {
+        w.atBarrier = true;
+        CtaSlot &cta = ctaSlots_[w.ctaSlot];
+        ++cta.barrierArrived;
+        w.stack.advance(pc + 1);
+        advanced = true;
+        const u32 live = cta.numWarps - cta.warpsFinished;
+        if (cta.barrierArrived >= live)
+            releaseBarrier(w.ctaSlot);
+        break;
+      }
+      case Opcode::kPir:
+      case Opcode::kPbr:
+        panic("metadata reached execute()");
+    }
+
+    if (!advanced && !w.finished)
+        w.stack.advance(pc + 1);
+
+    if (wb_regs || wb_preds || is_dram_load) {
+        w.pendingRegs |= wb_regs;
+        w.pendingPreds |= wb_preds;
+        completions_.push({completion, warp_idx, wb_regs, wb_preds,
+                           is_dram_load});
+        if (is_dram_load) {
+            ++w.pendingLoads;
+            ++inFlightLoads_;
+            if (twoLevel_)
+                demoteWarp(warp_idx); // two-level long-latency demotion
+        }
+    }
+}
+
+void
+Sm::releaseBarrier(u32 cta_slot)
+{
+    CtaSlot &cta = ctaSlots_[cta_slot];
+    const u32 first = firstWarpSlot(cta_slot);
+    for (u32 i = 0; i < cta.numWarps; ++i)
+        warps_[first + i].atBarrier = false;
+    cta.barrierArrived = 0;
+}
+
+void
+Sm::finishWarp(u32 warp_idx, Cycle now)
+{
+    Warp &w = warps_[warp_idx];
+    if (w.finished)
+        return;
+    w.finished = true;
+    CtaSlot &cta = ctaSlots_[w.ctaSlot];
+    ++cta.warpsFinished;
+
+    // A finished warp no longer participates in barriers.
+    const u32 live = cta.numWarps - cta.warpsFinished;
+    if (live > 0 && cta.barrierArrived >= live)
+        releaseBarrier(w.ctaSlot);
+
+    if (cta.warpsFinished == cta.numWarps) {
+        const u32 first = firstWarpSlot(w.ctaSlot);
+        mgr_.completeCta(w.ctaSlot, first, cta.numWarps);
+        for (u32 i = 0; i < cta.numWarps; ++i)
+            warps_[first + i].valid = false;
+        cta.active = false;
+        panicIf(residentCtas_ == 0, "resident CTA underflow");
+        --residentCtas_;
+        ++completedCtas_;
+    }
+    (void)now;
+}
+
+void
+Sm::tryRefill(Warp &w, u32 warp_idx, Cycle now)
+{
+    if (throttleActive_ && w.ctaSlot != throttleCta_)
+        return; // refilling would steal registers from the chosen CTA
+    const auto regs = mgr_.spilledRegs(warp_idx);
+    panicIf(regs.empty(), "tryRefill without spilled registers");
+    const auto res = mgr_.refillReg(warp_idx, w.ctaSlot, regs.front());
+    if (!res.ok) {
+        // The needed bank is exhausted (other banks may have space in
+        // bank-restricted mode — e.g. it is held by warps parked at a
+        // barrier): free it the same way an allocation stall would.
+        attemptSpill(warp_idx, regs.front() % cfg_.regFile.numBanks,
+                     now);
+        return;
+    }
+    ++stats_.refilledRegs;
+    const Cycle done = dram_.access(now, 1);
+    w.blockedUntil = std::max(w.blockedUntil, done + res.wakeCycles);
+}
+
+i32
+Sm::spillPriorityWarp() const
+{
+    // The lowest-indexed runnable warp that still has spilled registers
+    // holds spill priority: only it may victimize other warps.  Without
+    // this, warps with spilled registers steal each other's registers
+    // back and forth and nobody completes a refill (livelock).
+    for (u32 wi = 0; wi < warps_.size(); ++wi) {
+        const Warp &w = warps_[wi];
+        if (!w.valid || w.finished || w.atBarrier)
+            continue;
+        if (throttleActive_ && w.ctaSlot != throttleCta_)
+            continue; // gated by the throttle: cannot refill anyway
+        if (mgr_.hasSpilledRegs(wi))
+            return static_cast<i32>(wi);
+    }
+    return -1;
+}
+
+void
+Sm::attemptSpill(u32 stalled_warp, u32 need_bank, Cycle now)
+{
+    const i32 prio = spillPriorityWarp();
+    if (prio >= 0 && static_cast<u32>(prio) != stalled_warp)
+        return; // wait until the priority warp has recovered
+    i32 best = -1;
+    i64 best_score = -1;
+    std::vector<u32> best_cands;
+    for (u32 wi = 0; wi < warps_.size(); ++wi) {
+        if (wi == stalled_warp)
+            continue;
+        const Warp &v = warps_[wi];
+        if (!v.valid || v.finished)
+            continue;
+        if (v.pendingRegs || v.pendingPreds || v.pendingLoads)
+            continue; // in-flight writes pin the physical registers
+        if (now < v.spillProtectedUntil)
+            continue;
+        auto cands = mgr_.spillCandidates(wi);
+        if (cands.empty())
+            continue;
+        bool has_need = false;
+        for (u32 r : cands)
+            has_need |= (r % cfg_.regFile.numBanks) == need_bank;
+        i64 score = static_cast<i64>(cands.size());
+        if (v.ctaSlot != throttleCta_ || !throttleActive_)
+            score += 1000;
+        if (has_need)
+            score += 500;
+        // Prefer warps parked in the pending queue.
+        if (std::find(readyQueue_.begin(), readyQueue_.end(), wi) ==
+            readyQueue_.end()) {
+            score += 200;
+        }
+        if (score > best_score) {
+            best_score = score;
+            best = static_cast<i32>(wi);
+            best_cands = std::move(cands);
+        }
+    }
+    if (best < 0)
+        return;
+    Warp &victim = warps_[static_cast<u32>(best)];
+    for (u32 r : best_cands)
+        mgr_.spillReg(static_cast<u32>(best), victim.ctaSlot, r);
+    const Cycle done =
+        dram_.access(now, static_cast<u32>(best_cands.size()));
+    victim.blockedUntil = std::max(victim.blockedUntil, done);
+    victim.spillProtectedUntil = done + cfg_.spillCooldown;
+    ++stats_.spillEvents;
+    stats_.spilledRegs += best_cands.size();
+}
+
+std::string
+Sm::debugState(Cycle now) const
+{
+    std::string out = "SM" + std::to_string(smId_) +
+                      " free=" + std::to_string(mgr_.freeRegs()) +
+                      " throttle=" +
+                      (throttleActive_ ? std::to_string(throttleCta_)
+                                       : std::string("off")) +
+                      " inflight=" + std::to_string(inFlightLoads_) + " ready=[";
+    for (u32 wi : readyQueue_)
+        out += std::to_string(wi) + " ";
+    out += "] pending=[";
+    for (u32 wi : pendingQueue_)
+        out += std::to_string(wi) + " ";
+    out += "]\n";
+    for (u32 wi = 0; wi < warps_.size(); ++wi) {
+        const Warp &w = warps_[wi];
+        if (!w.valid)
+            continue;
+        out += "  w" + std::to_string(wi) + " cta" +
+               std::to_string(w.ctaSlot) +
+               (w.finished ? " done" : " pc=" + std::to_string(
+                                           w.stack.done()
+                                               ? kInvalidPc
+                                               : w.stack.pc())) +
+               (w.atBarrier ? " BAR" : "") +
+               " pendR=" + std::to_string(w.pendingRegs) +
+               " pendL=" + std::to_string(w.pendingLoads) +
+               " blocked=" +
+               std::to_string(w.blockedUntil > now
+                                  ? w.blockedUntil - now
+                                  : 0) +
+               " spilled=" +
+               std::to_string(mgr_.spilledRegs(wi).size()) + "\n";
+    }
+    return out;
+}
+
+void
+Sm::step(Cycle now)
+{
+    drainCompletions(now);
+    std::fill(bankPortUse_.begin(), bankPortUse_.end(), 0);
+    evaluateThrottle();
+    if (throttleActive_)
+        ++stats_.throttleActiveCycles;
+    refillReadyQueue();
+
+    u32 issued = 0;
+    if (!readyQueue_.empty()) {
+        // Snapshot in LRR order; the queue may mutate during issue.
+        std::vector<u32> order;
+        order.reserve(readyQueue_.size());
+        const u32 n = static_cast<u32>(readyQueue_.size());
+        for (u32 i = 0; i < n; ++i)
+            order.push_back(readyQueue_[(lrrCursor_ + i) % n]);
+        for (u32 wi : order) {
+            if (issued >= cfg_.issuePerCycle)
+                break;
+            // The warp may have been demoted by a previous issue.
+            if (std::find(readyQueue_.begin(), readyQueue_.end(), wi) ==
+                readyQueue_.end()) {
+                continue;
+            }
+            const IssueOutcome outcome = attemptIssue(wi, now);
+            if (outcome == IssueOutcome::kIssued)
+                ++issued;
+            else if (outcome == IssueOutcome::kDemoted)
+                demoteWarp(wi);
+        }
+        if (!readyQueue_.empty())
+            lrrCursor_ = (lrrCursor_ + 1) % readyQueue_.size();
+    }
+    refillReadyQueue();
+
+    if (issued == 0 && busy())
+        ++stats_.idleCycles;
+
+    mgr_.sampleCycle();
+    if (hooks_.liveSample && hooks_.samplePeriod > 0 && smId_ == 0 &&
+        now % hooks_.samplePeriod == 0) {
+        hooks_.liveSample(now, mgr_.mappedCount(),
+                          residentWarps() * prog_.numRegs);
+    }
+}
+
+} // namespace rfv

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * One streaming multiprocessor: warp contexts, two-level scheduler,
+ * scoreboard, functional SIMT execution, register management, CTA
+ * throttling (GPU-shrink) and the scheduler-issued spill engine.
+ */
+#ifndef RFV_SIM_SM_H
+#define RFV_SIM_SM_H
+
+#include <deque>
+#include <queue>
+
+#include "isa/program.h"
+#include "regfile/register_manager.h"
+#include "regfile/release_flag_cache.h"
+#include "sim/dcache.h"
+#include "sim/icache.h"
+#include "sim/memory.h"
+#include "sim/sim_config.h"
+#include "sim/warp.h"
+
+namespace rfv {
+
+/** Per-SM counters. */
+struct SmStats {
+    u64 issuedInstrs = 0;  //!< regular warp instructions issued
+    u64 threadInstrs = 0;  //!< lane-level instruction count
+    u64 metaEncounters = 0; //!< pir/pbr reached by any warp
+    u64 metaDecoded = 0;    //!< pir flag-cache misses + all pbr
+    u64 scoreboardStalls = 0;
+    u64 allocStallEvents = 0;
+    u64 throttleSkips = 0;
+    u64 throttleActiveCycles = 0;
+    u64 bankConflictCycles = 0;
+    u64 spillEvents = 0;   //!< warp spills performed
+    u64 spilledRegs = 0;
+    u64 refilledRegs = 0;
+    u64 idleCycles = 0;    //!< cycles with zero issues
+    u64 wakeStallEvents = 0;
+    u64 icacheHits = 0;
+    u64 icacheMisses = 0;
+    u64 dcacheHits = 0;
+    u64 dcacheMisses = 0;
+    u32 peakResidentWarps = 0;
+};
+
+/** One SM. */
+class Sm {
+  public:
+    Sm(u32 smId, const GpuConfig &cfg, const Program &prog,
+       const LaunchParams &launch, GlobalMemory &gmem, DramModel &dram,
+       const TraceHooks &hooks);
+
+    /** Concurrent CTAs this SM can hold for this kernel. */
+    u32 maxConcCtas() const { return maxConcCtas_; }
+
+    /** Try to make CTA @p globalCtaId resident; false if no room. */
+    bool tryLaunchCta(u32 globalCtaId, Cycle now);
+
+    /** True while any CTA is resident. */
+    bool busy() const { return residentCtas_ > 0; }
+
+    u32 residentCtas() const { return residentCtas_; }
+    u32 completedCtas() const { return completedCtas_; }
+
+    /** Advance one cycle. */
+    void step(Cycle now);
+
+    const SmStats &stats() const { return stats_; }
+    RegisterManager &regs() { return mgr_; }
+    const RegisterManager &regs() const { return mgr_; }
+    const ReleaseFlagCache &flagCache() const { return flagCache_; }
+
+    /** Resident (valid) warps right now. */
+    u32 residentWarps() const;
+
+    /** Human-readable scheduler/warp state (deadlock diagnosis). */
+    std::string debugState(Cycle now) const;
+
+  private:
+    struct CtaSlot {
+        bool active = false;
+        u32 globalId = 0;
+        u32 numWarps = 0;
+        u32 warpsFinished = 0;
+        u32 barrierArrived = 0;
+    };
+
+    struct Completion {
+        Cycle time;
+        u32 warp;
+        u64 regMask;
+        u32 predMask;
+        bool isLoad;
+        bool
+        operator>(const Completion &o) const
+        {
+            return time > o.time;
+        }
+    };
+
+    enum class IssueOutcome : u8 { kIssued, kSkipped, kDemoted };
+
+    void drainCompletions(Cycle now);
+    void evaluateThrottle();
+    IssueOutcome attemptIssue(u32 warpIdx, Cycle now);
+    bool processMetadata(Warp &warp, u32 warpIdx, Cycle now);
+    void execute(Warp &warp, u32 warpIdx, const Instr &ins, u32 execMask,
+                 Cycle now);
+    void finishWarp(u32 warpIdx, Cycle now);
+    void releaseBarrier(u32 ctaSlot);
+    void tryRefill(Warp &warp, u32 warpIdx, Cycle now);
+    i32 spillPriorityWarp() const;
+    void attemptSpill(u32 stalledWarp, u32 needBank, Cycle now);
+    void demoteWarp(u32 warpIdx);
+    void refillReadyQueue();
+    u32 warpLatency(const Instr &ins) const;
+    std::pair<Cycle, bool> dramLoadTiming(
+        const std::vector<u32> &byteAddrs, Cycle now);
+    u32 firstWarpSlot(u32 ctaSlot) const { return ctaSlot * warpsPerCta_; }
+
+    // Value plumbing.
+    WarpValue readOperand(u32 warpIdx, const Operand &op);
+    void writeDest(u32 warpIdx, u32 reg, const WarpValue &value,
+                   u32 execMask, Cycle now);
+
+    u32 smId_;
+    const GpuConfig &cfg_;
+    const Program &prog_;
+    LaunchParams launch_;
+    GlobalMemory &gmem_;
+    DramModel &dram_;
+    const TraceHooks &hooks_;
+
+    u32 warpsPerCta_;
+    u32 maxConcCtas_;
+    u32 residentCtas_ = 0;
+    u32 completedCtas_ = 0;
+
+    RegisterManager mgr_;
+    ReleaseFlagCache flagCache_;
+    ICache icache_;
+    DCache dcache_;
+    u32 effectiveReadyQueue_;
+    bool twoLevel_;
+
+    std::vector<Warp> warps_;
+    std::vector<CtaSlot> ctaSlots_;
+    std::vector<std::vector<u32>> sharedMem_; //!< per CTA slot, words
+    std::vector<std::vector<WarpValue>> localMem_; //!< [warpSlot][slot]
+
+    std::vector<u32> readyQueue_;
+    std::deque<u32> pendingQueue_;
+    u32 lrrCursor_ = 0;
+
+    std::priority_queue<Completion, std::vector<Completion>,
+                        std::greater<Completion>>
+        completions_;
+    u32 inFlightLoads_ = 0;
+
+    u32 currentPc_ = 0; //!< diagnostic: pc of the instruction being issued
+
+    bool throttleActive_ = false;
+    u32 throttleCta_ = 0;
+
+    /**
+     * Operand-collector port usage in the current cycle: reads issued
+     * to each bank by all instructions issued this cycle.  Each bank
+     * serves one warp-wide operand per cycle, so the n-th reader of a
+     * bank waits n extra cycles (paper Sec. 7.1: renaming preserves the
+     * compiler's bank assignment precisely to keep this small).
+     */
+    std::vector<u32> bankPortUse_;
+
+    SmStats stats_;
+};
+
+} // namespace rfv
+
+#endif // RFV_SIM_SM_H

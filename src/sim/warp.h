@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Per-warp execution context.
+ */
+#ifndef RFV_SIM_WARP_H
+#define RFV_SIM_WARP_H
+
+#include <array>
+
+#include "sim/simt_stack.h"
+
+namespace rfv {
+
+/** Why a warp cannot issue right now (for stats/debug). */
+enum class WarpStall : u8 {
+    kNone,
+    kScoreboard,
+    kBarrier,
+    kMemStructural,
+    kRegAlloc,
+    kThrottle,
+    kSpilled,
+    kLatency,
+};
+
+/** One warp's execution state within an SM. */
+struct Warp {
+    bool valid = false;     //!< slot holds a live warp
+    bool finished = false;  //!< all lanes exited
+    bool atBarrier = false; //!< waiting at a CTA barrier
+
+    u32 ctaSlot = 0;      //!< CTA slot within the SM
+    u32 warpInCta = 0;    //!< warp index within the CTA
+    u32 globalCtaId = 0;  //!< CTA id within the grid
+
+    SimtStack stack;
+
+    /** Registers with an outstanding write (scoreboard). */
+    u64 pendingRegs = 0;
+    /** Predicates with an outstanding write. */
+    u32 pendingPreds = 0;
+    /** Outstanding long-latency loads. */
+    u32 pendingLoads = 0;
+
+    /** Warp cannot issue before this cycle (latency/bubbles). */
+    Cycle blockedUntil = 0;
+
+    /** Cycle until which this warp must not be chosen as spill victim. */
+    Cycle spillProtectedUntil = 0;
+
+    /** Consecutive cycles spent stalled on register allocation. */
+    u32 allocStallStreak = 0;
+
+    /**
+     * pc whose instruction-cache miss was already paid: the fetch
+     * completes when the stall ends even if the line is evicted
+     * meanwhile (prevents fetch-retry livelock under thrashing).
+     */
+    u32 paidFetchPc = kInvalidPc;
+
+    /** Per-lane predicate register bits: predBits[p] bit l = lane l. */
+    std::array<u32, kNumPredRegs> predBits{};
+
+    bool
+    issuable(Cycle now) const
+    {
+        return valid && !finished && !atBarrier && blockedUntil <= now;
+    }
+};
+
+} // namespace rfv
+
+#endif // RFV_SIM_WARP_H

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * BackProp (Rodinia): layered weighted sums with FP accumulation.
+ *
+ * Table 1: 4096 CTAs, 256 threads/CTA, 17 regs, 6 conc. CTAs/SM.
+ * Each thread computes an output unit: a loop of FFMAs over 8 inputs
+ * followed by a rational activation, as in the forward pass.
+ */
+#include <cmath>
+
+#include "common/error.h"
+#include "isa/builder.h"
+#include "workloads/workload.h"
+
+namespace rfv {
+
+namespace {
+
+constexpr u32 kFanIn = 8;
+constexpr u32 kWeightWords = kFanIn;
+
+float
+asF(u32 bits)
+{
+    float f;
+    __builtin_memcpy(&f, &bits, 4);
+    return f;
+}
+
+u32
+asU(float f)
+{
+    u32 bits;
+    __builtin_memcpy(&bits, &f, 4);
+    return bits;
+}
+
+class BackProp : public Workload {
+  public:
+    BackProp() : Workload({"BackProp", 4096, 256, 17, 6}) {}
+
+    Program
+    buildKernel() const override
+    {
+        KernelBuilder b("backprop");
+        const u32 tid = b.reg(), cta = b.reg(), n = b.reg(),
+                  gtid = b.reg(), acc = b.reg(), j = b.reg(),
+                  xAddr = b.reg(), wAddr = b.reg(), xv = b.reg(),
+                  wv = b.reg(), xv2 = b.reg(), wv2 = b.reg(),
+                  xv3 = b.reg(), wv3 = b.reg(), xv4 = b.reg(),
+                  wv4 = b.reg(), outAddr = b.reg();
+        // Epilogue temporaries reuse loop registers (the compiler
+        // would do the same): act lives in xv, t0 in wv.
+        const u32 act = xv, t0 = wv;
+        b.s2r(tid, SpecialReg::kTid);
+        b.s2r(cta, SpecialReg::kCtaId);
+        b.s2r(n, SpecialReg::kNTid);
+        b.imad(gtid, R(cta), R(n), R(tid));
+        b.shl(outAddr, R(gtid), I(2));
+
+        // Fan-in loop unrolled by four: all (x, w) pairs live at once
+        // (the paper's Table 1 lists 12 registers as BackProp's
+        // spill-free minimum).
+        b.mov(acc, I(asU(0.0f)));
+        b.mov(j, I(0));
+        b.label("fan");
+        b.imad(xAddr, R(gtid), I(kFanIn), R(j));
+        b.shl(xAddr, R(xAddr), I(2));
+        b.ldg(xv, xAddr, kWeightWords * 4);
+        b.ldg(xv2, xAddr, kWeightWords * 4 + 4);
+        b.ldg(xv3, xAddr, kWeightWords * 4 + 8);
+        b.ldg(xv4, xAddr, kWeightWords * 4 + 12);
+        b.shl(wAddr, R(j), I(2));
+        b.ldg(wv, wAddr, 0);
+        b.ldg(wv2, wAddr, 4);
+        b.ldg(wv3, wAddr, 8);
+        b.ldg(wv4, wAddr, 12);
+        b.ffma(acc, R(xv), R(wv), R(acc));
+        b.ffma(acc, R(xv2), R(wv2), R(acc));
+        b.ffma(acc, R(xv3), R(wv3), R(acc));
+        b.ffma(acc, R(xv4), R(wv4), R(acc));
+        b.iadd(j, R(j), I(4));
+        b.setp(0, CmpOp::kLt, R(j), I(kFanIn));
+        b.guard(0).bra("fan");
+
+        // act = acc / (1 + acc*acc)  (bounded rational activation)
+        b.fmul(t0, R(acc), R(acc));
+        b.fadd(t0, R(t0), I(asU(1.0f)));
+        b.frcp(t0, R(t0));
+        b.fmul(act, R(acc), R(t0));
+        b.stg(outAddr, outByteOff(), act);
+        b.exit();
+        b.setNumRegs(config_.regsPerKernel);
+        return b.build();
+    }
+
+    u32
+    memoryBytes(const LaunchParams &launch) const override
+    {
+        const u32 units = launch.gridCtas * launch.threadsPerCta;
+        return outByteOff() + units * 4 +
+               units * kFanIn * 4 /* slack */;
+    }
+
+    void
+    setup(GlobalMemory &mem, const LaunchParams &launch) const override
+    {
+        for (u32 j = 0; j < kFanIn; ++j)
+            mem.setWord(j, asU(0.1f * static_cast<float>(j + 1)));
+        const u32 units = launch.gridCtas * launch.threadsPerCta;
+        for (u32 i = 0; i < units * kFanIn; ++i) {
+            mem.setWord(kWeightWords + i,
+                        asU(-2.0f + static_cast<float>(i % 41) * 0.1f));
+        }
+    }
+
+    void
+    verify(const GlobalMemory &mem, const LaunchParams &launch) const
+        override
+    {
+        const u32 units = launch.gridCtas * launch.threadsPerCta;
+        for (u32 u = 0; u < units; ++u) {
+            double acc = 0.0;
+            for (u32 j = 0; j < kFanIn; ++j) {
+                acc += static_cast<double>(
+                           asF(mem.word(kWeightWords + u * kFanIn + j))) *
+                       asF(mem.word(j));
+            }
+            const double act = acc / (1.0 + acc * acc);
+            const double got = asF(mem.word(outByteOff() / 4 + u));
+            panicIf(std::abs(got - act) > 1e-3 * (1.0 + std::abs(act)),
+                    "BackProp mismatch at unit " + std::to_string(u));
+        }
+    }
+
+  private:
+    static u32
+    outByteOff()
+    {
+        // Sized for the full Table-1 grid.
+        return (kWeightWords + 4096u * 256u * kFanIn) * 4;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeBackProp()
+{
+    return std::make_unique<BackProp>();
+}
+
+} // namespace rfv

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * BFS (Rodinia): one frontier-expansion step.
+ *
+ * Table 1: 1954 CTAs, 512 threads/CTA, 9 regs, 3 conc. CTAs/SM.
+ * Thread = node.  Frontier nodes walk their (variable-degree) edge
+ * lists and mark the next frontier — heavy branch divergence and
+ * data-dependent loop trip counts, tiny register footprint.
+ * All marks write the constant 1, so cross-thread write ordering
+ * cannot affect the result.
+ */
+#include "common/error.h"
+#include "isa/builder.h"
+#include "workloads/workload.h"
+
+namespace rfv {
+
+namespace {
+
+constexpr u32 kMaxNodes = 1954u * 512u;
+
+class Bfs : public Workload {
+  public:
+    Bfs() : Workload({"BFS", 1954, 512, 9, 3}) {}
+
+    Program
+    buildKernel() const override
+    {
+        KernelBuilder b("bfs");
+        const u32 tid = b.reg(), cta = b.reg(), node = b.reg(),
+                  deg = b.reg(), e = b.reg(), nbr = b.reg(),
+                  addr = b.reg(), one = b.reg(), flag = b.reg();
+        b.s2r(tid, SpecialReg::kTid);
+        b.s2r(cta, SpecialReg::kCtaId);
+        b.s2r(node, SpecialReg::kNTid);
+        b.imad(node, R(cta), R(node), R(tid)); // node id
+
+        // flag = frontier[node]
+        b.shl(addr, R(node), I(2));
+        b.ldg(flag, addr, 0);
+        b.setp(0, CmpOp::kNe, R(flag), I(0));
+        b.guard(0, true).bra("done");
+
+        // deg = node & 3; for e in [0, deg): mark neighbor
+        b.and_(deg, R(node), I(3));
+        b.setp(1, CmpOp::kEq, R(deg), I(0));
+        b.guard(1).bra("done");
+        b.mov(e, I(0));
+        b.mov(one, I(1));
+        b.label("edges");
+        // nbr = (node*7 + e*13 + 1) mod kMaxNodes, power-of-2-free mod
+        // approximated with a mask over the node range used.
+        b.imul(nbr, R(node), I(7));
+        b.imad(nbr, R(e), I(13), R(nbr));
+        b.iadd(nbr, R(nbr), I(1));
+        b.and_(nbr, R(nbr), I(kNodeMask));
+        b.shl(nbr, R(nbr), I(2));
+        b.stg(nbr, kMaxNodes * 4, one); // nextFrontier[nbr] = 1
+        b.iadd(e, R(e), I(1));
+        b.setp(2, CmpOp::kLt, R(e), R(deg));
+        b.guard(2).bra("edges");
+
+        b.label("done");
+        b.exit();
+        b.setNumRegs(config_.regsPerKernel);
+        return b.build();
+    }
+
+    u32
+    memoryBytes(const LaunchParams &) const override
+    {
+        return 2 * kMaxNodes * 4;
+    }
+
+    void
+    setup(GlobalMemory &mem, const LaunchParams &launch) const override
+    {
+        const u32 nodes = launch.gridCtas * launch.threadsPerCta;
+        for (u32 v = 0; v < nodes; ++v)
+            mem.setWord(v, (v % 5 == 0 || v % 7 == 0) ? 1 : 0);
+    }
+
+    void
+    verify(const GlobalMemory &mem, const LaunchParams &launch) const
+        override
+    {
+        const u32 nodes = launch.gridCtas * launch.threadsPerCta;
+        std::vector<u8> expect(kMaxNodes, 0);
+        for (u32 v = 0; v < nodes; ++v) {
+            if (mem.word(v) == 0)
+                continue;
+            const u32 deg = v & 3;
+            for (u32 e = 0; e < deg; ++e)
+                expect[(v * 7 + e * 13 + 1) & kNodeMask] = 1;
+        }
+        for (u32 v = 0; v < kMaxNodes; ++v) {
+            panicIf(mem.word(kMaxNodes + v) != expect[v],
+                    "BFS mismatch at node " + std::to_string(v));
+        }
+    }
+
+  private:
+    /** Mask keeping neighbor ids inside the allocated node range. */
+    static constexpr u32 kNodeMask = (1u << 19) - 1; // 512K < kMaxNodes
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeBfs()
+{
+    return std::make_unique<Bfs>();
+}
+
+} // namespace rfv

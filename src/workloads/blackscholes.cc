@@ -1,0 +1,162 @@
+/**
+ * @file
+ * BlackScholes (CUDA SDK): straight-line FP option pricing.
+ *
+ * Table 1: 480 CTAs, 128 threads/CTA, 18 regs, 8 conc. CTAs/SM.
+ * A long FMUL/FFMA/FRCP chain with many concurrently-live temporaries
+ * and no control flow — high steady register pressure, few reuse
+ * windows.  Uses a rational approximation instead of exp/log (same
+ * structural character); verification recomputes in double precision
+ * with a relative tolerance.
+ */
+#include <cmath>
+
+#include "common/error.h"
+#include "isa/builder.h"
+#include "workloads/workload.h"
+
+namespace rfv {
+
+namespace {
+
+constexpr u32 kMaxElems = 480 * 128;
+constexpr u32 kSignBit = 0x80000000u;
+
+float
+asF(u32 bits)
+{
+    float f;
+    __builtin_memcpy(&f, &bits, 4);
+    return f;
+}
+
+u32
+asU(float f)
+{
+    u32 bits;
+    __builtin_memcpy(&bits, &f, 4);
+    return bits;
+}
+
+/** Golden model (double precision) of the kernel computation. */
+void
+golden(double s, double x, double t, double &call, double &put)
+{
+    const double rcpT = 1.0 / (1.0 + t);
+    const double d1 = x * rcpT + s * 0.15;
+    const double d2 = d1 * 0.87 + t * -0.23;
+    const double cnd1 = 1.0 / (1.0 + d1 * d1);
+    const double cnd2 = 1.0 / (1.0 + d2 * d2);
+    call = (s * cnd1 - x * cnd2) + t;
+    put = (x * cnd1 - s * cnd2) + d1 * d2;
+}
+
+class BlackScholes : public Workload {
+  public:
+    BlackScholes() : Workload({"BlackScholes", 480, 128, 18, 8}) {}
+
+    Program
+    buildKernel() const override
+    {
+        KernelBuilder b("blackscholes");
+        const u32 tid = b.reg(), cta = b.reg(), n = b.reg(),
+                  addr = b.reg(), s = b.reg(), x = b.reg(), t = b.reg(),
+                  rcpT = b.reg(), d1 = b.reg(), d2 = b.reg(),
+                  cnd1 = b.reg(), cnd2 = b.reg(), call = b.reg(),
+                  put = b.reg(), t0 = b.reg(), t1 = b.reg();
+        b.s2r(tid, SpecialReg::kTid);
+        b.s2r(cta, SpecialReg::kCtaId);
+        b.s2r(n, SpecialReg::kNTid);
+        b.imad(addr, R(cta), R(n), R(tid));
+        b.shl(addr, R(addr), I(2));
+        b.ldg(s, addr, 0);
+        b.ldg(x, addr, kMaxElems * 4);
+        b.ldg(t, addr, 2 * kMaxElems * 4);
+
+        // rcpT = 1/(1+t)
+        b.fadd(rcpT, R(t), I(asU(1.0f)));
+        b.frcp(rcpT, R(rcpT));
+        // d1 = x*rcpT + s*0.15
+        b.fmul(t0, R(s), I(asU(0.15f)));
+        b.ffma(d1, R(x), R(rcpT), R(t0));
+        // d2 = d1*0.87 + t*(-0.23)
+        b.fmul(t1, R(t), I(asU(-0.23f)));
+        b.ffma(d2, R(d1), I(asU(0.87f)), R(t1));
+        // cnd1 = 1/(1 + d1*d1)
+        b.fmul(cnd1, R(d1), R(d1));
+        b.fadd(cnd1, R(cnd1), I(asU(1.0f)));
+        b.frcp(cnd1, R(cnd1));
+        // cnd2 = 1/(1 + d2*d2)
+        b.fmul(cnd2, R(d2), R(d2));
+        b.fadd(cnd2, R(cnd2), I(asU(1.0f)));
+        b.frcp(cnd2, R(cnd2));
+        // call = (s*cnd1 - x*cnd2) + t   (negate via sign-bit xor)
+        b.fmul(call, R(s), R(cnd1));
+        b.fmul(t0, R(x), R(cnd2));
+        b.xor_(t0, R(t0), I(kSignBit));
+        b.fadd(call, R(call), R(t0));
+        b.fadd(call, R(call), R(t));
+        // put = (x*cnd1 - s*cnd2) + d1*d2
+        b.fmul(put, R(x), R(cnd1));
+        b.fmul(t1, R(s), R(cnd2));
+        b.xor_(t1, R(t1), I(kSignBit));
+        b.fadd(put, R(put), R(t1));
+        b.fmul(t0, R(d1), R(d2));
+        b.fadd(put, R(put), R(t0));
+
+        b.stg(addr, 3 * kMaxElems * 4, call);
+        b.stg(addr, 4 * kMaxElems * 4, put);
+        b.exit();
+        b.setNumRegs(config_.regsPerKernel);
+        return b.build();
+    }
+
+    u32
+    memoryBytes(const LaunchParams &) const override
+    {
+        return 5 * kMaxElems * 4;
+    }
+
+    void
+    setup(GlobalMemory &mem, const LaunchParams &launch) const override
+    {
+        const u32 count = launch.gridCtas * launch.threadsPerCta;
+        for (u32 i = 0; i < count; ++i) {
+            mem.setWord(i, asU(5.0f + static_cast<float>(i % 97) * 0.5f));
+            mem.setWord(kMaxElems + i,
+                        asU(1.0f + static_cast<float>(i % 53) * 0.25f));
+            mem.setWord(2 * kMaxElems + i,
+                        asU(0.25f + static_cast<float>(i % 11) * 0.1f));
+        }
+    }
+
+    void
+    verify(const GlobalMemory &mem, const LaunchParams &launch) const
+        override
+    {
+        const u32 count = launch.gridCtas * launch.threadsPerCta;
+        for (u32 i = 0; i < count; ++i) {
+            double call, put;
+            golden(asF(mem.word(i)), asF(mem.word(kMaxElems + i)),
+                   asF(mem.word(2 * kMaxElems + i)), call, put);
+            const double gotCall = asF(mem.word(3 * kMaxElems + i));
+            const double gotPut = asF(mem.word(4 * kMaxElems + i));
+            const double tol = 1e-3;
+            panicIf(std::abs(gotCall - call) >
+                        tol * (1.0 + std::abs(call)),
+                    "BlackScholes call mismatch at " + std::to_string(i));
+            panicIf(std::abs(gotPut - put) > tol * (1.0 + std::abs(put)),
+                    "BlackScholes put mismatch at " + std::to_string(i));
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeBlackScholes()
+{
+    return std::make_unique<BlackScholes>();
+}
+
+} // namespace rfv

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * DCT8x8 (CUDA SDK): per-thread 8-point integer butterfly transform.
+ *
+ * Table 1: 4096 CTAs, 64 threads/CTA, 22 regs, 8 conc. CTAs/SM.
+ * Each thread loads a row of 8 values, computes an 8-point
+ * butterfly (integer adds/subtracts/shifts, exactly verifiable) and
+ * stores 8 outputs — many simultaneously-live registers with staggered
+ * lifetimes, like the real row-pass kernel.
+ */
+#include "common/error.h"
+#include "isa/builder.h"
+#include "workloads/workload.h"
+
+namespace rfv {
+
+namespace {
+
+constexpr u32 kRow = 8;
+
+/** Golden 8-point butterfly. */
+void
+goldenRow(const u32 *in, u32 *out)
+{
+    u32 s[kRow], d[kRow];
+    for (u32 i = 0; i < 4; ++i) {
+        s[i] = in[i] + in[7 - i];
+        d[i] = in[i] - in[7 - i];
+    }
+    out[0] = s[0] + s[3] + s[1] + s[2];
+    out[4] = (s[0] + s[3]) - (s[1] + s[2]);
+    out[2] = (s[0] - s[3]) + ((s[1] - s[2]) >> 1);
+    out[6] = ((s[0] - s[3]) >> 1) - (s[1] - s[2]);
+    out[1] = d[0] + (d[1] >> 1) + d[2] + (d[3] >> 2);
+    out[3] = d[0] - d[1] + (d[2] >> 1) - d[3];
+    out[5] = (d[0] >> 1) + d[1] - d[2] + (d[3] >> 1);
+    out[7] = (d[0] >> 2) - (d[1] >> 1) + (d[2] >> 2) - (d[3] >> 2);
+}
+
+class Dct8x8 : public Workload {
+  public:
+    Dct8x8() : Workload({"DCT8x8", 4096, 64, 22, 8}) {}
+
+    Program
+    buildKernel() const override
+    {
+        KernelBuilder b("dct8x8");
+        const u32 tid = b.reg(), cta = b.reg(), n = b.reg(),
+                  base = b.reg();
+        const u32 in0 = b.regs(8);   // in0..in7
+        const u32 s0 = b.regs(4);    // s0..s3
+        const u32 d0 = b.regs(4);    // d0..d3
+        const u32 t0 = b.reg(), t1 = b.reg();
+        b.s2r(tid, SpecialReg::kTid);
+        b.s2r(cta, SpecialReg::kCtaId);
+        b.s2r(n, SpecialReg::kNTid);
+        b.imad(base, R(cta), R(n), R(tid)); // row index
+        b.imul(base, R(base), I(kRow * 4)); // byte base of the row
+
+        for (u32 i = 0; i < kRow; ++i)
+            b.ldg(in0 + i, base, i * 4);
+        for (u32 i = 0; i < 4; ++i) {
+            b.iadd(s0 + i, R(in0 + i), R(in0 + 7 - i));
+            b.isub(d0 + i, R(in0 + i), R(in0 + 7 - i));
+        }
+        const u32 outOff = kOutByteOff;
+        // out0 = s0+s3+s1+s2 ; out4 = (s0+s3)-(s1+s2)
+        b.iadd(t0, R(s0 + 0), R(s0 + 3));
+        b.iadd(t1, R(s0 + 1), R(s0 + 2));
+        b.iadd(in0 + 0, R(t0), R(t1));
+        b.stg(base, outOff + 0 * 4, in0 + 0);
+        b.isub(in0 + 4, R(t0), R(t1));
+        b.stg(base, outOff + 4 * 4, in0 + 4);
+        // out2 = (s0-s3) + ((s1-s2)>>1) ; out6 = ((s0-s3)>>1) - (s1-s2)
+        b.isub(t0, R(s0 + 0), R(s0 + 3));
+        b.isub(t1, R(s0 + 1), R(s0 + 2));
+        b.shr(in0 + 2, R(t1), I(1));
+        b.iadd(in0 + 2, R(t0), R(in0 + 2));
+        b.stg(base, outOff + 2 * 4, in0 + 2);
+        b.shr(in0 + 6, R(t0), I(1));
+        b.isub(in0 + 6, R(in0 + 6), R(t1));
+        b.stg(base, outOff + 6 * 4, in0 + 6);
+        // out1 = d0 + (d1>>1) + d2 + (d3>>2)
+        b.shr(t0, R(d0 + 1), I(1));
+        b.iadd(t0, R(d0 + 0), R(t0));
+        b.iadd(t0, R(t0), R(d0 + 2));
+        b.shr(t1, R(d0 + 3), I(2));
+        b.iadd(t0, R(t0), R(t1));
+        b.stg(base, outOff + 1 * 4, t0);
+        // out3 = d0 - d1 + (d2>>1) - d3
+        b.isub(t0, R(d0 + 0), R(d0 + 1));
+        b.shr(t1, R(d0 + 2), I(1));
+        b.iadd(t0, R(t0), R(t1));
+        b.isub(t0, R(t0), R(d0 + 3));
+        b.stg(base, outOff + 3 * 4, t0);
+        // out5 = (d0>>1) + d1 - d2 + (d3>>1)
+        b.shr(t0, R(d0 + 0), I(1));
+        b.iadd(t0, R(t0), R(d0 + 1));
+        b.isub(t0, R(t0), R(d0 + 2));
+        b.shr(t1, R(d0 + 3), I(1));
+        b.iadd(t0, R(t0), R(t1));
+        b.stg(base, outOff + 5 * 4, t0);
+        // out7 = (d0>>2) - (d1>>1) + (d2>>2) - (d3>>2)
+        b.shr(t0, R(d0 + 0), I(2));
+        b.shr(t1, R(d0 + 1), I(1));
+        b.isub(t0, R(t0), R(t1));
+        b.shr(t1, R(d0 + 2), I(2));
+        b.iadd(t0, R(t0), R(t1));
+        b.shr(t1, R(d0 + 3), I(2));
+        b.isub(t0, R(t0), R(t1));
+        b.stg(base, outOff + 7 * 4, t0);
+        b.exit();
+        b.setNumRegs(config_.regsPerKernel);
+        return b.build();
+    }
+
+    u32
+    memoryBytes(const LaunchParams &launch) const override
+    {
+        const u32 rows = launch.gridCtas * launch.threadsPerCta;
+        return std::max(kOutByteOff + rows * kRow * 4,
+                        rows * kRow * 4 * 2);
+    }
+
+    void
+    setup(GlobalMemory &mem, const LaunchParams &launch) const override
+    {
+        const u32 rows = launch.gridCtas * launch.threadsPerCta;
+        for (u32 i = 0; i < rows * kRow; ++i)
+            mem.setWord(i, (i * 17 + 9) & 0x3ff);
+    }
+
+    void
+    verify(const GlobalMemory &mem, const LaunchParams &launch) const
+        override
+    {
+        const u32 rows = launch.gridCtas * launch.threadsPerCta;
+        for (u32 r = 0; r < rows; ++r) {
+            u32 in[kRow], expect[kRow];
+            for (u32 i = 0; i < kRow; ++i)
+                in[i] = mem.word(r * kRow + i);
+            goldenRow(in, expect);
+            for (u32 i = 0; i < kRow; ++i) {
+                panicIf(mem.word(kOutByteOff / 4 + r * kRow + i) !=
+                            expect[i],
+                        "DCT8x8 mismatch at row " + std::to_string(r) +
+                            " col " + std::to_string(i));
+            }
+        }
+    }
+
+  private:
+    /** Output byte offset sized for the full Table-1 grid. */
+    static constexpr u32 kOutByteOff = 4096 * 64 * kRow * 4;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeDct8x8()
+{
+    return std::make_unique<Dct8x8>();
+}
+
+} // namespace rfv

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Gaussian (Rodinia): one row-elimination step.
+ *
+ * Table 1: 2 CTAs, 512 threads/CTA, 8 regs, 3 conc. CTAs/SM.
+ * out[i] = a[i]*p - b[i]*q — a short, wide, low-footprint kernel with
+ * only two CTAs (low parallelism, like the original's small-matrix
+ * steps).
+ */
+#include "common/error.h"
+#include "isa/builder.h"
+#include "workloads/workload.h"
+
+namespace rfv {
+
+namespace {
+
+constexpr u32 kMaxElems = 2u * 512u;
+constexpr u32 kP = 5, kQ = 3;
+
+class Gaussian : public Workload {
+  public:
+    Gaussian() : Workload({"Gaussian", 2, 512, 8, 3}) {}
+
+    Program
+    buildKernel() const override
+    {
+        KernelBuilder b("gaussian");
+        const u32 tid = b.reg(), cta = b.reg(), n = b.reg(),
+                  addr = b.reg(), a = b.reg(), bb = b.reg(),
+                  t0 = b.reg(), t1 = b.reg();
+        b.s2r(tid, SpecialReg::kTid);
+        b.s2r(cta, SpecialReg::kCtaId);
+        b.s2r(n, SpecialReg::kNTid);
+        b.imad(addr, R(cta), R(n), R(tid));
+        b.shl(addr, R(addr), I(2));
+        b.ldg(a, addr, 0);
+        b.ldg(bb, addr, kMaxElems * 4);
+        b.imul(t0, R(a), I(kP));
+        b.imul(t1, R(bb), I(kQ));
+        b.isub(t0, R(t0), R(t1));
+        b.stg(addr, 2 * kMaxElems * 4, t0);
+        b.exit();
+        b.setNumRegs(config_.regsPerKernel);
+        return b.build();
+    }
+
+    u32
+    memoryBytes(const LaunchParams &) const override
+    {
+        return 3 * kMaxElems * 4;
+    }
+
+    void
+    setup(GlobalMemory &mem, const LaunchParams &launch) const override
+    {
+        const u32 n = launch.gridCtas * launch.threadsPerCta;
+        for (u32 i = 0; i < n; ++i) {
+            mem.setWord(i, i * 7 + 2);
+            mem.setWord(kMaxElems + i, i * 3 + 1);
+        }
+    }
+
+    void
+    verify(const GlobalMemory &mem, const LaunchParams &launch) const
+        override
+    {
+        const u32 n = launch.gridCtas * launch.threadsPerCta;
+        for (u32 i = 0; i < n; ++i) {
+            const u32 expect =
+                mem.word(i) * kP - mem.word(kMaxElems + i) * kQ;
+            panicIf(mem.word(2 * kMaxElems + i) != expect,
+                    "Gaussian mismatch at " + std::to_string(i));
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeGaussian()
+{
+    return std::make_unique<Gaussian>();
+}
+
+} // namespace rfv

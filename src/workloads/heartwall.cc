@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Heartwall (Rodinia): windowed template correlation.
+ *
+ * Table 1: 51 CTAs, 512 threads/CTA, 29 regs, 2 conc. CTAs/SM.
+ * The biggest register footprint in the suite: each thread holds an
+ * 8-sample window and an 8-sample template concurrently while
+ * computing cross-correlation, sum-of-squares and a peak metric —
+ * long stretches with ~25 live registers.
+ */
+#include "common/error.h"
+#include "isa/builder.h"
+#include "workloads/workload.h"
+
+namespace rfv {
+
+namespace {
+
+constexpr u32 kWin = 8;
+constexpr u32 kTemplateWords = kWin;
+constexpr u32 kMaxThreads = 51u * 512u;
+
+class Heartwall : public Workload {
+  public:
+    Heartwall() : Workload({"Heartwall", 51, 512, 29, 2}) {}
+
+    Program
+    buildKernel() const override
+    {
+        KernelBuilder b("heartwall");
+        const u32 tid = b.reg(), cta = b.reg(), n = b.reg(),
+                  gtid = b.reg(), base = b.reg();
+        const u32 win = b.regs(kWin);  // window samples
+        const u32 tpl = b.regs(kWin);  // template samples
+        const u32 corr = b.reg(), ss = b.reg(), peak = b.reg(),
+                  t0 = b.reg(), t1 = b.reg(), outAddr = b.reg();
+        b.s2r(tid, SpecialReg::kTid);
+        b.s2r(cta, SpecialReg::kCtaId);
+        b.s2r(n, SpecialReg::kNTid);
+        b.imad(gtid, R(cta), R(n), R(tid));
+        b.shl(outAddr, R(gtid), I(2));
+
+        // Load the template (shared by all threads).
+        for (u32 i = 0; i < kWin; ++i) {
+            b.mov(t0, I(i * 4));
+            b.ldg(tpl + i, t0, 0);
+        }
+        // Load the thread's window.
+        b.imul(base, R(gtid), I(kWin * 4));
+        for (u32 i = 0; i < kWin; ++i)
+            b.ldg(win + i, base, kTemplateWords * 4 + i * 4);
+
+        // corr = sum(win*tpl); ss = sum(win*win); peak = max(win*tpl).
+        b.mov(corr, I(0));
+        b.mov(ss, I(0));
+        b.mov(peak, I(0));
+        for (u32 i = 0; i < kWin; ++i) {
+            b.imul(t0, R(win + i), R(tpl + i));
+            b.iadd(corr, R(corr), R(t0));
+            b.imul(t1, R(win + i), R(win + i));
+            b.iadd(ss, R(ss), R(t1));
+            b.imax(peak, R(peak), R(t0));
+        }
+        // out = corr*3 + ss + peak
+        b.imul(t0, R(corr), I(3));
+        b.iadd(t0, R(t0), R(ss));
+        b.iadd(t0, R(t0), R(peak));
+        b.stg(outAddr, outByteOff(), t0);
+        b.exit();
+        b.setNumRegs(config_.regsPerKernel);
+        return b.build();
+    }
+
+    u32
+    memoryBytes(const LaunchParams &) const override
+    {
+        return outByteOff() + kMaxThreads * 4;
+    }
+
+    void
+    setup(GlobalMemory &mem, const LaunchParams &launch) const override
+    {
+        for (u32 i = 0; i < kWin; ++i)
+            mem.setWord(i, (i * 5 + 2) & 0x1f);
+        const u32 threads = launch.gridCtas * launch.threadsPerCta;
+        for (u32 i = 0; i < threads * kWin; ++i)
+            mem.setWord(kTemplateWords + i, (i * 23 + 7) & 0x3f);
+    }
+
+    void
+    verify(const GlobalMemory &mem, const LaunchParams &launch) const
+        override
+    {
+        const u32 threads = launch.gridCtas * launch.threadsPerCta;
+        for (u32 t = 0; t < threads; ++t) {
+            u32 corr = 0, ss = 0, peak = 0;
+            for (u32 i = 0; i < kWin; ++i) {
+                const u32 w = mem.word(kTemplateWords + t * kWin + i);
+                const u32 tp = mem.word(i);
+                corr += w * tp;
+                ss += w * w;
+                peak = std::max(peak, w * tp);
+            }
+            const u32 expect = corr * 3 + ss + peak;
+            panicIf(mem.word(outByteOff() / 4 + t) != expect,
+                    "Heartwall mismatch at thread " + std::to_string(t));
+        }
+    }
+
+  private:
+    static u32
+    outByteOff()
+    {
+        return (kTemplateWords + kMaxThreads * kWin) * 4;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeHeartwall()
+{
+    return std::make_unique<Heartwall>();
+}
+
+} // namespace rfv

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * HotSpot (Rodinia): 2D thermal 5-point stencil step.
+ *
+ * Table 1: 1849 CTAs, 256 threads/CTA, 22 regs, 3 conc. CTAs/SM.
+ * Integer fixed-point stencil.  CTA = row, thread = column.  Boundary
+ * threads clamp to the center value via predication (lane-level
+ * divergence at the row edges); top/bottom rows clamp warp-uniformly.
+ * result = (4*center + left + right + up + down + power) >> 3.
+ */
+#include "common/error.h"
+#include "isa/builder.h"
+#include "workloads/workload.h"
+
+namespace rfv {
+
+namespace {
+
+/** Full Table-1 grid cell count (offsets are grid-independent). */
+constexpr u32 kMaxCells = 1849u * 256u;
+
+class HotSpot : public Workload {
+  public:
+    HotSpot() : Workload({"HotSpot", 1849, 256, 22, 3}) {}
+
+    Program
+    buildKernel() const override
+    {
+        KernelBuilder b("hotspot");
+        const u32 tid = b.reg(), cta = b.reg(), n = b.reg(),
+                  nc = b.reg(), idx = b.reg(), addr = b.reg(),
+                  center = b.reg(), left = b.reg(), right = b.reg(),
+                  up = b.reg(), down = b.reg(), power = b.reg(),
+                  acc = b.reg(), t0 = b.reg(), t1 = b.reg(),
+                  lastCol = b.reg(), lastRow = b.reg();
+        b.s2r(tid, SpecialReg::kTid);
+        b.s2r(cta, SpecialReg::kCtaId);
+        b.s2r(n, SpecialReg::kNTid);
+        b.s2r(nc, SpecialReg::kNCtaId);
+        b.imad(idx, R(cta), R(n), R(tid));
+        b.shl(addr, R(idx), I(2));
+        b.ldg(center, addr, 0);
+        b.ldg(power, addr, kMaxCells * 4);
+
+        b.isub(lastCol, R(n), I(1));
+        b.isub(lastRow, R(nc), I(1));
+
+        // left: clamp at column 0 (divergent: lane 0 of warp 0).
+        b.setp(0, CmpOp::kEq, R(tid), I(0));
+        b.mov(left, R(center));
+        b.isub(t0, R(idx), I(1));
+        b.shl(t0, R(t0), I(2));
+        b.guard(0, true);
+        b.ldg(left, t0, 0);
+
+        // right: clamp at the last column.
+        b.setp(1, CmpOp::kEq, R(tid), R(lastCol));
+        b.mov(right, R(center));
+        b.iadd(t1, R(idx), I(1));
+        b.shl(t1, R(t1), I(2));
+        b.guard(1, true);
+        b.ldg(right, t1, 0);
+
+        // up: clamp at row 0 (warp-uniform predicate).
+        b.setp(2, CmpOp::kEq, R(cta), I(0));
+        b.mov(up, R(center));
+        b.isub(t0, R(idx), R(n));
+        b.shl(t0, R(t0), I(2));
+        b.guard(2, true);
+        b.ldg(up, t0, 0);
+
+        // down: clamp at the last row.
+        b.setp(3, CmpOp::kEq, R(cta), R(lastRow));
+        b.mov(down, R(center));
+        b.iadd(t1, R(idx), R(n));
+        b.shl(t1, R(t1), I(2));
+        b.guard(3, true);
+        b.ldg(down, t1, 0);
+
+        b.shl(acc, R(center), I(2));
+        b.iadd(acc, R(acc), R(left));
+        b.iadd(acc, R(acc), R(right));
+        b.iadd(acc, R(acc), R(up));
+        b.iadd(acc, R(acc), R(down));
+        b.iadd(acc, R(acc), R(power));
+        b.shr(acc, R(acc), I(3));
+        b.stg(addr, 2 * kMaxCells * 4, acc);
+        b.exit();
+        b.setNumRegs(config_.regsPerKernel);
+        return b.build();
+    }
+
+    u32
+    memoryBytes(const LaunchParams &) const override
+    {
+        return 3 * kMaxCells * 4;
+    }
+
+    void
+    setup(GlobalMemory &mem, const LaunchParams &launch) const override
+    {
+        const u32 cells = launch.gridCtas * launch.threadsPerCta;
+        for (u32 i = 0; i < cells; ++i) {
+            mem.setWord(i, 300 + (i * 11) % 100);
+            mem.setWord(kMaxCells + i, (i * 3) % 16);
+        }
+    }
+
+    void
+    verify(const GlobalMemory &mem, const LaunchParams &launch) const
+        override
+    {
+        const u32 w = launch.threadsPerCta;
+        const u32 rows = launch.gridCtas;
+        for (u32 r = 0; r < rows; ++r) {
+            for (u32 c = 0; c < w; ++c) {
+                const u32 i = r * w + c;
+                const u32 center = mem.word(i);
+                const u32 left = c == 0 ? center : mem.word(i - 1);
+                const u32 right = c == w - 1 ? center : mem.word(i + 1);
+                const u32 up = r == 0 ? center : mem.word(i - w);
+                const u32 down =
+                    r == rows - 1 ? center : mem.word(i + w);
+                const u32 expect = (4 * center + left + right + up +
+                                    down + mem.word(kMaxCells + i)) >>
+                                   3;
+                panicIf(mem.word(2 * kMaxCells + i) != expect,
+                        "HotSpot mismatch at cell " + std::to_string(i));
+            }
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeHotSpot()
+{
+    return std::make_unique<HotSpot>();
+}
+
+} // namespace rfv

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * LIB (Parboil, libor): Monte-Carlo path simulation with LCG streams.
+ *
+ * Table 1: 64 CTAs, 64 threads/CTA, 22 regs, 8 conc. CTAs/SM.
+ * Each thread advances three independent LCG streams through 32 steps,
+ * accumulating path statistics — long-lived state registers plus
+ * short-lived per-step temporaries, compute-bound like the original
+ * LIBOR kernel.
+ */
+#include "common/error.h"
+#include "isa/builder.h"
+#include "workloads/workload.h"
+
+namespace rfv {
+
+namespace {
+
+constexpr u32 kSteps = 32;
+constexpr u32 kMaxThreads = 64u * 64u;
+constexpr u32 kA = 1664525u, kC = 1013904223u;
+
+class Lib : public Workload {
+  public:
+    Lib() : Workload({"LIB", 64, 64, 22, 8}) {}
+
+    Program
+    buildKernel() const override
+    {
+        KernelBuilder b("lib");
+        const u32 tid = b.reg(), cta = b.reg(), n = b.reg(),
+                  gtid = b.reg(), s1 = b.reg(), s2 = b.reg(),
+                  s3 = b.reg(), acc1 = b.reg(), acc2 = b.reg(),
+                  acc3 = b.reg(), k = b.reg(), t0 = b.reg(),
+                  t1 = b.reg(), t2 = b.reg(), outAddr = b.reg();
+        b.s2r(tid, SpecialReg::kTid);
+        b.s2r(cta, SpecialReg::kCtaId);
+        b.s2r(n, SpecialReg::kNTid);
+        b.imad(gtid, R(cta), R(n), R(tid));
+        b.shl(outAddr, R(gtid), I(2));
+
+        // Seed the three streams from the thread's input word.
+        b.ldg(s1, outAddr, 0);
+        b.iadd(s2, R(s1), I(0x9e37u));
+        b.xor_(s3, R(s1), I(0x79b9u));
+        b.mov(acc1, I(0));
+        b.mov(acc2, I(0));
+        b.mov(acc3, I(0));
+        b.mov(k, I(0));
+        b.label("path");
+        b.imad(s1, R(s1), I(kA), I(kC));
+        b.imad(s2, R(s2), I(kA), I(kC));
+        b.imad(s3, R(s3), I(kA), I(kC));
+        b.shr(t0, R(s1), I(16));
+        b.and_(t0, R(t0), I(0xff));
+        b.iadd(acc1, R(acc1), R(t0));
+        b.shr(t1, R(s2), I(20));
+        b.and_(t1, R(t1), I(0x3f));
+        b.iadd(acc2, R(acc2), R(t1));
+        b.shr(t2, R(s3), I(24));
+        b.imax(acc3, R(acc3), R(t2));
+        b.iadd(k, R(k), I(1));
+        b.setp(0, CmpOp::kLt, R(k), I(kSteps));
+        b.guard(0).bra("path");
+
+        b.imad(t0, R(acc2), I(256), R(acc1));
+        b.imad(t0, R(acc3), I(65536), R(t0));
+        b.stg(outAddr, kMaxThreads * 4, t0);
+        b.exit();
+        b.setNumRegs(config_.regsPerKernel);
+        return b.build();
+    }
+
+    u32
+    memoryBytes(const LaunchParams &) const override
+    {
+        return 2 * kMaxThreads * 4;
+    }
+
+    void
+    setup(GlobalMemory &mem, const LaunchParams &launch) const override
+    {
+        const u32 threads = launch.gridCtas * launch.threadsPerCta;
+        for (u32 i = 0; i < threads; ++i)
+            mem.setWord(i, i * 2654435761u + 17);
+    }
+
+    void
+    verify(const GlobalMemory &mem, const LaunchParams &launch) const
+        override
+    {
+        const u32 threads = launch.gridCtas * launch.threadsPerCta;
+        for (u32 t = 0; t < threads; ++t) {
+            u32 s1 = mem.word(t);
+            u32 s2 = s1 + 0x9e37u;
+            u32 s3 = s1 ^ 0x79b9u;
+            u32 acc1 = 0, acc2 = 0, acc3 = 0;
+            for (u32 k = 0; k < kSteps; ++k) {
+                s1 = s1 * kA + kC;
+                s2 = s2 * kA + kC;
+                s3 = s3 * kA + kC;
+                acc1 += (s1 >> 16) & 0xff;
+                acc2 += (s2 >> 20) & 0x3f;
+                acc3 = std::max(acc3, s3 >> 24);
+            }
+            const u32 expect = acc3 * 65536 + acc2 * 256 + acc1;
+            panicIf(mem.word(kMaxThreads + t) != expect,
+                    "LIB mismatch at thread " + std::to_string(t));
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeLib()
+{
+    return std::make_unique<Lib>();
+}
+
+} // namespace rfv

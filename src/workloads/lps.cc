@@ -1,0 +1,115 @@
+/**
+ * @file
+ * LPS (CUDA SDK, 3D Laplace solver): z-sweep stencil accumulation.
+ *
+ * Table 1: 100 CTAs, 128 threads/CTA, 17 regs, 8 conc. CTAs/SM.
+ * Each thread sweeps 8 z-planes of a 3D volume, combining the plane
+ * cell with its in-plane neighbors — a loop whose per-iteration
+ * temporaries die quickly while the accumulator survives the sweep.
+ */
+#include "common/error.h"
+#include "isa/builder.h"
+#include "workloads/workload.h"
+
+namespace rfv {
+
+namespace {
+
+constexpr u32 kDepth = 8;
+constexpr u32 kMaxCols = 100u * 128u; //!< full-grid x-y columns
+
+class Lps : public Workload {
+  public:
+    Lps() : Workload({"LPS", 100, 128, 17, 8}) {}
+
+    Program
+    buildKernel() const override
+    {
+        KernelBuilder b("lps");
+        const u32 tid = b.reg(), cta = b.reg(), n = b.reg(),
+                  col = b.reg(), acc = b.reg(), z = b.reg(),
+                  addr = b.reg(), c = b.reg(), e = b.reg(),
+                  w = b.reg(), t0 = b.reg(), outAddr = b.reg(),
+                  planeBase = b.reg();
+        b.s2r(tid, SpecialReg::kTid);
+        b.s2r(cta, SpecialReg::kCtaId);
+        b.s2r(n, SpecialReg::kNTid);
+        b.imad(col, R(cta), R(n), R(tid));
+        b.shl(outAddr, R(col), I(2));
+
+        b.mov(acc, I(0));
+        b.mov(z, I(0));
+        b.label("zsweep");
+        // cell = V[z*kMaxCols + col], east/west with wraparound masks
+        b.imad(planeBase, R(z), I(kMaxCols), R(col));
+        b.shl(addr, R(planeBase), I(2));
+        b.ldg(c, addr, 0);
+        b.iadd(t0, R(planeBase), I(1));
+        b.and_(t0, R(t0), I(kColMask));
+        b.shl(t0, R(t0), I(2));
+        b.ldg(e, t0, 0);
+        b.isub(t0, R(planeBase), I(1));
+        b.and_(t0, R(t0), I(kColMask));
+        b.shl(t0, R(t0), I(2));
+        b.ldg(w, t0, 0);
+        // acc += 2*c + e + w
+        b.shl(c, R(c), I(1));
+        b.iadd(c, R(c), R(e));
+        b.iadd(c, R(c), R(w));
+        b.iadd(acc, R(acc), R(c));
+        b.iadd(z, R(z), I(1));
+        b.setp(0, CmpOp::kLt, R(z), I(kDepth));
+        b.guard(0).bra("zsweep");
+
+        b.stg(outAddr, kDepth * kMaxCols * 4, acc);
+        b.exit();
+        b.setNumRegs(config_.regsPerKernel);
+        return b.build();
+    }
+
+    u32
+    memoryBytes(const LaunchParams &) const override
+    {
+        return (kDepth * kMaxCols + kMaxCols) * 4;
+    }
+
+    void
+    setup(GlobalMemory &mem, const LaunchParams &) const override
+    {
+        for (u32 i = 0; i < kDepth * kMaxCols; ++i)
+            mem.setWord(i, (i * 13 + 5) & 0xfff);
+    }
+
+    void
+    verify(const GlobalMemory &mem, const LaunchParams &launch) const
+        override
+    {
+        const u32 cols = launch.gridCtas * launch.threadsPerCta;
+        for (u32 col = 0; col < cols; ++col) {
+            u32 acc = 0;
+            for (u32 z = 0; z < kDepth; ++z) {
+                const u32 i = z * kMaxCols + col;
+                const u32 c = mem.word(i);
+                const u32 e = mem.word((i + 1) & kColMask);
+                const u32 w = mem.word((i - 1) & kColMask);
+                acc += 2 * c + e + w;
+            }
+            panicIf(mem.word(kDepth * kMaxCols + col) != acc,
+                    "LPS mismatch at column " + std::to_string(col));
+        }
+    }
+
+  private:
+    /** Mask keeping neighbor indices inside the volume. */
+    static constexpr u32 kColMask = (1u << 16) - 1; // 64K < depth*cols
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeLps()
+{
+    return std::make_unique<Lps>();
+}
+
+} // namespace rfv

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * LUD (Rodinia): forward-substitution-style recurrence.
+ *
+ * Table 1: 15 CTAs, 32 threads/CTA, 19 regs, 6 conc. CTAs/SM.
+ * One warp per CTA.  Each thread runs a sequential, loop-carried
+ * recurrence over a 16-deep triangular row: x = x*m[k] + v[k],
+ * tracking two auxiliary accumulators — long-lived registers across
+ * the entire loop, the "hard to release" case.
+ */
+#include "common/error.h"
+#include "isa/builder.h"
+#include "workloads/workload.h"
+
+namespace rfv {
+
+namespace {
+
+constexpr u32 kDepth = 16;
+constexpr u32 kMaxThreads = 15u * 32u;
+
+class Lud : public Workload {
+  public:
+    Lud() : Workload({"LUD", 15, 32, 19, 6}) {}
+
+    Program
+    buildKernel() const override
+    {
+        KernelBuilder b("lud");
+        const u32 tid = b.reg(), cta = b.reg(), n = b.reg(),
+                  gtid = b.reg(), x = b.reg(), aux1 = b.reg(),
+                  aux2 = b.reg(), k = b.reg(), mAddr = b.reg(),
+                  vAddr = b.reg(), mv = b.reg(), vv = b.reg(),
+                  outAddr = b.reg(), t0 = b.reg();
+        b.s2r(tid, SpecialReg::kTid);
+        b.s2r(cta, SpecialReg::kCtaId);
+        b.s2r(n, SpecialReg::kNTid);
+        b.imad(gtid, R(cta), R(n), R(tid));
+        b.shl(outAddr, R(gtid), I(2));
+
+        b.iadd(x, R(gtid), I(1));
+        b.mov(aux1, I(0));
+        b.mov(aux2, I(1));
+        b.mov(k, I(0));
+        b.label("solve");
+        // mv = M[gtid*kDepth + k], vv = V[k]
+        b.imad(mAddr, R(gtid), I(kDepth), R(k));
+        b.shl(mAddr, R(mAddr), I(2));
+        b.ldg(mv, mAddr, kDepth * 4);
+        b.shl(vAddr, R(k), I(2));
+        b.ldg(vv, vAddr, 0);
+        // x = x*mv + vv; aux1 += x; aux2 = aux2*3 + (x&7)
+        b.imad(x, R(x), R(mv), R(vv));
+        b.iadd(aux1, R(aux1), R(x));
+        b.and_(t0, R(x), I(7));
+        b.imad(aux2, R(aux2), I(3), R(t0));
+        b.iadd(k, R(k), I(1));
+        b.setp(0, CmpOp::kLt, R(k), I(kDepth));
+        b.guard(0).bra("solve");
+
+        b.iadd(t0, R(x), R(aux1));
+        b.iadd(t0, R(t0), R(aux2));
+        b.stg(outAddr, outByteOff(), t0);
+        b.exit();
+        b.setNumRegs(config_.regsPerKernel);
+        return b.build();
+    }
+
+    u32
+    memoryBytes(const LaunchParams &) const override
+    {
+        return outByteOff() + kMaxThreads * 4;
+    }
+
+    void
+    setup(GlobalMemory &mem, const LaunchParams &launch) const override
+    {
+        for (u32 k = 0; k < kDepth; ++k)
+            mem.setWord(k, (k * 9 + 4) & 0xf);
+        const u32 threads = launch.gridCtas * launch.threadsPerCta;
+        for (u32 i = 0; i < threads * kDepth; ++i)
+            mem.setWord(kDepth + i, (i * 2 + 1) & 0x7);
+    }
+
+    void
+    verify(const GlobalMemory &mem, const LaunchParams &launch) const
+        override
+    {
+        const u32 threads = launch.gridCtas * launch.threadsPerCta;
+        for (u32 t = 0; t < threads; ++t) {
+            u32 x = t + 1, aux1 = 0, aux2 = 1;
+            for (u32 k = 0; k < kDepth; ++k) {
+                x = x * mem.word(kDepth + t * kDepth + k) + mem.word(k);
+                aux1 += x;
+                aux2 = aux2 * 3 + (x & 7);
+            }
+            const u32 expect = x + aux1 + aux2;
+            panicIf(mem.word(outByteOff() / 4 + t) != expect,
+                    "LUD mismatch at thread " + std::to_string(t));
+        }
+    }
+
+  private:
+    static u32
+    outByteOff()
+    {
+        return (kDepth + kMaxThreads * kDepth) * 4;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeLud()
+{
+    return std::make_unique<Lud>();
+}
+
+} // namespace rfv

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * MUM (Rodinia/MUMmerGPU): suffix-walk string matching.
+ *
+ * Table 1: 196 CTAs, 256 threads/CTA, 19 regs, 6 conc. CTAs/SM.
+ * Each thread walks the reference from a hashed (scattered,
+ * uncoalesced) start position, extending its match while characters
+ * agree — data-dependent trip counts (divergence) plus heavy,
+ * poorly-coalesced memory traffic.  This is the workload whose DRAM
+ * contention makes CTA throttling a *win* in the paper's Fig. 11a.
+ */
+#include "common/error.h"
+#include "isa/builder.h"
+#include "workloads/workload.h"
+
+namespace rfv {
+
+namespace {
+
+constexpr u32 kRefWords = 1u << 16; //!< reference text, one char per word
+constexpr u32 kMaxMatch = 16;
+constexpr u32 kMaxThreads = 196u * 256u;
+
+u32
+refChar(u32 i)
+{
+    return (i * 2654435761u >> 13) & 3; // 4-letter alphabet
+}
+
+u32
+queryChar(u32 thread, u32 j)
+{
+    return ((thread * 31 + j * 7) >> 2) & 3;
+}
+
+class Mum : public Workload {
+  public:
+    Mum() : Workload({"MUM", 196, 256, 19, 6}) {}
+
+    Program
+    buildKernel() const override
+    {
+        KernelBuilder b("mum");
+        const u32 tid = b.reg(), cta = b.reg(), n = b.reg(),
+                  gtid = b.reg(), pos = b.reg(), len = b.reg(),
+                  addr = b.reg(), rc = b.reg(), qc = b.reg(),
+                  t0 = b.reg(), outAddr = b.reg(), j7 = b.reg(),
+                  base31 = b.reg(), sum = b.reg(), hi = b.reg(),
+                  lo = b.reg();
+        b.s2r(tid, SpecialReg::kTid);
+        b.s2r(cta, SpecialReg::kCtaId);
+        b.s2r(n, SpecialReg::kNTid);
+        b.imad(gtid, R(cta), R(n), R(tid));
+        b.shl(outAddr, R(gtid), I(2));
+
+        // Scattered start: pos = hash(gtid) & (kRefWords-1)
+        b.imul(pos, R(gtid), I(2654435761u));
+        b.shr(pos, R(pos), I(7));
+        b.and_(pos, R(pos), I(kRefWords - 1));
+
+        b.imul(base31, R(gtid), I(31));
+        b.mov(len, I(0));
+        b.mov(sum, I(0));
+        b.mov(hi, I(0));
+        b.mov(lo, I(0x7fffffff));
+        b.label("walk");
+        // rc = ref[(pos+len) & mask]
+        b.iadd(addr, R(pos), R(len));
+        b.and_(addr, R(addr), I(kRefWords - 1));
+        b.shl(addr, R(addr), I(2));
+        b.ldg(rc, addr, 0);
+        // qc = ((gtid*31 + len*7) >> 2) & 3
+        b.imul(j7, R(len), I(7));
+        b.iadd(j7, R(j7), R(base31));
+        b.shr(qc, R(j7), I(2));
+        b.and_(qc, R(qc), I(3));
+        // stop on mismatch
+        b.setp(0, CmpOp::kNe, R(rc), R(qc));
+        b.guard(0).bra("stop");
+        b.imad(sum, R(sum), I(5), R(rc));
+        b.imax(hi, R(hi), R(j7));
+        b.imin(lo, R(lo), R(j7));
+        b.iadd(len, R(len), I(1));
+        b.setp(1, CmpOp::kLt, R(len), I(kMaxMatch));
+        b.guard(1).bra("walk");
+        b.label("stop");
+        // out = (len*kRefWords + pos) ^ (sum<<4) ^ (hi+lo)
+        b.imad(t0, R(len), I(kRefWords), R(pos));
+        b.shl(sum, R(sum), I(4));
+        b.xor_(t0, R(t0), R(sum));
+        b.iadd(hi, R(hi), R(lo));
+        b.xor_(t0, R(t0), R(hi));
+        b.stg(outAddr, kRefWords * 4, t0);
+        b.exit();
+        b.setNumRegs(config_.regsPerKernel);
+        return b.build();
+    }
+
+    u32
+    memoryBytes(const LaunchParams &) const override
+    {
+        return (kRefWords + kMaxThreads) * 4;
+    }
+
+    void
+    setup(GlobalMemory &mem, const LaunchParams &) const override
+    {
+        for (u32 i = 0; i < kRefWords; ++i)
+            mem.setWord(i, refChar(i));
+    }
+
+    void
+    verify(const GlobalMemory &mem, const LaunchParams &launch) const
+        override
+    {
+        const u32 threads = launch.gridCtas * launch.threadsPerCta;
+        for (u32 t = 0; t < threads; ++t) {
+            const u32 pos = ((t * 2654435761u) >> 7) & (kRefWords - 1);
+            u32 len = 0;
+            while (len < kMaxMatch &&
+                   refChar((pos + len) & (kRefWords - 1)) ==
+                       queryChar(t, len)) {
+                ++len;
+            }
+            u32 sum = 0, hi = 0, lo = 0x7fffffff;
+            for (u32 j = 0; j < len; ++j) {
+                sum = sum * 5 + refChar((pos + j) & (kRefWords - 1));
+                const u32 j7 = t * 31 + j * 7;
+                hi = std::max(hi, j7);
+                lo = std::min(lo, j7);
+            }
+            const u32 expect =
+                (len * kRefWords + pos) ^ (sum << 4) ^ (hi + lo);
+            panicIf(mem.word(kRefWords + t) != expect,
+                    "MUM mismatch at thread " + std::to_string(t));
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeMum()
+{
+    return std::make_unique<Mum>();
+}
+
+} // namespace rfv

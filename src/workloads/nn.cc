@@ -1,0 +1,134 @@
+/**
+ * @file
+ * NN (Rodinia, nearest neighbor): distance scan with running minimum.
+ *
+ * Table 1: 168 CTAs, 169 threads/CTA, 14 regs, 8 conc. CTAs/SM.
+ * 169 threads per CTA — a deliberately non-multiple-of-32 block (the
+ * original uses 13x13 tiles), so the last warp runs with a partial
+ * active mask.  Each thread scans 4 candidate records, tracking the
+ * minimum squared distance with predicated updates.
+ */
+#include "common/error.h"
+#include "isa/builder.h"
+#include "workloads/workload.h"
+
+namespace rfv {
+
+namespace {
+
+constexpr u32 kCandidates = 4;
+constexpr u32 kMaxThreads = 168u * 169u;
+constexpr u32 kRecordWords = kCandidates * 2; //!< (x, y) pairs
+
+class Nn : public Workload {
+  public:
+    Nn() : Workload({"NN", 168, 169, 14, 8}) {}
+
+    Program
+    buildKernel() const override
+    {
+        KernelBuilder b("nn");
+        const u32 tid = b.reg(), cta = b.reg(), n = b.reg(),
+                  gtid = b.reg(), qx = b.reg(), qy = b.reg(),
+                  best = b.reg(), second = b.reg(), k = b.reg(),
+                  addr = b.reg(), rx = b.reg(), ry = b.reg(),
+                  d = b.reg(), outAddr = b.reg();
+        b.s2r(tid, SpecialReg::kTid);
+        b.s2r(cta, SpecialReg::kCtaId);
+        b.s2r(n, SpecialReg::kNTid);
+        b.imad(gtid, R(cta), R(n), R(tid));
+        b.shl(outAddr, R(gtid), I(2));
+
+        // Query point derived from the thread's input record.
+        b.ldg(qx, outAddr, kRecordWords * 4);
+        b.and_(qy, R(qx), I(0xffff));
+        b.shr(qx, R(qx), I(16));
+
+        b.mov(best, I(0x7fffffff));
+        b.mov(second, I(0x7fffffff));
+        b.mov(k, I(0));
+        b.label("scan");
+        b.shl(addr, R(k), I(3)); // record k: 2 words
+        b.ldg(rx, addr, 0);
+        b.ldg(ry, addr, 4);
+        // d = (rx-qx)^2 + (ry-qy)^2
+        b.isub(rx, R(rx), R(qx));
+        b.imul(rx, R(rx), R(rx));
+        b.isub(ry, R(ry), R(qy));
+        b.imad(d, R(ry), R(ry), R(rx));
+        // second = min(second, max(best, d)); best = min(best, d)
+        b.imax(rx, R(best), R(d));
+        b.imin(second, R(second), R(rx));
+        b.imin(best, R(best), R(d));
+        b.iadd(k, R(k), I(1));
+        b.setp(0, CmpOp::kLt, R(k), I(kCandidates));
+        b.guard(0).bra("scan");
+
+        // out = best + (second<<8 folded in) to exercise both results
+        b.shl(second, R(second), I(8));
+        b.iadd(best, R(best), R(second));
+        b.stg(outAddr, (kRecordWords + kMaxThreads) * 4, best);
+        b.exit();
+        b.setNumRegs(config_.regsPerKernel);
+        return b.build();
+    }
+
+    u32
+    memoryBytes(const LaunchParams &) const override
+    {
+        return (kRecordWords + 2 * kMaxThreads) * 4;
+    }
+
+    void
+    setup(GlobalMemory &mem, const LaunchParams &launch) const override
+    {
+        for (u32 k = 0; k < kCandidates; ++k) {
+            mem.setWord(2 * k, 100 + k * 37);
+            mem.setWord(2 * k + 1, 50 + k * 53);
+        }
+        const u32 threads = launch.gridCtas * launch.threadsPerCta;
+        for (u32 t = 0; t < threads; ++t) {
+            const u32 x = (t * 17) & 0xff;
+            const u32 y = (t * 29) & 0xff;
+            mem.setWord(kRecordWords + t, (x << 16) | y);
+        }
+    }
+
+    void
+    verify(const GlobalMemory &mem, const LaunchParams &launch) const
+        override
+    {
+        const u32 threads = launch.gridCtas * launch.threadsPerCta;
+        for (u32 t = 0; t < threads; ++t) {
+            const u32 packed = mem.word(kRecordWords + t);
+            const i64 qx = packed >> 16;
+            const i64 qy = packed & 0xffff;
+            u32 best = 0x7fffffff, second = 0x7fffffff;
+            for (u32 k = 0; k < kCandidates; ++k) {
+                const i64 dx = static_cast<i64>(mem.word(2 * k)) - qx;
+                const i64 dy = static_cast<i64>(mem.word(2 * k + 1)) - qy;
+                const u32 d = static_cast<u32>(dx * dx + dy * dy);
+                // imin/imax are signed, matching the kernel.
+                const i32 hi = std::max(static_cast<i32>(best),
+                                        static_cast<i32>(d));
+                second = static_cast<u32>(
+                    std::min(static_cast<i32>(second), hi));
+                best = static_cast<u32>(std::min(static_cast<i32>(best),
+                                                 static_cast<i32>(d)));
+            }
+            const u32 expect = best + (second << 8);
+            panicIf(mem.word(kRecordWords + kMaxThreads + t) != expect,
+                    "NN mismatch at thread " + std::to_string(t));
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeNn()
+{
+    return std::make_unique<Nn>();
+}
+
+} // namespace rfv

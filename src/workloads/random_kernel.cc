@@ -1,0 +1,339 @@
+#include "workloads/random_kernel.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "isa/builder.h"
+
+namespace rfv {
+
+namespace {
+
+/** Largest power-of-two CTA supported by shared exchange stages. */
+constexpr u32 kWarpSizeMaxCta = 256;
+
+/** Stateful generator walking the construct grammar. */
+class Generator {
+  public:
+    explicit Generator(const RandomKernelOptions &opts)
+        : opts_(opts), rng_(opts.seed), b_("random_" +
+                                           std::to_string(opts.seed))
+    {
+    }
+
+    RandomKernel
+    run()
+    {
+        if (opts_.sharedStages)
+            b_.setSharedMem(kWarpSizeMaxCta * 4);
+        // Prologue: global thread id and output address.
+        tid_ = b_.reg();
+        gtid_ = b_.reg();
+        outAddr_ = b_.reg();
+        scratch_ = b_.reg();
+        acc_ = b_.reg();
+        b_.s2r(tid_, SpecialReg::kTid);
+        b_.s2r(gtid_, SpecialReg::kCtaId);
+        b_.s2r(scratch_, SpecialReg::kNTid);
+        b_.imad(gtid_, R(gtid_), R(scratch_), R(tid_)); // global tid
+        b_.iadd(outAddr_, R(gtid_), I(kRandomKernelInputWords));
+        b_.shl(outAddr_, R(outAddr_), I(2));
+        b_.mov(acc_, I(1));
+        initialized_ = {tid_, gtid_, acc_};
+
+        for (u32 i = 0; i < opts_.bodyBlocks; ++i)
+            construct(0);
+
+        // Epilogue: fold a few live registers into acc and store it.
+        for (u32 i = 0; i < 2 && i < initialized_.size(); ++i) {
+            const u32 r = pickInitialized();
+            b_.xor_(acc_, R(acc_), R(r));
+        }
+        b_.stg(outAddr_, 0, acc_);
+        b_.exit();
+
+        RandomKernel out;
+        out.program = b_.build();
+        out.outputWordsPerThread = 1;
+        return out;
+    }
+
+  private:
+    u32
+    pickInitialized()
+    {
+        return initialized_[rng_.below(initialized_.size())];
+    }
+
+    /** Destination: mostly reuse, sometimes a fresh register. */
+    u32
+    pickDest()
+    {
+        if (nextTemp_ < opts_.maxRegs && rng_.chance(2, 5)) {
+            const u32 r = b_.reg();
+            nextTemp_ = r + 1;
+            return r;
+        }
+        // Avoid clobbering the address registers and the thread id
+        // (shared-exchange stages index shared memory with tid).
+        for (u32 tries = 0; tries < 8; ++tries) {
+            const u32 r = pickInitialized();
+            if (r != outAddr_ && r != gtid_ && r != tid_)
+                return r;
+        }
+        return acc_;
+    }
+
+    Operand
+    pickSource()
+    {
+        if (rng_.chance(1, 4))
+            return I(static_cast<u32>(rng_.below(64)));
+        return R(pickInitialized());
+    }
+
+    void
+    markInit(u32 r)
+    {
+        if (std::find(initialized_.begin(), initialized_.end(), r) ==
+            initialized_.end()) {
+            initialized_.push_back(r);
+        }
+    }
+
+    void
+    emitArith()
+    {
+        const u32 d = pickDest();
+        const Operand a = pickSource();
+        const Operand b = pickSource();
+        switch (rng_.below(8)) {
+          case 0: b_.iadd(d, a, b); break;
+          case 1: b_.isub(d, a, b); break;
+          case 2: b_.imul(d, a, b); break;
+          case 3: b_.and_(d, a, b); break;
+          case 4: b_.or_(d, a, b); break;
+          case 5: b_.xor_(d, a, b); break;
+          case 6: b_.imin(d, a, b); break;
+          default:
+            b_.imad(d, a, b, pickSource());
+            break;
+        }
+        markInit(d);
+    }
+
+    void
+    emitLoad()
+    {
+        // addr = ((r ^ salt) & (inputWords-1)) << 2, into scratch.
+        const u32 r = pickInitialized();
+        b_.xor_(scratch_, R(r),
+                I(static_cast<u32>(rng_.below(1u << 16))));
+        b_.and_(scratch_, R(scratch_), I(kRandomKernelInputWords - 1));
+        b_.shl(scratch_, R(scratch_), I(2));
+        const u32 d = pickDest();
+        b_.ldg(d, scratch_, 0);
+        markInit(d);
+    }
+
+    void
+    emitFold()
+    {
+        b_.xor_(acc_, R(acc_), R(pickInitialized()));
+    }
+
+    /**
+     * Guarded early exit: a few lanes retire here.  Their output word
+     * keeps its initial value in every register-file mode, so the
+     * equivalence invariant is unaffected, while the SIMT stack's
+     * partial-exit path and the compiler's guarded-exit CFG edge get
+     * fuzzed.
+     */
+    void
+    emitEarlyExit()
+    {
+        const u32 p = static_cast<u32>(rng_.below(4));
+        b_.setp(p, CmpOp::kEq, R(tid_),
+                I(static_cast<u32>(rng_.below(96))));
+        b_.guard(static_cast<i32>(p));
+        b_.exit();
+    }
+
+    /**
+     * Shared-memory exchange: every thread publishes a value, the CTA
+     * synchronizes, every thread folds in a neighbour's value, and the
+     * CTA synchronizes again (so a later stage's stores cannot race
+     * with this stage's reads).  Deterministic for power-of-two CTAs.
+     */
+    void
+    emitSharedExchange()
+    {
+        const u32 offset =
+            1 + static_cast<u32>(rng_.below(kWarpSizeMaxCta - 1));
+        // shared[tid] = acc
+        b_.shl(scratch_, R(tid_), I(2));
+        b_.sts(scratch_, 0, acc_);
+        b_.bar();
+        // neighbour = shared[(tid + offset) & (ntid - 1)]
+        b_.s2r(scratch_, SpecialReg::kNTid);
+        b_.isub(scratch_, R(scratch_), I(1));
+        const u32 d = pickDest();
+        b_.iadd(d, R(tid_), I(offset));
+        b_.and_(d, R(d), R(scratch_));
+        b_.shl(d, R(d), I(2));
+        b_.lds(d, d, 0);
+        markInit(d);
+        b_.xor_(acc_, R(acc_), R(d));
+        b_.bar();
+    }
+
+    void
+    emitIf(u32 depth)
+    {
+        const u32 p = static_cast<u32>(rng_.below(4));
+        const u32 label = labelId_++;
+        const std::string elseL = "else" + std::to_string(label);
+        const std::string joinL = "join" + std::to_string(label);
+        b_.setp(p, randomCmp(), R(pickInitialized()),
+                I(static_cast<u32>(rng_.below(32))));
+        b_.guard(static_cast<i32>(p), true).bra(elseL);
+
+        const auto before = initialized_;
+        body(depth + 1, 1 + rng_.below(3));
+        const auto thenInit = initialized_;
+        b_.bra(joinL);
+
+        b_.label(elseL);
+        initialized_ = before;
+        if (rng_.chance(3, 4))
+            body(depth + 1, 1 + rng_.below(3));
+        const auto elseInit = initialized_;
+
+        b_.label(joinL);
+        // Definitely-initialized = before ∪ (then ∩ else).
+        initialized_ = before;
+        for (u32 r : thenInit) {
+            if (std::find(elseInit.begin(), elseInit.end(), r) !=
+                elseInit.end()) {
+                markInit(r);
+            }
+        }
+    }
+
+    void
+    emitLoop(u32 depth)
+    {
+        const u32 label = labelId_++;
+        const std::string topL = "top" + std::to_string(label);
+        const u32 p = 4 + static_cast<u32>(rng_.below(4));
+        if (nextTemp_ >= opts_.maxRegs) {
+            // No dedicated counter register available (the shared
+            // scratch could be clobbered by loads inside the body,
+            // which would make the loop unbounded): emit arithmetic
+            // instead.
+            emitArith();
+            return;
+        }
+        // The counter (and divergent limit) must be registers the loop
+        // body cannot clobber, or the trip count would be unbounded —
+        // so they are never added to the initialized pool.
+        const u32 counter = b_.reg();
+        nextTemp_ = counter + 1;
+        b_.mov(counter, I(0));
+
+        // Sometimes a data-dependent (divergent) trip count.
+        const bool divergent =
+            nextTemp_ < opts_.maxRegs && rng_.chance(1, 2);
+        u32 lim = 0;
+        if (divergent) {
+            lim = b_.reg();
+            nextTemp_ = lim + 1;
+            b_.and_(lim, R(tid_), I(3));
+        }
+        b_.label(topL);
+        body(depth + 1, 1 + rng_.below(3));
+        b_.iadd(counter, R(counter), I(1));
+        if (divergent) {
+            b_.setp(p, CmpOp::kLe, R(counter), R(lim));
+        } else {
+            b_.setp(p, CmpOp::kLt, R(counter),
+                    I(2 + static_cast<u32>(rng_.below(3))));
+        }
+        b_.guard(static_cast<i32>(p)).bra(topL);
+    }
+
+    void
+    emitStore()
+    {
+        if (storeCount_ >= 1)
+            return; // one output word per thread keeps verification easy
+        // Fold then store intermediate accumulator.
+        b_.xor_(acc_, R(acc_), R(pickInitialized()));
+    }
+
+    CmpOp
+    randomCmp()
+    {
+        switch (rng_.below(6)) {
+          case 0: return CmpOp::kEq;
+          case 1: return CmpOp::kNe;
+          case 2: return CmpOp::kLt;
+          case 3: return CmpOp::kLe;
+          case 4: return CmpOp::kGt;
+          default: return CmpOp::kGe;
+        }
+    }
+
+    void
+    body(u32 depth, u32 constructs)
+    {
+        for (u32 i = 0; i < constructs; ++i)
+            construct(depth);
+    }
+
+    void
+    construct(u32 depth)
+    {
+        const u32 roll = static_cast<u32>(rng_.below(10));
+        if (depth < opts_.maxDepth && roll == 0) {
+            emitLoop(depth);
+        } else if (depth < opts_.maxDepth && roll <= 2) {
+            emitIf(depth);
+        } else if (roll <= 4) {
+            emitLoad();
+        } else if (roll == 5 && depth == 0 && opts_.barriers) {
+            if (opts_.sharedStages)
+                emitSharedExchange();
+            else
+                b_.bar();
+        } else if (roll == 6) {
+            emitFold();
+        } else if (roll == 7 && depth == 0 && rng_.chance(1, 3)) {
+            emitEarlyExit();
+        } else {
+            emitArith();
+        }
+    }
+
+    RandomKernelOptions opts_;
+    Rng rng_;
+    KernelBuilder b_;
+    std::vector<u32> initialized_;
+    u32 tid_ = 0, gtid_ = 0, outAddr_ = 0, scratch_ = 0, acc_ = 0;
+    u32 nextTemp_ = 0;
+    u32 labelId_ = 0;
+    u32 storeCount_ = 0;
+};
+
+} // namespace
+
+RandomKernel
+generateRandomKernel(const RandomKernelOptions &opts)
+{
+    RandomKernelOptions o = opts;
+    o.maxRegs = std::max(o.maxRegs, 8u);
+    Generator gen(o);
+    return gen.run();
+}
+
+} // namespace rfv

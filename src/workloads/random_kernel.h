@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Structured random kernel generator for property-based testing.
+ *
+ * Generates valid SIMT kernels with nested data-dependent divergence,
+ * loops, barriers and global memory traffic.  Test invariant: the final
+ * memory image must be identical under every register-file mode
+ * (baseline / virtualized / GPU-shrink / hardware-only) — an unsafe
+ * register release corrupts the output or trips a validator panic.
+ *
+ * Memory convention:
+ *  - input region: words [0, kInputWords) — test fills with arbitrary data
+ *  - output region: words [kInputWords, ...) — one or more words per
+ *    global thread
+ */
+#ifndef RFV_WORKLOADS_RANDOM_KERNEL_H
+#define RFV_WORKLOADS_RANDOM_KERNEL_H
+
+#include "isa/program.h"
+#include "sim/sim_config.h"
+
+namespace rfv {
+
+/** Size of the random-kernel input region in words. */
+inline constexpr u32 kRandomKernelInputWords = 4096;
+
+/** Generator knobs. */
+struct RandomKernelOptions {
+    u64 seed = 1;
+    u32 maxRegs = 16;     //!< register budget (>= 8)
+    u32 maxDepth = 2;     //!< control-flow nesting depth
+    u32 bodyBlocks = 6;   //!< top-level constructs
+    bool barriers = true; //!< emit top-level barriers occasionally
+    /**
+     * Emit shared-memory exchange stages (store, barrier, read a
+     * neighbour's slot, barrier).  Deterministic only when
+     * threadsPerCta is a power of two (the neighbour index uses an
+     * and-mask); the test harness launches such kernels with 64-thread
+     * CTAs.
+     */
+    bool sharedStages = false;
+};
+
+/** A generated kernel plus its memory geometry. */
+struct RandomKernel {
+    Program program;
+    u32 outputWordsPerThread = 0;
+
+    /** Words of global memory required for @p launch. */
+    u32
+    memoryWords(const LaunchParams &launch) const
+    {
+        const u32 threads = launch.gridCtas * launch.threadsPerCta;
+        return kRandomKernelInputWords +
+               threads * std::max(1u, outputWordsPerThread);
+    }
+};
+
+/** Generate a kernel from @p opts (deterministic in the seed). */
+RandomKernel generateRandomKernel(const RandomKernelOptions &opts);
+
+} // namespace rfv
+
+#endif // RFV_WORKLOADS_RANDOM_KERNEL_H

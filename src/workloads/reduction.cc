@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Reduction (CUDA SDK): per-CTA shared-memory tree sum with barriers.
+ *
+ * Table 1: 64 CTAs, 256 threads/CTA, 14 regs, 6 conc. CTAs/SM.
+ */
+#include "common/error.h"
+#include "isa/builder.h"
+#include "workloads/workload.h"
+
+namespace rfv {
+
+namespace {
+
+constexpr u32 kMaxInWords = 2 * 64 * 256; //!< two elements per thread
+
+class Reduction : public Workload {
+  public:
+    Reduction() : Workload({"Reduction", 64, 256, 14, 6}) {}
+
+    Program
+    buildKernel() const override
+    {
+        KernelBuilder b("reduction");
+        b.setSharedMem(256 * 4);
+        const u32 tid = b.reg(), cta = b.reg(), n = b.reg(),
+                  gaddr = b.reg(), v = b.reg(), v2 = b.reg(),
+                  saddr = b.reg(), stride = b.reg(), other = b.reg(),
+                  oaddr = b.reg(), t0 = b.reg(), nbytes = b.reg();
+        b.s2r(tid, SpecialReg::kTid);
+        b.s2r(cta, SpecialReg::kCtaId);
+        b.s2r(n, SpecialReg::kNTid);
+        // Grid-stride pre-sum: each thread folds two input elements
+        // before the shared-memory tree (as the SDK kernel does).
+        b.shl(nbytes, R(n), I(2));
+        b.imul(t0, R(cta), I(2));
+        b.imad(t0, R(t0), R(n), R(tid));
+        b.shl(gaddr, R(t0), I(2));
+        b.ldg(v, gaddr, 0);
+        b.iadd(gaddr, R(gaddr), R(nbytes));
+        b.ldg(v2, gaddr, 0);
+        b.iadd(v, R(v), R(v2));
+        b.shl(saddr, R(tid), I(2));
+        b.sts(saddr, 0, v);
+        b.bar();
+
+        b.shr(stride, R(n), I(1));
+        b.label("top");
+        b.setp(0, CmpOp::kLt, R(tid), R(stride));
+        b.iadd(oaddr, R(tid), R(stride));
+        b.shl(oaddr, R(oaddr), I(2));
+        b.guard(0);
+        b.lds(other, oaddr, 0);
+        b.guard(0);
+        b.lds(v, saddr, 0);
+        b.guard(0);
+        b.iadd(v, R(v), R(other));
+        b.guard(0);
+        b.sts(saddr, 0, v);
+        b.bar();
+        b.shr(stride, R(stride), I(1));
+        b.setp(1, CmpOp::kGe, R(stride), I(1));
+        b.guard(1).bra("top");
+
+        b.setp(2, CmpOp::kEq, R(tid), I(0));
+        b.shl(oaddr, R(cta), I(2));
+        b.guard(2);
+        b.stg(oaddr, kMaxInWords * 4, v);
+        b.exit();
+        b.setNumRegs(config_.regsPerKernel);
+        return b.build();
+    }
+
+    u32
+    memoryBytes(const LaunchParams &launch) const override
+    {
+        return (kMaxInWords + launch.gridCtas) * 4;
+    }
+
+    void
+    setup(GlobalMemory &mem, const LaunchParams &launch) const override
+    {
+        const u32 n = 2 * launch.gridCtas * launch.threadsPerCta;
+        for (u32 i = 0; i < n; ++i)
+            mem.setWord(i, (i * 31 + 5) & 0xffff);
+    }
+
+    void
+    verify(const GlobalMemory &mem, const LaunchParams &launch) const
+        override
+    {
+        for (u32 c = 0; c < launch.gridCtas; ++c) {
+            u32 expect = 0;
+            for (u32 t = 0; t < 2 * launch.threadsPerCta; ++t)
+                expect += mem.word(2 * c * launch.threadsPerCta + t);
+            panicIf(mem.word(kMaxInWords + c) != expect,
+                    "Reduction mismatch at CTA " + std::to_string(c));
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeReduction()
+{
+    return std::make_unique<Reduction>();
+}
+
+} // namespace rfv

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * ScalarProd (CUDA SDK): per-CTA dot products with shared-memory
+ * reduction.
+ *
+ * Table 1: 128 CTAs, 256 threads/CTA, 17 regs, 6 conc. CTAs/SM.
+ * Each thread accumulates 4 strided element products, then the CTA
+ * tree-reduces the partial sums in shared memory.
+ */
+#include "common/error.h"
+#include "isa/builder.h"
+#include "workloads/workload.h"
+
+namespace rfv {
+
+namespace {
+
+constexpr u32 kStride = 4; //!< elements per thread
+constexpr u32 kMaxElems = 128u * 256u * kStride;
+
+class ScalarProd : public Workload {
+  public:
+    ScalarProd() : Workload({"ScalarProd", 128, 256, 17, 6}) {}
+
+    Program
+    buildKernel() const override
+    {
+        KernelBuilder b("scalarprod");
+        b.setSharedMem(256 * 4);
+        const u32 tid = b.reg(), cta = b.reg(), n = b.reg(),
+                  acc = b.reg(), k = b.reg(), addr = b.reg(),
+                  av = b.reg(), bv = b.reg(), av2 = b.reg(),
+                  bv2 = b.reg(), saddr = b.reg(), stride = b.reg(),
+                  other = b.reg(), oaddr = b.reg(), elemBase = b.reg();
+        b.s2r(tid, SpecialReg::kTid);
+        b.s2r(cta, SpecialReg::kCtaId);
+        b.s2r(n, SpecialReg::kNTid);
+
+        // Prologue computes every CTA-derived value so cta and n die
+        // before the main loop (short prologue lifetimes, Fig. 1).
+        b.imad(elemBase, R(cta), R(n), R(tid));
+        b.imul(elemBase, R(elemBase), I(kStride));
+        b.shl(oaddr, R(cta), I(2));
+        b.shr(stride, R(n), I(1));
+        b.shl(saddr, R(tid), I(2));
+
+        // Dot-product loop, unrolled by two.
+        b.mov(acc, I(0));
+        b.mov(k, I(0));
+        b.label("dot");
+        b.iadd(addr, R(elemBase), R(k));
+        b.shl(addr, R(addr), I(2));
+        b.ldg(av, addr, 0);
+        b.ldg(av2, addr, 4);
+        b.ldg(bv, addr, kMaxElems * 4);
+        b.ldg(bv2, addr, kMaxElems * 4 + 4);
+        b.imad(acc, R(av), R(bv), R(acc));
+        b.imad(acc, R(av2), R(bv2), R(acc));
+        b.iadd(k, R(k), I(2));
+        b.setp(0, CmpOp::kLt, R(k), I(kStride));
+        b.guard(0).bra("dot");
+
+        // Shared-memory tree reduction of the partial sums.
+        b.sts(saddr, 0, acc);
+        b.bar();
+        b.label("tree");
+        b.setp(1, CmpOp::kLt, R(tid), R(stride));
+        b.iadd(addr, R(tid), R(stride));
+        b.shl(addr, R(addr), I(2));
+        b.guard(1);
+        b.lds(other, addr, 0);
+        b.guard(1);
+        b.lds(acc, saddr, 0);
+        b.guard(1);
+        b.iadd(acc, R(acc), R(other));
+        b.guard(1);
+        b.sts(saddr, 0, acc);
+        b.bar();
+        b.shr(stride, R(stride), I(1));
+        b.setp(2, CmpOp::kGe, R(stride), I(1));
+        b.guard(2).bra("tree");
+
+        b.setp(3, CmpOp::kEq, R(tid), I(0));
+        b.guard(3);
+        b.stg(oaddr, 2 * kMaxElems * 4, acc);
+        b.exit();
+        b.setNumRegs(config_.regsPerKernel);
+        return b.build();
+    }
+
+    u32
+    memoryBytes(const LaunchParams &launch) const override
+    {
+        return 2 * kMaxElems * 4 + launch.gridCtas * 4;
+    }
+
+    void
+    setup(GlobalMemory &mem, const LaunchParams &launch) const override
+    {
+        const u32 elems =
+            launch.gridCtas * launch.threadsPerCta * kStride;
+        for (u32 i = 0; i < elems; ++i) {
+            mem.setWord(i, (i * 3 + 1) & 0xff);
+            mem.setWord(kMaxElems + i, (i * 7 + 2) & 0xff);
+        }
+    }
+
+    void
+    verify(const GlobalMemory &mem, const LaunchParams &launch) const
+        override
+    {
+        for (u32 c = 0; c < launch.gridCtas; ++c) {
+            u32 expect = 0;
+            const u32 base = c * launch.threadsPerCta * kStride;
+            for (u32 i = 0; i < launch.threadsPerCta * kStride; ++i) {
+                expect += mem.word(base + i) *
+                          mem.word(kMaxElems + base + i);
+            }
+            panicIf(mem.word(2 * kMaxElems + c) != expect,
+                    "ScalarProd mismatch at CTA " + std::to_string(c));
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeScalarProd()
+{
+    return std::make_unique<ScalarProd>();
+}
+
+} // namespace rfv

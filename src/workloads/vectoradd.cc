@@ -1,0 +1,81 @@
+/**
+ * @file
+ * VectorAdd (CUDA SDK): c[i] = a[i] + b[i].
+ *
+ * Table 1: 196 CTAs, 256 threads/CTA, 4 regs, 6 conc. CTAs/SM.
+ * The short straight-line kernel with tiny register footprint — the
+ * paper's example of an application that gains little from
+ * virtualization (all registers live almost the whole time) and that
+ * fits a half-size register file without throttling.
+ */
+#include "common/error.h"
+#include "isa/builder.h"
+#include "workloads/workload.h"
+
+namespace rfv {
+
+namespace {
+
+constexpr u32 kMaxElems = 196 * 256;
+
+class VectorAdd : public Workload {
+  public:
+    VectorAdd() : Workload({"VectorAdd", 196, 256, 4, 6}) {}
+
+    Program
+    buildKernel() const override
+    {
+        KernelBuilder b("vectoradd");
+        const u32 r0 = b.reg(), r1 = b.reg(), r2 = b.reg(),
+                  r3 = b.reg();
+        b.s2r(r0, SpecialReg::kTid);
+        b.s2r(r1, SpecialReg::kCtaId);
+        b.s2r(r2, SpecialReg::kNTid);
+        b.imad(r0, R(r1), R(r2), R(r0)); // gtid
+        b.shl(r0, R(r0), I(2));
+        b.ldg(r1, r0, 0);
+        b.ldg(r3, r0, kMaxElems * 4);
+        b.iadd(r1, R(r1), R(r3));
+        b.stg(r0, 2 * kMaxElems * 4, r1);
+        b.exit();
+        return b.build();
+    }
+
+    u32
+    memoryBytes(const LaunchParams &) const override
+    {
+        return 3 * kMaxElems * 4;
+    }
+
+    void
+    setup(GlobalMemory &mem, const LaunchParams &launch) const override
+    {
+        const u32 n = launch.gridCtas * launch.threadsPerCta;
+        for (u32 i = 0; i < n; ++i) {
+            mem.setWord(i, i * 3 + 7);
+            mem.setWord(kMaxElems + i, i * 5 + 11);
+        }
+    }
+
+    void
+    verify(const GlobalMemory &mem, const LaunchParams &launch) const
+        override
+    {
+        const u32 n = launch.gridCtas * launch.threadsPerCta;
+        for (u32 i = 0; i < n; ++i) {
+            panicIf(mem.word(2 * kMaxElems + i) !=
+                        mem.word(i) + mem.word(kMaxElems + i),
+                    "VectorAdd mismatch at " + std::to_string(i));
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeVectorAdd()
+{
+    return std::make_unique<VectorAdd>();
+}
+
+} // namespace rfv

@@ -1,0 +1,59 @@
+#include "workloads/workload.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace rfv {
+
+LaunchParams
+Workload::scaledLaunch(u32 num_sms, u32 rounds_per_sm) const
+{
+    LaunchParams launch;
+    launch.threadsPerCta = config_.threadsPerCta;
+    launch.concCtasPerSm = config_.concCtasPerSm;
+    launch.gridCtas = config_.gridCtas;
+    if (rounds_per_sm > 0) {
+        const u32 cap = std::max(
+            1u, num_sms * config_.concCtasPerSm * rounds_per_sm);
+        launch.gridCtas = std::min(launch.gridCtas, cap);
+    }
+    return launch;
+}
+
+const std::vector<std::shared_ptr<Workload>> &
+allWorkloads()
+{
+    static const std::vector<std::shared_ptr<Workload>> registry = [] {
+        std::vector<std::shared_ptr<Workload>> v;
+        v.push_back(makeMatrixMul());
+        v.push_back(makeBlackScholes());
+        v.push_back(makeDct8x8());
+        v.push_back(makeReduction());
+        v.push_back(makeVectorAdd());
+        v.push_back(makeBackProp());
+        v.push_back(makeBfs());
+        v.push_back(makeHeartwall());
+        v.push_back(makeHotSpot());
+        v.push_back(makeLud());
+        v.push_back(makeGaussian());
+        v.push_back(makeLib());
+        v.push_back(makeLps());
+        v.push_back(makeNn());
+        v.push_back(makeMum());
+        v.push_back(makeScalarProd());
+        return v;
+    }();
+    return registry;
+}
+
+std::shared_ptr<Workload>
+findWorkload(const std::string &name)
+{
+    for (const auto &w : allWorkloads())
+        if (w->name() == name)
+            return w;
+    fatal("unknown workload: " + name);
+}
+
+} // namespace rfv

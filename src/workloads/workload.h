@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Workload interface and registry.
+ *
+ * Each workload mirrors one row of the paper's Table 1: the grid size,
+ * threads per CTA, register footprint and concurrent-CTA occupancy of
+ * the original CUDA benchmark, together with a kernel whose *structure*
+ * (loops, divergence, memory behaviour) matches the original's
+ * register-lifetime character.  Every workload functionally verifies
+ * its own output.
+ */
+#ifndef RFV_WORKLOADS_WORKLOAD_H
+#define RFV_WORKLOADS_WORKLOAD_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+#include "sim/sim_config.h"
+#include "sim/memory.h"
+
+namespace rfv {
+
+/** One Table-1 row. */
+struct WorkloadConfig {
+    std::string name;
+    u32 gridCtas = 1;      //!< "# CTAs"
+    u32 threadsPerCta = 32; //!< "# Thrds/CTA"
+    u32 regsPerKernel = 8; //!< "# Regs/Kernel" (with addr/cond registers)
+    u32 concCtasPerSm = 8; //!< "Conc. CTAs/Core"
+};
+
+/** A runnable, self-verifying benchmark kernel. */
+class Workload {
+  public:
+    virtual ~Workload() = default;
+
+    const WorkloadConfig &config() const { return config_; }
+    const std::string &name() const { return config_.name; }
+
+    /** Build the metadata-free input program (compiler input). */
+    virtual Program buildKernel() const = 0;
+
+    /** Global-memory bytes needed for @p launch. */
+    virtual u32 memoryBytes(const LaunchParams &launch) const = 0;
+
+    /** Fill inputs. */
+    virtual void setup(GlobalMemory &mem,
+                       const LaunchParams &launch) const = 0;
+
+    /** Check outputs; throws InternalError on a mismatch. */
+    virtual void verify(const GlobalMemory &mem,
+                        const LaunchParams &launch) const = 0;
+
+    /**
+     * Launch geometry for simulation.  The Table-1 grid is capped at
+     * @p roundsPerSm waves of maximum occupancy across @p numSms SMs so
+     * scaled runs finish quickly while still reaching steady state;
+     * roundsPerSm = 0 runs the full Table-1 grid.
+     */
+    LaunchParams scaledLaunch(u32 numSms, u32 roundsPerSm = 3) const;
+
+  protected:
+    explicit Workload(WorkloadConfig config) : config_(std::move(config))
+    {
+    }
+
+    WorkloadConfig config_;
+};
+
+/** All 16 paper workloads, in Table-1 order. */
+const std::vector<std::shared_ptr<Workload>> &allWorkloads();
+
+/** Find a workload by name (fatal if absent). */
+std::shared_ptr<Workload> findWorkload(const std::string &name);
+
+// Factories (one per benchmark translation unit).
+std::unique_ptr<Workload> makeMatrixMul();
+std::unique_ptr<Workload> makeBlackScholes();
+std::unique_ptr<Workload> makeDct8x8();
+std::unique_ptr<Workload> makeReduction();
+std::unique_ptr<Workload> makeVectorAdd();
+std::unique_ptr<Workload> makeBackProp();
+std::unique_ptr<Workload> makeBfs();
+std::unique_ptr<Workload> makeHeartwall();
+std::unique_ptr<Workload> makeHotSpot();
+std::unique_ptr<Workload> makeLud();
+std::unique_ptr<Workload> makeGaussian();
+std::unique_ptr<Workload> makeLib();
+std::unique_ptr<Workload> makeLps();
+std::unique_ptr<Workload> makeNn();
+std::unique_ptr<Workload> makeMum();
+std::unique_ptr<Workload> makeScalarProd();
+
+} // namespace rfv
+
+#endif // RFV_WORKLOADS_WORKLOAD_H

@@ -1,0 +1,514 @@
+/**
+ * @file
+ * Unit tests for the compiler: CFG, dominators, liveness, release-point
+ * analysis (the Fig. 4 scenarios), exemption selection, metadata
+ * insertion, and the spill transform.
+ */
+#include <gtest/gtest.h>
+
+#include "common/bit_utils.h"
+#include "common/error.h"
+#include "compiler/dominators.h"
+#include "compiler/exempt.h"
+#include "compiler/metadata_insert.h"
+#include "compiler/pipeline.h"
+#include "compiler/spill.h"
+#include "isa/builder.h"
+#include "isa/metadata.h"
+
+namespace rfv {
+namespace {
+
+/** r0 defined, read twice; straight line (Fig. 4(a)). */
+Program
+straightLine()
+{
+    KernelBuilder b("straight");
+    const u32 r0 = b.reg(), r1 = b.reg(), r2 = b.reg();
+    b.mov(r0, I(7));           // 0: write r0
+    b.iadd(r1, R(r0), I(1));   // 1: read r0
+    b.iadd(r2, R(r0), I(2));   // 2: last read of r0 -> pir here
+    b.stg(r1, 0, r2);          // 3
+    b.exit();                  // 4
+    return b.build();
+}
+
+/** Diamond where both paths read r0 (Fig. 4(b)). */
+Program
+diamondBothRead()
+{
+    KernelBuilder b("diamond");
+    const u32 r0 = b.reg(), r1 = b.reg(), t = b.reg();
+    b.s2r(t, SpecialReg::kTid);      // 0
+    b.mov(r0, I(5));                 // 1: write r0
+    b.setp(0, CmpOp::kLt, R(t), I(16)); // 2
+    b.guard(0).bra("else_");         // 3
+    b.iadd(r1, R(r0), I(1));         // 4: then-path read of r0
+    b.bra("join");                   // 5
+    b.label("else_");
+    b.iadd(r1, R(r0), I(2));         // 6: else-path read of r0
+    b.label("join");
+    b.stg(t, 0, r1);                 // 7: reconvergence
+    b.exit();                        // 8
+    return b.build();
+}
+
+/** Loop with no loop-carried dependence on r1 (Fig. 4(e)). */
+Program
+loopNoCarry()
+{
+    KernelBuilder b("loop");
+    const u32 i = b.reg(), r1 = b.reg(), acc = b.reg();
+    b.mov(i, I(0));                 // 0
+    b.mov(acc, I(0));               // 1
+    b.label("top");
+    b.imul(r1, R(i), I(3));         // 2: write r1 each iteration
+    b.iadd(acc, R(acc), R(r1));     // 3: last read of r1 in iteration
+    b.iadd(i, R(i), I(1));          // 4
+    b.setp(0, CmpOp::kLt, R(i), I(8)); // 5
+    b.guard(0).bra("top");          // 6
+    b.stg(i, 0, acc);               // 7
+    b.exit();                       // 8
+    return b.build();
+}
+
+/** Loop-carried dependence on acc (Fig. 4(d)). */
+Program
+loopCarried()
+{
+    return loopNoCarry(); // acc is the carried register in the same kernel
+}
+
+ReleaseInfo
+analyze(const Program &p, bool aggressive = false)
+{
+    const Cfg cfg(p);
+    const Liveness live = computeLiveness(p, cfg);
+    ReleaseOptions opts;
+    opts.aggressiveDiverged = aggressive;
+    return analyzeReleases(p, cfg, live, opts);
+}
+
+TEST(Cfg, StraightLineIsOneBlock)
+{
+    const Program p = straightLine();
+    const Cfg cfg(p);
+    EXPECT_EQ(cfg.numBlocks(), 1u);
+    EXPECT_EQ(cfg.block(0).first, 0u);
+    EXPECT_EQ(cfg.block(0).last, 4u);
+    EXPECT_TRUE(cfg.block(0).succs.empty());
+}
+
+TEST(Cfg, DiamondHasFourBlocks)
+{
+    const Program p = diamondBothRead();
+    const Cfg cfg(p);
+    ASSERT_EQ(cfg.numBlocks(), 4u);
+    const auto &entry = cfg.block(0);
+    EXPECT_EQ(entry.succs.size(), 2u);
+    // Both sides flow into the join block.
+    const u32 join = cfg.blockOf(7);
+    EXPECT_EQ(cfg.block(join).preds.size(), 2u);
+}
+
+TEST(Cfg, LoopHasBackedge)
+{
+    const Program p = loopNoCarry();
+    const Cfg cfg(p);
+    const auto idom = immediateDominators(cfg);
+    const u32 bodyBlock = cfg.blockOf(2);
+    bool foundBackedge = false;
+    for (u32 s : cfg.block(bodyBlock).succs)
+        foundBackedge |= Cfg::isBackedge(bodyBlock, s, idom);
+    EXPECT_TRUE(foundBackedge);
+}
+
+TEST(Dominators, DiamondIpdomIsJoin)
+{
+    const Program p = diamondBothRead();
+    const Cfg cfg(p);
+    const auto ipdom = immediatePostDominators(cfg);
+    const u32 join = cfg.blockOf(7);
+    EXPECT_EQ(ipdom[0], static_cast<i32>(join));
+}
+
+TEST(Dominators, EntryDominatesAll)
+{
+    const Program p = diamondBothRead();
+    const Cfg cfg(p);
+    const auto idom = immediateDominators(cfg);
+    for (u32 b = 0; b < cfg.numBlocks(); ++b)
+        EXPECT_TRUE(Cfg::dominates(0, b, idom)) << "block " << b;
+}
+
+TEST(Liveness, StraightLine)
+{
+    const Program p = straightLine();
+    const Cfg cfg(p);
+    const Liveness live = computeLiveness(p, cfg);
+    EXPECT_EQ(live.liveIn[0], 0u);
+    const auto after = computeLiveAfter(p, cfg, live);
+    // After pc 0 (mov r0), r0 is live.
+    EXPECT_TRUE((after[0] >> 0) & 1);
+    // After pc 2 (last read of r0), r0 is dead.
+    EXPECT_FALSE((after[2] >> 0) & 1);
+}
+
+TEST(Liveness, GuardedDefKeepsOldValueLive)
+{
+    KernelBuilder b("guarded");
+    const u32 r0 = b.reg(), r1 = b.reg();
+    b.mov(r0, I(1));                     // 0
+    b.setp(0, CmpOp::kLt, R(r0), I(5));  // 1
+    b.guard(0);
+    b.mov(r0, I(2));                     // 2: partial def of r0
+    b.iadd(r1, R(r0), I(0));             // 3
+    b.stg(r1, 0, r1);                    // 4
+    b.exit();
+    const Program p = b.build();
+    const Cfg cfg(p);
+    const Liveness live = computeLiveness(p, cfg);
+    const auto after = computeLiveAfter(p, cfg, live);
+    // The value written at pc 0 must still be live after pc 1: the
+    // guarded def at pc 2 is partial.
+    EXPECT_TRUE((after[1] >> r0) & 1);
+    // And the release analysis must not release r0 at pc 1.
+    const auto info = analyze(p);
+    EXPECT_EQ(info.pirMask[1], 0u);
+}
+
+TEST(Release, StraightLineLastReadGetsPir)
+{
+    const Program p = straightLine();
+    const auto info = analyze(p);
+    EXPECT_EQ(info.pirMask[1], 0u) << "r0 still live after first read";
+    EXPECT_EQ(info.pirMask[2] & 1u, 1u) << "last read releases r0";
+    // r1 and r2 die at the store.
+    EXPECT_NE(info.pirMask[3], 0u);
+}
+
+TEST(Release, DivergedReadsDeferToReconvergence)
+{
+    const Program p = diamondBothRead();
+    const Cfg cfg(p);
+    const auto info = analyze(p);
+    // No pir release of r0 inside either path.
+    EXPECT_EQ(info.pirMask[4] & 1u, 0u);
+    EXPECT_EQ(info.pirMask[6] & 1u, 0u);
+    // Instead r0 is released by a pbr at the join block.
+    const u32 join = cfg.blockOf(7);
+    const auto &pbr = info.pbrAtBlock[join];
+    EXPECT_NE(std::find(pbr.begin(), pbr.end(), 0u), pbr.end());
+}
+
+TEST(Release, AggressiveModeStillDefersBothSidedReads)
+{
+    const Program p = diamondBothRead();
+    const auto info = analyze(p, /*aggressive=*/true);
+    // r0 is live into both sides; even aggressive mode defers.
+    EXPECT_EQ(info.pirMask[4] & 1u, 0u);
+    EXPECT_EQ(info.pirMask[6] & 1u, 0u);
+}
+
+TEST(Release, AggressiveModeReleasesOneSidedReads)
+{
+    // r0 read on the then-path only.
+    KernelBuilder b("oneside");
+    const u32 r0 = b.reg(), r1 = b.reg(), t = b.reg();
+    b.s2r(t, SpecialReg::kTid);        // 0
+    b.mov(r0, I(5));                   // 1
+    b.setp(0, CmpOp::kLt, R(t), I(16)); // 2
+    b.guard(0).bra("else_");           // 3
+    b.iadd(r1, R(r0), I(1));           // 4: only read of r0
+    b.bra("join");                     // 5
+    b.label("else_");
+    b.mov(r1, I(9));                   // 6
+    b.label("join");
+    b.stg(t, 0, r1);                   // 7
+    b.exit();                          // 8
+    const Program p = b.build();
+
+    const auto conservative = analyze(p, false);
+    EXPECT_EQ(conservative.pirMask[4] & 1u, 0u)
+        << "paper mode defers all in-region releases";
+    const auto aggressive = analyze(p, true);
+    EXPECT_EQ(aggressive.pirMask[4] & 1u, 1u)
+        << "aggressive mode releases one-sided reads at the read";
+}
+
+TEST(Release, LoopBodyReleaseWithoutCarry)
+{
+    const Program p = loopNoCarry();
+    const auto info = analyze(p);
+    // r1 (reg id 1) dies at pc 3 inside the loop each iteration and has
+    // no loop-carried liveness: released by pir inside the body.
+    EXPECT_NE(info.pirMask[3] & 0b10u, 0u);
+}
+
+TEST(Release, LoopCarriedNotReleasedInBody)
+{
+    const Program p = loopCarried();
+    const auto info = analyze(p);
+    // acc (reg id 2) is read at pc 3 but live across the backedge:
+    // no release inside the loop.
+    const Instr &ins = p.code[3];
+    ASSERT_TRUE(ins.src[0].isReg());
+    EXPECT_EQ(ins.src[0].value, 2u);
+    EXPECT_EQ(info.pirMask[3] & 0b01u, 0u);
+}
+
+TEST(Release, EdgeDeathGetsPbr)
+{
+    // r0 read only on the then-path; on the else-path it dies on the
+    // edge.  Conservative mode: both releases defer to the join pbr.
+    KernelBuilder b("edgedeath");
+    const u32 r0 = b.reg(), r1 = b.reg(), t = b.reg();
+    b.s2r(t, SpecialReg::kTid);
+    b.mov(r0, I(5));
+    b.setp(0, CmpOp::kLt, R(t), I(16));
+    b.guard(0).bra("else_");
+    b.iadd(r1, R(r0), I(1)); // 4
+    b.bra("join");
+    b.label("else_");
+    b.mov(r1, I(9)); // 6
+    b.label("join");
+    b.stg(t, 0, r1); // 7
+    b.exit();
+    const Program p = b.build();
+    const Cfg cfg(p);
+    const auto info = analyze(p);
+    const u32 join = cfg.blockOf(7);
+    const auto &pbr = info.pbrAtBlock[join];
+    EXPECT_NE(std::find(pbr.begin(), pbr.end(), 0u), pbr.end());
+}
+
+TEST(Release, ExemptRegistersNeverReleased)
+{
+    Program p = straightLine();
+    const Cfg cfg(p);
+    const Liveness live = computeLiveness(p, cfg);
+    ReleaseOptions opts;
+    opts.exemptBelow = 3; // all three registers exempt
+    const auto info = analyzeReleases(p, cfg, live, opts);
+    for (u8 m : info.pirMask)
+        EXPECT_EQ(m, 0u);
+    for (const auto &lst : info.pbrAtBlock)
+        EXPECT_TRUE(lst.empty());
+}
+
+TEST(Release, StatsCountDefsAndUses)
+{
+    const Program p = straightLine();
+    const auto info = analyze(p);
+    EXPECT_EQ(info.regStats[0].defs, 1u);
+    EXPECT_EQ(info.regStats[0].uses, 2u);
+    EXPECT_GT(info.regStats[0].liveSpan, 0u);
+}
+
+TEST(MetadataInsert, PirCoversReleases)
+{
+    const Program p = straightLine();
+    const Cfg cfg(p);
+    const Liveness live = computeLiveness(p, cfg);
+    const auto info = analyzeReleases(p, cfg, live, {});
+    const Program q = insertReleaseMetadata(p, cfg, info);
+    q.validate();
+    EXPECT_TRUE(q.hasReleaseMetadata);
+    EXPECT_GE(q.staticMetaCount(), 1u);
+    EXPECT_EQ(q.staticRegularCount(), p.code.size());
+    // First instruction should be the pir covering the block.
+    EXPECT_EQ(q.code[0].op, Opcode::kPir);
+}
+
+TEST(MetadataInsert, BranchTargetsRepatched)
+{
+    const Program p = diamondBothRead();
+    const Cfg cfg(p);
+    const Liveness live = computeLiveness(p, cfg);
+    const auto info = analyzeReleases(p, cfg, live, {});
+    const Program q = insertReleaseMetadata(p, cfg, info);
+    q.validate();
+    for (const auto &ins : q.code) {
+        if (ins.op == Opcode::kBra) {
+            EXPECT_LT(ins.target, q.code.size());
+        }
+    }
+}
+
+TEST(MetadataInsert, ReconvergencePcSet)
+{
+    const Program p = diamondBothRead();
+    const Cfg cfg(p);
+    const Liveness live = computeLiveness(p, cfg);
+    const auto info = analyzeReleases(p, cfg, live, {});
+    const Program q = insertReleaseMetadata(p, cfg, info);
+    bool sawConditional = false;
+    for (const auto &ins : q.code) {
+        if (ins.op == Opcode::kBra && ins.guardPred != kNoPred) {
+            sawConditional = true;
+            EXPECT_NE(ins.reconvPc, kInvalidPc);
+            EXPECT_LT(ins.reconvPc, q.code.size());
+        }
+    }
+    EXPECT_TRUE(sawConditional);
+}
+
+TEST(MetadataInsert, LongBlockGetsMultiplePirs)
+{
+    KernelBuilder b("long");
+    const u32 base = b.reg();
+    b.s2r(base, SpecialReg::kTid);
+    // 40 instructions, each defining and killing a temp.
+    const u32 t = b.reg();
+    for (u32 i = 0; i < 40; ++i) {
+        b.mov(t, I(i));
+        b.stg(base, 4 * i, t);
+    }
+    b.exit();
+    const Program p = b.build();
+    const Cfg cfg(p);
+    const Liveness live = computeLiveness(p, cfg);
+    const auto info = analyzeReleases(p, cfg, live, {});
+    const Program q = insertReleaseMetadata(p, cfg, info);
+    u32 pirs = 0;
+    for (const auto &ins : q.code)
+        if (ins.op == Opcode::kPir)
+            ++pirs;
+    EXPECT_GE(pirs, (80u + kPirSlots - 1) / kPirSlots);
+    q.validate();
+}
+
+TEST(Exempt, UnconstrainedKeepsAll)
+{
+    const Program p = straightLine();
+    const auto info = analyze(p);
+    const auto res =
+        selectRenamingExemptions(p, info.regStats, 0, 10, 48);
+    EXPECT_EQ(res.numExempt, 0u);
+    EXPECT_EQ(res.unconstrainedTableBytes,
+              static_cast<u32>(ceilDiv(48ull * 3 * 10, 8)));
+}
+
+TEST(Exempt, TightBudgetExemptsLongLived)
+{
+    // Budget that allows renaming only 1 of 3 registers for 48 warps:
+    // K = budget*8 / (10*48).  Pick budget = 60B -> K = 1.
+    const Program p = straightLine();
+    const auto info = analyze(p);
+    const auto res =
+        selectRenamingExemptions(p, info.regStats, 60, 10, 48);
+    EXPECT_EQ(res.numExempt, 2u);
+    EXPECT_EQ(res.program.numExemptRegs, 2u);
+    res.program.validate();
+    // Renumbering is a permutation.
+    std::vector<bool> seen(p.numRegs, false);
+    for (u32 v : res.permutation) {
+        ASSERT_LT(v, p.numRegs);
+        EXPECT_FALSE(seen[v]);
+        seen[v] = true;
+    }
+}
+
+TEST(Spill, ReducesFootprint)
+{
+    // Kernel with 10 simultaneously-live registers.
+    KernelBuilder b("fat");
+    const u32 base = b.reg();
+    b.s2r(base, SpecialReg::kTid);
+    std::vector<u32> regs;
+    for (u32 i = 0; i < 10; ++i) {
+        const u32 r = b.reg();
+        regs.push_back(r);
+        b.mov(r, I(i * 3 + 1));
+    }
+    // Consume all of them afterwards so they overlap.
+    for (u32 i = 0; i < 10; ++i)
+        b.stg(base, 4 * i, regs[i]);
+    b.exit();
+    const Program p = b.build();
+    ASSERT_EQ(p.numRegs, 11u);
+
+    const SpillResult res = spillToBudget(p, 6);
+    EXPECT_LE(res.program.numRegs, 6u);
+    EXPECT_GT(res.demotedRegs, 0u);
+    EXPECT_GT(res.program.localMemSlots, 0u);
+    EXPECT_GT(res.insertedLoads, 0u);
+    EXPECT_GT(res.insertedStores, 0u);
+    res.program.validate();
+}
+
+TEST(Spill, NoopWhenAlreadyFits)
+{
+    const Program p = straightLine();
+    const SpillResult res = spillToBudget(p, 8);
+    EXPECT_EQ(res.demotedRegs, 0u);
+    EXPECT_LE(res.program.numRegs, 8u);
+}
+
+TEST(Spill, RejectsTinyBudget)
+{
+    const Program p = straightLine();
+    EXPECT_THROW(spillToBudget(p, 2), ConfigError);
+}
+
+TEST(Pipeline, BaselineAnnotatesReconvergence)
+{
+    CompileOptions opts;
+    const auto ck = compileKernel(diamondBothRead(), opts);
+    EXPECT_FALSE(ck.program.hasReleaseMetadata);
+    EXPECT_EQ(ck.program.staticMetaCount(), 0u);
+    bool sawConditional = false;
+    for (const auto &ins : ck.program.code) {
+        if (ins.op == Opcode::kBra && ins.guardPred != kNoPred) {
+            sawConditional = true;
+            EXPECT_NE(ins.reconvPc, kInvalidPc);
+        }
+    }
+    EXPECT_TRUE(sawConditional);
+}
+
+TEST(Pipeline, VirtualizedInsertsMetadata)
+{
+    CompileOptions opts;
+    opts.virtualize = true;
+    opts.renamingTableBytes = 0;
+    const auto ck = compileKernel(loopNoCarry(), opts);
+    EXPECT_TRUE(ck.program.hasReleaseMetadata);
+    EXPECT_GT(ck.stats.staticMeta, 0u);
+    EXPECT_GT(ck.stats.numPirBits, 0u);
+    ck.program.validate();
+}
+
+TEST(Pipeline, SpillThenCompile)
+{
+    KernelBuilder b("fat2");
+    const u32 base = b.reg();
+    b.s2r(base, SpecialReg::kTid);
+    std::vector<u32> regs;
+    for (u32 i = 0; i < 12; ++i) {
+        const u32 r = b.reg();
+        regs.push_back(r);
+        b.mov(r, I(i));
+    }
+    for (u32 i = 0; i < 12; ++i)
+        b.stg(base, 4 * i, regs[i]);
+    b.exit();
+
+    CompileOptions opts;
+    opts.spillRegBudget = 7;
+    const auto ck = compileKernel(b.build(), opts);
+    EXPECT_LE(ck.program.numRegs, 7u);
+    EXPECT_GT(ck.stats.demotedRegs, 0u);
+}
+
+TEST(Pipeline, RejectsMetadataInput)
+{
+    CompileOptions opts;
+    opts.virtualize = true;
+    opts.renamingTableBytes = 0;
+    const auto ck = compileKernel(straightLine(), opts);
+    EXPECT_THROW(compileKernel(ck.program, opts), ConfigError);
+}
+
+} // namespace
+} // namespace rfv

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests for the power model and the Simulator facade, including the
+ * paper's headline qualitative claims: GPU-shrink at 50% is nearly
+ * free, compiler spill is expensive, and virtualization + power gating
+ * saves register-file energy.
+ */
+#include <gtest/gtest.h>
+
+#include "core/simulator.h"
+#include "power/area_model.h"
+
+namespace rfv {
+namespace {
+
+TEST(RunConfig, NamedConfigurations)
+{
+    EXPECT_EQ(RunConfig::baseline().mode, RegFileMode::kBaseline);
+    EXPECT_TRUE(RunConfig::virtualized().virtualize);
+    EXPECT_EQ(RunConfig::gpuShrink(50).rfSizeBytes, 64u * 1024u);
+    EXPECT_EQ(RunConfig::gpuShrink(30).rfSizeBytes % (16 * 128), 0u);
+    EXPECT_TRUE(RunConfig::compilerSpillShrink(50).compilerSpill);
+    EXPECT_EQ(RunConfig::hardwareOnly().mode,
+              RegFileMode::kHardwareOnly);
+}
+
+TEST(PowerModel, Fig7ShapeMatchesPaper)
+{
+    const auto sweep = powerVsSizeSweep(11);
+    ASSERT_EQ(sweep.size(), 11u);
+    EXPECT_DOUBLE_EQ(sweep.front().sizeReductionPct, 0.0);
+    EXPECT_NEAR(sweep.front().totalPowerPct, 100.0, 1e-9);
+    // At 50% reduction: ~20% dynamic and ~30% total power saving.
+    const auto &half = sweep.back();
+    EXPECT_NEAR(half.sizeReductionPct, 50.0, 1e-9);
+    EXPECT_NEAR(half.dynPowerPct, 80.0, 0.5);
+    EXPECT_NEAR(half.leakPowerPct, 50.0, 1e-9);
+    EXPECT_NEAR(half.totalPowerPct, 70.0, 0.5);
+    // Monotone decreasing.
+    for (u32 i = 1; i < sweep.size(); ++i)
+        EXPECT_LT(sweep[i].totalPowerPct, sweep[i - 1].totalPowerPct);
+}
+
+TEST(PowerModel, Fig9TechnologyShape)
+{
+    const auto &table = technologyLeakageTable();
+    ASSERT_EQ(table.size(), 6u);
+    EXPECT_DOUBLE_EQ(table[0].leakageNorm, 1.0);
+    // Planar leakage climbs toward 22 nm.
+    EXPECT_GT(table[1].leakageNorm, table[0].leakageNorm);
+    EXPECT_GT(table[2].leakageNorm, table[1].leakageNorm);
+    // FinFET at 22 nm resets the fraction near the 40 nm baseline...
+    EXPECT_TRUE(table[3].finfet);
+    EXPECT_LT(table[3].leakageNorm, 1.05);
+    // ...and the climb resumes.
+    EXPECT_GT(table[4].leakageNorm, table[3].leakageNorm);
+    EXPECT_GT(table[5].leakageNorm, table[4].leakageNorm);
+}
+
+TEST(AreaModel, ShrinkingImprovesYieldAndDies)
+{
+    const auto full = evaluateRfSize(128 * 1024, 16);
+    const auto half = evaluateRfSize(64 * 1024, 16);
+    EXPECT_LT(half.rfAreaMm2, full.rfAreaMm2);
+    EXPECT_LT(half.dieMm2, full.dieMm2);
+    EXPECT_GT(half.yield, full.yield);
+    EXPECT_GT(half.goodDiesPerWafer, full.goodDiesPerWafer);
+    // Sanity: a Fermi-class register file is several mm^2.
+    EXPECT_GT(full.rfAreaMm2, 5.0);
+    EXPECT_LT(full.rfAreaMm2, 30.0);
+    // Yield between 0 and 1.
+    EXPECT_GT(full.yield, 0.0);
+    EXPECT_LT(full.yield, 1.0);
+}
+
+TEST(AreaModel, YieldIsMonotoneInArea)
+{
+    double prev = 1.0;
+    for (double mm2 : {100.0, 300.0, 500.0, 700.0}) {
+        const double y = dieYield(mm2);
+        EXPECT_LT(y, prev);
+        prev = y;
+    }
+}
+
+class FacadeTest : public ::testing::Test {
+  protected:
+    RunOutcome
+    run(RunConfig cfg, const std::string &workload = "MatrixMul",
+        u32 rounds = 1)
+    {
+        cfg.numSms = 2;
+        cfg.roundsPerSm = rounds;
+        Simulator sim(cfg);
+        return sim.runWorkload(*findWorkload(workload));
+    }
+};
+
+TEST_F(FacadeTest, BaselineRunsAndAccountsEnergy)
+{
+    const auto out = run(RunConfig::baseline());
+    EXPECT_GT(out.sim.cycles, 0u);
+    EXPECT_GT(out.energy.dynamicJ, 0.0);
+    EXPECT_GT(out.energy.staticJ, 0.0);
+    EXPECT_DOUBLE_EQ(out.energy.renameTableJ, 0.0);
+    EXPECT_DOUBLE_EQ(out.energy.flagInstrJ, 0.0);
+}
+
+TEST_F(FacadeTest, VirtualizedAddsOverheadComponents)
+{
+    const auto out = run(RunConfig::virtualized());
+    EXPECT_GT(out.energy.renameTableJ, 0.0);
+    EXPECT_GT(out.energy.flagInstrJ, 0.0);
+    EXPECT_GT(out.sim.metaEncounters, 0u);
+    EXPECT_GT(out.compile.staticMeta, 0u);
+}
+
+TEST_F(FacadeTest, GpuShrinkIsNearlyFree)
+{
+    // Average over three representative workloads at steady-state
+    // scale, like the paper's whole-suite average (0.58%).
+    double sum = 0;
+    for (const char *name : {"MatrixMul", "BackProp", "LPS"}) {
+        const auto base = run(RunConfig::baseline(), name, 3);
+        const auto shrink = run(RunConfig::gpuShrink(50), name, 3);
+        sum += 100.0 * (static_cast<double>(shrink.sim.cycles) /
+                            static_cast<double>(base.sim.cycles) -
+                        1.0);
+    }
+    EXPECT_LT(sum / 3.0, 8.0) << "GPU-shrink-50 should be nearly free";
+}
+
+TEST_F(FacadeTest, CompilerSpillIsExpensive)
+{
+    const auto base = run(RunConfig::baseline(), "ScalarProd");
+    const auto spill =
+        run(RunConfig::compilerSpillShrink(50), "ScalarProd");
+    EXPECT_GT(spill.compile.demotedRegs, 0u);
+    EXPECT_GT(spill.sim.cycles, base.sim.cycles * 3 / 2)
+        << "per-iteration spill/fill traffic must cost many cycles";
+    // GPU-shrink handles the same file size almost for free.
+    const auto shrink = run(RunConfig::gpuShrink(50), "ScalarProd");
+    EXPECT_LT(shrink.sim.cycles, spill.sim.cycles);
+}
+
+TEST_F(FacadeTest, SpillBudgetZeroWhenKernelFits)
+{
+    RunConfig cfg = RunConfig::compilerSpillShrink(50);
+    cfg.numSms = 2;
+    Simulator sim(cfg);
+    // VectorAdd: 4 regs x 8 warps x 6 CTAs fits easily in 64 KB.
+    const auto w = findWorkload("VectorAdd");
+    EXPECT_EQ(sim.spillBudget(w->config().regsPerKernel,
+                              w->scaledLaunch(2, 1)),
+              0u);
+    // MatrixMul at full occupancy does not fit half the file.
+    const auto mm = findWorkload("MatrixMul");
+    EXPECT_GT(sim.spillBudget(mm->config().regsPerKernel,
+                              mm->scaledLaunch(2, 1)),
+              0u);
+}
+
+TEST_F(FacadeTest, PowerGatingReducesStaticEnergy)
+{
+    const auto plain = run(RunConfig::virtualized(false));
+    const auto gated = run(RunConfig::virtualized(true));
+    EXPECT_LT(gated.energy.staticJ, plain.energy.staticJ * 0.95);
+}
+
+TEST_F(FacadeTest, ShrinkPlusGatingBeatsFullSizeGating)
+{
+    const auto full = run(RunConfig::virtualized(true));
+    const auto shrink = run(RunConfig::gpuShrink(50, true));
+    EXPECT_LT(shrink.energy.totalJ(), full.energy.totalJ());
+}
+
+TEST_F(FacadeTest, HardwareOnlySavesLessThanVirtualized)
+{
+    const auto virt = run(RunConfig::virtualized());
+    const auto hw = run(RunConfig::hardwareOnly());
+    EXPECT_LE(hw.sim.allocationReductionPct() + 1e-9,
+              virt.sim.allocationReductionPct() + 20.0);
+    // Hardware-only keeps registers until CTA end: its watermark can
+    // never be lower than the compiler-guided scheme's.
+    EXPECT_GE(hw.sim.rf.allocWatermark, virt.sim.rf.allocWatermark);
+}
+
+TEST_F(FacadeTest, RunsAreDeterministic)
+{
+    const auto a = run(RunConfig::gpuShrink(50, true), "ScalarProd");
+    const auto b = run(RunConfig::gpuShrink(50, true), "ScalarProd");
+    EXPECT_EQ(a.sim.cycles, b.sim.cycles);
+    EXPECT_EQ(a.sim.issuedInstrs, b.sim.issuedInstrs);
+    EXPECT_EQ(a.sim.rf.allocWatermark, b.sim.rf.allocWatermark);
+    EXPECT_DOUBLE_EQ(a.energy.totalJ(), b.energy.totalJ());
+}
+
+TEST_F(FacadeTest, VirtualizedReducesAllocationOnLoopyKernel)
+{
+    const auto out = run(RunConfig::virtualized(), "MatrixMul");
+    EXPECT_GT(out.sim.allocationReductionPct(), 5.0);
+}
+
+} // namespace
+} // namespace rfv

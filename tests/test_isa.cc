@@ -1,0 +1,369 @@
+/**
+ * @file
+ * Unit tests for the ISA layer: opcode traits, metadata encoding, the
+ * kernel builder, the assembler, and disassembly round-trips.
+ */
+#include <gtest/gtest.h>
+
+#include "common/bit_utils.h"
+#include "common/error.h"
+#include "isa/assembler.h"
+#include "isa/builder.h"
+#include "isa/metadata.h"
+#include "isa/program.h"
+
+namespace rfv {
+namespace {
+
+TEST(Opcode, TraitsAreConsistent)
+{
+    EXPECT_TRUE(opInfo(Opcode::kIAdd).hasDst);
+    EXPECT_FALSE(opInfo(Opcode::kStGlobal).hasDst);
+    EXPECT_TRUE(isMemory(Opcode::kLdGlobal));
+    EXPECT_TRUE(isMemory(Opcode::kStLocal));
+    EXPECT_FALSE(isMemory(Opcode::kIAdd));
+    EXPECT_TRUE(isLoad(Opcode::kLdShared));
+    EXPECT_TRUE(isStore(Opcode::kStShared));
+    EXPECT_TRUE(isMeta(Opcode::kPir));
+    EXPECT_TRUE(isMeta(Opcode::kPbr));
+    EXPECT_TRUE(isBranch(Opcode::kBra));
+    EXPECT_TRUE(endsBlock(Opcode::kExit));
+    EXPECT_EQ(opName(Opcode::kFFma), "ffma");
+}
+
+TEST(Metadata, PirRoundTrip)
+{
+    std::array<u8, kPirSlots> masks{};
+    for (u32 i = 0; i < kPirSlots; ++i)
+        masks[i] = static_cast<u8>(i % 8);
+    const u64 payload = encodePir(masks);
+    EXPECT_LT(payload, 1ull << 54);
+    EXPECT_EQ(decodePir(payload), masks);
+}
+
+TEST(Metadata, PirAllOnesFitsIn54Bits)
+{
+    std::array<u8, kPirSlots> masks{};
+    masks.fill(7);
+    EXPECT_EQ(encodePir(masks), lowMask(54));
+}
+
+TEST(Metadata, PbrRoundTrip)
+{
+    const std::vector<u32> regs = {0, 5, 13, 62};
+    const u64 payload = encodePbr(regs);
+    EXPECT_EQ(decodePbr(payload), regs);
+}
+
+TEST(Metadata, PbrEmpty)
+{
+    EXPECT_TRUE(decodePbr(encodePbr({})).empty());
+}
+
+TEST(Metadata, PbrRejectsReg63)
+{
+    EXPECT_THROW(encodePbr({63}), InternalError);
+}
+
+TEST(Metadata, PbrRejectsMoreThanNine)
+{
+    std::vector<u32> regs(10, 1);
+    EXPECT_THROW(encodePbr(regs), InternalError);
+}
+
+TEST(Builder, SimpleKernel)
+{
+    KernelBuilder b("simple");
+    const u32 a = b.reg(), c = b.reg();
+    b.s2r(a, SpecialReg::kTid);
+    b.iadd(c, R(a), I(4));
+    b.stg(c, 0, a);
+    b.exit();
+    const Program p = b.build();
+    EXPECT_EQ(p.name, "simple");
+    EXPECT_EQ(p.numRegs, 2u);
+    EXPECT_EQ(p.code.size(), 4u);
+    EXPECT_EQ(p.staticRegularCount(), 4u);
+    EXPECT_EQ(p.staticMetaCount(), 0u);
+}
+
+TEST(Builder, LabelsResolve)
+{
+    KernelBuilder b("loop");
+    const u32 i = b.reg();
+    b.mov(i, I(0));
+    b.label("top");
+    b.iadd(i, R(i), I(1));
+    b.setp(0, CmpOp::kLt, R(i), I(10));
+    b.guard(0).bra("top");
+    b.exit();
+    const Program p = b.build();
+    EXPECT_EQ(p.code[3].op, Opcode::kBra);
+    EXPECT_EQ(p.code[3].target, 1u);
+    EXPECT_EQ(p.code[3].guardPred, 0);
+}
+
+TEST(Builder, UndefinedLabelFails)
+{
+    KernelBuilder b("bad");
+    b.bra("nowhere");
+    b.exit();
+    EXPECT_THROW(b.build(), ConfigError);
+}
+
+TEST(Builder, GuardConsumedByOneInstruction)
+{
+    KernelBuilder b("guards");
+    const u32 r0 = b.reg();
+    b.mov(r0, I(1));
+    b.guard(2, true);
+    b.iadd(r0, R(r0), I(1));
+    b.iadd(r0, R(r0), I(1));
+    b.exit();
+    const Program p = b.build();
+    EXPECT_EQ(p.code[1].guardPred, 2);
+    EXPECT_TRUE(p.code[1].guardNeg);
+    EXPECT_EQ(p.code[2].guardPred, kNoPred);
+}
+
+TEST(Builder, TooManyRegistersFails)
+{
+    KernelBuilder b("big");
+    EXPECT_THROW(
+        {
+            for (u32 i = 0; i < 64; ++i)
+                b.reg();
+        },
+        ConfigError);
+}
+
+TEST(Builder, ExplicitNumRegs)
+{
+    KernelBuilder b("padded");
+    const u32 r0 = b.reg();
+    b.mov(r0, I(1));
+    b.exit();
+    b.setNumRegs(10);
+    const Program p = b.build();
+    EXPECT_EQ(p.numRegs, 10u);
+}
+
+TEST(Assembler, ParsesRepresentativeKernel)
+{
+    const std::string src = R"(
+        .kernel demo
+        .shared 64
+        // compute tid*4 and loop
+            s2r r0, %tid
+            shl r1, r0, 2
+            mov r2, 0
+        top:
+            iadd r2, r2, 1
+            setp.lt p1, r2, 8
+        @p1 bra top
+            ldg r3, [r1+0]
+            iadd r3, r3, r2
+            stg [r1+0], r3
+            sts [r1+4], r0
+            lds r4, [r1+4]
+            psel r5, p1, r3, r4
+            bar
+            exit
+    )";
+    const Program p = assemble(src);
+    EXPECT_EQ(p.name, "demo");
+    EXPECT_EQ(p.sharedMemBytes, 64u);
+    EXPECT_EQ(p.numRegs, 6u);
+    EXPECT_EQ(p.code[5].op, Opcode::kBra);
+    EXPECT_EQ(p.code[5].target, 3u);
+    EXPECT_EQ(p.code[5].guardPred, 1);
+    EXPECT_EQ(p.code[6].op, Opcode::kLdGlobal);
+    EXPECT_EQ(p.code[6].src[1].value, 0u);
+}
+
+TEST(Assembler, SyntaxErrorsAreReported)
+{
+    EXPECT_THROW(assemble("frobnicate r1, r2"), ConfigError);
+    EXPECT_THROW(assemble("iadd r1 r2, r3"), ConfigError);
+    EXPECT_THROW(assemble("bra nowhere\nexit"), ConfigError);
+    EXPECT_THROW(assemble(".bogus 3"), ConfigError);
+}
+
+TEST(Assembler, LocalMemoryOps)
+{
+    const Program p = assemble(R"(
+        mov r1, 7
+        stl local[2], r1
+        ldl r2, local[2]
+        exit
+    )");
+    EXPECT_EQ(p.localMemSlots, 3u);
+    EXPECT_EQ(p.code[1].op, Opcode::kStLocal);
+    EXPECT_EQ(p.code[2].localSlot, 2u);
+}
+
+TEST(Assembler, DisassemblyRoundTrips)
+{
+    KernelBuilder b("roundtrip");
+    const u32 r0 = b.reg(), r1 = b.reg(), r2 = b.reg();
+    b.s2r(r0, SpecialReg::kCtaId);
+    b.mov(r1, I(0));
+    b.label("head");
+    b.imad(r2, R(r0), I(3), R(r1));
+    b.setp(3, CmpOp::kNe, R(r2), I(30));
+    b.guard(3).bra("head");
+    b.stg(r0, 8, r2);
+    b.exit();
+    const Program p = b.build();
+
+    const Program q = assemble(p.disassemble());
+    ASSERT_EQ(q.code.size(), p.code.size());
+    for (u32 pc = 0; pc < p.code.size(); ++pc) {
+        EXPECT_EQ(q.code[pc].op, p.code[pc].op) << "pc " << pc;
+        EXPECT_EQ(q.code[pc].dst, p.code[pc].dst) << "pc " << pc;
+        EXPECT_EQ(q.code[pc].target, p.code[pc].target) << "pc " << pc;
+        EXPECT_EQ(q.code[pc].guardPred, p.code[pc].guardPred)
+            << "pc " << pc;
+        for (u32 k = 0; k < 3; ++k)
+            EXPECT_TRUE(q.code[pc].src[k] == p.code[pc].src[k])
+                << "pc " << pc;
+    }
+    EXPECT_EQ(q.numRegs, p.numRegs);
+}
+
+/**
+ * Parameterized round-trip: every general-purpose opcode formats to
+ * text that the assembler parses back to the same instruction.
+ */
+class OpcodeRoundTrip : public ::testing::TestWithParam<Opcode> {};
+
+TEST_P(OpcodeRoundTrip, FormatParsesBack)
+{
+    const Opcode op = GetParam();
+    const OpInfo &info = opInfo(op);
+
+    KernelBuilder b("rt");
+    const u32 r0 = b.reg(), r1 = b.reg(), r2 = b.reg(), r3 = b.reg();
+    b.mov(r0, I(1));
+    b.mov(r1, I(2));
+    b.mov(r2, I(3));
+    switch (op) {
+      case Opcode::kMov: b.mov(r3, R(r0)); break;
+      case Opcode::kIAdd: b.iadd(r3, R(r0), R(r1)); break;
+      case Opcode::kISub: b.isub(r3, R(r0), R(r1)); break;
+      case Opcode::kIMul: b.imul(r3, R(r0), R(r1)); break;
+      case Opcode::kIMad: b.imad(r3, R(r0), R(r1), R(r2)); break;
+      case Opcode::kIMin: b.imin(r3, R(r0), R(r1)); break;
+      case Opcode::kIMax: b.imax(r3, R(r0), R(r1)); break;
+      case Opcode::kShl: b.shl(r3, R(r0), I(2)); break;
+      case Opcode::kShr: b.shr(r3, R(r0), I(2)); break;
+      case Opcode::kAnd: b.and_(r3, R(r0), R(r1)); break;
+      case Opcode::kOr: b.or_(r3, R(r0), R(r1)); break;
+      case Opcode::kXor: b.xor_(r3, R(r0), R(r1)); break;
+      case Opcode::kFAdd: b.fadd(r3, R(r0), R(r1)); break;
+      case Opcode::kFMul: b.fmul(r3, R(r0), R(r1)); break;
+      case Opcode::kFFma: b.ffma(r3, R(r0), R(r1), R(r2)); break;
+      case Opcode::kFRcp: b.frcp(r3, R(r0)); break;
+      case Opcode::kSetP: b.setp(1, CmpOp::kLt, R(r0), R(r1)); break;
+      case Opcode::kPSel: b.psel(r3, 2, R(r0), R(r1)); break;
+      case Opcode::kS2R: b.s2r(r3, SpecialReg::kLaneId); break;
+      case Opcode::kLdGlobal: b.ldg(r3, r0, 8); break;
+      case Opcode::kStGlobal: b.stg(r0, 8, r1); break;
+      case Opcode::kLdShared: b.lds(r3, r0, 4); break;
+      case Opcode::kStShared: b.sts(r0, 4, r1); break;
+      case Opcode::kLdLocal: b.ldl(r3, 1); break;
+      case Opcode::kStLocal: b.stl(1, r0); break;
+      case Opcode::kAtomAdd: b.atomAdd(r3, r0, 0, r1); break;
+      case Opcode::kBar: b.bar(); break;
+      case Opcode::kNop: b.nop(); break;
+      default: GTEST_SKIP() << "control/meta covered elsewhere";
+    }
+    b.exit();
+    const Program p = b.build();
+    const Program q = assemble(p.disassemble());
+
+    ASSERT_EQ(q.code.size(), p.code.size()) << opName(op);
+    const u32 pc = 3; // the instruction under test
+    EXPECT_EQ(q.code[pc].op, p.code[pc].op) << opName(op);
+    EXPECT_EQ(q.code[pc].dst, p.code[pc].dst) << opName(op);
+    EXPECT_EQ(q.code[pc].dstPred, p.code[pc].dstPred) << opName(op);
+    EXPECT_EQ(q.code[pc].localSlot, p.code[pc].localSlot)
+        << opName(op);
+    for (u32 k = 0; k < 3; ++k)
+        EXPECT_TRUE(q.code[pc].src[k] == p.code[pc].src[k])
+            << opName(op) << " src " << k;
+    (void)info;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, OpcodeRoundTrip,
+    ::testing::Values(
+        Opcode::kNop, Opcode::kMov, Opcode::kIAdd, Opcode::kISub,
+        Opcode::kIMul, Opcode::kIMad, Opcode::kIMin, Opcode::kIMax,
+        Opcode::kShl, Opcode::kShr, Opcode::kAnd, Opcode::kOr,
+        Opcode::kXor, Opcode::kFAdd, Opcode::kFMul, Opcode::kFFma,
+        Opcode::kFRcp, Opcode::kSetP, Opcode::kPSel, Opcode::kS2R,
+        Opcode::kLdGlobal, Opcode::kStGlobal, Opcode::kLdShared,
+        Opcode::kStShared, Opcode::kLdLocal, Opcode::kStLocal,
+        Opcode::kAtomAdd, Opcode::kBar),
+    [](const ::testing::TestParamInfo<Opcode> &info) {
+        std::string name(opName(info.param));
+        return name;
+    });
+
+TEST(Program, ValidateCatchesBadBranch)
+{
+    Program p;
+    p.name = "bad";
+    Instr br;
+    br.op = Opcode::kBra;
+    br.target = 42;
+    p.code.push_back(br);
+    EXPECT_THROW(p.validate(), InternalError);
+}
+
+TEST(Program, ValidateCatchesRegOutOfFootprint)
+{
+    Program p;
+    p.name = "bad";
+    p.numRegs = 1;
+    Instr ins;
+    ins.op = Opcode::kIAdd;
+    ins.dst = 0;
+    ins.src[0] = Operand::reg(5);
+    ins.src[1] = Operand::imm(1);
+    p.code.push_back(ins);
+    EXPECT_THROW(p.validate(), InternalError);
+}
+
+TEST(Program, ValidateCatchesPirOnImmediate)
+{
+    Program p;
+    p.name = "bad";
+    p.numRegs = 2;
+    Instr ins;
+    ins.op = Opcode::kIAdd;
+    ins.dst = 0;
+    ins.src[0] = Operand::reg(1);
+    ins.src[1] = Operand::imm(3);
+    ins.pirMask = 0b010; // flags the immediate operand
+    p.code.push_back(ins);
+    Instr ex;
+    ex.op = Opcode::kExit;
+    p.code.push_back(ex);
+    EXPECT_THROW(p.validate(), InternalError);
+}
+
+TEST(Program, DisassembleMentionsEveryPc)
+{
+    KernelBuilder b("k");
+    const u32 r = b.reg();
+    b.mov(r, I(1));
+    b.exit();
+    const std::string text = b.build().disassemble();
+    EXPECT_NE(text.find("mov r0, 1"), std::string::npos);
+    EXPECT_NE(text.find("exit"), std::string::npos);
+}
+
+} // namespace
+} // namespace rfv

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Analytic tests of the energy model: each component of the Fig. 12
+ * breakdown is checked against hand-computed values from a synthetic
+ * SimResult, plus scaling and mode-gating properties.
+ */
+#include <gtest/gtest.h>
+
+#include "power/energy_model.h"
+
+namespace rfv {
+namespace {
+
+SimResult
+syntheticResult()
+{
+    SimResult res;
+    res.cycles = 1000;
+    res.rf.bankReads.assign(kNumRegBanks, 0);
+    res.rf.bankWrites.assign(kNumRegBanks, 0);
+    res.rf.bankReads[0] = 600;
+    res.rf.bankReads[1] = 400;
+    res.rf.bankWrites[2] = 500;
+    res.rf.bankWrites[3] = 500; // 2000 accesses total
+    res.rf.activeSubarrayCycles = 16000; // 16 subarrays x 1000 cycles
+    res.rf.sampledCycles = 1000;
+    res.rename.lookups = 3000;
+    res.rename.updates = 1000; // 4000 table accesses
+    res.rename.sampledCycles = 1000;
+    res.metaEncounters = 100;
+    res.metaDecoded = 40;
+    res.flagCacheHits = 60;
+    res.flagCacheMisses = 40;
+    return res;
+}
+
+GpuConfig
+cfgOf(RegFileMode mode, u32 bytes = 128 * 1024)
+{
+    GpuConfig cfg;
+    cfg.regFile.mode = mode;
+    cfg.regFile.sizeBytes = bytes;
+    return cfg;
+}
+
+TEST(EnergyModel, DynamicComponentMatchesHandComputation)
+{
+    EnergyParams p;
+    const auto e = computeEnergy(syntheticResult(),
+                                 cfgOf(RegFileMode::kBaseline), p);
+    // 2000 accesses x 4.68 pJ at full size (ratio 1 -> no scaling).
+    EXPECT_NEAR(e.dynamicJ, 2000.0 * 4.68e-12, 1e-15);
+}
+
+TEST(EnergyModel, StaticComponentMatchesHandComputation)
+{
+    EnergyParams p;
+    const auto e = computeEnergy(syntheticResult(),
+                                 cfgOf(RegFileMode::kBaseline), p);
+    // Subarray = 128KB/16 = 8KB -> leak = 2.8mW * 2 = 5.6 mW each.
+    // 16000 subarray-cycles at 0.7 GHz.
+    const double expect = 16000.0 * (2.8e-3 * 2.0) / 0.7e9;
+    EXPECT_NEAR(e.staticJ, expect, expect * 1e-9);
+}
+
+TEST(EnergyModel, RenameTableGatedByMode)
+{
+    EnergyParams p;
+    const auto base = computeEnergy(syntheticResult(),
+                                    cfgOf(RegFileMode::kBaseline), p);
+    EXPECT_DOUBLE_EQ(base.renameTableJ, 0.0);
+
+    const auto virt = computeEnergy(
+        syntheticResult(), cfgOf(RegFileMode::kVirtualized), p);
+    // 4000 accesses x 1.14 pJ + 4 banks x 0.27 mW x 1000 cycles/0.7GHz.
+    const double expect = 4000.0 * 1.14e-12 +
+                          4.0 * 0.27e-3 * 1000.0 / 0.7e9;
+    EXPECT_NEAR(virt.renameTableJ, expect, expect * 1e-9);
+}
+
+TEST(EnergyModel, FlagComponentCountsDecodedMetadata)
+{
+    EnergyParams p;
+    const auto e = computeEnergy(syntheticResult(),
+                                 cfgOf(RegFileMode::kVirtualized), p);
+    const double expect = 40.0 * 35.0e-12 + 100.0 * 0.05e-12 +
+                          0.004e-3 * 1000.0 / 0.7e9;
+    EXPECT_NEAR(e.flagInstrJ, expect, expect * 1e-9);
+}
+
+TEST(EnergyModel, PerAccessEnergyScalesWithSize)
+{
+    EnergyParams p;
+    const auto full = computeEnergy(syntheticResult(),
+                                    cfgOf(RegFileMode::kBaseline), p);
+    const auto half = computeEnergy(
+        syntheticResult(), cfgOf(RegFileMode::kBaseline, 64 * 1024), p);
+    // Same access counts; half-size file -> ~0.8x per access (Fig. 7).
+    EXPECT_NEAR(half.dynamicJ / full.dynamicJ, 0.8, 0.005);
+}
+
+TEST(EnergyModel, TotalIsSumOfComponents)
+{
+    const auto e = computeEnergy(syntheticResult(),
+                                 cfgOf(RegFileMode::kVirtualized));
+    EXPECT_DOUBLE_EQ(e.totalJ(), e.dynamicJ + e.staticJ +
+                                     e.renameTableJ + e.flagInstrJ);
+}
+
+TEST(EnergyModel, GatedFileLeaksLess)
+{
+    SimResult gated = syntheticResult();
+    gated.rf.activeSubarrayCycles = 8000; // half the subarrays on
+    const auto on = computeEnergy(syntheticResult(),
+                                  cfgOf(RegFileMode::kVirtualized));
+    const auto off = computeEnergy(gated,
+                                   cfgOf(RegFileMode::kVirtualized));
+    EXPECT_NEAR(off.staticJ, on.staticJ / 2.0, on.staticJ * 1e-9);
+}
+
+} // namespace
+} // namespace rfv

@@ -1,0 +1,383 @@
+/**
+ * @file
+ * Unit tests for the physical register file, renaming/register manager,
+ * and the release flag cache.
+ */
+#include <gtest/gtest.h>
+
+#include "regfile/register_manager.h"
+#include "regfile/release_flag_cache.h"
+
+namespace rfv {
+namespace {
+
+RegFileConfig
+smallConfig(RegFileMode mode, u32 size_bytes = 8 * 1024)
+{
+    RegFileConfig cfg;
+    cfg.sizeBytes = size_bytes; // 64 physical registers at 8 KB
+    cfg.mode = mode;
+    cfg.poisonOnRelease = true;
+    return cfg;
+}
+
+TEST(PhysRegFile, GeometryDerivation)
+{
+    RegFileConfig cfg;
+    cfg.sizeBytes = 128 * 1024;
+    EXPECT_EQ(cfg.physRegs(), 1024u);
+    EXPECT_EQ(cfg.regsPerBank(), 256u);
+    EXPECT_EQ(cfg.regsPerSubarray(), 64u);
+    cfg.validate();
+}
+
+TEST(PhysRegFile, AllocLowestFirst)
+{
+    PhysRegFile rf(smallConfig(RegFileMode::kVirtualized));
+    u32 wake = 0;
+    EXPECT_EQ(rf.alloc(0, 0, wake), 0u);
+    EXPECT_EQ(rf.alloc(0, 0, wake), 1u);
+    EXPECT_EQ(rf.alloc(1, 0, wake), rf.regsPerBank());
+    rf.release(0);
+    EXPECT_EQ(rf.alloc(0, 0, wake), 0u) << "freed slot reused first";
+}
+
+TEST(PhysRegFile, AllocRespectsFloor)
+{
+    PhysRegFile rf(smallConfig(RegFileMode::kVirtualized));
+    u32 wake = 0;
+    EXPECT_EQ(rf.alloc(0, 3, wake), 3u);
+    EXPECT_EQ(rf.alloc(0, 3, wake), 4u);
+    rf.allocAt(0, wake);
+    EXPECT_EQ(rf.alloc(0, 3, wake), 5u);
+}
+
+TEST(PhysRegFile, BankExhaustion)
+{
+    PhysRegFile rf(smallConfig(RegFileMode::kVirtualized));
+    u32 wake = 0;
+    for (u32 i = 0; i < rf.regsPerBank(); ++i)
+        EXPECT_NE(rf.alloc(2, 0, wake), kInvalidPhysReg);
+    EXPECT_EQ(rf.alloc(2, 0, wake), kInvalidPhysReg);
+    EXPECT_EQ(rf.freeInBank(2), 0u);
+    EXPECT_EQ(rf.freeInBank(3), rf.regsPerBank());
+}
+
+TEST(PhysRegFile, PowerGatingWakesAndSleeps)
+{
+    RegFileConfig cfg = smallConfig(RegFileMode::kVirtualized);
+    cfg.powerGating = true;
+    cfg.wakeupLatency = 3;
+    PhysRegFile rf(cfg);
+    EXPECT_EQ(rf.activeSubarrays(), 0u);
+    u32 wake = 0;
+    const u32 phys = rf.alloc(0, 0, wake);
+    EXPECT_EQ(wake, 3u);
+    EXPECT_EQ(rf.activeSubarrays(), 1u);
+    u32 wake2 = 9;
+    rf.alloc(0, 0, wake2);
+    EXPECT_EQ(wake2, 0u) << "subarray already on";
+    rf.release(phys);
+    EXPECT_EQ(rf.activeSubarrays(), 1u) << "other register keeps it on";
+    EXPECT_EQ(rf.stats().wakeEvents, 1u);
+}
+
+TEST(PhysRegFile, NoGatingMeansAlwaysOn)
+{
+    PhysRegFile rf(smallConfig(RegFileMode::kBaseline));
+    EXPECT_EQ(rf.activeSubarrays(), rf.totalSubarrays());
+    u32 wake = 7;
+    rf.alloc(0, 0, wake);
+    EXPECT_EQ(wake, 0u);
+}
+
+TEST(PhysRegFile, PoisonOnRelease)
+{
+    PhysRegFile rf(smallConfig(RegFileMode::kVirtualized));
+    u32 wake = 0;
+    const u32 phys = rf.alloc(0, 0, wake);
+    rf.values(phys).fill(42);
+    rf.release(phys);
+    rf.alloc(0, 0, wake);
+    EXPECT_EQ(rf.values(phys)[0], 0xdeadbeefu);
+}
+
+TEST(PhysRegFile, DoubleReleasePanics)
+{
+    PhysRegFile rf(smallConfig(RegFileMode::kVirtualized));
+    u32 wake = 0;
+    const u32 phys = rf.alloc(0, 0, wake);
+    rf.release(phys);
+    EXPECT_THROW(rf.release(phys), InternalError);
+}
+
+TEST(PhysRegFile, WatermarkAndTouched)
+{
+    PhysRegFile rf(smallConfig(RegFileMode::kVirtualized));
+    u32 wake = 0;
+    const u32 a = rf.alloc(0, 0, wake);
+    rf.alloc(0, 0, wake);
+    rf.release(a);
+    rf.alloc(0, 0, wake); // reuses a
+    EXPECT_EQ(rf.stats().allocWatermark, 2u);
+    EXPECT_EQ(rf.stats().touchedCount, 2u);
+}
+
+TEST(RegisterManager, BaselineLaunchMapsEverything)
+{
+    RegisterManager mgr(smallConfig(RegFileMode::kBaseline), 8);
+    mgr.configureKernel(10, 0);
+    ASSERT_TRUE(mgr.launchCta(0, 0, 2));
+    for (u32 w = 0; w < 2; ++w)
+        for (u32 r = 0; r < 10; ++r)
+            EXPECT_EQ(mgr.state(w, r), RegState::kMapped);
+    EXPECT_EQ(mgr.ctaAllocated(0), 20u);
+    mgr.completeCta(0, 0, 2);
+    EXPECT_EQ(mgr.mappedCount(), 0u);
+    EXPECT_EQ(mgr.freeRegs(), mgr.file().numRegs());
+}
+
+TEST(RegisterManager, BaselineLaunchFailsWhenFull)
+{
+    // 64 regs total, 16 per bank.  regsPerWarp=10 -> bank0 holds regs
+    // {0,4,8} x warps; 2 warps need 6 in bank0... push to exhaustion
+    // with many warps.
+    RegisterManager mgr(smallConfig(RegFileMode::kBaseline), 16);
+    mgr.configureKernel(12, 0);
+    // Each warp needs 3 regs in each bank; bank capacity 16 -> at most
+    // 5 warps fit.
+    ASSERT_TRUE(mgr.launchCta(0, 0, 5));
+    EXPECT_FALSE(mgr.launchCta(1, 5, 1));
+    // Rollback left the free count unchanged by the failed launch.
+    const u32 freeAfterFail = mgr.freeRegs();
+    EXPECT_FALSE(mgr.launchCta(1, 5, 1));
+    EXPECT_EQ(mgr.freeRegs(), freeAfterFail);
+}
+
+TEST(RegisterManager, VirtualizedAllocOnWriteAndRelease)
+{
+    RegisterManager mgr(smallConfig(RegFileMode::kVirtualized), 8);
+    mgr.configureKernel(10, 0);
+    ASSERT_TRUE(mgr.launchCta(0, 0, 2));
+    EXPECT_EQ(mgr.mappedCount(), 0u) << "nothing mapped until writes";
+
+    auto res = mgr.ensureMappedForWrite(0, 0, 5);
+    EXPECT_TRUE(res.ok);
+    EXPECT_EQ(mgr.state(0, 5), RegState::kMapped);
+    mgr.values(0, 5).fill(7);
+    EXPECT_EQ(mgr.values(0, 5)[31], 7u);
+
+    mgr.releaseReg(0, 0, 5);
+    EXPECT_EQ(mgr.state(0, 5), RegState::kUnmapped);
+    // Double release is a harmless no-op.
+    mgr.releaseReg(0, 0, 5);
+    EXPECT_EQ(mgr.freeRegs(), mgr.file().numRegs());
+}
+
+TEST(RegisterManager, BankRestrictedRenamingPreservesBank)
+{
+    RegisterManager mgr(smallConfig(RegFileMode::kVirtualized), 8);
+    mgr.configureKernel(10, 0);
+    ASSERT_TRUE(mgr.launchCta(0, 0, 1));
+    for (u32 r = 0; r < 8; ++r) {
+        ASSERT_TRUE(mgr.ensureMappedForWrite(0, 0, r).ok);
+        EXPECT_EQ(mgr.physBankOf(0, r), r % kNumRegBanks);
+    }
+}
+
+TEST(RegisterManager, BankRestrictedFailsWhenBankFull)
+{
+    RegFileConfig cfg = smallConfig(RegFileMode::kVirtualized);
+    RegisterManager mgr(cfg, 32);
+    mgr.configureKernel(4, 0);
+    ASSERT_TRUE(mgr.launchCta(0, 0, 32));
+    // Fill bank 0 (16 regs) by writing reg 0 from 16 warps.
+    for (u32 w = 0; w < 16; ++w)
+        ASSERT_TRUE(mgr.ensureMappedForWrite(w, 0, 0).ok);
+    auto res = mgr.ensureMappedForWrite(16, 0, 0);
+    EXPECT_FALSE(res.ok) << "bank-restricted mode must not borrow";
+    EXPECT_GT(mgr.freeRegs(), 0u);
+}
+
+TEST(RegisterManager, UnrestrictedBorrowsFromOtherBanks)
+{
+    RegFileConfig cfg = smallConfig(RegFileMode::kVirtualized);
+    cfg.bankRestrictedRenaming = false;
+    RegisterManager mgr(cfg, 32);
+    mgr.configureKernel(4, 0);
+    ASSERT_TRUE(mgr.launchCta(0, 0, 32));
+    for (u32 w = 0; w < 16; ++w)
+        ASSERT_TRUE(mgr.ensureMappedForWrite(w, 0, 0).ok);
+    EXPECT_TRUE(mgr.ensureMappedForWrite(16, 0, 0).ok);
+}
+
+TEST(RegisterManager, ExemptRegistersMappedAtLaunch)
+{
+    RegisterManager mgr(smallConfig(RegFileMode::kVirtualized), 4);
+    mgr.configureKernel(10, 3);
+    ASSERT_TRUE(mgr.launchCta(0, 0, 2));
+    for (u32 w = 0; w < 2; ++w) {
+        for (u32 r = 0; r < 3; ++r) {
+            EXPECT_EQ(mgr.state(w, r), RegState::kMapped);
+            EXPECT_EQ(mgr.physBankOf(w, r), r % kNumRegBanks);
+        }
+    }
+    // Exempt homes are disjoint across warps.
+    EXPECT_NE(mgr.physOf(0, 0), mgr.physOf(1, 0));
+    // Releases of exempt registers are ignored.
+    mgr.releaseReg(0, 0, 1);
+    EXPECT_EQ(mgr.state(0, 1), RegState::kMapped);
+    mgr.completeCta(0, 0, 2);
+    EXPECT_EQ(mgr.mappedCount(), 0u);
+}
+
+TEST(RegisterManager, RenamedAllocationsAvoidExemptRegion)
+{
+    RegisterManager mgr(smallConfig(RegFileMode::kVirtualized), 4);
+    mgr.configureKernel(10, 4); // one exempt reg per bank, 4 slots each
+    ASSERT_TRUE(mgr.launchCta(0, 0, 1)); // only slot 0 resident
+    ASSERT_TRUE(mgr.ensureMappedForWrite(0, 0, 4).ok);
+    // Bank 0 reserved region is indices [0, 4); the renamed register
+    // must land at or above index 4.
+    EXPECT_GE(mgr.physOf(0, 4) % mgr.file().regsPerBank(), 4u);
+}
+
+TEST(RegisterManager, HardwareOnlyKeepsMappingUntilCtaEnd)
+{
+    RegisterManager mgr(smallConfig(RegFileMode::kHardwareOnly), 8);
+    mgr.configureKernel(10, 0);
+    ASSERT_TRUE(mgr.launchCta(0, 0, 1));
+    ASSERT_TRUE(mgr.ensureMappedForWrite(0, 0, 2).ok);
+    mgr.releaseReg(0, 0, 2); // ignored in hardware-only mode
+    EXPECT_EQ(mgr.state(0, 2), RegState::kMapped);
+    // Redefinition reuses the mapping.
+    const u32 phys = mgr.physOf(0, 2);
+    ASSERT_TRUE(mgr.ensureMappedForWrite(0, 0, 2).ok);
+    EXPECT_EQ(mgr.physOf(0, 2), phys);
+    mgr.completeCta(0, 0, 1);
+    EXPECT_EQ(mgr.state(0, 2), RegState::kUnmapped);
+}
+
+TEST(RegisterManager, SpillAndRefillRoundTrip)
+{
+    RegisterManager mgr(smallConfig(RegFileMode::kVirtualized), 8);
+    mgr.configureKernel(10, 0);
+    ASSERT_TRUE(mgr.launchCta(0, 0, 1));
+    ASSERT_TRUE(mgr.ensureMappedForWrite(0, 0, 6).ok);
+    mgr.values(0, 6).fill(99);
+
+    const auto candidates = mgr.spillCandidates(0);
+    ASSERT_EQ(candidates.size(), 1u);
+    EXPECT_EQ(candidates[0], 6u);
+
+    mgr.spillReg(0, 0, 6);
+    EXPECT_EQ(mgr.state(0, 6), RegState::kSpilled);
+    EXPECT_TRUE(mgr.hasSpilledRegs(0));
+    EXPECT_EQ(mgr.freeRegs(), mgr.file().numRegs());
+
+    ASSERT_TRUE(mgr.refillReg(0, 0, 6).ok);
+    EXPECT_EQ(mgr.state(0, 6), RegState::kMapped);
+    EXPECT_EQ(mgr.values(0, 6)[13], 99u);
+    EXPECT_FALSE(mgr.hasSpilledRegs(0));
+    EXPECT_EQ(mgr.renameStats().spills, 1u);
+    EXPECT_EQ(mgr.renameStats().refills, 1u);
+}
+
+TEST(RegisterManager, ReadOfReleasedRegisterPanics)
+{
+    RegisterManager mgr(smallConfig(RegFileMode::kVirtualized), 8);
+    mgr.configureKernel(10, 0);
+    ASSERT_TRUE(mgr.launchCta(0, 0, 1));
+    ASSERT_TRUE(mgr.ensureMappedForWrite(0, 0, 3).ok);
+    mgr.releaseReg(0, 0, 3);
+    EXPECT_THROW(mgr.values(0, 3), InternalError);
+    EXPECT_THROW(mgr.countOperandRead(0, 3), InternalError);
+}
+
+TEST(RegisterManager, AccountingCounters)
+{
+    RegisterManager mgr(smallConfig(RegFileMode::kVirtualized), 8);
+    mgr.configureKernel(10, 0);
+    ASSERT_TRUE(mgr.launchCta(0, 0, 1));
+    ASSERT_TRUE(mgr.ensureMappedForWrite(0, 0, 1).ok);
+    mgr.countOperandWrite(0, 1);
+    mgr.countOperandRead(0, 1);
+    mgr.countOperandRead(0, 1);
+    const auto &fs = mgr.file().stats();
+    u64 reads = 0, writes = 0;
+    for (u32 b = 0; b < kNumRegBanks; ++b) {
+        reads += fs.bankReads[b];
+        writes += fs.bankWrites[b];
+    }
+    EXPECT_EQ(reads, 2u);
+    EXPECT_EQ(writes, 1u);
+    EXPECT_GE(mgr.renameStats().lookups, 3u);
+    EXPECT_GE(mgr.renameStats().updates, 1u);
+}
+
+TEST(RegisterManager, FixedExemptCapPreventsBankStarvation)
+{
+    // 8 KB file: 16 regs per bank.  With 16 warp slots, even a single
+    // exempt register per bank would reserve the whole bank; the
+    // manager must cap the fixed-home reservation at half a bank and
+    // let the remaining exempt registers allocate dynamically.
+    RegisterManager mgr(smallConfig(RegFileMode::kVirtualized), 16);
+    mgr.configureKernel(20, 8); // compiler exempted 8 registers
+    EXPECT_EQ(mgr.numExempt(), 8u);
+    EXPECT_LT(mgr.fixedExempt(), 8u);
+    ASSERT_TRUE(mgr.launchCta(0, 0, 2));
+    // Renamed registers can still be mapped in every bank.
+    for (u32 r = mgr.fixedExempt(); r < 20 && r < mgr.fixedExempt() + 4;
+         ++r) {
+        EXPECT_TRUE(mgr.ensureMappedForWrite(0, 0, r).ok)
+            << "reg " << r;
+    }
+    // Overflow exempt registers (ids in [fixedExempt, numExempt)) are
+    // mapped dynamically but never released by releaseReg... unless
+    // they are below numExempt.
+    const u32 overflow = mgr.fixedExempt();
+    ASSERT_LT(overflow, mgr.numExempt());
+    ASSERT_TRUE(mgr.ensureMappedForWrite(1, 0, overflow).ok);
+    mgr.releaseReg(1, 0, overflow);
+    EXPECT_EQ(mgr.state(1, overflow), RegState::kMapped)
+        << "exempt registers are never released";
+}
+
+TEST(FlagCache, HitsAfterFirstMiss)
+{
+    ReleaseFlagCache cache(10);
+    EXPECT_FALSE(cache.access(100));
+    EXPECT_TRUE(cache.access(100));
+    EXPECT_TRUE(cache.access(100));
+    EXPECT_EQ(cache.stats().hits, 2u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(FlagCache, DirectMappedConflicts)
+{
+    ReleaseFlagCache cache(4);
+    EXPECT_FALSE(cache.access(3));
+    EXPECT_FALSE(cache.access(7)); // same index, evicts 3
+    EXPECT_FALSE(cache.access(3));
+    EXPECT_EQ(cache.stats().misses, 3u);
+}
+
+TEST(FlagCache, ZeroEntriesAlwaysMisses)
+{
+    ReleaseFlagCache cache(0);
+    EXPECT_FALSE(cache.access(5));
+    EXPECT_FALSE(cache.access(5));
+    EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(FlagCache, ResetDropsEntries)
+{
+    ReleaseFlagCache cache(8);
+    cache.access(1);
+    EXPECT_TRUE(cache.access(1));
+    cache.reset();
+    EXPECT_FALSE(cache.access(1));
+}
+
+} // namespace
+} // namespace rfv
