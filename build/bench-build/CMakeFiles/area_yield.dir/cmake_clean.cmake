@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/area_yield"
+  "../bench/area_yield.pdb"
+  "CMakeFiles/area_yield.dir/area_yield.cc.o"
+  "CMakeFiles/area_yield.dir/area_yield.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/area_yield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_live_registers"
+  "../bench/fig01_live_registers.pdb"
+  "CMakeFiles/fig01_live_registers.dir/fig01_live_registers.cc.o"
+  "CMakeFiles/fig01_live_registers.dir/fig01_live_registers.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_live_registers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

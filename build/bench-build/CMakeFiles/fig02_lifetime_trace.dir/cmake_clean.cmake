@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_lifetime_trace"
+  "../bench/fig02_lifetime_trace.pdb"
+  "CMakeFiles/fig02_lifetime_trace.dir/fig02_lifetime_trace.cc.o"
+  "CMakeFiles/fig02_lifetime_trace.dir/fig02_lifetime_trace.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_lifetime_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_power_vs_size"
+  "../bench/fig07_power_vs_size.pdb"
+  "CMakeFiles/fig07_power_vs_size.dir/fig07_power_vs_size.cc.o"
+  "CMakeFiles/fig07_power_vs_size.dir/fig07_power_vs_size.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_power_vs_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_gating_map"
+  "../bench/fig08_gating_map.pdb"
+  "CMakeFiles/fig08_gating_map.dir/fig08_gating_map.cc.o"
+  "CMakeFiles/fig08_gating_map.dir/fig08_gating_map.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_gating_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

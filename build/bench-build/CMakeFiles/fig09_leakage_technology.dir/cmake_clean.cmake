@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_leakage_technology"
+  "../bench/fig09_leakage_technology.pdb"
+  "CMakeFiles/fig09_leakage_technology.dir/fig09_leakage_technology.cc.o"
+  "CMakeFiles/fig09_leakage_technology.dir/fig09_leakage_technology.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_leakage_technology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_alloc_reduction"
+  "../bench/fig10_alloc_reduction.pdb"
+  "CMakeFiles/fig10_alloc_reduction.dir/fig10_alloc_reduction.cc.o"
+  "CMakeFiles/fig10_alloc_reduction.dir/fig10_alloc_reduction.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_alloc_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

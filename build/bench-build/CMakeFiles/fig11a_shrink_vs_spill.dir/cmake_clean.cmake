@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11a_shrink_vs_spill"
+  "../bench/fig11a_shrink_vs_spill.pdb"
+  "CMakeFiles/fig11a_shrink_vs_spill.dir/fig11a_shrink_vs_spill.cc.o"
+  "CMakeFiles/fig11a_shrink_vs_spill.dir/fig11a_shrink_vs_spill.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11a_shrink_vs_spill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

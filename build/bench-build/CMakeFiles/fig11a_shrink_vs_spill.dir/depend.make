@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11a_shrink_vs_spill.
+# This may be replaced when dependencies are built.

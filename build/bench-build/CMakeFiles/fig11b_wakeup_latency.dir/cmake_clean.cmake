@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11b_wakeup_latency"
+  "../bench/fig11b_wakeup_latency.pdb"
+  "CMakeFiles/fig11b_wakeup_latency.dir/fig11b_wakeup_latency.cc.o"
+  "CMakeFiles/fig11b_wakeup_latency.dir/fig11b_wakeup_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11b_wakeup_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_code_increase"
+  "../bench/fig13_code_increase.pdb"
+  "CMakeFiles/fig13_code_increase.dir/fig13_code_increase.cc.o"
+  "CMakeFiles/fig13_code_increase.dir/fig13_code_increase.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_code_increase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_renaming_table"
+  "../bench/fig14_renaming_table.pdb"
+  "CMakeFiles/fig14_renaming_table.dir/fig14_renaming_table.cc.o"
+  "CMakeFiles/fig14_renaming_table.dir/fig14_renaming_table.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_renaming_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

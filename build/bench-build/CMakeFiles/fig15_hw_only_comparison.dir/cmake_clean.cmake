@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_hw_only_comparison"
+  "../bench/fig15_hw_only_comparison.pdb"
+  "CMakeFiles/fig15_hw_only_comparison.dir/fig15_hw_only_comparison.cc.o"
+  "CMakeFiles/fig15_hw_only_comparison.dir/fig15_hw_only_comparison.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_hw_only_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/shrink_sweep"
+  "../bench/shrink_sweep.pdb"
+  "CMakeFiles/shrink_sweep.dir/shrink_sweep.cc.o"
+  "CMakeFiles/shrink_sweep.dir/shrink_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shrink_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table2_energy_params.cc" "bench-build/CMakeFiles/table2_energy_params.dir/table2_energy_params.cc.o" "gcc" "bench-build/CMakeFiles/table2_energy_params.dir/table2_energy_params.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rfv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/rfv_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/rfv_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rfv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/rfv_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/regfile/CMakeFiles/rfv_regfile.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/rfv_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rfv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

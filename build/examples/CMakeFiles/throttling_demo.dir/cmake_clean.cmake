@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/throttling_demo.dir/throttling_demo.cpp.o"
+  "CMakeFiles/throttling_demo.dir/throttling_demo.cpp.o.d"
+  "throttling_demo"
+  "throttling_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/throttling_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

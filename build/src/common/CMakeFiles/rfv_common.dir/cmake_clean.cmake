@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfv_common.dir/table.cc.o"
+  "CMakeFiles/rfv_common.dir/table.cc.o.d"
+  "librfv_common.a"
+  "librfv_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfv_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/cfg.cc" "src/compiler/CMakeFiles/rfv_compiler.dir/cfg.cc.o" "gcc" "src/compiler/CMakeFiles/rfv_compiler.dir/cfg.cc.o.d"
+  "/root/repo/src/compiler/dominators.cc" "src/compiler/CMakeFiles/rfv_compiler.dir/dominators.cc.o" "gcc" "src/compiler/CMakeFiles/rfv_compiler.dir/dominators.cc.o.d"
+  "/root/repo/src/compiler/exempt.cc" "src/compiler/CMakeFiles/rfv_compiler.dir/exempt.cc.o" "gcc" "src/compiler/CMakeFiles/rfv_compiler.dir/exempt.cc.o.d"
+  "/root/repo/src/compiler/liveness.cc" "src/compiler/CMakeFiles/rfv_compiler.dir/liveness.cc.o" "gcc" "src/compiler/CMakeFiles/rfv_compiler.dir/liveness.cc.o.d"
+  "/root/repo/src/compiler/metadata_insert.cc" "src/compiler/CMakeFiles/rfv_compiler.dir/metadata_insert.cc.o" "gcc" "src/compiler/CMakeFiles/rfv_compiler.dir/metadata_insert.cc.o.d"
+  "/root/repo/src/compiler/pipeline.cc" "src/compiler/CMakeFiles/rfv_compiler.dir/pipeline.cc.o" "gcc" "src/compiler/CMakeFiles/rfv_compiler.dir/pipeline.cc.o.d"
+  "/root/repo/src/compiler/release_analysis.cc" "src/compiler/CMakeFiles/rfv_compiler.dir/release_analysis.cc.o" "gcc" "src/compiler/CMakeFiles/rfv_compiler.dir/release_analysis.cc.o.d"
+  "/root/repo/src/compiler/spill.cc" "src/compiler/CMakeFiles/rfv_compiler.dir/spill.cc.o" "gcc" "src/compiler/CMakeFiles/rfv_compiler.dir/spill.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/rfv_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rfv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfv_compiler.dir/cfg.cc.o"
+  "CMakeFiles/rfv_compiler.dir/cfg.cc.o.d"
+  "CMakeFiles/rfv_compiler.dir/dominators.cc.o"
+  "CMakeFiles/rfv_compiler.dir/dominators.cc.o.d"
+  "CMakeFiles/rfv_compiler.dir/exempt.cc.o"
+  "CMakeFiles/rfv_compiler.dir/exempt.cc.o.d"
+  "CMakeFiles/rfv_compiler.dir/liveness.cc.o"
+  "CMakeFiles/rfv_compiler.dir/liveness.cc.o.d"
+  "CMakeFiles/rfv_compiler.dir/metadata_insert.cc.o"
+  "CMakeFiles/rfv_compiler.dir/metadata_insert.cc.o.d"
+  "CMakeFiles/rfv_compiler.dir/pipeline.cc.o"
+  "CMakeFiles/rfv_compiler.dir/pipeline.cc.o.d"
+  "CMakeFiles/rfv_compiler.dir/release_analysis.cc.o"
+  "CMakeFiles/rfv_compiler.dir/release_analysis.cc.o.d"
+  "CMakeFiles/rfv_compiler.dir/spill.cc.o"
+  "CMakeFiles/rfv_compiler.dir/spill.cc.o.d"
+  "librfv_compiler.a"
+  "librfv_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfv_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfv_core.dir/report.cc.o"
+  "CMakeFiles/rfv_core.dir/report.cc.o.d"
+  "CMakeFiles/rfv_core.dir/run_config.cc.o"
+  "CMakeFiles/rfv_core.dir/run_config.cc.o.d"
+  "CMakeFiles/rfv_core.dir/simulator.cc.o"
+  "CMakeFiles/rfv_core.dir/simulator.cc.o.d"
+  "librfv_core.a"
+  "librfv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

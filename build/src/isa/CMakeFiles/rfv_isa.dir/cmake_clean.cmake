@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfv_isa.dir/assembler.cc.o"
+  "CMakeFiles/rfv_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/rfv_isa.dir/builder.cc.o"
+  "CMakeFiles/rfv_isa.dir/builder.cc.o.d"
+  "CMakeFiles/rfv_isa.dir/instruction.cc.o"
+  "CMakeFiles/rfv_isa.dir/instruction.cc.o.d"
+  "CMakeFiles/rfv_isa.dir/metadata.cc.o"
+  "CMakeFiles/rfv_isa.dir/metadata.cc.o.d"
+  "CMakeFiles/rfv_isa.dir/opcode.cc.o"
+  "CMakeFiles/rfv_isa.dir/opcode.cc.o.d"
+  "CMakeFiles/rfv_isa.dir/program.cc.o"
+  "CMakeFiles/rfv_isa.dir/program.cc.o.d"
+  "librfv_isa.a"
+  "librfv_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfv_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

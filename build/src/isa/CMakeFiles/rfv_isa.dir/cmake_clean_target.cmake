@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librfv_isa.a"
+)

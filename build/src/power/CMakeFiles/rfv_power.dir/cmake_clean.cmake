@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfv_power.dir/area_model.cc.o"
+  "CMakeFiles/rfv_power.dir/area_model.cc.o.d"
+  "CMakeFiles/rfv_power.dir/energy_model.cc.o"
+  "CMakeFiles/rfv_power.dir/energy_model.cc.o.d"
+  "librfv_power.a"
+  "librfv_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfv_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

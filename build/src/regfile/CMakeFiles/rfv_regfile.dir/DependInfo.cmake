@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/regfile/phys_regfile.cc" "src/regfile/CMakeFiles/rfv_regfile.dir/phys_regfile.cc.o" "gcc" "src/regfile/CMakeFiles/rfv_regfile.dir/phys_regfile.cc.o.d"
+  "/root/repo/src/regfile/register_manager.cc" "src/regfile/CMakeFiles/rfv_regfile.dir/register_manager.cc.o" "gcc" "src/regfile/CMakeFiles/rfv_regfile.dir/register_manager.cc.o.d"
+  "/root/repo/src/regfile/release_flag_cache.cc" "src/regfile/CMakeFiles/rfv_regfile.dir/release_flag_cache.cc.o" "gcc" "src/regfile/CMakeFiles/rfv_regfile.dir/release_flag_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rfv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfv_regfile.dir/phys_regfile.cc.o"
+  "CMakeFiles/rfv_regfile.dir/phys_regfile.cc.o.d"
+  "CMakeFiles/rfv_regfile.dir/register_manager.cc.o"
+  "CMakeFiles/rfv_regfile.dir/register_manager.cc.o.d"
+  "CMakeFiles/rfv_regfile.dir/release_flag_cache.cc.o"
+  "CMakeFiles/rfv_regfile.dir/release_flag_cache.cc.o.d"
+  "librfv_regfile.a"
+  "librfv_regfile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfv_regfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/dcache.cc" "src/sim/CMakeFiles/rfv_sim.dir/dcache.cc.o" "gcc" "src/sim/CMakeFiles/rfv_sim.dir/dcache.cc.o.d"
+  "/root/repo/src/sim/gpu.cc" "src/sim/CMakeFiles/rfv_sim.dir/gpu.cc.o" "gcc" "src/sim/CMakeFiles/rfv_sim.dir/gpu.cc.o.d"
+  "/root/repo/src/sim/icache.cc" "src/sim/CMakeFiles/rfv_sim.dir/icache.cc.o" "gcc" "src/sim/CMakeFiles/rfv_sim.dir/icache.cc.o.d"
+  "/root/repo/src/sim/memory.cc" "src/sim/CMakeFiles/rfv_sim.dir/memory.cc.o" "gcc" "src/sim/CMakeFiles/rfv_sim.dir/memory.cc.o.d"
+  "/root/repo/src/sim/simt_stack.cc" "src/sim/CMakeFiles/rfv_sim.dir/simt_stack.cc.o" "gcc" "src/sim/CMakeFiles/rfv_sim.dir/simt_stack.cc.o.d"
+  "/root/repo/src/sim/sm.cc" "src/sim/CMakeFiles/rfv_sim.dir/sm.cc.o" "gcc" "src/sim/CMakeFiles/rfv_sim.dir/sm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/rfv_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/regfile/CMakeFiles/rfv_regfile.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/rfv_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rfv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfv_sim.dir/dcache.cc.o"
+  "CMakeFiles/rfv_sim.dir/dcache.cc.o.d"
+  "CMakeFiles/rfv_sim.dir/gpu.cc.o"
+  "CMakeFiles/rfv_sim.dir/gpu.cc.o.d"
+  "CMakeFiles/rfv_sim.dir/icache.cc.o"
+  "CMakeFiles/rfv_sim.dir/icache.cc.o.d"
+  "CMakeFiles/rfv_sim.dir/memory.cc.o"
+  "CMakeFiles/rfv_sim.dir/memory.cc.o.d"
+  "CMakeFiles/rfv_sim.dir/simt_stack.cc.o"
+  "CMakeFiles/rfv_sim.dir/simt_stack.cc.o.d"
+  "CMakeFiles/rfv_sim.dir/sm.cc.o"
+  "CMakeFiles/rfv_sim.dir/sm.cc.o.d"
+  "librfv_sim.a"
+  "librfv_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfv_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

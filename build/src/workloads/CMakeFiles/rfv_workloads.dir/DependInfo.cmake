@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/backprop.cc" "src/workloads/CMakeFiles/rfv_workloads.dir/backprop.cc.o" "gcc" "src/workloads/CMakeFiles/rfv_workloads.dir/backprop.cc.o.d"
+  "/root/repo/src/workloads/bfs.cc" "src/workloads/CMakeFiles/rfv_workloads.dir/bfs.cc.o" "gcc" "src/workloads/CMakeFiles/rfv_workloads.dir/bfs.cc.o.d"
+  "/root/repo/src/workloads/blackscholes.cc" "src/workloads/CMakeFiles/rfv_workloads.dir/blackscholes.cc.o" "gcc" "src/workloads/CMakeFiles/rfv_workloads.dir/blackscholes.cc.o.d"
+  "/root/repo/src/workloads/dct8x8.cc" "src/workloads/CMakeFiles/rfv_workloads.dir/dct8x8.cc.o" "gcc" "src/workloads/CMakeFiles/rfv_workloads.dir/dct8x8.cc.o.d"
+  "/root/repo/src/workloads/gaussian.cc" "src/workloads/CMakeFiles/rfv_workloads.dir/gaussian.cc.o" "gcc" "src/workloads/CMakeFiles/rfv_workloads.dir/gaussian.cc.o.d"
+  "/root/repo/src/workloads/heartwall.cc" "src/workloads/CMakeFiles/rfv_workloads.dir/heartwall.cc.o" "gcc" "src/workloads/CMakeFiles/rfv_workloads.dir/heartwall.cc.o.d"
+  "/root/repo/src/workloads/hotspot.cc" "src/workloads/CMakeFiles/rfv_workloads.dir/hotspot.cc.o" "gcc" "src/workloads/CMakeFiles/rfv_workloads.dir/hotspot.cc.o.d"
+  "/root/repo/src/workloads/lib.cc" "src/workloads/CMakeFiles/rfv_workloads.dir/lib.cc.o" "gcc" "src/workloads/CMakeFiles/rfv_workloads.dir/lib.cc.o.d"
+  "/root/repo/src/workloads/lps.cc" "src/workloads/CMakeFiles/rfv_workloads.dir/lps.cc.o" "gcc" "src/workloads/CMakeFiles/rfv_workloads.dir/lps.cc.o.d"
+  "/root/repo/src/workloads/lud.cc" "src/workloads/CMakeFiles/rfv_workloads.dir/lud.cc.o" "gcc" "src/workloads/CMakeFiles/rfv_workloads.dir/lud.cc.o.d"
+  "/root/repo/src/workloads/matrixmul.cc" "src/workloads/CMakeFiles/rfv_workloads.dir/matrixmul.cc.o" "gcc" "src/workloads/CMakeFiles/rfv_workloads.dir/matrixmul.cc.o.d"
+  "/root/repo/src/workloads/mum.cc" "src/workloads/CMakeFiles/rfv_workloads.dir/mum.cc.o" "gcc" "src/workloads/CMakeFiles/rfv_workloads.dir/mum.cc.o.d"
+  "/root/repo/src/workloads/nn.cc" "src/workloads/CMakeFiles/rfv_workloads.dir/nn.cc.o" "gcc" "src/workloads/CMakeFiles/rfv_workloads.dir/nn.cc.o.d"
+  "/root/repo/src/workloads/random_kernel.cc" "src/workloads/CMakeFiles/rfv_workloads.dir/random_kernel.cc.o" "gcc" "src/workloads/CMakeFiles/rfv_workloads.dir/random_kernel.cc.o.d"
+  "/root/repo/src/workloads/reduction.cc" "src/workloads/CMakeFiles/rfv_workloads.dir/reduction.cc.o" "gcc" "src/workloads/CMakeFiles/rfv_workloads.dir/reduction.cc.o.d"
+  "/root/repo/src/workloads/scalarprod.cc" "src/workloads/CMakeFiles/rfv_workloads.dir/scalarprod.cc.o" "gcc" "src/workloads/CMakeFiles/rfv_workloads.dir/scalarprod.cc.o.d"
+  "/root/repo/src/workloads/vectoradd.cc" "src/workloads/CMakeFiles/rfv_workloads.dir/vectoradd.cc.o" "gcc" "src/workloads/CMakeFiles/rfv_workloads.dir/vectoradd.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/rfv_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/rfv_workloads.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/rfv_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rfv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/regfile/CMakeFiles/rfv_regfile.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/rfv_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rfv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compiler_detail.dir/test_compiler_detail.cc.o"
+  "CMakeFiles/test_compiler_detail.dir/test_compiler_detail.cc.o.d"
+  "test_compiler_detail"
+  "test_compiler_detail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compiler_detail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

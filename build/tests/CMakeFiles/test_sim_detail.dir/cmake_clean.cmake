@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_detail.dir/test_sim_detail.cc.o"
+  "CMakeFiles/test_sim_detail.dir/test_sim_detail.cc.o.d"
+  "test_sim_detail"
+  "test_sim_detail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_detail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_isa "/root/repo/build/tests/test_isa")
+set_tests_properties(test_isa PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;7;rfv_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_compiler "/root/repo/build/tests/test_compiler")
+set_tests_properties(test_compiler PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;8;rfv_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_regfile "/root/repo/build/tests/test_regfile")
+set_tests_properties(test_regfile PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;9;rfv_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_sim "/root/repo/build/tests/test_sim")
+set_tests_properties(test_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;10;rfv_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_equivalence "/root/repo/build/tests/test_equivalence")
+set_tests_properties(test_equivalence PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;11;rfv_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_workloads "/root/repo/build/tests/test_workloads")
+set_tests_properties(test_workloads PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;12;rfv_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_core "/root/repo/build/tests/test_core")
+set_tests_properties(test_core PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;13;rfv_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_ablation "/root/repo/build/tests/test_ablation")
+set_tests_properties(test_ablation PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;14;rfv_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_atomics "/root/repo/build/tests/test_atomics")
+set_tests_properties(test_atomics PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;15;rfv_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_sim_detail "/root/repo/build/tests/test_sim_detail")
+set_tests_properties(test_sim_detail PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;16;rfv_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_compiler_detail "/root/repo/build/tests/test_compiler_detail")
+set_tests_properties(test_compiler_detail PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;17;rfv_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_power "/root/repo/build/tests/test_power")
+set_tests_properties(test_power PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;18;rfv_test;/root/repo/tests/CMakeLists.txt;0;")
