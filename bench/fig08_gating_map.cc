@@ -46,6 +46,7 @@ snapshot(const char *label, RegFileMode mode, bool virtualize,
         while (next < launch.gridCtas && sm.tryLaunchCta(next, cycle))
             ++next;
         sm.step(cycle);
+        sm.commitAtomics(cycle);
         ++cycle;
     }
 

@@ -1,0 +1,125 @@
+#include "common/thread_pool.h"
+
+namespace rfv {
+
+namespace {
+
+/** Spin with progressive back-off: pure spins, then yields. */
+struct Backoff {
+    u32 spins = 0;
+
+    void
+    pause()
+    {
+        if (++spins > 64)
+            std::this_thread::yield();
+    }
+};
+
+} // namespace
+
+ThreadPool::ThreadPool(u32 num_threads)
+{
+    workers_.reserve(num_threads);
+    for (u32 i = 0; i < num_threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    stop_.store(true, std::memory_order_relaxed);
+    // Wake spinners: workers re-check stop_ after every generation
+    // poll, and the release bump orders the stop_ store before it.
+    generation_.fetch_add(1, std::memory_order_release);
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::runTasks(const std::function<void(u32)> &fn)
+{
+    for (;;) {
+        const u32 i = nextIndex_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count_)
+            break;
+        try {
+            fn(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lk(errorMu_);
+            if (!firstError_)
+                firstError_ = std::current_exception();
+        }
+        done_.fetch_add(1, std::memory_order_release);
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    u64 seen = 0;
+    for (;;) {
+        Backoff backoff;
+        while (generation_.load(std::memory_order_acquire) == seen) {
+            if (stop_.load(std::memory_order_relaxed))
+                return;
+            backoff.pause();
+        }
+        if (stop_.load(std::memory_order_relaxed))
+            return;
+        seen = generation_.load(std::memory_order_relaxed);
+        runTasks(*fn_);
+        // Announce that this worker is out of the round, so the
+        // coordinator knows when it is safe to publish the next
+        // round's (fn_, count_).
+        exited_.fetch_add(1, std::memory_order_release);
+    }
+}
+
+void
+ThreadPool::parallelFor(u32 count, const std::function<void(u32)> &fn)
+{
+    if (count == 0)
+        return;
+    if (workers_.empty()) {
+        for (u32 i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    // Retire the previous round: every worker must have left
+    // runTasks before fn_/count_ may be overwritten.  parallelFor
+    // itself only waits for task *completion*, so stragglers that
+    // claimed no index can still be draining their claim loop here.
+    if (roundOpen_) {
+        Backoff retire;
+        while (exited_.load(std::memory_order_acquire) < size())
+            retire.pause();
+    }
+
+    fn_ = &fn;
+    count_ = count;
+    nextIndex_.store(0, std::memory_order_relaxed);
+    done_.store(0, std::memory_order_relaxed);
+    exited_.store(0, std::memory_order_relaxed);
+    firstError_ = nullptr;
+    roundOpen_ = true;
+    generation_.fetch_add(1, std::memory_order_release);
+
+    runTasks(fn); // the coordinator is a worker too
+
+    Backoff backoff;
+    while (done_.load(std::memory_order_acquire) < count)
+        backoff.pause();
+
+    if (firstError_) {
+        std::exception_ptr e;
+        {
+            std::lock_guard<std::mutex> lk(errorMu_);
+            e = firstError_;
+            firstError_ = nullptr;
+        }
+        std::rethrow_exception(e);
+    }
+}
+
+} // namespace rfv

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Persistent worker-thread pool with barrier-style parallel-for.
+ *
+ * Built for the multi-SM cycle loop: one parallelFor() call per
+ * simulated cycle, so per-round overhead matters far more than
+ * fairness.  Workers spin (with yield back-off) on a round counter
+ * instead of sleeping on a condition variable — a condvar wake costs
+ * microseconds, which would dwarf the sub-microsecond work barrier
+ * the cycle loop needs.  The pool is expected to be short-lived
+ * (created per Gpu::run), so idle spinning between rounds is bounded
+ * by coordinator work between barriers.
+ */
+#ifndef RFV_COMMON_THREAD_POOL_H
+#define RFV_COMMON_THREAD_POOL_H
+
+#include <atomic>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+
+namespace rfv {
+
+/**
+ * Fixed-size pool running index-based task batches.
+ *
+ * parallelFor(n, fn) runs fn(0) … fn(n-1) across the workers *and*
+ * the calling thread, returning only when every index has completed
+ * (a full barrier).  Exceptions thrown by tasks are captured and the
+ * first one is rethrown on the calling thread after the barrier, so
+ * simulator panics propagate exactly as they do sequentially.
+ */
+class ThreadPool {
+  public:
+    /** Spawn @p numThreads workers (0 = run everything inline). */
+    explicit ThreadPool(u32 numThreads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    u32 size() const { return static_cast<u32>(workers_.size()); }
+
+    /** Run fn(i) for i in [0, count); returns after all complete. */
+    void parallelFor(u32 count, const std::function<void(u32)> &fn);
+
+  private:
+    void workerLoop();
+    void runTasks(const std::function<void(u32)> &fn);
+
+    std::vector<std::thread> workers_;
+
+    // Round state: the coordinator publishes (fn_, count_) and bumps
+    // generation_ (release); workers observe the bump (acquire) and
+    // race on nextIndex_; each finished index bumps done_, and each
+    // worker leaving the round bumps exited_ (the coordinator must
+    // see exited_ == size() before publishing the next round).
+    std::atomic<u64> generation_{0};
+    std::atomic<bool> stop_{false};
+    const std::function<void(u32)> *fn_ = nullptr;
+    u32 count_ = 0;
+    bool roundOpen_ = false;
+    std::atomic<u32> nextIndex_{0};
+    std::atomic<u32> done_{0};
+    std::atomic<u32> exited_{0};
+
+    std::mutex errorMu_;
+    std::exception_ptr firstError_;
+};
+
+} // namespace rfv
+
+#endif // RFV_COMMON_THREAD_POOL_H

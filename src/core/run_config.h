@@ -39,6 +39,12 @@ struct RunConfig {
     u32 numSms = 4;
     u32 roundsPerSm = 3; //!< grid scaling (0 = full Table-1 grid)
 
+    /**
+     * Worker threads for the multi-SM cycle loop (0 = sequential).
+     * Results are bit-identical either way; see GpuConfig.
+     */
+    u32 numWorkerThreads = 0;
+
     // ---- Named configurations of the paper -----------------------------
 
     /** Classic 128 KB register file. */

@@ -14,6 +14,7 @@ Simulator::gpuConfig() const
 {
     GpuConfig gpu;
     gpu.numSms = cfg_.numSms;
+    gpu.numWorkerThreads = cfg_.numWorkerThreads;
     gpu.regFile.mode = cfg_.mode;
     gpu.regFile.sizeBytes = cfg_.rfSizeBytes;
     gpu.regFile.powerGating = cfg_.powerGating;

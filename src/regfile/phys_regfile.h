@@ -31,7 +31,11 @@ struct PhysRegFileStats {
     u64 activeSubarrayCycles = 0;
     /** Sampled cycles times total subarrays (for averaging). */
     u64 sampledCycles = 0;
-    /** Peak simultaneously-allocated registers. */
+    /**
+     * Peak simultaneously-allocated registers.  A high-water mark,
+     * not an event count: cross-SM aggregation takes the max (see
+     * aggregateResults), unlike the additive counters above.
+     */
     u32 allocWatermark = 0;
     /** Distinct physical registers touched at least once. */
     u32 touchedCount = 0;
@@ -39,6 +43,8 @@ struct PhysRegFileStats {
     u64 crossWarpReuse = 0;
     /** Allocations that reused a register this warp itself released. */
     u64 sameWarpReuse = 0;
+
+    bool operator==(const PhysRegFileStats &) const = default;
 };
 
 /** The physical register file of one SM. */

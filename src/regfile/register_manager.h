@@ -38,6 +38,8 @@ struct RenameStats {
     /** Sum over sampled cycles of mapped architected registers. */
     u64 mappedRegCycles = 0;
     u64 sampledCycles = 0;
+
+    bool operator==(const RenameStats &) const = default;
 };
 
 /** Mapping state of one architected register of one warp slot. */

@@ -11,6 +11,10 @@ void
 ReleaseFlagCache::reset()
 {
     tags_.assign(entries_ ? entries_ : 0, kInvalidPc);
+    // A reset accompanies a kernel switch: hit/miss counts belong to
+    // the outgoing kernel and must not leak into the next one's
+    // Fig. 13 / power accounting.
+    stats_ = FlagCacheStats{};
 }
 
 bool

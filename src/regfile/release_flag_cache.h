@@ -36,7 +36,7 @@ class ReleaseFlagCache {
      */
     bool access(u32 pc);
 
-    /** Drop all entries (kernel switch). */
+    /** Drop all entries and clear stats (kernel switch). */
     void reset();
 
     const FlagCacheStats &stats() const { return stats_; }

@@ -1,35 +1,51 @@
 #include "sim/gpu.h"
 
+#include <algorithm>
+
 namespace rfv {
 
 Gpu::Gpu(const GpuConfig &cfg, const Program &prog,
          const LaunchParams &launch, GlobalMemory &gmem, TraceHooks hooks)
     : cfg_(cfg), prog_(prog), launch_(launch), gmem_(gmem),
-      hooks_(std::move(hooks)),
-      dram_(cfg.globalLatency, cfg.dramCyclesPerTransaction)
+      hooks_(std::move(hooks))
 {
     cfg_.validate();
     prog_.validate();
     fatalIf(launch_.gridCtas == 0, "empty grid");
     fatalIf(launch_.threadsPerCta == 0, "empty CTA");
+    if (cfg_.checkSmOverlap)
+        gmem_.enableOverlapCheck();
+    // One DRAM channel per SM: SMs share no mutable timing state, so
+    // stepping them on worker threads cannot reorder DRAM service.
+    // dramCyclesPerTransaction is the GPU-wide service interval, so
+    // each channel gets an SM-count multiple of it — aggregate
+    // bandwidth stays fixed as the machine scales, each SM owning a
+    // fair share.  Reserve up front — SMs keep references into the
+    // vector.
+    drams_.reserve(cfg_.numSms);
     for (u32 s = 0; s < cfg_.numSms; ++s) {
+        drams_.emplace_back(cfg_.globalLatency,
+                            cfg_.dramCyclesPerTransaction * cfg_.numSms);
         sms_.push_back(std::make_unique<Sm>(s, cfg_, prog_, launch_,
-                                            gmem_, dram_, hooks_));
+                                            gmem_, drams_[s], hooks_));
     }
 }
 
 SimResult
 aggregateResults(const std::vector<std::unique_ptr<Sm>> &sms,
-                 const DramModel &dram, Cycle cycles, u32 regs_per_warp)
+                 const std::vector<DramModel> &drams, Cycle cycles,
+                 u32 regs_per_warp)
 {
     SimResult res;
     res.cycles = cycles;
     res.regsPerWarp = regs_per_warp;
-    res.dram = dram.stats();
+    for (const DramModel &d : drams)
+        res.dram += d.stats();
     res.rf.bankReads.assign(kNumRegBanks, 0);
     res.rf.bankWrites.assign(kNumRegBanks, 0);
     for (const auto &sm : sms) {
         const SmStats &s = sm->stats();
+        // Event counts are additive across SMs ...
         res.issuedInstrs += s.issuedInstrs;
         res.threadInstrs += s.threadInstrs;
         res.metaEncounters += s.metaEncounters;
@@ -46,7 +62,12 @@ aggregateResults(const std::vector<std::unique_ptr<Sm>> &sms,
         res.icacheMisses += s.icacheMisses;
         res.dcacheHits += s.dcacheHits;
         res.dcacheMisses += s.dcacheMisses;
-        res.peakResidentWarps += s.peakResidentWarps;
+        // ... but high-water marks are not: summing per-SM peaks
+        // would overstate GPU-wide pressure by up to the SM count
+        // (they also feed allocationReductionPct, which must compare
+        // a per-SM watermark against a per-SM reservation).
+        res.peakResidentWarps =
+            std::max(res.peakResidentWarps, s.peakResidentWarps);
         res.completedCtas += sm->completedCtas();
 
         const auto &fc = sm->flagCache().stats();
@@ -63,7 +84,9 @@ aggregateResults(const std::vector<std::unique_ptr<Sm>> &sms,
         res.rf.wakeEvents += rf.wakeEvents;
         res.rf.activeSubarrayCycles += rf.activeSubarrayCycles;
         res.rf.sampledCycles += rf.sampledCycles;
-        res.rf.allocWatermark += rf.allocWatermark;
+        // Peak, same rule as peakResidentWarps.
+        res.rf.allocWatermark =
+            std::max(res.rf.allocWatermark, rf.allocWatermark);
         res.rf.touchedCount += rf.touchedCount;
         res.rf.crossWarpReuse += rf.crossWarpReuse;
         res.rf.sameWarpReuse += rf.sameWarpReuse;
@@ -85,6 +108,16 @@ Gpu::run()
     u32 next_cta = 0;
     u32 completed = 0;
     Cycle cycle = 0;
+
+    // Worker pool for SM stepping (coordinator participates, so N
+    // workers means N+1 stepping threads; capped at one worker per
+    // SM beyond the coordinator's share).
+    std::unique_ptr<ThreadPool> pool;
+    const u32 num_sms = static_cast<u32>(sms_.size());
+    if (cfg_.numWorkerThreads > 0 && num_sms > 1) {
+        pool = std::make_unique<ThreadPool>(
+            std::min(cfg_.numWorkerThreads, num_sms - 1));
+    }
 
     auto dispatch = [&]() {
         // Round-robin CTAs onto SMs with free slots.
@@ -114,8 +147,20 @@ Gpu::run()
         if (!busy && next_cta >= launch_.gridCtas)
             break;
 
+        if (pool) {
+            pool->parallelFor(num_sms, [this, cycle](u32 i) {
+                sms_[i]->step(cycle);
+            });
+        } else {
+            for (auto &sm : sms_)
+                sm->step(cycle);
+        }
+
+        // End-of-cycle barrier work, on the coordinator thread:
+        // commit atomics in SM-id order (the order the sequential
+        // loop would produce), then dispatch CTAs.
         for (auto &sm : sms_)
-            sm->step(cycle);
+            sm->commitAtomics(cycle);
 
         if (next_cta < launch_.gridCtas)
             dispatch();
@@ -133,7 +178,12 @@ Gpu::run()
     panicIf(completed != launch_.gridCtas,
             "not all CTAs completed at end of simulation");
 
-    return aggregateResults(sms_, dram_, cycle, prog_.numRegs);
+    panicIf(gmem_.overlapViolations() > 0,
+            gmem_.firstOverlap() + " (" +
+                std::to_string(gmem_.overlapViolations()) +
+                " conflicting accesses total)");
+
+    return aggregateResults(sms_, drams_, cycle, prog_.numRegs);
 }
 
 } // namespace rfv

@@ -1,18 +1,28 @@
 /**
  * @file
- * Multi-SM GPU driver: CTA dispatch, the cycle loop, and result
- * aggregation.
+ * Multi-SM GPU driver: CTA dispatch, the (optionally parallel) cycle
+ * loop, and result aggregation.
  */
 #ifndef RFV_SIM_GPU_H
 #define RFV_SIM_GPU_H
 
 #include <memory>
 
+#include "common/thread_pool.h"
 #include "sim/sm.h"
 
 namespace rfv {
 
-/** Aggregated outcome of one kernel run. */
+/**
+ * Aggregated outcome of one kernel run.
+ *
+ * Counter-aggregation rules (see aggregateResults): most fields are
+ * *additive* — per-SM event counts that sum to a GPU-wide total.
+ * Fields documented as *peak* are per-SM high-water marks and are
+ * aggregated with max() across SMs: summing a high-water mark over
+ * SMs would overstate GPU pressure by up to the SM count.  The peak
+ * fields are peakResidentWarps and PhysRegFileStats::allocWatermark.
+ */
 struct SimResult {
     Cycle cycles = 0;
     u64 issuedInstrs = 0;
@@ -33,15 +43,19 @@ struct SimResult {
     u64 icacheMisses = 0;
     u64 dcacheHits = 0;
     u64 dcacheMisses = 0;
+    /** Peak: max over SMs of each SM's resident-warp high-water mark. */
     u32 peakResidentWarps = 0;
     u32 completedCtas = 0;
 
-    PhysRegFileStats rf;     //!< summed over SMs
+    PhysRegFileStats rf;     //!< summed over SMs (allocWatermark: max)
     RenameStats rename;      //!< summed over SMs
-    DramStats dram;
+    DramStats dram;          //!< summed over per-SM channels
 
     /** Kernel footprint, for allocation-reduction metrics. */
     u32 regsPerWarp = 0;
+
+    /** Field-wise equality (sequential-vs-parallel determinism). */
+    bool operator==(const SimResult &) const = default;
 
     /**
      * Dynamic code increase from metadata in percent:
@@ -58,7 +72,10 @@ struct SimResult {
 
     /**
      * Register allocation reduction vs. the compiler reservation at
-     * peak residency (paper Fig. 10): 1 - watermark/reserved.
+     * peak residency (paper Fig. 10): 1 - watermark/reserved.  Both
+     * sides are per-SM peaks (max over SMs), so this is the reduction
+     * on the most-occupied SM — for the homogeneous SMs modeled here
+     * that matches the paper's per-core figure.
      */
     double
     allocationReductionPct() const
@@ -74,7 +91,17 @@ struct SimResult {
     }
 };
 
-/** One GPU instance bound to a compiled kernel and its memory. */
+/**
+ * One GPU instance bound to a compiled kernel and its memory.
+ *
+ * The cycle loop steps every SM once per cycle.  With
+ * GpuConfig::numWorkerThreads > 0 the steps run on a ThreadPool with
+ * a barrier per cycle; DRAM is sharded one channel per SM, atomics
+ * commit at the barrier in SM-id order, and CTA dispatch stays on the
+ * coordinator thread, so parallel runs produce a SimResult
+ * bit-identical to sequential runs (enforced by
+ * tests/test_parallel_equivalence.cc).
+ */
 class Gpu {
   public:
     Gpu(const GpuConfig &cfg, const Program &prog,
@@ -93,17 +120,19 @@ class Gpu {
     LaunchParams launch_;
     GlobalMemory &gmem_;
     TraceHooks hooks_;
-    DramModel dram_;
+    std::vector<DramModel> drams_; //!< one channel per SM (sharded)
     std::vector<std::unique_ptr<Sm>> sms_;
 };
 
 /**
- * Convenience wrapper: aggregate SM/DRAM statistics into a SimResult
- * (shared by Gpu::run and tests).
+ * Aggregate SM/DRAM statistics into a SimResult (shared by Gpu::run
+ * and tests).  Additive counters are summed over SMs and channels;
+ * peak counters (peakResidentWarps, rf.allocWatermark) take the max
+ * over SMs — see the SimResult field documentation.
  */
 SimResult aggregateResults(const std::vector<std::unique_ptr<Sm>> &sms,
-                           const DramModel &dram, Cycle cycles,
-                           u32 regsPerWarp);
+                           const std::vector<DramModel> &drams,
+                           Cycle cycles, u32 regsPerWarp);
 
 } // namespace rfv
 

@@ -4,6 +4,30 @@
 
 namespace rfv {
 
+namespace {
+
+constexpr u64 kNeverWritten = 0;
+
+u64
+packWriter(u32 sm_id, Cycle now)
+{
+    return ((now + 1) << 16) | sm_id;
+}
+
+u32
+writerSm(u64 packed)
+{
+    return static_cast<u32>(packed & 0xffffu);
+}
+
+Cycle
+writerCycle(u64 packed)
+{
+    return (packed >> 16) - 1;
+}
+
+} // namespace
+
 GlobalMemory::GlobalMemory(u32 bytes)
 {
     fatalIf(bytes % 4 != 0, "global memory size must be word aligned");
@@ -11,23 +35,106 @@ GlobalMemory::GlobalMemory(u32 bytes)
 }
 
 u32
+GlobalMemory::wordIndex(u32 byte_addr, const char *what) const
+{
+    panicIf(byte_addr % 4 != 0,
+            std::string("unaligned global ") + what);
+    const u32 w = byte_addr / 4;
+    panicIf(w >= words_.size(), std::string("global ") + what +
+                                    " out of bounds at byte " +
+                                    std::to_string(byte_addr));
+    return w;
+}
+
+u32
 GlobalMemory::load(u32 byte_addr) const
 {
-    panicIf(byte_addr % 4 != 0, "unaligned global load");
-    const u32 w = byte_addr / 4;
-    panicIf(w >= words_.size(), "global load out of bounds at byte " +
-                                    std::to_string(byte_addr));
-    return words_[w];
+    return words_[wordIndex(byte_addr, "load")];
 }
 
 void
 GlobalMemory::store(u32 byte_addr, u32 value)
 {
-    panicIf(byte_addr % 4 != 0, "unaligned global store");
-    const u32 w = byte_addr / 4;
-    panicIf(w >= words_.size(), "global store out of bounds at byte " +
-                                    std::to_string(byte_addr));
+    words_[wordIndex(byte_addr, "store")] = value;
+}
+
+u32
+GlobalMemory::load(u32 byte_addr, u32 sm_id, Cycle now) const
+{
+    const u32 w = wordIndex(byte_addr, "load");
+    if (lastWrite_)
+        checkRead(w, sm_id, now);
+    return words_[w];
+}
+
+void
+GlobalMemory::store(u32 byte_addr, u32 value, u32 sm_id, Cycle now)
+{
+    const u32 w = wordIndex(byte_addr, "store");
+    if (lastWrite_)
+        checkWrite(w, sm_id, now);
     words_[w] = value;
+}
+
+void
+GlobalMemory::enableOverlapCheck()
+{
+    // make_unique value-initializes: every entry starts kNeverWritten.
+    lastWrite_ = std::make_unique<std::atomic<u64>[]>(words_.size());
+    lastRead_ = std::make_unique<std::atomic<u64>[]>(words_.size());
+}
+
+void
+GlobalMemory::recordViolation(u32 word, u32 sm_id, u32 other_sm,
+                              Cycle now) const
+{
+    violations_.fetch_add(1, std::memory_order_relaxed);
+    bool expected = false;
+    if (firstRecorded_.compare_exchange_strong(
+            expected, true, std::memory_order_acq_rel)) {
+        const_cast<GlobalMemory *>(this)->first_ =
+            "cross-SM overlap: word " + std::to_string(word) +
+            " written by SM " + std::to_string(other_sm) +
+            " and accessed by SM " + std::to_string(sm_id) +
+            " in cycle " + std::to_string(now) +
+            " (non-atomic CTA outputs must be disjoint)";
+    }
+}
+
+void
+GlobalMemory::checkRead(u32 word, u32 sm_id, Cycle now) const
+{
+    lastRead_[word].store(packWriter(sm_id, now),
+                          std::memory_order_relaxed);
+    const u64 prev = lastWrite_[word].load(std::memory_order_relaxed);
+    if (prev != kNeverWritten && writerSm(prev) != sm_id &&
+        writerCycle(prev) == now) {
+        recordViolation(word, sm_id, writerSm(prev), now);
+    }
+}
+
+void
+GlobalMemory::checkWrite(u32 word, u32 sm_id, Cycle now)
+{
+    const u64 prev = lastWrite_[word].exchange(
+        packWriter(sm_id, now), std::memory_order_relaxed);
+    if (prev != kNeverWritten && writerSm(prev) != sm_id &&
+        writerCycle(prev) == now) {
+        recordViolation(word, sm_id, writerSm(prev), now);
+    }
+    const u64 read = lastRead_[word].load(std::memory_order_relaxed);
+    if (read != kNeverWritten && writerSm(read) != sm_id &&
+        writerCycle(read) == now) {
+        recordViolation(word, sm_id, writerSm(read), now);
+    }
+}
+
+std::string
+GlobalMemory::firstOverlap() const
+{
+    if (!firstRecorded_.load(std::memory_order_acquire))
+        return "";
+    return first_;
 }
 
 u32

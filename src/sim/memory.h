@@ -5,6 +5,9 @@
 #ifndef RFV_SIM_MEMORY_H
 #define RFV_SIM_MEMORY_H
 
+#include <atomic>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/error.h"
@@ -15,6 +18,16 @@ namespace rfv {
 /**
  * Flat, word-granular global memory shared by the whole GPU.
  * Addresses are byte addresses and must be 4-byte aligned.
+ *
+ * Cross-SM safety contract (see docs/ARCHITECTURE.md §3.4): CTAs may
+ * freely read shared input data, but the words a CTA writes
+ * non-atomically must not be accessed by CTAs on *other* SMs in the
+ * same cycle — workloads keep CTA outputs disjoint, and cross-CTA
+ * communication goes through atomics (which the GPU commits at the
+ * end-of-cycle barrier in SM-id order).  Under that contract the
+ * word array needs no locking even with SMs stepping on worker
+ * threads, and parallel runs are bit-identical to sequential ones.
+ * enableOverlapCheck() arms a debug checker that detects violations.
  */
 class GlobalMemory {
   public:
@@ -22,15 +35,56 @@ class GlobalMemory {
 
     u32 sizeBytes() const { return static_cast<u32>(words_.size()) * 4; }
 
+    /** Unchecked access (host setup/verify, atomic commit phase). */
     u32 load(u32 byteAddr) const;
     void store(u32 byteAddr, u32 value);
+
+    /**
+     * SM-side access: identical to load/store, but when the overlap
+     * checker is armed it records the access and flags same-cycle
+     * conflicts with writes from other SMs.
+     */
+    u32 load(u32 byteAddr, u32 smId, Cycle now) const;
+    void store(u32 byteAddr, u32 value, u32 smId, Cycle now);
 
     /** Convenience word accessors for workload setup/verification. */
     u32 word(u32 index) const { return words_.at(index); }
     void setWord(u32 index, u32 value) { words_.at(index) = value; }
 
+    /** Arm the debug cross-SM overlap checker (off by default). */
+    void enableOverlapCheck();
+    bool overlapCheckEnabled() const { return lastWrite_ != nullptr; }
+
+    /** Same-cycle cross-SM conflicts observed so far. */
+    u64 overlapViolations() const
+    {
+        return violations_.load(std::memory_order_relaxed);
+    }
+
+    /** Description of the first conflict ("" if none). */
+    std::string firstOverlap() const;
+
   private:
+    u32 wordIndex(u32 byteAddr, const char *what) const;
+    void checkRead(u32 word, u32 smId, Cycle now) const;
+    void checkWrite(u32 word, u32 smId, Cycle now);
+    void recordViolation(u32 word, u32 smId, u32 otherSm,
+                         Cycle now) const;
+
     std::vector<u32> words_;
+
+    // Overlap checker: per word, the last non-atomic writer (and the
+    // last reader) packed as ((cycle + 1) << 16) | smId; 0 = never
+    // accessed by an SM.  Entries are relaxed atomics purely so the
+    // checker itself stays race-free when the access pattern under
+    // test is not.  Read tracking keeps one reader per word (enough
+    // to catch the common one-reader/one-writer conflict; a
+    // best-effort debug aid, not a proof of absence).
+    std::unique_ptr<std::atomic<u64>[]> lastWrite_;
+    std::unique_ptr<std::atomic<u64>[]> lastRead_;
+    mutable std::atomic<u64> violations_{0};
+    mutable std::atomic<bool> firstRecorded_{false};
+    std::string first_;
 };
 
 /** DRAM statistics. */
@@ -38,13 +92,31 @@ struct DramStats {
     u64 requests = 0;     //!< warp-level memory operations
     u64 transactions = 0; //!< 128-byte segments transferred
     u64 queueCycles = 0;  //!< total cycles requests waited for service
+
+    bool operator==(const DramStats &) const = default;
+
+    /** Accumulate another channel's counters (all additive). */
+    DramStats &
+    operator+=(const DramStats &o)
+    {
+        requests += o.requests;
+        transactions += o.transactions;
+        queueCycles += o.queueCycles;
+        return *this;
+    }
 };
 
 /**
- * GPU-wide DRAM channel: a single service pipe with fixed per-128B
- * transaction occupancy and a base access latency.  Contention appears
- * as queueing delay — which is what lets CTA throttling *improve*
- * memory-bound kernels (paper's MUM observation on Fig. 11a).
+ * One DRAM channel: a single service pipe with fixed per-128B
+ * transaction occupancy and a base access latency.  Contention
+ * appears as queueing delay — which is what lets CTA throttling
+ * *improve* memory-bound kernels (paper's MUM observation, Fig. 11a).
+ *
+ * The Gpu shards DRAM one channel per SM so SMs never share mutable
+ * timing state.  Each channel's service interval is scaled by the SM
+ * count, so aggregate bandwidth is fixed and every SM owns a fair
+ * share of it.  Channel stats are summed into SimResult::dram by
+ * aggregateResults().
  */
 class DramModel {
   public:

@@ -647,7 +647,7 @@ Sm::execute(Warp &w, u32 warp_idx, const Instr &ins, u32 exec_mask,
             lanes([&](u32 l) {
                 const u32 a = addr[l] + off;
                 if (ins.op == Opcode::kLdGlobal) {
-                    out[l] = gmem_.load(a);
+                    out[l] = gmem_.load(a, smId_, now);
                     touched.push_back(a);
                 } else {
                     const u32 word = a / 4;
@@ -695,19 +695,19 @@ Sm::execute(Warp &w, u32 warp_idx, const Instr &ins, u32 exec_mask,
             const WarpValue addr = readOperand(warp_idx, ins.src[0]);
             const u32 off = ins.src[1].value;
             const WarpValue val = readOperand(warp_idx, ins.src[2]);
-            WarpValue out{};
             std::vector<u32> touched;
-            // Lanes commit in lane order (deterministic intra-warp
-            // atomicity; cross-warp order follows issue order).
-            lanes([&](u32 l) {
-                const u32 a = addr[l] + off;
-                const u32 old = gmem_.load(a);
-                gmem_.store(a, old + val[l]);
-                out[l] = old;
-                touched.push_back(a);
-            });
-            writeDest(warp_idx, static_cast<u32>(ins.dst), out,
-                      exec_mask, now);
+            lanes([&](u32 l) { touched.push_back(addr[l] + off); });
+            // The memory side effect is deferred to commitAtomics():
+            // the Gpu commits all SMs' atomics at the end-of-cycle
+            // barrier in SM-id order, so cross-SM interleaving is
+            // identical whether SMs step sequentially or on worker
+            // threads.  Lanes commit in lane order (deterministic
+            // intra-warp atomicity); cross-warp order follows issue
+            // order.  Timing is charged here: addresses are known and
+            // the DRAM channel is per-SM.
+            pendingAtomics_.push_back({warp_idx,
+                                       static_cast<u32>(ins.dst),
+                                       exec_mask, off, addr, val});
             wb_regs = defMask(ins);
             // Read-modify-write: roughly twice the transactions.
             const u32 txns = 2 * coalescedTransactions(touched);
@@ -726,7 +726,7 @@ Sm::execute(Warp &w, u32 warp_idx, const Instr &ins, u32 exec_mask,
             lanes([&](u32 l) {
                 const u32 a = addr[l] + off;
                 if (ins.op == Opcode::kStGlobal) {
-                    gmem_.store(a, val[l]);
+                    gmem_.store(a, val[l], smId_, now);
                     touched.push_back(a);
                 } else {
                     const u32 word = a / 4;
@@ -1034,6 +1034,24 @@ Sm::step(Cycle now)
         hooks_.liveSample(now, mgr_.mappedCount(),
                           residentWarps() * prog_.numRegs);
     }
+}
+
+void
+Sm::commitAtomics(Cycle now)
+{
+    for (const PendingAtomic &pa : pendingAtomics_) {
+        WarpValue out{};
+        for (u32 l = 0; l < kWarpSize; ++l) {
+            if (!((pa.execMask >> l) & 1))
+                continue;
+            const u32 a = pa.addr[l] + pa.offset;
+            const u32 old = gmem_.load(a);
+            gmem_.store(a, old + pa.val[l]);
+            out[l] = old;
+        }
+        writeDest(pa.warpIdx, pa.dst, out, pa.execMask, now);
+    }
+    pendingAtomics_.clear();
 }
 
 } // namespace rfv

@@ -66,6 +66,20 @@ class Sm {
     /** Advance one cycle. */
     void step(Cycle now);
 
+    /**
+     * Commit global-memory atomics issued during step(@p now).
+     *
+     * Atomic read-modify-writes are the one place SMs intentionally
+     * touch shared memory words, so their side effects are deferred
+     * and committed by the Gpu at the end-of-cycle barrier in SM-id
+     * order — the same order the sequential loop produces — keeping
+     * parallel runs bit-identical to sequential ones.  The destination
+     * register is scoreboarded until the (much later) DRAM completion,
+     * so the deferral is architecturally invisible.  Callers stepping
+     * an Sm directly must invoke this after each step().
+     */
+    void commitAtomics(Cycle now);
+
     const SmStats &stats() const { return stats_; }
     RegisterManager &regs() { return mgr_; }
     const RegisterManager &regs() const { return mgr_; }
@@ -100,6 +114,16 @@ class Sm {
     };
 
     enum class IssueOutcome : u8 { kIssued, kSkipped, kDemoted };
+
+    /** One atomic op awaiting the end-of-cycle commit. */
+    struct PendingAtomic {
+        u32 warpIdx;
+        u32 dst;
+        u32 execMask;
+        u32 offset;
+        WarpValue addr; //!< per-lane base addresses
+        WarpValue val;  //!< per-lane addends
+    };
 
     void drainCompletions(Cycle now);
     void evaluateThrottle();
@@ -157,6 +181,8 @@ class Sm {
                         std::greater<Completion>>
         completions_;
     u32 inFlightLoads_ = 0;
+
+    std::vector<PendingAtomic> pendingAtomics_;
 
     u32 currentPc_ = 0; //!< diagnostic: pc of the instruction being issued
 

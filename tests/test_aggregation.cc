@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Cross-SM statistics aggregation and the supporting infrastructure:
+ * peak counters must be maxima (not sums) across SMs, the ThreadPool
+ * barrier semantics must hold, and the debug overlap checker must
+ * catch same-cycle cross-SM conflicting global-memory accesses.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "common/thread_pool.h"
+#include "compiler/pipeline.h"
+#include "isa/builder.h"
+#include "sim/gpu.h"
+
+namespace rfv {
+namespace {
+
+/**
+ * A CTA-independent kernel: every thread stores a value derived from
+ * its global id to its own word, so per-SM timing, occupancy and
+ * register pressure are identical no matter which CTA lands where.
+ */
+Program
+uniformKernel()
+{
+    KernelBuilder b("uniform");
+    const u32 tid = b.reg(), cta = b.reg(), n = b.reg(), idx = b.reg(),
+              addr = b.reg(), t0 = b.reg(), t1 = b.reg(), acc = b.reg();
+    b.s2r(tid, SpecialReg::kTid);
+    b.s2r(cta, SpecialReg::kCtaId);
+    b.s2r(n, SpecialReg::kNTid);
+    b.imad(idx, R(cta), R(n), R(tid));
+    b.shl(addr, R(idx), I(2));
+    b.mov(acc, I(0));
+    for (u32 i = 0; i < 4; ++i) {
+        b.iadd(t0, R(idx), I(i));
+        b.imul(t1, R(t0), I(3));
+        b.iadd(acc, R(acc), R(t1));
+    }
+    b.stg(addr, 0, acc);
+    b.exit();
+    return b.build();
+}
+
+SimResult
+runUniform(u32 num_sms, u32 grid_ctas, RegFileMode mode)
+{
+    CompileOptions copts;
+    copts.virtualize = mode == RegFileMode::kVirtualized;
+    const auto ck = compileKernel(uniformKernel(), copts);
+    GlobalMemory mem(1 << 16);
+    LaunchParams launch;
+    launch.gridCtas = grid_ctas;
+    launch.threadsPerCta = 64;
+    GpuConfig cfg;
+    cfg.numSms = num_sms;
+    cfg.regFile.mode = mode;
+    Gpu gpu(cfg, ck.program, launch, mem);
+    return gpu.run();
+}
+
+TEST(Aggregation, PeakResidentWarpsIsMaxAcrossSms)
+{
+    // One CTA per SM with identical kernels: every SM peaks at the
+    // same warp count, so the GPU-wide peak equals the single-SM
+    // peak.  The old sum aggregation reported 4x.
+    const SimResult one = runUniform(1, 1, RegFileMode::kBaseline);
+    const SimResult four = runUniform(4, 4, RegFileMode::kBaseline);
+    EXPECT_EQ(four.completedCtas, 4u);
+    EXPECT_GT(one.peakResidentWarps, 0u);
+    EXPECT_EQ(four.peakResidentWarps, one.peakResidentWarps)
+        << "peak resident warps must not scale with SM count";
+    // Additive counters do scale: four SMs issue 4x the instructions.
+    EXPECT_EQ(four.issuedInstrs, 4 * one.issuedInstrs);
+}
+
+TEST(Aggregation, AllocWatermarkIsMaxAcrossSms)
+{
+    for (RegFileMode mode :
+         {RegFileMode::kBaseline, RegFileMode::kVirtualized}) {
+        const SimResult one = runUniform(1, 1, mode);
+        const SimResult four = runUniform(4, 4, mode);
+        EXPECT_GT(one.rf.allocWatermark, 0u);
+        EXPECT_EQ(four.rf.allocWatermark, one.rf.allocWatermark)
+            << "a high-water mark summed across SMs overstates peak "
+               "RF pressure (mode " << static_cast<int>(mode) << ")";
+    }
+}
+
+TEST(Aggregation, AllocationReductionUsesPerSmPeaks)
+{
+    // The occupancy-derived reservation (peakResidentWarps *
+    // regsPerWarp) must be a per-SM quantity: the reduction for N
+    // identical SMs equals the single-SM reduction.
+    const SimResult one = runUniform(1, 1, RegFileMode::kVirtualized);
+    const SimResult four = runUniform(4, 4, RegFileMode::kVirtualized);
+    EXPECT_DOUBLE_EQ(four.allocationReductionPct(),
+                     one.allocationReductionPct());
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce)
+{
+    ThreadPool pool(3);
+    std::vector<std::atomic<u32>> hits(257);
+    pool.parallelFor(257, [&](u32 i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (u32 i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1u) << "index " << i;
+}
+
+TEST(ThreadPool, ReusableAcrossRounds)
+{
+    ThreadPool pool(2);
+    std::atomic<u64> sum{0};
+    for (u32 round = 0; round < 200; ++round) {
+        pool.parallelFor(8, [&](u32 i) {
+            sum.fetch_add(i + 1, std::memory_order_relaxed);
+        });
+    }
+    EXPECT_EQ(sum.load(), 200u * 36u);
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInline)
+{
+    ThreadPool pool(0);
+    u32 calls = 0; // no atomics needed: must run on this thread
+    pool.parallelFor(5, [&](u32) { ++calls; });
+    EXPECT_EQ(calls, 5u);
+}
+
+TEST(ThreadPool, PropagatesTaskExceptions)
+{
+    ThreadPool pool(2);
+    EXPECT_THROW(pool.parallelFor(16,
+                                  [&](u32 i) {
+                                      if (i == 7)
+                                          panic("boom");
+                                  }),
+                 InternalError);
+    // The pool survives a throwing round.
+    std::atomic<u32> ok{0};
+    pool.parallelFor(4, [&](u32) { ok.fetch_add(1); });
+    EXPECT_EQ(ok.load(), 4u);
+}
+
+/** Kernel where every thread of every CTA writes the same word. */
+Program
+conflictingKernel()
+{
+    KernelBuilder b("conflict");
+    const u32 v = b.reg(), addr = b.reg();
+    b.mov(v, I(42));
+    b.mov(addr, I(0));
+    b.stg(addr, 0, v);
+    b.exit();
+    return b.build();
+}
+
+TEST(OverlapChecker, FlagsSameCycleCrossSmWrites)
+{
+    CompileOptions copts;
+    const auto ck = compileKernel(conflictingKernel(), copts);
+    GlobalMemory mem(4096);
+    LaunchParams launch;
+    launch.gridCtas = 2; // one CTA per SM, in lockstep
+    launch.threadsPerCta = 32;
+    GpuConfig cfg;
+    cfg.numSms = 2;
+    cfg.checkSmOverlap = true;
+    Gpu gpu(cfg, ck.program, launch, mem);
+    try {
+        gpu.run();
+        FAIL() << "overlapping same-cycle cross-SM writes not detected";
+    } catch (const InternalError &e) {
+        EXPECT_NE(std::string(e.what()).find("cross-SM overlap"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(OverlapChecker, DisjointOutputsPass)
+{
+    CompileOptions copts;
+    const auto ck = compileKernel(uniformKernel(), copts);
+    GlobalMemory mem(1 << 16);
+    LaunchParams launch;
+    launch.gridCtas = 4;
+    launch.threadsPerCta = 64;
+    GpuConfig cfg;
+    cfg.numSms = 2;
+    cfg.checkSmOverlap = true;
+    Gpu gpu(cfg, ck.program, launch, mem);
+    const SimResult res = gpu.run();
+    EXPECT_EQ(res.completedCtas, 4u);
+}
+
+} // namespace
+} // namespace rfv

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Sequential-vs-parallel equivalence: stepping SMs on worker threads
+ * must be architecturally invisible.  For every Table-1 workload the
+ * parallel cycle loop must produce a bit-identical SimResult and
+ * final memory image to the sequential loop — this is the test the
+ * `tsan` preset runs under ThreadSanitizer to also prove the loop is
+ * race-free.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "compiler/pipeline.h"
+#include "sim/gpu.h"
+#include "workloads/workload.h"
+
+namespace rfv {
+namespace {
+
+struct Case {
+    std::string workload;
+    RegFileMode mode;
+    bool virtualize;
+    u32 rfBytes;
+    u32 numSms;
+};
+
+std::string
+caseName(const ::testing::TestParamInfo<Case> &info)
+{
+    std::string mode;
+    switch (info.param.mode) {
+      case RegFileMode::kBaseline: mode = "Baseline"; break;
+      case RegFileMode::kVirtualized:
+        mode = info.param.rfBytes < 128 * 1024 ? "Shrink" : "Virtual";
+        break;
+      case RegFileMode::kHardwareOnly: mode = "HwOnly"; break;
+    }
+    return info.param.workload + "_" + mode + "_" +
+           std::to_string(info.param.numSms) + "sm";
+}
+
+struct RunOutput {
+    SimResult sim;
+    std::vector<u32> memory;
+};
+
+RunOutput
+runCase(const Case &c, u32 worker_threads)
+{
+    const auto workload = findWorkload(c.workload);
+
+    CompileOptions copts;
+    copts.virtualize = c.virtualize;
+    copts.renamingTableBytes = 1024;
+    copts.residentWarps = 48;
+    const auto ck = compileKernel(workload->buildKernel(), copts);
+
+    GpuConfig cfg;
+    cfg.numSms = c.numSms;
+    cfg.numWorkerThreads = worker_threads;
+    cfg.regFile.mode = c.mode;
+    cfg.regFile.sizeBytes = c.rfBytes;
+
+    const LaunchParams launch = workload->scaledLaunch(cfg.numSms, 1);
+    GlobalMemory mem(workload->memoryBytes(launch));
+    workload->setup(mem, launch);
+
+    Gpu gpu(cfg, ck.program, launch, mem);
+    RunOutput out;
+    out.sim = gpu.run();
+    workload->verify(mem, launch);
+    out.memory.resize(mem.sizeBytes() / 4);
+    for (u32 w = 0; w < out.memory.size(); ++w)
+        out.memory[w] = mem.word(w);
+    return out;
+}
+
+/** Human-readable diff of the counters that diverged. */
+std::string
+diffResults(const SimResult &a, const SimResult &b)
+{
+    std::ostringstream os;
+    const auto field = [&os](const char *name, u64 x, u64 y) {
+        if (x != y)
+            os << "  " << name << ": " << x << " vs " << y << "\n";
+    };
+    field("cycles", a.cycles, b.cycles);
+    field("issuedInstrs", a.issuedInstrs, b.issuedInstrs);
+    field("threadInstrs", a.threadInstrs, b.threadInstrs);
+    field("scoreboardStalls", a.scoreboardStalls, b.scoreboardStalls);
+    field("allocStallEvents", a.allocStallEvents, b.allocStallEvents);
+    field("spillEvents", a.spillEvents, b.spillEvents);
+    field("spilledRegs", a.spilledRegs, b.spilledRegs);
+    field("refilledRegs", a.refilledRegs, b.refilledRegs);
+    field("peakResidentWarps", a.peakResidentWarps, b.peakResidentWarps);
+    field("completedCtas", a.completedCtas, b.completedCtas);
+    field("dram.requests", a.dram.requests, b.dram.requests);
+    field("dram.transactions", a.dram.transactions, b.dram.transactions);
+    field("dram.queueCycles", a.dram.queueCycles, b.dram.queueCycles);
+    field("rf.allocations", a.rf.allocations, b.rf.allocations);
+    field("rf.allocWatermark", a.rf.allocWatermark, b.rf.allocWatermark);
+    field("rename.spills", a.rename.spills, b.rename.spills);
+    field("rename.refills", a.rename.refills, b.rename.refills);
+    return os.str();
+}
+
+class ParallelEquivalence : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ParallelEquivalence, BitIdenticalToSequential)
+{
+    const Case &c = GetParam();
+    const RunOutput seq = runCase(c, 0);
+    const RunOutput par = runCase(c, 4);
+    EXPECT_TRUE(seq.sim == par.sim)
+        << "SimResult diverged:\n" << diffResults(seq.sim, par.sim);
+    EXPECT_EQ(seq.memory, par.memory) << "final memory image diverged";
+}
+
+std::vector<Case>
+allCases()
+{
+    // Every workload in baseline mode, plus virtualized and
+    // half-size-RF (shrink) variants to exercise the rename/spill
+    // paths, and an 8-SM subset matching the scaling-bench shape.
+    std::vector<Case> cases;
+    for (const auto &w : allWorkloads()) {
+        cases.push_back({w->name(), RegFileMode::kBaseline, false,
+                         128 * 1024, 2});
+        cases.push_back({w->name(), RegFileMode::kVirtualized, true,
+                         128 * 1024, 2});
+        cases.push_back({w->name(), RegFileMode::kVirtualized, true,
+                         64 * 1024, 2});
+    }
+    for (const char *name : {"MatrixMul", "Reduction", "MUM", "BFS"}) {
+        cases.push_back({name, RegFileMode::kVirtualized, true,
+                         64 * 1024, 8});
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, ParallelEquivalence,
+                         ::testing::ValuesIn(allCases()), caseName);
+
+TEST(ParallelEquivalence, MoreThreadsThanSmsIsClamped)
+{
+    // Worker count far above the SM count must still work (the pool
+    // is capped at numSms - 1 workers plus the coordinator).
+    const Case c{"VectorAdd", RegFileMode::kBaseline, false, 128 * 1024,
+                 2};
+    const RunOutput seq = runCase(c, 0);
+    const RunOutput par = runCase(c, 64);
+    EXPECT_TRUE(seq.sim == par.sim)
+        << diffResults(seq.sim, par.sim);
+}
+
+TEST(ParallelEquivalence, SingleSmParallelFallsBackToSequential)
+{
+    const Case c{"Gaussian", RegFileMode::kBaseline, false, 128 * 1024,
+                 1};
+    const RunOutput seq = runCase(c, 0);
+    const RunOutput par = runCase(c, 4);
+    EXPECT_TRUE(seq.sim == par.sim)
+        << diffResults(seq.sim, par.sim);
+}
+
+} // namespace
+} // namespace rfv

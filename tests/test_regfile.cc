@@ -379,5 +379,19 @@ TEST(FlagCache, ResetDropsEntries)
     EXPECT_FALSE(cache.access(1));
 }
 
+TEST(FlagCache, ResetClearsStats)
+{
+    // A kernel switch must not carry hit/miss counts into the next
+    // kernel's statistics.
+    ReleaseFlagCache cache(8);
+    cache.access(1);
+    cache.access(1);
+    ASSERT_EQ(cache.stats().hits, 1u);
+    ASSERT_EQ(cache.stats().misses, 1u);
+    cache.reset();
+    EXPECT_EQ(cache.stats().hits, 0u);
+    EXPECT_EQ(cache.stats().misses, 0u);
+}
+
 } // namespace
 } // namespace rfv
