@@ -7,11 +7,17 @@
  * Usage:
  *   run_workload <workload|all> [--config=baseline|virtualized|
  *                                         shrink50|spill50|hwonly]
- *                [--sms=N] [--rounds=N] [--gating] [--csv]
+ *                [--sms=N] [--rounds=N] [--gating] [--csv] [--verify]
+ *
+ * --verify runs the static release-flag soundness verifier on each
+ * compiled kernel and enables the runtime register-lifecycle lint;
+ * diagnostics print with the report and a verification error fails
+ * the run (exit 1).
  *
  * Examples:
  *   run_workload MatrixMul --config=shrink50 --gating
  *   run_workload all --config=virtualized --csv > sweep.csv
+ *   run_workload all --config=virtualized --verify
  */
 #include <iostream>
 
@@ -34,7 +40,7 @@ main(int argc, char **argv)
     const std::string target = argv[1];
     std::string configName = "virtualized";
     u32 sms = 4, rounds = 3;
-    bool gating = false, csv = false;
+    bool gating = false, csv = false, verify = false;
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--config=", 0) == 0)
@@ -47,6 +53,8 @@ main(int argc, char **argv)
             gating = true;
         else if (arg == "--csv")
             csv = true;
+        else if (arg == "--verify")
+            verify = true;
         else {
             std::cerr << "unknown option " << arg << "\n";
             return 2;
@@ -70,6 +78,7 @@ main(int argc, char **argv)
     }
     cfg.numSms = sms;
     cfg.roundsPerSm = rounds;
+    cfg.verifyReleases = verify;
 
     std::vector<std::shared_ptr<Workload>> targets;
     if (target == "all") {
@@ -78,6 +87,7 @@ main(int argc, char **argv)
         targets.push_back(findWorkload(target));
     }
 
+    bool verifyFailed = false;
     try {
         Simulator sim(cfg);
         if (csv)
@@ -88,10 +98,11 @@ main(int argc, char **argv)
                 std::cout << csvRow(out) << "\n";
             else
                 std::cout << summarize(out) << "\n";
+            verifyFailed |= out.verified && !out.verify.ok();
         }
     } catch (const std::exception &e) {
         std::cerr << e.what() << "\n";
         return 1;
     }
-    return 0;
+    return verifyFailed ? 1 : 0;
 }

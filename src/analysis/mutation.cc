@@ -1,0 +1,88 @@
+#include "analysis/mutation.h"
+
+#include <sstream>
+
+#include "common/error.h"
+#include "isa/metadata.h"
+
+namespace rfv {
+
+namespace {
+
+/**
+ * pc of the regular instruction covered by slot @p slot of the pir at
+ * @p meta_pc, or kInvalidPc when the slot runs past the coverage span.
+ * Mirrors the coverage rule of Program::validate(): slots bind to the
+ * regular instructions following the pir until the next metadata
+ * instruction takes over.
+ */
+u32
+coveredInstruction(const Program &prog, u32 meta_pc, u32 slot)
+{
+    u32 cur = 0;
+    for (u32 q = meta_pc + 1; q < prog.code.size() && cur <= slot; ++q) {
+        if (isMeta(prog.code[q].op))
+            return kInvalidPc;
+        if (cur == slot)
+            return q;
+        ++cur;
+    }
+    return kInvalidPc;
+}
+
+} // namespace
+
+std::string
+ReleaseMutation::str() const
+{
+    std::ostringstream os;
+    os << (isPir ? "pir" : "pbr") << "@pc" << metaPc << " bit " << bit;
+    if (isPir) {
+        os << " (slot " << bit / 3 << " op " << bit % 3;
+        if (coveredPc != kInvalidPc)
+            os << " -> pc " << coveredPc;
+        os << ')';
+    } else {
+        os << " (slot " << bit / 6 << ')';
+    }
+    return os.str();
+}
+
+std::vector<ReleaseMutation>
+enumerateReleaseMutations(const Program &prog)
+{
+    std::vector<ReleaseMutation> muts;
+    for (u32 pc = 0; pc < prog.code.size(); ++pc) {
+        const Instr &ins = prog.code[pc];
+        if (!isMeta(ins.op))
+            continue;
+        const bool pir = ins.op == Opcode::kPir;
+        for (u32 bit = 0; bit < 54; ++bit) {
+            ReleaseMutation m;
+            m.metaPc = pc;
+            m.bit = bit;
+            m.isPir = pir;
+            if (pir)
+                m.coveredPc = coveredInstruction(prog, pc, bit / 3);
+            muts.push_back(m);
+        }
+    }
+    return muts;
+}
+
+Program
+applyReleaseMutation(const Program &prog, const ReleaseMutation &m)
+{
+    Program out = prog;
+    panicIf(m.metaPc >= out.code.size(), "mutation pc out of range");
+    Instr &meta = out.code[m.metaPc];
+    panicIf(!isMeta(meta.op), "mutation target is not metadata");
+    meta.metaPayload ^= 1ull << m.bit;
+    if (m.isPir && m.coveredPc != kInvalidPc) {
+        out.code[m.coveredPc].pirMask ^=
+            static_cast<u8>(1u << (m.bit % 3));
+    }
+    return out;
+}
+
+} // namespace rfv

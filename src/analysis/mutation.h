@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Mutation harness for the release-flag verifier.
+ *
+ * A verifier is only as good as its ability to notice broken metadata.
+ * This harness enumerates every single-bit flip of every pir/pbr
+ * payload in a compiled program and produces the mutant programs, so a
+ * test can assert that the static verifier (or, failing that, the
+ * runtime register-lifecycle lint) detects the corruption.
+ *
+ * pir payload flips are mirrored into the covered instruction's
+ * authoritative Instr::pirMask: the simulator releases from pirMask,
+ * so a payload-only flip would merely desynchronize the two encodings
+ * (which the verifier flags structurally) without changing behavior.
+ * Mirroring makes the mutation *semantic* — the release schedule
+ * itself changes — which is the interesting case to detect.  Flips in
+ * slots that cover no instruction stay payload-only and must be caught
+ * as non-canonical metadata.
+ */
+#ifndef RFV_ANALYSIS_MUTATION_H
+#define RFV_ANALYSIS_MUTATION_H
+
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+
+namespace rfv {
+
+/** One single-bit release-flag mutation. */
+struct ReleaseMutation {
+    u32 metaPc = 0;   //!< pc of the pir/pbr whose payload is flipped
+    u32 bit = 0;      //!< payload bit index in [0, 54)
+    bool isPir = false;
+    u32 coveredPc = kInvalidPc; //!< regular pc whose pirMask mirrors the
+                                //!< flip, kInvalidPc if slot is uncovered
+
+    std::string str() const;
+};
+
+/** All single-bit payload flips available in @p prog. */
+std::vector<ReleaseMutation> enumerateReleaseMutations(const Program &prog);
+
+/** Return @p prog with @p m applied (payload + mirrored pirMask). */
+Program applyReleaseMutation(const Program &prog, const ReleaseMutation &m);
+
+} // namespace rfv
+
+#endif // RFV_ANALYSIS_MUTATION_H

@@ -6,13 +6,15 @@
 
 namespace rfv {
 
-Cfg::Cfg(const Program &prog)
+Cfg::Cfg(const Program &prog, bool allow_metadata)
 {
     const auto &code = prog.code;
     const u32 n = static_cast<u32>(code.size());
     panicIf(n == 0, "cannot build CFG of empty program");
-    for (const auto &ins : code)
-        panicIf(isMeta(ins.op), "CFG requires a metadata-free program");
+    if (!allow_metadata) {
+        for (const auto &ins : code)
+            panicIf(isMeta(ins.op), "CFG requires a metadata-free program");
+    }
 
     // Identify leaders.
     std::vector<bool> leader(n, false);

@@ -5,6 +5,12 @@
  * Built on programs that do not yet contain metadata instructions (the
  * compile pipeline inserts pir/pbr after all analyses).  Basic blocks
  * are contiguous pc ranges; block ids are assigned in layout order.
+ *
+ * The release-flag verifier re-analyzes *compiled* programs, where
+ * pir/pbr metadata sits in the instruction stream; constructing with
+ * allowMetadata treats metadata as straight-line block members (the
+ * compiler repatches every branch target to its block's metadata
+ * prologue, so metadata never starts a block mid-edge).
  */
 #ifndef RFV_COMPILER_CFG_H
 #define RFV_COMPILER_CFG_H
@@ -27,8 +33,11 @@ struct BasicBlock {
 /** Control-flow graph of a program. */
 class Cfg {
   public:
-    /** Build the CFG; the program must not contain metadata. */
-    explicit Cfg(const Program &prog);
+    /**
+     * Build the CFG.  Unless @p allowMetadata is set, the program must
+     * not contain pir/pbr metadata instructions.
+     */
+    explicit Cfg(const Program &prog, bool allowMetadata = false);
 
     const std::vector<BasicBlock> &blocks() const { return blocks_; }
     u32 numBlocks() const { return static_cast<u32>(blocks_.size()); }

@@ -15,7 +15,8 @@ csvHeader()
            "spilled_regs,dram_requests,dram_transactions,"
            "energy_dynamic_j,energy_static_j,energy_rename_j,"
            "energy_flag_j,energy_total_j,static_regular,static_meta,"
-           "num_exempt,demoted_regs";
+           "num_exempt,demoted_regs,verify_errors,verify_warnings,"
+           "releases_checked";
 }
 
 std::string
@@ -37,7 +38,9 @@ csvRow(const RunOutcome &o)
        << o.energy.staticJ << ',' << o.energy.renameTableJ << ','
        << o.energy.flagInstrJ << ',' << o.energy.totalJ() << ','
        << o.compile.staticRegular << ',' << o.compile.staticMeta << ','
-       << o.compile.numExempt << ',' << o.compile.demotedRegs;
+       << o.compile.numExempt << ',' << o.compile.demotedRegs << ','
+       << o.verify.numErrors << ',' << o.verify.numWarnings << ','
+       << o.verify.releasesChecked;
     return os.str();
 }
 
@@ -58,6 +61,15 @@ summarize(const RunOutcome &o)
        << o.energy.staticJ * 1e6 << ", renaming "
        << o.energy.renameTableJ * 1e6 << ", metadata "
        << o.energy.flagInstrJ * 1e6 << ")\n";
+    if (o.verified) {
+        os << "  release verification: "
+           << (o.verify.ok() ? "PASS" : "FAIL") << " ("
+           << o.verify.releasesChecked << " releases checked, "
+           << o.verify.numErrors << " errors, " << o.verify.numWarnings
+           << " warnings)\n";
+        for (const auto &d : o.verify.diags)
+            os << "    " << d.str() << "\n";
+    }
     return os.str();
 }
 

@@ -36,6 +36,15 @@ struct RunConfig {
      */
     bool compilerSpill = false;
 
+    /**
+     * Verification mode: run the static release-flag soundness
+     * verifier over the compiled program and enable the runtime
+     * register-lifecycle lint (poisoned frees, trapped reads of
+     * released/never-written registers).  Diagnostics land in
+     * RunOutcome::verify and the report output.
+     */
+    bool verifyReleases = false;
+
     u32 numSms = 4;
     u32 roundsPerSm = 3; //!< grid scaling (0 = full Table-1 grid)
 

@@ -21,6 +21,7 @@ Simulator::gpuConfig() const
     gpu.regFile.wakeupLatency = cfg_.wakeupLatency;
     gpu.regFile.flagCacheEntries = cfg_.flagCacheEntries;
     gpu.regFile.bankRestrictedRenaming = cfg_.bankRestricted;
+    gpu.regFile.lifecycleLint = cfg_.verifyReleases;
     gpu.validate();
     return gpu;
 }
@@ -77,6 +78,14 @@ Simulator::runProgram(const Program &input, const LaunchParams &launch,
     out.configLabel = cfg_.label;
     out.launch = launch;
     out.compile = ck.stats;
+
+    if (cfg_.verifyReleases) {
+        // Static soundness pass over the compiled program.  The run
+        // proceeds even on errors: the runtime lifecycle lint (enabled
+        // alongside) then pinpoints the dynamic manifestation.
+        out.verified = true;
+        out.verify = verifyReleaseSoundness(ck.program);
+    }
 
     Gpu machine(gpu, ck.program, launch, mem, std::move(hooks));
     out.sim = machine.run();

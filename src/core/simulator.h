@@ -6,6 +6,7 @@
 #ifndef RFV_CORE_SIMULATOR_H
 #define RFV_CORE_SIMULATOR_H
 
+#include "analysis/verifier.h"
 #include "compiler/pipeline.h"
 #include "core/run_config.h"
 #include "power/energy_model.h"
@@ -21,6 +22,10 @@ struct RunOutcome {
     CompileStats compile;
     SimResult sim;
     EnergyBreakdown energy;
+
+    /** True when RunConfig::verifyReleases ran the static verifier. */
+    bool verified = false;
+    VerifyResult verify;
 };
 
 /**

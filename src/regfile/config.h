@@ -65,6 +65,14 @@ struct RegFileConfig {
     /** Overwrite released registers with a poison pattern (testing). */
     bool poisonOnRelease = false;
 
+    /**
+     * Debug lint: track a per-(warp, architected-register) lifecycle
+     * state machine and trap reads of released or never-written
+     * registers with a precise diagnostic.  Implies poisonOnRelease so
+     * any stale value that escapes the trap is at least deterministic.
+     */
+    bool lifecycleLint = false;
+
     /** Release-flag cache entries (0 disables the cache). */
     u32 flagCacheEntries = 10;
 

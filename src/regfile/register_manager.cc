@@ -4,8 +4,22 @@
 
 namespace rfv {
 
+namespace {
+
+/** The lifecycle lint implies poisoned frees (see RegFileConfig). */
+RegFileConfig
+withLintAdjustments(RegFileConfig cfg)
+{
+    if (cfg.lifecycleLint)
+        cfg.poisonOnRelease = true;
+    return cfg;
+}
+
+} // namespace
+
 RegisterManager::RegisterManager(const RegFileConfig &cfg, u32 max_warp_slots)
-    : cfg_(cfg), maxWarpSlots_(max_warp_slots), file_(cfg)
+    : cfg_(withLintAdjustments(cfg)), maxWarpSlots_(max_warp_slots),
+      file_(cfg_)
 {
     fatalIf(max_warp_slots == 0, "SM needs at least one warp slot");
     configureKernel(0, 0);
@@ -28,6 +42,8 @@ RegisterManager::configureKernel(u32 regs_per_warp, u32 num_exempt)
     file_ = PhysRegFile(cfg_);
     mapping_.assign(maxWarpSlots_ * (kMaxArchRegs + 1), kInvalidPhysReg);
     state_.assign(mapping_.size(), RegState::kUnmapped);
+    lint_.assign(cfg_.lifecycleLint ? mapping_.size() : 0,
+                 RegLifecycle::kFresh);
     spillStore_.assign(mapping_.size(), WarpValue{});
     ctaAlloc_.assign(maxWarpSlots_, 0); // at most one CTA per warp slot
     mapped_ = 0;
@@ -130,6 +146,8 @@ RegisterManager::completeCta(u32 cta_slot, u32 first_warp_slot,
                 freeMapping(w, cta_slot, r);
             else
                 state_[idx] = RegState::kUnmapped;
+            if (cfg_.lifecycleLint)
+                lint_[idx] = RegLifecycle::kFresh;
         }
     }
 }
@@ -222,6 +240,36 @@ RegisterManager::countOperandWrite(u32 warp_slot, u32 reg)
     file_.countWrite(physOf(warp_slot, reg));
     if (cfg_.mode != RegFileMode::kBaseline && reg >= fixedExempt_)
         ++renameStats_.lookups;
+    if (cfg_.lifecycleLint)
+        lint_[slotIndex(warp_slot, reg)] = RegLifecycle::kWritten;
+}
+
+void
+RegisterManager::lintCheckRead(u32 warp_slot, u32 reg) const
+{
+    if (!cfg_.lifecycleLint)
+        return;
+    switch (lint_[slotIndex(warp_slot, reg)]) {
+      case RegLifecycle::kWritten:
+        return;
+      case RegLifecycle::kFresh:
+        panic("lifecycle lint: read of never-written register r" +
+              std::to_string(reg) + " of warp slot " +
+              std::to_string(warp_slot));
+      case RegLifecycle::kReleased:
+        panic("lifecycle lint: read of released register r" +
+              std::to_string(reg) + " of warp slot " +
+              std::to_string(warp_slot) +
+              " (value freed by a pir/pbr flag and poisoned)");
+    }
+}
+
+RegLifecycle
+RegisterManager::lifecycle(u32 warp_slot, u32 reg) const
+{
+    if (!cfg_.lifecycleLint)
+        return RegLifecycle::kWritten;
+    return lint_[slotIndex(warp_slot, reg)];
 }
 
 void
@@ -250,6 +298,8 @@ RegisterManager::releaseReg(u32 warp_slot, u32 cta_slot, u32 reg)
         return; // releasing an absent mapping is a no-op by design
     freeMapping(warp_slot, cta_slot, reg);
     ++renameStats_.updates;
+    if (cfg_.lifecycleLint)
+        lint_[idx] = RegLifecycle::kReleased;
 }
 
 std::vector<u32>

@@ -45,6 +45,15 @@ struct RenameStats {
 /** Mapping state of one architected register of one warp slot. */
 enum class RegState : u8 { kUnmapped, kMapped, kSpilled };
 
+/**
+ * Lifecycle-lint state of one architected register of one warp slot.
+ * Orthogonal to RegState: RegState tracks the physical mapping, the
+ * lifecycle tracks whether the *value* is trustworthy.  Reads are legal
+ * only in kWritten; a read in kFresh sees an undefined value and a read
+ * in kReleased sees a freed (poisoned) one.
+ */
+enum class RegLifecycle : u8 { kFresh, kWritten, kReleased };
+
 /** Per-SM register manager. */
 class RegisterManager {
   public:
@@ -94,6 +103,19 @@ class RegisterManager {
 
     /** Account a warp-wide result write. */
     void countOperandWrite(u32 warpSlot, u32 reg);
+
+    /**
+     * Lifecycle lint (RegFileConfig::lifecycleLint): throw an
+     * InternalError when a read would observe a released or
+     * never-written register.  The simulator's issue path wraps the
+     * call and annotates the error with (pc, instruction); this
+     * message carries (warp slot, register, state).  No-op when the
+     * lint is disabled.
+     */
+    void lintCheckRead(u32 warpSlot, u32 reg) const;
+
+    /** Current lint state (kWritten when the lint is disabled). */
+    RegLifecycle lifecycle(u32 warpSlot, u32 reg) const;
 
     /**
      * Release an architected register (pir/pbr).  No-op for exempt or
@@ -156,6 +178,7 @@ class RegisterManager {
 
     std::vector<u32> mapping_;   //!< (slot, reg) -> phys
     std::vector<RegState> state_;
+    std::vector<RegLifecycle> lint_; //!< populated only when linting
     std::vector<WarpValue> spillStore_;
     std::vector<u32> ctaAlloc_;  //!< registers held per CTA slot
     u32 mapped_ = 0;

@@ -280,6 +280,10 @@ Sm::readOperand(u32 warp_idx, const Operand &op)
     if (op.isImm()) {
         out.fill(op.value);
     } else if (op.isReg()) {
+        // Reads only happen on the issue path with a non-empty exec
+        // mask, so a lint trap here is a real architectural read of a
+        // released or never-written register, not a predicated-off one.
+        mgr_.lintCheckRead(warp_idx, op.value);
         out = mgr_.values(warp_idx, op.value);
     }
     return out;
@@ -458,6 +462,11 @@ Sm::attemptIssue(u32 warp_idx, Cycle now)
         for (const auto &src : ins.src) {
             if (!src.isReg())
                 continue;
+            // Lint before the bank lookup: physOf panics on unmapped
+            // registers, and the lint's released/never-written message
+            // is the precise diagnosis of why the mapping is absent.
+            if (exec_mask != 0)
+                mgr_.lintCheckRead(warp_idx, src.value);
             mgr_.countOperandRead(warp_idx, src.value);
             const u32 bank = mgr_.physBankOf(warp_idx, src.value);
             conflicts += bankPortUse_[bank];
@@ -680,10 +689,11 @@ Sm::execute(Warp &w, u32 warp_idx, const Instr &ins, u32 exec_mask,
             // One coalesced warp-wide transaction per local slot; the
             // synthetic address keys the slot into the data cache
             // (bit 31 separates the local space from global).
-            const u32 synth = 0x80000000u |
-                              ((warp_idx * localMem_[warp_idx].size() +
-                                ins.localSlot) *
-                               128u);
+            const u32 synth =
+                0x80000000u |
+                static_cast<u32>((warp_idx * localMem_[warp_idx].size() +
+                                  ins.localSlot) *
+                                 128u);
             const auto timing = dramLoadTiming({synth}, now);
             completion = timing.first;
             is_dram_load = timing.second;
@@ -752,10 +762,11 @@ Sm::execute(Warp &w, u32 warp_idx, const Instr &ins, u32 exec_mask,
             // Local memory is cached write-back/write-allocate on
             // Fermi: with the L1 enabled a store hit costs no DRAM
             // bandwidth (dirty evictions are not modeled).
-            const u32 synth = 0x80000000u |
-                              ((warp_idx * localMem_[warp_idx].size() +
-                                ins.localSlot) *
-                               128u);
+            const u32 synth =
+                0x80000000u |
+                static_cast<u32>((warp_idx * localMem_[warp_idx].size() +
+                                  ins.localSlot) *
+                                 128u);
             if (dcache_.enabled()) {
                 if (dcache_.access(synth))
                     ++stats_.dcacheHits;
@@ -1021,7 +1032,8 @@ Sm::step(Cycle now)
                 demoteWarp(wi);
         }
         if (!readyQueue_.empty())
-            lrrCursor_ = (lrrCursor_ + 1) % readyQueue_.size();
+            lrrCursor_ = static_cast<u32>((lrrCursor_ + 1) %
+                                          readyQueue_.size());
     }
     refillReadyQueue();
 

@@ -199,14 +199,14 @@ class Generator {
         b_.guard(static_cast<i32>(p), true).bra(elseL);
 
         const auto before = initialized_;
-        body(depth + 1, 1 + rng_.below(3));
+        body(depth + 1, 1 + static_cast<u32>(rng_.below(3)));
         const auto thenInit = initialized_;
         b_.bra(joinL);
 
         b_.label(elseL);
         initialized_ = before;
         if (rng_.chance(3, 4))
-            body(depth + 1, 1 + rng_.below(3));
+            body(depth + 1, 1 + static_cast<u32>(rng_.below(3)));
         const auto elseInit = initialized_;
 
         b_.label(joinL);
@@ -251,7 +251,7 @@ class Generator {
             b_.and_(lim, R(tid_), I(3));
         }
         b_.label(topL);
-        body(depth + 1, 1 + rng_.below(3));
+        body(depth + 1, 1 + static_cast<u32>(rng_.below(3)));
         b_.iadd(counter, R(counter), I(1));
         if (divergent) {
             b_.setp(p, CmpOp::kLe, R(counter), R(lim));

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Mutation coverage for the release-flag verifier.
+ *
+ * Every single-bit flip of a pir/pbr payload in a compiled program is
+ * a potential silent correctness bug: a register freed one instruction
+ * early, or a register that never gets freed.  The defense is layered —
+ * the static verifier should notice almost everything by re-deriving
+ * liveness, and whatever it cannot prove wrong must trip the runtime
+ * register-lifecycle lint when the mutant executes.  This test
+ * enumerates the flips and asserts the layered detection rate is at
+ * least 95%.
+ *
+ * Detection criteria:
+ *  - static: the mutant's diagnostic key set differs from the clean
+ *    program's (new findings appearing or old ones vanishing both
+ *    count — a vanished leak warning means a release moved).
+ *  - runtime: executing the mutant under the lifecycle lint (poisoned
+ *    frees, read traps) raises InternalError.
+ */
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+
+#include "analysis/mutation.h"
+#include "analysis/verifier.h"
+#include "common/error.h"
+#include "compiler/pipeline.h"
+#include "isa/builder.h"
+#include "sim/gpu.h"
+#include "workloads/workload.h"
+
+namespace rfv {
+namespace {
+
+using MemSetup = std::function<void(GlobalMemory &)>;
+
+std::set<u64>
+diagKeys(const VerifyResult &r)
+{
+    std::set<u64> keys;
+    for (const auto &d : r.diags)
+        keys.insert(d.key());
+    return keys;
+}
+
+struct Tally {
+    u32 total = 0;
+    u32 staticHits = 0;
+    u32 runtimeHits = 0;
+    std::vector<std::string> missed;
+
+    double
+    ratio() const
+    {
+        return total ? static_cast<double>(staticHits + runtimeHits) /
+                           static_cast<double>(total)
+                     : 1.0;
+    }
+};
+
+/** True when running @p mutant under the lifecycle lint traps. */
+bool
+runtimeDetects(const Program &mutant, const LaunchParams &launch,
+               u32 mem_bytes, const MemSetup &setup)
+{
+    GpuConfig cfg;
+    cfg.numSms = 1;
+    cfg.regFile.mode = RegFileMode::kVirtualized;
+    cfg.regFile.lifecycleLint = true;
+    cfg.maxCycles = 1'000'000;
+    GlobalMemory mem(mem_bytes);
+    if (setup)
+        setup(mem);
+    try {
+        Gpu gpu(cfg, mutant, launch, mem);
+        gpu.run();
+    } catch (const InternalError &) {
+        return true; // lint trap or validator panic: detected
+    }
+    return false;
+}
+
+/**
+ * Enumerate (deterministically sampled) release-bit flips of
+ * @p compiled and record which layer catches each one.
+ */
+void
+tallyProgram(const Program &compiled, const LaunchParams &launch,
+             u32 mem_bytes, const MemSetup &setup, Tally &tally,
+             u32 sample_cap = 600)
+{
+    const VerifyResult base = verifyReleaseSoundness(compiled);
+    EXPECT_TRUE(base.ok()) << compiled.name << ":\n" << base.str();
+    const std::set<u64> base_keys = diagKeys(base);
+
+    const std::vector<ReleaseMutation> muts =
+        enumerateReleaseMutations(compiled);
+    EXPECT_FALSE(muts.empty()) << compiled.name;
+    const size_t stride =
+        muts.size() > sample_cap ? muts.size() / sample_cap + 1 : 1;
+
+    for (size_t i = 0; i < muts.size(); i += stride) {
+        const Program mutant = applyReleaseMutation(compiled, muts[i]);
+        ++tally.total;
+        if (diagKeys(verifyReleaseSoundness(mutant)) != base_keys) {
+            ++tally.staticHits;
+            continue;
+        }
+        if (runtimeDetects(mutant, launch, mem_bytes, setup)) {
+            ++tally.runtimeHits;
+            continue;
+        }
+        tally.missed.push_back(compiled.name + ": " + muts[i].str());
+    }
+}
+
+void
+expectDetectionRate(const Tally &tally)
+{
+    ASSERT_GT(tally.total, 0u);
+    std::cout << "[ mutation ] " << tally.total << " flips: "
+              << tally.staticHits << " static, " << tally.runtimeHits
+              << " runtime, " << tally.missed.size() << " missed\n";
+    std::string missed;
+    for (size_t i = 0; i < tally.missed.size() && i < 10; ++i)
+        missed += "\n  missed: " + tally.missed[i];
+    EXPECT_GE(tally.ratio(), 0.95)
+        << tally.staticHits << " static + " << tally.runtimeHits
+        << " runtime of " << tally.total << " mutations" << missed;
+}
+
+void
+tallyWorkload(const std::string &name, bool aggressive, Tally &tally)
+{
+    const auto w = findWorkload(name);
+    CompileOptions opts;
+    opts.virtualize = true;
+    opts.aggressiveDiverged = aggressive;
+    const CompiledKernel ck = compileKernel(w->buildKernel(), opts);
+
+    const LaunchParams launch = w->scaledLaunch(1, 1);
+    const u32 mem_bytes = w->memoryBytes(launch);
+    tallyProgram(
+        ck.program, launch, mem_bytes,
+        [&](GlobalMemory &mem) { w->setup(mem, launch); }, tally);
+}
+
+TEST(VerifierMutation, VectorAddConservative)
+{
+    Tally tally;
+    tallyWorkload("VectorAdd", /*aggressive=*/false, tally);
+    expectDetectionRate(tally);
+}
+
+TEST(VerifierMutation, BfsConservative)
+{
+    // BFS is the divergence-heavy workload: pbr releases at
+    // reconvergence points dominate its metadata.
+    Tally tally;
+    tallyWorkload("BFS", /*aggressive=*/false, tally);
+    expectDetectionRate(tally);
+}
+
+TEST(VerifierMutation, ReductionAggressive)
+{
+    Tally tally;
+    tallyWorkload("Reduction", /*aggressive=*/true, tally);
+    expectDetectionRate(tally);
+}
+
+/** Same diverged-within-diverged kernel shape as test_verifier.cc. */
+Program
+nestedIfKernel()
+{
+    KernelBuilder b("nested_if");
+    const u32 tid = b.reg(), a = b.reg(), x = b.reg(), y = b.reg();
+    b.s2r(tid, SpecialReg::kTid);
+    b.mov(a, I(7));
+    b.mov(x, I(1));
+    b.setp(0, CmpOp::kLt, R(tid), I(16));
+    b.guard(0, /*negated=*/true).bra("outer_join");
+    b.setp(1, CmpOp::kLt, R(tid), I(8));
+    b.guard(1, /*negated=*/true).bra("inner_join");
+    b.iadd(x, R(a), R(tid));
+    b.label("inner_join");
+    b.iadd(x, R(x), I(3));
+    b.label("outer_join");
+    b.iadd(y, R(x), I(1));
+    b.exit();
+    return b.build();
+}
+
+TEST(VerifierMutation, NestedDivergenceBothModes)
+{
+    const Program input = nestedIfKernel();
+    LaunchParams launch;
+    launch.gridCtas = 1;
+    launch.threadsPerCta = 64;
+
+    Tally tally;
+    for (const bool aggressive : {false, true}) {
+        CompileOptions opts;
+        opts.virtualize = true;
+        opts.aggressiveDiverged = aggressive;
+        const CompiledKernel ck = compileKernel(input, opts);
+        tallyProgram(ck.program, launch, /*mem_bytes=*/256, {}, tally);
+    }
+    expectDetectionRate(tally);
+}
+
+} // namespace
+} // namespace rfv
