@@ -38,7 +38,8 @@ snapshot(const char *label, RegFileMode mode, bool virtualize,
 
     DramModel dram(cfg.globalLatency, cfg.dramCyclesPerTransaction);
     TraceHooks hooks;
-    Sm sm(0, cfg, ck.program, launch, mem, dram, hooks);
+    DecodeCache decode(ck.program, cfg);
+    Sm sm(0, cfg, ck.program, decode, launch, mem, dram, hooks);
     u32 next = 0;
     Cycle cycle = 0;
     // Run to the middle of the kernel and stop.

@@ -8,16 +8,23 @@
  *   run_workload <workload|all> [--config=baseline|virtualized|
  *                                         shrink50|spill50|hwonly]
  *                [--sms=N] [--rounds=N] [--gating] [--csv] [--verify]
+ *                [--loop=event|naive] [--progress]
  *
  * --verify runs the static release-flag soundness verifier on each
  * compiled kernel and enables the runtime register-lifecycle lint;
  * diagnostics print with the report and a verification error fails
  * the run (exit 1).
  *
+ * --loop selects the cycle loop (event-driven fast-forward is the
+ * default; naive steps every cycle and is the equivalence oracle).
+ * --progress prints, per run, how many cycles the loop actually
+ * stepped vs. fast-forwarded and how many per-SM steps were elided.
+ *
  * Examples:
  *   run_workload MatrixMul --config=shrink50 --gating
  *   run_workload all --config=virtualized --csv > sweep.csv
  *   run_workload all --config=virtualized --verify
+ *   run_workload BFS --config=baseline --progress
  */
 #include <iostream>
 
@@ -39,8 +46,9 @@ main(int argc, char **argv)
     }
     const std::string target = argv[1];
     std::string configName = "virtualized";
+    std::string loopName = "event";
     u32 sms = 4, rounds = 3;
-    bool gating = false, csv = false, verify = false;
+    bool gating = false, csv = false, verify = false, progress = false;
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--config=", 0) == 0)
@@ -49,16 +57,25 @@ main(int argc, char **argv)
             sms = static_cast<u32>(std::stoul(arg.substr(6)));
         else if (arg.rfind("--rounds=", 0) == 0)
             rounds = static_cast<u32>(std::stoul(arg.substr(9)));
+        else if (arg.rfind("--loop=", 0) == 0)
+            loopName = arg.substr(7);
         else if (arg == "--gating")
             gating = true;
         else if (arg == "--csv")
             csv = true;
         else if (arg == "--verify")
             verify = true;
+        else if (arg == "--progress")
+            progress = true;
         else {
             std::cerr << "unknown option " << arg << "\n";
             return 2;
         }
+    }
+    if (loopName != "event" && loopName != "naive") {
+        std::cerr << "unknown loop " << loopName
+                  << " (expected event or naive)\n";
+        return 2;
     }
 
     RunConfig cfg;
@@ -79,6 +96,7 @@ main(int argc, char **argv)
     cfg.numSms = sms;
     cfg.roundsPerSm = rounds;
     cfg.verifyReleases = verify;
+    cfg.eventDriven = loopName == "event";
 
     std::vector<std::shared_ptr<Workload>> targets;
     if (target == "all") {
@@ -98,6 +116,20 @@ main(int argc, char **argv)
                 std::cout << csvRow(out) << "\n";
             else
                 std::cout << summarize(out) << "\n";
+            if (progress) {
+                const double skipped_pct =
+                    out.sim.cycles
+                        ? 100.0 *
+                              static_cast<double>(out.loop.skippedCycles) /
+                              static_cast<double>(out.sim.cycles)
+                        : 0.0;
+                std::cout << "  [loop] simulated " << out.loop.steppedCycles
+                          << " cycles, fast-forwarded "
+                          << out.loop.skippedCycles << " ("
+                          << skipped_pct << "% of " << out.sim.cycles
+                          << "), elided " << out.loop.smStepsElided
+                          << " per-SM steps\n";
+            }
             verifyFailed |= out.verified && !out.verify.ok();
         }
     } catch (const std::exception &e) {

@@ -44,21 +44,30 @@ panic(const std::string &msg)
     throw InternalError(msg);
 }
 
-/** panic() unless the invariant holds. */
-inline void
-panicIf(bool condition, const std::string &msg)
-{
-    if (condition)
-        panic(msg);
-}
+} // namespace rfv
 
-/** fatal() unless the user-level condition holds. */
-inline void
-fatalIf(bool condition, const std::string &msg)
-{
-    if (condition)
-        fatal(msg);
-}
+/**
+ * panic() unless the invariant holds.
+ *
+ * Macro (as in gem5) so the message expression is evaluated only when
+ * the check fires: call sites build diagnostic strings with
+ * std::to_string chains, and several sit on the simulator's per-cycle
+ * hot path where eager construction dominated the profile.
+ */
+#define panicIf(condition, ...)                                         \
+    do {                                                                \
+        if (condition) [[unlikely]]                                     \
+            ::rfv::panic(__VA_ARGS__);                                  \
+    } while (0)
+
+/** fatal() unless the user-level condition holds.  See panicIf. */
+#define fatalIf(condition, ...)                                         \
+    do {                                                                \
+        if (condition) [[unlikely]]                                     \
+            ::rfv::fatal(__VA_ARGS__);                                  \
+    } while (0)
+
+namespace rfv {
 
 } // namespace rfv
 

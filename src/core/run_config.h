@@ -54,6 +54,14 @@ struct RunConfig {
      */
     u32 numWorkerThreads = 0;
 
+    /**
+     * Event-driven cycle loop with fast-forward over quiescent
+     * windows (default).  Results are bit-identical to the naive
+     * step-every-cycle loop; disable to use the naive loop as the
+     * equivalence oracle or for per-cycle instrumentation baselines.
+     */
+    bool eventDriven = true;
+
     // ---- Named configurations of the paper -----------------------------
 
     /** Classic 128 KB register file. */

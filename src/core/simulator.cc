@@ -15,6 +15,7 @@ Simulator::gpuConfig() const
     GpuConfig gpu;
     gpu.numSms = cfg_.numSms;
     gpu.numWorkerThreads = cfg_.numWorkerThreads;
+    gpu.eventDriven = cfg_.eventDriven;
     gpu.regFile.mode = cfg_.mode;
     gpu.regFile.sizeBytes = cfg_.rfSizeBytes;
     gpu.regFile.powerGating = cfg_.powerGating;
@@ -89,6 +90,7 @@ Simulator::runProgram(const Program &input, const LaunchParams &launch,
 
     Gpu machine(gpu, ck.program, launch, mem, std::move(hooks));
     out.sim = machine.run();
+    out.loop = machine.loopStats();
 
     EnergyParams ep = energyParams_;
     ep.clockGhz = gpu.clockGhz;

@@ -21,6 +21,7 @@ struct RunOutcome {
     LaunchParams launch;
     CompileStats compile;
     SimResult sim;
+    LoopStats loop; //!< cycle-loop accounting (skipped vs stepped)
     EnergyBreakdown energy;
 
     /** True when RunConfig::verifyReleases ran the static verifier. */

@@ -54,4 +54,16 @@ decodePbr(u64 payload)
     return regs;
 }
 
+u32
+decodePbrInto(u64 payload, std::array<u32, kPbrSlots> &regs)
+{
+    u32 n = 0;
+    for (u32 i = 0; i < kPbrSlots; ++i) {
+        const u32 slot = static_cast<u32>(bits(payload, i * 6, 6));
+        if (slot != kPbrEmptySlot)
+            regs[n++] = slot;
+    }
+    return n;
+}
+
 } // namespace rfv

@@ -47,6 +47,13 @@ u64 encodePbr(const std::vector<u32> &regs);
 /** Unpack a pbr payload into the list of register ids it releases. */
 std::vector<u32> decodePbr(u64 payload);
 
+/**
+ * Allocation-free pbr decode for hot paths and predecode passes:
+ * writes the released register ids into @p regs and returns how many
+ * slots are used.  Identical results to decodePbr().
+ */
+u32 decodePbrInto(u64 payload, std::array<u32, kPbrSlots> &regs);
+
 } // namespace rfv
 
 #endif // RFV_ISA_METADATA_H

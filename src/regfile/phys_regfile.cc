@@ -17,6 +17,8 @@ PhysRegFile::PhysRegFile(const RegFileConfig &cfg) : cfg_(cfg)
     // Without power gating every subarray is always on; with gating,
     // empty subarrays start gated.
     subarrayOn_.assign(totalSubarrays(), !cfg_.powerGating);
+    activeCount_ = cfg_.powerGating ? 0 : totalSubarrays();
+    freeCount_ = n;
     touched_.assign(n, false);
     lastOwner_.assign(n, kNoOwner);
     stats_.bankReads.assign(cfg_.numBanks, 0);
@@ -49,11 +51,13 @@ PhysRegFile::onAlloc(u32 phys, u32 &wakeCycles, u32 owner)
     if (owner != kNoOwner)
         lastOwner_[phys] = owner;
     freeBits_[phys / 64] &= ~(1ull << (phys % 64));
+    --freeCount_;
     const u32 sub = subarrayOf(phys);
     ++subarrayAllocCount_[sub];
     wakeCycles = 0;
     if (!subarrayOn_[sub]) {
         subarrayOn_[sub] = true;
+        ++activeCount_;
         ++stats_.wakeEvents;
         wakeCycles = cfg_.wakeupLatency;
     }
@@ -109,10 +113,13 @@ PhysRegFile::release(u32 phys)
 {
     panicIf(!isAllocated(phys), "release of a free register");
     freeBits_[phys / 64] |= 1ull << (phys % 64);
+    ++freeCount_;
     const u32 sub = subarrayOf(phys);
     panicIf(subarrayAllocCount_[sub] == 0, "subarray count underflow");
-    if (--subarrayAllocCount_[sub] == 0 && cfg_.powerGating)
+    if (--subarrayAllocCount_[sub] == 0 && cfg_.powerGating) {
         subarrayOn_[sub] = false;
+        --activeCount_;
+    }
     if (cfg_.poisonOnRelease)
         values_[phys].fill(0xdeadbeefu);
     ++stats_.releases;
@@ -142,10 +149,10 @@ PhysRegFile::freeInBank(u32 bank) const
 u32
 PhysRegFile::freeTotal() const
 {
-    u32 count = 0;
-    for (u32 b = 0; b < cfg_.numBanks; ++b)
-        count += freeInBank(b);
-    return count;
+    // Maintained incrementally in onAlloc()/release(): the SM's
+    // throttle evaluation reads this every cycle, so the bitmap
+    // popcount scan (see freeInBank) would sit on the hot path.
+    return freeCount_;
 }
 
 WarpValue &
@@ -165,10 +172,10 @@ PhysRegFile::values(u32 phys) const
 u32
 PhysRegFile::activeSubarrays() const
 {
-    u32 n = 0;
-    for (bool on : subarrayOn_)
-        n += on ? 1 : 0;
-    return n;
+    // Maintained incrementally on the gating transitions in onAlloc()
+    // and release(): sampleCycle() reads this every simulated cycle,
+    // so a scan over subarrayOn_ would sit on the hot path.
+    return activeCount_;
 }
 
 void
@@ -176,6 +183,14 @@ PhysRegFile::sampleCycle()
 {
     stats_.activeSubarrayCycles += activeSubarrays();
     stats_.sampledCycles += 1;
+}
+
+void
+PhysRegFile::sampleCycles(u64 n)
+{
+    stats_.activeSubarrayCycles +=
+        static_cast<u64>(activeSubarrays()) * n;
+    stats_.sampledCycles += n;
 }
 
 } // namespace rfv

@@ -110,6 +110,21 @@ class PhysRegFile {
     /** Integrate power-gating state for one elapsed cycle. */
     void sampleCycle();
 
+    /**
+     * Integrate @p n cycles of unchanged state at once (event-driven
+     * fast-forward).  Subarray on/off state only changes at alloc and
+     * release events, so sampleCycles(n) over a window with no such
+     * events is exactly n sampleCycle() calls.
+     */
+    void sampleCycles(u64 n);
+
+    /**
+     * Rollback-only: restore a stats snapshot taken before a
+     * speculative alloc sequence (failed CTA launch), so a failed
+     * attempt leaves no trace and retrying it every cycle is a no-op.
+     */
+    void restoreStats(const PhysRegFileStats &s) { stats_ = s; }
+
     /** Number of currently powered-on subarrays. */
     u32 activeSubarrays() const;
 
@@ -139,6 +154,8 @@ class PhysRegFile {
     std::vector<WarpValue> values_;
     std::vector<u32> subarrayAllocCount_;  //!< per (bank,subarray)
     std::vector<bool> subarrayOn_;         //!< powered on?
+    u32 activeCount_ = 0;                  //!< # of true subarrayOn_ bits
+    u32 freeCount_ = 0;                    //!< # of set freeBits_ bits
     std::vector<bool> touched_;
     std::vector<u32> lastOwner_; //!< last warp slot that held each reg
     PhysRegFileStats stats_;

@@ -42,6 +42,7 @@ RegisterManager::configureKernel(u32 regs_per_warp, u32 num_exempt)
     file_ = PhysRegFile(cfg_);
     mapping_.assign(maxWarpSlots_ * (kMaxArchRegs + 1), kInvalidPhysReg);
     state_.assign(mapping_.size(), RegState::kUnmapped);
+    spilledCount_.assign(maxWarpSlots_, 0);
     lint_.assign(cfg_.lifecycleLint ? mapping_.size() : 0,
                  RegLifecycle::kFresh);
     spillStore_.assign(mapping_.size(), WarpValue{});
@@ -94,9 +95,16 @@ RegisterManager::launchCta(u32 cta_slot, u32 first_warp_slot, u32 num_warps)
             "warp slots out of range");
     std::vector<std::pair<u32, u32>> done; // (warpSlot, reg) for rollback
 
+    // A failed launch must be a complete no-op: the dispatcher retries
+    // it every cycle, and the event-driven loop proves those retries
+    // are pure so it can skip them.  The mapping rollback below already
+    // restores the free bitmap; the stats snapshot restores the
+    // alloc/release/watermark counters the speculative allocs bumped.
+    const PhysRegFileStats stats_snapshot = file_.stats();
     auto rollback = [&]() {
         for (auto [w, r] : done)
             freeMapping(w, cta_slot, r);
+        file_.restoreStats(stats_snapshot);
     };
 
     if (cfg_.mode == RegFileMode::kBaseline) {
@@ -149,6 +157,7 @@ RegisterManager::completeCta(u32 cta_slot, u32 first_warp_slot,
             if (cfg_.lifecycleLint)
                 lint_[idx] = RegLifecycle::kFresh;
         }
+        spilledCount_[w] = 0;
     }
 }
 
@@ -322,6 +331,7 @@ RegisterManager::spillReg(u32 warp_slot, u32 cta_slot, u32 reg)
     spillStore_[idx] = file_.values(mapping_[idx]);
     freeMapping(warp_slot, cta_slot, reg);
     state_[idx] = RegState::kSpilled;
+    ++spilledCount_[warp_slot];
     ++renameStats_.spills;
     ++renameStats_.updates;
 }
@@ -339,6 +349,7 @@ RegisterManager::refillReg(u32 warp_slot, u32 cta_slot, u32 reg)
         return res;
     }
     file_.values(mapping_[idx]) = spillStore_[idx];
+    --spilledCount_[warp_slot];
     ++renameStats_.refills;
     return res;
 }
@@ -346,10 +357,10 @@ RegisterManager::refillReg(u32 warp_slot, u32 cta_slot, u32 reg)
 bool
 RegisterManager::hasSpilledRegs(u32 warp_slot) const
 {
-    for (u32 r = fixedExempt_; r < regsPerWarp_; ++r)
-        if (state_[slotIndex(warp_slot, r)] == RegState::kSpilled)
-            return true;
-    return false;
+    // spilledCount_ is maintained on the spillReg()/refillReg()/
+    // completeCta() transitions: this is queried per issue attempt,
+    // where an O(regsPerWarp) scan would sit on the hot path.
+    return spilledCount_[warp_slot] != 0;
 }
 
 std::vector<u32>
@@ -368,6 +379,14 @@ RegisterManager::sampleCycle()
     file_.sampleCycle();
     renameStats_.mappedRegCycles += mapped_;
     renameStats_.sampledCycles += 1;
+}
+
+void
+RegisterManager::sampleCycles(u64 n)
+{
+    file_.sampleCycles(n);
+    renameStats_.mappedRegCycles += static_cast<u64>(mapped_) * n;
+    renameStats_.sampledCycles += n;
 }
 
 } // namespace rfv

@@ -155,6 +155,14 @@ class RegisterManager {
     /** Integrate per-cycle state (power gating, live-register trace). */
     void sampleCycle();
 
+    /**
+     * Integrate @p n unchanged cycles at once (event-driven
+     * fast-forward): mapped_ and the subarray states only change at
+     * alloc/release events, so this equals n sampleCycle() calls over
+     * a window with no such events.
+     */
+    void sampleCycles(u64 n);
+
   private:
     u32 slotIndex(u32 warpSlot, u32 reg) const;
     u32 archBank(u32 reg) const { return reg % cfg_.numBanks; }
@@ -178,6 +186,7 @@ class RegisterManager {
 
     std::vector<u32> mapping_;   //!< (slot, reg) -> phys
     std::vector<RegState> state_;
+    std::vector<u32> spilledCount_; //!< # kSpilled regs per warp slot
     std::vector<RegLifecycle> lint_; //!< populated only when linting
     std::vector<WarpValue> spillStore_;
     std::vector<u32> ctaAlloc_;  //!< registers held per CTA slot

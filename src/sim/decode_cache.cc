@@ -1,0 +1,77 @@
+#include "sim/decode_cache.h"
+
+#include "common/error.h"
+#include "compiler/liveness.h"
+
+namespace rfv {
+
+namespace {
+
+u32
+configuredLatency(OpClass cls, const GpuConfig &cfg)
+{
+    u32 lat = cfg.aluLatency;
+    switch (cls) {
+      case OpClass::kAlu: lat = cfg.aluLatency; break;
+      case OpClass::kMul: lat = cfg.mulLatency; break;
+      case OpClass::kFpu: lat = cfg.fpuLatency; break;
+      case OpClass::kSfu: lat = cfg.sfuLatency; break;
+      case OpClass::kMemShared: lat = cfg.sharedLatency; break;
+      default: lat = cfg.aluLatency; break;
+    }
+    if (cfg.regFile.mode != RegFileMode::kBaseline)
+        lat += cfg.renamingLatency;
+    return lat;
+}
+
+} // namespace
+
+DecodeCache::DecodeCache(const Program &prog, const GpuConfig &cfg)
+{
+    entries_.resize(prog.code.size());
+    for (u32 pc = 0; pc < prog.code.size(); ++pc) {
+        const Instr &ins = prog.code[pc];
+        StaticDecode &d = entries_[pc];
+        d.cls = opInfo(ins.op).cls;
+        d.meta = isMeta(ins.op);
+        d.needRegs = useMask(ins) | defMask(ins);
+        d.defRegs = defMask(ins);
+        if (ins.guardPred != kNoPred)
+            d.needPreds |= 1u << ins.guardPred;
+        if (ins.dstPred != kNoPred)
+            d.needPreds |= 1u << ins.dstPred;
+        d.dramLoad = isLoad(ins.op) && (d.cls == OpClass::kMemGlobal ||
+                                        d.cls == OpClass::kMemLocal);
+        d.warpLatency = configuredLatency(d.cls, cfg);
+        for (u32 i = 0; i < 3; ++i) {
+            if (ins.src[i].isReg())
+                d.srcRegIdx[d.numSrcRegs++] = static_cast<u8>(i);
+        }
+        if (ins.op == Opcode::kPbr)
+            d.pbrCount = decodePbrInto(ins.metaPayload, d.pbrRegs);
+        else if (ins.op == Opcode::kPir)
+            d.pirSlots = decodePir(ins.metaPayload);
+
+        // Cross-check the cached entry against the on-demand decode
+        // path once per static instruction, so the per-execution
+        // asserts in the simulator can be debug-only without losing
+        // the equivalence guarantee in release builds.
+        if (ins.op == Opcode::kPbr) {
+            const auto ref = decodePbr(ins.metaPayload);
+            panicIf(ref.size() != d.pbrCount,
+                    "predecode: pbr slot count diverged at pc " +
+                        std::to_string(pc));
+            for (u32 i = 0; i < d.pbrCount; ++i) {
+                panicIf(ref[i] != d.pbrRegs[i],
+                        "predecode: pbr register diverged at pc " +
+                            std::to_string(pc));
+            }
+        } else if (ins.op == Opcode::kPir) {
+            panicIf(decodePir(ins.metaPayload) != d.pirSlots,
+                    "predecode: pir slots diverged at pc " +
+                        std::to_string(pc));
+        }
+    }
+}
+
+} // namespace rfv

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Predecode table: per-static-instruction state the issue path would
+ * otherwise recompute on every dynamic execution.
+ *
+ * Mirrors the release-flag cache's one-cost-per-static-instruction
+ * principle (paper Sec. 6.3): scoreboard masks, operand/bank layout,
+ * execution class, and the decoded pir/pbr metadata payloads are all
+ * functions of the instruction word alone, so they are decoded once at
+ * program load and shared read-only by every warp on every SM.  This
+ * removes the per-execution decodePbr() vector allocation and the
+ * per-attempt useMask/defMask operand scans from the hot path.
+ */
+#ifndef RFV_SIM_DECODE_CACHE_H
+#define RFV_SIM_DECODE_CACHE_H
+
+#include <array>
+#include <vector>
+
+#include "isa/metadata.h"
+#include "isa/program.h"
+#include "sim/sim_config.h"
+
+namespace rfv {
+
+/** Everything the issue path needs that is static per instruction. */
+struct StaticDecode {
+    // Scoreboard masks (useMask | defMask, and the def side alone for
+    // write-back), plus the predicate bits read or written.
+    u64 needRegs = 0;
+    u64 defRegs = 0;
+    u32 needPreds = 0;
+
+    OpClass cls = OpClass::kAlu;
+    bool meta = false;     //!< pir/pbr
+    bool dramLoad = false; //!< load class that occupies an MSHR
+    u32 warpLatency = 0;   //!< issue-to-writeback latency (config-baked)
+
+    /** Register source operands: src[] indices that hold registers. */
+    std::array<u8, 3> srcRegIdx{};
+    u32 numSrcRegs = 0;
+
+    /** Decoded pbr payload (kPbr only). */
+    std::array<u32, kPbrSlots> pbrRegs{};
+    u32 pbrCount = 0;
+
+    /** Decoded pir payload (kPir only; Instr::pirMask stays the
+        authoritative per-instruction copy the issue path consumes). */
+    std::array<u8, kPirSlots> pirSlots{};
+};
+
+/**
+ * The predecode table for one program under one machine config.
+ * Built once per Gpu; indexed by pc.  Construction cross-checks every
+ * cached entry against the on-demand decode path (decodePir/decodePbr
+ * and the liveness operand scans) and panics on any mismatch.
+ */
+class DecodeCache {
+  public:
+    DecodeCache(const Program &prog, const GpuConfig &cfg);
+
+    const StaticDecode &
+    at(u32 pc) const
+    {
+        return entries_[pc];
+    }
+
+    u32 size() const { return static_cast<u32>(entries_.size()); }
+
+  private:
+    std::vector<StaticDecode> entries_;
+};
+
+} // namespace rfv
+
+#endif // RFV_SIM_DECODE_CACHE_H

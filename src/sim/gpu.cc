@@ -7,7 +7,7 @@ namespace rfv {
 Gpu::Gpu(const GpuConfig &cfg, const Program &prog,
          const LaunchParams &launch, GlobalMemory &gmem, TraceHooks hooks)
     : cfg_(cfg), prog_(prog), launch_(launch), gmem_(gmem),
-      hooks_(std::move(hooks))
+      hooks_(std::move(hooks)), decode_(prog, cfg_)
 {
     cfg_.validate();
     prog_.validate();
@@ -26,8 +26,9 @@ Gpu::Gpu(const GpuConfig &cfg, const Program &prog,
     for (u32 s = 0; s < cfg_.numSms; ++s) {
         drams_.emplace_back(cfg_.globalLatency,
                             cfg_.dramCyclesPerTransaction * cfg_.numSms);
-        sms_.push_back(std::make_unique<Sm>(s, cfg_, prog_, launch_,
-                                            gmem_, drams_[s], hooks_));
+        sms_.push_back(std::make_unique<Sm>(s, cfg_, prog_, decode_,
+                                            launch_, gmem_, drams_[s],
+                                            hooks_));
     }
 }
 
@@ -108,6 +109,7 @@ Gpu::run()
     u32 next_cta = 0;
     u32 completed = 0;
     Cycle cycle = 0;
+    loopStats_ = LoopStats{};
 
     // Worker pool for SM stepping (coordinator participates, so N
     // workers means N+1 stepping threads; capped at one worker per
@@ -119,17 +121,32 @@ Gpu::run()
             std::min(cfg_.numWorkerThreads, num_sms - 1));
     }
 
+    // Per-cycle trace hooks observe every cycle, so they force the
+    // naive loop; results are bit-identical either way.
+    const bool event_driven =
+        cfg_.eventDriven && !hooks_.liveSample && !hooks_.regEvent;
+
+    // Earliest cycle each SM's state can change (0 = step immediately).
+    // Not vector<bool>: workers write distinct elements concurrently.
+    std::vector<Cycle> next_wake(num_sms, 0);
+    std::vector<u8> stepped(num_sms, 1);
+    std::vector<u8> launched(num_sms, 0);
+
     auto dispatch = [&]() {
-        // Round-robin CTAs onto SMs with free slots.
+        // Round-robin CTAs onto SMs with free slots.  A failed
+        // tryLaunchCta is side-effect free (RegisterManager::launchCta
+        // rolls back its allocations and stats), so skipping the
+        // retries during a quiescent window cannot change results.
         bool progress = true;
         while (progress && next_cta < launch_.gridCtas) {
             progress = false;
-            for (auto &sm : sms_) {
+            for (u32 i = 0; i < num_sms; ++i) {
                 if (next_cta >= launch_.gridCtas)
                     break;
-                if (sm->tryLaunchCta(next_cta, cycle)) {
+                if (sms_[i]->tryLaunchCta(next_cta, cycle)) {
                     ++next_cta;
                     progress = true;
+                    launched[i] = 1;
                 }
             }
         }
@@ -147,14 +164,52 @@ Gpu::run()
         if (!busy && next_cta >= launch_.gridCtas)
             break;
 
+        if (event_driven) {
+            // Fleet fast-forward: when no SM can progress this cycle,
+            // jump straight to the earliest fleet-wide wakeup and
+            // reconstruct the skipped window's per-cycle counters.
+            Cycle horizon = kNoEventCycle;
+            for (u32 i = 0; i < num_sms; ++i)
+                horizon = std::min(horizon, next_wake[i]);
+            if (horizon > cycle) {
+                const Cycle target = std::min(horizon, cfg_.maxCycles);
+                const u64 k = target - cycle;
+                for (auto &sm : sms_)
+                    sm->skipCycles(k);
+                loopStats_.skippedCycles += k;
+                cycle = target;
+                if (cycle >= cfg_.maxCycles) {
+                    // A horizon of kNoEventCycle while CTAs are
+                    // resident is a deadlock: reach the watchdog the
+                    // same way the naive loop would.
+                    panic("watchdog: kernel exceeded " +
+                          std::to_string(cfg_.maxCycles) + " cycles");
+                }
+            }
+            for (u32 i = 0; i < num_sms; ++i) {
+                stepped[i] = next_wake[i] <= cycle;
+                launched[i] = 0;
+                if (!stepped[i])
+                    ++loopStats_.smStepsElided;
+            }
+        }
+
         if (pool) {
-            pool->parallelFor(num_sms, [this, cycle](u32 i) {
-                sms_[i]->step(cycle);
+            pool->parallelFor(num_sms, [this, cycle, &stepped](u32 i) {
+                if (stepped[i])
+                    sms_[i]->step(cycle);
+                else
+                    sms_[i]->skipCycles(1);
             });
         } else {
-            for (auto &sm : sms_)
-                sm->step(cycle);
+            for (u32 i = 0; i < num_sms; ++i) {
+                if (stepped[i])
+                    sms_[i]->step(cycle);
+                else
+                    sms_[i]->skipCycles(1);
+            }
         }
+        ++loopStats_.steppedCycles;
 
         // End-of-cycle barrier work, on the coordinator thread:
         // commit atomics in SM-id order (the order the sequential
@@ -164,6 +219,14 @@ Gpu::run()
 
         if (next_cta < launch_.gridCtas)
             dispatch();
+
+        if (event_driven) {
+            // Stepped and freshly launched-into SMs have new state;
+            // everyone else's wakeup estimate is still valid.
+            for (u32 i = 0; i < num_sms; ++i)
+                if (stepped[i] || launched[i])
+                    next_wake[i] = sms_[i]->nextEventCycle(cycle);
+        }
 
         ++cycle;
         if (cycle >= cfg_.maxCycles) {

@@ -92,6 +92,22 @@ struct SimResult {
 };
 
 /**
+ * Cycle-loop accounting for the event-driven fast-forward.  Kept out
+ * of SimResult on purpose: SimResult::operator== is the
+ * naive-vs-event equivalence oracle and must compare architectural
+ * results only, while these counters describe how much work the loop
+ * itself avoided.
+ */
+struct LoopStats {
+    /** Loop iterations that actually stepped at least one SM. */
+    u64 steppedCycles = 0;
+    /** Cycles fast-forwarded fleet-wide (no SM could progress). */
+    u64 skippedCycles = 0;
+    /** Per-SM step() calls replaced by skipCycles(1) on quiet SMs. */
+    u64 smStepsElided = 0;
+};
+
+/**
  * One GPU instance bound to a compiled kernel and its memory.
  *
  * The cycle loop steps every SM once per cycle.  With
@@ -101,6 +117,15 @@ struct SimResult {
  * coordinator thread, so parallel runs produce a SimResult
  * bit-identical to sequential runs (enforced by
  * tests/test_parallel_equivalence.cc).
+ *
+ * With GpuConfig::eventDriven (the default) the loop additionally
+ * skips cycles no SM can use: each SM reports the earliest cycle its
+ * state can change (Sm::nextEventCycle), quiet SMs elide their step,
+ * and when every SM is quiet the clock jumps straight to the
+ * fleet-wide minimum with per-cycle counters reconstructed by
+ * Sm::skipCycles.  Results stay bit-identical to the naive loop
+ * (enforced by tests/test_event_equivalence.cc); per-cycle TraceHooks
+ * automatically fall back to the naive loop.
  */
 class Gpu {
   public:
@@ -114,14 +139,19 @@ class Gpu {
     /** SMs (read-only access for tests). */
     const Sm &sm(u32 i) const { return *sms_[i]; }
 
+    /** Cycle-loop accounting of the last run(). */
+    const LoopStats &loopStats() const { return loopStats_; }
+
   private:
     GpuConfig cfg_;
     const Program &prog_;
     LaunchParams launch_;
     GlobalMemory &gmem_;
     TraceHooks hooks_;
+    DecodeCache decode_; //!< shared read-only by every SM
     std::vector<DramModel> drams_; //!< one channel per SM (sharded)
     std::vector<std::unique_ptr<Sm>> sms_;
+    LoopStats loopStats_;
 };
 
 /**

@@ -140,16 +140,24 @@ GlobalMemory::firstOverlap() const
 u32
 coalescedTransactions(const std::vector<u32> &byte_addrs)
 {
+    std::vector<u32> scratch;
+    return coalescedTransactions(byte_addrs, scratch);
+}
+
+u32
+coalescedTransactions(const std::vector<u32> &byte_addrs,
+                      std::vector<u32> &scratch)
+{
     if (byte_addrs.empty())
         return 0;
-    std::vector<u32> segments;
-    segments.reserve(byte_addrs.size());
+    scratch.clear();
+    scratch.reserve(byte_addrs.size());
     for (u32 a : byte_addrs)
-        segments.push_back(a / 128);
-    std::sort(segments.begin(), segments.end());
-    segments.erase(std::unique(segments.begin(), segments.end()),
-                   segments.end());
-    return static_cast<u32>(segments.size());
+        scratch.push_back(a / 128);
+    std::sort(scratch.begin(), scratch.end());
+    scratch.erase(std::unique(scratch.begin(), scratch.end()),
+                  scratch.end());
+    return static_cast<u32>(scratch.size());
 }
 
 } // namespace rfv

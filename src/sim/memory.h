@@ -154,6 +154,14 @@ class DramModel {
 /** Count distinct 128-byte segments touched by a set of addresses. */
 u32 coalescedTransactions(const std::vector<u32> &byteAddrs);
 
+/**
+ * Allocation-free variant for per-cycle hot paths: dedupes segment ids
+ * in @p scratch (clobbered; capacity reused across calls so the cost
+ * is one reserve per Sm, not one allocation per memory instruction).
+ */
+u32 coalescedTransactions(const std::vector<u32> &byteAddrs,
+                          std::vector<u32> &scratch);
+
 } // namespace rfv
 
 #endif // RFV_SIM_MEMORY_H

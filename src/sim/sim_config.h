@@ -64,6 +64,19 @@ struct GpuConfig {
     Cycle maxCycles = 50'000'000;
 
     /**
+     * Event-driven cycle loop (default): each SM reports the earliest
+     * cycle at which its state can change, quiescent SMs elide their
+     * per-cycle step, and when no SM can make progress the clock
+     * fast-forwards to the fleet-wide minimum with per-cycle stats
+     * (idle/throttle/sampling counters, LRR rotation) reconstructed
+     * arithmetically.  Results are bit-identical to the naive
+     * step-every-cycle loop, which is kept as the equivalence oracle
+     * (tests/test_event_equivalence.cc) and used automatically when
+     * per-cycle TraceHooks are installed.
+     */
+    bool eventDriven = true;
+
+    /**
      * Worker threads stepping SMs concurrently inside Gpu::run()
      * (0 = sequential, the default).  Parallel runs are bit-identical
      * to sequential runs: DRAM channels are per-SM, global-memory

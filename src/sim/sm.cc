@@ -1,6 +1,7 @@
 #include "sim/sm.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cstdio>
 #include <cstdlib>
 #include <bit>
@@ -65,11 +66,11 @@ compare(CmpOp op, u32 a, u32 b)
 } // namespace
 
 Sm::Sm(u32 sm_id, const GpuConfig &cfg, const Program &prog,
-       const LaunchParams &launch, GlobalMemory &gmem, DramModel &dram,
-       const TraceHooks &hooks)
-    : smId_(sm_id), cfg_(cfg), prog_(prog), launch_(launch), gmem_(gmem),
-      dram_(dram), hooks_(hooks), warpsPerCta_(launch.warpsPerCta()),
-      maxConcCtas_(0),
+       const DecodeCache &decode, const LaunchParams &launch,
+       GlobalMemory &gmem, DramModel &dram, const TraceHooks &hooks)
+    : smId_(sm_id), cfg_(cfg), prog_(prog), decode_(decode),
+      launch_(launch), gmem_(gmem), dram_(dram), hooks_(hooks),
+      warpsPerCta_(launch.warpsPerCta()), maxConcCtas_(0),
       mgr_(cfg.regFile, computeMaxWarpSlots(cfg, launch)),
       flagCache_(cfg.regFile.flagCacheEntries),
       icache_(cfg.icacheInstrs, cfg.icacheLineInstrs),
@@ -96,6 +97,16 @@ Sm::Sm(u32 sm_id, const GpuConfig &cfg, const Program &prog,
 
     bankPortUse_.assign(cfg.regFile.numBanks, 0);
     mgr_.configureKernel(prog.numRegs, prog.numExemptRegs);
+
+    // Pre-size the hot-path containers so steady-state simulation never
+    // allocates.
+    readyQueue_.reserve(effectiveReadyQueue_ + 1);
+    completions_.reserve(2 * warp_slots + 8);
+    sleepHeap_.reserve(warp_slots);
+    throttleParked_.reserve(warp_slots);
+    issueOrder_.reserve(effectiveReadyQueue_ + 1);
+    addrScratch_.reserve(kWarpSize);
+    segScratch_.reserve(kWarpSize);
 }
 
 u32
@@ -147,7 +158,7 @@ Sm::tryLaunchCta(u32 global_cta_id, Cycle now)
         w.blockedUntil = now;
         for (auto &mem : localMem_[first + i])
             mem.fill(0);
-        pendingQueue_.push_back(first + i);
+        pendWarp(first + i);
     }
     ++residentCtas_;
     stats_.peakResidentWarps =
@@ -157,15 +168,45 @@ Sm::tryLaunchCta(u32 global_cta_id, Cycle now)
 }
 
 void
+Sm::pendWarp(u32 warp_idx)
+{
+    warps_[warp_idx].loc = WarpLoc::kPending;
+    pendingQueue_.push_back(warp_idx);
+}
+
+void
+Sm::removeFromReady(u32 warp_idx)
+{
+    auto it = std::find(readyQueue_.begin(), readyQueue_.end(), warp_idx);
+    panicIf(it == readyQueue_.end(), "ready-queue membership desync");
+    readyQueue_.erase(it);
+}
+
+void
+Sm::sleepWarp(u32 warp_idx)
+{
+    Warp &w = warps_[warp_idx];
+    w.loc = WarpLoc::kSleeping;
+    sleepHeap_.push_back({w.blockedUntil, warp_idx});
+    std::push_heap(sleepHeap_.begin(), sleepHeap_.end(),
+                   std::greater<SleepEntry>{});
+}
+
+void
 Sm::refillReadyQueue()
 {
     while (readyQueue_.size() < effectiveReadyQueue_ &&
            !pendingQueue_.empty()) {
         const u32 wi = pendingQueue_.front();
         pendingQueue_.pop_front();
-        const Warp &w = warps_[wi];
-        if (!w.valid || w.finished)
+        Warp &w = warps_[wi];
+        if (w.loc != WarpLoc::kPending)
+            continue; // stale queue entry
+        if (!w.valid || w.finished) {
+            w.loc = WarpLoc::kNone;
             continue;
+        }
+        w.loc = WarpLoc::kReady;
         readyQueue_.push_back(wi);
     }
 }
@@ -173,20 +214,98 @@ Sm::refillReadyQueue()
 void
 Sm::demoteWarp(u32 warp_idx)
 {
-    auto it = std::find(readyQueue_.begin(), readyQueue_.end(), warp_idx);
-    if (it != readyQueue_.end())
-        readyQueue_.erase(it);
-    const Warp &w = warps_[warp_idx];
-    if (w.valid && !w.finished)
-        pendingQueue_.push_back(warp_idx);
+    Warp &w = warps_[warp_idx];
+    if (w.loc == WarpLoc::kReady)
+        removeFromReady(warp_idx);
+    if (!w.valid || w.finished) {
+        w.loc = WarpLoc::kNone;
+        return;
+    }
+    pendWarp(warp_idx);
+}
+
+/**
+ * Restore the invariant that every ready warp is runnable soon: warps
+ * blocked kSleepThresholdCycles or more into the future move to the
+ * sleep heap and freed slots refill from the pending queue, repeating
+ * until stable.  Afterwards a cycle with no due completion, no due
+ * sleeper and no ready warp past its blockedUntil is a provable no-op,
+ * which is what makes nextEventCycle()'s window sound.
+ */
+void
+Sm::normalizeReadyQueue(Cycle now)
+{
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (u32 i = 0; i < readyQueue_.size();) {
+            const u32 wi = readyQueue_[i];
+            Warp &w = warps_[wi];
+            if (!w.valid || w.finished) {
+                readyQueue_.erase(readyQueue_.begin() + i);
+                w.loc = WarpLoc::kNone;
+                changed = true;
+                continue;
+            }
+            if (w.blockedUntil > now &&
+                w.blockedUntil - now >= kSleepThresholdCycles) {
+                readyQueue_.erase(readyQueue_.begin() + i);
+                sleepWarp(wi);
+                changed = true;
+                continue;
+            }
+            ++i;
+        }
+        const u32 before = static_cast<u32>(readyQueue_.size());
+        refillReadyQueue();
+        if (readyQueue_.size() != before)
+            changed = true;
+    }
+}
+
+void
+Sm::wakeSleepers(Cycle now)
+{
+    while (!sleepHeap_.empty() && sleepHeap_.front().wake <= now) {
+        std::pop_heap(sleepHeap_.begin(), sleepHeap_.end(),
+                      std::greater<SleepEntry>{});
+        const SleepEntry e = sleepHeap_.back();
+        sleepHeap_.pop_back();
+        Warp &w = warps_[e.warp];
+        if (w.loc != WarpLoc::kSleeping)
+            continue; // stale entry
+        if (!w.valid || w.finished) {
+            w.loc = WarpLoc::kNone;
+            continue;
+        }
+        if (w.blockedUntil > now) {
+            // The stall was extended while asleep (spill victim): keep
+            // sleeping until the new wakeup cycle.
+            sleepHeap_.push_back({w.blockedUntil, e.warp});
+            std::push_heap(sleepHeap_.begin(), sleepHeap_.end(),
+                          std::greater<SleepEntry>{});
+            continue;
+        }
+        pendWarp(e.warp);
+    }
+}
+
+void
+Sm::pushCompletion(const Completion &c)
+{
+    completions_.push_back(c);
+    std::push_heap(completions_.begin(), completions_.end(),
+                   std::greater<Completion>{});
 }
 
 void
 Sm::drainCompletions(Cycle now)
 {
-    while (!completions_.empty() && completions_.top().time <= now) {
-        const Completion c = completions_.top();
-        completions_.pop();
+    while (!completions_.empty() && completions_.front().time <= now) {
+        std::pop_heap(completions_.begin(), completions_.end(),
+                      std::greater<Completion>{});
+        const Completion c = completions_.back();
+        completions_.pop_back();
         Warp &w = warps_[c.warp];
         w.pendingRegs &= ~c.regMask;
         w.pendingPreds &= ~c.predMask;
@@ -199,78 +318,122 @@ Sm::drainCompletions(Cycle now)
     }
 }
 
+Cycle
+Sm::scoreboardWake(u32 warp_idx, u64 need_regs, u32 need_preds,
+                   Cycle now) const
+{
+    // Every pending scoreboard bit has exactly one in-flight completion
+    // (a second write to a pending register is itself a hazard), so the
+    // last matching completion is the exact cycle the hazard clears.
+    Cycle wake = 0;
+    bool found = false;
+    for (const Completion &c : completions_) {
+        if (c.warp != warp_idx)
+            continue;
+        if ((c.regMask & need_regs) || (c.predMask & need_preds)) {
+            wake = std::max(wake, c.time);
+            found = true;
+        }
+    }
+    panicIf(!found, "scoreboard hazard with no pending completion");
+    return std::max(wake, now + 1);
+}
+
+Cycle
+Sm::mshrWake(Cycle now) const
+{
+    // MSHRs free only when a load completes; the earliest in-flight
+    // load completion is the first cycle an entry can possibly free.
+    Cycle wake = kNoEventCycle;
+    for (const Completion &c : completions_)
+        if (c.isLoad)
+            wake = std::min(wake, c.time);
+    panicIf(wake == kNoEventCycle, "MSHRs full with no load in flight");
+    return std::max(wake, now + 1);
+}
+
+void
+Sm::unparkThrottled()
+{
+    for (u32 wi : throttleParked_) {
+        Warp &w = warps_[wi];
+        if (w.loc != WarpLoc::kParked)
+            continue;
+        if (!w.valid || w.finished) {
+            w.loc = WarpLoc::kNone;
+            continue;
+        }
+        pendWarp(wi);
+    }
+    throttleParked_.clear();
+}
+
 void
 Sm::evaluateThrottle()
 {
+    const bool was_active = throttleActive_;
+    const u32 was_cta = throttleCta_;
     throttleActive_ = false;
-    if (cfg_.regFile.mode != RegFileMode::kVirtualized)
-        return;
-    const u32 free = mgr_.freeRegs();
-    u32 min_balance = ~0u;
-    u32 argmin = 0;
-    bool any = false;
-    const u32 cta_max = warpsPerCta_ * prog_.numRegs;
-    for (u32 s = 0; s < maxConcCtas_; ++s) {
-        if (!ctaSlots_[s].active)
-            continue;
-        const u32 held = mgr_.ctaAllocated(s);
-        const u32 balance = cta_max > held ? cta_max - held : 0;
-        if (!any || balance < min_balance) {
-            min_balance = balance;
-            argmin = s;
+    if (cfg_.regFile.mode == RegFileMode::kVirtualized) {
+        const u32 free = mgr_.freeRegs();
+        u32 min_balance = ~0u;
+        u32 argmin = 0;
+        bool any = false;
+        const u32 cta_max = warpsPerCta_ * prog_.numRegs;
+        for (u32 s = 0; s < maxConcCtas_; ++s) {
+            if (!ctaSlots_[s].active)
+                continue;
+            const u32 held = mgr_.ctaAllocated(s);
+            const u32 balance = cta_max > held ? cta_max - held : 0;
+            if (!any || balance < min_balance) {
+                min_balance = balance;
+                argmin = s;
+            }
+            any = true;
         }
-        any = true;
+        if (any && free <= min_balance) {
+            throttleActive_ = true;
+            throttleCta_ = argmin;
+        }
     }
-    if (any && free <= min_balance) {
-        throttleActive_ = true;
-        throttleCta_ = argmin;
-    }
+    // Warps parked by the throttle wait on its *signature*: release
+    // them whenever the throttle turns off or picks a different CTA.
+    const bool changed = throttleActive_ != was_active ||
+                         (throttleActive_ && throttleCta_ != was_cta);
+    if (changed && !throttleParked_.empty())
+        unparkThrottled();
 }
 
 std::pair<Cycle, bool>
 Sm::dramLoadTiming(const std::vector<u32> &byte_addrs, Cycle now)
 {
-    // Count distinct line-sized segments; probe the L1 for each.
-    std::vector<u32> missing;
+    // Count distinct line-sized segments on the reusable scratch
+    // buffer; probe the L1 for each.  Only the *count* of misses
+    // matters for timing, so no miss list is materialized.
     if (dcache_.enabled()) {
-        std::vector<u32> segs = byte_addrs;
-        for (u32 &a : segs)
-            a /= cfg_.dcacheLineBytes;
-        std::sort(segs.begin(), segs.end());
-        segs.erase(std::unique(segs.begin(), segs.end()), segs.end());
-        for (u32 seg : segs) {
+        segScratch_.clear();
+        segScratch_.reserve(byte_addrs.size());
+        for (u32 a : byte_addrs)
+            segScratch_.push_back(a / cfg_.dcacheLineBytes);
+        std::sort(segScratch_.begin(), segScratch_.end());
+        segScratch_.erase(
+            std::unique(segScratch_.begin(), segScratch_.end()),
+            segScratch_.end());
+        u32 missing = 0;
+        for (u32 seg : segScratch_) {
             if (dcache_.access(seg * cfg_.dcacheLineBytes))
                 ++stats_.dcacheHits;
             else {
                 ++stats_.dcacheMisses;
-                missing.push_back(seg * cfg_.dcacheLineBytes);
+                ++missing;
             }
         }
-        if (missing.empty())
+        if (missing == 0)
             return {now + cfg_.dcacheHitLatency, false};
-        const Cycle done = dram_.access(
-            now, static_cast<u32>(missing.size()));
-        return {done, true};
+        return {dram_.access(now, missing), true};
     }
-    const u32 txns = coalescedTransactions(byte_addrs);
+    const u32 txns = coalescedTransactions(byte_addrs, segScratch_);
     return {dram_.access(now, txns), true};
-}
-
-u32
-Sm::warpLatency(const Instr &ins) const
-{
-    u32 lat = cfg_.aluLatency;
-    switch (opInfo(ins.op).cls) {
-      case OpClass::kAlu: lat = cfg_.aluLatency; break;
-      case OpClass::kMul: lat = cfg_.mulLatency; break;
-      case OpClass::kFpu: lat = cfg_.fpuLatency; break;
-      case OpClass::kSfu: lat = cfg_.sfuLatency; break;
-      case OpClass::kMemShared: lat = cfg_.sharedLatency; break;
-      default: lat = cfg_.aluLatency; break;
-    }
-    if (cfg_.regFile.mode != RegFileMode::kBaseline)
-        lat += cfg_.renamingLatency;
-    return lat;
 }
 
 WarpValue
@@ -311,12 +474,22 @@ Sm::processMetadata(Warp &w, u32 warp_idx, Cycle now)
         const u32 pc = w.stack.pc();
         panicIf(pc >= prog_.code.size(), "pc ran past end of kernel");
         const Instr &ins = prog_.code[pc];
-        if (!isMeta(ins.op))
+        const StaticDecode &dec = decode_.at(pc);
+        if (!dec.meta)
             return true;
         ++stats_.metaEncounters;
         if (ins.op == Opcode::kPbr) {
             ++stats_.metaDecoded; // pbr is always fetched and decoded
-            for (u32 r : decodePbr(ins.metaPayload)) {
+#ifndef NDEBUG
+            {
+                const auto ref = decodePbr(ins.metaPayload);
+                assert(ref.size() == dec.pbrCount);
+                for (u32 i = 0; i < dec.pbrCount; ++i)
+                    assert(ref[i] == dec.pbrRegs[i]);
+            }
+#endif
+            for (u32 i = 0; i < dec.pbrCount; ++i) {
+                const u32 r = dec.pbrRegs[i];
                 if (traceReleases() && warp_idx == 0)
                     std::fprintf(stderr, "pbr release r%u at pc %u\n",
                                  r, pc);
@@ -347,10 +520,12 @@ Sm::IssueOutcome
 Sm::attemptIssue(u32 warp_idx, Cycle now)
 {
     Warp &w = warps_[warp_idx];
+    // Terminal / parked states are handled by the issue loop's
+    // post-attempt rule, which inspects the warp flags directly.
     if (!w.valid || w.finished)
-        return IssueOutcome::kDemoted;
+        return IssueOutcome::kSkipped;
     if (w.atBarrier)
-        return IssueOutcome::kDemoted;
+        return IssueOutcome::kSkipped;
     if (w.blockedUntil > now)
         return IssueOutcome::kSkipped;
 
@@ -387,36 +562,44 @@ Sm::attemptIssue(u32 warp_idx, Cycle now)
 
     const u32 pc = w.stack.pc();
     const Instr &ins = prog_.code[pc];
+    const StaticDecode &dec = decode_.at(pc);
     currentPc_ = pc; // diagnostic context for panics
+
+#ifndef NDEBUG
+    // Predecode table vs. on-demand decode (release builds rely on the
+    // one-time cross-check at DecodeCache construction).
+    assert(dec.needRegs == (useMask(ins) | defMask(ins)));
+    assert(dec.defRegs == defMask(ins));
+    assert(dec.cls == opInfo(ins.op).cls);
+#endif
 
     if (throttleActive_ && w.ctaSlot != throttleCta_) {
         // Throttled warps must not occupy ready-queue slots, or the
-        // chosen CTA's warps could starve in the pending queue.
+        // chosen CTA's warps could starve in the pending queue.  Park
+        // them until the throttle signature changes; counted once per
+        // park episode.
         ++stats_.throttleSkips;
-        return IssueOutcome::kDemoted;
+        return IssueOutcome::kParked;
     }
 
-    // Scoreboard.
-    u64 need_regs = useMask(ins) | defMask(ins);
-    u32 need_preds = 0;
-    if (ins.guardPred != kNoPred)
-        need_preds |= 1u << ins.guardPred;
-    if (ins.dstPred != kNoPred)
-        need_preds |= 1u << ins.dstPred;
-    if ((w.pendingRegs & need_regs) || (w.pendingPreds & need_preds)) {
+    // Scoreboard: block until the exact cycle the last hazard-matching
+    // in-flight completion retires (counted once per stall episode).
+    if ((w.pendingRegs & dec.needRegs) ||
+        (w.pendingPreds & dec.needPreds)) {
         ++stats_.scoreboardStalls;
+        w.blockedUntil =
+            scoreboardWake(warp_idx, dec.needRegs, dec.needPreds, now);
         if (w.pendingLoads > 0)
             return IssueOutcome::kDemoted; // long-latency stall
         return IssueOutcome::kSkipped;
     }
 
-    // MSHR availability for long-latency loads.
-    const OpClass cls = opInfo(ins.op).cls;
-    const bool dram_load =
-        isLoad(ins.op) &&
-        (cls == OpClass::kMemGlobal || cls == OpClass::kMemLocal);
-    if (dram_load && inFlightLoads_ >= cfg_.mshrsPerSm)
+    // MSHR availability for long-latency loads: an entry cannot free
+    // before the earliest in-flight load completes.
+    if (dec.dramLoad && inFlightLoads_ >= cfg_.mshrsPerSm) {
+        w.blockedUntil = mshrWake(now);
         return IssueOutcome::kSkipped;
+    }
 
     // Destination register allocation (renaming).
     if (ins.dst != kNoReg) {
@@ -459,9 +642,8 @@ Sm::attemptIssue(u32 warp_idx, Cycle now)
     // readers of a bank delay this warp's next issue.
     {
         u32 conflicts = 0;
-        for (const auto &src : ins.src) {
-            if (!src.isReg())
-                continue;
+        for (u32 k = 0; k < dec.numSrcRegs; ++k) {
+            const Operand &src = ins.src[dec.srcRegIdx[k]];
             // Lint before the bank lookup: physOf panics on unmapped
             // registers, and the lint's released/never-written message
             // is the precise diagnosis of why the mapping is absent.
@@ -479,7 +661,7 @@ Sm::attemptIssue(u32 warp_idx, Cycle now)
         }
     }
 
-    execute(w, warp_idx, ins, exec_mask, now);
+    execute(w, warp_idx, ins, dec, exec_mask, now);
 
     ++stats_.issuedInstrs;
     stats_.threadInstrs += popcount64(exec_mask);
@@ -505,8 +687,8 @@ Sm::attemptIssue(u32 warp_idx, Cycle now)
 }
 
 void
-Sm::execute(Warp &w, u32 warp_idx, const Instr &ins, u32 exec_mask,
-            Cycle now)
+Sm::execute(Warp &w, u32 warp_idx, const Instr &ins,
+            const StaticDecode &dec, u32 exec_mask, Cycle now)
 {
     const u32 pc = w.stack.pc();
     bool advanced = false;
@@ -514,7 +696,7 @@ Sm::execute(Warp &w, u32 warp_idx, const Instr &ins, u32 exec_mask,
     u64 wb_regs = 0;
     u32 wb_preds = 0;
     bool is_dram_load = false;
-    Cycle completion = now + warpLatency(ins);
+    Cycle completion = now + dec.warpLatency;
 
     auto lanes = [exec_mask](auto &&fn) {
         for (u32 l = 0; l < kWarpSize; ++l)
@@ -588,7 +770,7 @@ Sm::execute(Warp &w, u32 warp_idx, const Instr &ins, u32 exec_mask,
             });
             writeDest(warp_idx, static_cast<u32>(ins.dst), out, exec_mask,
                       now);
-            wb_regs = defMask(ins);
+            wb_regs = dec.defRegs;
         }
         break;
       }
@@ -617,7 +799,7 @@ Sm::execute(Warp &w, u32 warp_idx, const Instr &ins, u32 exec_mask,
             });
             writeDest(warp_idx, static_cast<u32>(ins.dst), out, exec_mask,
                       now);
-            wb_regs = defMask(ins);
+            wb_regs = dec.defRegs;
         }
         break;
       }
@@ -642,7 +824,7 @@ Sm::execute(Warp &w, u32 warp_idx, const Instr &ins, u32 exec_mask,
             });
             writeDest(warp_idx, static_cast<u32>(ins.dst), out, exec_mask,
                       now);
-            wb_regs = defMask(ins);
+            wb_regs = dec.defRegs;
         }
         break;
       }
@@ -652,12 +834,12 @@ Sm::execute(Warp &w, u32 warp_idx, const Instr &ins, u32 exec_mask,
             const WarpValue addr = readOperand(warp_idx, ins.src[0]);
             const u32 off = ins.src[1].value;
             WarpValue out{};
-            std::vector<u32> touched;
+            addrScratch_.clear();
             lanes([&](u32 l) {
                 const u32 a = addr[l] + off;
                 if (ins.op == Opcode::kLdGlobal) {
                     out[l] = gmem_.load(a, smId_, now);
-                    touched.push_back(a);
+                    addrScratch_.push_back(a);
                 } else {
                     const u32 word = a / 4;
                     auto &shm = sharedMem_[w.ctaSlot];
@@ -669,9 +851,9 @@ Sm::execute(Warp &w, u32 warp_idx, const Instr &ins, u32 exec_mask,
             });
             writeDest(warp_idx, static_cast<u32>(ins.dst), out, exec_mask,
                       now);
-            wb_regs = defMask(ins);
+            wb_regs = dec.defRegs;
             if (ins.op == Opcode::kLdGlobal) {
-                const auto timing = dramLoadTiming(touched, now);
+                const auto timing = dramLoadTiming(addrScratch_, now);
                 completion = timing.first;
                 is_dram_load = timing.second;
             }
@@ -685,7 +867,7 @@ Sm::execute(Warp &w, u32 warp_idx, const Instr &ins, u32 exec_mask,
             lanes([&](u32 l) { out[l] = mem[l]; });
             writeDest(warp_idx, static_cast<u32>(ins.dst), out, exec_mask,
                       now);
-            wb_regs = defMask(ins);
+            wb_regs = dec.defRegs;
             // One coalesced warp-wide transaction per local slot; the
             // synthetic address keys the slot into the data cache
             // (bit 31 separates the local space from global).
@@ -694,7 +876,8 @@ Sm::execute(Warp &w, u32 warp_idx, const Instr &ins, u32 exec_mask,
                 static_cast<u32>((warp_idx * localMem_[warp_idx].size() +
                                   ins.localSlot) *
                                  128u);
-            const auto timing = dramLoadTiming({synth}, now);
+            addrScratch_.assign(1, synth);
+            const auto timing = dramLoadTiming(addrScratch_, now);
             completion = timing.first;
             is_dram_load = timing.second;
         }
@@ -705,8 +888,8 @@ Sm::execute(Warp &w, u32 warp_idx, const Instr &ins, u32 exec_mask,
             const WarpValue addr = readOperand(warp_idx, ins.src[0]);
             const u32 off = ins.src[1].value;
             const WarpValue val = readOperand(warp_idx, ins.src[2]);
-            std::vector<u32> touched;
-            lanes([&](u32 l) { touched.push_back(addr[l] + off); });
+            addrScratch_.clear();
+            lanes([&](u32 l) { addrScratch_.push_back(addr[l] + off); });
             // The memory side effect is deferred to commitAtomics():
             // the Gpu commits all SMs' atomics at the end-of-cycle
             // barrier in SM-id order, so cross-SM interleaving is
@@ -718,9 +901,10 @@ Sm::execute(Warp &w, u32 warp_idx, const Instr &ins, u32 exec_mask,
             pendingAtomics_.push_back({warp_idx,
                                        static_cast<u32>(ins.dst),
                                        exec_mask, off, addr, val});
-            wb_regs = defMask(ins);
+            wb_regs = dec.defRegs;
             // Read-modify-write: roughly twice the transactions.
-            const u32 txns = 2 * coalescedTransactions(touched);
+            const u32 txns =
+                2 * coalescedTransactions(addrScratch_, segScratch_);
             completion = dram_.access(now, txns);
             is_dram_load = true;
         }
@@ -732,12 +916,12 @@ Sm::execute(Warp &w, u32 warp_idx, const Instr &ins, u32 exec_mask,
             const WarpValue addr = readOperand(warp_idx, ins.src[0]);
             const u32 off = ins.src[1].value;
             const WarpValue val = readOperand(warp_idx, ins.src[2]);
-            std::vector<u32> touched;
+            addrScratch_.clear();
             lanes([&](u32 l) {
                 const u32 a = addr[l] + off;
                 if (ins.op == Opcode::kStGlobal) {
                     gmem_.store(a, val[l], smId_, now);
-                    touched.push_back(a);
+                    addrScratch_.push_back(a);
                 } else {
                     const u32 word = a / 4;
                     auto &shm = sharedMem_[w.ctaSlot];
@@ -749,7 +933,8 @@ Sm::execute(Warp &w, u32 warp_idx, const Instr &ins, u32 exec_mask,
             });
             if (ins.op == Opcode::kStGlobal) {
                 // Fire-and-forget: charge bandwidth, no warp stall.
-                dram_.access(now, coalescedTransactions(touched));
+                dram_.access(now, coalescedTransactions(addrScratch_,
+                                                        segScratch_));
             }
         }
         break;
@@ -818,8 +1003,8 @@ Sm::execute(Warp &w, u32 warp_idx, const Instr &ins, u32 exec_mask,
     if (wb_regs || wb_preds || is_dram_load) {
         w.pendingRegs |= wb_regs;
         w.pendingPreds |= wb_preds;
-        completions_.push({completion, warp_idx, wb_regs, wb_preds,
-                           is_dram_load});
+        pushCompletion({completion, warp_idx, wb_regs, wb_preds,
+                        is_dram_load});
         if (is_dram_load) {
             ++w.pendingLoads;
             ++inFlightLoads_;
@@ -834,8 +1019,14 @@ Sm::releaseBarrier(u32 cta_slot)
 {
     CtaSlot &cta = ctaSlots_[cta_slot];
     const u32 first = firstWarpSlot(cta_slot);
-    for (u32 i = 0; i < cta.numWarps; ++i)
-        warps_[first + i].atBarrier = false;
+    for (u32 i = 0; i < cta.numWarps; ++i) {
+        Warp &w = warps_[first + i];
+        w.atBarrier = false;
+        // Warps parked on the barrier rejoin the scheduler in slot
+        // order (the last arriver is still mid-issue in the ready set).
+        if (w.loc == WarpLoc::kBarrier)
+            pendWarp(first + i);
+    }
     cta.barrierArrived = 0;
 }
 
@@ -937,11 +1128,9 @@ Sm::attemptSpill(u32 stalled_warp, u32 need_bank, Cycle now)
             score += 1000;
         if (has_need)
             score += 500;
-        // Prefer warps parked in the pending queue.
-        if (std::find(readyQueue_.begin(), readyQueue_.end(), wi) ==
-            readyQueue_.end()) {
+        // Prefer warps parked outside the active ready set.
+        if (v.loc != WarpLoc::kReady)
             score += 200;
-        }
         if (score > best_score) {
             best_score = score;
             best = static_cast<i32>(wi);
@@ -975,7 +1164,8 @@ Sm::debugState(Cycle now) const
     out += "] pending=[";
     for (u32 wi : pendingQueue_)
         out += std::to_string(wi) + " ";
-    out += "]\n";
+    out += "] sleeping=" + std::to_string(sleepHeap_.size()) +
+           " parked=" + std::to_string(throttleParked_.size()) + "\n";
     for (u32 wi = 0; wi < warps_.size(); ++wi) {
         const Warp &w = warps_[wi];
         if (!w.valid)
@@ -1003,6 +1193,7 @@ void
 Sm::step(Cycle now)
 {
     drainCompletions(now);
+    wakeSleepers(now);
     std::fill(bankPortUse_.begin(), bankPortUse_.end(), 0);
     evaluateThrottle();
     if (throttleActive_)
@@ -1012,30 +1203,55 @@ Sm::step(Cycle now)
     u32 issued = 0;
     if (!readyQueue_.empty()) {
         // Snapshot in LRR order; the queue may mutate during issue.
-        std::vector<u32> order;
-        order.reserve(readyQueue_.size());
+        issueOrder_.clear();
         const u32 n = static_cast<u32>(readyQueue_.size());
         for (u32 i = 0; i < n; ++i)
-            order.push_back(readyQueue_[(lrrCursor_ + i) % n]);
-        for (u32 wi : order) {
+            issueOrder_.push_back(readyQueue_[(lrrCursor_ + i) % n]);
+        for (u32 wi : issueOrder_) {
             if (issued >= cfg_.issuePerCycle)
                 break;
             // The warp may have been demoted by a previous issue.
-            if (std::find(readyQueue_.begin(), readyQueue_.end(), wi) ==
-                readyQueue_.end()) {
+            if (warps_[wi].loc != WarpLoc::kReady)
                 continue;
-            }
             const IssueOutcome outcome = attemptIssue(wi, now);
             if (outcome == IssueOutcome::kIssued)
                 ++issued;
-            else if (outcome == IssueOutcome::kDemoted)
+            // Post-attempt rule: route the warp to the container its
+            // state demands.  Issue side effects (barrier, finish,
+            // demotion inside execute) may already have moved it.
+            Warp &w = warps_[wi];
+            if (w.loc != WarpLoc::kReady)
+                continue;
+            if (!w.valid || w.finished) {
+                removeFromReady(wi);
+                w.loc = WarpLoc::kNone;
+                continue;
+            }
+            if (w.atBarrier) {
+                removeFromReady(wi);
+                w.loc = WarpLoc::kBarrier;
+                continue;
+            }
+            if (outcome == IssueOutcome::kParked) {
+                removeFromReady(wi);
+                w.loc = WarpLoc::kParked;
+                throttleParked_.push_back(wi);
+                continue;
+            }
+            if (outcome == IssueOutcome::kDemoted)
                 demoteWarp(wi);
         }
         if (!readyQueue_.empty())
             lrrCursor_ = static_cast<u32>((lrrCursor_ + 1) %
                                           readyQueue_.size());
     }
-    refillReadyQueue();
+
+    // Re-evaluate the throttle with this cycle's allocations/releases
+    // applied so skipCycles() reconstructs throttleActiveCycles from
+    // current state, then restore the every-ready-warp-is-near
+    // invariant that makes the quiescent window provable.
+    evaluateThrottle();
+    normalizeReadyQueue(now);
 
     if (issued == 0 && busy())
         ++stats_.idleCycles;
@@ -1046,6 +1262,47 @@ Sm::step(Cycle now)
         hooks_.liveSample(now, mgr_.mappedCount(),
                           residentWarps() * prog_.numRegs);
     }
+}
+
+Cycle
+Sm::nextEventCycle(Cycle now) const
+{
+    Cycle next = kNoEventCycle;
+    for (u32 wi : readyQueue_) {
+        const Cycle at = std::max(warps_[wi].blockedUntil, now + 1);
+        next = std::min(next, at);
+    }
+    if (!sleepHeap_.empty())
+        next = std::min(next,
+                        std::max(sleepHeap_.front().wake, now + 1));
+    // Defensive: a refillable pending warp or an uncommitted atomic
+    // means next cycle is not provably a no-op.
+    if ((!pendingQueue_.empty() &&
+         readyQueue_.size() < effectiveReadyQueue_) ||
+        !pendingAtomics_.empty()) {
+        next = std::min(next, now + 1);
+    }
+    return next;
+}
+
+void
+Sm::skipCycles(u64 k)
+{
+    // Reconstruct exactly what k no-op step() calls would have
+    // recorded.  Each no-op step: counts a throttle-active cycle from
+    // the (frozen) throttle state, rotates the LRR cursor once,
+    // counts an idle cycle when CTAs are resident, and integrates one
+    // power-sampling cycle.  All other per-step work is state-free
+    // over a quiescent window (see nextEventCycle()).
+    if (throttleActive_)
+        stats_.throttleActiveCycles += k;
+    if (!readyQueue_.empty()) {
+        lrrCursor_ = static_cast<u32>(
+            (static_cast<u64>(lrrCursor_) + k) % readyQueue_.size());
+    }
+    if (busy())
+        stats_.idleCycles += k;
+    mgr_.sampleCycles(k);
 }
 
 void

@@ -8,18 +8,21 @@
 #define RFV_SIM_SM_H
 
 #include <deque>
-#include <queue>
 
 #include "isa/program.h"
 #include "regfile/register_manager.h"
 #include "regfile/release_flag_cache.h"
 #include "sim/dcache.h"
+#include "sim/decode_cache.h"
 #include "sim/icache.h"
 #include "sim/memory.h"
 #include "sim/sim_config.h"
 #include "sim/warp.h"
 
 namespace rfv {
+
+/** "No event pending": the SM cannot change state on its own. */
+inline constexpr Cycle kNoEventCycle = ~0ull;
 
 /** Per-SM counters. */
 struct SmStats {
@@ -48,8 +51,8 @@ struct SmStats {
 class Sm {
   public:
     Sm(u32 smId, const GpuConfig &cfg, const Program &prog,
-       const LaunchParams &launch, GlobalMemory &gmem, DramModel &dram,
-       const TraceHooks &hooks);
+       const DecodeCache &decode, const LaunchParams &launch,
+       GlobalMemory &gmem, DramModel &dram, const TraceHooks &hooks);
 
     /** Concurrent CTAs this SM can hold for this kernel. */
     u32 maxConcCtas() const { return maxConcCtas_; }
@@ -65,6 +68,31 @@ class Sm {
 
     /** Advance one cycle. */
     void step(Cycle now);
+
+    /**
+     * Earliest cycle strictly after @p now at which this SM's state
+     * can change on its own, or kNoEventCycle if it cannot (idle, or
+     * every warp is parked on an external condition).  Valid only
+     * right after step()/commitAtomics() for cycle @p now (or after a
+     * CTA launch at @p now): the minimum over every ready warp's
+     * wakeup cycle and the sleep-heap head.  Cycles before the
+     * returned value are provable no-ops — every ready warp is
+     * blocked past them, sleepers wake later, pending warps cannot
+     * enter the full ready set, throttle/dispatch inputs are frozen,
+     * and deferred completions only become visible to attempts at the
+     * next executed step (which drains them first).
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /**
+     * Account @p k elided no-op cycles: reconstructs exactly what k
+     * step() calls would have recorded over a window where
+     * nextEventCycle() proved no state change — idle/throttle cycle
+     * counters, the LRR cursor rotation, and the per-cycle power
+     * sampling integrals.  Bit-identical to stepping (enforced by
+     * tests/test_event_equivalence.cc).
+     */
+    void skipCycles(u64 k);
 
     /**
      * Commit global-memory atomics issued during step(@p now).
@@ -113,7 +141,18 @@ class Sm {
         }
     };
 
-    enum class IssueOutcome : u8 { kIssued, kSkipped, kDemoted };
+    enum class IssueOutcome : u8 { kIssued, kSkipped, kDemoted, kParked };
+
+    /** Sleep-heap entry: (wakeup cycle, warp index) min-heap order. */
+    struct SleepEntry {
+        Cycle wake;
+        u32 warp;
+        bool
+        operator>(const SleepEntry &o) const
+        {
+            return wake != o.wake ? wake > o.wake : warp > o.warp;
+        }
+    };
 
     /** One atomic op awaiting the end-of-cycle commit. */
     struct PendingAtomic {
@@ -126,19 +165,28 @@ class Sm {
     };
 
     void drainCompletions(Cycle now);
+    void wakeSleepers(Cycle now);
     void evaluateThrottle();
+    void unparkThrottled();
     IssueOutcome attemptIssue(u32 warpIdx, Cycle now);
     bool processMetadata(Warp &warp, u32 warpIdx, Cycle now);
-    void execute(Warp &warp, u32 warpIdx, const Instr &ins, u32 execMask,
-                 Cycle now);
+    void execute(Warp &warp, u32 warpIdx, const Instr &ins,
+                 const StaticDecode &dec, u32 execMask, Cycle now);
     void finishWarp(u32 warpIdx, Cycle now);
     void releaseBarrier(u32 ctaSlot);
     void tryRefill(Warp &warp, u32 warpIdx, Cycle now);
     i32 spillPriorityWarp() const;
     void attemptSpill(u32 stalledWarp, u32 needBank, Cycle now);
     void demoteWarp(u32 warpIdx);
+    void pendWarp(u32 warpIdx);
+    void sleepWarp(u32 warpIdx);
+    void removeFromReady(u32 warpIdx);
     void refillReadyQueue();
-    u32 warpLatency(const Instr &ins) const;
+    void normalizeReadyQueue(Cycle now);
+    void pushCompletion(const Completion &c);
+    Cycle scoreboardWake(u32 warpIdx, u64 needRegs, u32 needPreds,
+                         Cycle now) const;
+    Cycle mshrWake(Cycle now) const;
     std::pair<Cycle, bool> dramLoadTiming(
         const std::vector<u32> &byteAddrs, Cycle now);
     u32 firstWarpSlot(u32 ctaSlot) const { return ctaSlot * warpsPerCta_; }
@@ -151,6 +199,7 @@ class Sm {
     u32 smId_;
     const GpuConfig &cfg_;
     const Program &prog_;
+    const DecodeCache &decode_;
     LaunchParams launch_;
     GlobalMemory &gmem_;
     DramModel &dram_;
@@ -177,10 +226,33 @@ class Sm {
     std::deque<u32> pendingQueue_;
     u32 lrrCursor_ = 0;
 
-    std::priority_queue<Completion, std::vector<Completion>,
-                        std::greater<Completion>>
-        completions_;
+    /**
+     * Ready warps blocked at least this far in the future are moved to
+     * the sleep heap instead of spinning in the active set.  Short ALU
+     * stalls (4-6 cycles) stay ready — preserving the two-level
+     * scheduler's character — and are covered by nextEventCycle()'s
+     * min-over-ready term, so quiescent windows remain skippable.
+     */
+    static constexpr Cycle kSleepThresholdCycles = 8;
+
+    /**
+     * Completion min-heap (std::push_heap/pop_heap with
+     * std::greater): kept as a plain vector so the exact-wakeup
+     * queries (scoreboardWake/mshrWake) can scan pending entries.
+     */
+    std::vector<Completion> completions_;
     u32 inFlightLoads_ = 0;
+
+    /** Min-heap of (wake cycle, warp) for long-blocked warps. */
+    std::vector<SleepEntry> sleepHeap_;
+
+    /** Warps parked by the CTA throttle until its signature changes. */
+    std::vector<u32> throttleParked_;
+
+    // Reusable per-step scratch (hot path stays allocation-free).
+    std::vector<u32> issueOrder_; //!< LRR snapshot of readyQueue_
+    std::vector<u32> addrScratch_; //!< per-lane byte addresses
+    std::vector<u32> segScratch_;  //!< coalescing segment ids
 
     std::vector<PendingAtomic> pendingAtomics_;
 

@@ -23,11 +23,37 @@ enum class WarpStall : u8 {
     kLatency,
 };
 
+/**
+ * Which scheduler container currently holds the warp.  Exactly one
+ * container may hold a warp at a time; the enum makes membership an
+ * O(1) check instead of a queue scan and lets the event-driven loop
+ * reason about which warps can generate wakeup events:
+ *  - kReady/kPending: the two-level scheduler queues (runnable or
+ *    short-blocked warps).
+ *  - kSleeping: parked in the wakeup-cycle min-heap until
+ *    Warp::blockedUntil (long-latency stall with a known end).
+ *  - kBarrier: parked until the CTA barrier releases.
+ *  - kParked: parked by the CTA throttle until the throttle signature
+ *    (active flag, chosen CTA) changes.
+ *  - kNone: invalid or finished.
+ */
+enum class WarpLoc : u8 {
+    kNone,
+    kReady,
+    kPending,
+    kSleeping,
+    kBarrier,
+    kParked,
+};
+
 /** One warp's execution state within an SM. */
 struct Warp {
     bool valid = false;     //!< slot holds a live warp
     bool finished = false;  //!< all lanes exited
     bool atBarrier = false; //!< waiting at a CTA barrier
+
+    /** Scheduler container currently holding this warp. */
+    WarpLoc loc = WarpLoc::kNone;
 
     u32 ctaSlot = 0;      //!< CTA slot within the SM
     u32 warpInCta = 0;    //!< warp index within the CTA
