@@ -43,6 +43,8 @@
 #endif
 
 #include "core/simulator.h"
+#include "service/sweep.h"
+#include "sim/gpu.h"
 
 using namespace rfv;
 
@@ -137,27 +139,24 @@ struct Timed {
 /**
  * Wall-clock Gpu::run() alone — compile, memory setup and result
  * verification are identical between the two loops and would only
- * dilute the measurement if included.
+ * dilute the measurement if included.  Shared artifacts (assembled
+ * program, compiled kernel, DecodeCache) come from the engine's
+ * content-addressed store, so repetitions and the naive/event pair
+ * reuse one build instead of recompiling per run.
  */
 Timed
-timedRun(const RunConfig &cfg, const Workload &w, bool event_driven,
-         HostInstructionCounter &ctr)
+timedRun(SweepEngine &engine, const RunConfig &cfg, const Workload &w,
+         bool event_driven, HostInstructionCounter &ctr)
 {
-    Simulator sim(cfg);
-    GpuConfig gpu = sim.gpuConfig();
+    const PreparedJob p = engine.prepare({w.name(), cfg});
+    GpuConfig gpu = p.gpu;
     gpu.eventDriven = event_driven;
 
-    const LaunchParams launch =
-        w.scaledLaunch(cfg.numSms, cfg.roundsPerSm);
-    const u32 resident = launch.warpsPerCta() *
-                         std::min(launch.concCtasPerSm, gpu.maxCtasPerSm);
-    const CompiledKernel ck =
-        compileKernel(w.buildKernel(), sim.compileOptions(resident));
+    GlobalMemory mem(w.memoryBytes(p.launch));
+    w.setup(mem, p.launch);
 
-    GlobalMemory mem(w.memoryBytes(launch));
-    w.setup(mem, launch);
-
-    Gpu machine(gpu, ck.program, launch, mem, {});
+    Gpu machine(gpu, p.compiled->kernel.program, p.launch, mem, {},
+                &p.decode->cache);
     ctr.start();
     const auto t0 = std::chrono::steady_clock::now();
     Timed r;
@@ -166,7 +165,7 @@ timedRun(const RunConfig &cfg, const Workload &w, bool event_driven,
     r.hostInstructions = ctr.stop();
     r.seconds = std::chrono::duration<double>(t1 - t0).count();
     r.loop = machine.loopStats();
-    w.verify(mem, launch);
+    w.verify(mem, p.launch);
     return r;
 }
 
@@ -176,12 +175,12 @@ timedRun(const RunConfig &cfg, const Workload &w, bool event_driven,
  * (scheduler preemption and cold caches only ever add time).
  */
 Timed
-bestOf(u32 reps, const RunConfig &cfg, const Workload &w,
-       bool event_driven, HostInstructionCounter &ctr)
+bestOf(SweepEngine &engine, u32 reps, const RunConfig &cfg,
+       const Workload &w, bool event_driven, HostInstructionCounter &ctr)
 {
-    Timed best = timedRun(cfg, w, event_driven, ctr);
+    Timed best = timedRun(engine, cfg, w, event_driven, ctr);
     for (u32 i = 1; i < reps; ++i) {
-        Timed r = timedRun(cfg, w, event_driven, ctr);
+        Timed r = timedRun(engine, cfg, w, event_driven, ctr);
         panicIf(!(r.sim == best.sim),
                 "nondeterministic SimResult across benchmark reps");
         if (r.seconds < best.seconds)
@@ -340,6 +339,9 @@ main(int argc, char **argv)
         before = readRowNumbers(before_path, "mcps");
 
     HostInstructionCounter ctr;
+    // No result cache: every run must execute to be timed.  The engine
+    // is used purely for its shared artifact store.
+    SweepEngine engine({.jobs = 1, .cacheDir = "", .useCache = false});
     std::vector<Row> rows;
     std::cout << "simloop trajectory: " << sms << " SMs, " << rounds
               << " round(s)/SM, best of " << reps
@@ -350,8 +352,8 @@ main(int argc, char **argv)
     for (const RunConfig &base_cfg : configs) {
         for (const auto &w : allWorkloads()) {
             const RunConfig &cfg = base_cfg;
-            const Timed naive = bestOf(reps, cfg, *w, false, ctr);
-            const Timed event = bestOf(reps, cfg, *w, true, ctr);
+            const Timed naive = bestOf(engine, reps, cfg, *w, false, ctr);
+            const Timed event = bestOf(engine, reps, cfg, *w, true, ctr);
             panicIf(!(naive.sim == event.sim),
                     "event loop diverged from naive loop on " +
                         w->name() + "/" + cfg.label);

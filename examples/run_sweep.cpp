@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Batch sweep driver: execute a manifest of (workload, config) jobs on
+ * the work-stealing SweepEngine with shared program artifacts and a
+ * persistent result cache, then emit CSV or JSON.
+ *
+ * Usage:
+ *   run_sweep <manifest|--default> [--jobs=N] [--cache-dir=DIR]
+ *             [--no-cache] [--csv=FILE] [--json=FILE]
+ *             [--sms=N] [--rounds=N] [--expect-hit-rate=F] [--quiet]
+ *
+ * The manifest is a text file, one job per line:
+ *
+ *   # workload   config
+ *   MatrixMul    baseline
+ *   MatrixMul    shrink50
+ *   BFS          virtualized
+ *
+ * Configs: baseline, virtualized, virtualized-gating, shrink50,
+ * shrink50-gating, spill50, hwonly.  `--default` expands to every
+ * Table-1 workload under baseline, virtualized and shrink50 (48 jobs).
+ *
+ * --jobs=N           worker threads including the caller (default 1).
+ * --cache-dir=DIR    persistent result cache (default .rfv-cache).
+ * --no-cache         always simulate live; nothing read or written.
+ * --csv=FILE         per-job CSV (- for stdout); adds from_cache and
+ *                    seconds columns to the standard report columns.
+ * --json=FILE        engine counters + per-job rows as JSON.
+ * --expect-hit-rate=F  exit 1 unless jobsCached/jobsTotal >= F (CI
+ *                    gating for warm-cache runs).
+ *
+ * Examples:
+ *   run_sweep --default --jobs=8 --csv=sweep.csv
+ *   run_sweep manifest.txt --cache-dir=/tmp/rfv --json=-
+ *   run_sweep --default && run_sweep --default --expect-hit-rate=0.9
+ */
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/report.h"
+#include "service/sweep.h"
+#include "service/version.h"
+
+using namespace rfv;
+
+namespace {
+
+bool
+configByName(const std::string &name, RunConfig &cfg)
+{
+    if (name == "baseline")
+        cfg = RunConfig::baseline();
+    else if (name == "virtualized")
+        cfg = RunConfig::virtualized();
+    else if (name == "virtualized-gating")
+        cfg = RunConfig::virtualized(true);
+    else if (name == "shrink50")
+        cfg = RunConfig::gpuShrink(50);
+    else if (name == "shrink50-gating")
+        cfg = RunConfig::gpuShrink(50, true);
+    else if (name == "spill50")
+        cfg = RunConfig::compilerSpillShrink(50);
+    else if (name == "hwonly")
+        cfg = RunConfig::hardwareOnly();
+    else
+        return false;
+    return true;
+}
+
+std::vector<SweepJob>
+defaultManifest()
+{
+    std::vector<SweepJob> jobs;
+    for (const char *name : {"baseline", "virtualized", "shrink50"}) {
+        RunConfig cfg;
+        configByName(name, cfg);
+        for (const auto &w : allWorkloads())
+            jobs.push_back({w->name(), cfg});
+    }
+    return jobs;
+}
+
+std::vector<SweepJob>
+loadManifest(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot open manifest " + path);
+    std::vector<SweepJob> jobs;
+    std::string line;
+    size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream ls(line);
+        std::string workload, config;
+        if (!(ls >> workload))
+            continue; // blank/comment line
+        if (!(ls >> config))
+            throw std::runtime_error(path + ":" + std::to_string(lineno) +
+                                     ": expected 'workload config'");
+        SweepJob job;
+        job.workload = findWorkload(workload)->name();
+        if (!configByName(config, job.config))
+            throw std::runtime_error(path + ":" + std::to_string(lineno) +
+                                     ": unknown config " + config);
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+void
+writeJson(std::ostream &os, const std::vector<SweepJobResult> &results,
+          const SweepStats &st)
+{
+    os << "{\n";
+    os << "  \"simulator_version\": \"" << kSimulatorVersion << "\",\n";
+    os << "  \"jobs_total\": " << st.jobsTotal << ",\n";
+    os << "  \"jobs_run\": " << st.jobsRun << ",\n";
+    os << "  \"jobs_cached\": " << st.jobsCached << ",\n";
+    os << "  \"hit_rate\": " << st.hitRate() << ",\n";
+    os << "  \"steals\": " << st.steals << ",\n";
+    os << "  \"parks\": " << st.parks << ",\n";
+    os << "  \"artifacts\": {\n";
+    os << "    \"programs_built\": " << st.artifacts.programsBuilt
+       << ", \"programs_reused\": " << st.artifacts.programsReused
+       << ",\n";
+    os << "    \"compiles_built\": " << st.artifacts.compilesBuilt
+       << ", \"compiles_reused\": " << st.artifacts.compilesReused
+       << ",\n";
+    os << "    \"verifies_built\": " << st.artifacts.verifiesBuilt
+       << ", \"verifies_reused\": " << st.artifacts.verifiesReused
+       << ",\n";
+    os << "    \"decodes_built\": " << st.artifacts.decodesBuilt
+       << ", \"decodes_reused\": " << st.artifacts.decodesReused << "\n";
+    os << "  },\n";
+    os << "  \"cache\": { \"memory_hits\": " << st.cache.memoryHits
+       << ", \"disk_hits\": " << st.cache.diskHits
+       << ", \"misses\": " << st.cache.misses
+       << ", \"stores\": " << st.cache.stores
+       << ", \"bad_entries\": " << st.cache.badEntries << " },\n";
+    os << "  \"aggregate_cycles\": " << st.aggregateCycles << ",\n";
+    os << "  \"aggregate_instrs\": " << st.aggregateInstrs << ",\n";
+    os << "  \"wall_seconds\": " << st.wallSeconds << ",\n";
+    os << "  \"cycles_per_sec\": " << st.cyclesPerSec() << ",\n";
+    os << "  \"results\": [\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+        const SweepJobResult &r = results[i];
+        os << "    { \"workload\": \"" << jsonEscape(r.job.workload)
+           << "\", \"config\": \"" << jsonEscape(r.job.config.label)
+           << "\", \"key\": \"" << r.key
+           << "\", \"from_cache\": " << (r.fromCache ? "true" : "false")
+           << ", \"seconds\": " << r.seconds
+           << ", \"cycles\": " << r.outcome.sim.cycles
+           << ", \"issued_instrs\": " << r.outcome.sim.issuedInstrs
+           << ", \"energy_j\": " << r.outcome.energy.totalJ() << " }"
+           << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n";
+    os << "}\n";
+}
+
+/** Open @p spec ("-" = the given standard stream). */
+std::ostream &
+openOut(const std::string &spec, std::ofstream &file, std::ostream &std)
+{
+    if (spec == "-")
+        return std;
+    file.open(spec, std::ios::trunc);
+    if (!file)
+        throw std::runtime_error("cannot write " + spec);
+    return file;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::cerr
+            << "usage: run_sweep <manifest|--default> [--jobs=N] "
+               "[--cache-dir=DIR] [--no-cache] [--csv=FILE] "
+               "[--json=FILE] [--sms=N] [--rounds=N] "
+               "[--expect-hit-rate=F] [--quiet]\n";
+        return 2;
+    }
+
+    std::string manifestPath;
+    bool useDefault = false;
+    SweepOptions opts;
+    opts.cacheDir = ".rfv-cache";
+    std::string csvOut, jsonOut;
+    u32 sms = 0, rounds = 0;
+    bool haveSms = false, haveRounds = false, quiet = false;
+    double expectHitRate = -1;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--default")
+            useDefault = true;
+        else if (arg.rfind("--jobs=", 0) == 0)
+            opts.jobs = static_cast<u32>(std::stoul(arg.substr(7)));
+        else if (arg.rfind("--cache-dir=", 0) == 0)
+            opts.cacheDir = arg.substr(12);
+        else if (arg == "--no-cache")
+            opts.useCache = false;
+        else if (arg.rfind("--csv=", 0) == 0)
+            csvOut = arg.substr(6);
+        else if (arg.rfind("--json=", 0) == 0)
+            jsonOut = arg.substr(7);
+        else if (arg.rfind("--sms=", 0) == 0) {
+            sms = static_cast<u32>(std::stoul(arg.substr(6)));
+            haveSms = true;
+        } else if (arg.rfind("--rounds=", 0) == 0) {
+            rounds = static_cast<u32>(std::stoul(arg.substr(9)));
+            haveRounds = true;
+        } else if (arg.rfind("--expect-hit-rate=", 0) == 0)
+            expectHitRate = std::stod(arg.substr(18));
+        else if (arg == "--quiet")
+            quiet = true;
+        else if (arg.rfind("--", 0) == 0) {
+            std::cerr << "unknown option " << arg << "\n";
+            return 2;
+        } else
+            manifestPath = arg;
+    }
+    if (useDefault == !manifestPath.empty()) {
+        std::cerr << "expected exactly one of <manifest> or --default\n";
+        return 2;
+    }
+
+    try {
+        std::vector<SweepJob> manifest =
+            useDefault ? defaultManifest() : loadManifest(manifestPath);
+        for (SweepJob &job : manifest) {
+            if (haveSms)
+                job.config.numSms = sms;
+            if (haveRounds)
+                job.config.roundsPerSm = rounds;
+        }
+
+        SweepEngine engine(opts);
+        const std::vector<SweepJobResult> results = engine.run(manifest);
+        const SweepStats &st = engine.stats();
+
+        if (!csvOut.empty()) {
+            std::ofstream file;
+            std::ostream &os = openOut(csvOut, file, std::cout);
+            os << csvHeader() << ",from_cache,seconds\n";
+            for (const SweepJobResult &r : results)
+                os << csvRow(r.outcome) << ","
+                   << (r.fromCache ? 1 : 0) << "," << r.seconds << "\n";
+        }
+        if (!jsonOut.empty()) {
+            std::ofstream file;
+            std::ostream &os = openOut(jsonOut, file, std::cout);
+            writeJson(os, results, st);
+        }
+        if (!quiet)
+            std::cerr << st.summary() << "\n";
+
+        if (expectHitRate >= 0 && st.hitRate() < expectHitRate) {
+            std::cerr << "FAIL: hit rate " << st.hitRate()
+                      << " below expected " << expectHitRate << "\n";
+            return 1;
+        }
+    } catch (const std::exception &e) {
+        std::cerr << e.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

@@ -76,6 +76,8 @@ struct VerifyDiag {
 
     /** One-line rendering: "error[use-after-release] pc 12 r3: ...". */
     std::string str() const;
+
+    bool operator==(const VerifyDiag &) const = default;
 };
 
 /** Outcome of one verification run. */
@@ -90,6 +92,8 @@ struct VerifyResult {
 
     /** All diagnostics, one per line (empty string when clean). */
     std::string str() const;
+
+    bool operator==(const VerifyResult &) const = default;
 };
 
 /**

@@ -2,21 +2,7 @@
 
 namespace rfv {
 
-namespace {
-
-/** Spin with progressive back-off: pure spins, then yields. */
-struct Backoff {
-    u32 spins = 0;
-
-    void
-    pause()
-    {
-        if (++spins > 64)
-            std::this_thread::yield();
-    }
-};
-
-} // namespace
+// ---- ThreadPool --------------------------------------------------------
 
 ThreadPool::ThreadPool(u32 num_threads)
 {
@@ -29,10 +15,24 @@ ThreadPool::~ThreadPool()
 {
     stop_.store(true, std::memory_order_relaxed);
     // Wake spinners: workers re-check stop_ after every generation
-    // poll, and the release bump orders the stop_ store before it.
-    generation_.fetch_add(1, std::memory_order_release);
+    // poll, and the bump orders the stop_ store before it.  Parked
+    // workers need the notify as well.
+    generation_.fetch_add(1);
+    {
+        std::lock_guard<std::mutex> lk(parkMu_);
+        parkCv_.notify_all();
+    }
     for (auto &w : workers_)
         w.join();
+}
+
+void
+ThreadPool::wakeWorkers()
+{
+    if (sleepers_.load() > 0) {
+        std::lock_guard<std::mutex> lk(parkMu_);
+        parkCv_.notify_all();
+    }
 }
 
 void
@@ -49,7 +49,12 @@ ThreadPool::runTasks(const std::function<void(u32)> &fn)
             if (!firstError_)
                 firstError_ = std::current_exception();
         }
-        done_.fetch_add(1, std::memory_order_release);
+        // The finisher of the last index wakes a parked coordinator.
+        if (done_.fetch_add(1, std::memory_order_release) + 1 == count_ &&
+            waiterParked_.load()) {
+            std::lock_guard<std::mutex> lk(parkMu_);
+            waitCv_.notify_all();
+        }
     }
 }
 
@@ -62,6 +67,22 @@ ThreadPool::workerLoop()
         while (generation_.load(std::memory_order_acquire) == seen) {
             if (stop_.load(std::memory_order_relaxed))
                 return;
+            if (backoff.shouldPark()) {
+                // Bounded backoff elapsed: park until the next round.
+                // The wait predicate re-checks generation_ under the
+                // mutex, and the coordinator bumps generation_ before
+                // reading sleepers_, so the wakeup cannot be missed
+                // (both accesses are seq_cst).
+                std::unique_lock<std::mutex> lk(parkMu_);
+                sleepers_.fetch_add(1);
+                parks_.fetch_add(1, std::memory_order_relaxed);
+                parkCv_.wait(lk, [&] {
+                    return generation_.load() != seen ||
+                           stop_.load(std::memory_order_relaxed);
+                });
+                sleepers_.fetch_sub(1);
+                break;
+            }
             backoff.pause();
         }
         if (stop_.load(std::memory_order_relaxed))
@@ -71,7 +92,10 @@ ThreadPool::workerLoop()
         // Announce that this worker is out of the round, so the
         // coordinator knows when it is safe to publish the next
         // round's (fn_, count_).
-        exited_.fetch_add(1, std::memory_order_release);
+        if (exited_.fetch_add(1) + 1 == size() && waiterParked_.load()) {
+            std::lock_guard<std::mutex> lk(parkMu_);
+            waitCv_.notify_all();
+        }
     }
 }
 
@@ -92,8 +116,16 @@ ThreadPool::parallelFor(u32 count, const std::function<void(u32)> &fn)
     // claimed no index can still be draining their claim loop here.
     if (roundOpen_) {
         Backoff retire;
-        while (exited_.load(std::memory_order_acquire) < size())
+        while (exited_.load() < size()) {
+            if (retire.shouldPark()) {
+                std::unique_lock<std::mutex> lk(parkMu_);
+                waiterParked_.store(true);
+                waitCv_.wait(lk, [&] { return exited_.load() >= size(); });
+                waiterParked_.store(false);
+                break;
+            }
             retire.pause();
+        }
     }
 
     fn_ = &fn;
@@ -103,13 +135,24 @@ ThreadPool::parallelFor(u32 count, const std::function<void(u32)> &fn)
     exited_.store(0, std::memory_order_relaxed);
     firstError_ = nullptr;
     roundOpen_ = true;
-    generation_.fetch_add(1, std::memory_order_release);
+    generation_.fetch_add(1);
+    wakeWorkers();
 
     runTasks(fn); // the coordinator is a worker too
 
     Backoff backoff;
-    while (done_.load(std::memory_order_acquire) < count)
+    while (done_.load(std::memory_order_acquire) < count) {
+        if (backoff.shouldPark()) {
+            std::unique_lock<std::mutex> lk(parkMu_);
+            waiterParked_.store(true);
+            waitCv_.wait(lk, [&] {
+                return done_.load(std::memory_order_acquire) >= count;
+            });
+            waiterParked_.store(false);
+            break;
+        }
         backoff.pause();
+    }
 
     if (firstError_) {
         std::exception_ptr e;
@@ -118,6 +161,147 @@ ThreadPool::parallelFor(u32 count, const std::function<void(u32)> &fn)
             e = firstError_;
             firstError_ = nullptr;
         }
+        std::rethrow_exception(e);
+    }
+}
+
+// ---- WorkStealingPool --------------------------------------------------
+
+WorkStealingPool::WorkStealingPool(u32 num_threads)
+{
+    const u32 n = num_threads == 0 ? 1 : num_threads;
+    slots_.reserve(n);
+    for (u32 i = 0; i < n; ++i)
+        slots_.push_back(std::make_unique<Slot>());
+    workers_.reserve(n - 1);
+    for (u32 i = 1; i < n; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+WorkStealingPool::~WorkStealingPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+        roundCv_.notify_all();
+    }
+    for (auto &w : workers_)
+        w.join();
+}
+
+bool
+WorkStealingPool::popOwn(u32 self, u32 &job)
+{
+    Slot &s = *slots_[self];
+    std::lock_guard<std::mutex> lk(s.mu);
+    if (s.jobs.empty())
+        return false;
+    job = s.jobs.front();
+    s.jobs.pop_front();
+    return true;
+}
+
+bool
+WorkStealingPool::trySteal(u32 self, u32 &job)
+{
+    const u32 n = size();
+    for (u32 off = 1; off < n; ++off) {
+        Slot &v = *slots_[(self + off) % n];
+        std::lock_guard<std::mutex> lk(v.mu);
+        if (v.jobs.empty())
+            continue;
+        // Steal from the opposite end the owner pops from: the owner
+        // keeps its cache-warm front, thieves drain the cold back.
+        job = v.jobs.back();
+        v.jobs.pop_back();
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+    }
+    return false;
+}
+
+void
+WorkStealingPool::workRound(u32 self,
+                            const std::function<void(u32, u32)> &fn)
+{
+    u32 job = 0;
+    while (popOwn(self, job) || trySteal(self, job)) {
+        try {
+            fn(job, self);
+        } catch (...) {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (!firstError_)
+                firstError_ = std::current_exception();
+        }
+        std::lock_guard<std::mutex> lk(mu_);
+        if (--remaining_ == 0)
+            doneCv_.notify_all();
+    }
+}
+
+void
+WorkStealingPool::workerLoop(u32 self)
+{
+    u64 seen = 0;
+    for (;;) {
+        const std::function<void(u32, u32)> *fn = nullptr;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            if (generation_ == seen && !stop_) {
+                parks_.fetch_add(1, std::memory_order_relaxed);
+                roundCv_.wait(lk,
+                              [&] { return generation_ != seen || stop_; });
+            }
+            if (stop_)
+                return;
+            seen = generation_;
+            fn = fn_;
+        }
+        workRound(self, *fn);
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            ++exited_;
+            doneCv_.notify_all();
+        }
+    }
+}
+
+void
+WorkStealingPool::run(u32 count, const std::function<void(u32, u32)> &fn)
+{
+    if (count == 0)
+        return;
+
+    // Deal jobs round-robin; manifest order is preserved within each
+    // deque, so --jobs=1 degenerates to exact manifest order.
+    for (u32 i = 0; i < count; ++i) {
+        Slot &s = *slots_[i % size()];
+        std::lock_guard<std::mutex> lk(s.mu);
+        s.jobs.push_back(i);
+    }
+
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        fn_ = &fn;
+        remaining_ = count;
+        exited_ = 0;
+        firstError_ = nullptr;
+        ++generation_;
+        roundCv_.notify_all();
+    }
+
+    workRound(0, fn); // the caller is worker 0
+
+    std::unique_lock<std::mutex> lk(mu_);
+    doneCv_.wait(lk, [&] {
+        return remaining_ == 0 &&
+               exited_ == static_cast<u32>(workers_.size());
+    });
+
+    if (firstError_) {
+        std::exception_ptr e = firstError_;
+        firstError_ = nullptr;
+        lk.unlock();
         std::rethrow_exception(e);
     }
 }

@@ -1,22 +1,33 @@
 /**
  * @file
- * Persistent worker-thread pool with barrier-style parallel-for.
+ * Thread pools for the two parallelism grains of the simulator:
  *
- * Built for the multi-SM cycle loop: one parallelFor() call per
- * simulated cycle, so per-round overhead matters far more than
- * fairness.  Workers spin (with yield back-off) on a round counter
- * instead of sleeping on a condition variable — a condvar wake costs
- * microseconds, which would dwarf the sub-microsecond work barrier
- * the cycle loop needs.  The pool is expected to be short-lived
- * (created per Gpu::run), so idle spinning between rounds is bounded
- * by coordinator work between barriers.
+ *  - ThreadPool: persistent workers with a barrier-style parallelFor,
+ *    built for the multi-SM cycle loop (one round per simulated
+ *    cycle).  Workers spin briefly between rounds — a condition
+ *    variable wake costs microseconds, which would dwarf the
+ *    sub-microsecond barrier the cycle loop needs — but the spin is
+ *    *bounded*: after an exponential spin/yield backoff they park on
+ *    a condition variable, so pools whose coordinator is busy (or
+ *    pools belonging to jobs queued behind others in a sweep) stop
+ *    burning CPU instead of spinning at 100% until the next round.
+ *
+ *  - WorkStealingPool: coarse-grained job scheduler for batch sweeps.
+ *    Jobs are dealt round-robin into per-worker deques; owners pop
+ *    from the front, idle workers steal from the back of a victim's
+ *    deque, and workers with nothing left to steal leave the round
+ *    (no spinning while a long job drains).  Between rounds workers
+ *    park on a condition variable.
  */
 #ifndef RFV_COMMON_THREAD_POOL_H
 #define RFV_COMMON_THREAD_POOL_H
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -24,6 +35,32 @@
 #include "common/types.h"
 
 namespace rfv {
+
+/**
+ * Progressive wait: pure spins, then yields, then (if the caller asks)
+ * parking.  shouldPark() turns true only after the bounded spin/yield
+ * phase has elapsed, so short waits never touch a mutex.
+ */
+struct Backoff {
+    u32 iters = 0;
+
+    void
+    pause()
+    {
+        ++iters;
+        if (iters > 64)
+            std::this_thread::yield();
+    }
+
+    /** True once spinning has gone on long enough to justify a park. */
+    bool
+    shouldPark() const
+    {
+        return iters > 4096;
+    }
+
+    void reset() { iters = 0; }
+};
 
 /**
  * Fixed-size pool running index-based task batches.
@@ -48,9 +85,13 @@ class ThreadPool {
     /** Run fn(i) for i in [0, count); returns after all complete. */
     void parallelFor(u32 count, const std::function<void(u32)> &fn);
 
+    /** Times workers parked between rounds (idle accounting). */
+    u64 parks() const { return parks_.load(std::memory_order_relaxed); }
+
   private:
     void workerLoop();
     void runTasks(const std::function<void(u32)> &fn);
+    void wakeWorkers();
 
     std::vector<std::thread> workers_;
 
@@ -68,7 +109,81 @@ class ThreadPool {
     std::atomic<u32> done_{0};
     std::atomic<u32> exited_{0};
 
+    // Parking: workers that exhaust their spin/yield budget sleep on
+    // parkCv_; the coordinator notifies after bumping generation_ when
+    // sleepers_ is nonzero.  The coordinator itself parks on waitCv_
+    // (flagged by waiterParked_) while waiting for done_/exited_, and
+    // the worker that retires the last index/exit notifies it.
+    std::mutex parkMu_;
+    std::condition_variable parkCv_;
+    std::condition_variable waitCv_;
+    std::atomic<u32> sleepers_{0};
+    std::atomic<bool> waiterParked_{false};
+    std::atomic<u64> parks_{0};
+
     std::mutex errorMu_;
+    std::exception_ptr firstError_;
+};
+
+/**
+ * Work-stealing scheduler for coarse jobs (whole simulations).
+ *
+ * run(n, fn) executes fn(job, worker) exactly once for every job in
+ * [0, n), on @p numThreads workers including the calling thread.
+ * Jobs are dealt round-robin into per-worker deques up front; an
+ * owner pops from the front of its own deque, and a worker whose
+ * deque is empty steals from the back of the first non-empty victim.
+ * A worker that finds every deque empty leaves the round, so nobody
+ * spins while the last long job drains.  Exceptions are captured and
+ * the first is rethrown on the calling thread.
+ */
+class WorkStealingPool {
+  public:
+    /** Total worker count including the caller; clamped to >= 1. */
+    explicit WorkStealingPool(u32 numThreads);
+    ~WorkStealingPool();
+
+    WorkStealingPool(const WorkStealingPool &) = delete;
+    WorkStealingPool &operator=(const WorkStealingPool &) = delete;
+
+    /** Workers including the calling thread. */
+    u32 size() const { return static_cast<u32>(slots_.size()); }
+
+    /** Run all jobs; fn(jobIndex, workerId). */
+    void run(u32 count, const std::function<void(u32, u32)> &fn);
+
+    /** Jobs executed by a worker other than the one they were dealt to. */
+    u64 steals() const { return steals_.load(std::memory_order_relaxed); }
+
+    /** Times a worker blocked waiting for work (idle parking events). */
+    u64 parks() const { return parks_.load(std::memory_order_relaxed); }
+
+  private:
+    struct alignas(64) Slot {
+        std::mutex mu;
+        std::deque<u32> jobs;
+    };
+
+    void workerLoop(u32 self);
+    void workRound(u32 self, const std::function<void(u32, u32)> &fn);
+    bool popOwn(u32 self, u32 &job);
+    bool trySteal(u32 self, u32 &job);
+
+    std::vector<std::unique_ptr<Slot>> slots_; //!< one per worker, [0]=caller
+    std::vector<std::thread> workers_;         //!< size()-1 spawned threads
+
+    std::mutex mu_;
+    std::condition_variable roundCv_; //!< workers wait for a round/stop
+    std::condition_variable doneCv_;  //!< caller waits for the round end
+    u64 generation_ = 0;
+    bool stop_ = false;
+    const std::function<void(u32, u32)> *fn_ = nullptr;
+    u32 remaining_ = 0; //!< jobs not yet completed this round
+    u32 exited_ = 0;    //!< spawned workers that left the round
+
+    std::atomic<u64> steals_{0};
+    std::atomic<u64> parks_{0};
+
     std::exception_ptr firstError_;
 };
 

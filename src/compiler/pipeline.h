@@ -62,6 +62,8 @@ struct CompileStats {
                    ? 100.0 * staticMeta / staticRegular
                    : 0.0;
     }
+
+    bool operator==(const CompileStats &) const = default;
 };
 
 /** A compiled kernel plus its statistics. */

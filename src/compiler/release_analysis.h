@@ -45,6 +45,8 @@ struct RegisterStat {
         return defs ? static_cast<double>(liveSpan) / defs
                     : static_cast<double>(liveSpan);
     }
+
+    bool operator==(const RegisterStat &) const = default;
 };
 
 /** Options controlling the analysis. */

@@ -27,6 +27,14 @@ struct RunOutcome {
     /** True when RunConfig::verifyReleases ran the static verifier. */
     bool verified = false;
     VerifyResult verify;
+
+    /**
+     * Field-wise equality over every payload field, including energy
+     * doubles and verifier diagnostics: the memoized-replay contract
+     * of the batch engine (a cache hit must be indistinguishable from
+     * a live run).
+     */
+    bool operator==(const RunOutcome &) const = default;
 };
 
 /**

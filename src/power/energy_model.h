@@ -56,6 +56,8 @@ struct EnergyBreakdown {
     {
         return dynamicJ + staticJ + renameTableJ + flagInstrJ;
     }
+
+    bool operator==(const EnergyBreakdown &) const = default;
 };
 
 /** Compute the breakdown for one finished run. */

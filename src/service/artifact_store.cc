@@ -1,0 +1,88 @@
+#include "service/artifact_store.h"
+
+#include "analysis/verifier.h"
+
+namespace rfv {
+
+std::shared_ptr<const InputArtifact>
+ArtifactStore::inputProgram(const std::string &name,
+                            const std::function<Program()> &build)
+{
+    return inputs_.getOrBuild(
+        name,
+        [&]() -> std::shared_ptr<const InputArtifact> {
+            auto art = std::make_shared<InputArtifact>();
+            art->program = build();
+            art->hash = hashProgram(art->program);
+            return art;
+        },
+        programsBuilt_, programsReused_);
+}
+
+std::shared_ptr<const CompiledArtifact>
+ArtifactStore::compiled(const std::shared_ptr<const InputArtifact> &input,
+                        const CompileOptions &opts)
+{
+    Hasher h;
+    h.u64v(input->hash.hi);
+    h.u64v(input->hash.lo);
+    addCompileOptions(h, opts);
+    return compiles_.getOrBuild(
+        h.digest().hex(),
+        [&]() -> std::shared_ptr<const CompiledArtifact> {
+            auto art = std::make_shared<CompiledArtifact>();
+            art->kernel = compileKernel(input->program, opts);
+            art->programHash = hashProgram(art->kernel.program);
+            return art;
+        },
+        compilesBuilt_, compilesReused_);
+}
+
+std::shared_ptr<const VerifyResult>
+ArtifactStore::verifyFor(const std::shared_ptr<const CompiledArtifact> &ck)
+{
+    return verifies_.getOrBuild(
+        ck->programHash.hex(),
+        [&]() -> std::shared_ptr<const VerifyResult> {
+            return std::make_shared<VerifyResult>(
+                verifyReleaseSoundness(ck->kernel.program));
+        },
+        verifiesBuilt_, verifiesReused_);
+}
+
+std::shared_ptr<const DecodeArtifact>
+ArtifactStore::decode(const std::shared_ptr<const CompiledArtifact> &ck,
+                      const GpuConfig &gpu)
+{
+    Hasher h;
+    h.u64v(ck->programHash.hi);
+    h.u64v(ck->programHash.lo);
+    // addGpuConfig already canonicalizes the decode-irrelevant knobs
+    // (eventDriven, numWorkerThreads, checkSmOverlap), so the naive
+    // and event-driven loops share one DecodeCache.
+    addGpuConfig(h, gpu);
+    return decodes_.getOrBuild(
+        h.digest().hex(),
+        [&]() -> std::shared_ptr<const DecodeArtifact> {
+            return std::make_shared<DecodeArtifact>(ck->kernel.program,
+                                                    gpu);
+        },
+        decodesBuilt_, decodesReused_);
+}
+
+ArtifactStore::Stats
+ArtifactStore::stats() const
+{
+    Stats s;
+    s.programsBuilt = programsBuilt_.load(std::memory_order_relaxed);
+    s.programsReused = programsReused_.load(std::memory_order_relaxed);
+    s.compilesBuilt = compilesBuilt_.load(std::memory_order_relaxed);
+    s.compilesReused = compilesReused_.load(std::memory_order_relaxed);
+    s.verifiesBuilt = verifiesBuilt_.load(std::memory_order_relaxed);
+    s.verifiesReused = verifiesReused_.load(std::memory_order_relaxed);
+    s.decodesBuilt = decodesBuilt_.load(std::memory_order_relaxed);
+    s.decodesReused = decodesReused_.load(std::memory_order_relaxed);
+    return s;
+}
+
+} // namespace rfv

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Content-addressed store of immutable per-program artifacts, shared
+ * across every job of a sweep (and across repeats of the same job).
+ *
+ * A batch manifest runs the same workload under many configurations;
+ * without sharing, every job re-assembles the kernel, re-runs the
+ * compile pipeline, re-verifies and re-builds the DecodeCache — all
+ * deterministic functions of (program, options).  The store memoizes
+ * each level by content hash:
+ *
+ *   input program   keyed by workload name (assembled once, hashed once)
+ *   compiled kernel keyed by (input hash, CompileOptions)
+ *   verify result   keyed by compiled-program hash
+ *   decode cache    keyed by (compiled hash, decode-relevant GpuConfig)
+ *
+ * All getters are thread-safe: the first caller builds while
+ * concurrent callers for the same key block on a shared_future, so an
+ * artifact is built exactly once per process regardless of scheduling
+ * (this is the fix for the duplicate DecodeCache construction the
+ * one-shot drivers suffered when sweeping configs in-process).  The
+ * DecodeCache's build-time cross-check against the on-demand decode
+ * path still runs — once, on the building thread.
+ */
+#ifndef RFV_SERVICE_ARTIFACT_STORE_H
+#define RFV_SERVICE_ARTIFACT_STORE_H
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "analysis/verifier.h"
+#include "compiler/pipeline.h"
+#include "service/hash.h"
+#include "sim/decode_cache.h"
+
+namespace rfv {
+
+/** Assembled (metadata-free) input program plus its content hash. */
+struct InputArtifact {
+    Program program;
+    Hash128 hash;
+};
+
+/** One compile-pipeline output plus the compiled program's hash. */
+struct CompiledArtifact {
+    CompiledKernel kernel;
+    Hash128 programHash; //!< hash of kernel.program (post-compile)
+};
+
+/** One DecodeCache (immutable after construction). */
+struct DecodeArtifact {
+    DecodeCache cache;
+
+    DecodeArtifact(const Program &prog, const GpuConfig &cfg)
+        : cache(prog, cfg)
+    {
+    }
+};
+
+class ArtifactStore {
+  public:
+    struct Stats {
+        u64 programsBuilt = 0;
+        u64 programsReused = 0;
+        u64 compilesBuilt = 0;
+        u64 compilesReused = 0;
+        u64 verifiesBuilt = 0;
+        u64 verifiesReused = 0;
+        u64 decodesBuilt = 0;
+        u64 decodesReused = 0;
+    };
+
+    /** Assemble (via @p build) or reuse the input program for @p name. */
+    std::shared_ptr<const InputArtifact>
+    inputProgram(const std::string &name,
+                 const std::function<Program()> &build);
+
+    /** Compile or reuse @p input under @p opts. */
+    std::shared_ptr<const CompiledArtifact>
+    compiled(const std::shared_ptr<const InputArtifact> &input,
+             const CompileOptions &opts);
+
+    /** Run or reuse the release-soundness verifier for @p ck. */
+    std::shared_ptr<const VerifyResult>
+    verifyFor(const std::shared_ptr<const CompiledArtifact> &ck);
+
+    /** Build or reuse the DecodeCache for @p ck under @p gpu. */
+    std::shared_ptr<const DecodeArtifact>
+    decode(const std::shared_ptr<const CompiledArtifact> &ck,
+           const GpuConfig &gpu);
+
+    Stats stats() const;
+
+  private:
+    /**
+     * get-or-build memo: exactly one build per key; racing callers
+     * block on the builder's shared_future.  A build that throws
+     * propagates to every waiter.
+     */
+    template <typename V>
+    class Memo {
+      public:
+        std::shared_ptr<const V>
+        getOrBuild(const std::string &key,
+                   const std::function<std::shared_ptr<const V>()> &build,
+                   std::atomic<u64> &built, std::atomic<u64> &reused)
+        {
+            std::shared_future<std::shared_ptr<const V>> fut;
+            std::promise<std::shared_ptr<const V>> mine;
+            bool builder = false;
+            {
+                std::lock_guard<std::mutex> lk(mu_);
+                auto it = map_.find(key);
+                if (it != map_.end()) {
+                    reused.fetch_add(1, std::memory_order_relaxed);
+                    fut = it->second;
+                } else {
+                    fut = mine.get_future().share();
+                    map_.emplace(key, fut);
+                    builder = true;
+                }
+            }
+            if (builder) {
+                built.fetch_add(1, std::memory_order_relaxed);
+                try {
+                    mine.set_value(build());
+                } catch (...) {
+                    mine.set_exception(std::current_exception());
+                }
+            }
+            return fut.get();
+        }
+
+      private:
+        std::mutex mu_;
+        std::unordered_map<std::string,
+                           std::shared_future<std::shared_ptr<const V>>>
+            map_;
+    };
+
+    Memo<InputArtifact> inputs_;
+    Memo<CompiledArtifact> compiles_;
+    Memo<VerifyResult> verifies_;
+    Memo<DecodeArtifact> decodes_;
+
+    std::atomic<u64> programsBuilt_{0}, programsReused_{0};
+    std::atomic<u64> compilesBuilt_{0}, compilesReused_{0};
+    std::atomic<u64> verifiesBuilt_{0}, verifiesReused_{0};
+    std::atomic<u64> decodesBuilt_{0}, decodesReused_{0};
+};
+
+} // namespace rfv
+
+#endif // RFV_SERVICE_ARTIFACT_STORE_H

@@ -1,0 +1,443 @@
+#include "service/result_cache.h"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rfv {
+
+namespace {
+
+constexpr const char *kMagic = "rfv-result";
+constexpr u64 kFormatVersion = 1;
+
+/** Line-oriented tagged writer: "u key value", "d key hexbits", …. */
+class Writer {
+  public:
+    explicit Writer(std::ostream &os) : os_(os) {}
+
+    void
+    u(const char *key, u64 v)
+    {
+        os_ << "u " << key << ' ' << v << '\n';
+    }
+
+    void
+    d(const char *key, double v)
+    {
+        u64 bits;
+        __builtin_memcpy(&bits, &v, sizeof(bits));
+        char buf[17];
+        std::snprintf(buf, sizeof(buf), "%016llx",
+                      static_cast<unsigned long long>(bits));
+        os_ << "d " << key << ' ' << buf << '\n';
+    }
+
+    void
+    s(const char *key, const std::string &v)
+    {
+        os_ << "s " << key << ' ' << v.size() << '\n';
+        os_.write(v.data(), static_cast<std::streamsize>(v.size()));
+        os_ << '\n';
+    }
+
+  private:
+    std::ostream &os_;
+};
+
+/** Strict reader: every tag and key must match the writing order. */
+class Reader {
+  public:
+    explicit Reader(std::istream &is) : is_(is) {}
+
+    u64
+    u(const char *key)
+    {
+        expect("u", key);
+        u64 v = 0;
+        if (!(is_ >> v))
+            bad(key);
+        return v;
+    }
+
+    double
+    d(const char *key)
+    {
+        expect("d", key);
+        std::string hex;
+        if (!(is_ >> hex) || hex.size() != 16)
+            bad(key);
+        const u64 bits = std::stoull(hex, nullptr, 16);
+        double v;
+        __builtin_memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    std::string
+    s(const char *key)
+    {
+        expect("s", key);
+        u64 len = 0;
+        if (!(is_ >> len) || len > (64u << 20))
+            bad(key);
+        is_.get(); // the newline after the length
+        std::string v(len, '\0');
+        is_.read(v.data(), static_cast<std::streamsize>(len));
+        if (!is_)
+            bad(key);
+        return v;
+    }
+
+  private:
+    void
+    expect(const char *tag, const char *key)
+    {
+        std::string t, k;
+        if (!(is_ >> t >> k) || t != tag || k != key)
+            bad(key);
+    }
+
+    [[noreturn]] void
+    bad(const char *key)
+    {
+        throw std::runtime_error(std::string("malformed cache entry at ") +
+                                 key);
+    }
+
+    std::istream &is_;
+};
+
+void
+writeVec(Writer &w, const char *key, const std::vector<u64> &v)
+{
+    w.u(key, v.size());
+    for (u64 x : v)
+        w.u("item", x);
+}
+
+std::vector<u64>
+readVec(Reader &r, const char *key)
+{
+    const u64 n = r.u(key);
+    if (n > (1u << 20))
+        throw std::runtime_error("oversized vector in cache entry");
+    std::vector<u64> v(n);
+    for (u64 i = 0; i < n; ++i)
+        v[i] = r.u("item");
+    return v;
+}
+
+} // namespace
+
+void
+ResultCache::serialize(std::ostream &os, const RunOutcome &o)
+{
+    Writer w(os);
+    os << kMagic << ' ' << kFormatVersion << '\n';
+    w.s("workload", o.workload);
+    w.s("configLabel", o.configLabel);
+
+    w.u("gridCtas", o.launch.gridCtas);
+    w.u("threadsPerCta", o.launch.threadsPerCta);
+    w.u("concCtasPerSm", o.launch.concCtasPerSm);
+
+    const CompileStats &c = o.compile;
+    w.u("inputRegs", c.inputRegs);
+    w.u("finalRegs", c.finalRegs);
+    w.u("numExempt", c.numExempt);
+    w.u("staticRegular", c.staticRegular);
+    w.u("staticMeta", c.staticMeta);
+    w.u("numPirInstrs", c.numPirInstrs);
+    w.u("numPbrInstrs", c.numPbrInstrs);
+    w.u("numPirBits", c.numPirBits);
+    w.u("numPbrRegs", c.numPbrRegs);
+    w.u("unconstrainedTableBytes", c.unconstrainedTableBytes);
+    w.u("constrainedTableBytes", c.constrainedTableBytes);
+    w.u("demotedRegs", c.demotedRegs);
+    w.u("spillLoads", c.spillLoads);
+    w.u("spillStores", c.spillStores);
+    w.u("regStats", c.regStats.size());
+    for (const RegisterStat &rs : c.regStats) {
+        w.u("defs", rs.defs);
+        w.u("uses", rs.uses);
+        w.u("liveSpan", rs.liveSpan);
+    }
+
+    const SimResult &s = o.sim;
+    w.u("cycles", s.cycles);
+    w.u("issuedInstrs", s.issuedInstrs);
+    w.u("threadInstrs", s.threadInstrs);
+    w.u("metaEncounters", s.metaEncounters);
+    w.u("metaDecoded", s.metaDecoded);
+    w.u("flagCacheHits", s.flagCacheHits);
+    w.u("flagCacheMisses", s.flagCacheMisses);
+    w.u("scoreboardStalls", s.scoreboardStalls);
+    w.u("allocStallEvents", s.allocStallEvents);
+    w.u("throttleActiveCycles", s.throttleActiveCycles);
+    w.u("bankConflictCycles", s.bankConflictCycles);
+    w.u("spillEvents", s.spillEvents);
+    w.u("spilledRegs", s.spilledRegs);
+    w.u("refilledRegs", s.refilledRegs);
+    w.u("wakeStallEvents", s.wakeStallEvents);
+    w.u("icacheHits", s.icacheHits);
+    w.u("icacheMisses", s.icacheMisses);
+    w.u("dcacheHits", s.dcacheHits);
+    w.u("dcacheMisses", s.dcacheMisses);
+    w.u("peakResidentWarps", s.peakResidentWarps);
+    w.u("completedCtas", s.completedCtas);
+    w.u("regsPerWarp", s.regsPerWarp);
+
+    writeVec(w, "bankReads", s.rf.bankReads);
+    writeVec(w, "bankWrites", s.rf.bankWrites);
+    w.u("allocations", s.rf.allocations);
+    w.u("releases", s.rf.releases);
+    w.u("wakeEvents", s.rf.wakeEvents);
+    w.u("activeSubarrayCycles", s.rf.activeSubarrayCycles);
+    w.u("rfSampledCycles", s.rf.sampledCycles);
+    w.u("allocWatermark", s.rf.allocWatermark);
+    w.u("touchedCount", s.rf.touchedCount);
+    w.u("crossWarpReuse", s.rf.crossWarpReuse);
+    w.u("sameWarpReuse", s.rf.sameWarpReuse);
+
+    w.u("lookups", s.rename.lookups);
+    w.u("updates", s.rename.updates);
+    w.u("renameSpills", s.rename.spills);
+    w.u("renameRefills", s.rename.refills);
+    w.u("mappedRegCycles", s.rename.mappedRegCycles);
+    w.u("renameSampledCycles", s.rename.sampledCycles);
+
+    w.u("dramRequests", s.dram.requests);
+    w.u("dramTransactions", s.dram.transactions);
+    w.u("dramQueueCycles", s.dram.queueCycles);
+
+    w.u("steppedCycles", o.loop.steppedCycles);
+    w.u("skippedCycles", o.loop.skippedCycles);
+    w.u("smStepsElided", o.loop.smStepsElided);
+
+    w.d("dynamicJ", o.energy.dynamicJ);
+    w.d("staticJ", o.energy.staticJ);
+    w.d("renameTableJ", o.energy.renameTableJ);
+    w.d("flagInstrJ", o.energy.flagInstrJ);
+
+    w.u("verified", o.verified ? 1 : 0);
+    w.u("releasesChecked", o.verify.releasesChecked);
+    w.u("numErrors", o.verify.numErrors);
+    w.u("numWarnings", o.verify.numWarnings);
+    w.u("diags", o.verify.diags.size());
+    for (const VerifyDiag &dg : o.verify.diags) {
+        w.u("kind", static_cast<u64>(dg.kind));
+        w.u("severity", static_cast<u64>(dg.severity));
+        w.u("pc", dg.pc);
+        w.u("reg", dg.reg);
+        w.s("message", dg.message);
+    }
+    os << "end\n";
+}
+
+RunOutcome
+ResultCache::deserialize(std::istream &is)
+{
+    std::string magic;
+    u64 fmt = 0;
+    if (!(is >> magic >> fmt) || magic != kMagic || fmt != kFormatVersion)
+        throw std::runtime_error("bad cache entry header");
+
+    Reader r(is);
+    RunOutcome o;
+    o.workload = r.s("workload");
+    o.configLabel = r.s("configLabel");
+
+    o.launch.gridCtas = static_cast<u32>(r.u("gridCtas"));
+    o.launch.threadsPerCta = static_cast<u32>(r.u("threadsPerCta"));
+    o.launch.concCtasPerSm = static_cast<u32>(r.u("concCtasPerSm"));
+
+    CompileStats &c = o.compile;
+    c.inputRegs = static_cast<u32>(r.u("inputRegs"));
+    c.finalRegs = static_cast<u32>(r.u("finalRegs"));
+    c.numExempt = static_cast<u32>(r.u("numExempt"));
+    c.staticRegular = static_cast<u32>(r.u("staticRegular"));
+    c.staticMeta = static_cast<u32>(r.u("staticMeta"));
+    c.numPirInstrs = static_cast<u32>(r.u("numPirInstrs"));
+    c.numPbrInstrs = static_cast<u32>(r.u("numPbrInstrs"));
+    c.numPirBits = static_cast<u32>(r.u("numPirBits"));
+    c.numPbrRegs = static_cast<u32>(r.u("numPbrRegs"));
+    c.unconstrainedTableBytes =
+        static_cast<u32>(r.u("unconstrainedTableBytes"));
+    c.constrainedTableBytes =
+        static_cast<u32>(r.u("constrainedTableBytes"));
+    c.demotedRegs = static_cast<u32>(r.u("demotedRegs"));
+    c.spillLoads = static_cast<u32>(r.u("spillLoads"));
+    c.spillStores = static_cast<u32>(r.u("spillStores"));
+    const u64 nrs = r.u("regStats");
+    if (nrs > (1u << 20))
+        throw std::runtime_error("oversized regStats in cache entry");
+    c.regStats.resize(nrs);
+    for (RegisterStat &rs : c.regStats) {
+        rs.defs = static_cast<u32>(r.u("defs"));
+        rs.uses = static_cast<u32>(r.u("uses"));
+        rs.liveSpan = static_cast<u32>(r.u("liveSpan"));
+    }
+
+    SimResult &s = o.sim;
+    s.cycles = r.u("cycles");
+    s.issuedInstrs = r.u("issuedInstrs");
+    s.threadInstrs = r.u("threadInstrs");
+    s.metaEncounters = r.u("metaEncounters");
+    s.metaDecoded = r.u("metaDecoded");
+    s.flagCacheHits = r.u("flagCacheHits");
+    s.flagCacheMisses = r.u("flagCacheMisses");
+    s.scoreboardStalls = r.u("scoreboardStalls");
+    s.allocStallEvents = r.u("allocStallEvents");
+    s.throttleActiveCycles = r.u("throttleActiveCycles");
+    s.bankConflictCycles = r.u("bankConflictCycles");
+    s.spillEvents = r.u("spillEvents");
+    s.spilledRegs = r.u("spilledRegs");
+    s.refilledRegs = r.u("refilledRegs");
+    s.wakeStallEvents = r.u("wakeStallEvents");
+    s.icacheHits = r.u("icacheHits");
+    s.icacheMisses = r.u("icacheMisses");
+    s.dcacheHits = r.u("dcacheHits");
+    s.dcacheMisses = r.u("dcacheMisses");
+    s.peakResidentWarps = static_cast<u32>(r.u("peakResidentWarps"));
+    s.completedCtas = static_cast<u32>(r.u("completedCtas"));
+    s.regsPerWarp = static_cast<u32>(r.u("regsPerWarp"));
+
+    s.rf.bankReads = readVec(r, "bankReads");
+    s.rf.bankWrites = readVec(r, "bankWrites");
+    s.rf.allocations = r.u("allocations");
+    s.rf.releases = r.u("releases");
+    s.rf.wakeEvents = r.u("wakeEvents");
+    s.rf.activeSubarrayCycles = r.u("activeSubarrayCycles");
+    s.rf.sampledCycles = r.u("rfSampledCycles");
+    s.rf.allocWatermark = static_cast<u32>(r.u("allocWatermark"));
+    s.rf.touchedCount = static_cast<u32>(r.u("touchedCount"));
+    s.rf.crossWarpReuse = r.u("crossWarpReuse");
+    s.rf.sameWarpReuse = r.u("sameWarpReuse");
+
+    s.rename.lookups = r.u("lookups");
+    s.rename.updates = r.u("updates");
+    s.rename.spills = r.u("renameSpills");
+    s.rename.refills = r.u("renameRefills");
+    s.rename.mappedRegCycles = r.u("mappedRegCycles");
+    s.rename.sampledCycles = r.u("renameSampledCycles");
+
+    s.dram.requests = r.u("dramRequests");
+    s.dram.transactions = r.u("dramTransactions");
+    s.dram.queueCycles = r.u("dramQueueCycles");
+
+    o.loop.steppedCycles = r.u("steppedCycles");
+    o.loop.skippedCycles = r.u("skippedCycles");
+    o.loop.smStepsElided = r.u("smStepsElided");
+
+    o.energy.dynamicJ = r.d("dynamicJ");
+    o.energy.staticJ = r.d("staticJ");
+    o.energy.renameTableJ = r.d("renameTableJ");
+    o.energy.flagInstrJ = r.d("flagInstrJ");
+
+    o.verified = r.u("verified") != 0;
+    o.verify.releasesChecked = static_cast<u32>(r.u("releasesChecked"));
+    o.verify.numErrors = static_cast<u32>(r.u("numErrors"));
+    o.verify.numWarnings = static_cast<u32>(r.u("numWarnings"));
+    const u64 nd = r.u("diags");
+    if (nd > (1u << 20))
+        throw std::runtime_error("oversized diags in cache entry");
+    o.verify.diags.resize(nd);
+    for (VerifyDiag &dg : o.verify.diags) {
+        dg.kind = static_cast<VerifyKind>(r.u("kind"));
+        dg.severity = static_cast<VerifySeverity>(r.u("severity"));
+        dg.pc = static_cast<u32>(r.u("pc"));
+        dg.reg = static_cast<u32>(r.u("reg"));
+        dg.message = r.s("message");
+    }
+
+    std::string tail;
+    if (!(is >> tail) || tail != "end")
+        throw std::runtime_error("truncated cache entry");
+    return o;
+}
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir))
+{
+    if (!dir_.empty())
+        std::filesystem::create_directories(dir_);
+}
+
+std::string
+ResultCache::entryPath(const Hash128 &key) const
+{
+    return dir_ + "/" + key.hex() + ".rfvres";
+}
+
+std::optional<RunOutcome>
+ResultCache::lookup(const Hash128 &key)
+{
+    const std::string hex = key.hex();
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = memory_.find(hex);
+    if (it != memory_.end()) {
+        ++stats_.memoryHits;
+        return it->second;
+    }
+    if (!dir_.empty()) {
+        std::ifstream in(entryPath(key), std::ios::binary);
+        if (in) {
+            try {
+                RunOutcome o = deserialize(in);
+                ++stats_.diskHits;
+                memory_.emplace(hex, o);
+                return o;
+            } catch (const std::exception &) {
+                ++stats_.badEntries;
+            }
+        }
+    }
+    ++stats_.misses;
+    return std::nullopt;
+}
+
+void
+ResultCache::store(const Hash128 &key, const RunOutcome &outcome)
+{
+    const std::string hex = key.hex();
+    std::lock_guard<std::mutex> lk(mu_);
+    memory_.insert_or_assign(hex, outcome);
+    ++stats_.stores;
+    if (dir_.empty())
+        return;
+    // Atomic publish: write a unique temp file, then rename over the
+    // final name.  Readers either see the old complete entry or the
+    // new complete entry, never a torn write.
+    static std::atomic<u64> tmpCounter{0};
+    const std::string tmp =
+        entryPath(key) + ".tmp." +
+        std::to_string(tmpCounter.fetch_add(1, std::memory_order_relaxed));
+    bool ok = false;
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (out) {
+            serialize(out, outcome);
+            ok = static_cast<bool>(out);
+        }
+    }
+    // Cache write failures are non-fatal by design (the run already
+    // succeeded); just never leave a partial file behind.
+    std::error_code ec;
+    if (ok) {
+        std::filesystem::rename(tmp, entryPath(key), ec);
+        if (!ec)
+            return;
+    }
+    std::filesystem::remove(tmp, ec);
+}
+
+ResultCache::Stats
+ResultCache::stats() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return stats_;
+}
+
+} // namespace rfv

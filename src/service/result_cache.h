@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Memoized simulation results: a two-level (memory + disk) cache from
+ * result key to RunOutcome.
+ *
+ * Soundness rests on three facts: simulation is deterministic, results
+ * are independent of the canonicalized execution knobs (thread count,
+ * cycle-loop flavour — PR 1/PR 3 bit-identity guarantees), and the key
+ * covers everything else that can influence the outcome (program
+ * content, canonical config, launch geometry, simulator version — see
+ * service/hash.h and service/version.h).  A hit therefore replays the
+ * stored outcome bit-identically to a live run, including energy
+ * doubles (serialized as raw bit patterns) and verifier diagnostics.
+ *
+ * Disk layout: one self-describing text file per key under the cache
+ * directory, written atomically (temp file + rename) so concurrent
+ * sweeps and aborted runs can never publish a torn entry.  Any
+ * malformed or truncated entry is treated as a miss and re-simulated.
+ */
+#ifndef RFV_SERVICE_RESULT_CACHE_H
+#define RFV_SERVICE_RESULT_CACHE_H
+
+#include <iosfwd>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "core/simulator.h"
+#include "service/hash.h"
+
+namespace rfv {
+
+class ResultCache {
+  public:
+    struct Stats {
+        u64 memoryHits = 0;
+        u64 diskHits = 0;
+        u64 misses = 0;
+        u64 stores = 0;
+        u64 badEntries = 0; //!< malformed disk entries treated as misses
+    };
+
+    /** @p dir = "" keeps the cache in-memory only (no persistence). */
+    explicit ResultCache(std::string dir);
+
+    /** Replay a stored outcome, or nullopt on a miss. */
+    std::optional<RunOutcome> lookup(const Hash128 &key);
+
+    /** Record a live run's outcome (memory + disk when persistent). */
+    void store(const Hash128 &key, const RunOutcome &outcome);
+
+    bool persistent() const { return !dir_.empty(); }
+    Stats stats() const;
+
+    /** Exact round-trip codec (public for tests). */
+    static void serialize(std::ostream &os, const RunOutcome &outcome);
+    /** Throws std::runtime_error on any malformed input. */
+    static RunOutcome deserialize(std::istream &is);
+
+  private:
+    std::string entryPath(const Hash128 &key) const;
+
+    std::string dir_;
+    mutable std::mutex mu_;
+    std::unordered_map<std::string, RunOutcome> memory_;
+    Stats stats_;
+};
+
+} // namespace rfv
+
+#endif // RFV_SERVICE_RESULT_CACHE_H

@@ -1,0 +1,211 @@
+#include "service/sweep.h"
+
+#include <chrono>
+#include <sstream>
+
+#include "common/thread_pool.h"
+#include "core/simulator.h"
+#include "service/version.h"
+#include "sim/gpu.h"
+
+namespace rfv {
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+} // namespace
+
+std::string
+SweepStats::summary() const
+{
+    std::ostringstream os;
+    os << "sweep: " << jobsTotal << " jobs (" << jobsRun << " run, "
+       << jobsCached << " cached, hit rate "
+       << static_cast<int>(hitRate() * 100 + 0.5) << "%)\n";
+    os << "artifacts: programs " << artifacts.programsBuilt << " built/"
+       << artifacts.programsReused << " reused, compiles "
+       << artifacts.compilesBuilt << "/" << artifacts.compilesReused
+       << ", verifies " << artifacts.verifiesBuilt << "/"
+       << artifacts.verifiesReused << ", decodes "
+       << artifacts.decodesBuilt << "/" << artifacts.decodesReused
+       << "\n";
+    os << "cache: " << cache.memoryHits << " memory hits, "
+       << cache.diskHits << " disk hits, " << cache.misses << " misses, "
+       << cache.stores << " stores";
+    if (cache.badEntries)
+        os << ", " << cache.badEntries << " bad entries";
+    os << "\n";
+    os << "scheduler: " << steals << " steals, " << parks << " parks\n";
+    os << "throughput: " << aggregateCycles << " cycles, "
+       << aggregateInstrs << " instrs in " << wallSeconds << " s ("
+       << static_cast<u64>(cyclesPerSec()) << " cycles/s)";
+    return os.str();
+}
+
+SweepEngine::SweepEngine(SweepOptions opts)
+    : opts_(std::move(opts)), cache_(opts_.useCache ? opts_.cacheDir : "")
+{
+}
+
+PreparedJob
+SweepEngine::prepare(const SweepJob &job)
+{
+    PreparedJob p;
+    p.job = job;
+    p.workload = findWorkload(job.workload);
+
+    const Simulator sim(job.config);
+    p.gpu = sim.gpuConfig();
+    p.launch = p.workload->scaledLaunch(job.config.numSms,
+                                        job.config.roundsPerSm);
+
+    const Workload &wl = *p.workload;
+    p.input = store_.inputProgram(
+        wl.name(), [&wl]() { return wl.buildKernel(); });
+    p.key = resultKey(wl.name(), p.input->hash,
+                      canonicalConfigHash(job.config, p.gpu), p.launch,
+                      kSimulatorVersion);
+
+    const u32 resident =
+        p.launch.warpsPerCta() *
+        std::min(p.launch.concCtasPerSm, p.gpu.maxCtasPerSm);
+    CompileOptions copts = sim.compileOptions(resident);
+    if (job.config.compilerSpill)
+        copts.spillRegBudget =
+            sim.spillBudget(p.input->program.numRegs, p.launch);
+
+    p.compiled = store_.compiled(p.input, copts);
+    if (job.config.verifyReleases)
+        p.verify = store_.verifyFor(p.compiled);
+    p.decode = store_.decode(p.compiled, p.gpu);
+    return p;
+}
+
+RunOutcome
+SweepEngine::executeLive(const PreparedJob &p, double *runSeconds) const
+{
+    const RunConfig &cfg = p.job.config;
+
+    RunOutcome out;
+    out.workload = p.workload->name();
+    out.configLabel = cfg.label;
+    out.launch = p.launch;
+    out.compile = p.compiled->kernel.stats;
+    if (p.verify) {
+        out.verified = true;
+        out.verify = *p.verify;
+    }
+
+    GlobalMemory mem(p.workload->memoryBytes(p.launch));
+    p.workload->setup(mem, p.launch);
+
+    Gpu machine(p.gpu, p.compiled->kernel.program, p.launch, mem, {},
+                &p.decode->cache);
+    const auto t0 = std::chrono::steady_clock::now();
+    out.sim = machine.run();
+    if (runSeconds)
+        *runSeconds = secondsSince(t0);
+    out.loop = machine.loopStats();
+
+    EnergyParams ep;
+    ep.clockGhz = p.gpu.clockGhz;
+    out.energy = computeEnergy(out.sim, p.gpu, ep);
+
+    p.workload->verify(mem, p.launch);
+    return out;
+}
+
+SweepJobResult
+SweepEngine::runOne(const SweepJob &job)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+
+    SweepJobResult res;
+    res.job = job;
+
+    // The cache key needs only the assembled program and the config —
+    // on a hit, compilation, verification and decode are all skipped.
+    const std::shared_ptr<Workload> wl = findWorkload(job.workload);
+    const GpuConfig gpu = Simulator(job.config).gpuConfig();
+    const LaunchParams launch =
+        wl->scaledLaunch(job.config.numSms, job.config.roundsPerSm);
+    const auto input = store_.inputProgram(
+        wl->name(), [&wl]() { return wl->buildKernel(); });
+    const Hash128 key =
+        resultKey(wl->name(), input->hash,
+                  canonicalConfigHash(job.config, gpu), launch,
+                  kSimulatorVersion);
+    res.key = key.hex();
+
+    if (opts_.useCache) {
+        if (auto hit = cache_.lookup(key)) {
+            res.outcome = std::move(*hit);
+            // The label is cosmetic and excluded from the key; restore
+            // this job's spelling so reports read naturally.
+            res.outcome.workload = wl->name();
+            res.outcome.configLabel = job.config.label;
+            res.fromCache = true;
+            res.seconds = secondsSince(t0);
+            return res;
+        }
+    }
+
+    const PreparedJob p = prepare(job);
+    res.outcome = executeLive(p);
+    if (opts_.useCache)
+        cache_.store(key, res.outcome);
+    res.seconds = secondsSince(t0);
+    return res;
+}
+
+std::vector<SweepJobResult>
+SweepEngine::run(const std::vector<SweepJob> &manifest)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+
+    stats_ = SweepStats{};
+    stats_.jobsTotal = manifest.size();
+
+    std::vector<SweepJobResult> results(manifest.size());
+    std::vector<char> done(manifest.size(), 0);
+
+    WorkStealingPool pool(opts_.jobs);
+    std::exception_ptr err;
+    try {
+        pool.run(static_cast<u32>(manifest.size()),
+                 [&](u32 jobIndex, u32 /*workerId*/) {
+                     results[jobIndex] = runOne(manifest[jobIndex]);
+                     done[jobIndex] = 1;
+                 });
+    } catch (...) {
+        err = std::current_exception();
+    }
+
+    stats_.steals = pool.steals();
+    stats_.parks = pool.parks();
+    stats_.artifacts = store_.stats();
+    stats_.cache = cache_.stats();
+    for (size_t i = 0; i < results.size(); ++i) {
+        if (!done[i])
+            continue;
+        if (results[i].fromCache)
+            ++stats_.jobsCached;
+        else
+            ++stats_.jobsRun;
+        stats_.aggregateCycles += results[i].outcome.sim.cycles;
+        stats_.aggregateInstrs += results[i].outcome.sim.issuedInstrs;
+    }
+    stats_.wallSeconds = secondsSince(t0);
+
+    if (err)
+        std::rethrow_exception(err);
+    return results;
+}
+
+} // namespace rfv

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Batch simulation engine: execute a manifest of (workload, RunConfig)
+ * jobs on a work-stealing scheduler, sharing immutable per-program
+ * artifacts and memoizing results.
+ *
+ * Layering per job:
+ *
+ *   ResultCache hit?  -> replay the stored RunOutcome (bit-identical)
+ *   else              -> ArtifactStore supplies the assembled program,
+ *                        compiled kernel, verify result and DecodeCache
+ *                        (each built once per unique content), the job
+ *                        runs its own Gpu + GlobalMemory, and the
+ *                        outcome is stored for next time.
+ *
+ * Per-job results are bit-identical to Simulator::runWorkload under
+ * any --jobs value and any manifest order (tests/
+ * test_sweep_determinism.cc): jobs share only immutable artifacts,
+ * every mutable structure (memory, SMs, DRAM channels) is private to
+ * a job, and the inner cycle loop is untouched.
+ */
+#ifndef RFV_SERVICE_SWEEP_H
+#define RFV_SERVICE_SWEEP_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/artifact_store.h"
+#include "service/result_cache.h"
+#include "workloads/workload.h"
+
+namespace rfv {
+
+/** One manifest entry. */
+struct SweepJob {
+    std::string workload;
+    RunConfig config;
+};
+
+/** One finished job. */
+struct SweepJobResult {
+    SweepJob job;
+    RunOutcome outcome;
+    bool fromCache = false;
+    double seconds = 0;  //!< end-to-end job wall time (hit: lookup time)
+    std::string key;     //!< result-cache key (hex)
+};
+
+/** Engine-level counters for one run() call. */
+struct SweepStats {
+    u64 jobsTotal = 0;
+    u64 jobsRun = 0;    //!< simulated live
+    u64 jobsCached = 0; //!< replayed from the result cache
+    ArtifactStore::Stats artifacts;
+    ResultCache::Stats cache;
+    u64 steals = 0; //!< jobs executed by a non-owning worker
+    u64 parks = 0;  //!< scheduler idle-parking events
+    u64 aggregateCycles = 0; //!< simulated cycles over all jobs
+    u64 aggregateInstrs = 0; //!< issued warp instructions over all jobs
+    double wallSeconds = 0;
+
+    double
+    cyclesPerSec() const
+    {
+        return wallSeconds > 0
+                   ? static_cast<double>(aggregateCycles) / wallSeconds
+                   : 0.0;
+    }
+
+    double
+    hitRate() const
+    {
+        return jobsTotal ? static_cast<double>(jobsCached) /
+                               static_cast<double>(jobsTotal)
+                         : 0.0;
+    }
+
+    /** Human-readable multi-line block for CLI reports. */
+    std::string summary() const;
+};
+
+struct SweepOptions {
+    /** Total worker threads including the caller (>= 1). */
+    u32 jobs = 1;
+
+    /** Result-cache directory; "" keeps memoization in-memory only. */
+    std::string cacheDir;
+
+    /** false = always simulate live, neither read nor write results. */
+    bool useCache = true;
+};
+
+/**
+ * Everything needed to execute one job, with all shared artifacts
+ * resolved.  Exposed so measurement harnesses (bench/trajectory) can
+ * drive the engine's artifact path while owning their own timing.
+ */
+struct PreparedJob {
+    SweepJob job;
+    GpuConfig gpu;
+    LaunchParams launch;
+    std::shared_ptr<Workload> workload;
+    std::shared_ptr<const InputArtifact> input;
+    std::shared_ptr<const CompiledArtifact> compiled;
+    std::shared_ptr<const VerifyResult> verify; //!< null unless verifying
+    std::shared_ptr<const DecodeArtifact> decode;
+    Hash128 key; //!< result-cache key
+};
+
+class SweepEngine {
+  public:
+    explicit SweepEngine(SweepOptions opts = {});
+
+    /**
+     * Execute every job of @p manifest; results are returned in
+     * manifest order regardless of scheduling.  Throws the first
+     * job failure after the sweep drains.
+     */
+    std::vector<SweepJobResult> run(const std::vector<SweepJob> &manifest);
+
+    /** Counters of the most recent run() (plus store/cache totals). */
+    const SweepStats &stats() const { return stats_; }
+
+    /** Resolve all shared artifacts for one job (thread-safe). */
+    PreparedJob prepare(const SweepJob &job);
+
+    /**
+     * Run one prepared job live (no cache).  @p runSeconds, when
+     * non-null, receives the wall time of Gpu::run() alone.
+     */
+    RunOutcome executeLive(const PreparedJob &p,
+                           double *runSeconds = nullptr) const;
+
+    ArtifactStore &artifacts() { return store_; }
+
+  private:
+    SweepJobResult runOne(const SweepJob &job);
+
+    SweepOptions opts_;
+    ArtifactStore store_;
+    ResultCache cache_;
+    SweepStats stats_;
+    std::mutex statsMu_;
+};
+
+} // namespace rfv
+
+#endif // RFV_SERVICE_SWEEP_H

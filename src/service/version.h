@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Simulator version constant for result-cache keys.
+ *
+ * Memoized replay is only sound while the simulator is behaviourally
+ * identical to the build that produced the cached result.  Any change
+ * that can alter a SimResult, CompileStats, EnergyBreakdown or
+ * VerifyResult — new counters, timing model changes, compiler pass
+ * changes — MUST bump this constant; stale entries then miss and are
+ * re-simulated.  Pure harness changes (CLI, scheduling, reporting)
+ * need no bump: PR 1/PR 3 guarantee results are independent of thread
+ * count and cycle-loop choice, and those knobs are canonicalized out
+ * of the key (see service/hash.h).
+ */
+#ifndef RFV_SERVICE_VERSION_H
+#define RFV_SERVICE_VERSION_H
+
+namespace rfv {
+
+inline constexpr const char *kSimulatorVersion = "rfv-sim-4.0";
+
+} // namespace rfv
+
+#endif // RFV_SERVICE_VERSION_H

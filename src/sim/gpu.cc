@@ -5,9 +5,14 @@
 namespace rfv {
 
 Gpu::Gpu(const GpuConfig &cfg, const Program &prog,
-         const LaunchParams &launch, GlobalMemory &gmem, TraceHooks hooks)
+         const LaunchParams &launch, GlobalMemory &gmem, TraceHooks hooks,
+         const DecodeCache *shared_decode)
     : cfg_(cfg), prog_(prog), launch_(launch), gmem_(gmem),
-      hooks_(std::move(hooks)), decode_(prog, cfg_)
+      hooks_(std::move(hooks)),
+      ownedDecode_(shared_decode
+                       ? nullptr
+                       : std::make_unique<DecodeCache>(prog, cfg_)),
+      decode_(shared_decode ? *shared_decode : *ownedDecode_)
 {
     cfg_.validate();
     prog_.validate();

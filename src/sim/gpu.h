@@ -105,6 +105,8 @@ struct LoopStats {
     u64 skippedCycles = 0;
     /** Per-SM step() calls replaced by skipCycles(1) on quiet SMs. */
     u64 smStepsElided = 0;
+
+    bool operator==(const LoopStats &) const = default;
 };
 
 /**
@@ -129,9 +131,15 @@ struct LoopStats {
  */
 class Gpu {
   public:
+    /**
+     * @p sharedDecode lets batch drivers reuse one immutable
+     * DecodeCache across many Gpu instances (it must have been built
+     * for the same program under a decode-equivalent GpuConfig); null
+     * builds a private one, as one-shot runs always did.
+     */
     Gpu(const GpuConfig &cfg, const Program &prog,
         const LaunchParams &launch, GlobalMemory &gmem,
-        TraceHooks hooks = {});
+        TraceHooks hooks = {}, const DecodeCache *sharedDecode = nullptr);
 
     /** Run the kernel to completion; throws on watchdog expiry. */
     SimResult run();
@@ -148,7 +156,8 @@ class Gpu {
     LaunchParams launch_;
     GlobalMemory &gmem_;
     TraceHooks hooks_;
-    DecodeCache decode_; //!< shared read-only by every SM
+    std::unique_ptr<DecodeCache> ownedDecode_; //!< built when none shared
+    const DecodeCache &decode_; //!< shared read-only by every SM
     std::vector<DramModel> drams_; //!< one channel per SM (sharded)
     std::vector<std::unique_ptr<Sm>> sms_;
     LoopStats loopStats_;

@@ -121,6 +121,8 @@ struct LaunchParams {
     {
         return (threadsPerCta + kWarpSize - 1) / kWarpSize;
     }
+
+    bool operator==(const LaunchParams &) const = default;
 };
 
 /** Register definition/release event kinds (Fig. 2 traces). */

@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Batch-engine determinism: the same manifest must produce bit-identical
+ * per-job results under any worker count, any manifest order, and when
+ * replayed from a warm cache — and the engine must match the one-shot
+ * Simulator::runWorkload driver exactly.  Also unit-tests the
+ * work-stealing scheduler the engine runs on.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <random>
+
+#include "common/thread_pool.h"
+#include "core/simulator.h"
+#include "service/sweep.h"
+
+namespace rfv {
+namespace {
+
+// ---- WorkStealingPool ---------------------------------------------------
+
+TEST(WorkStealingPool, RunsEveryJobExactlyOnce)
+{
+    for (u32 threads : {1u, 2u, 8u}) {
+        WorkStealingPool pool(threads);
+        constexpr u32 kJobs = 200;
+        std::vector<std::atomic<u32>> hits(kJobs);
+        pool.run(kJobs, [&](u32 job, u32 worker) {
+            ASSERT_LT(job, kJobs);
+            ASSERT_LT(worker, std::max(threads, 1u));
+            hits[job].fetch_add(1);
+        });
+        for (u32 i = 0; i < kJobs; ++i)
+            EXPECT_EQ(hits[i].load(), 1u) << "job " << i;
+    }
+}
+
+TEST(WorkStealingPool, ReusableAcrossRounds)
+{
+    WorkStealingPool pool(4);
+    for (u32 round = 0; round < 5; ++round) {
+        std::atomic<u32> count{0};
+        pool.run(round * 7, [&](u32, u32) { count.fetch_add(1); });
+        EXPECT_EQ(count.load(), round * 7);
+    }
+}
+
+TEST(WorkStealingPool, PropagatesTheFirstException)
+{
+    WorkStealingPool pool(4);
+    std::atomic<u32> executed{0};
+    EXPECT_THROW(
+        pool.run(50,
+                 [&](u32 job, u32) {
+                     executed.fetch_add(1);
+                     if (job == 13)
+                         throw std::runtime_error("job 13 failed");
+                 }),
+        std::runtime_error);
+    // The sweep drains rather than cancels: every job still ran.
+    EXPECT_EQ(executed.load(), 50u);
+}
+
+TEST(WorkStealingPool, SingleThreadRunsInManifestOrder)
+{
+    WorkStealingPool pool(1);
+    std::vector<u32> order;
+    pool.run(20, [&](u32 job, u32) { order.push_back(job); });
+    ASSERT_EQ(order.size(), 20u);
+    EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+// ---- engine determinism -------------------------------------------------
+
+std::vector<SweepJob>
+testManifest()
+{
+    std::vector<RunConfig> configs{RunConfig::baseline(),
+                                   RunConfig::virtualized(),
+                                   RunConfig::gpuShrink(50)};
+    std::vector<SweepJob> jobs;
+    for (RunConfig &cfg : configs) {
+        cfg.numSms = 2;
+        cfg.roundsPerSm = 1;
+        for (const char *w :
+             {"MatrixMul", "Reduction", "BFS", "ScalarProd"})
+            jobs.push_back({w, cfg});
+    }
+    return jobs;
+}
+
+std::string
+jobKey(const SweepJob &job)
+{
+    return job.workload + "/" + job.config.label;
+}
+
+TEST(SweepDeterminism, WorkerCountAndOrderInvariant)
+{
+    const std::vector<SweepJob> manifest = testManifest();
+
+    SweepOptions serialOpts;
+    serialOpts.jobs = 1;
+    serialOpts.useCache = false;
+    SweepEngine serialEngine(serialOpts);
+    const auto serial = serialEngine.run(manifest);
+    ASSERT_EQ(serial.size(), manifest.size());
+
+    std::map<std::string, const RunOutcome *> reference;
+    for (const SweepJobResult &r : serial)
+        reference[jobKey(r.job)] = &r.outcome;
+
+    SweepOptions parallelOpts;
+    parallelOpts.jobs = 8;
+    parallelOpts.useCache = false;
+    SweepEngine parallelEngine(parallelOpts);
+    const auto parallel = parallelEngine.run(manifest);
+    ASSERT_EQ(parallel.size(), manifest.size());
+    for (size_t i = 0; i < manifest.size(); ++i) {
+        EXPECT_TRUE(parallel[i].outcome == serial[i].outcome)
+            << "jobs=8 diverged from jobs=1 on " << jobKey(manifest[i]);
+        EXPECT_FALSE(parallel[i].fromCache);
+    }
+
+    std::vector<SweepJob> shuffled = manifest;
+    std::mt19937 rng(0xC0FFEE);
+    std::shuffle(shuffled.begin(), shuffled.end(), rng);
+    SweepEngine shuffledEngine(parallelOpts);
+    const auto out = shuffledEngine.run(shuffled);
+    ASSERT_EQ(out.size(), shuffled.size());
+    for (size_t i = 0; i < shuffled.size(); ++i) {
+        const auto it = reference.find(jobKey(shuffled[i]));
+        ASSERT_NE(it, reference.end());
+        EXPECT_TRUE(out[i].outcome == *it->second)
+            << "shuffled manifest diverged on " << jobKey(shuffled[i]);
+    }
+}
+
+TEST(SweepDeterminism, MatchesOneShotSimulator)
+{
+    const std::vector<SweepJob> manifest = testManifest();
+    SweepOptions opts;
+    opts.jobs = 4;
+    opts.useCache = false;
+    SweepEngine engine(opts);
+    const auto results = engine.run(manifest);
+    for (size_t i = 0; i < manifest.size(); ++i) {
+        const RunOutcome oneShot =
+            Simulator(manifest[i].config)
+                .runWorkload(*findWorkload(manifest[i].workload));
+        EXPECT_TRUE(results[i].outcome == oneShot)
+            << "engine diverged from Simulator::runWorkload on "
+            << jobKey(manifest[i]);
+    }
+}
+
+TEST(SweepDeterminism, SharedArtifactsAreBuiltOnce)
+{
+    const std::vector<SweepJob> manifest = testManifest();
+    SweepOptions opts;
+    opts.jobs = 8;
+    opts.useCache = false;
+    SweepEngine engine(opts);
+    engine.run(manifest);
+    const SweepStats &st = engine.stats();
+    // 4 workloads under 3 configs: each program assembles exactly once
+    // no matter how many jobs (or scheduling interleavings) want it;
+    // every other request is a reuse (key derivation and job
+    // preparation each fetch, so reuses exceed jobs - builds).
+    EXPECT_EQ(st.artifacts.programsBuilt, 4u);
+    EXPECT_GE(st.artifacts.programsReused, 8u);
+    EXPECT_LE(st.artifacts.compilesBuilt, manifest.size());
+    EXPECT_LE(st.artifacts.decodesBuilt, manifest.size());
+    EXPECT_EQ(st.jobsRun, manifest.size());
+}
+
+// ---- cache replay -------------------------------------------------------
+
+class TempCacheDir {
+  public:
+    TempCacheDir()
+        : path_((std::filesystem::temp_directory_path() /
+                 ("rfv-test-cache-" +
+                  std::to_string(::getpid())))
+                    .string())
+    {
+        std::filesystem::remove_all(path_);
+    }
+    ~TempCacheDir() { std::filesystem::remove_all(path_); }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+TEST(SweepCacheReplay, WarmRunIsBitIdentical)
+{
+    const std::vector<SweepJob> manifest = testManifest();
+    TempCacheDir dir;
+
+    SweepOptions opts;
+    opts.jobs = 4;
+    opts.cacheDir = dir.path();
+
+    SweepEngine cold(opts);
+    const auto coldResults = cold.run(manifest);
+    EXPECT_EQ(cold.stats().jobsRun, manifest.size());
+    EXPECT_EQ(cold.stats().jobsCached, 0u);
+    EXPECT_EQ(cold.stats().cache.stores, manifest.size());
+
+    SweepEngine warm(opts);
+    const auto warmResults = warm.run(manifest);
+    EXPECT_EQ(warm.stats().jobsCached, manifest.size());
+    EXPECT_EQ(warm.stats().jobsRun, 0u);
+    EXPECT_DOUBLE_EQ(warm.stats().hitRate(), 1.0);
+    for (size_t i = 0; i < manifest.size(); ++i) {
+        EXPECT_TRUE(warmResults[i].fromCache);
+        EXPECT_TRUE(warmResults[i].outcome == coldResults[i].outcome)
+            << "cached replay diverged on " << jobKey(manifest[i]);
+    }
+
+    // Same engine, same run(): second pass hits the memory layer.
+    const auto again = warm.run(manifest);
+    EXPECT_GT(warm.stats().cache.memoryHits, 0u);
+    for (size_t i = 0; i < manifest.size(); ++i)
+        EXPECT_TRUE(again[i].outcome == coldResults[i].outcome);
+}
+
+TEST(SweepCacheReplay, NoCacheModeNeverReadsOrWrites)
+{
+    const std::vector<SweepJob> manifest = testManifest();
+    TempCacheDir dir;
+
+    SweepOptions opts;
+    opts.jobs = 2;
+    opts.cacheDir = dir.path();
+    SweepEngine cold(opts);
+    cold.run(manifest);
+
+    SweepOptions noCache = opts;
+    noCache.useCache = false;
+    SweepEngine live(noCache);
+    live.run(manifest);
+    EXPECT_EQ(live.stats().jobsCached, 0u);
+    EXPECT_EQ(live.stats().jobsRun, manifest.size());
+    EXPECT_EQ(live.stats().cache.stores, 0u);
+}
+
+TEST(SweepCacheReplay, CorruptedEntryIsAMissAndGetsRepaired)
+{
+    std::vector<SweepJob> manifest = testManifest();
+    manifest.resize(2);
+    TempCacheDir dir;
+
+    SweepOptions opts;
+    opts.jobs = 1;
+    opts.cacheDir = dir.path();
+    SweepEngine cold(opts);
+    const auto coldResults = cold.run(manifest);
+
+    // Truncate every stored entry behind the engine's back.
+    u32 corrupted = 0;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir.path())) {
+        std::ofstream f(entry.path(),
+                        std::ios::binary | std::ios::trunc);
+        f << "rfv-result 1\ntruncated";
+        ++corrupted;
+    }
+    ASSERT_EQ(corrupted, manifest.size());
+
+    SweepEngine warm(opts);
+    const auto warmResults = warm.run(manifest);
+    EXPECT_EQ(warm.stats().jobsCached, 0u)
+        << "corrupted entries must be treated as misses";
+    EXPECT_EQ(warm.stats().jobsRun, manifest.size());
+    EXPECT_EQ(warm.stats().cache.badEntries, manifest.size());
+    for (size_t i = 0; i < manifest.size(); ++i)
+        EXPECT_TRUE(warmResults[i].outcome == coldResults[i].outcome);
+
+    // The re-run re-published good entries: a third engine hits.
+    SweepEngine repaired(opts);
+    repaired.run(manifest);
+    EXPECT_EQ(repaired.stats().jobsCached, manifest.size());
+}
+
+TEST(SweepCacheReplay, LabelIsCosmeticButRestoredOnHits)
+{
+    std::vector<SweepJob> manifest{{"VectorAdd", RunConfig::baseline()}};
+    manifest[0].config.numSms = 1;
+    manifest[0].config.roundsPerSm = 1;
+    TempCacheDir dir;
+
+    SweepOptions opts;
+    opts.cacheDir = dir.path();
+    SweepEngine cold(opts);
+    const auto coldResults = cold.run(manifest);
+
+    std::vector<SweepJob> renamed = manifest;
+    renamed[0].config.label = "baseline-but-renamed";
+    SweepEngine warm(opts);
+    const auto warmResults = warm.run(renamed);
+    EXPECT_TRUE(warmResults[0].fromCache)
+        << "the label must not feed the cache key";
+    EXPECT_EQ(warmResults[0].outcome.configLabel, "baseline-but-renamed");
+    EXPECT_TRUE(warmResults[0].outcome.sim ==
+                coldResults[0].outcome.sim);
+}
+
+} // namespace
+} // namespace rfv
