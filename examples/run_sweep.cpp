@@ -11,14 +11,23 @@
  *
  * The manifest is a text file, one job per line:
  *
- *   # workload   config
+ *   # workload   config      [key=value overrides...]
  *   MatrixMul    baseline
- *   MatrixMul    shrink50
+ *   MatrixMul    shrink50    numSms=2 roundsPerSm=1
  *   BFS          virtualized
  *
- * Configs: baseline, virtualized, virtualized-gating, shrink50,
- * shrink50-gating, spill50, hwonly.  `--default` expands to every
- * Table-1 workload under baseline, virtualized and shrink50 (48 jobs).
+ * Configs: baseline, virtualized, virtualized-gating, shrink25,
+ * shrink50, shrink50-gating, spill50, hwonly.  `--default` expands to
+ * every Table-1 workload under baseline, virtualized and shrink50
+ * (48 jobs).
+ *
+ * A bad line or a bad job never aborts the batch: malformed manifest
+ * lines, unknown workloads and invalid overrides are reported as
+ * per-job structured errors, the remaining jobs run to completion,
+ * and the exit status is 1.  SIGINT/SIGTERM interrupt the sweep
+ * cooperatively: in-flight jobs finish and publish to the cache,
+ * pending jobs are skipped, the completed-job count is reported, and
+ * the exit status is 130.
  *
  * --jobs=N           worker threads including the caller (default 1).
  * --cache-dir=DIR    persistent result cache (default .rfv-cache).
@@ -34,11 +43,14 @@
  *   run_sweep manifest.txt --cache-dir=/tmp/rfv --json=-
  *   run_sweep --default && run_sweep --default --expect-hit-rate=0.9
  */
+#include <atomic>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
 #include "core/report.h"
+#include "service/request.h"
 #include "service/sweep.h"
 #include "service/version.h"
 
@@ -46,70 +58,38 @@ using namespace rfv;
 
 namespace {
 
-bool
-configByName(const std::string &name, RunConfig &cfg)
+std::atomic<bool> gInterrupted{false};
+
+void
+onSignal(int)
 {
-    if (name == "baseline")
-        cfg = RunConfig::baseline();
-    else if (name == "virtualized")
-        cfg = RunConfig::virtualized();
-    else if (name == "virtualized-gating")
-        cfg = RunConfig::virtualized(true);
-    else if (name == "shrink50")
-        cfg = RunConfig::gpuShrink(50);
-    else if (name == "shrink50-gating")
-        cfg = RunConfig::gpuShrink(50, true);
-    else if (name == "spill50")
-        cfg = RunConfig::compilerSpillShrink(50);
-    else if (name == "hwonly")
-        cfg = RunConfig::hardwareOnly();
-    else
-        return false;
-    return true;
+    gInterrupted.store(true);
 }
 
-std::vector<SweepJob>
+std::vector<ManifestEntry>
 defaultManifest()
 {
-    std::vector<SweepJob> jobs;
+    std::vector<ManifestEntry> entries;
     for (const char *name : {"baseline", "virtualized", "shrink50"}) {
-        RunConfig cfg;
-        configByName(name, cfg);
-        for (const auto &w : allWorkloads())
-            jobs.push_back({w->name(), cfg});
+        for (const auto &w : allWorkloads()) {
+            ManifestEntry e;
+            e.workload = w->name();
+            e.configName = name;
+            e.source = "--default";
+            runConfigByName(name, e.config);
+            entries.push_back(std::move(e));
+        }
     }
-    return jobs;
+    return entries;
 }
 
-std::vector<SweepJob>
+std::vector<ManifestEntry>
 loadManifest(const std::string &path)
 {
     std::ifstream in(path);
     if (!in)
         throw std::runtime_error("cannot open manifest " + path);
-    std::vector<SweepJob> jobs;
-    std::string line;
-    size_t lineno = 0;
-    while (std::getline(in, line)) {
-        ++lineno;
-        const size_t hash = line.find('#');
-        if (hash != std::string::npos)
-            line.erase(hash);
-        std::istringstream ls(line);
-        std::string workload, config;
-        if (!(ls >> workload))
-            continue; // blank/comment line
-        if (!(ls >> config))
-            throw std::runtime_error(path + ":" + std::to_string(lineno) +
-                                     ": expected 'workload config'");
-        SweepJob job;
-        job.workload = findWorkload(workload)->name();
-        if (!configByName(config, job.config))
-            throw std::runtime_error(path + ":" + std::to_string(lineno) +
-                                     ": unknown config " + config);
-        jobs.push_back(std::move(job));
-    }
-    return jobs;
+    return parseManifest(in, path);
 }
 
 std::string
@@ -133,6 +113,8 @@ writeJson(std::ostream &os, const std::vector<SweepJobResult> &results,
     os << "  \"jobs_total\": " << st.jobsTotal << ",\n";
     os << "  \"jobs_run\": " << st.jobsRun << ",\n";
     os << "  \"jobs_cached\": " << st.jobsCached << ",\n";
+    os << "  \"jobs_failed\": " << st.jobsFailed << ",\n";
+    os << "  \"jobs_cancelled\": " << st.jobsCancelled << ",\n";
     os << "  \"hit_rate\": " << st.hitRate() << ",\n";
     os << "  \"steals\": " << st.steals << ",\n";
     os << "  \"parks\": " << st.parks << ",\n";
@@ -163,7 +145,11 @@ writeJson(std::ostream &os, const std::vector<SweepJobResult> &results,
         const SweepJobResult &r = results[i];
         os << "    { \"workload\": \"" << jsonEscape(r.job.workload)
            << "\", \"config\": \"" << jsonEscape(r.job.config.label)
-           << "\", \"key\": \"" << r.key
+           << "\", \"status\": \"" << serviceStatusName(r.status)
+           << "\"";
+        if (!r.ok())
+            os << ", \"error\": \"" << jsonEscape(r.error) << "\"";
+        os << ", \"key\": \"" << r.key
            << "\", \"from_cache\": " << (r.fromCache ? "true" : "false")
            << ", \"seconds\": " << r.seconds
            << ", \"cycles\": " << r.outcome.sim.cycles
@@ -245,27 +231,75 @@ main(int argc, char **argv)
         return 2;
     }
 
+    // Cooperative interruption: in-flight jobs finish and publish to
+    // the cache atomically; pending jobs are skipped as CANCELLED and
+    // the completed-job count is still reported below.
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    opts.cancel = &gInterrupted;
+
     try {
-        std::vector<SweepJob> manifest =
+        std::vector<ManifestEntry> entries =
             useDefault ? defaultManifest() : loadManifest(manifestPath);
-        for (SweepJob &job : manifest) {
+        std::vector<SweepJob> manifest;
+        std::vector<size_t> jobToEntry; //!< manifest index -> entry index
+        for (size_t i = 0; i < entries.size(); ++i) {
+            if (entries[i].status != ServiceStatus::kOk)
+                continue; // parse error: reported below, not executed
+            SweepJob job;
+            job.workload = entries[i].workload;
+            job.config = entries[i].config;
             if (haveSms)
                 job.config.numSms = sms;
             if (haveRounds)
                 job.config.roundsPerSm = rounds;
+            manifest.push_back(std::move(job));
+            jobToEntry.push_back(i);
         }
 
         SweepEngine engine(opts);
-        const std::vector<SweepJobResult> results = engine.run(manifest);
+        const std::vector<SweepJobResult> executed =
+            engine.run(manifest);
         const SweepStats &st = engine.stats();
+
+        // Merge executed results and parse failures back into manifest
+        // order so every input line has exactly one result row.
+        std::vector<SweepJobResult> results(entries.size());
+        for (size_t i = 0; i < entries.size(); ++i) {
+            if (entries[i].status != ServiceStatus::kOk) {
+                results[i].job.workload = entries[i].workload;
+                results[i].job.config = entries[i].config;
+                results[i].status = entries[i].status;
+                results[i].error = entries[i].error;
+            }
+        }
+        for (size_t j = 0; j < executed.size(); ++j)
+            results[jobToEntry[j]] = executed[j];
+
+        u64 failed = 0, cancelled = 0;
+        for (size_t i = 0; i < results.size(); ++i) {
+            if (results[i].ok())
+                continue;
+            if (results[i].status == ServiceStatus::kCancelled) {
+                ++cancelled;
+                continue;
+            }
+            ++failed;
+            std::cerr << "FAIL " << entries[i].workload << " ["
+                      << entries[i].source
+                      << "]: " << serviceStatusName(results[i].status)
+                      << ": " << results[i].error << "\n";
+        }
 
         if (!csvOut.empty()) {
             std::ofstream file;
             std::ostream &os = openOut(csvOut, file, std::cout);
             os << csvHeader() << ",from_cache,seconds\n";
             for (const SweepJobResult &r : results)
-                os << csvRow(r.outcome) << ","
-                   << (r.fromCache ? 1 : 0) << "," << r.seconds << "\n";
+                if (r.ok())
+                    os << csvRow(r.outcome) << ","
+                       << (r.fromCache ? 1 : 0) << "," << r.seconds
+                       << "\n";
         }
         if (!jsonOut.empty()) {
             std::ofstream file;
@@ -275,11 +309,19 @@ main(int argc, char **argv)
         if (!quiet)
             std::cerr << st.summary() << "\n";
 
+        if (gInterrupted.load()) {
+            std::cerr << "interrupted: " << (st.jobsRun + st.jobsCached)
+                      << "/" << st.jobsTotal << " jobs completed ("
+                      << cancelled << " cancelled)\n";
+            return 130;
+        }
         if (expectHitRate >= 0 && st.hitRate() < expectHitRate) {
             std::cerr << "FAIL: hit rate " << st.hitRate()
                       << " below expected " << expectHitRate << "\n";
             return 1;
         }
+        if (failed)
+            return 1;
     } catch (const std::exception &e) {
         std::cerr << e.what() << "\n";
         return 1;

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * `simd_server` — run the simulation daemon.
+ *
+ * Usage:
+ *   simd_server [--port=N] [--executors=N] [--queue=N]
+ *               [--max-conns=N] [--idle-timeout-ms=N]
+ *               [--cache-dir=DIR] [--no-cache] [--quiet]
+ *
+ * --port=N            TCP port on 127.0.0.1 (default 0 = ephemeral;
+ *                     the bound port is printed on startup).
+ * --executors=N       simulation worker threads (default 1).
+ * --queue=N           admission-queue capacity; requests beyond it are
+ *                     shed with RETRY_LATER (default 16).
+ * --max-conns=N       concurrent connection cap (default 64).
+ * --idle-timeout-ms=N reap connections idle this long (default 30000).
+ * --cache-dir=DIR     persistent result cache (default .rfv-cache).
+ * --no-cache          always simulate live.
+ *
+ * On startup the daemon prints exactly one line to stdout:
+ *
+ *   simd_server listening on 127.0.0.1:<port>
+ *
+ * so scripts can scrape the (possibly ephemeral) port.  SIGINT or
+ * SIGTERM triggers a graceful drain: the listener closes, in-flight
+ * requests finish and answer, the result cache is already durable
+ * (atomic per-entry publish), and the final STATS counters go to
+ * stderr before exit.
+ */
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <iostream>
+#include <thread>
+
+#include "net/server.h"
+
+using namespace rfv;
+
+namespace {
+
+volatile std::sig_atomic_t gStopRequested = 0;
+
+void
+onSignal(int)
+{
+    gStopRequested = 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ServerOptions opts;
+    opts.sweep.cacheDir = ".rfv-cache";
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        try {
+            if (arg.rfind("--port=", 0) == 0)
+                opts.port = static_cast<u16>(std::stoul(arg.substr(7)));
+            else if (arg.rfind("--executors=", 0) == 0)
+                opts.executors =
+                    static_cast<u32>(std::stoul(arg.substr(12)));
+            else if (arg.rfind("--queue=", 0) == 0)
+                opts.queueCapacity =
+                    static_cast<u32>(std::stoul(arg.substr(8)));
+            else if (arg.rfind("--max-conns=", 0) == 0)
+                opts.maxConnections =
+                    static_cast<u32>(std::stoul(arg.substr(12)));
+            else if (arg.rfind("--idle-timeout-ms=", 0) == 0)
+                opts.idleTimeoutMs = std::stol(arg.substr(18));
+            else if (arg.rfind("--cache-dir=", 0) == 0)
+                opts.sweep.cacheDir = arg.substr(12);
+            else if (arg == "--no-cache")
+                opts.sweep.useCache = false;
+            else if (arg == "--quiet")
+                quiet = true;
+            else {
+                std::cerr << "unknown option " << arg << "\n";
+                return 2;
+            }
+        } catch (const std::exception &) {
+            std::cerr << "unparsable value in " << arg << "\n";
+            return 2;
+        }
+    }
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    try {
+        SimdServer server(opts);
+        server.start();
+        std::cout << "simd_server listening on 127.0.0.1:"
+                  << server.port() << "\n"
+                  << std::flush;
+
+        while (!gStopRequested)
+            std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+        if (!quiet)
+            std::cerr << "simd_server: draining...\n";
+        server.stop();
+
+        if (!quiet) {
+            const SimdServer::Stats s = server.statsSnapshot();
+            std::cerr << "simd_server: drained after "
+                      << s.uptimeSeconds << " s: " << s.requestsOk
+                      << " ok (" << s.servedFromCache << " from cache), "
+                      << s.requestsFailed << " failed, "
+                      << s.requestsShed << " shed, "
+                      << s.requestsTimedOut << " timed out, "
+                      << s.badFrames << " bad frames\n";
+        }
+    } catch (const std::exception &e) {
+        std::cerr << e.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

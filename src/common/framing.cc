@@ -1,0 +1,102 @@
+#include "common/framing.h"
+
+#include <cstring>
+
+namespace rfv {
+
+const char *
+frameStatusName(FrameStatus s)
+{
+    switch (s) {
+    case FrameStatus::kOk: return "ok";
+    case FrameStatus::kClosed: return "closed";
+    case FrameStatus::kTimedOut: return "timed-out";
+    case FrameStatus::kBadMagic: return "bad-magic";
+    case FrameStatus::kOversized: return "oversized";
+    case FrameStatus::kError: return "error";
+    }
+    return "unknown";
+}
+
+std::string
+encodeFrameHeader(u32 len)
+{
+    std::string h(kFrameHeaderBytes, '\0');
+    std::memcpy(h.data(), kFrameMagic, sizeof(kFrameMagic));
+    h[4] = static_cast<char>((len >> 24) & 0xff);
+    h[5] = static_cast<char>((len >> 16) & 0xff);
+    h[6] = static_cast<char>((len >> 8) & 0xff);
+    h[7] = static_cast<char>(len & 0xff);
+    return h;
+}
+
+FrameStatus
+decodeFrameHeader(const char header[kFrameHeaderBytes], u32 maxLen,
+                  u32 &len)
+{
+    if (std::memcmp(header, kFrameMagic, sizeof(kFrameMagic)) != 0)
+        return FrameStatus::kBadMagic;
+    len = (static_cast<u32>(static_cast<u8>(header[4])) << 24) |
+          (static_cast<u32>(static_cast<u8>(header[5])) << 16) |
+          (static_cast<u32>(static_cast<u8>(header[6])) << 8) |
+          static_cast<u32>(static_cast<u8>(header[7]));
+    if (len > maxLen)
+        return FrameStatus::kOversized;
+    return FrameStatus::kOk;
+}
+
+std::string
+encodeFrame(const std::string &payload)
+{
+    return encodeFrameHeader(static_cast<u32>(payload.size())) + payload;
+}
+
+namespace {
+
+FrameStatus
+fromIo(IoStatus s)
+{
+    switch (s) {
+    case IoStatus::kOk: return FrameStatus::kOk;
+    case IoStatus::kClosed: return FrameStatus::kClosed;
+    case IoStatus::kTimedOut: return FrameStatus::kTimedOut;
+    case IoStatus::kError: return FrameStatus::kError;
+    }
+    return FrameStatus::kError;
+}
+
+} // namespace
+
+FrameStatus
+writeFrame(Socket &sock, const std::string &payload,
+           const IoDeadline &deadline)
+{
+    const std::string buf = encodeFrame(payload);
+    return fromIo(sock.writeAll(buf.data(), buf.size(), deadline));
+}
+
+FrameStatus
+readFrame(Socket &sock, std::string &payload, u32 maxLen,
+          const IoDeadline &deadline)
+{
+    char header[kFrameHeaderBytes];
+    const IoStatus hs = sock.readAll(header, sizeof(header), deadline);
+    if (hs != IoStatus::kOk)
+        return fromIo(hs);
+
+    u32 len = 0;
+    const FrameStatus ds = decodeFrameHeader(header, maxLen, len);
+    if (ds != FrameStatus::kOk)
+        return ds;
+
+    payload.assign(len, '\0');
+    if (len == 0)
+        return FrameStatus::kOk;
+    const IoStatus ps = sock.readAll(payload.data(), len, deadline);
+    // EOF inside the payload is a truncated frame, not a clean close.
+    if (ps == IoStatus::kClosed)
+        return FrameStatus::kError;
+    return fromIo(ps);
+}
+
+} // namespace rfv

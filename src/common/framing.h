@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Length-prefixed message framing for the simulation service.
+ *
+ * One frame on the wire is an 8-byte header — the 4-byte magic "RFVF"
+ * followed by the payload length as a big-endian u32 — and then the
+ * payload bytes.  The magic lets a receiver reject garbage (an HTTP
+ * probe, a corrupted stream) before trusting the length field, and
+ * the receiver-supplied length cap bounds memory per connection, so a
+ * hostile or broken peer can never allocate unbounded buffers or
+ * stall a correctly-deadlined reader.
+ *
+ * The codec is split so it can be tested without sockets:
+ * encodeFrame()/decodeFrameHeader() work on plain buffers, and the
+ * Socket overloads compose them with deadline-bounded I/O.
+ */
+#ifndef RFV_COMMON_FRAMING_H
+#define RFV_COMMON_FRAMING_H
+
+#include <string>
+
+#include "common/socket.h"
+#include "common/types.h"
+
+namespace rfv {
+
+/** Bytes in a frame header (magic + big-endian payload length). */
+inline constexpr size_t kFrameHeaderBytes = 8;
+
+/** Frame magic: rejects non-protocol bytes before the length field. */
+inline constexpr char kFrameMagic[4] = {'R', 'F', 'V', 'F'};
+
+/** Result of reading one frame. */
+enum class FrameStatus {
+    kOk,
+    kClosed,    //!< orderly EOF before any header byte
+    kTimedOut,  //!< deadline expired
+    kBadMagic,  //!< header does not start with kFrameMagic
+    kOversized, //!< declared length exceeds the receiver's cap
+    kError,     //!< truncated frame or socket error
+};
+
+/** Human-readable name (diagnostics and tests). */
+const char *frameStatusName(FrameStatus s);
+
+/** Header for a payload of @p len bytes (magic + big-endian length). */
+std::string encodeFrameHeader(u32 len);
+
+/**
+ * Parse an 8-byte header; returns kOk/kBadMagic/kOversized and sets
+ * @p len.  @p maxLen is the receiver's payload cap.
+ */
+FrameStatus decodeFrameHeader(const char header[kFrameHeaderBytes],
+                              u32 maxLen, u32 &len);
+
+/** Whole frame (header + payload) as one buffer. */
+std::string encodeFrame(const std::string &payload);
+
+/** Send one frame over @p sock within @p deadline. */
+FrameStatus writeFrame(Socket &sock, const std::string &payload,
+                       const IoDeadline &deadline);
+
+/**
+ * Receive one frame within @p deadline; payload lands in @p payload.
+ * Frames longer than @p maxLen report kOversized without reading the
+ * payload (the connection is then unusable and should be closed).
+ */
+FrameStatus readFrame(Socket &sock, std::string &payload, u32 maxLen,
+                      const IoDeadline &deadline);
+
+} // namespace rfv
+
+#endif // RFV_COMMON_FRAMING_H

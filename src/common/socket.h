@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Minimal POSIX TCP wrapper for the simulation service: an RAII file
+ * descriptor plus the four operations the daemon needs — listen,
+ * accept, connect, and deadline-bounded byte I/O.
+ *
+ * Everything is blocking-with-poll: each read/write first polls the
+ * descriptor with a timeout derived from the caller's deadline, so a
+ * stalled peer can never wedge a server thread, and accept loops can
+ * wake periodically to observe shutdown flags.  No buffering happens
+ * here; framing (length-prefixed messages) lives in common/framing.h.
+ */
+#ifndef RFV_COMMON_SOCKET_H
+#define RFV_COMMON_SOCKET_H
+
+#include <chrono>
+#include <optional>
+#include <string>
+
+#include "common/types.h"
+
+namespace rfv {
+
+/** Monotonic deadline for one I/O operation ("infinite" = no bound). */
+using IoDeadline =
+    std::optional<std::chrono::steady_clock::time_point>;
+
+/** Deadline @p ms milliseconds from now. */
+IoDeadline deadlineAfterMs(i64 ms);
+
+/** Outcome of a byte-level I/O step. */
+enum class IoStatus {
+    kOk,       //!< the full requested transfer completed
+    kClosed,   //!< orderly EOF from the peer
+    kTimedOut, //!< the deadline expired first
+    kError,    //!< socket error (errno-level)
+};
+
+/**
+ * RAII TCP socket.  Move-only; the destructor closes the descriptor.
+ * All methods are safe to call on an invalid (moved-from) socket and
+ * report IoStatus::kError.
+ */
+class Socket {
+  public:
+    Socket() = default;
+    explicit Socket(int fd) : fd_(fd) {}
+    ~Socket();
+
+    Socket(Socket &&other) noexcept;
+    Socket &operator=(Socket &&other) noexcept;
+    Socket(const Socket &) = delete;
+    Socket &operator=(const Socket &) = delete;
+
+    bool valid() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+
+    /** Close now (idempotent). */
+    void close();
+
+    /** Shut down writes so the peer sees EOF (best effort). */
+    void shutdownWrite();
+
+    /**
+     * Wait until at least one byte is readable (or EOF is pending).
+     * Lets a server poll in short slices to observe shutdown flags
+     * without ever timing out *inside* a frame.
+     */
+    IoStatus waitReadable(const IoDeadline &deadline);
+
+    /**
+     * Read exactly @p len bytes into @p buf, polling against
+     * @p deadline.  Returns kClosed only on EOF at a byte boundary
+     * *before* any byte of this call was consumed; a mid-transfer EOF
+     * is kError (a truncated peer is a protocol violation).
+     */
+    IoStatus readAll(void *buf, size_t len, const IoDeadline &deadline);
+
+    /** Write exactly @p len bytes, polling against @p deadline. */
+    IoStatus writeAll(const void *buf, size_t len,
+                      const IoDeadline &deadline);
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * Listening TCP socket bound to 127.0.0.1:@p port (port 0 = ephemeral;
+ * the chosen port is readable via port()).  Throws ConfigError when
+ * the bind fails (e.g. the port is taken).
+ */
+class Listener {
+  public:
+    explicit Listener(u16 port);
+
+    u16 port() const { return port_; }
+    bool valid() const { return sock_.valid(); }
+
+    /** Stop accepting; pending accept() calls return nullopt. */
+    void close() { sock_.close(); }
+
+    /**
+     * Accept one connection, waiting at most @p pollMs milliseconds.
+     * nullopt = timeout or closed listener (check valid()).
+     */
+    std::optional<Socket> accept(i64 pollMs);
+
+  private:
+    Socket sock_;
+    u16 port_ = 0;
+};
+
+/**
+ * Connect to 127.0.0.1-or-hostname:@p port within @p deadline.
+ * Returns an invalid Socket on failure (refused, timeout, resolve).
+ */
+Socket connectTcp(const std::string &host, u16 port,
+                  const IoDeadline &deadline);
+
+} // namespace rfv
+
+#endif // RFV_COMMON_SOCKET_H

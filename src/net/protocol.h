@@ -1,0 +1,163 @@
+/**
+ * @file
+ * The `simd` wire protocol: versioned key=value messages inside
+ * length-prefixed frames (common/framing.h).
+ *
+ * One message is a text payload:
+ *
+ *     VERB\n
+ *     key=value\n
+ *     ...\n
+ *     \n
+ *     <binary blob — the bytes after the blank line>
+ *
+ * Keys may repeat (RUN carries one `set=key=value` line per config
+ * override).  The blob carries a serialized RunOutcome on RESULT
+ * responses, re-using the ResultCache codec so a served outcome is
+ * bit-identical to a locally simulated one by construction.
+ *
+ * Session shape:
+ *
+ *     client                          server
+ *     HELLO {proto_min,proto_max,sim} ->
+ *                                     <- WELCOME {status,proto,sim}
+ *     RUN {workload,config,set*,deadline_ms} ->
+ *                                     <- RESULT {status,...} + blob
+ *     STATS ->
+ *                                     <- STATS {counter=value ...}
+ *
+ * Version negotiation: the server picks the highest protocol version
+ * inside [proto_min, proto_max] that it speaks, and rejects the
+ * session (status=VERSION_MISMATCH) when the ranges do not overlap or
+ * when the client's simulator version differs from its own — results
+ * and cache keys are only meaningful between identical simulators.
+ */
+#ifndef RFV_NET_PROTOCOL_H
+#define RFV_NET_PROTOCOL_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "service/request.h"
+#include "service/sweep.h"
+
+namespace rfv {
+
+/** Protocol versions this build can speak (currently only v1). */
+inline constexpr u32 kProtoVersionMin = 1;
+inline constexpr u32 kProtoVersionMax = 1;
+
+/** Server-side payload cap: requests are small. */
+inline constexpr u32 kMaxRequestFrameBytes = 1u << 20;
+
+/** Client-side payload cap: RESULT blobs carry per-register stats. */
+inline constexpr u32 kMaxResponseFrameBytes = 64u << 20;
+
+// Verbs.
+inline constexpr const char *kVerbHello = "HELLO";
+inline constexpr const char *kVerbWelcome = "WELCOME";
+inline constexpr const char *kVerbRun = "RUN";
+inline constexpr const char *kVerbResult = "RESULT";
+inline constexpr const char *kVerbStats = "STATS";
+inline constexpr const char *kVerbError = "ERROR";
+
+/** One decoded message: verb, ordered fields, optional binary blob. */
+struct Message {
+    std::string verb;
+    std::vector<std::pair<std::string, std::string>> fields;
+    std::string blob;
+
+    void
+    add(const std::string &key, const std::string &value)
+    {
+        fields.emplace_back(key, value);
+    }
+
+    void
+    addU64(const std::string &key, u64 value)
+    {
+        add(key, std::to_string(value));
+    }
+
+    void
+    addI64(const std::string &key, i64 value)
+    {
+        add(key, std::to_string(value));
+    }
+
+    /** First value for @p key, or nullptr. */
+    const std::string *find(const std::string &key) const;
+
+    /** First value for @p key, or @p fallback. */
+    std::string get(const std::string &key,
+                    const std::string &fallback = "") const;
+
+    /** Strict u64 parse of @p key; false when absent or malformed. */
+    bool getU64(const std::string &key, u64 &out) const;
+
+    /** Strict i64 parse of @p key; false when absent or malformed. */
+    bool getI64(const std::string &key, i64 &out) const;
+
+    /** Every value whose key equals @p key, in order. */
+    std::vector<std::string> getAll(const std::string &key) const;
+
+    /** Encode into one frame payload. */
+    std::string encode() const;
+
+    /**
+     * Parse a frame payload.  False (with @p error set) on structural
+     * violations: empty payload, missing blank-line terminator, a
+     * field line without '=', or an embedded NUL in the header.
+     */
+    static bool decode(const std::string &payload, Message &out,
+                       std::string &error);
+};
+
+// ---- typed codecs over Message -----------------------------------------
+
+/** Client hello advertising [kProtoVersionMin, kProtoVersionMax]. */
+Message makeHello();
+
+/**
+ * Server-side hello processing: negotiate the protocol version and
+ * check the simulator version.  Returns the WELCOME reply and sets
+ * @p ok; on failure the reply carries status VERSION_MISMATCH (or
+ * BAD_REQUEST for a structurally invalid hello) and a diagnostic.
+ */
+Message makeWelcome(const Message &hello, bool &ok);
+
+/**
+ * Client-side WELCOME validation: false (with @p error) unless the
+ * server accepted the session and speaks our simulator version.
+ */
+bool checkWelcome(const Message &welcome, std::string &error);
+
+/** RUN request for @p req. */
+Message encodeRunRequest(const ServiceRequest &req);
+
+/** Parse a RUN message; kOk or a client-error status with @p error. */
+ServiceStatus decodeRunRequest(const Message &msg, ServiceRequest &req,
+                               std::string &error);
+
+/**
+ * RESULT response for a finished (or failed/shed/timed-out) job.
+ * When @p res.ok(), the blob carries the ResultCache-serialized
+ * RunOutcome.
+ */
+Message encodeResult(const SweepJobResult &res);
+
+/** Shorthand: RESULT carrying only a failure status. */
+Message makeErrorResult(ServiceStatus status, const std::string &error);
+
+/**
+ * Parse a RESULT message into @p res (including blob deserialization
+ * on OK).  Returns the transported status; BAD_REQUEST with @p error
+ * when the message itself is malformed.
+ */
+ServiceStatus decodeResult(const Message &msg, SweepJobResult &res,
+                           std::string &error);
+
+} // namespace rfv
+
+#endif // RFV_NET_PROTOCOL_H

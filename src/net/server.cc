@@ -1,0 +1,494 @@
+#include "net/server.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/framing.h"
+#include "service/version.h"
+
+namespace rfv {
+
+namespace {
+
+/** Poll slice for loops that must observe shutdown flags. */
+constexpr i64 kPollSliceMs = 100;
+
+SweepOptions
+serverSweepOptions(SweepOptions sweep)
+{
+    // The daemon's parallelism lives in its executor threads; each
+    // execute() call must not spin up a nested scheduler.
+    sweep.jobs = 1;
+    sweep.cancel = nullptr;
+    return sweep;
+}
+
+} // namespace
+
+SimdServer::SimdServer(ServerOptions opts)
+    : opts_(std::move(opts)), engine_(serverSweepOptions(opts_.sweep))
+{
+}
+
+SimdServer::~SimdServer() { stop(); }
+
+void
+SimdServer::start()
+{
+    if (running_)
+        return;
+    listener_.emplace(opts_.port);
+    port_ = listener_->port();
+    startTime_ = std::chrono::steady_clock::now();
+    draining_ = false;
+    closing_ = false;
+    running_ = true;
+
+    const u32 executors = std::max<u32>(1, opts_.executors);
+    executors_.reserve(executors);
+    for (u32 i = 0; i < executors; ++i)
+        executors_.emplace_back([this] { executorLoop(); });
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+}
+
+void
+SimdServer::stop()
+{
+    if (!running_)
+        return;
+    // Phase 1: stop accepting.  The accept loop observes the closed
+    // listener within one poll slice and exits.  Connections stay up
+    // for now: new RUNs are refused with SHUTTING_DOWN (handleRun
+    // checks draining_ under the queue lock) while admitted jobs keep
+    // executing.
+    draining_ = true;
+    listener_->close();
+    queueCv_.notify_all();
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+
+    // Phase 2: executors drain the admitted queue and exit.  Every
+    // admitted job's promise is fulfilled before this join returns, so
+    // connection threads blocked on an in-flight result are released.
+    queueCv_.notify_all();
+    for (std::thread &t : executors_)
+        if (t.joinable())
+            t.join();
+    executors_.clear();
+
+    // Phase 3: nothing is in flight anymore — drop the connections.
+    closing_ = true;
+    joinAllConnections();
+
+    // Nothing to flush: the ResultCache publishes each entry durably
+    // (tmp + atomic rename) at store time, so a drained server leaves
+    // a complete cache directory behind.
+    running_ = false;
+}
+
+// ---- accept / connection lifecycle -------------------------------------
+
+void
+SimdServer::acceptLoop()
+{
+    while (!draining_) {
+        std::optional<Socket> sock = listener_->accept(kPollSliceMs);
+        reapFinishedConnections();
+        if (!sock)
+            continue;
+
+        std::lock_guard<std::mutex> lk(connMu_);
+        if (connections_.size() >= opts_.maxConnections) {
+            std::lock_guard<std::mutex> slk(statsMu_);
+            ++stats_.connectionsRejected;
+            continue; // Socket closes on scope exit; client retries.
+        }
+        {
+            std::lock_guard<std::mutex> slk(statsMu_);
+            ++stats_.connectionsAccepted;
+        }
+        auto conn = std::make_unique<Connection>();
+        conn->sock = std::move(*sock);
+        Connection *raw = conn.get();
+        conn->thread = std::thread([this, raw] { serveConnection(raw); });
+        connections_.push_back(std::move(conn));
+    }
+}
+
+void
+SimdServer::reapFinishedConnections()
+{
+    std::lock_guard<std::mutex> lk(connMu_);
+    auto it = connections_.begin();
+    while (it != connections_.end()) {
+        if ((*it)->done) {
+            if ((*it)->thread.joinable())
+                (*it)->thread.join();
+            it = connections_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+SimdServer::joinAllConnections()
+{
+    std::lock_guard<std::mutex> lk(connMu_);
+    for (auto &conn : connections_)
+        if (conn->thread.joinable())
+            conn->thread.join();
+    connections_.clear();
+}
+
+void
+SimdServer::serveConnection(Connection *conn)
+{
+    Socket &sock = conn->sock;
+    const auto frameDeadline = [this] {
+        return deadlineAfterMs(opts_.frameTimeoutMs);
+    };
+    const auto sendMessage = [&](const Message &m) {
+        return writeFrame(sock, m.encode(), frameDeadline()) ==
+               FrameStatus::kOk;
+    };
+    const auto countBadFrame = [this] {
+        std::lock_guard<std::mutex> lk(statsMu_);
+        ++stats_.badFrames;
+    };
+
+    // Wait for the next frame's first byte in short slices so closing_
+    // and the idle budget are observed without ever expiring a
+    // deadline *inside* a frame.  kOk = data pending.
+    const auto awaitData = [&](std::chrono::steady_clock::time_point
+                                   since) -> IoStatus {
+        while (!closing_) {
+            const IoStatus ready =
+                sock.waitReadable(deadlineAfterMs(kPollSliceMs));
+            if (ready != IoStatus::kTimedOut)
+                return ready;
+            const auto idleMs =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::steady_clock::now() - since)
+                    .count();
+            if (opts_.idleTimeoutMs >= 0 && idleMs > opts_.idleTimeoutMs) {
+                std::lock_guard<std::mutex> lk(statsMu_);
+                ++stats_.connectionsReaped;
+                return IoStatus::kTimedOut;
+            }
+        }
+        return IoStatus::kClosed;
+    };
+
+    // ---- handshake -----------------------------------------------------
+    std::string payload;
+    if (awaitData(std::chrono::steady_clock::now()) != IoStatus::kOk) {
+        conn->done = true;
+        return;
+    }
+    const FrameStatus hs =
+        readFrame(sock, payload, kMaxRequestFrameBytes, frameDeadline());
+    if (hs != FrameStatus::kOk) {
+        if (hs != FrameStatus::kClosed)
+            countBadFrame();
+        conn->done = true;
+        return;
+    }
+    Message hello;
+    std::string parseError;
+    bool helloOk = false;
+    if (Message::decode(payload, hello, parseError)) {
+        const Message welcome = makeWelcome(hello, helloOk);
+        if (!sendMessage(welcome))
+            helloOk = false;
+    } else {
+        countBadFrame();
+        Message reject;
+        bool ignored = false;
+        reject = makeWelcome(Message{}, ignored); // BAD_REQUEST welcome
+        sendMessage(reject);
+    }
+    if (!helloOk) {
+        conn->done = true;
+        return;
+    }
+
+    // ---- request loop --------------------------------------------------
+    // The loop runs until closing_, not draining_: during a drain the
+    // connection stays up so new RUNs get an explicit SHUTTING_DOWN
+    // answer instead of a dropped connection.
+    while (!closing_) {
+        if (awaitData(std::chrono::steady_clock::now()) != IoStatus::kOk)
+            break;
+
+        const FrameStatus fs = readFrame(sock, payload,
+                                         kMaxRequestFrameBytes,
+                                         frameDeadline());
+        if (fs == FrameStatus::kClosed)
+            break; // orderly client exit
+        if (fs != FrameStatus::kOk) {
+            // Bad magic, oversized declaration, truncation: the byte
+            // stream can no longer be trusted, so answer (best effort)
+            // and drop only this connection — the process lives on.
+            countBadFrame();
+            sendMessage(makeErrorResult(
+                ServiceStatus::kBadRequest,
+                std::string("unreadable frame: ") + frameStatusName(fs)));
+            break;
+        }
+
+        Message msg;
+        if (!Message::decode(payload, msg, parseError)) {
+            // The frame boundary is intact, so the connection can
+            // survive a malformed payload.
+            countBadFrame();
+            if (!sendMessage(makeErrorResult(ServiceStatus::kBadRequest,
+                                             parseError)))
+                break;
+            continue;
+        }
+
+        if (msg.verb == kVerbRun) {
+            if (!handleRun(conn, msg))
+                break;
+        } else if (msg.verb == kVerbStats) {
+            {
+                std::lock_guard<std::mutex> lk(statsMu_);
+                ++stats_.statsRequests;
+            }
+            if (!sendMessage(statsMessage()))
+                break;
+        } else {
+            if (!sendMessage(makeErrorResult(
+                    ServiceStatus::kBadRequest,
+                    "unknown verb '" + msg.verb + "'")))
+                break;
+        }
+    }
+    sock.close();
+    conn->done = true;
+}
+
+bool
+SimdServer::handleRun(Connection *conn, const Message &msg)
+{
+    Socket &sock = conn->sock;
+    const auto frameDeadline = [this] {
+        return deadlineAfterMs(opts_.frameTimeoutMs);
+    };
+    const auto reply = [&](const Message &m) {
+        return writeFrame(sock, m.encode(), frameDeadline()) ==
+               FrameStatus::kOk;
+    };
+
+    // Requests rejected before admission (undecodable RUN, unknown
+    // config, bad override) still count as failed requests: the STATS
+    // ledger must reconcile with what clients observed.
+    const auto replyFailed = [&](ServiceStatus s,
+                                 const std::string &error) {
+        {
+            std::lock_guard<std::mutex> lk(statsMu_);
+            ++stats_.requestsFailed;
+        }
+        return reply(makeErrorResult(s, error));
+    };
+
+    ServiceRequest req;
+    std::string error;
+    ServiceStatus s = decodeRunRequest(msg, req, error);
+    if (s != ServiceStatus::kOk)
+        return replyFailed(s, error);
+
+    SweepJob job;
+    s = buildJob(req, job, error);
+    if (s != ServiceStatus::kOk)
+        return replyFailed(s, error);
+
+    const IoDeadline deadline = req.deadlineMs >= 0
+                                    ? deadlineAfterMs(req.deadlineMs)
+                                    : std::nullopt;
+
+    // Admission control: a full queue sheds the request immediately —
+    // never an unbounded queue, never a blocked connection.
+    auto pending = std::make_unique<PendingRequest>();
+    pending->job = std::move(job);
+    pending->deadline = deadline;
+    std::future<SweepJobResult> future = pending->promise.get_future();
+    bool drainRefused = false, shed = false;
+    {
+        std::lock_guard<std::mutex> lk(queueMu_);
+        // Checked under queueMu_: the executors decide to exit under
+        // the same lock (draining_ && empty queue), so a job admitted
+        // here is guaranteed an executor that will run it.  The reply
+        // itself happens after the lock is released — a slow socket
+        // must not stall admissions.
+        if (draining_) {
+            drainRefused = true;
+        } else if (queue_.size() >= opts_.queueCapacity) {
+            shed = true;
+        } else {
+            queue_.push_back(std::move(pending));
+            std::lock_guard<std::mutex> slk(statsMu_);
+            ++stats_.requestsAccepted;
+            stats_.queueDepth = queue_.size();
+            stats_.queueHighWater =
+                std::max<u64>(stats_.queueHighWater, queue_.size());
+        }
+    }
+    if (drainRefused) {
+        {
+            std::lock_guard<std::mutex> lk(statsMu_);
+            ++stats_.requestsShutdown;
+        }
+        return reply(makeErrorResult(ServiceStatus::kShuttingDown,
+                                     "server is draining"));
+    }
+    if (shed) {
+        {
+            std::lock_guard<std::mutex> lk(statsMu_);
+            ++stats_.requestsShed;
+        }
+        return reply(makeErrorResult(
+            ServiceStatus::kRetryLater,
+            "admission queue full (" +
+                std::to_string(opts_.queueCapacity) + " pending)"));
+    }
+    queueCv_.notify_one();
+
+    // Wait for the executor.  On client-deadline expiry the request is
+    // answered DEADLINE_EXCEEDED; the job itself still completes on
+    // the executor and warms the result cache for the retry.
+    if (deadline) {
+        if (future.wait_until(*deadline) != std::future_status::ready) {
+            std::lock_guard<std::mutex> lk(statsMu_);
+            ++stats_.requestsTimedOut;
+            return reply(makeErrorResult(
+                ServiceStatus::kDeadlineExceeded,
+                "deadline of " + std::to_string(req.deadlineMs) +
+                    " ms expired while the job was in flight"));
+        }
+    }
+    const SweepJobResult res = future.get();
+
+    {
+        std::lock_guard<std::mutex> lk(statsMu_);
+        if (res.ok()) {
+            ++stats_.requestsOk;
+            if (res.fromCache)
+                ++stats_.servedFromCache;
+            stats_.aggregateCycles += res.outcome.sim.cycles;
+            stats_.aggregateInstrs += res.outcome.sim.issuedInstrs;
+        } else if (res.status == ServiceStatus::kDeadlineExceeded) {
+            ++stats_.requestsTimedOut;
+        } else {
+            ++stats_.requestsFailed;
+        }
+    }
+    return reply(encodeResult(res));
+}
+
+// ---- executors ---------------------------------------------------------
+
+void
+SimdServer::executorLoop()
+{
+    for (;;) {
+        std::unique_ptr<PendingRequest> pending;
+        {
+            std::unique_lock<std::mutex> lk(queueMu_);
+            queueCv_.wait(lk, [this] {
+                return !queue_.empty() || draining_.load();
+            });
+            if (queue_.empty()) {
+                if (draining_)
+                    return; // drained: queue is empty and stays empty
+                continue;
+            }
+            pending = std::move(queue_.front());
+            queue_.pop_front();
+            std::lock_guard<std::mutex> slk(statsMu_);
+            stats_.queueDepth = queue_.size();
+        }
+
+        if (opts_.executeHook)
+            opts_.executeHook();
+
+        // A request that died of old age in the queue is not worth
+        // simulating: its connection has already answered (or is about
+        // to).  Skipping it keeps a backlog from wasting executor time
+        // on results nobody will read.
+        if (pending->deadline &&
+            std::chrono::steady_clock::now() > *pending->deadline) {
+            SweepJobResult res;
+            res.job = pending->job;
+            res.status = ServiceStatus::kDeadlineExceeded;
+            res.error = "deadline expired before execution started";
+            pending->promise.set_value(std::move(res));
+            continue;
+        }
+
+        pending->promise.set_value(engine_.execute(pending->job));
+    }
+}
+
+// ---- stats -------------------------------------------------------------
+
+SimdServer::Stats
+SimdServer::statsSnapshot() const
+{
+    Stats s;
+    {
+        std::lock_guard<std::mutex> lk(statsMu_);
+        s = stats_;
+    }
+    // Taken outside statsMu_: handleRun nests statsMu_ *inside*
+    // queueMu_, so acquiring them here in the opposite order would be
+    // an ABBA deadlock.
+    {
+        std::lock_guard<std::mutex> qlk(queueMu_);
+        s.queueDepth = queue_.size();
+    }
+    s.uptimeSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      startTime_)
+            .count();
+    return s;
+}
+
+Message
+SimdServer::statsMessage()
+{
+    const Stats s = statsSnapshot();
+    const ResultCache::Stats cache = engine_.results().stats();
+
+    Message m;
+    m.verb = kVerbStats;
+    m.add("sim_version", kSimulatorVersion);
+    m.addU64("proto_version", kProtoVersionMax);
+    m.add("uptime_seconds", std::to_string(s.uptimeSeconds));
+    m.addU64("connections_accepted", s.connectionsAccepted);
+    m.addU64("connections_rejected", s.connectionsRejected);
+    m.addU64("connections_reaped", s.connectionsReaped);
+    m.addU64("bad_frames", s.badFrames);
+    m.addU64("requests_accepted", s.requestsAccepted);
+    m.addU64("requests_shed", s.requestsShed);
+    m.addU64("requests_shutdown", s.requestsShutdown);
+    m.addU64("requests_ok", s.requestsOk);
+    m.addU64("requests_failed", s.requestsFailed);
+    m.addU64("requests_timed_out", s.requestsTimedOut);
+    m.addU64("stats_requests", s.statsRequests);
+    m.addU64("served_from_cache", s.servedFromCache);
+    m.addU64("queue_depth", s.queueDepth);
+    m.addU64("queue_high_water", s.queueHighWater);
+    m.addU64("cache_memory_hits", cache.memoryHits);
+    m.addU64("cache_disk_hits", cache.diskHits);
+    m.addU64("cache_misses", cache.misses);
+    m.addU64("cache_stores", cache.stores);
+    m.addU64("cache_bad_entries", cache.badEntries);
+    m.addU64("aggregate_cycles", s.aggregateCycles);
+    m.addU64("aggregate_instrs", s.aggregateInstrs);
+    m.add("cycles_per_sec", std::to_string(s.cyclesPerSec()));
+    return m;
+}
+
+} // namespace rfv

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * `simd` — the simulation daemon: a TCP front-end over SweepEngine.
+ *
+ * Threading model:
+ *
+ *   accept thread ──> connection threads (one per client, capped)
+ *                         │  parse frame -> RUN/STATS
+ *                         ▼
+ *                bounded admission queue  ── full? ──> RETRY_LATER
+ *                         │
+ *                executor threads ──> SweepEngine::execute()
+ *                         │               (ArtifactStore + ResultCache)
+ *                         ▼
+ *                per-request promise ──> connection thread replies
+ *
+ * Backpressure is explicit: the admission queue has a fixed capacity
+ * and a full queue sheds load with RETRY_LATER instead of queueing
+ * unboundedly or blocking the connection.  Deadlines are enforced at
+ * two points — a request whose deadline expires while queued is
+ * failed without simulating, and a connection whose client deadline
+ * passes while the job is in flight answers DEADLINE_EXCEEDED (the
+ * job still completes and warms the result cache; simulations are
+ * never preempted mid-run).  Idle connections are reaped after
+ * idleTimeoutMs.  stop() drains gracefully: the listener closes, new
+ * RUNs get SHUTTING_DOWN, admitted jobs finish and answer, then all
+ * threads join.
+ */
+#ifndef RFV_NET_SERVER_H
+#define RFV_NET_SERVER_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/socket.h"
+#include "net/protocol.h"
+#include "service/sweep.h"
+
+namespace rfv {
+
+struct ServerOptions {
+    u16 port = 0;           //!< 0 = ephemeral (read back via port())
+    u32 executors = 1;      //!< simulation worker threads
+    u32 queueCapacity = 16; //!< admitted-but-unstarted request cap
+    u32 maxConnections = 64;
+    i64 idleTimeoutMs = 30000; //!< reap connections idle this long
+    i64 frameTimeoutMs = 10000; //!< max wall time for one frame's bytes
+    SweepOptions sweep;         //!< cache dir etc. (jobs is ignored)
+
+    /**
+     * Test seam: runs on the executor thread immediately before each
+     * job executes.  Lets tests hold the executor hostage to fill the
+     * admission queue deterministically.
+     */
+    std::function<void()> executeHook;
+};
+
+class SimdServer {
+  public:
+    /** Counters exported by the STATS verb.  Plain values (snapshot). */
+    struct Stats {
+        u64 connectionsAccepted = 0;
+        u64 connectionsRejected = 0; //!< over maxConnections
+        u64 connectionsReaped = 0;   //!< idle-timeout closures
+        u64 badFrames = 0;       //!< framing/parse violations survived
+        u64 requestsAccepted = 0;    //!< admitted to the queue
+        u64 requestsShed = 0;        //!< RETRY_LATER (queue full)
+        u64 requestsShutdown = 0;    //!< SHUTTING_DOWN during drain
+        u64 requestsOk = 0;
+        u64 requestsFailed = 0;   //!< structured per-job errors
+        u64 requestsTimedOut = 0; //!< deadline expiry (queued or waiting)
+        u64 statsRequests = 0;
+        u64 servedFromCache = 0;
+        u64 queueDepth = 0;
+        u64 queueHighWater = 0;
+        u64 aggregateCycles = 0;
+        u64 aggregateInstrs = 0;
+        double uptimeSeconds = 0;
+
+        double
+        cyclesPerSec() const
+        {
+            return uptimeSeconds > 0
+                       ? static_cast<double>(aggregateCycles) /
+                             uptimeSeconds
+                       : 0.0;
+        }
+    };
+
+    explicit SimdServer(ServerOptions opts);
+    ~SimdServer();
+
+    SimdServer(const SimdServer &) = delete;
+    SimdServer &operator=(const SimdServer &) = delete;
+
+    /** Bind and start all threads; throws ConfigError on bind failure. */
+    void start();
+
+    /**
+     * Graceful drain: stop accepting, fail new RUNs with
+     * SHUTTING_DOWN, finish admitted jobs, answer waiting clients,
+     * join every thread.  Idempotent.
+     */
+    void stop();
+
+    bool running() const { return running_; }
+    u16 port() const { return port_; }
+
+    Stats statsSnapshot() const;
+
+    /** STATS response message (shared by the verb handler and tests). */
+    Message statsMessage();
+
+    /** The engine (tests inspect cache/artifact counters). */
+    SweepEngine &engine() { return engine_; }
+
+  private:
+    struct PendingRequest {
+        SweepJob job;
+        IoDeadline deadline; //!< absolute; expired-in-queue check
+        std::promise<SweepJobResult> promise;
+    };
+
+    struct Connection {
+        Socket sock;
+        std::thread thread;
+        std::atomic<bool> done{false};
+    };
+
+    void acceptLoop();
+    void executorLoop();
+    void serveConnection(Connection *conn);
+    bool handleRun(Connection *conn, const Message &msg);
+    void reapFinishedConnections();
+    void joinAllConnections();
+
+    ServerOptions opts_;
+    SweepEngine engine_;
+    std::optional<Listener> listener_;
+    u16 port_ = 0;
+
+    std::atomic<bool> running_{false};
+    std::atomic<bool> draining_{false}; //!< refuse new RUNs
+    std::atomic<bool> closing_{false};  //!< in-flight done; drop conns
+
+    std::thread acceptThread_;
+    std::vector<std::thread> executors_;
+
+    // Admission queue.
+    mutable std::mutex queueMu_;
+    std::condition_variable queueCv_;
+    std::deque<std::unique_ptr<PendingRequest>> queue_;
+
+    // Connection registry.
+    std::mutex connMu_;
+    std::vector<std::unique_ptr<Connection>> connections_;
+
+    // Counters (all under statsMu_; coarse is fine at request grain).
+    mutable std::mutex statsMu_;
+    Stats stats_;
+    std::chrono::steady_clock::time_point startTime_;
+};
+
+} // namespace rfv
+
+#endif // RFV_NET_SERVER_H

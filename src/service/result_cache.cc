@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <unistd.h>
 
 namespace rfv {
 
@@ -409,10 +410,14 @@ ResultCache::store(const Hash128 &key, const RunOutcome &outcome)
         return;
     // Atomic publish: write a unique temp file, then rename over the
     // final name.  Readers either see the old complete entry or the
-    // new complete entry, never a torn write.
+    // new complete entry, never a torn write.  The name carries the
+    // pid as well as a per-process counter: cache directories are
+    // shared between processes (two daemons, or a daemon plus a CLI
+    // sweep), and a counter alone would let both write the same tmp
+    // path and clobber each other before the rename.
     static std::atomic<u64> tmpCounter{0};
     const std::string tmp =
-        entryPath(key) + ".tmp." +
+        entryPath(key) + ".tmp." + std::to_string(::getpid()) + "." +
         std::to_string(tmpCounter.fetch_add(1, std::memory_order_relaxed));
     bool ok = false;
     {

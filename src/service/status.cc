@@ -1,0 +1,45 @@
+#include "service/status.h"
+
+#include <array>
+#include <utility>
+
+namespace rfv {
+
+namespace {
+
+constexpr std::array<std::pair<ServiceStatus, const char *>, 10> kNames{{
+    {ServiceStatus::kOk, "OK"},
+    {ServiceStatus::kBadRequest, "BAD_REQUEST"},
+    {ServiceStatus::kUnknownWorkload, "UNKNOWN_WORKLOAD"},
+    {ServiceStatus::kBadConfig, "BAD_CONFIG"},
+    {ServiceStatus::kVersionMismatch, "VERSION_MISMATCH"},
+    {ServiceStatus::kRetryLater, "RETRY_LATER"},
+    {ServiceStatus::kShuttingDown, "SHUTTING_DOWN"},
+    {ServiceStatus::kDeadlineExceeded, "DEADLINE_EXCEEDED"},
+    {ServiceStatus::kCancelled, "CANCELLED"},
+    {ServiceStatus::kInternalError, "INTERNAL_ERROR"},
+}};
+
+} // namespace
+
+const char *
+serviceStatusName(ServiceStatus s)
+{
+    for (const auto &[status, name] : kNames)
+        if (status == s)
+            return name;
+    return "INTERNAL_ERROR";
+}
+
+bool
+serviceStatusFromName(const std::string &name, ServiceStatus &s)
+{
+    for (const auto &[status, statusName] : kNames)
+        if (name == statusName) {
+            s = status;
+            return true;
+        }
+    return false;
+}
+
+} // namespace rfv

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Error taxonomy of the simulation service.
+ *
+ * One status enum covers every layer that can reject or fail a job —
+ * manifest parsing, request validation, admission control, execution —
+ * so a sweep result row, a daemon response and a client retry decision
+ * all speak the same vocabulary.  The wire protocol transmits the
+ * symbolic name, never the numeric value, so the enum can be reordered
+ * without breaking deployed clients.
+ */
+#ifndef RFV_SERVICE_STATUS_H
+#define RFV_SERVICE_STATUS_H
+
+#include <string>
+
+#include "common/types.h"
+
+namespace rfv {
+
+enum class ServiceStatus : u32 {
+    kOk = 0,
+
+    // Client-side / request errors (retrying the same request cannot
+    // succeed).
+    kBadRequest,      //!< malformed request or manifest line
+    kUnknownWorkload, //!< workload name not in the registry
+    kBadConfig,       //!< unknown config name or invalid override
+    kVersionMismatch, //!< protocol or simulator version disagreement
+
+    // Server-side transient conditions (retrying may succeed).
+    kRetryLater,   //!< admission queue full — load was shed
+    kShuttingDown, //!< server is draining; no new work accepted
+
+    // Terminal per-job outcomes.
+    kDeadlineExceeded, //!< the request's deadline expired
+    kCancelled,        //!< sweep was interrupted before this job ran
+    kInternalError,    //!< simulator invariant violation or I/O failure
+};
+
+/** Stable symbolic name, e.g. "OK", "RETRY_LATER" (wire format). */
+const char *serviceStatusName(ServiceStatus s);
+
+/** Reverse of serviceStatusName(); false on unknown names. */
+bool serviceStatusFromName(const std::string &name, ServiceStatus &s);
+
+/** True for statuses a client may retry verbatim. */
+inline bool
+isRetryable(ServiceStatus s)
+{
+    return s == ServiceStatus::kRetryLater ||
+           s == ServiceStatus::kShuttingDown;
+}
+
+} // namespace rfv
+
+#endif // RFV_SERVICE_STATUS_H

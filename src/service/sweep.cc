@@ -3,6 +3,7 @@
 #include <chrono>
 #include <sstream>
 
+#include "common/error.h"
 #include "common/thread_pool.h"
 #include "core/simulator.h"
 #include "service/version.h"
@@ -27,7 +28,12 @@ SweepStats::summary() const
     std::ostringstream os;
     os << "sweep: " << jobsTotal << " jobs (" << jobsRun << " run, "
        << jobsCached << " cached, hit rate "
-       << static_cast<int>(hitRate() * 100 + 0.5) << "%)\n";
+       << static_cast<int>(hitRate() * 100 + 0.5) << "%";
+    if (jobsFailed)
+        os << ", " << jobsFailed << " failed";
+    if (jobsCancelled)
+        os << ", " << jobsCancelled << " cancelled";
+    os << ")\n";
     os << "artifacts: programs " << artifacts.programsBuilt << " built/"
        << artifacts.programsReused << " reused, compiles "
        << artifacts.compilesBuilt << "/" << artifacts.compilesReused
@@ -122,6 +128,40 @@ SweepEngine::executeLive(const PreparedJob &p, double *runSeconds) const
 }
 
 SweepJobResult
+SweepEngine::execute(const SweepJob &job)
+{
+    // Classify failures into the service taxonomy: a workload name
+    // that is not in the registry is its own category (retrying the
+    // request cannot help), any other ConfigError is a bad
+    // configuration, and everything else — simulator panics, workload
+    // verify mismatches, I/O failures — is an internal error.
+    try {
+        findWorkload(job.workload);
+    } catch (const ConfigError &e) {
+        SweepJobResult res;
+        res.job = job;
+        res.status = ServiceStatus::kUnknownWorkload;
+        res.error = e.what();
+        return res;
+    }
+    try {
+        return runOne(job);
+    } catch (const ConfigError &e) {
+        SweepJobResult res;
+        res.job = job;
+        res.status = ServiceStatus::kBadConfig;
+        res.error = e.what();
+        return res;
+    } catch (const std::exception &e) {
+        SweepJobResult res;
+        res.job = job;
+        res.status = ServiceStatus::kInternalError;
+        res.error = e.what();
+        return res;
+    }
+}
+
+SweepJobResult
 SweepEngine::runOne(const SweepJob &job)
 {
     const auto t0 = std::chrono::steady_clock::now();
@@ -180,7 +220,16 @@ SweepEngine::run(const std::vector<SweepJob> &manifest)
     try {
         pool.run(static_cast<u32>(manifest.size()),
                  [&](u32 jobIndex, u32 /*workerId*/) {
-                     results[jobIndex] = runOne(manifest[jobIndex]);
+                     if (opts_.cancel &&
+                         opts_.cancel->load(std::memory_order_relaxed)) {
+                         results[jobIndex].job = manifest[jobIndex];
+                         results[jobIndex].status =
+                             ServiceStatus::kCancelled;
+                         results[jobIndex].error =
+                             "sweep interrupted before this job started";
+                     } else {
+                         results[jobIndex] = execute(manifest[jobIndex]);
+                     }
                      done[jobIndex] = 1;
                  });
     } catch (...) {
@@ -194,6 +243,14 @@ SweepEngine::run(const std::vector<SweepJob> &manifest)
     for (size_t i = 0; i < results.size(); ++i) {
         if (!done[i])
             continue;
+        if (results[i].status == ServiceStatus::kCancelled) {
+            ++stats_.jobsCancelled;
+            continue;
+        }
+        if (!results[i].ok()) {
+            ++stats_.jobsFailed;
+            continue;
+        }
         if (results[i].fromCache)
             ++stats_.jobsCached;
         else

@@ -22,12 +22,14 @@
 #ifndef RFV_SERVICE_SWEEP_H
 #define RFV_SERVICE_SWEEP_H
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "service/artifact_store.h"
 #include "service/result_cache.h"
+#include "service/status.h"
 #include "workloads/workload.h"
 
 namespace rfv {
@@ -38,20 +40,30 @@ struct SweepJob {
     RunConfig config;
 };
 
-/** One finished job. */
+/**
+ * One finished job.  A job never aborts the batch: failures (unknown
+ * workload, invalid configuration, simulator panic) land here as a
+ * structured (status, error) pair and the rest of the sweep proceeds.
+ */
 struct SweepJobResult {
     SweepJob job;
-    RunOutcome outcome;
+    ServiceStatus status = ServiceStatus::kOk;
+    std::string error;   //!< diagnostic when status != kOk
+    RunOutcome outcome;  //!< valid only when ok()
     bool fromCache = false;
     double seconds = 0;  //!< end-to-end job wall time (hit: lookup time)
     std::string key;     //!< result-cache key (hex)
+
+    bool ok() const { return status == ServiceStatus::kOk; }
 };
 
 /** Engine-level counters for one run() call. */
 struct SweepStats {
     u64 jobsTotal = 0;
-    u64 jobsRun = 0;    //!< simulated live
-    u64 jobsCached = 0; //!< replayed from the result cache
+    u64 jobsRun = 0;       //!< simulated live
+    u64 jobsCached = 0;    //!< replayed from the result cache
+    u64 jobsFailed = 0;    //!< finished with a structured error
+    u64 jobsCancelled = 0; //!< skipped because the sweep was interrupted
     ArtifactStore::Stats artifacts;
     ResultCache::Stats cache;
     u64 steals = 0; //!< jobs executed by a non-owning worker
@@ -89,6 +101,13 @@ struct SweepOptions {
 
     /** false = always simulate live, neither read nor write results. */
     bool useCache = true;
+
+    /**
+     * Cooperative interruption: when non-null and set, jobs that have
+     * not started are finished as kCancelled (in-flight jobs complete
+     * and publish normally, so the cache is never torn).
+     */
+    const std::atomic<bool> *cancel = nullptr;
 };
 
 /**
@@ -114,10 +133,18 @@ class SweepEngine {
 
     /**
      * Execute every job of @p manifest; results are returned in
-     * manifest order regardless of scheduling.  Throws the first
-     * job failure after the sweep drains.
+     * manifest order regardless of scheduling.  Per-job failures are
+     * reported in the corresponding SweepJobResult (status, error) —
+     * a bad job never aborts the batch.
      */
     std::vector<SweepJobResult> run(const std::vector<SweepJob> &manifest);
+
+    /**
+     * Execute one job end to end — cache lookup, live run, store —
+     * returning a structured result.  Never throws; safe to call from
+     * any thread (the daemon's executors call this concurrently).
+     */
+    SweepJobResult execute(const SweepJob &job);
 
     /** Counters of the most recent run() (plus store/cache totals). */
     const SweepStats &stats() const { return stats_; }
@@ -133,6 +160,7 @@ class SweepEngine {
                            double *runSeconds = nullptr) const;
 
     ArtifactStore &artifacts() { return store_; }
+    ResultCache &results() { return cache_; }
 
   private:
     SweepJobResult runOne(const SweepJob &job);

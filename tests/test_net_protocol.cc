@@ -1,0 +1,385 @@
+/**
+ * @file
+ * Wire-protocol unit tests, no sockets involved: frame header codec
+ * (round-trip, bad magic, oversize rejection), the key=value Message
+ * codec (ordering, repeated keys, binary blobs, structural garbage),
+ * the HELLO/WELCOME version negotiation, the RUN/RESULT typed codecs
+ * — including bit-exact RunOutcome transport through the ResultCache
+ * serialization — and the client backoff schedule.
+ */
+#include <gtest/gtest.h>
+
+#include "common/framing.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "service/version.h"
+
+namespace rfv {
+namespace {
+
+// ---- frame header codec -------------------------------------------------
+
+TEST(Framing, HeaderRoundTrip)
+{
+    for (u32 len : {0u, 1u, 255u, 256u, 65536u, kMaxRequestFrameBytes}) {
+        const std::string hdr = encodeFrameHeader(len);
+        ASSERT_EQ(hdr.size(), kFrameHeaderBytes);
+        u32 decoded = 0;
+        EXPECT_EQ(decodeFrameHeader(hdr.data(), kMaxRequestFrameBytes,
+                                    decoded),
+                  FrameStatus::kOk)
+            << "len=" << len;
+        EXPECT_EQ(decoded, len);
+    }
+}
+
+TEST(Framing, HeaderIsBigEndianMagicPlusLength)
+{
+    const std::string hdr = encodeFrameHeader(0x01020304u);
+    ASSERT_EQ(hdr.size(), 8u);
+    EXPECT_EQ(hdr[0], 'R');
+    EXPECT_EQ(hdr[1], 'F');
+    EXPECT_EQ(hdr[2], 'V');
+    EXPECT_EQ(hdr[3], 'F');
+    EXPECT_EQ(static_cast<unsigned char>(hdr[4]), 0x01);
+    EXPECT_EQ(static_cast<unsigned char>(hdr[5]), 0x02);
+    EXPECT_EQ(static_cast<unsigned char>(hdr[6]), 0x03);
+    EXPECT_EQ(static_cast<unsigned char>(hdr[7]), 0x04);
+}
+
+TEST(Framing, BadMagicIsRejectedBeforeLength)
+{
+    // A plausible HTTP probe: the length bytes would decode to a huge
+    // value, but the magic check must fire first.
+    const char probe[kFrameHeaderBytes] = {'G', 'E', 'T', ' ',
+                                           '/', ' ', 'H', 'T'};
+    u32 len = 0;
+    EXPECT_EQ(decodeFrameHeader(probe, kMaxRequestFrameBytes, len),
+              FrameStatus::kBadMagic);
+}
+
+TEST(Framing, OversizedLengthIsRejected)
+{
+    const std::string hdr = encodeFrameHeader(kMaxRequestFrameBytes + 1);
+    u32 len = 0;
+    EXPECT_EQ(decodeFrameHeader(hdr.data(), kMaxRequestFrameBytes, len),
+              FrameStatus::kOversized);
+    // The same header is fine for a receiver with a larger cap.
+    EXPECT_EQ(decodeFrameHeader(hdr.data(), kMaxResponseFrameBytes, len),
+              FrameStatus::kOk);
+    EXPECT_EQ(len, kMaxRequestFrameBytes + 1);
+}
+
+TEST(Framing, EncodeFramePrependsHeader)
+{
+    const std::string payload = "hello";
+    const std::string frame = encodeFrame(payload);
+    ASSERT_EQ(frame.size(), kFrameHeaderBytes + payload.size());
+    u32 len = 0;
+    EXPECT_EQ(decodeFrameHeader(frame.data(), 1024, len),
+              FrameStatus::kOk);
+    EXPECT_EQ(len, payload.size());
+    EXPECT_EQ(frame.substr(kFrameHeaderBytes), payload);
+}
+
+// ---- Message codec ------------------------------------------------------
+
+TEST(MessageCodec, RoundTripPreservesOrderDupsAndBlob)
+{
+    Message m;
+    m.verb = kVerbRun;
+    m.add("workload", "MatrixMul");
+    m.add("set", "numSms=2");
+    m.add("set", "roundsPerSm=1");
+    m.addI64("deadline_ms", -1);
+    m.blob = std::string("\x00\x01\xff\nraw\n\n", 8); // embedded NUL + \n
+
+    Message out;
+    std::string error;
+    ASSERT_TRUE(Message::decode(m.encode(), out, error)) << error;
+    EXPECT_EQ(out.verb, m.verb);
+    ASSERT_EQ(out.fields, m.fields);
+    EXPECT_EQ(out.blob, m.blob);
+    EXPECT_EQ(out.getAll("set"),
+              (std::vector<std::string>{"numSms=2", "roundsPerSm=1"}));
+    i64 dl = 0;
+    EXPECT_TRUE(out.getI64("deadline_ms", dl));
+    EXPECT_EQ(dl, -1);
+}
+
+TEST(MessageCodec, ValuesMayContainEquals)
+{
+    Message m;
+    m.verb = kVerbRun;
+    m.add("set", "label=my=fancy=label");
+    Message out;
+    std::string error;
+    ASSERT_TRUE(Message::decode(m.encode(), out, error)) << error;
+    EXPECT_EQ(out.get("set"), "label=my=fancy=label");
+}
+
+TEST(MessageCodec, StructuralGarbageIsRejected)
+{
+    Message out;
+    std::string error;
+    EXPECT_FALSE(Message::decode("", out, error));
+    EXPECT_FALSE(Message::decode("RUN\nno-equals-line\n\n", out, error));
+    EXPECT_FALSE(Message::decode("RUN\nkey=value\n", out, error))
+        << "missing blank-line terminator must be rejected";
+    EXPECT_FALSE(Message::decode(std::string("RU\0N\nk=v\n\n", 10), out,
+                                 error))
+        << "NUL in the header must be rejected";
+    EXPECT_FALSE(Message::decode("\x7f\x03\x01\x08garbage", out, error));
+}
+
+TEST(MessageCodec, MissingKeysAreStrict)
+{
+    Message m;
+    m.verb = kVerbResult;
+    m.add("count", "12x");
+    u64 u = 7;
+    EXPECT_FALSE(m.getU64("count", u)) << "trailing junk must fail";
+    EXPECT_FALSE(m.getU64("absent", u));
+    EXPECT_EQ(m.find("absent"), nullptr);
+    EXPECT_EQ(m.get("absent", "fallback"), "fallback");
+}
+
+// ---- HELLO / WELCOME negotiation ----------------------------------------
+
+TEST(Handshake, CompatibleClientIsWelcomed)
+{
+    bool ok = false;
+    const Message welcome = makeWelcome(makeHello(), ok);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(welcome.verb, kVerbWelcome);
+    EXPECT_EQ(welcome.get("status"), "OK");
+    EXPECT_EQ(welcome.get("sim"), kSimulatorVersion);
+    u64 proto = 0;
+    ASSERT_TRUE(welcome.getU64("proto", proto));
+    EXPECT_EQ(proto, kProtoVersionMax);
+    std::string error;
+    EXPECT_TRUE(checkWelcome(welcome, error)) << error;
+}
+
+TEST(Handshake, DisjointProtocolRangeIsRejected)
+{
+    Message hello = makeHello();
+    for (auto &[key, value] : hello.fields)
+        if (key == "proto_min" || key == "proto_max")
+            value = std::to_string(kProtoVersionMax + 7);
+    bool ok = true;
+    const Message welcome = makeWelcome(hello, ok);
+    EXPECT_FALSE(ok);
+    EXPECT_EQ(welcome.get("status"), "VERSION_MISMATCH");
+    std::string error;
+    EXPECT_FALSE(checkWelcome(welcome, error));
+    EXPECT_NE(error.find("VERSION_MISMATCH"), std::string::npos) << error;
+}
+
+TEST(Handshake, ForeignSimulatorVersionIsRejected)
+{
+    // Results and cache keys are only meaningful between identical
+    // simulators, so even a protocol-compatible peer is refused.
+    Message hello = makeHello();
+    for (auto &[key, value] : hello.fields)
+        if (key == "sim")
+            value = "rfv-sim-0.0";
+    bool ok = true;
+    const Message welcome = makeWelcome(hello, ok);
+    EXPECT_FALSE(ok);
+    EXPECT_EQ(welcome.get("status"), "VERSION_MISMATCH");
+}
+
+TEST(Handshake, StructurallyInvalidHelloIsBadRequest)
+{
+    Message notHello;
+    notHello.verb = kVerbStats;
+    bool ok = true;
+    EXPECT_EQ(makeWelcome(notHello, ok).get("status"), "BAD_REQUEST");
+    EXPECT_FALSE(ok);
+
+    Message noVersions;
+    noVersions.verb = kVerbHello;
+    ok = true;
+    EXPECT_EQ(makeWelcome(noVersions, ok).get("status"), "BAD_REQUEST");
+    EXPECT_FALSE(ok);
+}
+
+// ---- RUN codec ----------------------------------------------------------
+
+TEST(RunCodec, RoundTrip)
+{
+    ServiceRequest req;
+    req.workload = "BFS";
+    req.configName = "shrink50";
+    req.overrides = {{"numSms", "2"}, {"roundsPerSm", "1"}};
+    req.deadlineMs = 2500;
+
+    ServiceRequest out;
+    std::string error;
+    ASSERT_EQ(decodeRunRequest(encodeRunRequest(req), out, error),
+              ServiceStatus::kOk)
+        << error;
+    EXPECT_EQ(out.workload, req.workload);
+    EXPECT_EQ(out.configName, req.configName);
+    EXPECT_EQ(out.overrides, req.overrides);
+    EXPECT_EQ(out.deadlineMs, req.deadlineMs);
+}
+
+TEST(RunCodec, MalformedRequestsGetClientErrorStatuses)
+{
+    ServiceRequest out;
+    std::string error;
+
+    Message noWorkload;
+    noWorkload.verb = kVerbRun;
+    EXPECT_EQ(decodeRunRequest(noWorkload, out, error),
+              ServiceStatus::kBadRequest);
+
+    Message badSet;
+    badSet.verb = kVerbRun;
+    badSet.add("workload", "BFS");
+    badSet.add("set", "no-equals");
+    EXPECT_EQ(decodeRunRequest(badSet, out, error),
+              ServiceStatus::kBadRequest);
+
+    Message wrongVerb;
+    wrongVerb.verb = kVerbStats;
+    wrongVerb.add("workload", "BFS");
+    EXPECT_EQ(decodeRunRequest(wrongVerb, out, error),
+              ServiceStatus::kBadRequest);
+}
+
+// ---- RESULT codec -------------------------------------------------------
+
+/** A RunOutcome with awkward bit patterns in every numeric domain. */
+RunOutcome
+sampleOutcome()
+{
+    RunOutcome o;
+    o.sim.cycles = 123456789;
+    o.sim.issuedInstrs = 0xdeadbeef;
+    o.energy.dynamicJ = 0.1;  // not representable in binary
+    o.energy.staticJ = 1.0 / 3.0;
+    o.energy.renameTableJ = 5e-324; // subnormal
+    o.compile.staticRegular = 27;
+    return o;
+}
+
+TEST(ResultCodec, OkResultTransportsOutcomeBitIdentically)
+{
+    SweepJobResult res;
+    res.job.workload = "MatrixMul";
+    res.outcome = sampleOutcome();
+    res.key = "0123456789abcdef";
+    res.fromCache = true;
+    res.seconds = 0.25;
+
+    const Message wire = encodeResult(res);
+    EXPECT_EQ(wire.verb, kVerbResult);
+    EXPECT_FALSE(wire.blob.empty());
+
+    SweepJobResult out;
+    std::string error;
+    ASSERT_EQ(decodeResult(wire, out, error), ServiceStatus::kOk)
+        << error;
+    EXPECT_TRUE(out.outcome == res.outcome)
+        << "RunOutcome must survive the wire bit-for-bit";
+    EXPECT_TRUE(out.fromCache);
+    EXPECT_EQ(out.key, res.key);
+}
+
+TEST(ResultCodec, ErrorResultCarriesStatusAndDiagnostic)
+{
+    const Message wire = makeErrorResult(ServiceStatus::kRetryLater,
+                                         "admission queue full");
+    SweepJobResult out;
+    std::string error;
+    EXPECT_EQ(decodeResult(wire, out, error),
+              ServiceStatus::kRetryLater);
+    EXPECT_EQ(out.error, "admission queue full");
+    EXPECT_FALSE(out.ok());
+}
+
+TEST(ResultCodec, CorruptBlobIsBadRequestNotACrash)
+{
+    SweepJobResult res;
+    res.outcome = sampleOutcome();
+    Message wire = encodeResult(res);
+    wire.blob = "definitely not a serialized outcome";
+    SweepJobResult out;
+    std::string error;
+    EXPECT_EQ(decodeResult(wire, out, error),
+              ServiceStatus::kBadRequest);
+    EXPECT_FALSE(error.empty());
+}
+
+// ---- status taxonomy ----------------------------------------------------
+
+TEST(Status, NamesRoundTrip)
+{
+    for (ServiceStatus s :
+         {ServiceStatus::kOk, ServiceStatus::kBadRequest,
+          ServiceStatus::kUnknownWorkload, ServiceStatus::kBadConfig,
+          ServiceStatus::kVersionMismatch, ServiceStatus::kRetryLater,
+          ServiceStatus::kShuttingDown,
+          ServiceStatus::kDeadlineExceeded, ServiceStatus::kCancelled,
+          ServiceStatus::kInternalError}) {
+        ServiceStatus back;
+        ASSERT_TRUE(serviceStatusFromName(serviceStatusName(s), back));
+        EXPECT_EQ(back, s);
+    }
+    ServiceStatus back;
+    EXPECT_FALSE(serviceStatusFromName("NOT_A_STATUS", back));
+}
+
+TEST(Status, OnlySheddingAndDrainAreRetryable)
+{
+    EXPECT_TRUE(isRetryable(ServiceStatus::kRetryLater));
+    EXPECT_TRUE(isRetryable(ServiceStatus::kShuttingDown));
+    EXPECT_FALSE(isRetryable(ServiceStatus::kOk));
+    EXPECT_FALSE(isRetryable(ServiceStatus::kBadConfig));
+    EXPECT_FALSE(isRetryable(ServiceStatus::kUnknownWorkload));
+    EXPECT_FALSE(isRetryable(ServiceStatus::kVersionMismatch));
+    EXPECT_FALSE(isRetryable(ServiceStatus::kDeadlineExceeded));
+    EXPECT_FALSE(isRetryable(ServiceStatus::kInternalError));
+}
+
+// ---- client backoff schedule --------------------------------------------
+
+TEST(Backoff, FullJitterStaysInsideTheEnvelope)
+{
+    ClientOptions opts;
+    opts.backoffBaseMs = 100;
+    opts.backoffCapMs = 1000;
+    SimdClient client(opts);
+    for (u32 attempt = 0; attempt < 12; ++attempt) {
+        const i64 ms = client.backoffMsForAttempt(attempt);
+        EXPECT_GE(ms, opts.backoffBaseMs / 2) << "attempt " << attempt;
+        EXPECT_LE(ms, opts.backoffCapMs) << "attempt " << attempt;
+    }
+}
+
+TEST(Backoff, DeterministicForAFixedSeedAndJittersAcrossSeeds)
+{
+    ClientOptions a;
+    a.jitterSeed = 42;
+    ClientOptions b = a;
+    ClientOptions c = a;
+    c.jitterSeed = 43;
+    SimdClient ca(a), cb(b), cc(c);
+    // backoffMsForAttempt draws from the jitter stream, so call each
+    // client exactly once per attempt and compare the sequences.
+    bool anyDiffer = false;
+    for (u32 attempt = 0; attempt < 8; ++attempt) {
+        const i64 va = ca.backoffMsForAttempt(attempt);
+        const i64 vb = cb.backoffMsForAttempt(attempt);
+        const i64 vc = cc.backoffMsForAttempt(attempt);
+        EXPECT_EQ(va, vb) << "attempt " << attempt;
+        anyDiffer |= va != vc;
+    }
+    EXPECT_TRUE(anyDiffer) << "different seeds should jitter apart";
+}
+
+} // namespace
+} // namespace rfv
