@@ -6,7 +6,8 @@
  *
  * Usage:
  *   run_sweep <manifest|--default> [--jobs=N] [--cache-dir=DIR]
- *             [--no-cache] [--csv=FILE] [--json=FILE]
+ *             [--no-cache] [--cache-budget-mb=N]
+ *             [--cache-policy=lru|clock] [--csv=FILE] [--json=FILE]
  *             [--sms=N] [--rounds=N] [--expect-hit-rate=F] [--quiet]
  *
  * The manifest is a text file, one job per line:
@@ -32,6 +33,11 @@
  * --jobs=N           worker threads including the caller (default 1).
  * --cache-dir=DIR    persistent result cache (default .rfv-cache).
  * --no-cache         always simulate live; nothing read or written.
+ * --cache-budget-mb=N  memory-tier byte budget; cold entries beyond it
+ *                    are demoted to the disk tier (0 = unbounded,
+ *                    default 256).
+ * --cache-policy=P   memory-tier eviction policy: lru (default) or
+ *                    clock.
  * --csv=FILE         per-job CSV (- for stdout); adds from_cache and
  *                    seconds columns to the standard report columns.
  * --json=FILE        engine counters + per-job rows as JSON.
@@ -135,7 +141,12 @@ writeJson(std::ostream &os, const std::vector<SweepJobResult> &results,
        << ", \"disk_hits\": " << st.cache.diskHits
        << ", \"misses\": " << st.cache.misses
        << ", \"stores\": " << st.cache.stores
-       << ", \"bad_entries\": " << st.cache.badEntries << " },\n";
+       << ", \"bad_entries\": " << st.cache.badEntries
+       << ",\n             \"evictions\": " << st.cache.evictions
+       << ", \"memory_bytes\": " << st.cache.memoryBytes
+       << ", \"write_behind_depth\": " << st.cache.writeBehindDepth
+       << ", \"write_behind_drops\": " << st.cache.writeBehindDrops
+       << " },\n";
     os << "  \"aggregate_cycles\": " << st.aggregateCycles << ",\n";
     os << "  \"aggregate_instrs\": " << st.aggregateInstrs << ",\n";
     os << "  \"wall_seconds\": " << st.wallSeconds << ",\n";
@@ -181,7 +192,8 @@ main(int argc, char **argv)
     if (argc < 2) {
         std::cerr
             << "usage: run_sweep <manifest|--default> [--jobs=N] "
-               "[--cache-dir=DIR] [--no-cache] [--csv=FILE] "
+               "[--cache-dir=DIR] [--no-cache] [--cache-budget-mb=N] "
+               "[--cache-policy=lru|clock] [--csv=FILE] "
                "[--json=FILE] [--sms=N] [--rounds=N] "
                "[--expect-hit-rate=F] [--quiet]\n";
         return 2;
@@ -206,7 +218,21 @@ main(int argc, char **argv)
             opts.cacheDir = arg.substr(12);
         else if (arg == "--no-cache")
             opts.useCache = false;
-        else if (arg.rfind("--csv=", 0) == 0)
+        else if (arg.rfind("--cache-budget-mb=", 0) == 0)
+            opts.cacheMemoryBudget =
+                std::stoull(arg.substr(18)) << 20;
+        else if (arg.rfind("--cache-policy=", 0) == 0) {
+            const std::string policy = arg.substr(15);
+            if (policy == "lru")
+                opts.cacheEviction = EvictionPolicy::kLru;
+            else if (policy == "clock")
+                opts.cacheEviction = EvictionPolicy::kClock;
+            else {
+                std::cerr << "unknown cache policy " << policy
+                          << " (expected lru or clock)\n";
+                return 2;
+            }
+        } else if (arg.rfind("--csv=", 0) == 0)
             csvOut = arg.substr(6);
         else if (arg.rfind("--json=", 0) == 0)
             jsonOut = arg.substr(7);

@@ -5,7 +5,8 @@
  * Usage:
  *   simd_server [--port=N] [--executors=N] [--queue=N]
  *               [--max-conns=N] [--idle-timeout-ms=N]
- *               [--cache-dir=DIR] [--no-cache] [--quiet]
+ *               [--cache-dir=DIR] [--no-cache] [--cache-budget-mb=N]
+ *               [--cache-policy=lru|clock] [--quiet]
  *
  * --port=N            TCP port on 127.0.0.1 (default 0 = ephemeral;
  *                     the bound port is printed on startup).
@@ -16,6 +17,11 @@
  * --idle-timeout-ms=N reap connections idle this long (default 30000).
  * --cache-dir=DIR     persistent result cache (default .rfv-cache).
  * --no-cache          always simulate live.
+ * --cache-budget-mb=N memory-tier byte budget; cold results beyond it
+ *                     are demoted to disk (0 = unbounded, default
+ *                     256) — a daemon meant to survive millions of
+ *                     requests must not pin every outcome in RAM.
+ * --cache-policy=P    memory-tier eviction: lru (default) or clock.
  *
  * On startup the daemon prints exactly one line to stdout:
  *
@@ -23,9 +29,9 @@
  *
  * so scripts can scrape the (possibly ephemeral) port.  SIGINT or
  * SIGTERM triggers a graceful drain: the listener closes, in-flight
- * requests finish and answer, the result cache is already durable
- * (atomic per-entry publish), and the final STATS counters go to
- * stderr before exit.
+ * requests finish and answer, the write-behind publisher flushes the
+ * remaining disk publishes (each one atomic: temp file + rename), and
+ * the final STATS counters go to stderr before exit.
  */
 #include <atomic>
 #include <chrono>
@@ -76,7 +82,21 @@ main(int argc, char **argv)
                 opts.sweep.cacheDir = arg.substr(12);
             else if (arg == "--no-cache")
                 opts.sweep.useCache = false;
-            else if (arg == "--quiet")
+            else if (arg.rfind("--cache-budget-mb=", 0) == 0)
+                opts.sweep.cacheMemoryBudget =
+                    std::stoull(arg.substr(18)) << 20;
+            else if (arg.rfind("--cache-policy=", 0) == 0) {
+                const std::string policy = arg.substr(15);
+                if (policy == "lru")
+                    opts.sweep.cacheEviction = EvictionPolicy::kLru;
+                else if (policy == "clock")
+                    opts.sweep.cacheEviction = EvictionPolicy::kClock;
+                else {
+                    std::cerr << "unknown cache policy " << policy
+                              << " (expected lru or clock)\n";
+                    return 2;
+                }
+            } else if (arg == "--quiet")
                 quiet = true;
             else {
                 std::cerr << "unknown option " << arg << "\n";

@@ -80,9 +80,11 @@ SimdServer::stop()
     closing_ = true;
     joinAllConnections();
 
-    // Nothing to flush: the ResultCache publishes each entry durably
-    // (tmp + atomic rename) at store time, so a drained server leaves
-    // a complete cache directory behind.
+    // Phase 4: join the cache's write-behind publisher.  Stores are
+    // admitted to the memory tier synchronously but reach disk via a
+    // background queue; draining it here guarantees every result the
+    // server answered is durable before the process exits.
+    engine_.results().drain();
     running_ = false;
 }
 
@@ -485,6 +487,10 @@ SimdServer::statsMessage()
     m.addU64("cache_misses", cache.misses);
     m.addU64("cache_stores", cache.stores);
     m.addU64("cache_bad_entries", cache.badEntries);
+    m.addU64("cache_evictions", cache.evictions);
+    m.addU64("cache_memory_bytes", cache.memoryBytes);
+    m.addU64("cache_write_behind_depth", cache.writeBehindDepth);
+    m.addU64("cache_write_behind_drops", cache.writeBehindDrops);
     m.addU64("aggregate_cycles", s.aggregateCycles);
     m.addU64("aggregate_instrs", s.aggregateInstrs);
     m.add("cycles_per_sec", std::to_string(s.cyclesPerSec()));

@@ -1,5 +1,6 @@
 #include "service/result_cache.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
@@ -360,54 +361,289 @@ ResultCache::deserialize(std::istream &is)
     return o;
 }
 
-ResultCache::ResultCache(std::string dir) : dir_(std::move(dir))
+u64
+ResultCache::entryBytes(const RunOutcome &o)
 {
-    if (!dir_.empty())
-        std::filesystem::create_directories(dir_);
+    u64 b = sizeof(RunOutcome);
+    b += o.workload.capacity() + o.configLabel.capacity();
+    b += o.compile.regStats.capacity() * sizeof(RegisterStat);
+    b += o.sim.rf.bankReads.capacity() * sizeof(u64);
+    b += o.sim.rf.bankWrites.capacity() * sizeof(u64);
+    b += o.verify.diags.capacity() * sizeof(VerifyDiag);
+    for (const VerifyDiag &dg : o.verify.diags)
+        b += dg.message.capacity();
+    return b;
+}
+
+namespace {
+
+u32
+roundUpPow2(u32 v)
+{
+    u32 p = 1;
+    while (p < v && p < (1u << 16))
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+ResultCache::ResultCache(std::string dir)
+    : ResultCache(ResultCacheOptions{std::move(dir)})
+{
+}
+
+ResultCache::ResultCache(ResultCacheOptions opts) : opts_(std::move(opts))
+{
+    const u32 n = roundUpPow2(std::max(opts_.shards, 1u));
+    shardMask_ = n - 1;
+    shards_.reserve(n);
+    for (u32 i = 0; i < n; ++i)
+        shards_.push_back(std::make_unique<Shard>());
+    if (opts_.memoryBudgetBytes)
+        budgetPerShard_ = std::max<u64>(opts_.memoryBudgetBytes / n, 1);
+    if (!opts_.dir.empty()) {
+        std::filesystem::create_directories(opts_.dir);
+        publisher_ = std::thread([this] { publisherLoop(); });
+    }
+}
+
+ResultCache::~ResultCache()
+{
+    if (!publisher_.joinable())
+        return;
+    {
+        std::lock_guard<std::mutex> lk(pubMu_);
+        pubStop_ = true;
+    }
+    // The publisher drains the remaining queue before honouring the
+    // stop flag, so every admitted publish survives shutdown.
+    pubCv_.notify_all();
+    publisher_.join();
+}
+
+ResultCache::Shard &
+ResultCache::shardFor(const Hash128 &key)
+{
+    // key.lo is the mix-rotate hash lane: already well distributed,
+    // so the low bits pick the stripe directly.
+    return *shards_[key.lo & shardMask_];
 }
 
 std::string
-ResultCache::entryPath(const Hash128 &key) const
+ResultCache::entryPath(const std::string &hex) const
 {
-    return dir_ + "/" + key.hex() + ".rfvres";
+    return opts_.dir + "/" + hex + ".rfvres";
 }
 
 std::optional<RunOutcome>
 ResultCache::lookup(const Hash128 &key)
 {
     const std::string hex = key.hex();
-    std::lock_guard<std::mutex> lk(mu_);
-    auto it = memory_.find(hex);
-    if (it != memory_.end()) {
-        ++stats_.memoryHits;
-        return it->second;
-    }
-    if (!dir_.empty()) {
-        std::ifstream in(entryPath(key), std::ios::binary);
-        if (in) {
-            try {
-                RunOutcome o = deserialize(in);
-                ++stats_.diskHits;
-                memory_.emplace(hex, o);
-                return o;
-            } catch (const std::exception &) {
-                ++stats_.badEntries;
-            }
+    Shard &sh = shardFor(key);
+
+    // Memory tier: shared lock only.  Recency is tracked through
+    // per-entry atomics so a hit never needs the exclusive lock, and
+    // the caller's copy is made after the lock is dropped.
+    std::shared_ptr<const RunOutcome> found;
+    {
+        std::shared_lock<std::shared_mutex> lk(sh.mu);
+        auto it = sh.map.find(hex);
+        if (it != sh.map.end()) {
+            Entry &e = *it->second;
+            e.lastUse.store(tick_.fetch_add(1, std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+            e.referenced.store(true, std::memory_order_relaxed);
+            sh.memoryHits.fetch_add(1, std::memory_order_relaxed);
+            found = e.outcome;
         }
     }
-    ++stats_.misses;
-    return std::nullopt;
+    if (found)
+        return *found;
+
+    if (opts_.dir.empty()) {
+        sh.misses.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+    }
+
+    // Disk tier: open/read/deserialize with no lock held at all.
+    std::ifstream in(entryPath(hex), std::ios::binary);
+    if (!in) {
+        sh.misses.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+    }
+    std::shared_ptr<const RunOutcome> loaded;
+    try {
+        loaded = std::make_shared<const RunOutcome>(deserialize(in));
+    } catch (const std::exception &) {
+        // Quarantine: a malformed entry left in place would be
+        // re-opened and re-parsed on every future lookup of this key.
+        // Deleting it makes the next lookup a clean (cheap) miss and
+        // the next store a clean republish.
+        in.close();
+        sh.badEntries.fetch_add(1, std::memory_order_relaxed);
+        sh.misses.fetch_add(1, std::memory_order_relaxed);
+        std::error_code ec;
+        std::filesystem::remove(entryPath(hex), ec);
+        return std::nullopt;
+    }
+    sh.diskHits.fetch_add(1, std::memory_order_relaxed);
+    admit(sh, hex, loaded); // promote back into the memory tier
+    return *loaded;
 }
 
 void
 ResultCache::store(const Hash128 &key, const RunOutcome &outcome)
 {
     const std::string hex = key.hex();
-    std::lock_guard<std::mutex> lk(mu_);
-    memory_.insert_or_assign(hex, outcome);
-    ++stats_.stores;
-    if (dir_.empty())
+    Shard &sh = shardFor(key);
+    auto sp = std::make_shared<const RunOutcome>(outcome);
+    sh.stores.fetch_add(1, std::memory_order_relaxed);
+    admit(sh, hex, sp);
+    if (!opts_.dir.empty())
+        enqueuePublish(hex, std::move(sp));
+}
+
+void
+ResultCache::admit(Shard &sh, const std::string &hex,
+                   std::shared_ptr<const RunOutcome> outcome)
+{
+    const u64 bytes = entryBytes(*outcome);
+    std::unique_lock<std::shared_mutex> lk(sh.mu);
+    auto it = sh.map.find(hex);
+    if (it != sh.map.end()) {
+        Entry &e = *it->second;
+        sh.bytes -= e.bytes;
+        e.outcome = std::move(outcome);
+        e.bytes = bytes;
+        sh.bytes += bytes;
+        e.lastUse.store(tick_.fetch_add(1, std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+        e.referenced.store(true, std::memory_order_relaxed);
+    } else {
+        auto e = std::make_unique<Entry>();
+        e->outcome = std::move(outcome);
+        e->bytes = bytes;
+        e->lastUse.store(tick_.fetch_add(1, std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+        sh.ring.push_back(hex);
+        e->ringPos = std::prev(sh.ring.end());
+        sh.bytes += bytes;
+        sh.map.emplace(hex, std::move(e));
+    }
+    evictLocked(sh, hex);
+}
+
+void
+ResultCache::eraseLocked(
+    Shard &sh,
+    std::unordered_map<std::string, std::unique_ptr<Entry>>::iterator it)
+{
+    if (sh.hand == it->second->ringPos)
+        ++sh.hand;
+    sh.ring.erase(it->second->ringPos);
+    sh.bytes -= it->second->bytes;
+    sh.map.erase(it);
+    sh.evictions.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+ResultCache::evictLocked(Shard &sh, const std::string &protect)
+{
+    if (!budgetPerShard_)
         return;
+    // Demote-to-disk, never drop the entry just touched: the budget is
+    // soft by exactly one entry per shard, so an outcome larger than a
+    // whole slice still gets served from memory while it is hot.
+    while (sh.bytes > budgetPerShard_ && sh.map.size() > 1) {
+        auto victim = sh.map.end();
+        if (opts_.eviction == EvictionPolicy::kLru) {
+            u64 oldest = ~0ull;
+            for (auto it = sh.map.begin(); it != sh.map.end(); ++it) {
+                if (it->first == protect)
+                    continue;
+                const u64 t =
+                    it->second->lastUse.load(std::memory_order_relaxed);
+                if (t < oldest) {
+                    oldest = t;
+                    victim = it;
+                }
+            }
+        } else {
+            // CLOCK: sweep the insertion ring from the hand, giving a
+            // referenced entry one second chance.  Two laps always
+            // produce a victim (the first lap clears every bit).
+            for (u64 step = 0, cap = 2 * sh.ring.size() + 1;
+                 step < cap; ++step) {
+                if (sh.hand == sh.ring.end())
+                    sh.hand = sh.ring.begin();
+                auto it = sh.map.find(*sh.hand);
+                if (it->first == protect) {
+                    ++sh.hand;
+                    continue;
+                }
+                if (it->second->referenced.exchange(
+                        false, std::memory_order_relaxed)) {
+                    ++sh.hand;
+                    continue;
+                }
+                victim = it;
+                break;
+            }
+        }
+        if (victim == sh.map.end())
+            return;
+        eraseLocked(sh, victim);
+    }
+}
+
+void
+ResultCache::enqueuePublish(const std::string &hex,
+                            std::shared_ptr<const RunOutcome> outcome)
+{
+    {
+        std::lock_guard<std::mutex> lk(pubMu_);
+        if (pubQueue_.size() >= opts_.writeBehindCapacity) {
+            // Shedding the publish is safe: the entry is resident in
+            // the memory tier, and if it gets demoted before a reuse
+            // the job simply re-simulates.  Bounding the queue keeps a
+            // burst of stores from buffering unbounded serialized
+            // state — the same backpressure discipline as the daemon's
+            // admission queue.
+            writeBehindDrops_.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        pubQueue_.push_back({hex, std::move(outcome)});
+    }
+    pubCv_.notify_one();
+}
+
+void
+ResultCache::publisherLoop()
+{
+    std::unique_lock<std::mutex> lk(pubMu_);
+    for (;;) {
+        pubCv_.wait(lk, [this] { return pubStop_ || !pubQueue_.empty(); });
+        if (pubQueue_.empty()) {
+            if (pubStop_)
+                return;
+            continue;
+        }
+        const PublishJob job = std::move(pubQueue_.front());
+        pubQueue_.pop_front();
+        pubWriting_ = true;
+        lk.unlock();
+        publishOne(job); // file I/O with no lock held
+        lk.lock();
+        pubWriting_ = false;
+        if (pubQueue_.empty())
+            drainCv_.notify_all();
+    }
+}
+
+void
+ResultCache::publishOne(const PublishJob &job) const
+{
     // Atomic publish: write a unique temp file, then rename over the
     // final name.  Readers either see the old complete entry or the
     // new complete entry, never a torn write.  The name carries the
@@ -416,14 +652,15 @@ ResultCache::store(const Hash128 &key, const RunOutcome &outcome)
     // sweep), and a counter alone would let both write the same tmp
     // path and clobber each other before the rename.
     static std::atomic<u64> tmpCounter{0};
+    const std::string path = entryPath(job.hex);
     const std::string tmp =
-        entryPath(key) + ".tmp." + std::to_string(::getpid()) + "." +
+        path + ".tmp." + std::to_string(::getpid()) + "." +
         std::to_string(tmpCounter.fetch_add(1, std::memory_order_relaxed));
     bool ok = false;
     {
         std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
         if (out) {
-            serialize(out, outcome);
+            serialize(out, *job.outcome);
             ok = static_cast<bool>(out);
         }
     }
@@ -431,18 +668,45 @@ ResultCache::store(const Hash128 &key, const RunOutcome &outcome)
     // succeeded); just never leave a partial file behind.
     std::error_code ec;
     if (ok) {
-        std::filesystem::rename(tmp, entryPath(key), ec);
+        std::filesystem::rename(tmp, path, ec);
         if (!ec)
             return;
     }
     std::filesystem::remove(tmp, ec);
 }
 
+void
+ResultCache::drain()
+{
+    if (!publisher_.joinable())
+        return;
+    std::unique_lock<std::mutex> lk(pubMu_);
+    drainCv_.wait(lk,
+                  [this] { return pubQueue_.empty() && !pubWriting_; });
+}
+
 ResultCache::Stats
 ResultCache::stats() const
 {
-    std::lock_guard<std::mutex> lk(mu_);
-    return stats_;
+    Stats s;
+    for (const auto &shp : shards_) {
+        const Shard &sh = *shp;
+        std::shared_lock<std::shared_mutex> lk(sh.mu);
+        s.memoryHits += sh.memoryHits.load(std::memory_order_relaxed);
+        s.diskHits += sh.diskHits.load(std::memory_order_relaxed);
+        s.misses += sh.misses.load(std::memory_order_relaxed);
+        s.stores += sh.stores.load(std::memory_order_relaxed);
+        s.badEntries += sh.badEntries.load(std::memory_order_relaxed);
+        s.evictions += sh.evictions.load(std::memory_order_relaxed);
+        s.memoryBytes += sh.bytes;
+    }
+    {
+        std::lock_guard<std::mutex> lk(pubMu_);
+        s.writeBehindDepth = pubQueue_.size() + (pubWriting_ ? 1 : 0);
+    }
+    s.writeBehindDrops =
+        writeBehindDrops_.load(std::memory_order_relaxed);
+    return s;
 }
 
 } // namespace rfv

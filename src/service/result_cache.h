@@ -1,6 +1,6 @@
 /**
  * @file
- * Memoized simulation results: a two-level (memory + disk) cache from
+ * Memoized simulation results: a two-tier (memory + disk) cache from
  * result key to RunOutcome.
  *
  * Soundness rests on three facts: simulation is deterministic, results
@@ -12,24 +12,84 @@
  * stored outcome bit-identically to a live run, including energy
  * doubles (serialized as raw bit patterns) and verifier diagnostics.
  *
+ * Structure, mirroring the paper's small-physical/large-virtual
+ * discipline: a bounded memory tier serves hot keys at ns latency and
+ * the disk tier holds everything ever published.
+ *
+ *  - The memory tier is hash-partitioned into lock-striped shards,
+ *    each under its own std::shared_mutex: memory hits take a shared
+ *    lock only (recency is tracked with per-entry atomics), so
+ *    concurrent readers never serialize.  Entries hold shared_ptrs;
+ *    the outcome copy handed to the caller is made after the lock is
+ *    released.
+ *  - The memory tier is byte-budgeted.  Crossing the budget evicts
+ *    cold entries (LRU or CLOCK, ResultCacheOptions::eviction) —
+ *    demoting them to the disk tier rather than pinning every outcome
+ *    for the life of the process.  A demoted key is still a (disk)
+ *    hit and is re-admitted on access.
+ *  - Disk publishes are write-behind: store() only enqueues onto a
+ *    bounded queue serviced by one publisher thread, so no file I/O
+ *    ever happens under a shard lock.  The destructor flushes the
+ *    queue (flush-on-shutdown); drain() blocks until it is empty —
+ *    SweepEngine::run() and daemon shutdown call it so no admitted
+ *    result is lost.  A full queue drops the disk publish (counted in
+ *    Stats::writeBehindDrops) — the entry stays served by the memory
+ *    tier and a later miss just re-simulates; cache write failures
+ *    have always been non-fatal.
+ *
  * Disk layout: one self-describing text file per key under the cache
  * directory, written atomically (temp file + rename) so concurrent
  * sweeps and aborted runs can never publish a torn entry.  Any
- * malformed or truncated entry is treated as a miss and re-simulated.
+ * malformed or truncated entry is treated as a miss, quarantined
+ * (deleted) so it is never re-parsed, and re-simulated.
  */
 #ifndef RFV_SERVICE_RESULT_CACHE_H
 #define RFV_SERVICE_RESULT_CACHE_H
 
+#include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <iosfwd>
+#include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "core/simulator.h"
 #include "service/hash.h"
 
 namespace rfv {
+
+/** Replacement policy for the byte-budgeted memory tier. */
+enum class EvictionPolicy : u8 {
+    kLru,   //!< evict the least-recently-used entry (exact, tick-based)
+    kClock, //!< second-chance ring sweep (cheaper metadata churn)
+};
+
+struct ResultCacheOptions {
+    /** "" keeps the cache in-memory only (no persistence). */
+    std::string dir;
+
+    /**
+     * Memory-tier byte budget across all shards (0 = unbounded).
+     * Soft: a shard never evicts below one resident entry, so a
+     * single entry larger than its slice stays admitted.
+     */
+    u64 memoryBudgetBytes = 256ull << 20;
+
+    EvictionPolicy eviction = EvictionPolicy::kLru;
+
+    /** Lock-striped shard count; rounded up to a power of two, >=1. */
+    u32 shards = 16;
+
+    /** Write-behind queue capacity; overflow drops the disk publish. */
+    u32 writeBehindCapacity = 256;
+};
 
 class ResultCache {
   public:
@@ -38,19 +98,35 @@ class ResultCache {
         u64 diskHits = 0;
         u64 misses = 0;
         u64 stores = 0;
-        u64 badEntries = 0; //!< malformed disk entries treated as misses
+        u64 badEntries = 0; //!< malformed disk entries, quarantined
+        u64 evictions = 0;  //!< entries demoted out of the memory tier
+        u64 memoryBytes = 0; //!< resident memory-tier footprint
+        u64 writeBehindDepth = 0; //!< publish queue depth (snapshot)
+        u64 writeBehindDrops = 0; //!< publishes skipped, queue full
     };
 
     /** @p dir = "" keeps the cache in-memory only (no persistence). */
     explicit ResultCache(std::string dir);
+    explicit ResultCache(ResultCacheOptions opts);
+    ~ResultCache();
+
+    ResultCache(const ResultCache &) = delete;
+    ResultCache &operator=(const ResultCache &) = delete;
 
     /** Replay a stored outcome, or nullopt on a miss. */
     std::optional<RunOutcome> lookup(const Hash128 &key);
 
-    /** Record a live run's outcome (memory + disk when persistent). */
+    /** Record a live run's outcome (memory now, disk write-behind). */
     void store(const Hash128 &key, const RunOutcome &outcome);
 
-    bool persistent() const { return !dir_.empty(); }
+    /**
+     * Block until every queued disk publish has landed.  Called by
+     * SweepEngine::run() and daemon shutdown; tests call it before
+     * reopening the directory with a fresh instance.
+     */
+    void drain();
+
+    bool persistent() const { return !opts_.dir.empty(); }
     Stats stats() const;
 
     /** Exact round-trip codec (public for tests). */
@@ -58,13 +134,77 @@ class ResultCache {
     /** Throws std::runtime_error on any malformed input. */
     static RunOutcome deserialize(std::istream &is);
 
-  private:
-    std::string entryPath(const Hash128 &key) const;
+    /**
+     * Memory-tier footprint estimate of one outcome: struct size plus
+     * heap payloads (strings, per-register stats, per-bank counters,
+     * verifier diagnostics).
+     */
+    static u64 entryBytes(const RunOutcome &outcome);
 
-    std::string dir_;
-    mutable std::mutex mu_;
-    std::unordered_map<std::string, RunOutcome> memory_;
-    Stats stats_;
+  private:
+    struct Entry {
+        std::shared_ptr<const RunOutcome> outcome;
+        u64 bytes = 0;
+        std::atomic<u64> lastUse{0};        //!< LRU recency tick
+        std::atomic<bool> referenced{true}; //!< CLOCK second chance
+        std::list<std::string>::iterator ringPos;
+    };
+
+    struct Shard {
+        mutable std::shared_mutex mu;
+        std::unordered_map<std::string, std::unique_ptr<Entry>> map;
+        std::list<std::string> ring; //!< CLOCK sweep order
+        std::list<std::string>::iterator hand = ring.end();
+        u64 bytes = 0; //!< resident payload bytes (under mu exclusive)
+
+        // Counters bumped off the exclusive path (memory hits under a
+        // shared lock, disk-path counters under no shard lock at all).
+        std::atomic<u64> memoryHits{0};
+        std::atomic<u64> diskHits{0};
+        std::atomic<u64> misses{0};
+        std::atomic<u64> stores{0};
+        std::atomic<u64> badEntries{0};
+        std::atomic<u64> evictions{0};
+    };
+
+    struct PublishJob {
+        std::string hex;
+        std::shared_ptr<const RunOutcome> outcome;
+    };
+
+    Shard &shardFor(const Hash128 &key);
+    std::string entryPath(const std::string &hex) const;
+
+    /** Insert/refresh @p hex in the memory tier, then evict to budget. */
+    void admit(Shard &sh, const std::string &hex,
+               std::shared_ptr<const RunOutcome> outcome);
+    /** Evict under sh.mu (exclusive) until the shard fits its slice. */
+    void evictLocked(Shard &sh, const std::string &protect);
+    void eraseLocked(Shard &sh,
+                     std::unordered_map<std::string,
+                                        std::unique_ptr<Entry>>::iterator
+                         it);
+
+    void enqueuePublish(const std::string &hex,
+                        std::shared_ptr<const RunOutcome> outcome);
+    void publisherLoop();
+    void publishOne(const PublishJob &job) const;
+
+    ResultCacheOptions opts_;
+    u32 shardMask_ = 0;
+    u64 budgetPerShard_ = 0; //!< 0 = unbounded
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::atomic<u64> tick_{1};
+
+    // Write-behind publisher.
+    std::thread publisher_;
+    mutable std::mutex pubMu_;
+    std::condition_variable pubCv_;   //!< work available / stop
+    std::condition_variable drainCv_; //!< queue fully flushed
+    std::deque<PublishJob> pubQueue_;
+    bool pubWriting_ = false;
+    bool pubStop_ = false;
+    std::atomic<u64> writeBehindDrops_{0};
 };
 
 } // namespace rfv

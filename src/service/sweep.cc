@@ -20,6 +20,18 @@ secondsSince(std::chrono::steady_clock::time_point t0)
         .count();
 }
 
+ResultCacheOptions
+cacheOptions(const SweepOptions &opts)
+{
+    ResultCacheOptions c;
+    c.dir = opts.useCache ? opts.cacheDir : "";
+    c.memoryBudgetBytes = opts.cacheMemoryBudget;
+    c.eviction = opts.cacheEviction;
+    c.shards = opts.cacheShards;
+    c.writeBehindCapacity = opts.cacheWriteBehindDepth;
+    return c;
+}
+
 } // namespace
 
 std::string
@@ -47,6 +59,10 @@ SweepStats::summary() const
     if (cache.badEntries)
         os << ", " << cache.badEntries << " bad entries";
     os << "\n";
+    os << "cache tier: " << cache.memoryBytes << " bytes resident, "
+       << cache.evictions << " evictions, write-behind depth "
+       << cache.writeBehindDepth << ", drops "
+       << cache.writeBehindDrops << "\n";
     os << "scheduler: " << steals << " steals, " << parks << " parks\n";
     os << "throughput: " << aggregateCycles << " cycles, "
        << aggregateInstrs << " instrs in " << wallSeconds << " s ("
@@ -55,7 +71,7 @@ SweepStats::summary() const
 }
 
 SweepEngine::SweepEngine(SweepOptions opts)
-    : opts_(std::move(opts)), cache_(opts_.useCache ? opts_.cacheDir : "")
+    : opts_(std::move(opts)), cache_(cacheOptions(opts_))
 {
 }
 
@@ -239,6 +255,11 @@ SweepEngine::run(const std::vector<SweepJob> &manifest)
     stats_.steals = pool.steals();
     stats_.parks = pool.parks();
     stats_.artifacts = store_.stats();
+    // Join the write-behind publisher's backlog before reporting: a
+    // finished sweep's results are durably on disk (a second engine —
+    // or a second process — opening the same directory replays them),
+    // and the reported writeBehindDepth is deterministically zero.
+    cache_.drain();
     stats_.cache = cache_.stats();
     for (size_t i = 0; i < results.size(); ++i) {
         if (!done[i])

@@ -22,6 +22,7 @@
 #ifndef RFV_SERVICE_SWEEP_H
 #define RFV_SERVICE_SWEEP_H
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <string>
@@ -80,11 +81,20 @@ struct SweepStats {
                    : 0.0;
     }
 
+    /**
+     * Fraction of *attempted* jobs served from the result cache.
+     * Cancelled jobs never reach the cache at all, so they are
+     * excluded from the denominator — a SIGINT-interrupted warm sweep
+     * reports the hit rate of the work it actually did instead of
+     * deflating toward zero (and spuriously failing
+     * `run_sweep --expect-hit-rate`).
+     */
     double
     hitRate() const
     {
-        return jobsTotal ? static_cast<double>(jobsCached) /
-                               static_cast<double>(jobsTotal)
+        const u64 attempted = jobsTotal - std::min(jobsCancelled, jobsTotal);
+        return attempted ? static_cast<double>(jobsCached) /
+                               static_cast<double>(attempted)
                          : 0.0;
     }
 
@@ -101,6 +111,18 @@ struct SweepOptions {
 
     /** false = always simulate live, neither read nor write results. */
     bool useCache = true;
+
+    /** Memory-tier byte budget for the result cache (0 = unbounded). */
+    u64 cacheMemoryBudget = 256ull << 20;
+
+    /** Memory-tier replacement policy (LRU default, CLOCK optional). */
+    EvictionPolicy cacheEviction = EvictionPolicy::kLru;
+
+    /** Lock-striped shard count (rounded up to a power of two). */
+    u32 cacheShards = 16;
+
+    /** Write-behind publish queue depth; overflow drops the publish. */
+    u32 cacheWriteBehindDepth = 256;
 
     /**
      * Cooperative interruption: when non-null and set, jobs that have

@@ -99,6 +99,35 @@ TEST(SweepErrors, CancelFlagSkipsPendingJobs)
         << st.summary();
 }
 
+TEST(SweepErrors, HitRateExcludesCancelledJobs)
+{
+    // A cancelled job never consulted the cache; counting it in the
+    // denominator made partial sweeps report misleadingly low rates
+    // (and trip run_sweep's --expect-hit-rate gate).
+    SweepStats st;
+    st.jobsTotal = 6;
+    st.jobsCached = 3;
+    st.jobsCancelled = 3;
+    EXPECT_DOUBLE_EQ(st.hitRate(), 1.0)
+        << "every job that actually ran was a cache hit";
+
+    st.jobsCached = 0;
+    st.jobsCancelled = 6;
+    EXPECT_DOUBLE_EQ(st.hitRate(), 0.0)
+        << "an all-cancelled sweep must not divide by zero";
+
+    st.jobsCached = 2;
+    st.jobsCancelled = 2;
+    EXPECT_DOUBLE_EQ(st.hitRate(), 0.5);
+
+    // Defensive: inconsistent counters (cancelled > total) clamp
+    // rather than underflow the unsigned denominator.
+    st.jobsTotal = 1;
+    st.jobsCached = 0;
+    st.jobsCancelled = 5;
+    EXPECT_DOUBLE_EQ(st.hitRate(), 0.0);
+}
+
 // ---- config names and overrides -----------------------------------------
 
 TEST(RequestParsing, EveryAdvertisedConfigNameResolves)
