@@ -32,14 +32,13 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
-#include <mutex>
 #include <optional>
 #include <random>
 #include <sstream>
-#include <thread>
 #include <unordered_map>
 
 #include "common/error.h"
+#include "common/sync.h"
 #include "service/result_cache.h"
 #include "service/version.h"
 
@@ -99,7 +98,7 @@ class LegacyMutexCache {
     std::optional<RunOutcome>
     lookup(const Hash128 &key)
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         const std::string hex = key.hex();
         const auto it = memory_.find(hex);
         if (it != memory_.end())
@@ -121,7 +120,7 @@ class LegacyMutexCache {
     void
     store(const Hash128 &key, const RunOutcome &outcome)
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         const std::string hex = key.hex();
         memory_[hex] = outcome;
         if (dir_.empty())
@@ -143,8 +142,9 @@ class LegacyMutexCache {
     }
 
     std::string dir_;
-    std::mutex mu_;
-    std::unordered_map<std::string, RunOutcome> memory_;
+    Mutex mu_;
+    std::unordered_map<std::string, RunOutcome>
+        memory_ RFV_GUARDED_BY(mu_);
 };
 
 RunOutcome
@@ -192,7 +192,7 @@ contendedPhase(Cache &cache, u32 threads, u64 entries, u64 ops)
     for (u64 i = 0; i < entries; ++i)
         cache.store(keyOf(i), makeOutcome(i));
 
-    std::vector<std::thread> workers;
+    std::vector<Thread> workers;
     const double t0 = now();
     for (u32 t = 0; t < threads; ++t) {
         workers.emplace_back([&cache, entries, ops, t] {
@@ -209,7 +209,7 @@ contendedPhase(Cache &cache, u32 threads, u64 entries, u64 ops)
             }
         });
     }
-    for (std::thread &w : workers)
+    for (Thread &w : workers)
         w.join();
     const double seconds = now() - t0;
     return static_cast<double>(threads) * static_cast<double>(ops) /
@@ -255,7 +255,7 @@ main(int argc, char **argv)
     const u64 perEntry = ResultCache::entryBytes(makeOutcome(0));
     std::cout << "cache tier: " << entries << " entries ("
               << perEntry << " B each), " << threads << " threads ("
-              << std::thread::hardware_concurrency()
+              << hardwareConcurrency()
               << " hardware)\n";
 
     // ---- phase 1: warm memory-hit latency, single thread ---------------
@@ -349,7 +349,7 @@ main(int argc, char **argv)
            << "\",\n";
         os << "  \"threads\": " << threads << ",\n";
         os << "  \"hardwareThreads\": "
-           << std::thread::hardware_concurrency() << ",\n";
+           << hardwareConcurrency() << ",\n";
         os << "  \"entries\": " << entries << ",\n";
         os << "  \"entryBytes\": " << perEntry << ",\n";
         os << "  \"hitNsSharded\": " << fmtDouble(hitNsSharded)

@@ -11,10 +11,10 @@
  * expected, not a regression.
  */
 #include <chrono>
-#include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "common/sync.h"
 #include "common/table.h"
 
 namespace {
@@ -50,7 +50,7 @@ main(int argc, char **argv)
     if (!sms_given)
         args.numSms = 8;
 
-    const u32 hw = std::max(1u, std::thread::hardware_concurrency());
+    const u32 hw = hardwareConcurrency();
     std::vector<u32> threads{0, 1};
     for (u32 t = 2; t < hw; t *= 2)
         threads.push_back(t);

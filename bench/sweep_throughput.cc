@@ -30,9 +30,9 @@
 #include <fstream>
 #include <iostream>
 #include <sstream>
-#include <thread>
 
 #include "common/error.h"
+#include "common/sync.h"
 #include "core/simulator.h"
 #include "service/sweep.h"
 #include "service/version.h"
@@ -121,7 +121,7 @@ main(int argc, char **argv)
     std::cout << "sweep throughput: " << manifest.size() << " jobs, "
               << sms << " SMs, " << rounds << " round(s)/SM, "
               << threads << " threads ("
-              << std::thread::hardware_concurrency()
+              << hardwareConcurrency()
               << " hardware)\n";
 
     // ---- serial: the pre-engine driver loop ----------------------------
@@ -190,7 +190,7 @@ main(int argc, char **argv)
         os << "  \"roundsPerSm\": " << rounds << ",\n";
         os << "  \"threads\": " << threads << ",\n";
         os << "  \"hardwareThreads\": "
-           << std::thread::hardware_concurrency() << ",\n";
+           << hardwareConcurrency() << ",\n";
         os << "  \"jobs\": " << manifest.size() << ",\n";
         os << "  \"aggregateCycles\": " << aggregateCycles << ",\n";
         os << "  \"serialSeconds\": " << fmtDouble(serialSeconds)

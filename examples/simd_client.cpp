@@ -34,9 +34,9 @@
 #include <fstream>
 #include <iostream>
 #include <sstream>
-#include <thread>
 #include <vector>
 
+#include "common/sync.h"
 #include "core/report.h"
 #include "net/client.h"
 #include "workloads/workload.h"
@@ -209,6 +209,9 @@ main(int argc, char **argv)
             wopts.jitterSeed = copts.jitterSeed + workerId;
             SimdClient client(wopts);
             for (;;) {
+                // relaxed: the claim counter only partitions indices
+                // across workers; outcomes[i] is written by exactly
+                // one claimant and read after the joins below.
                 const size_t i =
                     nextIndex.fetch_add(1, std::memory_order_relaxed);
                 if (i >= entries.size())
@@ -225,18 +228,19 @@ main(int argc, char **argv)
                     req, outcomes[i].result, outcomes[i].error,
                     &attempts);
                 outcomes[i].attempts = attempts;
+                // relaxed: monotonic statistic, read after the joins.
                 totalAttempts.fetch_add(attempts,
                                         std::memory_order_relaxed);
             }
         };
-        std::vector<std::thread> threads;
+        std::vector<Thread> threads;
         const u32 numWorkers =
             static_cast<u32>(std::min<size_t>(jobs, entries.size()));
         for (u32 w = 1; w < numWorkers; ++w)
             threads.emplace_back(worker, w);
         if (numWorkers > 0)
             worker(0);
-        for (std::thread &t : threads)
+        for (Thread &t : threads)
             t.join();
 
         // ---- report ----------------------------------------------------

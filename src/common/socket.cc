@@ -9,6 +9,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <system_error>
 #include <unistd.h>
 
 #include "common/error.h"
@@ -16,6 +17,18 @@
 namespace rfv {
 
 namespace {
+
+/**
+ * Thread-safe strerror(errno) replacement: std::strerror may format
+ * into a shared static buffer (clang-tidy concurrency-mt-unsafe), and
+ * sockets are created from the accept thread while connection threads
+ * are reporting I/O errors of their own.
+ */
+std::string
+errnoString()
+{
+    return std::error_code(errno, std::generic_category()).message();
+}
 
 /** Remaining poll budget in ms: <0 = infinite, 0 = expired. */
 int
@@ -159,8 +172,7 @@ Socket::writeAll(const void *buf, size_t len, const IoDeadline &deadline)
 Listener::Listener(u16 port)
 {
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    fatalIf(fd < 0, "cannot create listen socket: " +
-                        std::string(std::strerror(errno)));
+    fatalIf(fd < 0, "cannot create listen socket: " + errnoString());
     Socket sock(fd);
 
     const int one = 1;
@@ -173,15 +185,15 @@ Listener::Listener(u16 port)
     fatalIf(::bind(fd, reinterpret_cast<struct sockaddr *>(&addr),
                    sizeof(addr)) != 0,
             "cannot bind port " + std::to_string(port) + ": " +
-                std::string(std::strerror(errno)));
+                errnoString());
     fatalIf(::listen(fd, 64) != 0,
             "cannot listen on port " + std::to_string(port) + ": " +
-                std::string(std::strerror(errno)));
+                errnoString());
 
     socklen_t alen = sizeof(addr);
     fatalIf(::getsockname(fd, reinterpret_cast<struct sockaddr *>(&addr),
                           &alen) != 0,
-            "getsockname failed: " + std::string(std::strerror(errno)));
+            "getsockname failed: " + errnoString());
     port_ = ntohs(addr.sin_port);
     sock_ = std::move(sock);
 }

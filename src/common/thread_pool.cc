@@ -13,14 +13,16 @@ ThreadPool::ThreadPool(u32 num_threads)
 
 ThreadPool::~ThreadPool()
 {
+    // relaxed: the generation_ bump below is seq_cst and orders this
+    // store for spinners; parked workers re-check under parkMu_.
     stop_.store(true, std::memory_order_relaxed);
     // Wake spinners: workers re-check stop_ after every generation
     // poll, and the bump orders the stop_ store before it.  Parked
     // workers need the notify as well.
     generation_.fetch_add(1);
     {
-        std::lock_guard<std::mutex> lk(parkMu_);
-        parkCv_.notify_all();
+        MutexLock lk(parkMu_);
+        parkCv_.notifyAll();
     }
     for (auto &w : workers_)
         w.join();
@@ -30,8 +32,8 @@ void
 ThreadPool::wakeWorkers()
 {
     if (sleepers_.load() > 0) {
-        std::lock_guard<std::mutex> lk(parkMu_);
-        parkCv_.notify_all();
+        MutexLock lk(parkMu_);
+        parkCv_.notifyAll();
     }
 }
 
@@ -39,21 +41,26 @@ void
 ThreadPool::runTasks(const std::function<void(u32)> &fn)
 {
     for (;;) {
+        // relaxed: the claim counter only partitions indices; the
+        // tasks themselves synchronize through done_ (release).
         const u32 i = nextIndex_.fetch_add(1, std::memory_order_relaxed);
         if (i >= count_)
             break;
         try {
             fn(i);
         } catch (...) {
-            std::lock_guard<std::mutex> lk(errorMu_);
+            MutexLock lk(errorMu_);
             if (!firstError_)
                 firstError_ = std::current_exception();
+            // relaxed: ordered for the coordinator by the done_
+            // release bump below (it reads done_ with acquire).
+            hasError_.store(true, std::memory_order_relaxed);
         }
         // The finisher of the last index wakes a parked coordinator.
         if (done_.fetch_add(1, std::memory_order_release) + 1 == count_ &&
             waiterParked_.load()) {
-            std::lock_guard<std::mutex> lk(parkMu_);
-            waitCv_.notify_all();
+            MutexLock lk(parkMu_);
+            waitCv_.notifyAll();
         }
     }
 }
@@ -65,6 +72,9 @@ ThreadPool::workerLoop()
     for (;;) {
         Backoff backoff;
         while (generation_.load(std::memory_order_acquire) == seen) {
+            // relaxed: stop_ is ordered by the destructor's seq_cst
+            // generation_ bump; a late observation only costs one
+            // extra poll iteration.
             if (stop_.load(std::memory_order_relaxed))
                 return;
             if (backoff.shouldPark()) {
@@ -72,11 +82,14 @@ ThreadPool::workerLoop()
                 // The wait predicate re-checks generation_ under the
                 // mutex, and the coordinator bumps generation_ before
                 // reading sleepers_, so the wakeup cannot be missed
-                // (both accesses are seq_cst).
-                std::unique_lock<std::mutex> lk(parkMu_);
+                // (both accesses are seq_cst).  The predicate touches
+                // atomics only, so the lambda form is analysis-clean.
+                MutexLock lk(parkMu_);
                 sleepers_.fetch_add(1);
+                // relaxed: parks_ is a monotonic statistic.
                 parks_.fetch_add(1, std::memory_order_relaxed);
                 parkCv_.wait(lk, [&] {
+                    // relaxed: same stop_ ordering argument as above.
                     return generation_.load() != seen ||
                            stop_.load(std::memory_order_relaxed);
                 });
@@ -85,16 +98,19 @@ ThreadPool::workerLoop()
             }
             backoff.pause();
         }
+        // relaxed: ordered by the generation_ acquire loop above.
         if (stop_.load(std::memory_order_relaxed))
             return;
+        // relaxed: the acquire load in the spin loop already ordered
+        // this round's fn_/count_ publication.
         seen = generation_.load(std::memory_order_relaxed);
         runTasks(*fn_);
         // Announce that this worker is out of the round, so the
         // coordinator knows when it is safe to publish the next
         // round's (fn_, count_).
         if (exited_.fetch_add(1) + 1 == size() && waiterParked_.load()) {
-            std::lock_guard<std::mutex> lk(parkMu_);
-            waitCv_.notify_all();
+            MutexLock lk(parkMu_);
+            waitCv_.notifyAll();
         }
     }
 }
@@ -118,7 +134,7 @@ ThreadPool::parallelFor(u32 count, const std::function<void(u32)> &fn)
         Backoff retire;
         while (exited_.load() < size()) {
             if (retire.shouldPark()) {
-                std::unique_lock<std::mutex> lk(parkMu_);
+                MutexLock lk(parkMu_);
                 waiterParked_.store(true);
                 waitCv_.wait(lk, [&] { return exited_.load() >= size(); });
                 waiterParked_.store(false);
@@ -130,10 +146,11 @@ ThreadPool::parallelFor(u32 count, const std::function<void(u32)> &fn)
 
     fn_ = &fn;
     count_ = count;
+    // relaxed: all three round counters are published to workers by
+    // the seq_cst generation_ bump below.
     nextIndex_.store(0, std::memory_order_relaxed);
     done_.store(0, std::memory_order_relaxed);
     exited_.store(0, std::memory_order_relaxed);
-    firstError_ = nullptr;
     roundOpen_ = true;
     generation_.fetch_add(1);
     wakeWorkers();
@@ -143,7 +160,7 @@ ThreadPool::parallelFor(u32 count, const std::function<void(u32)> &fn)
     Backoff backoff;
     while (done_.load(std::memory_order_acquire) < count) {
         if (backoff.shouldPark()) {
-            std::unique_lock<std::mutex> lk(parkMu_);
+            MutexLock lk(parkMu_);
             waiterParked_.store(true);
             waitCv_.wait(lk, [&] {
                 return done_.load(std::memory_order_acquire) >= count;
@@ -154,14 +171,24 @@ ThreadPool::parallelFor(u32 count, const std::function<void(u32)> &fn)
         backoff.pause();
     }
 
-    if (firstError_) {
+    // relaxed: a task's hasError_ store happens-before its done_
+    // release bump, and the acquire loop above saw done_ == count, so
+    // every round error is visible here without extra ordering.  The
+    // flag keeps the per-cycle fast path free of errorMu_; the
+    // exception itself is read (and the slot reset for the next
+    // round) under the lock.
+    if (hasError_.load(std::memory_order_relaxed)) {
         std::exception_ptr e;
         {
-            std::lock_guard<std::mutex> lk(errorMu_);
+            MutexLock lk(errorMu_);
             e = firstError_;
             firstError_ = nullptr;
         }
-        std::rethrow_exception(e);
+        // relaxed: only this (coordinator) thread clears the flag,
+        // and worker stores for later rounds are ordered by done_.
+        hasError_.store(false, std::memory_order_relaxed);
+        if (e)
+            std::rethrow_exception(e);
     }
 }
 
@@ -181,9 +208,9 @@ WorkStealingPool::WorkStealingPool(u32 num_threads)
 WorkStealingPool::~WorkStealingPool()
 {
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        MutexLock lk(mu_);
         stop_ = true;
-        roundCv_.notify_all();
+        roundCv_.notifyAll();
     }
     for (auto &w : workers_)
         w.join();
@@ -193,7 +220,7 @@ bool
 WorkStealingPool::popOwn(u32 self, u32 &job)
 {
     Slot &s = *slots_[self];
-    std::lock_guard<std::mutex> lk(s.mu);
+    MutexLock lk(s.mu);
     if (s.jobs.empty())
         return false;
     job = s.jobs.front();
@@ -207,13 +234,14 @@ WorkStealingPool::trySteal(u32 self, u32 &job)
     const u32 n = size();
     for (u32 off = 1; off < n; ++off) {
         Slot &v = *slots_[(self + off) % n];
-        std::lock_guard<std::mutex> lk(v.mu);
+        MutexLock lk(v.mu);
         if (v.jobs.empty())
             continue;
         // Steal from the opposite end the owner pops from: the owner
         // keeps its cache-warm front, thieves drain the cold back.
         job = v.jobs.back();
         v.jobs.pop_back();
+        // relaxed: steals_ is a monotonic statistic.
         steals_.fetch_add(1, std::memory_order_relaxed);
         return true;
     }
@@ -229,13 +257,13 @@ WorkStealingPool::workRound(u32 self,
         try {
             fn(job, self);
         } catch (...) {
-            std::lock_guard<std::mutex> lk(mu_);
+            MutexLock lk(mu_);
             if (!firstError_)
                 firstError_ = std::current_exception();
         }
-        std::lock_guard<std::mutex> lk(mu_);
+        MutexLock lk(mu_);
         if (--remaining_ == 0)
-            doneCv_.notify_all();
+            doneCv_.notifyAll();
     }
 }
 
@@ -246,11 +274,16 @@ WorkStealingPool::workerLoop(u32 self)
     for (;;) {
         const std::function<void(u32, u32)> *fn = nullptr;
         {
-            std::unique_lock<std::mutex> lk(mu_);
+            MutexLock lk(mu_);
             if (generation_ == seen && !stop_) {
+                // relaxed: parks_ is a monotonic statistic.
                 parks_.fetch_add(1, std::memory_order_relaxed);
-                roundCv_.wait(lk,
-                              [&] { return generation_ != seen || stop_; });
+                // While-loop wait: the predicate reads mu_-guarded
+                // round state, which the analysis can only verify in
+                // this scope (where MutexLock holds mu_).
+                do {
+                    roundCv_.wait(lk);
+                } while (generation_ == seen && !stop_);
             }
             if (stop_)
                 return;
@@ -259,9 +292,9 @@ WorkStealingPool::workerLoop(u32 self)
         }
         workRound(self, *fn);
         {
-            std::lock_guard<std::mutex> lk(mu_);
+            MutexLock lk(mu_);
             ++exited_;
-            doneCv_.notify_all();
+            doneCv_.notifyAll();
         }
     }
 }
@@ -276,34 +309,33 @@ WorkStealingPool::run(u32 count, const std::function<void(u32, u32)> &fn)
     // deque, so --jobs=1 degenerates to exact manifest order.
     for (u32 i = 0; i < count; ++i) {
         Slot &s = *slots_[i % size()];
-        std::lock_guard<std::mutex> lk(s.mu);
+        MutexLock lk(s.mu);
         s.jobs.push_back(i);
     }
 
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        MutexLock lk(mu_);
         fn_ = &fn;
         remaining_ = count;
         exited_ = 0;
         firstError_ = nullptr;
         ++generation_;
-        roundCv_.notify_all();
+        roundCv_.notifyAll();
     }
 
     workRound(0, fn); // the caller is worker 0
 
-    std::unique_lock<std::mutex> lk(mu_);
-    doneCv_.wait(lk, [&] {
-        return remaining_ == 0 &&
-               exited_ == static_cast<u32>(workers_.size());
-    });
-
-    if (firstError_) {
-        std::exception_ptr e = firstError_;
+    std::exception_ptr err;
+    {
+        MutexLock lk(mu_);
+        while (remaining_ != 0 ||
+               exited_ != static_cast<u32>(workers_.size()))
+            doneCv_.wait(lk);
+        err = firstError_;
         firstError_ = nullptr;
-        lk.unlock();
-        std::rethrow_exception(e);
     }
+    if (err)
+        std::rethrow_exception(err);
 }
 
 } // namespace rfv

@@ -23,15 +23,13 @@
 #define RFV_COMMON_THREAD_POOL_H
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
-#include <thread>
 #include <vector>
 
+#include "common/sync.h"
 #include "common/types.h"
 
 namespace rfv {
@@ -86,20 +84,31 @@ class ThreadPool {
     void parallelFor(u32 count, const std::function<void(u32)> &fn);
 
     /** Times workers parked between rounds (idle accounting). */
-    u64 parks() const { return parks_.load(std::memory_order_relaxed); }
+    u64
+    parks() const
+    {
+        // relaxed: monotonic statistic, read for reporting only.
+        return parks_.load(std::memory_order_relaxed);
+    }
 
   private:
     void workerLoop();
     void runTasks(const std::function<void(u32)> &fn);
-    void wakeWorkers();
+    void wakeWorkers() RFV_EXCLUDES(parkMu_);
 
-    std::vector<std::thread> workers_;
+    std::vector<Thread> workers_;
 
     // Round state: the coordinator publishes (fn_, count_) and bumps
     // generation_ (release); workers observe the bump (acquire) and
     // race on nextIndex_; each finished index bumps done_, and each
     // worker leaving the round bumps exited_ (the coordinator must
     // see exited_ == size() before publishing the next round).
+    //
+    // fn_/count_/roundOpen_ carry no RFV_GUARDED_BY on purpose: they
+    // are synchronized by the generation_ release/acquire handshake
+    // above, not by any mutex — a protocol the thread-safety analysis
+    // cannot express (ARCHITECTURE.md §9 documents the manual proof;
+    // TSan remains the checker for this one structure).
     std::atomic<u64> generation_{0};
     std::atomic<bool> stop_{false};
     const std::function<void(u32)> *fn_ = nullptr;
@@ -113,16 +122,22 @@ class ThreadPool {
     // parkCv_; the coordinator notifies after bumping generation_ when
     // sleepers_ is nonzero.  The coordinator itself parks on waitCv_
     // (flagged by waiterParked_) while waiting for done_/exited_, and
-    // the worker that retires the last index/exit notifies it.
-    std::mutex parkMu_;
-    std::condition_variable parkCv_;
-    std::condition_variable waitCv_;
+    // the worker that retires the last index/exit notifies it.  All
+    // wait predicates read atomics only, so parkMu_ guards no fields.
+    Mutex parkMu_;
+    CondVar parkCv_;
+    CondVar waitCv_;
     std::atomic<u32> sleepers_{0};
     std::atomic<bool> waiterParked_{false};
     std::atomic<u64> parks_{0};
 
-    std::mutex errorMu_;
-    std::exception_ptr firstError_;
+    // Error funnel: tasks record the first exception under errorMu_
+    // and raise hasError_; the coordinator checks the flag after the
+    // done_ barrier (which orders the stores) so the per-cycle fast
+    // path never touches the mutex, then harvests under the lock.
+    Mutex errorMu_;
+    std::exception_ptr firstError_ RFV_GUARDED_BY(errorMu_);
+    std::atomic<bool> hasError_{false};
 };
 
 /**
@@ -153,15 +168,25 @@ class WorkStealingPool {
     void run(u32 count, const std::function<void(u32, u32)> &fn);
 
     /** Jobs executed by a worker other than the one they were dealt to. */
-    u64 steals() const { return steals_.load(std::memory_order_relaxed); }
+    u64
+    steals() const
+    {
+        // relaxed: monotonic statistic, read for reporting only.
+        return steals_.load(std::memory_order_relaxed);
+    }
 
     /** Times a worker blocked waiting for work (idle parking events). */
-    u64 parks() const { return parks_.load(std::memory_order_relaxed); }
+    u64
+    parks() const
+    {
+        // relaxed: monotonic statistic, read for reporting only.
+        return parks_.load(std::memory_order_relaxed);
+    }
 
   private:
     struct alignas(64) Slot {
-        std::mutex mu;
-        std::deque<u32> jobs;
+        Mutex mu;
+        std::deque<u32> jobs RFV_GUARDED_BY(mu);
     };
 
     void workerLoop(u32 self);
@@ -170,21 +195,21 @@ class WorkStealingPool {
     bool trySteal(u32 self, u32 &job);
 
     std::vector<std::unique_ptr<Slot>> slots_; //!< one per worker, [0]=caller
-    std::vector<std::thread> workers_;         //!< size()-1 spawned threads
+    std::vector<Thread> workers_;              //!< size()-1 spawned threads
 
-    std::mutex mu_;
-    std::condition_variable roundCv_; //!< workers wait for a round/stop
-    std::condition_variable doneCv_;  //!< caller waits for the round end
-    u64 generation_ = 0;
-    bool stop_ = false;
-    const std::function<void(u32, u32)> *fn_ = nullptr;
-    u32 remaining_ = 0; //!< jobs not yet completed this round
-    u32 exited_ = 0;    //!< spawned workers that left the round
+    Mutex mu_;
+    CondVar roundCv_; //!< workers wait for a round/stop
+    CondVar doneCv_;  //!< caller waits for the round end
+    u64 generation_ RFV_GUARDED_BY(mu_) = 0;
+    bool stop_ RFV_GUARDED_BY(mu_) = false;
+    const std::function<void(u32, u32)> *fn_ RFV_GUARDED_BY(mu_) = nullptr;
+    u32 remaining_ RFV_GUARDED_BY(mu_) = 0; //!< jobs not yet done this round
+    u32 exited_ RFV_GUARDED_BY(mu_) = 0; //!< spawned workers out of the round
 
     std::atomic<u64> steals_{0};
     std::atomic<u64> parks_{0};
 
-    std::exception_ptr firstError_;
+    std::exception_ptr firstError_ RFV_GUARDED_BY(mu_);
 };
 
 } // namespace rfv

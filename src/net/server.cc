@@ -35,6 +35,7 @@ SimdServer::~SimdServer() { stop(); }
 void
 SimdServer::start()
 {
+    MutexLock lifecycle(lifecycleMu_);
     if (running_)
         return;
     listener_.emplace(opts_.port);
@@ -48,30 +49,42 @@ SimdServer::start()
     executors_.reserve(executors);
     for (u32 i = 0; i < executors; ++i)
         executors_.emplace_back([this] { executorLoop(); });
-    acceptThread_ = std::thread([this] { acceptLoop(); });
+    acceptThread_ = Thread([this] { acceptLoop(); });
 }
 
 void
 SimdServer::stop()
 {
+    // The whole drain runs under lifecycleMu_ so a concurrent stop()
+    // (destructor racing a signal handler) blocks until the first
+    // caller finishes instead of double-joining half-dead threads.
+    // Before this lock existed, `if (!running_) return;` was a
+    // check-then-act race: both callers could pass the test and both
+    // run the drain.
+    MutexLock lifecycle(lifecycleMu_);
     if (!running_)
         return;
-    // Phase 1: stop accepting.  The accept loop observes the closed
-    // listener within one poll slice and exits.  Connections stay up
-    // for now: new RUNs are refused with SHUTTING_DOWN (handleRun
-    // checks draining_ under the queue lock) while admitted jobs keep
-    // executing.
+    // Phase 1: stop accepting.  The accept loop polls in kPollSliceMs
+    // slices and re-checks draining_ between slices, so it exits on
+    // its own within one slice; only then is the listener closed.
+    // (Closing it *before* the join — the old fast-path — raced the
+    // accept thread's poll on the listening fd: Socket::close()
+    // writes fd_ = -1 while Listener::accept() reads it.  TSan caught
+    // this once the service suites ran under the tsan preset.)
+    // Connections stay up for now: new RUNs are refused with
+    // SHUTTING_DOWN (handleRun checks draining_ under the queue lock)
+    // while admitted jobs keep executing.
     draining_ = true;
-    listener_->close();
-    queueCv_.notify_all();
+    queueCv_.notifyAll();
     if (acceptThread_.joinable())
         acceptThread_.join();
+    listener_->close();
 
     // Phase 2: executors drain the admitted queue and exit.  Every
     // admitted job's promise is fulfilled before this join returns, so
     // connection threads blocked on an in-flight result are released.
-    queueCv_.notify_all();
-    for (std::thread &t : executors_)
+    queueCv_.notifyAll();
+    for (Thread &t : executors_)
         if (t.joinable())
             t.join();
     executors_.clear();
@@ -99,20 +112,20 @@ SimdServer::acceptLoop()
         if (!sock)
             continue;
 
-        std::lock_guard<std::mutex> lk(connMu_);
+        MutexLock lk(connMu_);
         if (connections_.size() >= opts_.maxConnections) {
-            std::lock_guard<std::mutex> slk(statsMu_);
+            MutexLock slk(statsMu_);
             ++stats_.connectionsRejected;
             continue; // Socket closes on scope exit; client retries.
         }
         {
-            std::lock_guard<std::mutex> slk(statsMu_);
+            MutexLock slk(statsMu_);
             ++stats_.connectionsAccepted;
         }
         auto conn = std::make_unique<Connection>();
         conn->sock = std::move(*sock);
         Connection *raw = conn.get();
-        conn->thread = std::thread([this, raw] { serveConnection(raw); });
+        conn->thread = Thread([this, raw] { serveConnection(raw); });
         connections_.push_back(std::move(conn));
     }
 }
@@ -120,7 +133,7 @@ SimdServer::acceptLoop()
 void
 SimdServer::reapFinishedConnections()
 {
-    std::lock_guard<std::mutex> lk(connMu_);
+    MutexLock lk(connMu_);
     auto it = connections_.begin();
     while (it != connections_.end()) {
         if ((*it)->done) {
@@ -136,7 +149,7 @@ SimdServer::reapFinishedConnections()
 void
 SimdServer::joinAllConnections()
 {
-    std::lock_guard<std::mutex> lk(connMu_);
+    MutexLock lk(connMu_);
     for (auto &conn : connections_)
         if (conn->thread.joinable())
             conn->thread.join();
@@ -155,7 +168,7 @@ SimdServer::serveConnection(Connection *conn)
                FrameStatus::kOk;
     };
     const auto countBadFrame = [this] {
-        std::lock_guard<std::mutex> lk(statsMu_);
+        MutexLock lk(statsMu_);
         ++stats_.badFrames;
     };
 
@@ -174,7 +187,7 @@ SimdServer::serveConnection(Connection *conn)
                     std::chrono::steady_clock::now() - since)
                     .count();
             if (opts_.idleTimeoutMs >= 0 && idleMs > opts_.idleTimeoutMs) {
-                std::lock_guard<std::mutex> lk(statsMu_);
+                MutexLock lk(statsMu_);
                 ++stats_.connectionsReaped;
                 return IoStatus::kTimedOut;
             }
@@ -255,7 +268,7 @@ SimdServer::serveConnection(Connection *conn)
                 break;
         } else if (msg.verb == kVerbStats) {
             {
-                std::lock_guard<std::mutex> lk(statsMu_);
+                MutexLock lk(statsMu_);
                 ++stats_.statsRequests;
             }
             if (!sendMessage(statsMessage()))
@@ -289,7 +302,7 @@ SimdServer::handleRun(Connection *conn, const Message &msg)
     const auto replyFailed = [&](ServiceStatus s,
                                  const std::string &error) {
         {
-            std::lock_guard<std::mutex> lk(statsMu_);
+            MutexLock lk(statsMu_);
             ++stats_.requestsFailed;
         }
         return reply(makeErrorResult(s, error));
@@ -318,7 +331,7 @@ SimdServer::handleRun(Connection *conn, const Message &msg)
     std::future<SweepJobResult> future = pending->promise.get_future();
     bool drainRefused = false, shed = false;
     {
-        std::lock_guard<std::mutex> lk(queueMu_);
+        MutexLock lk(queueMu_);
         // Checked under queueMu_: the executors decide to exit under
         // the same lock (draining_ && empty queue), so a job admitted
         // here is guaranteed an executor that will run it.  The reply
@@ -330,7 +343,7 @@ SimdServer::handleRun(Connection *conn, const Message &msg)
             shed = true;
         } else {
             queue_.push_back(std::move(pending));
-            std::lock_guard<std::mutex> slk(statsMu_);
+            MutexLock slk(statsMu_);
             ++stats_.requestsAccepted;
             stats_.queueDepth = queue_.size();
             stats_.queueHighWater =
@@ -339,7 +352,7 @@ SimdServer::handleRun(Connection *conn, const Message &msg)
     }
     if (drainRefused) {
         {
-            std::lock_guard<std::mutex> lk(statsMu_);
+            MutexLock lk(statsMu_);
             ++stats_.requestsShutdown;
         }
         return reply(makeErrorResult(ServiceStatus::kShuttingDown,
@@ -347,7 +360,7 @@ SimdServer::handleRun(Connection *conn, const Message &msg)
     }
     if (shed) {
         {
-            std::lock_guard<std::mutex> lk(statsMu_);
+            MutexLock lk(statsMu_);
             ++stats_.requestsShed;
         }
         return reply(makeErrorResult(
@@ -355,14 +368,14 @@ SimdServer::handleRun(Connection *conn, const Message &msg)
             "admission queue full (" +
                 std::to_string(opts_.queueCapacity) + " pending)"));
     }
-    queueCv_.notify_one();
+    queueCv_.notifyOne();
 
     // Wait for the executor.  On client-deadline expiry the request is
     // answered DEADLINE_EXCEEDED; the job itself still completes on
     // the executor and warms the result cache for the retry.
     if (deadline) {
         if (future.wait_until(*deadline) != std::future_status::ready) {
-            std::lock_guard<std::mutex> lk(statsMu_);
+            MutexLock lk(statsMu_);
             ++stats_.requestsTimedOut;
             return reply(makeErrorResult(
                 ServiceStatus::kDeadlineExceeded,
@@ -373,7 +386,7 @@ SimdServer::handleRun(Connection *conn, const Message &msg)
     const SweepJobResult res = future.get();
 
     {
-        std::lock_guard<std::mutex> lk(statsMu_);
+        MutexLock lk(statsMu_);
         if (res.ok()) {
             ++stats_.requestsOk;
             if (res.fromCache)
@@ -397,10 +410,12 @@ SimdServer::executorLoop()
     for (;;) {
         std::unique_ptr<PendingRequest> pending;
         {
-            std::unique_lock<std::mutex> lk(queueMu_);
-            queueCv_.wait(lk, [this] {
-                return !queue_.empty() || draining_.load();
-            });
+            MutexLock lk(queueMu_);
+            // While-loop (not a predicate lambda): queue_ is guarded
+            // by queueMu_, and the analysis cannot see a lambda's
+            // body holding the caller's capability.
+            while (queue_.empty() && !draining_.load())
+                queueCv_.wait(lk);
             if (queue_.empty()) {
                 if (draining_)
                     return; // drained: queue is empty and stays empty
@@ -408,7 +423,7 @@ SimdServer::executorLoop()
             }
             pending = std::move(queue_.front());
             queue_.pop_front();
-            std::lock_guard<std::mutex> slk(statsMu_);
+            MutexLock slk(statsMu_);
             stats_.queueDepth = queue_.size();
         }
 
@@ -440,14 +455,14 @@ SimdServer::statsSnapshot() const
 {
     Stats s;
     {
-        std::lock_guard<std::mutex> lk(statsMu_);
+        MutexLock lk(statsMu_);
         s = stats_;
     }
     // Taken outside statsMu_: handleRun nests statsMu_ *inside*
     // queueMu_, so acquiring them here in the opposite order would be
-    // an ABBA deadlock.
+    // an ABBA deadlock (statsMu_ is RFV_ACQUIRED_AFTER(queueMu_)).
     {
-        std::lock_guard<std::mutex> qlk(queueMu_);
+        MutexLock qlk(queueMu_);
         s.queueDepth = queue_.size();
     }
     s.uptimeSeconds =

@@ -29,17 +29,15 @@
 #ifndef RFV_NET_SERVER_H
 #define RFV_NET_SERVER_H
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <thread>
 #include <vector>
 
 #include "common/socket.h"
+#include "common/sync.h"
 #include "net/protocol.h"
 #include "service/sweep.h"
 
@@ -101,19 +99,22 @@ class SimdServer {
     SimdServer &operator=(const SimdServer &) = delete;
 
     /** Bind and start all threads; throws ConfigError on bind failure. */
-    void start();
+    void start() RFV_EXCLUDES(lifecycleMu_);
 
     /**
      * Graceful drain: stop accepting, fail new RUNs with
      * SHUTTING_DOWN, finish admitted jobs, answer waiting clients,
-     * join every thread.  Idempotent.
+     * join every thread.  Idempotent, and safe against concurrent
+     * callers (a signal-handler path racing the destructor): the
+     * whole drain runs under lifecycleMu_, so a second caller blocks
+     * until the first finishes and then sees running_ == false.
      */
-    void stop();
+    void stop() RFV_EXCLUDES(lifecycleMu_);
 
     bool running() const { return running_; }
     u16 port() const { return port_; }
 
-    Stats statsSnapshot() const;
+    Stats statsSnapshot() const RFV_EXCLUDES(statsMu_, queueMu_);
 
     /** STATS response message (shared by the verb handler and tests). */
     Message statsMessage();
@@ -130,16 +131,17 @@ class SimdServer {
 
     struct Connection {
         Socket sock;
-        std::thread thread;
+        Thread thread;
         std::atomic<bool> done{false};
     };
 
-    void acceptLoop();
-    void executorLoop();
-    void serveConnection(Connection *conn);
-    bool handleRun(Connection *conn, const Message &msg);
-    void reapFinishedConnections();
-    void joinAllConnections();
+    void acceptLoop() RFV_EXCLUDES(connMu_, statsMu_);
+    void executorLoop() RFV_EXCLUDES(queueMu_, statsMu_);
+    void serveConnection(Connection *conn) RFV_EXCLUDES(statsMu_);
+    bool handleRun(Connection *conn, const Message &msg)
+        RFV_EXCLUDES(queueMu_, statsMu_);
+    void reapFinishedConnections() RFV_EXCLUDES(connMu_);
+    void joinAllConnections() RFV_EXCLUDES(connMu_);
 
     ServerOptions opts_;
     SweepEngine engine_;
@@ -150,21 +152,32 @@ class SimdServer {
     std::atomic<bool> draining_{false}; //!< refuse new RUNs
     std::atomic<bool> closing_{false};  //!< in-flight done; drop conns
 
-    std::thread acceptThread_;
-    std::vector<std::thread> executors_;
+    /** Serializes start()/stop() (lifecycle transitions only). */
+    Mutex lifecycleMu_;
 
-    // Admission queue.
-    mutable std::mutex queueMu_;
-    std::condition_variable queueCv_;
-    std::deque<std::unique_ptr<PendingRequest>> queue_;
+    Thread acceptThread_;
+    std::vector<Thread> executors_;
+
+    // Admission queue.  Refuse-vs-admit is decided under queueMu_:
+    // the executors decide to exit under the same lock (draining_ &&
+    // empty queue), so a job admitted here always has an executor.
+    mutable Mutex queueMu_;
+    CondVar queueCv_;
+    std::deque<std::unique_ptr<PendingRequest>>
+        queue_ RFV_GUARDED_BY(queueMu_);
 
     // Connection registry.
-    std::mutex connMu_;
-    std::vector<std::unique_ptr<Connection>> connections_;
+    Mutex connMu_;
+    std::vector<std::unique_ptr<Connection>>
+        connections_ RFV_GUARDED_BY(connMu_);
 
     // Counters (all under statsMu_; coarse is fine at request grain).
-    mutable std::mutex statsMu_;
-    Stats stats_;
+    // Lock order: statsMu_ is innermost — handleRun and executorLoop
+    // nest it inside queueMu_, acceptLoop inside connMu_; declaring
+    // the edges lets -Wthread-safety-beta reject an ABBA inversion
+    // (statsSnapshot once took them in the opposite order).
+    mutable Mutex statsMu_ RFV_ACQUIRED_AFTER(queueMu_, connMu_);
+    Stats stats_ RFV_GUARDED_BY(statsMu_);
     std::chrono::steady_clock::time_point startTime_;
 };
 

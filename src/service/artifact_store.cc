@@ -74,14 +74,20 @@ ArtifactStore::Stats
 ArtifactStore::stats() const
 {
     Stats s;
-    s.programsBuilt = programsBuilt_.load(std::memory_order_relaxed);
-    s.programsReused = programsReused_.load(std::memory_order_relaxed);
-    s.compilesBuilt = compilesBuilt_.load(std::memory_order_relaxed);
-    s.compilesReused = compilesReused_.load(std::memory_order_relaxed);
-    s.verifiesBuilt = verifiesBuilt_.load(std::memory_order_relaxed);
-    s.verifiesReused = verifiesReused_.load(std::memory_order_relaxed);
-    s.decodesBuilt = decodesBuilt_.load(std::memory_order_relaxed);
-    s.decodesReused = decodesReused_.load(std::memory_order_relaxed);
+    // relaxed: monotonic statistics, read for reporting only — each
+    // load below is an independent counter snapshot.
+    const auto ld = [](const std::atomic<u64> &c) {
+        // relaxed: see above.
+        return c.load(std::memory_order_relaxed);
+    };
+    s.programsBuilt = ld(programsBuilt_);
+    s.programsReused = ld(programsReused_);
+    s.compilesBuilt = ld(compilesBuilt_);
+    s.compilesReused = ld(compilesReused_);
+    s.verifiesBuilt = ld(verifiesBuilt_);
+    s.verifiesReused = ld(verifiesReused_);
+    s.decodesBuilt = ld(decodesBuilt_);
+    s.decodesReused = ld(decodesReused_);
     return s;
 }
 

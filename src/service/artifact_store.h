@@ -28,11 +28,11 @@
 #include <atomic>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "analysis/verifier.h"
+#include "common/sync.h"
 #include "compiler/pipeline.h"
 #include "service/hash.h"
 #include "sim/decode_cache.h"
@@ -113,9 +113,10 @@ class ArtifactStore {
             std::promise<std::shared_ptr<const V>> mine;
             bool builder = false;
             {
-                std::lock_guard<std::mutex> lk(mu_);
+                MutexLock lk(mu_);
                 auto it = map_.find(key);
                 if (it != map_.end()) {
+                    // relaxed: monotonic statistic.
                     reused.fetch_add(1, std::memory_order_relaxed);
                     fut = it->second;
                 } else {
@@ -125,6 +126,7 @@ class ArtifactStore {
                 }
             }
             if (builder) {
+                // relaxed: monotonic statistic.
                 built.fetch_add(1, std::memory_order_relaxed);
                 try {
                     mine.set_value(build());
@@ -136,10 +138,10 @@ class ArtifactStore {
         }
 
       private:
-        std::mutex mu_;
+        Mutex mu_;
         std::unordered_map<std::string,
                            std::shared_future<std::shared_ptr<const V>>>
-            map_;
+            map_ RFV_GUARDED_BY(mu_);
     };
 
     Memo<InputArtifact> inputs_;

@@ -404,7 +404,7 @@ ResultCache::ResultCache(ResultCacheOptions opts) : opts_(std::move(opts))
         budgetPerShard_ = std::max<u64>(opts_.memoryBudgetBytes / n, 1);
     if (!opts_.dir.empty()) {
         std::filesystem::create_directories(opts_.dir);
-        publisher_ = std::thread([this] { publisherLoop(); });
+        publisher_ = Thread([this] { publisherLoop(); });
     }
 }
 
@@ -413,12 +413,12 @@ ResultCache::~ResultCache()
     if (!publisher_.joinable())
         return;
     {
-        std::lock_guard<std::mutex> lk(pubMu_);
+        MutexLock lk(pubMu_);
         pubStop_ = true;
     }
     // The publisher drains the remaining queue before honouring the
     // stop flag, so every admitted publish survives shutdown.
-    pubCv_.notify_all();
+    pubCv_.notifyAll();
     publisher_.join();
 }
 
@@ -447,13 +447,17 @@ ResultCache::lookup(const Hash128 &key)
     // the caller's copy is made after the lock is dropped.
     std::shared_ptr<const RunOutcome> found;
     {
-        std::shared_lock<std::shared_mutex> lk(sh.mu);
+        ReaderLock lk(sh.mu);
         auto it = sh.map.find(hex);
         if (it != sh.map.end()) {
             Entry &e = *it->second;
+            // relaxed: recency metadata only steers eviction — a
+            // stale tick/ref bit costs at worst one suboptimal
+            // victim choice, never correctness.
             e.lastUse.store(tick_.fetch_add(1, std::memory_order_relaxed),
                             std::memory_order_relaxed);
             e.referenced.store(true, std::memory_order_relaxed);
+            // relaxed: monotonic statistic.
             sh.memoryHits.fetch_add(1, std::memory_order_relaxed);
             found = e.outcome;
         }
@@ -462,6 +466,7 @@ ResultCache::lookup(const Hash128 &key)
         return *found;
 
     if (opts_.dir.empty()) {
+        // relaxed: monotonic statistic.
         sh.misses.fetch_add(1, std::memory_order_relaxed);
         return std::nullopt;
     }
@@ -469,6 +474,7 @@ ResultCache::lookup(const Hash128 &key)
     // Disk tier: open/read/deserialize with no lock held at all.
     std::ifstream in(entryPath(hex), std::ios::binary);
     if (!in) {
+        // relaxed: monotonic statistic.
         sh.misses.fetch_add(1, std::memory_order_relaxed);
         return std::nullopt;
     }
@@ -481,12 +487,14 @@ ResultCache::lookup(const Hash128 &key)
         // Deleting it makes the next lookup a clean (cheap) miss and
         // the next store a clean republish.
         in.close();
+        // relaxed: monotonic statistics.
         sh.badEntries.fetch_add(1, std::memory_order_relaxed);
         sh.misses.fetch_add(1, std::memory_order_relaxed);
         std::error_code ec;
         std::filesystem::remove(entryPath(hex), ec);
         return std::nullopt;
     }
+    // relaxed: monotonic statistic.
     sh.diskHits.fetch_add(1, std::memory_order_relaxed);
     admit(sh, hex, loaded); // promote back into the memory tier
     return *loaded;
@@ -498,6 +506,7 @@ ResultCache::store(const Hash128 &key, const RunOutcome &outcome)
     const std::string hex = key.hex();
     Shard &sh = shardFor(key);
     auto sp = std::make_shared<const RunOutcome>(outcome);
+    // relaxed: monotonic statistic.
     sh.stores.fetch_add(1, std::memory_order_relaxed);
     admit(sh, hex, sp);
     if (!opts_.dir.empty())
@@ -509,7 +518,7 @@ ResultCache::admit(Shard &sh, const std::string &hex,
                    std::shared_ptr<const RunOutcome> outcome)
 {
     const u64 bytes = entryBytes(*outcome);
-    std::unique_lock<std::shared_mutex> lk(sh.mu);
+    WriterLock lk(sh.mu);
     auto it = sh.map.find(hex);
     if (it != sh.map.end()) {
         Entry &e = *it->second;
@@ -517,6 +526,7 @@ ResultCache::admit(Shard &sh, const std::string &hex,
         e.outcome = std::move(outcome);
         e.bytes = bytes;
         sh.bytes += bytes;
+        // relaxed: recency metadata; see lookup().
         e.lastUse.store(tick_.fetch_add(1, std::memory_order_relaxed),
                         std::memory_order_relaxed);
         e.referenced.store(true, std::memory_order_relaxed);
@@ -524,6 +534,7 @@ ResultCache::admit(Shard &sh, const std::string &hex,
         auto e = std::make_unique<Entry>();
         e->outcome = std::move(outcome);
         e->bytes = bytes;
+        // relaxed: recency metadata; see lookup().
         e->lastUse.store(tick_.fetch_add(1, std::memory_order_relaxed),
                          std::memory_order_relaxed);
         sh.ring.push_back(hex);
@@ -544,6 +555,7 @@ ResultCache::eraseLocked(
     sh.ring.erase(it->second->ringPos);
     sh.bytes -= it->second->bytes;
     sh.map.erase(it);
+    // relaxed: monotonic statistic.
     sh.evictions.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -562,6 +574,7 @@ ResultCache::evictLocked(Shard &sh, const std::string &protect)
             for (auto it = sh.map.begin(); it != sh.map.end(); ++it) {
                 if (it->first == protect)
                     continue;
+                // relaxed: recency metadata; see lookup().
                 const u64 t =
                     it->second->lastUse.load(std::memory_order_relaxed);
                 if (t < oldest) {
@@ -582,6 +595,7 @@ ResultCache::evictLocked(Shard &sh, const std::string &protect)
                     ++sh.hand;
                     continue;
                 }
+                // relaxed: recency metadata; see lookup().
                 if (it->second->referenced.exchange(
                         false, std::memory_order_relaxed)) {
                     ++sh.hand;
@@ -602,7 +616,7 @@ ResultCache::enqueuePublish(const std::string &hex,
                             std::shared_ptr<const RunOutcome> outcome)
 {
     {
-        std::lock_guard<std::mutex> lk(pubMu_);
+        MutexLock lk(pubMu_);
         if (pubQueue_.size() >= opts_.writeBehindCapacity) {
             // Shedding the publish is safe: the entry is resident in
             // the memory tier, and if it gets demoted before a reuse
@@ -610,34 +624,38 @@ ResultCache::enqueuePublish(const std::string &hex,
             // burst of stores from buffering unbounded serialized
             // state — the same backpressure discipline as the daemon's
             // admission queue.
+            //
+            // relaxed: monotonic statistic.
             writeBehindDrops_.fetch_add(1, std::memory_order_relaxed);
             return;
         }
         pubQueue_.push_back({hex, std::move(outcome)});
     }
-    pubCv_.notify_one();
+    pubCv_.notifyOne();
 }
 
 void
 ResultCache::publisherLoop()
 {
-    std::unique_lock<std::mutex> lk(pubMu_);
     for (;;) {
-        pubCv_.wait(lk, [this] { return pubStop_ || !pubQueue_.empty(); });
-        if (pubQueue_.empty()) {
-            if (pubStop_)
-                return;
-            continue;
+        PublishJob job;
+        {
+            MutexLock lk(pubMu_);
+            while (pubQueue_.empty() && !pubStop_)
+                pubCv_.wait(lk);
+            if (pubQueue_.empty())
+                return; // stop requested and the backlog is flushed
+            job = std::move(pubQueue_.front());
+            pubQueue_.pop_front();
+            pubWriting_ = true;
         }
-        const PublishJob job = std::move(pubQueue_.front());
-        pubQueue_.pop_front();
-        pubWriting_ = true;
-        lk.unlock();
         publishOne(job); // file I/O with no lock held
-        lk.lock();
-        pubWriting_ = false;
-        if (pubQueue_.empty())
-            drainCv_.notify_all();
+        {
+            MutexLock lk(pubMu_);
+            pubWriting_ = false;
+            if (pubQueue_.empty())
+                drainCv_.notifyAll();
+        }
     }
 }
 
@@ -653,6 +671,7 @@ ResultCache::publishOne(const PublishJob &job) const
     // path and clobber each other before the rename.
     static std::atomic<u64> tmpCounter{0};
     const std::string path = entryPath(job.hex);
+    // relaxed: the counter only needs uniqueness, not ordering.
     const std::string tmp =
         path + ".tmp." + std::to_string(::getpid()) + "." +
         std::to_string(tmpCounter.fetch_add(1, std::memory_order_relaxed));
@@ -680,9 +699,11 @@ ResultCache::drain()
 {
     if (!publisher_.joinable())
         return;
-    std::unique_lock<std::mutex> lk(pubMu_);
-    drainCv_.wait(lk,
-                  [this] { return pubQueue_.empty() && !pubWriting_; });
+    MutexLock lk(pubMu_);
+    // While-loop wait: the predicate reads pubMu_-guarded state, so
+    // it must live here where the analysis sees the lock held.
+    while (!pubQueue_.empty() || pubWriting_)
+        drainCv_.wait(lk);
 }
 
 ResultCache::Stats
@@ -691,7 +712,9 @@ ResultCache::stats() const
     Stats s;
     for (const auto &shp : shards_) {
         const Shard &sh = *shp;
-        std::shared_lock<std::shared_mutex> lk(sh.mu);
+        ReaderLock lk(sh.mu);
+        // relaxed: monotonic statistics, aggregated for reporting;
+        // sh.bytes is the only field needing the (shared) lock.
         s.memoryHits += sh.memoryHits.load(std::memory_order_relaxed);
         s.diskHits += sh.diskHits.load(std::memory_order_relaxed);
         s.misses += sh.misses.load(std::memory_order_relaxed);
@@ -701,9 +724,10 @@ ResultCache::stats() const
         s.memoryBytes += sh.bytes;
     }
     {
-        std::lock_guard<std::mutex> lk(pubMu_);
+        MutexLock lk(pubMu_);
         s.writeBehindDepth = pubQueue_.size() + (pubWriting_ ? 1 : 0);
     }
+    // relaxed: monotonic statistic.
     s.writeBehindDrops =
         writeBehindDrops_.load(std::memory_order_relaxed);
     return s;

@@ -47,19 +47,16 @@
 #define RFV_SERVICE_RESULT_CACHE_H
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <iosfwd>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
-#include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/sync.h"
 #include "core/simulator.h"
 #include "service/hash.h"
 
@@ -124,10 +121,10 @@ class ResultCache {
      * SweepEngine::run() and daemon shutdown; tests call it before
      * reopening the directory with a fresh instance.
      */
-    void drain();
+    void drain() RFV_EXCLUDES(pubMu_);
 
     bool persistent() const { return !opts_.dir.empty(); }
-    Stats stats() const;
+    Stats stats() const RFV_EXCLUDES(pubMu_);
 
     /** Exact round-trip codec (public for tests). */
     static void serialize(std::ostream &os, const RunOutcome &outcome);
@@ -151,11 +148,13 @@ class ResultCache {
     };
 
     struct Shard {
-        mutable std::shared_mutex mu;
-        std::unordered_map<std::string, std::unique_ptr<Entry>> map;
-        std::list<std::string> ring; //!< CLOCK sweep order
-        std::list<std::string>::iterator hand = ring.end();
-        u64 bytes = 0; //!< resident payload bytes (under mu exclusive)
+        mutable SharedMutex mu;
+        std::unordered_map<std::string, std::unique_ptr<Entry>>
+            map RFV_GUARDED_BY(mu);
+        std::list<std::string> ring RFV_GUARDED_BY(mu); //!< CLOCK order
+        std::list<std::string>::iterator hand RFV_GUARDED_BY(mu) =
+            ring.end();
+        u64 bytes RFV_GUARDED_BY(mu) = 0; //!< resident payload bytes
 
         // Counters bumped off the exclusive path (memory hits under a
         // shared lock, disk-path counters under no shard lock at all).
@@ -177,17 +176,20 @@ class ResultCache {
 
     /** Insert/refresh @p hex in the memory tier, then evict to budget. */
     void admit(Shard &sh, const std::string &hex,
-               std::shared_ptr<const RunOutcome> outcome);
+               std::shared_ptr<const RunOutcome> outcome)
+        RFV_EXCLUDES(sh.mu);
     /** Evict under sh.mu (exclusive) until the shard fits its slice. */
-    void evictLocked(Shard &sh, const std::string &protect);
+    void evictLocked(Shard &sh, const std::string &protect)
+        RFV_REQUIRES(sh.mu);
     void eraseLocked(Shard &sh,
                      std::unordered_map<std::string,
                                         std::unique_ptr<Entry>>::iterator
-                         it);
+                         it) RFV_REQUIRES(sh.mu);
 
     void enqueuePublish(const std::string &hex,
-                        std::shared_ptr<const RunOutcome> outcome);
-    void publisherLoop();
+                        std::shared_ptr<const RunOutcome> outcome)
+        RFV_EXCLUDES(pubMu_);
+    void publisherLoop() RFV_EXCLUDES(pubMu_);
     void publishOne(const PublishJob &job) const;
 
     ResultCacheOptions opts_;
@@ -196,14 +198,16 @@ class ResultCache {
     std::vector<std::unique_ptr<Shard>> shards_;
     std::atomic<u64> tick_{1};
 
-    // Write-behind publisher.
-    std::thread publisher_;
-    mutable std::mutex pubMu_;
-    std::condition_variable pubCv_;   //!< work available / stop
-    std::condition_variable drainCv_; //!< queue fully flushed
-    std::deque<PublishJob> pubQueue_;
-    bool pubWriting_ = false;
-    bool pubStop_ = false;
+    // Write-behind publisher.  No file I/O ever runs under pubMu_:
+    // publisherLoop pops a job, drops the lock, writes, re-locks to
+    // clear pubWriting_ (drain() keys off queue-empty AND idle).
+    Thread publisher_;
+    mutable Mutex pubMu_;
+    CondVar pubCv_;   //!< work available / stop
+    CondVar drainCv_; //!< queue fully flushed
+    std::deque<PublishJob> pubQueue_ RFV_GUARDED_BY(pubMu_);
+    bool pubWriting_ RFV_GUARDED_BY(pubMu_) = false;
+    bool pubStop_ RFV_GUARDED_BY(pubMu_) = false;
     std::atomic<u64> writeBehindDrops_{0};
 };
 

@@ -236,6 +236,9 @@ SweepEngine::run(const std::vector<SweepJob> &manifest)
     try {
         pool.run(static_cast<u32>(manifest.size()),
                  [&](u32 jobIndex, u32 /*workerId*/) {
+                     // relaxed: cancellation is cooperative and
+                     // level-triggered; observing it one job late
+                     // only runs one more (correct) job.
                      if (opts_.cancel &&
                          opts_.cancel->load(std::memory_order_relaxed)) {
                          results[jobIndex].job = manifest[jobIndex];

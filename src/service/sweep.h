@@ -171,6 +171,14 @@ class SweepEngine {
     /** Counters of the most recent run() (plus store/cache totals). */
     const SweepStats &stats() const { return stats_; }
 
+    // NOTE on thread-safety: run() and stats() belong to one driving
+    // thread (the CLI or a test); only execute() and prepare() are
+    // safe to call concurrently (the daemon's executors do).  stats_
+    // is therefore deliberately unguarded — the annotation rollout
+    // found a statsMu_ here that was declared but never locked, which
+    // was worse than no mutex: it documented a guarantee the code
+    // never provided.  The single-threaded contract is the real one.
+
     /** Resolve all shared artifacts for one job (thread-safe). */
     PreparedJob prepare(const SweepJob &job);
 
@@ -190,8 +198,7 @@ class SweepEngine {
     SweepOptions opts_;
     ArtifactStore store_;
     ResultCache cache_;
-    SweepStats stats_;
-    std::mutex statsMu_;
+    SweepStats stats_; //!< owned by the run() caller thread (see above)
 };
 
 } // namespace rfv

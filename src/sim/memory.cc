@@ -88,6 +88,8 @@ void
 GlobalMemory::recordViolation(u32 word, u32 sm_id, u32 other_sm,
                               Cycle now) const
 {
+    // relaxed: monotonic statistic; the descriptive string below is
+    // published by the acq_rel CAS, not by this counter.
     violations_.fetch_add(1, std::memory_order_relaxed);
     bool expected = false;
     if (firstRecorded_.compare_exchange_strong(
@@ -104,8 +106,13 @@ GlobalMemory::recordViolation(u32 word, u32 sm_id, u32 other_sm,
 void
 GlobalMemory::checkRead(u32 word, u32 sm_id, Cycle now) const
 {
+    // relaxed: the checker only compares (sm, cycle) tags; atomicity
+    // keeps the tag words tear-free, and cross-thread visibility is
+    // provided by the simulator's own per-cycle barriers — the check
+    // needs no ordering of its own.
     lastRead_[word].store(packWriter(sm_id, now),
                           std::memory_order_relaxed);
+    // relaxed: see above.
     const u64 prev = lastWrite_[word].load(std::memory_order_relaxed);
     if (prev != kNeverWritten && writerSm(prev) != sm_id &&
         writerCycle(prev) == now) {
@@ -116,12 +123,14 @@ GlobalMemory::checkRead(u32 word, u32 sm_id, Cycle now) const
 void
 GlobalMemory::checkWrite(u32 word, u32 sm_id, Cycle now)
 {
+    // relaxed: tag bookkeeping only; see checkRead for the argument.
     const u64 prev = lastWrite_[word].exchange(
         packWriter(sm_id, now), std::memory_order_relaxed);
     if (prev != kNeverWritten && writerSm(prev) != sm_id &&
         writerCycle(prev) == now) {
         recordViolation(word, sm_id, writerSm(prev), now);
     }
+    // relaxed: tag bookkeeping only; see checkRead for the argument.
     const u64 read = lastRead_[word].load(std::memory_order_relaxed);
     if (read != kNeverWritten && writerSm(read) != sm_id &&
         writerCycle(read) == now) {

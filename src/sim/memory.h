@@ -58,6 +58,8 @@ class GlobalMemory {
     /** Same-cycle cross-SM conflicts observed so far. */
     u64 overlapViolations() const
     {
+        // relaxed: monotonic statistic, read for reporting after the
+        // run's worker threads have joined.
         return violations_.load(std::memory_order_relaxed);
     }
 

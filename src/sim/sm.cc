@@ -43,6 +43,9 @@ computeMaxWarpSlots(const GpuConfig &cfg, const LaunchParams &launch)
 bool
 traceReleases()
 {
+    // Read-only probe of an env var nothing in the process mutates,
+    // latched once under the magic-static lock.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     static const bool enabled = std::getenv("RFV_TRACE_RELEASE");
     return enabled;
 }

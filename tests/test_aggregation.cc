@@ -106,6 +106,8 @@ TEST(ThreadPool, RunsEveryIndexExactlyOnce)
     ThreadPool pool(3);
     std::vector<std::atomic<u32>> hits(257);
     pool.parallelFor(257, [&](u32 i) {
+        // relaxed: each index is claimed once; the pool's round
+        // barrier orders the counters for the checks below.
         hits[i].fetch_add(1, std::memory_order_relaxed);
     });
     for (u32 i = 0; i < hits.size(); ++i)
@@ -118,6 +120,8 @@ TEST(ThreadPool, ReusableAcrossRounds)
     std::atomic<u64> sum{0};
     for (u32 round = 0; round < 200; ++round) {
         pool.parallelFor(8, [&](u32 i) {
+            // relaxed: commutative accumulation; the round barrier
+            // publishes the total before it is read.
             sum.fetch_add(i + 1, std::memory_order_relaxed);
         });
     }

@@ -14,9 +14,9 @@
 #include <filesystem>
 #include <fstream>
 #include <random>
-#include <thread>
 #include <unistd.h>
 
+#include "common/sync.h"
 #include "service/result_cache.h"
 
 namespace rfv {
@@ -347,7 +347,7 @@ runMixedStress(EvictionPolicy policy)
 
     const u64 iters = stressIters();
     std::atomic<u64> wrongValues{0};
-    std::vector<std::thread> threads;
+    std::vector<Thread> threads;
     for (u32 t = 0; t < kThreads; ++t) {
         threads.emplace_back([&, t] {
             std::mt19937_64 rng(0xFEED + t);
@@ -364,7 +364,7 @@ runMixedStress(EvictionPolicy policy)
             }
         });
     }
-    for (std::thread &t : threads)
+    for (Thread &t : threads)
         t.join();
     cache.drain();
 

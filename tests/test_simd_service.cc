@@ -12,14 +12,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <condition_variable>
 #include <filesystem>
-#include <mutex>
-#include <thread>
+#include <thread> // std::this_thread::sleep_for only
 
 #include <unistd.h>
 
 #include "common/framing.h"
+#include "common/sync.h"
 #include "core/simulator.h"
 #include "net/client.h"
 #include "net/server.h"
@@ -232,8 +231,8 @@ TEST(SimdService, QueueFullShedsWithRetryLater)
     // One executor held hostage + capacity-1 queue: the first request
     // occupies the executor, the second fills the queue, the third
     // must be shed with RETRY_LATER.
-    std::mutex mu;
-    std::condition_variable cv;
+    Mutex mu;
+    CondVar cv;
     bool release = false;
     std::atomic<u32> entered{0};
 
@@ -243,8 +242,9 @@ TEST(SimdService, QueueFullShedsWithRetryLater)
     sopts.queueCapacity = 1;
     sopts.executeHook = [&] {
         entered.fetch_add(1);
-        std::unique_lock<std::mutex> lock(mu);
-        cv.wait(lock, [&] { return release; });
+        MutexLock lock(mu);
+        while (!release)
+            cv.wait(lock);
     };
     SimdServer server(sopts);
     server.start();
@@ -256,12 +256,12 @@ TEST(SimdService, QueueFullShedsWithRetryLater)
 
     SweepJobResult r1, r2, r3;
     std::string e1, e2, e3;
-    std::thread t1([&] { submit(r1, e1); });
+    Thread t1([&] { submit(r1, e1); });
     // Wait until request 1 is *executing* (hook entered) so requests
     // 2/3 deterministically land in the queue behind it.
     while (entered.load() == 0)
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
-    std::thread t2([&] { submit(r2, e2); });
+    Thread t2([&] { submit(r2, e2); });
     while (counter(server, "queue_depth") < 1)
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
 
@@ -271,10 +271,10 @@ TEST(SimdService, QueueFullShedsWithRetryLater)
         << r3.error;
 
     {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         release = true;
     }
-    cv.notify_all();
+    cv.notifyAll();
     t1.join();
     t2.join();
 
@@ -291,8 +291,8 @@ TEST(SimdService, QueueFullShedsWithRetryLater)
 
 TEST(SimdService, DeadlineExpiryAnswersDeadlineExceeded)
 {
-    std::mutex mu;
-    std::condition_variable cv;
+    Mutex mu;
+    CondVar cv;
     bool release = false;
     std::atomic<u32> entered{0};
 
@@ -301,8 +301,9 @@ TEST(SimdService, DeadlineExpiryAnswersDeadlineExceeded)
     sopts.executors = 1;
     sopts.executeHook = [&] {
         entered.fetch_add(1);
-        std::unique_lock<std::mutex> lock(mu);
-        cv.wait(lock, [&] { return release; });
+        MutexLock lock(mu);
+        while (!release)
+            cv.wait(lock);
     };
     SimdServer server(sopts);
     server.start();
@@ -310,7 +311,7 @@ TEST(SimdService, DeadlineExpiryAnswersDeadlineExceeded)
     // Hold the executor with a no-deadline request...
     SweepJobResult hostage;
     std::string hostageErr;
-    std::thread t([&] {
+    Thread t([&] {
         SimdClient client(clientFor(server));
         client.run(smallRequest(), hostage, hostageErr);
     });
@@ -327,10 +328,10 @@ TEST(SimdService, DeadlineExpiryAnswersDeadlineExceeded)
               ServiceStatus::kDeadlineExceeded);
 
     {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         release = true;
     }
-    cv.notify_all();
+    cv.notifyAll();
     t.join();
     EXPECT_GE(counter(server, "requests_timed_out"), 1u);
     server.stop();
@@ -349,7 +350,7 @@ TEST(SimdService, ConcurrentClientsReconcileWithStats)
     // everything else served from cache (memory or disk).
     const u32 kThreads = 8, kPerThread = 4;
     std::atomic<u64> okCount{0};
-    std::vector<std::thread> threads;
+    std::vector<Thread> threads;
     for (u32 tid = 0; tid < kThreads; ++tid) {
         threads.emplace_back([&, tid] {
             ClientOptions copts = clientFor(server);
@@ -368,7 +369,7 @@ TEST(SimdService, ConcurrentClientsReconcileWithStats)
             }
         });
     }
-    for (std::thread &t : threads)
+    for (Thread &t : threads)
         t.join();
 
     EXPECT_EQ(okCount.load(), kThreads * kPerThread);
@@ -392,8 +393,8 @@ TEST(SimdService, ConcurrentClientsReconcileWithStats)
 
 TEST(SimdService, DrainingServerAnswersShuttingDownAndStops)
 {
-    std::mutex mu;
-    std::condition_variable cv;
+    Mutex mu;
+    CondVar cv;
     bool release = false;
     std::atomic<u32> entered{0};
 
@@ -402,8 +403,9 @@ TEST(SimdService, DrainingServerAnswersShuttingDownAndStops)
     sopts.executors = 1;
     sopts.executeHook = [&] {
         entered.fetch_add(1);
-        std::unique_lock<std::mutex> lock(mu);
-        cv.wait(lock, [&] { return release; });
+        MutexLock lock(mu);
+        while (!release)
+            cv.wait(lock);
     };
     SimdServer server(sopts);
     server.start();
@@ -412,7 +414,7 @@ TEST(SimdService, DrainingServerAnswersShuttingDownAndStops)
     SweepJobResult admitted;
     std::string admittedErr;
     ServiceStatus admittedStatus = ServiceStatus::kInternalError;
-    std::thread t([&] {
+    Thread t([&] {
         SimdClient client(clientFor(server));
         admittedStatus = client.run(smallRequest(), admitted,
                                     admittedErr);
@@ -426,7 +428,7 @@ TEST(SimdService, DrainingServerAnswersShuttingDownAndStops)
     std::string error;
     ASSERT_EQ(lateClient.connect(error), ServiceStatus::kOk) << error;
 
-    std::thread stopper([&] { server.stop(); });
+    Thread stopper([&] { server.stop(); });
     // stop() blocks until the hostage releases; give the drain flag a
     // moment to propagate, then submit on the pre-drain session.
     std::this_thread::sleep_for(std::chrono::milliseconds(200));
@@ -435,10 +437,10 @@ TEST(SimdService, DrainingServerAnswersShuttingDownAndStops)
         lateClient.run(smallRequest(), shed, error);
 
     {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         release = true;
     }
-    cv.notify_all();
+    cv.notifyAll();
     t.join();
     stopper.join();
 

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Control for the negative-compile pair: the same shapes as
+ * unguarded_field.cc / missing_requires.cc written *correctly*, plus
+ * the repo's condition-wait and reader/writer idioms.  Must compile
+ * warning-free under `-Wthread-safety -Wthread-safety-beta
+ * -Werror=thread-safety-analysis` — if this file fails, the negative
+ * tests are failing for the wrong reason (a broken header, not a
+ * detected violation).
+ */
+#include <deque>
+
+#include "common/sync.h"
+
+namespace {
+
+class Counter {
+  public:
+    void
+    increment()
+    {
+        rfv::MutexLock lk(mu_);
+        ++value_;
+    }
+
+    int
+    value()
+    {
+        rfv::MutexLock lk(mu_);
+        return value_;
+    }
+
+  private:
+    rfv::Mutex mu_;
+    int value_ RFV_GUARDED_BY(mu_) = 0;
+};
+
+class Registry {
+  public:
+    void
+    add(int v) RFV_EXCLUDES(mu_)
+    {
+        rfv::MutexLock lk(mu_);
+        addLocked(v);
+    }
+
+  private:
+    void addLocked(int v) RFV_REQUIRES(mu_) { total_ += v; }
+
+    rfv::Mutex mu_;
+    int total_ RFV_GUARDED_BY(mu_) = 0;
+};
+
+/** The queue idiom: guarded-predicate wait as a caller-side loop. */
+class Queue {
+  public:
+    void
+    push(int v) RFV_EXCLUDES(mu_)
+    {
+        {
+            rfv::MutexLock lk(mu_);
+            items_.push_back(v);
+        }
+        cv_.notifyOne();
+    }
+
+    int
+    pop() RFV_EXCLUDES(mu_)
+    {
+        rfv::MutexLock lk(mu_);
+        while (items_.empty())
+            cv_.wait(lk);
+        const int v = items_.front();
+        items_.pop_front();
+        return v;
+    }
+
+  private:
+    rfv::Mutex mu_;
+    rfv::CondVar cv_;
+    std::deque<int> items_ RFV_GUARDED_BY(mu_);
+};
+
+/** Reader/writer idiom over SharedMutex. */
+class Table {
+  public:
+    int
+    read() const RFV_EXCLUDES(mu_)
+    {
+        rfv::ReaderLock lk(mu_);
+        return value_;
+    }
+
+    void
+    write(int v) RFV_EXCLUDES(mu_)
+    {
+        rfv::WriterLock lk(mu_);
+        value_ = v;
+    }
+
+  private:
+    mutable rfv::SharedMutex mu_;
+    int value_ RFV_GUARDED_BY(mu_) = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    Counter c;
+    c.increment();
+
+    Registry r;
+    r.add(1);
+
+    Queue q;
+    q.push(7);
+
+    Table t;
+    t.write(9);
+
+    rfv::Thread worker([&q] { (void)q.pop(); });
+
+    return c.value() + t.read();
+}

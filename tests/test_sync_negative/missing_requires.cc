@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Seeded lock-discipline violation #2: calling an RFV_REQUIRES
+ * helper without holding the capability it names.
+ *
+ * This file must FAIL to compile under Clang with
+ * `-Wthread-safety -Werror=thread-safety-analysis` (the ctest entry
+ * in this directory is WILL_FAIL).  This is the pattern the real
+ * migration relies on for ResultCache::evictLocked/eraseLocked — a
+ * caller that forgets the WriterLock has to be a build break.
+ */
+#include "common/sync.h"
+
+namespace {
+
+class Registry {
+  public:
+    void
+    add(int v)
+    {
+        rfv::MutexLock lk(mu_);
+        addLocked(v);
+    }
+
+    // BAD: calls an RFV_REQUIRES(mu_) helper with no lock held.  The
+    // analysis must reject this ("calling function 'addLocked'
+    // requires holding mutex 'mu_' exclusively").
+    void addUnlocked(int v) { addLocked(v); }
+
+  private:
+    void addLocked(int v) RFV_REQUIRES(mu_) { total_ += v; }
+
+    rfv::Mutex mu_;
+    int total_ RFV_GUARDED_BY(mu_) = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    Registry r;
+    r.add(1);
+    r.addUnlocked(2);
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Seeded lock-discipline violation #1: writing an RFV_GUARDED_BY
+ * field without holding its mutex.
+ *
+ * This file must FAIL to compile under Clang with
+ * `-Wthread-safety -Werror=thread-safety-analysis` (the ctest entry
+ * in this directory is WILL_FAIL).  If it ever compiles, the
+ * annotation layer has silently stopped guarding anything — which is
+ * exactly the regression this test exists to catch.
+ */
+#include "common/sync.h"
+
+namespace {
+
+class Counter {
+  public:
+    // BAD: touches value_ with no MutexLock in scope.  The analysis
+    // must reject this ("writing variable 'value_' requires holding
+    // mutex 'mu_'").
+    void increment() { ++value_; }
+
+    int
+    value()
+    {
+        rfv::MutexLock lk(mu_);
+        return value_;
+    }
+
+  private:
+    rfv::Mutex mu_;
+    int value_ RFV_GUARDED_BY(mu_) = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    Counter c;
+    c.increment();
+    return c.value();
+}
