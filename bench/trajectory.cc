@@ -14,7 +14,7 @@
  *
  * Usage:
  *   trajectory [--quick] [--sms=N] [--rounds=N] [--reps=N]
- *              [--out=FILE] [--check=FILE] [--before=FILE]
+ *              [--out=FILE] [--check=FILE] [--before=FILE] [--profile]
  *
  *   --quick    1 round per SM instead of 3 (CI smoke scale)
  *   --reps     timing repetitions; best-of-N is reported (default 3)
@@ -25,6 +25,10 @@
  *              a build of the parent commit); rows gain beforeMcps and
  *              speedupVsBefore so the report carries before/after
  *              numbers
+ *   --profile  per-row fetch/schedule/execute/commit breakdown of the
+ *              event loop's stepped cycles (adds two clock reads per
+ *              step to the timed region, so don't combine its numbers
+ *              with a --check gate or a committed baseline)
  */
 #include <chrono>
 #include <cstdio>
@@ -45,6 +49,7 @@
 #include "core/simulator.h"
 #include "service/sweep.h"
 #include "sim/gpu.h"
+#include "sim/loop_profiler.h"
 
 using namespace rfv;
 
@@ -146,7 +151,8 @@ struct Timed {
  */
 Timed
 timedRun(SweepEngine &engine, const RunConfig &cfg, const Workload &w,
-         bool event_driven, HostInstructionCounter &ctr)
+         bool event_driven, HostInstructionCounter &ctr,
+         LoopProfile *profile = nullptr)
 {
     const PreparedJob p = engine.prepare({w.name(), cfg});
     GpuConfig gpu = p.gpu;
@@ -155,8 +161,10 @@ timedRun(SweepEngine &engine, const RunConfig &cfg, const Workload &w,
     GlobalMemory mem(w.memoryBytes(p.launch));
     w.setup(mem, p.launch);
 
-    Gpu machine(gpu, p.compiled->kernel.program, p.launch, mem, {},
-                &p.decode->cache);
+    TraceHooks hooks;
+    hooks.loopProfile = profile;
+    Gpu machine(gpu, p.compiled->kernel.program, p.launch, mem,
+                std::move(hooks), &p.decode->cache);
     ctr.start();
     const auto t0 = std::chrono::steady_clock::now();
     Timed r;
@@ -176,11 +184,12 @@ timedRun(SweepEngine &engine, const RunConfig &cfg, const Workload &w,
  */
 Timed
 bestOf(SweepEngine &engine, u32 reps, const RunConfig &cfg,
-       const Workload &w, bool event_driven, HostInstructionCounter &ctr)
+       const Workload &w, bool event_driven, HostInstructionCounter &ctr,
+       LoopProfile *profile = nullptr)
 {
-    Timed best = timedRun(engine, cfg, w, event_driven, ctr);
+    Timed best = timedRun(engine, cfg, w, event_driven, ctr, profile);
     for (u32 i = 1; i < reps; ++i) {
-        Timed r = timedRun(engine, cfg, w, event_driven, ctr);
+        Timed r = timedRun(engine, cfg, w, event_driven, ctr, profile);
         panicIf(!(r.sim == best.sim),
                 "nondeterministic SimResult across benchmark reps");
         if (r.seconds < best.seconds)
@@ -295,6 +304,7 @@ int
 main(int argc, char **argv)
 {
     u32 sms = 4, rounds = 3, reps = 3;
+    bool profile = false;
     std::string out_path = "BENCH_simloop.json";
     std::string check_path, before_path;
     for (int i = 1; i < argc; ++i) {
@@ -314,9 +324,12 @@ main(int argc, char **argv)
             check_path = arg.substr(8);
         else if (arg.rfind("--before=", 0) == 0)
             before_path = arg.substr(9);
+        else if (arg == "--profile")
+            profile = true;
         else if (arg == "--help" || arg == "-h") {
             std::cout << "options: --quick --sms=N --rounds=N --reps=N "
-                         "--out=FILE --check=FILE --before=FILE\n";
+                         "--out=FILE --check=FILE --before=FILE "
+                         "--profile\n";
             return 0;
         } else {
             std::cerr << "unknown option " << arg << "\n";
@@ -352,8 +365,11 @@ main(int argc, char **argv)
     for (const RunConfig &base_cfg : configs) {
         for (const auto &w : allWorkloads()) {
             const RunConfig &cfg = base_cfg;
+            LoopProfile event_prof;
             const Timed naive = bestOf(engine, reps, cfg, *w, false, ctr);
-            const Timed event = bestOf(engine, reps, cfg, *w, true, ctr);
+            const Timed event =
+                bestOf(engine, reps, cfg, *w, true, ctr,
+                       profile ? &event_prof : nullptr);
             panicIf(!(naive.sim == event.sim),
                     "event loop diverged from naive loop on " +
                         w->name() + "/" + cfg.label);
@@ -386,6 +402,12 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(r.cycles),
                 r.naiveSeconds, r.eventSeconds, r.eventMcps, r.speedup,
                 r.speedupVsBefore);
+            if (profile) {
+                // Buckets accumulate over all reps; ns/step averages
+                // normalize by the step count, so reps cancel out.
+                std::fputs(formatLoopProfile(event_prof).c_str(),
+                           stdout);
+            }
         }
     }
 

@@ -8,7 +8,7 @@
  *   run_workload <workload|all> [--config=baseline|virtualized|
  *                                         shrink50|spill50|hwonly]
  *                [--sms=N] [--rounds=N] [--gating] [--csv] [--verify]
- *                [--loop=event|naive] [--progress]
+ *                [--loop=event|naive] [--progress] [--profile]
  *
  * --verify runs the static release-flag soundness verifier on each
  * compiled kernel and enables the runtime register-lifecycle lint;
@@ -19,6 +19,9 @@
  * default; naive steps every cycle and is the equivalence oracle).
  * --progress prints, per run, how many cycles the loop actually
  * stepped vs. fast-forwarded and how many per-SM steps were elided.
+ * --profile prints a per-phase wall-clock breakdown of the stepped
+ * cycles (fetch/schedule/execute/commit, ns per step and % of step
+ * time) so loop-speed changes are attributable to a phase.
  *
  * Examples:
  *   run_workload MatrixMul --config=shrink50 --gating
@@ -29,6 +32,7 @@
 #include <iostream>
 
 #include "core/report.h"
+#include "sim/loop_profiler.h"
 
 using namespace rfv;
 
@@ -49,6 +53,7 @@ main(int argc, char **argv)
     std::string loopName = "event";
     u32 sms = 4, rounds = 3;
     bool gating = false, csv = false, verify = false, progress = false;
+    bool profile = false;
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--config=", 0) == 0)
@@ -67,6 +72,8 @@ main(int argc, char **argv)
             verify = true;
         else if (arg == "--progress")
             progress = true;
+        else if (arg == "--profile")
+            profile = true;
         else {
             std::cerr << "unknown option " << arg << "\n";
             return 2;
@@ -111,11 +118,20 @@ main(int argc, char **argv)
         if (csv)
             std::cout << csvHeader() << "\n";
         for (const auto &w : targets) {
-            const RunOutcome out = sim.runWorkload(*w);
+            LoopProfile prof;
+            TraceHooks hooks;
+            if (profile)
+                hooks.loopProfile = &prof;
+            const RunOutcome out = sim.runWorkload(*w, std::move(hooks));
             if (csv)
                 std::cout << csvRow(out) << "\n";
             else
                 std::cout << summarize(out) << "\n";
+            if (profile) {
+                std::cout << "  [profile] " << prof.steps
+                          << " stepped SM-cycles\n"
+                          << formatLoopProfile(prof);
+            }
             if (progress) {
                 const double skipped_pct =
                     out.sim.cycles

@@ -33,12 +33,6 @@ PhysRegFile::subarrayOf(u32 phys) const
     return bank * cfg_.subarraysPerBank + idx / cfg_.regsPerSubarray();
 }
 
-bool
-PhysRegFile::isAllocated(u32 phys) const
-{
-    return !((freeBits_[phys / 64] >> (phys % 64)) & 1);
-}
-
 void
 PhysRegFile::onAlloc(u32 phys, u32 &wakeCycles, u32 owner)
 {
@@ -153,20 +147,6 @@ PhysRegFile::freeTotal() const
     // throttle evaluation reads this every cycle, so the bitmap
     // popcount scan (see freeInBank) would sit on the hot path.
     return freeCount_;
-}
-
-WarpValue &
-PhysRegFile::values(u32 phys)
-{
-    panicIf(!isAllocated(phys), "value access to a free register");
-    return values_[phys];
-}
-
-const WarpValue &
-PhysRegFile::values(u32 phys) const
-{
-    panicIf(!isAllocated(phys), "value access to a free register");
-    return values_[phys];
 }
 
 u32

@@ -13,6 +13,7 @@
 #include <array>
 #include <vector>
 
+#include "common/error.h"
 #include "regfile/config.h"
 
 namespace rfv {
@@ -79,7 +80,11 @@ class PhysRegFile {
     void allocAt(u32 phys, u32 &wakeCycles);
 
     /** True if @p phys is currently allocated. */
-    bool isAllocated(u32 phys) const;
+    bool
+    isAllocated(u32 phys) const
+    {
+        return !((freeBits_[phys / 64] >> (phys % 64)) & 1);
+    }
 
     /** Free @p phys; optionally poisons the value. */
     void release(u32 phys);
@@ -98,8 +103,18 @@ class PhysRegFile {
     }
 
     /** Lane values of an allocated register. */
-    WarpValue &values(u32 phys);
-    const WarpValue &values(u32 phys) const;
+    WarpValue &
+    values(u32 phys)
+    {
+        panicIf(!isAllocated(phys), "value access to a free register");
+        return values_[phys];
+    }
+    const WarpValue &
+    values(u32 phys) const
+    {
+        panicIf(!isAllocated(phys), "value access to a free register");
+        return values_[phys];
+    }
 
     /** Count a warp-wide read access to @p phys 's bank. */
     void countRead(u32 phys) { ++stats_.bankReads[bankOf(phys)]; }

@@ -25,12 +25,6 @@ RegisterManager::RegisterManager(const RegFileConfig &cfg, u32 max_warp_slots)
     configureKernel(0, 0);
 }
 
-u32
-RegisterManager::slotIndex(u32 warp_slot, u32 reg) const
-{
-    return warp_slot * (kMaxArchRegs + 1) + reg;
-}
-
 void
 RegisterManager::configureKernel(u32 regs_per_warp, u32 num_exempt)
 {
@@ -48,6 +42,7 @@ RegisterManager::configureKernel(u32 regs_per_warp, u32 num_exempt)
     spillStore_.assign(mapping_.size(), WarpValue{});
     ctaAlloc_.assign(maxWarpSlots_, 0); // at most one CTA per warp slot
     mapped_ = 0;
+    ++allocEpoch_;
     renameStats_ = RenameStats{};
 
     // Exempt-region geometry: exempt register r of warp slot w lives
@@ -93,6 +88,10 @@ RegisterManager::launchCta(u32 cta_slot, u32 first_warp_slot, u32 num_warps)
 {
     panicIf(first_warp_slot + num_warps > maxWarpSlots_,
             "warp slots out of range");
+    // Bumped even when no register moves (HardwareOnly, or Virtualized
+    // with no fixed homes): the resident-CTA set flips on success, and
+    // the throttle must observe that.
+    ++allocEpoch_;
     std::vector<std::pair<u32, u32>> done; // (warpSlot, reg) for rollback
 
     // A failed launch must be a complete no-op: the dispatcher retries
@@ -147,6 +146,7 @@ void
 RegisterManager::completeCta(u32 cta_slot, u32 first_warp_slot,
                              u32 num_warps)
 {
+    ++allocEpoch_; // the resident-CTA set shrinks even if no reg is held
     for (u32 w = first_warp_slot; w < first_warp_slot + num_warps; ++w) {
         for (u32 r = 0; r <= kMaxArchRegs; ++r) {
             const u32 idx = slotIndex(w, r);
@@ -159,34 +159,6 @@ RegisterManager::completeCta(u32 cta_slot, u32 first_warp_slot,
         }
         spilledCount_[w] = 0;
     }
-}
-
-RegState
-RegisterManager::state(u32 warp_slot, u32 reg) const
-{
-    return state_[slotIndex(warp_slot, reg)];
-}
-
-u32
-RegisterManager::physOf(u32 warp_slot, u32 reg) const
-{
-    const u32 idx = slotIndex(warp_slot, reg);
-    panicIf(state_[idx] != RegState::kMapped,
-            "physOf on an unmapped register r" + std::to_string(reg) +
-                " of warp slot " + std::to_string(warp_slot));
-    return mapping_[idx];
-}
-
-u32
-RegisterManager::physBankOf(u32 warp_slot, u32 reg) const
-{
-    return file_.bankOf(physOf(warp_slot, reg));
-}
-
-WarpValue &
-RegisterManager::values(u32 warp_slot, u32 reg)
-{
-    return file_.values(physOf(warp_slot, reg));
 }
 
 RegisterManager::AllocOutcome
@@ -211,6 +183,7 @@ RegisterManager::allocRenamed(u32 warp_slot, u32 cta_slot, u32 reg)
     state_[idx] = RegState::kMapped;
     ++mapped_;
     ++ctaAlloc_[cta_slot];
+    ++allocEpoch_;
     ++renameStats_.updates;
     return {true, wake};
 }
@@ -236,28 +209,8 @@ RegisterManager::ensureMappedForWrite(u32 warp_slot, u32 cta_slot, u32 reg)
 }
 
 void
-RegisterManager::countOperandRead(u32 warp_slot, u32 reg)
+RegisterManager::lintTrapRead(u32 warp_slot, u32 reg) const
 {
-    file_.countRead(physOf(warp_slot, reg));
-    if (cfg_.mode != RegFileMode::kBaseline && reg >= fixedExempt_)
-        ++renameStats_.lookups;
-}
-
-void
-RegisterManager::countOperandWrite(u32 warp_slot, u32 reg)
-{
-    file_.countWrite(physOf(warp_slot, reg));
-    if (cfg_.mode != RegFileMode::kBaseline && reg >= fixedExempt_)
-        ++renameStats_.lookups;
-    if (cfg_.lifecycleLint)
-        lint_[slotIndex(warp_slot, reg)] = RegLifecycle::kWritten;
-}
-
-void
-RegisterManager::lintCheckRead(u32 warp_slot, u32 reg) const
-{
-    if (!cfg_.lifecycleLint)
-        return;
     switch (lint_[slotIndex(warp_slot, reg)]) {
       case RegLifecycle::kWritten:
         return;
@@ -293,6 +246,7 @@ RegisterManager::freeMapping(u32 warp_slot, u32 cta_slot, u32 reg)
     --mapped_;
     panicIf(ctaAlloc_[cta_slot] == 0, "CTA allocation count underflow");
     --ctaAlloc_[cta_slot];
+    ++allocEpoch_;
 }
 
 void
@@ -319,6 +273,30 @@ RegisterManager::spillCandidates(u32 warp_slot) const
         if (state_[slotIndex(warp_slot, r)] == RegState::kMapped)
             out.push_back(r);
     return out;
+}
+
+u32
+RegisterManager::countSpillCandidates(u32 warp_slot, u32 need_bank,
+                                      bool &has_need) const
+{
+    u32 count = 0;
+    has_need = false;
+    for (u32 r = fixedExempt_; r < regsPerWarp_; ++r) {
+        if (state_[slotIndex(warp_slot, r)] != RegState::kMapped)
+            continue;
+        ++count;
+        has_need |= (r % cfg_.numBanks) == need_bank;
+    }
+    return count;
+}
+
+u32
+RegisterManager::firstSpilledReg(u32 warp_slot) const
+{
+    for (u32 r = fixedExempt_; r < regsPerWarp_; ++r)
+        if (state_[slotIndex(warp_slot, r)] == RegState::kSpilled)
+            return r;
+    panic("firstSpilledReg on a warp with no spilled registers");
 }
 
 void
@@ -354,15 +332,6 @@ RegisterManager::refillReg(u32 warp_slot, u32 cta_slot, u32 reg)
     return res;
 }
 
-bool
-RegisterManager::hasSpilledRegs(u32 warp_slot) const
-{
-    // spilledCount_ is maintained on the spillReg()/refillReg()/
-    // completeCta() transitions: this is queried per issue attempt,
-    // where an O(regsPerWarp) scan would sit on the hot path.
-    return spilledCount_[warp_slot] != 0;
-}
-
 std::vector<u32>
 RegisterManager::spilledRegs(u32 warp_slot) const
 {
@@ -371,14 +340,6 @@ RegisterManager::spilledRegs(u32 warp_slot) const
         if (state_[slotIndex(warp_slot, r)] == RegState::kSpilled)
             out.push_back(r);
     return out;
-}
-
-void
-RegisterManager::sampleCycle()
-{
-    file_.sampleCycle();
-    renameStats_.mappedRegCycles += mapped_;
-    renameStats_.sampledCycles += 1;
 }
 
 void

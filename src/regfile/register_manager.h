@@ -87,22 +87,72 @@ class RegisterManager {
      */
     AllocOutcome ensureMappedForWrite(u32 warpSlot, u32 ctaSlot, u32 reg);
 
-    RegState state(u32 warpSlot, u32 reg) const;
+    RegState
+    state(u32 warpSlot, u32 reg) const
+    {
+        return state_[slotIndex(warpSlot, reg)];
+    }
 
     /** Physical register backing (panics unless mapped). */
-    u32 physOf(u32 warpSlot, u32 reg) const;
+    u32
+    physOf(u32 warpSlot, u32 reg) const
+    {
+        const u32 idx = slotIndex(warpSlot, reg);
+        panicIf(state_[idx] != RegState::kMapped,
+                "physOf on an unmapped register r" + std::to_string(reg) +
+                    " of warp slot " + std::to_string(warpSlot));
+        return mapping_[idx];
+    }
 
     /** Physical bank backing the register (operand-collector model). */
-    u32 physBankOf(u32 warpSlot, u32 reg) const;
+    u32
+    physBankOf(u32 warpSlot, u32 reg) const
+    {
+        return file_.bankOf(physOf(warpSlot, reg));
+    }
 
     /** Lane values (panics unless mapped). */
-    WarpValue &values(u32 warpSlot, u32 reg);
+    WarpValue &
+    values(u32 warpSlot, u32 reg)
+    {
+        return file_.values(physOf(warpSlot, reg));
+    }
 
     /** Account a warp-wide operand read (bank + renaming lookups). */
-    void countOperandRead(u32 warpSlot, u32 reg);
+    void
+    countOperandRead(u32 warpSlot, u32 reg)
+    {
+        file_.countRead(physOf(warpSlot, reg));
+        if (cfg_.mode != RegFileMode::kBaseline && reg >= fixedExempt_)
+            ++renameStats_.lookups;
+    }
+
+    /**
+     * Fused operand-collection query: account the warp-wide read and
+     * return the physical bank serving it.  One mapping lookup instead
+     * of the two a countOperandRead() + physBankOf() pair would do —
+     * this runs per source operand of every issued instruction.
+     */
+    u32
+    readOperandBank(u32 warpSlot, u32 reg)
+    {
+        const u32 phys = physOf(warpSlot, reg);
+        file_.countRead(phys);
+        if (cfg_.mode != RegFileMode::kBaseline && reg >= fixedExempt_)
+            ++renameStats_.lookups;
+        return file_.bankOf(phys);
+    }
 
     /** Account a warp-wide result write. */
-    void countOperandWrite(u32 warpSlot, u32 reg);
+    void
+    countOperandWrite(u32 warpSlot, u32 reg)
+    {
+        file_.countWrite(physOf(warpSlot, reg));
+        if (cfg_.mode != RegFileMode::kBaseline && reg >= fixedExempt_)
+            ++renameStats_.lookups;
+        if (cfg_.lifecycleLint) [[unlikely]]
+            lint_[slotIndex(warpSlot, reg)] = RegLifecycle::kWritten;
+    }
 
     /**
      * Lifecycle lint (RegFileConfig::lifecycleLint): throw an
@@ -112,7 +162,13 @@ class RegisterManager {
      * message carries (warp slot, register, state).  No-op when the
      * lint is disabled.
      */
-    void lintCheckRead(u32 warpSlot, u32 reg) const;
+    void
+    lintCheckRead(u32 warpSlot, u32 reg) const
+    {
+        if (!cfg_.lifecycleLint)
+            return;
+        lintTrapRead(warpSlot, reg);
+    }
 
     /** Current lint state (kWritten when the lint is disabled). */
     RegLifecycle lifecycle(u32 warpSlot, u32 reg) const;
@@ -128,14 +184,36 @@ class RegisterManager {
     /** Renamed, mapped registers of a warp (spill victims). */
     std::vector<u32> spillCandidates(u32 warpSlot) const;
 
+    /**
+     * Victim-scoring scan without materializing the candidate list:
+     * the count of spillCandidates(warpSlot) plus whether any of them
+     * lives in @p needBank.  The spill engine scores every resident
+     * warp per allocation stall, so the per-warp vector allocations of
+     * spillCandidates() would dominate the shrink-mode hot path.
+     */
+    u32 countSpillCandidates(u32 warpSlot, u32 needBank,
+                             bool &hasNeed) const;
+
+    /** Lowest spilled register of a warp; panics if there is none. */
+    u32 firstSpilledReg(u32 warpSlot) const;
+
     /** Save values to spill storage and free the physical register. */
     void spillReg(u32 warpSlot, u32 ctaSlot, u32 reg);
 
     /** Re-allocate and restore a spilled register. */
     AllocOutcome refillReg(u32 warpSlot, u32 ctaSlot, u32 reg);
 
-    /** True if the warp has any spilled register. */
-    bool hasSpilledRegs(u32 warpSlot) const;
+    /**
+     * True if the warp has any spilled register.  spilledCount_ is
+     * maintained on the spillReg()/refillReg()/completeCta()
+     * transitions: this is queried per issue attempt, where an
+     * O(regsPerWarp) scan would sit on the hot path.
+     */
+    bool
+    hasSpilledRegs(u32 warpSlot) const
+    {
+        return spilledCount_[warpSlot] != 0;
+    }
 
     /** Spilled registers of a warp. */
     std::vector<u32> spilledRegs(u32 warpSlot) const;
@@ -152,8 +230,25 @@ class RegisterManager {
     const PhysRegFile &file() const { return file_; }
     const RenameStats &renameStats() const { return renameStats_; }
 
+    /**
+     * Monotonic count of allocation-state changes: bumped whenever the
+     * free-register pool, a CTA's held-register count, or the resident
+     * CTA set can have changed (kernel reset, CTA launch/completion,
+     * renamed alloc, mapping free — spill/refill flow through the last
+     * two).  Consumers whose output is a pure function of that state
+     * (the GPU-shrink throttle) can skip recomputation while the epoch
+     * is unchanged.
+     */
+    u64 allocEpoch() const { return allocEpoch_; }
+
     /** Integrate per-cycle state (power gating, live-register trace). */
-    void sampleCycle();
+    void
+    sampleCycle()
+    {
+        file_.sampleCycle();
+        renameStats_.mappedRegCycles += mapped_;
+        renameStats_.sampledCycles += 1;
+    }
 
     /**
      * Integrate @p n unchanged cycles at once (event-driven
@@ -164,7 +259,13 @@ class RegisterManager {
     void sampleCycles(u64 n);
 
   private:
-    u32 slotIndex(u32 warpSlot, u32 reg) const;
+    u32
+    slotIndex(u32 warpSlot, u32 reg) const
+    {
+        return warpSlot * (kMaxArchRegs + 1) + reg;
+    }
+    /** Slow path of lintCheckRead (lint enabled only). */
+    void lintTrapRead(u32 warpSlot, u32 reg) const;
     u32 archBank(u32 reg) const { return reg % cfg_.numBanks; }
     u32 exemptHome(u32 warpSlot, u32 reg) const;
     AllocOutcome allocRenamed(u32 warpSlot, u32 ctaSlot, u32 reg);
@@ -191,6 +292,7 @@ class RegisterManager {
     std::vector<WarpValue> spillStore_;
     std::vector<u32> ctaAlloc_;  //!< registers held per CTA slot
     u32 mapped_ = 0;
+    u64 allocEpoch_ = 0; //!< see allocEpoch()
 
     // Exempt-region geometry.
     std::vector<u32> exemptInBank_;   //!< exempt regs per bank

@@ -14,20 +14,4 @@ DCache::reset()
     tags_.assign(numLines_, kInvalidPc);
 }
 
-bool
-DCache::access(u32 byte_addr)
-{
-    if (numLines_ == 0)
-        return false;
-    const u32 line = byte_addr / lineBytes_;
-    const u32 idx = line % numLines_;
-    if (tags_[idx] == line) {
-        ++stats_.hits;
-        return true;
-    }
-    tags_[idx] = line;
-    ++stats_.misses;
-    return false;
-}
-
 } // namespace rfv

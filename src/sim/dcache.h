@@ -41,7 +41,21 @@ class DCache {
      * @return true on hit.  With the cache disabled every probe
      *         reports a miss and is not counted.
      */
-    bool access(u32 byteAddr);
+    bool
+    access(u32 byteAddr)
+    {
+        if (numLines_ == 0)
+            return false;
+        const u32 line = byteAddr / lineBytes_;
+        const u32 idx = line % numLines_;
+        if (tags_[idx] == line) {
+            ++stats_.hits;
+            return true;
+        }
+        tags_[idx] = line;
+        ++stats_.misses;
+        return false;
+    }
 
     /** Drop all lines. */
     void reset();

@@ -251,6 +251,12 @@ Gpu::run()
                 std::to_string(gmem_.overlapViolations()) +
                 " conflicting accesses total)");
 
+    // Per-SM loop profiles accumulate without sharing (one thread
+    // steps an SM); summing here happens after the workers joined.
+    if (hooks_.loopProfile != nullptr)
+        for (const auto &sm : sms_)
+            *hooks_.loopProfile += sm->loopProfile();
+
     return aggregateResults(sms_, drams_, cycle, prog_.numRegs);
 }
 

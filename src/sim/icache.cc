@@ -17,22 +17,4 @@ ICache::reset()
     tags_.assign(numLines_, kInvalidPc);
 }
 
-bool
-ICache::access(u32 pc)
-{
-    if (numLines_ == 0) {
-        ++stats_.hits; // disabled: ideal instruction supply
-        return true;
-    }
-    const u32 line = pc / lineInstrs_;
-    const u32 idx = line % numLines_;
-    if (tags_[idx] == line) {
-        ++stats_.hits;
-        return true;
-    }
-    tags_[idx] = line;
-    ++stats_.misses;
-    return false;
-}
-
 } // namespace rfv

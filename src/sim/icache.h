@@ -38,7 +38,23 @@ class ICache {
      * Probe for the line containing @p pc; fills the line on a miss.
      * @return true on hit.
      */
-    bool access(u32 pc);
+    bool
+    access(u32 pc)
+    {
+        if (numLines_ == 0) {
+            ++stats_.hits; // disabled: ideal instruction supply
+            return true;
+        }
+        const u32 line = pc / lineInstrs_;
+        const u32 idx = line % numLines_;
+        if (tags_[idx] == line) {
+            ++stats_.hits;
+            return true;
+        }
+        tags_[idx] = line;
+        ++stats_.misses;
+        return false;
+    }
 
     /** Drop all lines (kernel switch). */
     void reset();

@@ -34,48 +34,6 @@ GlobalMemory::GlobalMemory(u32 bytes)
     words_.assign(bytes / 4, 0);
 }
 
-u32
-GlobalMemory::wordIndex(u32 byte_addr, const char *what) const
-{
-    panicIf(byte_addr % 4 != 0,
-            std::string("unaligned global ") + what);
-    const u32 w = byte_addr / 4;
-    panicIf(w >= words_.size(), std::string("global ") + what +
-                                    " out of bounds at byte " +
-                                    std::to_string(byte_addr));
-    return w;
-}
-
-u32
-GlobalMemory::load(u32 byte_addr) const
-{
-    return words_[wordIndex(byte_addr, "load")];
-}
-
-void
-GlobalMemory::store(u32 byte_addr, u32 value)
-{
-    words_[wordIndex(byte_addr, "store")] = value;
-}
-
-u32
-GlobalMemory::load(u32 byte_addr, u32 sm_id, Cycle now) const
-{
-    const u32 w = wordIndex(byte_addr, "load");
-    if (lastWrite_)
-        checkRead(w, sm_id, now);
-    return words_[w];
-}
-
-void
-GlobalMemory::store(u32 byte_addr, u32 value, u32 sm_id, Cycle now)
-{
-    const u32 w = wordIndex(byte_addr, "store");
-    if (lastWrite_)
-        checkWrite(w, sm_id, now);
-    words_[w] = value;
-}
-
 void
 GlobalMemory::enableOverlapCheck()
 {

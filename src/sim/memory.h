@@ -36,16 +36,34 @@ class GlobalMemory {
     u32 sizeBytes() const { return static_cast<u32>(words_.size()) * 4; }
 
     /** Unchecked access (host setup/verify, atomic commit phase). */
-    u32 load(u32 byteAddr) const;
-    void store(u32 byteAddr, u32 value);
+    u32 load(u32 byteAddr) const
+    {
+        return words_[wordIndex(byteAddr, "load")];
+    }
+    void store(u32 byteAddr, u32 value)
+    {
+        words_[wordIndex(byteAddr, "store")] = value;
+    }
 
     /**
      * SM-side access: identical to load/store, but when the overlap
      * checker is armed it records the access and flags same-cycle
      * conflicts with writes from other SMs.
      */
-    u32 load(u32 byteAddr, u32 smId, Cycle now) const;
-    void store(u32 byteAddr, u32 value, u32 smId, Cycle now);
+    u32 load(u32 byteAddr, u32 smId, Cycle now) const
+    {
+        const u32 w = wordIndex(byteAddr, "load");
+        if (lastWrite_) [[unlikely]]
+            checkRead(w, smId, now);
+        return words_[w];
+    }
+    void store(u32 byteAddr, u32 value, u32 smId, Cycle now)
+    {
+        const u32 w = wordIndex(byteAddr, "store");
+        if (lastWrite_) [[unlikely]]
+            checkWrite(w, smId, now);
+        words_[w] = value;
+    }
 
     /** Convenience word accessors for workload setup/verification. */
     u32 word(u32 index) const { return words_.at(index); }
@@ -67,7 +85,17 @@ class GlobalMemory {
     std::string firstOverlap() const;
 
   private:
-    u32 wordIndex(u32 byteAddr, const char *what) const;
+    u32
+    wordIndex(u32 byteAddr, const char *what) const
+    {
+        panicIf(byteAddr % 4 != 0,
+                std::string("unaligned global ") + what);
+        const u32 w = byteAddr / 4;
+        panicIf(w >= words_.size(), std::string("global ") + what +
+                                        " out of bounds at byte " +
+                                        std::to_string(byteAddr));
+        return w;
+    }
     void checkRead(u32 word, u32 smId, Cycle now) const;
     void checkWrite(u32 word, u32 smId, Cycle now);
     void recordViolation(u32 word, u32 smId, u32 otherSm,

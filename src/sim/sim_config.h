@@ -128,6 +128,8 @@ struct LaunchParams {
 /** Register definition/release event kinds (Fig. 2 traces). */
 enum class RegEvent : u8 { kDef, kRelease };
 
+struct LoopProfile;
+
 /** Optional instrumentation hooks; leave empty for fast runs. */
 struct TraceHooks {
     /**
@@ -144,6 +146,16 @@ struct TraceHooks {
      * release.
      */
     std::function<void(Cycle, u32, u32, u32, RegEvent)> regEvent;
+
+    /**
+     * When non-null, Sm::step() attributes its wall-clock time to
+     * per-phase buckets (fetch/schedule/execute/commit) and Gpu::run()
+     * sums every SM's buckets into this profile when the run ends.
+     * Unlike the per-cycle hooks above this does NOT force the naive
+     * loop — the event-driven loop is profiled as it actually runs
+     * (elided cycles cost no time and appear in no bucket).
+     */
+    LoopProfile *loopProfile = nullptr;
 };
 
 } // namespace rfv

@@ -12,39 +12,6 @@ SimtStack::reset(u32 initial_mask)
         entries_.push_back({0, kInvalidPc, initial_mask});
 }
 
-u32
-SimtStack::pc() const
-{
-    panicIf(entries_.empty(), "pc of a finished warp");
-    return entries_.back().pc;
-}
-
-u32
-SimtStack::activeMask() const
-{
-    panicIf(entries_.empty(), "mask of a finished warp");
-    return entries_.back().mask;
-}
-
-void
-SimtStack::mergeAtReconvergence()
-{
-    while (!entries_.empty()) {
-        const SimtEntry &top = entries_.back();
-        if (top.pc != top.rpc || top.rpc == kInvalidPc)
-            break;
-        entries_.pop_back();
-    }
-}
-
-void
-SimtStack::advance(u32 next_pc)
-{
-    panicIf(entries_.empty(), "advance of a finished warp");
-    entries_.back().pc = next_pc;
-    mergeAtReconvergence();
-}
-
 void
 SimtStack::branch(u32 taken_pc, u32 fall_pc, u32 taken_mask, u32 rpc)
 {

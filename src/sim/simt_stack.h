@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "common/error.h"
 #include "common/types.h"
 
 namespace rfv {
@@ -33,13 +34,29 @@ class SimtStack {
     bool done() const { return entries_.empty(); }
 
     /** Current fetch pc. */
-    u32 pc() const;
+    u32
+    pc() const
+    {
+        panicIf(entries_.empty(), "pc of a finished warp");
+        return entries_.back().pc;
+    }
 
     /** Current active mask. */
-    u32 activeMask() const;
+    u32
+    activeMask() const
+    {
+        panicIf(entries_.empty(), "mask of a finished warp");
+        return entries_.back().mask;
+    }
 
     /** Sequentially advance to @p nextPc (merges at reconvergence). */
-    void advance(u32 nextPc);
+    void
+    advance(u32 nextPc)
+    {
+        panicIf(entries_.empty(), "advance of a finished warp");
+        entries_.back().pc = nextPc;
+        mergeAtReconvergence();
+    }
 
     /**
      * Take a (possibly divergent) branch.  @p takenMask must be a
@@ -56,7 +73,16 @@ class SimtStack {
     u32 depth() const { return static_cast<u32>(entries_.size()); }
 
   private:
-    void mergeAtReconvergence();
+    void
+    mergeAtReconvergence()
+    {
+        while (!entries_.empty()) {
+            const SimtEntry &top = entries_.back();
+            if (top.pc != top.rpc || top.rpc == kInvalidPc)
+                break;
+            entries_.pop_back();
+        }
+    }
 
     std::vector<SimtEntry> entries_;
 };

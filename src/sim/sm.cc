@@ -50,20 +50,56 @@ traceReleases()
     return enabled;
 }
 
-bool
-compare(CmpOp op, u32 a, u32 b)
+/** All-ones lane mask when bit @p l of @p mask is set, else zero. */
+u32
+laneKeep(u32 mask, u32 l)
 {
-    const i32 sa = static_cast<i32>(a);
-    const i32 sb = static_cast<i32>(b);
+    return static_cast<u32>(-static_cast<i32>((mask >> l) & 1));
+}
+
+/**
+ * Full-width lane compare: one loop per comparison op (the dispatch
+ * hoisted out of the lane loop) producing a 32-bit result mask.
+ */
+u32
+cmpMask(CmpOp op, const WarpValue &a, const WarpValue &b)
+{
+    u32 m = 0;
     switch (op) {
-      case CmpOp::kEq: return a == b;
-      case CmpOp::kNe: return a != b;
-      case CmpOp::kLt: return sa < sb;
-      case CmpOp::kLe: return sa <= sb;
-      case CmpOp::kGt: return sa > sb;
-      case CmpOp::kGe: return sa >= sb;
+      case CmpOp::kEq:
+        for (u32 l = 0; l < kWarpSize; ++l)
+            m |= static_cast<u32>(a[l] == b[l]) << l;
+        break;
+      case CmpOp::kNe:
+        for (u32 l = 0; l < kWarpSize; ++l)
+            m |= static_cast<u32>(a[l] != b[l]) << l;
+        break;
+      case CmpOp::kLt:
+        for (u32 l = 0; l < kWarpSize; ++l)
+            m |= static_cast<u32>(static_cast<i32>(a[l]) <
+                                  static_cast<i32>(b[l]))
+                 << l;
+        break;
+      case CmpOp::kLe:
+        for (u32 l = 0; l < kWarpSize; ++l)
+            m |= static_cast<u32>(static_cast<i32>(a[l]) <=
+                                  static_cast<i32>(b[l]))
+                 << l;
+        break;
+      case CmpOp::kGt:
+        for (u32 l = 0; l < kWarpSize; ++l)
+            m |= static_cast<u32>(static_cast<i32>(a[l]) >
+                                  static_cast<i32>(b[l]))
+                 << l;
+        break;
+      case CmpOp::kGe:
+        for (u32 l = 0; l < kWarpSize; ++l)
+            m |= static_cast<u32>(static_cast<i32>(a[l]) >=
+                                  static_cast<i32>(b[l]))
+                 << l;
+        break;
     }
-    panic("bad cmp");
+    return m;
 }
 
 } // namespace
@@ -91,7 +127,7 @@ Sm::Sm(u32 sm_id, const GpuConfig &cfg, const Program &prog,
     fatalIf(maxConcCtas_ == 0, "SM cannot hold even one CTA");
 
     const u32 warp_slots = maxConcCtas_ * warpsPerCta_;
-    warps_.assign(warp_slots, Warp{});
+    wt_.reset(warp_slots);
     ctaSlots_.assign(maxConcCtas_, CtaSlot{});
     sharedMem_.assign(maxConcCtas_,
                       std::vector<u32>(ceilDiv(prog.sharedMemBytes, 4), 0));
@@ -100,6 +136,7 @@ Sm::Sm(u32 sm_id, const GpuConfig &cfg, const Program &prog,
 
     bankPortUse_.assign(cfg.regFile.numBanks, 0);
     mgr_.configureKernel(prog.numRegs, prog.numExemptRegs);
+    profiling_ = hooks_.loopProfile != nullptr;
 
     // Pre-size the hot-path containers so steady-state simulation never
     // allocates.
@@ -125,6 +162,13 @@ Sm::residentWarps() const
 bool
 Sm::tryLaunchCta(u32 global_cta_id, Cycle now)
 {
+    // The dispatcher retries a blocked CTA every cycle.  Feasibility
+    // is a pure function of the CTA slots and the manager's
+    // allocation state, both covered by the allocation epoch (CTA
+    // completion frees a slot through completeCta, which bumps it) —
+    // so a retry before anything changed is the same failure.
+    if (mgr_.allocEpoch() == launchFailEpoch_)
+        return false;
     i32 slot = -1;
     for (u32 s = 0; s < maxConcCtas_; ++s) {
         if (!ctaSlots_[s].active) {
@@ -132,13 +176,19 @@ Sm::tryLaunchCta(u32 global_cta_id, Cycle now)
             break;
         }
     }
-    if (slot < 0)
+    if (slot < 0) {
+        launchFailEpoch_ = mgr_.allocEpoch();
         return false;
+    }
     const u32 s = static_cast<u32>(slot);
     const u32 first = firstWarpSlot(s);
 
-    if (!mgr_.launchCta(s, first, warpsPerCta_))
+    if (!mgr_.launchCta(s, first, warpsPerCta_)) {
+        // The failed call itself advanced the epoch; record the
+        // post-rollback value so only a real change retries.
+        launchFailEpoch_ = mgr_.allocEpoch();
         return false; // register file cannot hold this CTA yet
+    }
 
     ctaSlots_[s].active = true;
     ctaSlots_[s].globalId = global_cta_id;
@@ -148,20 +198,16 @@ Sm::tryLaunchCta(u32 global_cta_id, Cycle now)
     std::fill(sharedMem_[s].begin(), sharedMem_[s].end(), 0);
 
     for (u32 i = 0; i < warpsPerCta_; ++i) {
-        Warp &w = warps_[first + i];
-        w = Warp{};
-        w.valid = true;
-        w.ctaSlot = s;
-        w.warpInCta = i;
-        w.globalCtaId = global_cta_id;
+        const u32 wi = first + i;
+        wt_.launchWarp(wi, s, i, global_cta_id);
         const u32 threads_before = i * kWarpSize;
         const u32 lanes = std::min(
             kWarpSize, launch_.threadsPerCta - threads_before);
-        w.stack.reset(static_cast<u32>(lowMask(lanes)));
-        w.blockedUntil = now;
-        for (auto &mem : localMem_[first + i])
+        wt_.stack(wi).reset(static_cast<u32>(lowMask(lanes)));
+        wt_.blockedUntil[wi] = now;
+        for (auto &mem : localMem_[wi])
             mem.fill(0);
-        pendWarp(first + i);
+        pendWarp(wi);
     }
     ++residentCtas_;
     stats_.peakResidentWarps =
@@ -173,7 +219,7 @@ Sm::tryLaunchCta(u32 global_cta_id, Cycle now)
 void
 Sm::pendWarp(u32 warp_idx)
 {
-    warps_[warp_idx].loc = WarpLoc::kPending;
+    wt_.loc(warp_idx, WarpLoc::kPending);
     pendingQueue_.push_back(warp_idx);
 }
 
@@ -188,28 +234,26 @@ Sm::removeFromReady(u32 warp_idx)
 void
 Sm::sleepWarp(u32 warp_idx)
 {
-    Warp &w = warps_[warp_idx];
-    w.loc = WarpLoc::kSleeping;
-    sleepHeap_.push_back({w.blockedUntil, warp_idx});
+    wt_.loc(warp_idx, WarpLoc::kSleeping);
+    sleepHeap_.push_back({wt_.blockedUntil[warp_idx], warp_idx});
     std::push_heap(sleepHeap_.begin(), sleepHeap_.end(),
                    std::greater<SleepEntry>{});
 }
 
 void
-Sm::refillReadyQueue()
+Sm::refillReadyQueueWork()
 {
     while (readyQueue_.size() < effectiveReadyQueue_ &&
            !pendingQueue_.empty()) {
         const u32 wi = pendingQueue_.front();
         pendingQueue_.pop_front();
-        Warp &w = warps_[wi];
-        if (w.loc != WarpLoc::kPending)
+        if (wt_.loc(wi) != WarpLoc::kPending)
             continue; // stale queue entry
-        if (!w.valid || w.finished) {
-            w.loc = WarpLoc::kNone;
+        if (!wt_.valid(wi) || wt_.finished(wi)) {
+            wt_.loc(wi, WarpLoc::kNone);
             continue;
         }
-        w.loc = WarpLoc::kReady;
+        wt_.loc(wi, WarpLoc::kReady);
         readyQueue_.push_back(wi);
     }
 }
@@ -217,11 +261,10 @@ Sm::refillReadyQueue()
 void
 Sm::demoteWarp(u32 warp_idx)
 {
-    Warp &w = warps_[warp_idx];
-    if (w.loc == WarpLoc::kReady)
+    if (wt_.loc(warp_idx) == WarpLoc::kReady)
         removeFromReady(warp_idx);
-    if (!w.valid || w.finished) {
-        w.loc = WarpLoc::kNone;
+    if (!wt_.valid(warp_idx) || wt_.finished(warp_idx)) {
+        wt_.loc(warp_idx, WarpLoc::kNone);
         return;
     }
     pendWarp(warp_idx);
@@ -243,15 +286,14 @@ Sm::normalizeReadyQueue(Cycle now)
         changed = false;
         for (u32 i = 0; i < readyQueue_.size();) {
             const u32 wi = readyQueue_[i];
-            Warp &w = warps_[wi];
-            if (!w.valid || w.finished) {
+            if (!wt_.valid(wi) || wt_.finished(wi)) {
                 readyQueue_.erase(readyQueue_.begin() + i);
-                w.loc = WarpLoc::kNone;
+                wt_.loc(wi, WarpLoc::kNone);
                 changed = true;
                 continue;
             }
-            if (w.blockedUntil > now &&
-                w.blockedUntil - now >= kSleepThresholdCycles) {
+            if (wt_.blockedUntil[wi] > now &&
+                wt_.blockedUntil[wi] - now >= kSleepThresholdCycles) {
                 readyQueue_.erase(readyQueue_.begin() + i);
                 sleepWarp(wi);
                 changed = true;
@@ -267,24 +309,23 @@ Sm::normalizeReadyQueue(Cycle now)
 }
 
 void
-Sm::wakeSleepers(Cycle now)
+Sm::wakeSleepersWork(Cycle now)
 {
     while (!sleepHeap_.empty() && sleepHeap_.front().wake <= now) {
         std::pop_heap(sleepHeap_.begin(), sleepHeap_.end(),
                       std::greater<SleepEntry>{});
         const SleepEntry e = sleepHeap_.back();
         sleepHeap_.pop_back();
-        Warp &w = warps_[e.warp];
-        if (w.loc != WarpLoc::kSleeping)
+        if (wt_.loc(e.warp) != WarpLoc::kSleeping)
             continue; // stale entry
-        if (!w.valid || w.finished) {
-            w.loc = WarpLoc::kNone;
+        if (!wt_.valid(e.warp) || wt_.finished(e.warp)) {
+            wt_.loc(e.warp, WarpLoc::kNone);
             continue;
         }
-        if (w.blockedUntil > now) {
+        if (wt_.blockedUntil[e.warp] > now) {
             // The stall was extended while asleep (spill victim): keep
             // sleeping until the new wakeup cycle.
-            sleepHeap_.push_back({w.blockedUntil, e.warp});
+            sleepHeap_.push_back({wt_.blockedUntil[e.warp], e.warp});
             std::push_heap(sleepHeap_.begin(), sleepHeap_.end(),
                           std::greater<SleepEntry>{});
             continue;
@@ -296,27 +337,86 @@ Sm::wakeSleepers(Cycle now)
 void
 Sm::pushCompletion(const Completion &c)
 {
+    // Index the retire time per destination so scoreboardWake can
+    // answer from the need bits alone.  A second write to a pending
+    // register is itself a hazard, so each pending bit has exactly one
+    // in-flight completion and this write is the authoritative one.
+    Cycle *reg_ready = wt_.regReadyAt(c.warp);
+    for (u64 m = c.regMask; m != 0; m &= m - 1)
+        reg_ready[findFirstSet(m)] = c.time;
+    Cycle *pred_ready = wt_.predReadyAt(c.warp);
+    for (u32 m = c.predMask; m != 0; m &= m - 1)
+        pred_ready[findFirstSet(m)] = c.time;
+    // Short non-load completions go to the timing wheel (O(1) push
+    // and drain); loads and far completions to the min-heap.  Pushes
+    // only happen while stepping cycle >= wheelPos_, so c.time >
+    // wheelPos_ keeps the wheel invariant (see the member comment).
+    if (!c.isLoad && c.time > wheelPos_ &&
+        c.time - wheelPos_ < kWheelSlots) {
+        const u32 s = static_cast<u32>(c.time % kWheelSlots);
+        wheel_[s].push_back(c);
+        wheelOccupied_ |= 1ull << s;
+        return;
+    }
     completions_.push_back(c);
     std::push_heap(completions_.begin(), completions_.end(),
                    std::greater<Completion>{});
+    if (c.isLoad) {
+        loadHeap_.push_back(c.time);
+        std::push_heap(loadHeap_.begin(), loadHeap_.end(),
+                       std::greater<Cycle>{});
+    }
 }
 
 void
-Sm::drainCompletions(Cycle now)
+Sm::drainCompletionsWork(Cycle now)
 {
+    if (wheelOccupied_ != 0) {
+        // Due slots are the window (wheelPos_, now] rotated onto the
+        // 64 residues; beyond a full revolution everything is due.
+        const Cycle elapsed = now - wheelPos_;
+        u64 due = wheelOccupied_;
+        if (elapsed < kWheelSlots) {
+            const u32 s0 = static_cast<u32>((wheelPos_ + 1) % kWheelSlots);
+            const u64 window = lowMask(static_cast<u32>(elapsed));
+            due &= (window << s0) |
+                   (s0 == 0 ? 0 : window >> (kWheelSlots - s0));
+        }
+        for (u64 m = due; m != 0; m &= m - 1) {
+            const u32 s = findFirstSet(m);
+            for (const Completion &c : wheel_[s]) {
+                // Scoreboard wake; the wheel never holds loads, so no
+                // load bookkeeping here.  Slots drain in residue (not
+                // time) order, but these mask clears commute.
+                wt_.pendingRegs[c.warp] &= ~c.regMask;
+                wt_.pendingPreds[c.warp] &= ~c.predMask;
+            }
+            wheel_[s].clear();
+        }
+        wheelOccupied_ &= ~due;
+    }
+    wheelPos_ = now;
     while (!completions_.empty() && completions_.front().time <= now) {
         std::pop_heap(completions_.begin(), completions_.end(),
                       std::greater<Completion>{});
         const Completion c = completions_.back();
         completions_.pop_back();
-        Warp &w = warps_[c.warp];
-        w.pendingRegs &= ~c.regMask;
-        w.pendingPreds &= ~c.predMask;
+        // Scoreboard wake as mask operations on the packed arrays.
+        wt_.pendingRegs[c.warp] &= ~c.regMask;
+        wt_.pendingPreds[c.warp] &= ~c.predMask;
         if (c.isLoad) {
-            panicIf(w.pendingLoads == 0, "load completion underflow");
-            --w.pendingLoads;
+            panicIf(wt_.pendingLoads[c.warp] == 0,
+                    "load completion underflow");
+            --wt_.pendingLoads[c.warp];
             panicIf(inFlightLoads_ == 0, "MSHR underflow");
             --inFlightLoads_;
+            // Loads drain in time order, so the load-time heap's front
+            // is this completion's time.
+            panicIf(loadHeap_.empty() || loadHeap_.front() != c.time,
+                    "load-time heap desynchronized from completions");
+            std::pop_heap(loadHeap_.begin(), loadHeap_.end(),
+                          std::greater<Cycle>{});
+            loadHeap_.pop_back();
         }
     }
 }
@@ -326,19 +426,21 @@ Sm::scoreboardWake(u32 warp_idx, u64 need_regs, u32 need_preds,
                    Cycle now) const
 {
     // Every pending scoreboard bit has exactly one in-flight completion
-    // (a second write to a pending register is itself a hazard), so the
-    // last matching completion is the exact cycle the hazard clears.
+    // (a second write to a pending register is itself a hazard), whose
+    // retire time the warp table indexed at issue — so the exact wakeup
+    // is the max ready time over the blocked need bits, no scan of the
+    // completion heap required.
+    const u64 regs = need_regs & wt_.pendingRegs[warp_idx];
+    const u32 preds = need_preds & wt_.pendingPreds[warp_idx];
+    panicIf(regs == 0 && preds == 0,
+            "scoreboard hazard with no pending completion");
     Cycle wake = 0;
-    bool found = false;
-    for (const Completion &c : completions_) {
-        if (c.warp != warp_idx)
-            continue;
-        if ((c.regMask & need_regs) || (c.predMask & need_preds)) {
-            wake = std::max(wake, c.time);
-            found = true;
-        }
-    }
-    panicIf(!found, "scoreboard hazard with no pending completion");
+    const Cycle *reg_ready = wt_.regReadyAt(warp_idx);
+    for (u64 m = regs; m != 0; m &= m - 1)
+        wake = std::max(wake, reg_ready[findFirstSet(m)]);
+    const Cycle *pred_ready = wt_.predReadyAt(warp_idx);
+    for (u32 m = preds; m != 0; m &= m - 1)
+        wake = std::max(wake, pred_ready[findFirstSet(m)]);
     return std::max(wake, now + 1);
 }
 
@@ -346,24 +448,20 @@ Cycle
 Sm::mshrWake(Cycle now) const
 {
     // MSHRs free only when a load completes; the earliest in-flight
-    // load completion is the first cycle an entry can possibly free.
-    Cycle wake = kNoEventCycle;
-    for (const Completion &c : completions_)
-        if (c.isLoad)
-            wake = std::min(wake, c.time);
-    panicIf(wake == kNoEventCycle, "MSHRs full with no load in flight");
-    return std::max(wake, now + 1);
+    // load completion (the load-time heap's front) is the first cycle
+    // an entry can possibly free.
+    panicIf(loadHeap_.empty(), "MSHRs full with no load in flight");
+    return std::max(loadHeap_.front(), now + 1);
 }
 
 void
 Sm::unparkThrottled()
 {
     for (u32 wi : throttleParked_) {
-        Warp &w = warps_[wi];
-        if (w.loc != WarpLoc::kParked)
+        if (wt_.loc(wi) != WarpLoc::kParked)
             continue;
-        if (!w.valid || w.finished) {
-            w.loc = WarpLoc::kNone;
+        if (!wt_.valid(wi) || wt_.finished(wi)) {
+            wt_.loc(wi, WarpLoc::kNone);
             continue;
         }
         pendWarp(wi);
@@ -372,8 +470,10 @@ Sm::unparkThrottled()
 }
 
 void
-Sm::evaluateThrottle()
+Sm::evaluateThrottleWork()
 {
+    throttleEpoch_ = mgr_.allocEpoch();
+
     const bool was_active = throttleActive_;
     const u32 was_cta = throttleCta_;
     throttleActive_ = false;
@@ -412,12 +512,15 @@ Sm::dramLoadTiming(const std::vector<u32> &byte_addrs, Cycle now)
 {
     // Count distinct line-sized segments on the reusable scratch
     // buffer; probe the L1 for each.  Only the *count* of misses
-    // matters for timing, so no miss list is materialized.
+    // matters for timing, so no miss list is materialized.  Segment
+    // iteration stays sorted (hit/miss sequence is part of the
+    // bit-identity contract).
     if (dcache_.enabled()) {
-        segScratch_.clear();
-        segScratch_.reserve(byte_addrs.size());
-        for (u32 a : byte_addrs)
-            segScratch_.push_back(a / cfg_.dcacheLineBytes);
+        const u32 n = static_cast<u32>(byte_addrs.size());
+        segScratch_.resize(n);
+        const u32 line = cfg_.dcacheLineBytes;
+        for (u32 i = 0; i < n; ++i)
+            segScratch_[i] = byte_addrs[i] / line;
         std::sort(segScratch_.begin(), segScratch_.end());
         segScratch_.erase(
             std::unique(segScratch_.begin(), segScratch_.end()),
@@ -439,20 +542,30 @@ Sm::dramLoadTiming(const std::vector<u32> &byte_addrs, Cycle now)
     return {dram_.access(now, txns), true};
 }
 
-WarpValue
-Sm::readOperand(u32 warp_idx, const Operand &op)
+const WarpValue &
+Sm::readOperand(u32 warp_idx, const Operand &op, WarpValue &scratch)
 {
-    WarpValue out{};
-    if (op.isImm()) {
-        out.fill(op.value);
-    } else if (op.isReg()) {
+    if (op.isReg()) {
         // Reads only happen on the issue path with a non-empty exec
         // mask, so a lint trap here is a real architectural read of a
         // released or never-written register, not a predicated-off one.
+        //
+        // Returning the register file's own lane array (instead of
+        // copying 128 bytes per operand) is safe because every
+        // consumer finishes reading its operands before the first
+        // register write of the instruction: ALU/select ops compute
+        // into a local array and only then writeDest(), and
+        // memory/atomic ops only touch memory (or copy the values out)
+        // while the references are live.
         mgr_.lintCheckRead(warp_idx, op.value);
-        out = mgr_.values(warp_idx, op.value);
+        return mgr_.values(warp_idx, op.value);
     }
-    return out;
+    if (op.isImm())
+        scratch.fill(op.value);
+    // A kNone operand's lanes are never read: every opcode's lane
+    // loop touches exactly the operands its arity defines, so the
+    // scratch is returned unfilled instead of zero-splatted.
+    return scratch;
 }
 
 void
@@ -462,19 +575,30 @@ Sm::writeDest(u32 warp_idx, u32 reg, const WarpValue &value, u32 exec_mask,
     const bool was_def =
         hooks_.regEvent && exec_mask != 0;
     WarpValue &dst = mgr_.values(warp_idx, reg);
-    for (u32 l = 0; l < kWarpSize; ++l)
-        if ((exec_mask >> l) & 1)
-            dst[l] = value[l];
+    if (exec_mask == ~0u) {
+        // All lanes active (the common case for straight-line code):
+        // a whole-line copy instead of the per-lane select below,
+        // which the per-lane variable shifts keep from vectorizing.
+        dst = value;
+    } else {
+        // Branch-free masked merge (a 32-wide select): active lanes
+        // take the new value, inactive lanes keep their old bits.
+        for (u32 l = 0; l < kWarpSize; ++l) {
+            const u32 keep = laneKeep(exec_mask, l);
+            dst[l] = (value[l] & keep) | (dst[l] & ~keep);
+        }
+    }
     mgr_.countOperandWrite(warp_idx, reg);
     if (was_def)
         hooks_.regEvent(now, smId_, warp_idx, reg, RegEvent::kDef);
 }
 
 bool
-Sm::processMetadata(Warp &w, u32 warp_idx, Cycle now)
+Sm::processMetadata(u32 warp_idx, Cycle now)
 {
-    while (!w.stack.done()) {
-        const u32 pc = w.stack.pc();
+    SimtStack &stack = wt_.stack(warp_idx);
+    while (!stack.done()) {
+        const u32 pc = stack.pc();
         panicIf(pc >= prog_.code.size(), "pc ran past end of kernel");
         const Instr &ins = prog_.code[pc];
         const StaticDecode &dec = decode_.at(pc);
@@ -501,16 +625,16 @@ Sm::processMetadata(Warp &w, u32 warp_idx, Cycle now)
                     hooks_.regEvent(now, smId_, warp_idx, r,
                                     RegEvent::kRelease);
                 }
-                mgr_.releaseReg(warp_idx, w.ctaSlot, r);
+                mgr_.releaseReg(warp_idx, wt_.ctaSlot[warp_idx], r);
             }
-            w.stack.advance(pc + 1);
+            stack.advance(pc + 1);
         } else { // kPir
             const bool hit = flagCache_.access(pc);
-            w.stack.advance(pc + 1);
+            stack.advance(pc + 1);
             if (!hit) {
                 ++stats_.metaDecoded;
                 if (cfg_.flagMissBubble) {
-                    w.blockedUntil = now + 1;
+                    wt_.blockedUntil[warp_idx] = now + 1;
                     return false;
                 }
             }
@@ -522,48 +646,50 @@ Sm::processMetadata(Warp &w, u32 warp_idx, Cycle now)
 Sm::IssueOutcome
 Sm::attemptIssue(u32 warp_idx, Cycle now)
 {
-    Warp &w = warps_[warp_idx];
     // Terminal / parked states are handled by the issue loop's
     // post-attempt rule, which inspects the warp flags directly.
-    if (!w.valid || w.finished)
-        return IssueOutcome::kSkipped;
-    if (w.atBarrier)
-        return IssueOutcome::kSkipped;
-    if (w.blockedUntil > now)
+    // Must stay a per-warp re-check even though the issue loop
+    // pre-filters on the snapshot mask: an earlier issue this cycle
+    // can block this warp (spill victim) after the snapshot.
+    if (!wt_.issuable(warp_idx, now))
         return IssueOutcome::kSkipped;
 
     if (mgr_.hasSpilledRegs(warp_idx)) {
         // Long-duration condition: rotate out of the ready set so
         // other warps (notably the throttle-chosen CTA's) can issue.
-        tryRefill(w, warp_idx, now);
+        tryRefill(warp_idx, now);
         return IssueOutcome::kDemoted;
     }
 
-    // Instruction fetch: a miss blocks the warp for the refill.  A
-    // paid miss delivers its instruction even if the line has been
-    // evicted since (no fetch-retry livelock under thrashing).
-    if (!w.stack.done()) {
-        const u32 fetch_pc = w.stack.pc();
-        if (w.paidFetchPc == fetch_pc) {
-            w.paidFetchPc = kInvalidPc;
-        } else if (icache_.access(fetch_pc)) {
-            ++stats_.icacheHits;
-        } else {
-            ++stats_.icacheMisses;
-            w.paidFetchPc = fetch_pc;
-            w.blockedUntil = now + cfg_.icacheMissLatency;
-            return IssueOutcome::kSkipped;
+    {
+        ScopedNs fetch_t(profiling_ ? &prof_.fetchNs : nullptr);
+        SimtStack &stack = wt_.stack(warp_idx);
+        // Instruction fetch: a miss blocks the warp for the refill.  A
+        // paid miss delivers its instruction even if the line has been
+        // evicted since (no fetch-retry livelock under thrashing).
+        if (!stack.done()) {
+            const u32 fetch_pc = stack.pc();
+            if (wt_.paidFetchPc[warp_idx] == fetch_pc) {
+                wt_.paidFetchPc[warp_idx] = kInvalidPc;
+            } else if (icache_.access(fetch_pc)) {
+                ++stats_.icacheHits;
+            } else {
+                ++stats_.icacheMisses;
+                wt_.paidFetchPc[warp_idx] = fetch_pc;
+                wt_.blockedUntil[warp_idx] = now + cfg_.icacheMissLatency;
+                return IssueOutcome::kSkipped;
+            }
         }
-    }
 
-    if (!processMetadata(w, warp_idx, now))
-        return IssueOutcome::kSkipped;
-    if (w.stack.done()) {
+        if (!processMetadata(warp_idx, now))
+            return IssueOutcome::kSkipped;
+    }
+    if (wt_.stack(warp_idx).done()) {
         finishWarp(warp_idx, now);
         return IssueOutcome::kDemoted;
     }
 
-    const u32 pc = w.stack.pc();
+    const u32 pc = wt_.stack(warp_idx).pc();
     const Instr &ins = prog_.code[pc];
     const StaticDecode &dec = decode_.at(pc);
     currentPc_ = pc; // diagnostic context for panics
@@ -576,7 +702,7 @@ Sm::attemptIssue(u32 warp_idx, Cycle now)
     assert(dec.cls == opInfo(ins.op).cls);
 #endif
 
-    if (throttleActive_ && w.ctaSlot != throttleCta_) {
+    if (throttleActive_ && wt_.ctaSlot[warp_idx] != throttleCta_) {
         // Throttled warps must not occupy ready-queue slots, or the
         // chosen CTA's warps could starve in the pending queue.  Park
         // them until the throttle signature changes; counted once per
@@ -587,12 +713,12 @@ Sm::attemptIssue(u32 warp_idx, Cycle now)
 
     // Scoreboard: block until the exact cycle the last hazard-matching
     // in-flight completion retires (counted once per stall episode).
-    if ((w.pendingRegs & dec.needRegs) ||
-        (w.pendingPreds & dec.needPreds)) {
+    if ((wt_.pendingRegs[warp_idx] & dec.needRegs) ||
+        (wt_.pendingPreds[warp_idx] & dec.needPreds)) {
         ++stats_.scoreboardStalls;
-        w.blockedUntil =
+        wt_.blockedUntil[warp_idx] =
             scoreboardWake(warp_idx, dec.needRegs, dec.needPreds, now);
-        if (w.pendingLoads > 0)
+        if (wt_.pendingLoads[warp_idx] > 0)
             return IssueOutcome::kDemoted; // long-latency stall
         return IssueOutcome::kSkipped;
     }
@@ -600,14 +726,14 @@ Sm::attemptIssue(u32 warp_idx, Cycle now)
     // MSHR availability for long-latency loads: an entry cannot free
     // before the earliest in-flight load completes.
     if (dec.dramLoad && inFlightLoads_ >= cfg_.mshrsPerSm) {
-        w.blockedUntil = mshrWake(now);
+        wt_.blockedUntil[warp_idx] = mshrWake(now);
         return IssueOutcome::kSkipped;
     }
 
     // Destination register allocation (renaming).
     if (ins.dst != kNoReg) {
         const auto res =
-            mgr_.ensureMappedForWrite(warp_idx, w.ctaSlot,
+            mgr_.ensureMappedForWrite(warp_idx, wt_.ctaSlot[warp_idx],
                                       static_cast<u32>(ins.dst));
         if (!res.ok) {
             ++stats_.allocStallEvents;
@@ -618,25 +744,25 @@ Sm::attemptIssue(u32 warp_idx, Cycle now)
             // other warps release registers, so retry from the ready
             // queue first; only a persistent stall rotates the warp
             // out (required for forward progress under throttling).
-            if (++w.allocStallStreak < 32)
+            if (++wt_.allocStallStreak[warp_idx] < 32)
                 return IssueOutcome::kSkipped;
-            w.allocStallStreak = 0;
+            wt_.allocStallStreak[warp_idx] = 0;
             return IssueOutcome::kDemoted;
         }
-        w.allocStallStreak = 0;
+        wt_.allocStallStreak[warp_idx] = 0;
         if (res.wakeCycles > 0) {
             ++stats_.wakeStallEvents;
-            w.blockedUntil = now + res.wakeCycles;
+            wt_.blockedUntil[warp_idx] = now + res.wakeCycles;
             return IssueOutcome::kSkipped;
         }
     }
 
     // Guard mask.
     try {
-    const u32 active = w.stack.activeMask();
+    const u32 active = wt_.stack(warp_idx).activeMask();
     u32 exec_mask = active;
     if (ins.guardPred != kNoPred) {
-        const u32 pm = w.predBits[ins.guardPred];
+        const u32 pm = wt_.pred(warp_idx, ins.guardPred);
         exec_mask &= ins.guardNeg ? ~pm : pm;
     }
 
@@ -652,19 +778,21 @@ Sm::attemptIssue(u32 warp_idx, Cycle now)
             // is the precise diagnosis of why the mapping is absent.
             if (exec_mask != 0)
                 mgr_.lintCheckRead(warp_idx, src.value);
-            mgr_.countOperandRead(warp_idx, src.value);
-            const u32 bank = mgr_.physBankOf(warp_idx, src.value);
+            const u32 bank = mgr_.readOperandBank(warp_idx, src.value);
             conflicts += bankPortUse_[bank];
             ++bankPortUse_[bank];
         }
         if (conflicts) {
             stats_.bankConflictCycles += conflicts;
-            w.blockedUntil = std::max<Cycle>(w.blockedUntil,
-                                             now + conflicts);
+            wt_.blockedUntil[warp_idx] = std::max<Cycle>(
+                wt_.blockedUntil[warp_idx], now + conflicts);
         }
     }
 
-    execute(w, warp_idx, ins, dec, exec_mask, now);
+    {
+        ScopedNs exec_t(profiling_ ? &prof_.executeNs : nullptr);
+        execute(warp_idx, ins, dec, exec_mask, now);
+    }
 
     ++stats_.issuedInstrs;
     stats_.threadInstrs += popcount64(exec_mask);
@@ -680,7 +808,7 @@ Sm::attemptIssue(u32 warp_idx, Cycle now)
             mgr_.state(warp_idx, r) == RegState::kMapped) {
             hooks_.regEvent(now, smId_, warp_idx, r, RegEvent::kRelease);
         }
-        mgr_.releaseReg(warp_idx, w.ctaSlot, r);
+        mgr_.releaseReg(warp_idx, wt_.ctaSlot[warp_idx], r);
     }
     } catch (const InternalError &e) {
         panic(std::string(e.what()) + " [pc " + std::to_string(pc) +
@@ -690,10 +818,11 @@ Sm::attemptIssue(u32 warp_idx, Cycle now)
 }
 
 void
-Sm::execute(Warp &w, u32 warp_idx, const Instr &ins,
-            const StaticDecode &dec, u32 exec_mask, Cycle now)
+Sm::execute(u32 warp_idx, const Instr &ins, const StaticDecode &dec,
+            u32 exec_mask, Cycle now)
 {
-    const u32 pc = w.stack.pc();
+    SimtStack &stack = wt_.stack(warp_idx);
+    const u32 pc = stack.pc();
     bool advanced = false;
 
     u64 wb_regs = 0;
@@ -701,6 +830,15 @@ Sm::execute(Warp &w, u32 warp_idx, const Instr &ins,
     bool is_dram_load = false;
     Cycle completion = now + dec.warpLatency;
 
+    // Immediate-splat scratch for readOperand (left uninitialized;
+    // readOperand fills it before returning it).
+    WarpValue imm0, imm1, imm2;
+
+    // Masked per-lane visitor for operations with lane side effects
+    // (memory accesses, address lists): those must touch active lanes
+    // only.  Pure ALU ops below instead compute all 32 lanes
+    // full-width and let writeDest() mask — bit-identical, since only
+    // active lanes are ever written back.
     auto lanes = [exec_mask](auto &&fn) {
         for (u32 l = 0; l < kWarpSize; ++l)
             if ((exec_mask >> l) & 1)
@@ -727,50 +865,89 @@ Sm::execute(Warp &w, u32 warp_idx, const Instr &ins,
       case Opcode::kFFma:
       case Opcode::kFRcp: {
         if (exec_mask) {
-            const WarpValue a = readOperand(warp_idx, ins.src[0]);
-            const WarpValue b = readOperand(warp_idx, ins.src[1]);
-            const WarpValue c = readOperand(warp_idx, ins.src[2]);
-            WarpValue out{};
-            lanes([&](u32 l) {
-                switch (ins.op) {
-                  case Opcode::kMov: out[l] = a[l]; break;
-                  case Opcode::kIAdd: out[l] = a[l] + b[l]; break;
-                  case Opcode::kISub: out[l] = a[l] - b[l]; break;
-                  case Opcode::kIMul: out[l] = a[l] * b[l]; break;
-                  case Opcode::kIMad:
+            const WarpValue &a = readOperand(warp_idx, ins.src[0], imm0);
+            const WarpValue &b = readOperand(warp_idx, ins.src[1], imm1);
+            const WarpValue &c = readOperand(warp_idx, ins.src[2], imm2);
+            // Uninitialized on purpose: every opcode loop below writes
+            // all 32 lanes before writeDest() reads any of them.
+            WarpValue out;
+            // The opcode dispatch is hoisted out of the lane loop: one
+            // tight 32-wide loop per opcode over contiguous operand
+            // arrays, auto-vectorized (tools/check_vectorization.sh
+            // gates this in CI).  Inactive lanes compute garbage that
+            // writeDest() discards.
+            switch (ins.op) {
+              case Opcode::kMov:
+                for (u32 l = 0; l < kWarpSize; ++l)
+                    out[l] = a[l];
+                break;
+              case Opcode::kIAdd:
+                for (u32 l = 0; l < kWarpSize; ++l)
+                    out[l] = a[l] + b[l];
+                break;
+              case Opcode::kISub:
+                for (u32 l = 0; l < kWarpSize; ++l)
+                    out[l] = a[l] - b[l];
+                break;
+              case Opcode::kIMul:
+                for (u32 l = 0; l < kWarpSize; ++l)
+                    out[l] = a[l] * b[l];
+                break;
+              case Opcode::kIMad:
+                for (u32 l = 0; l < kWarpSize; ++l)
                     out[l] = a[l] * b[l] + c[l];
-                    break;
-                  case Opcode::kIMin:
+                break;
+              case Opcode::kIMin:
+                for (u32 l = 0; l < kWarpSize; ++l)
                     out[l] = static_cast<u32>(
                         std::min(static_cast<i32>(a[l]),
                                  static_cast<i32>(b[l])));
-                    break;
-                  case Opcode::kIMax:
+                break;
+              case Opcode::kIMax:
+                for (u32 l = 0; l < kWarpSize; ++l)
                     out[l] = static_cast<u32>(
                         std::max(static_cast<i32>(a[l]),
                                  static_cast<i32>(b[l])));
-                    break;
-                  case Opcode::kShl: out[l] = a[l] << (b[l] & 31); break;
-                  case Opcode::kShr: out[l] = a[l] >> (b[l] & 31); break;
-                  case Opcode::kAnd: out[l] = a[l] & b[l]; break;
-                  case Opcode::kOr: out[l] = a[l] | b[l]; break;
-                  case Opcode::kXor: out[l] = a[l] ^ b[l]; break;
-                  case Opcode::kFAdd:
+                break;
+              case Opcode::kShl:
+                for (u32 l = 0; l < kWarpSize; ++l)
+                    out[l] = a[l] << (b[l] & 31);
+                break;
+              case Opcode::kShr:
+                for (u32 l = 0; l < kWarpSize; ++l)
+                    out[l] = a[l] >> (b[l] & 31);
+                break;
+              case Opcode::kAnd:
+                for (u32 l = 0; l < kWarpSize; ++l)
+                    out[l] = a[l] & b[l];
+                break;
+              case Opcode::kOr:
+                for (u32 l = 0; l < kWarpSize; ++l)
+                    out[l] = a[l] | b[l];
+                break;
+              case Opcode::kXor:
+                for (u32 l = 0; l < kWarpSize; ++l)
+                    out[l] = a[l] ^ b[l];
+                break;
+              case Opcode::kFAdd:
+                for (u32 l = 0; l < kWarpSize; ++l)
                     out[l] = asBits(asFloat(a[l]) + asFloat(b[l]));
-                    break;
-                  case Opcode::kFMul:
+                break;
+              case Opcode::kFMul:
+                for (u32 l = 0; l < kWarpSize; ++l)
                     out[l] = asBits(asFloat(a[l]) * asFloat(b[l]));
-                    break;
-                  case Opcode::kFFma:
+                break;
+              case Opcode::kFFma:
+                for (u32 l = 0; l < kWarpSize; ++l)
                     out[l] = asBits(asFloat(a[l]) * asFloat(b[l]) +
                                     asFloat(c[l]));
-                    break;
-                  case Opcode::kFRcp:
+                break;
+              case Opcode::kFRcp:
+                for (u32 l = 0; l < kWarpSize; ++l)
                     out[l] = asBits(1.0f / asFloat(a[l]));
-                    break;
-                  default: panic("unreachable alu op");
-                }
-            });
+                break;
+              default: panic("unreachable alu op");
+            }
             writeDest(warp_idx, static_cast<u32>(ins.dst), out, exec_mask,
                       now);
             wb_regs = dec.defRegs;
@@ -779,27 +956,28 @@ Sm::execute(Warp &w, u32 warp_idx, const Instr &ins,
       }
       case Opcode::kSetP: {
         if (exec_mask) {
-            const WarpValue a = readOperand(warp_idx, ins.src[0]);
-            const WarpValue b = readOperand(warp_idx, ins.src[1]);
-            u32 bits = w.predBits[ins.dstPred];
-            lanes([&](u32 l) {
-                const bool v = compare(ins.cmp, a[l], b[l]);
-                bits = v ? (bits | (1u << l)) : (bits & ~(1u << l));
-            });
-            w.predBits[ins.dstPred] = bits;
+            const WarpValue &a = readOperand(warp_idx, ins.src[0], imm0);
+            const WarpValue &b = readOperand(warp_idx, ins.src[1], imm1);
+            // Full-width compare, then one branch-free bit merge:
+            // active lanes take the compare result, inactive lanes
+            // keep their old predicate bit.
+            const u32 cmp = cmpMask(ins.cmp, a, b);
+            u32 &bits = wt_.pred(warp_idx, ins.dstPred);
+            bits = (bits & ~exec_mask) | (cmp & exec_mask);
             wb_preds = 1u << ins.dstPred;
         }
         break;
       }
       case Opcode::kPSel: {
         if (exec_mask) {
-            const WarpValue a = readOperand(warp_idx, ins.src[0]);
-            const WarpValue b = readOperand(warp_idx, ins.src[1]);
-            const u32 sel = w.predBits[ins.dstPred];
+            const WarpValue &a = readOperand(warp_idx, ins.src[0], imm0);
+            const WarpValue &b = readOperand(warp_idx, ins.src[1], imm1);
+            const u32 sel = wt_.pred(warp_idx, ins.dstPred);
             WarpValue out{};
-            lanes([&](u32 l) {
-                out[l] = ((sel >> l) & 1) ? a[l] : b[l];
-            });
+            for (u32 l = 0; l < kWarpSize; ++l) {
+                const u32 keep = laneKeep(sel, l);
+                out[l] = (a[l] & keep) | (b[l] & ~keep);
+            }
             writeDest(warp_idx, static_cast<u32>(ins.dst), out, exec_mask,
                       now);
             wb_regs = dec.defRegs;
@@ -809,22 +987,29 @@ Sm::execute(Warp &w, u32 warp_idx, const Instr &ins,
       case Opcode::kS2R: {
         if (exec_mask) {
             WarpValue out{};
-            lanes([&](u32 l) {
-                switch (ins.sreg) {
-                  case SpecialReg::kTid:
-                    out[l] = w.warpInCta * kWarpSize + l;
-                    break;
-                  case SpecialReg::kCtaId: out[l] = w.globalCtaId; break;
-                  case SpecialReg::kNTid:
-                    out[l] = launch_.threadsPerCta;
-                    break;
-                  case SpecialReg::kNCtaId:
-                    out[l] = launch_.gridCtas;
-                    break;
-                  case SpecialReg::kLaneId: out[l] = l; break;
-                  case SpecialReg::kWarpId: out[l] = w.warpInCta; break;
-                }
-            });
+            const u32 warp_in_cta = wt_.warpInCta[warp_idx];
+            switch (ins.sreg) {
+              case SpecialReg::kTid:
+                for (u32 l = 0; l < kWarpSize; ++l)
+                    out[l] = warp_in_cta * kWarpSize + l;
+                break;
+              case SpecialReg::kCtaId:
+                out.fill(wt_.globalCtaId[warp_idx]);
+                break;
+              case SpecialReg::kNTid:
+                out.fill(launch_.threadsPerCta);
+                break;
+              case SpecialReg::kNCtaId:
+                out.fill(launch_.gridCtas);
+                break;
+              case SpecialReg::kLaneId:
+                for (u32 l = 0; l < kWarpSize; ++l)
+                    out[l] = l;
+                break;
+              case SpecialReg::kWarpId:
+                out.fill(warp_in_cta);
+                break;
+            }
             writeDest(warp_idx, static_cast<u32>(ins.dst), out, exec_mask,
                       now);
             wb_regs = dec.defRegs;
@@ -834,7 +1019,7 @@ Sm::execute(Warp &w, u32 warp_idx, const Instr &ins,
       case Opcode::kLdGlobal:
       case Opcode::kLdShared: {
         if (exec_mask) {
-            const WarpValue addr = readOperand(warp_idx, ins.src[0]);
+            const WarpValue &addr = readOperand(warp_idx, ins.src[0], imm0);
             const u32 off = ins.src[1].value;
             WarpValue out{};
             addrScratch_.clear();
@@ -845,7 +1030,7 @@ Sm::execute(Warp &w, u32 warp_idx, const Instr &ins,
                     addrScratch_.push_back(a);
                 } else {
                     const u32 word = a / 4;
-                    auto &shm = sharedMem_[w.ctaSlot];
+                    auto &shm = sharedMem_[wt_.ctaSlot[warp_idx]];
                     panicIf(a % 4 != 0, "unaligned shared load");
                     panicIf(word >= shm.size(),
                             "shared load out of bounds");
@@ -866,9 +1051,7 @@ Sm::execute(Warp &w, u32 warp_idx, const Instr &ins,
       case Opcode::kLdLocal: {
         if (exec_mask) {
             const WarpValue &mem = localMem_[warp_idx][ins.localSlot];
-            WarpValue out{};
-            lanes([&](u32 l) { out[l] = mem[l]; });
-            writeDest(warp_idx, static_cast<u32>(ins.dst), out, exec_mask,
+            writeDest(warp_idx, static_cast<u32>(ins.dst), mem, exec_mask,
                       now);
             wb_regs = dec.defRegs;
             // One coalesced warp-wide transaction per local slot; the
@@ -888,9 +1071,9 @@ Sm::execute(Warp &w, u32 warp_idx, const Instr &ins,
       }
       case Opcode::kAtomAdd: {
         if (exec_mask) {
-            const WarpValue addr = readOperand(warp_idx, ins.src[0]);
+            const WarpValue &addr = readOperand(warp_idx, ins.src[0], imm0);
             const u32 off = ins.src[1].value;
-            const WarpValue val = readOperand(warp_idx, ins.src[2]);
+            const WarpValue &val = readOperand(warp_idx, ins.src[2], imm2);
             addrScratch_.clear();
             lanes([&](u32 l) { addrScratch_.push_back(addr[l] + off); });
             // The memory side effect is deferred to commitAtomics():
@@ -916,9 +1099,9 @@ Sm::execute(Warp &w, u32 warp_idx, const Instr &ins,
       case Opcode::kStGlobal:
       case Opcode::kStShared: {
         if (exec_mask) {
-            const WarpValue addr = readOperand(warp_idx, ins.src[0]);
+            const WarpValue &addr = readOperand(warp_idx, ins.src[0], imm0);
             const u32 off = ins.src[1].value;
-            const WarpValue val = readOperand(warp_idx, ins.src[2]);
+            const WarpValue &val = readOperand(warp_idx, ins.src[2], imm2);
             addrScratch_.clear();
             lanes([&](u32 l) {
                 const u32 a = addr[l] + off;
@@ -927,7 +1110,7 @@ Sm::execute(Warp &w, u32 warp_idx, const Instr &ins,
                     addrScratch_.push_back(a);
                 } else {
                     const u32 word = a / 4;
-                    auto &shm = sharedMem_[w.ctaSlot];
+                    auto &shm = sharedMem_[wt_.ctaSlot[warp_idx]];
                     panicIf(a % 4 != 0, "unaligned shared store");
                     panicIf(word >= shm.size(),
                             "shared store out of bounds");
@@ -944,9 +1127,13 @@ Sm::execute(Warp &w, u32 warp_idx, const Instr &ins,
       }
       case Opcode::kStLocal: {
         if (exec_mask) {
-            const WarpValue val = readOperand(warp_idx, ins.src[0]);
+            const WarpValue &val = readOperand(warp_idx, ins.src[0], imm0);
             WarpValue &mem = localMem_[warp_idx][ins.localSlot];
-            lanes([&](u32 l) { mem[l] = val[l]; });
+            // Branch-free masked merge into the local-memory slot.
+            for (u32 l = 0; l < kWarpSize; ++l) {
+                const u32 keep = laneKeep(exec_mask, l);
+                mem[l] = (val[l] & keep) | (mem[l] & ~keep);
+            }
             // Local memory is cached write-back/write-allocate on
             // Fermi: with the L1 enabled a store hit costs no DRAM
             // bandwidth (dirty evictions are not modeled).
@@ -970,29 +1157,29 @@ Sm::execute(Warp &w, u32 warp_idx, const Instr &ins,
       }
       case Opcode::kBra: {
         const u32 taken = exec_mask;
-        w.stack.branch(ins.target, pc + 1, taken, ins.reconvPc);
+        stack.branch(ins.target, pc + 1, taken, ins.reconvPc);
         advanced = true;
         break;
       }
       case Opcode::kExit: {
-        w.stack.exitLanes(exec_mask);
+        stack.exitLanes(exec_mask);
         advanced = true;
-        if (w.stack.done()) {
+        if (stack.done()) {
             finishWarp(warp_idx, now);
-        } else if (w.stack.pc() == pc) {
-            w.stack.advance(pc + 1);
+        } else if (stack.pc() == pc) {
+            stack.advance(pc + 1);
         }
         break;
       }
       case Opcode::kBar: {
-        w.atBarrier = true;
-        CtaSlot &cta = ctaSlots_[w.ctaSlot];
+        wt_.setAtBarrier(warp_idx, true);
+        CtaSlot &cta = ctaSlots_[wt_.ctaSlot[warp_idx]];
         ++cta.barrierArrived;
-        w.stack.advance(pc + 1);
+        stack.advance(pc + 1);
         advanced = true;
         const u32 live = cta.numWarps - cta.warpsFinished;
         if (cta.barrierArrived >= live)
-            releaseBarrier(w.ctaSlot);
+            releaseBarrier(wt_.ctaSlot[warp_idx]);
         break;
       }
       case Opcode::kPir:
@@ -1000,16 +1187,16 @@ Sm::execute(Warp &w, u32 warp_idx, const Instr &ins,
         panic("metadata reached execute()");
     }
 
-    if (!advanced && !w.finished)
-        w.stack.advance(pc + 1);
+    if (!advanced && !wt_.finished(warp_idx))
+        stack.advance(pc + 1);
 
     if (wb_regs || wb_preds || is_dram_load) {
-        w.pendingRegs |= wb_regs;
-        w.pendingPreds |= wb_preds;
+        wt_.pendingRegs[warp_idx] |= wb_regs;
+        wt_.pendingPreds[warp_idx] |= wb_preds;
         pushCompletion({completion, warp_idx, wb_regs, wb_preds,
                         is_dram_load});
         if (is_dram_load) {
-            ++w.pendingLoads;
+            ++wt_.pendingLoads[warp_idx];
             ++inFlightLoads_;
             if (twoLevel_)
                 demoteWarp(warp_idx); // two-level long-latency demotion
@@ -1022,12 +1209,12 @@ Sm::releaseBarrier(u32 cta_slot)
 {
     CtaSlot &cta = ctaSlots_[cta_slot];
     const u32 first = firstWarpSlot(cta_slot);
+    // The whole CTA's atBarrier bits clear in one mask operation;
+    // warps parked on the barrier rejoin the scheduler in slot order
+    // (the last arriver is still mid-issue in the ready set).
+    wt_.clearBarrierRange(first, cta.numWarps);
     for (u32 i = 0; i < cta.numWarps; ++i) {
-        Warp &w = warps_[first + i];
-        w.atBarrier = false;
-        // Warps parked on the barrier rejoin the scheduler in slot
-        // order (the last arriver is still mid-issue in the ready set).
-        if (w.loc == WarpLoc::kBarrier)
+        if (wt_.loc(first + i) == WarpLoc::kBarrier)
             pendWarp(first + i);
     }
     cta.barrierArrived = 0;
@@ -1036,23 +1223,23 @@ Sm::releaseBarrier(u32 cta_slot)
 void
 Sm::finishWarp(u32 warp_idx, Cycle now)
 {
-    Warp &w = warps_[warp_idx];
-    if (w.finished)
+    if (wt_.finished(warp_idx))
         return;
-    w.finished = true;
-    CtaSlot &cta = ctaSlots_[w.ctaSlot];
+    wt_.setFinished(warp_idx, true);
+    const u32 cta_slot = wt_.ctaSlot[warp_idx];
+    CtaSlot &cta = ctaSlots_[cta_slot];
     ++cta.warpsFinished;
 
     // A finished warp no longer participates in barriers.
     const u32 live = cta.numWarps - cta.warpsFinished;
     if (live > 0 && cta.barrierArrived >= live)
-        releaseBarrier(w.ctaSlot);
+        releaseBarrier(cta_slot);
 
     if (cta.warpsFinished == cta.numWarps) {
-        const u32 first = firstWarpSlot(w.ctaSlot);
-        mgr_.completeCta(w.ctaSlot, first, cta.numWarps);
+        const u32 first = firstWarpSlot(cta_slot);
+        mgr_.completeCta(cta_slot, first, cta.numWarps);
         for (u32 i = 0; i < cta.numWarps; ++i)
-            warps_[first + i].valid = false;
+            wt_.setValid(first + i, false);
         cta.active = false;
         panicIf(residentCtas_ == 0, "resident CTA underflow");
         --residentCtas_;
@@ -1062,24 +1249,24 @@ Sm::finishWarp(u32 warp_idx, Cycle now)
 }
 
 void
-Sm::tryRefill(Warp &w, u32 warp_idx, Cycle now)
+Sm::tryRefill(u32 warp_idx, Cycle now)
 {
-    if (throttleActive_ && w.ctaSlot != throttleCta_)
+    if (throttleActive_ && wt_.ctaSlot[warp_idx] != throttleCta_)
         return; // refilling would steal registers from the chosen CTA
-    const auto regs = mgr_.spilledRegs(warp_idx);
-    panicIf(regs.empty(), "tryRefill without spilled registers");
-    const auto res = mgr_.refillReg(warp_idx, w.ctaSlot, regs.front());
+    const u32 reg = mgr_.firstSpilledReg(warp_idx);
+    const auto res =
+        mgr_.refillReg(warp_idx, wt_.ctaSlot[warp_idx], reg);
     if (!res.ok) {
         // The needed bank is exhausted (other banks may have space in
         // bank-restricted mode — e.g. it is held by warps parked at a
         // barrier): free it the same way an allocation stall would.
-        attemptSpill(warp_idx, regs.front() % cfg_.regFile.numBanks,
-                     now);
+        attemptSpill(warp_idx, reg % cfg_.regFile.numBanks, now);
         return;
     }
     ++stats_.refilledRegs;
     const Cycle done = dram_.access(now, 1);
-    w.blockedUntil = std::max(w.blockedUntil, done + res.wakeCycles);
+    wt_.blockedUntil[warp_idx] =
+        std::max(wt_.blockedUntil[warp_idx], done + res.wakeCycles);
 }
 
 i32
@@ -1089,14 +1276,21 @@ Sm::spillPriorityWarp() const
     // holds spill priority: only it may victimize other warps.  Without
     // this, warps with spilled registers steal each other's registers
     // back and forth and nobody completes a refill (livelock).
-    for (u32 wi = 0; wi < warps_.size(); ++wi) {
-        const Warp &w = warps_[wi];
-        if (!w.valid || w.finished || w.atBarrier)
-            continue;
-        if (throttleActive_ && w.ctaSlot != throttleCta_)
-            continue; // gated by the throttle: cannot refill anyway
-        if (mgr_.hasSpilledRegs(wi))
-            return static_cast<i32>(wi);
+    // Candidate warps come from one mask sweep (valid, unfinished, not
+    // at a barrier), visited in ascending slot order.
+    const u64 *valid = wt_.validWords();
+    const u64 *finished = wt_.finishedWords();
+    const u64 *bar = wt_.atBarrierWords();
+    for (u32 w = 0; w < wt_.maskWords(); ++w) {
+        u64 live = valid[w] & ~finished[w] & ~bar[w];
+        while (live) {
+            const u32 wi = w * 64 + findFirstSet(live);
+            live &= live - 1;
+            if (throttleActive_ && wt_.ctaSlot[wi] != throttleCta_)
+                continue; // gated by the throttle: cannot refill anyway
+            if (mgr_.hasSpilledRegs(wi))
+                return static_cast<i32>(wi);
+        }
     }
     return -1;
 }
@@ -1109,46 +1303,53 @@ Sm::attemptSpill(u32 stalled_warp, u32 need_bank, Cycle now)
         return; // wait until the priority warp has recovered
     i32 best = -1;
     i64 best_score = -1;
-    std::vector<u32> best_cands;
-    for (u32 wi = 0; wi < warps_.size(); ++wi) {
-        if (wi == stalled_warp)
-            continue;
-        const Warp &v = warps_[wi];
-        if (!v.valid || v.finished)
-            continue;
-        if (v.pendingRegs || v.pendingPreds || v.pendingLoads)
-            continue; // in-flight writes pin the physical registers
-        if (now < v.spillProtectedUntil)
-            continue;
-        auto cands = mgr_.spillCandidates(wi);
-        if (cands.empty())
-            continue;
-        bool has_need = false;
-        for (u32 r : cands)
-            has_need |= (r % cfg_.regFile.numBanks) == need_bank;
-        i64 score = static_cast<i64>(cands.size());
-        if (v.ctaSlot != throttleCta_ || !throttleActive_)
-            score += 1000;
-        if (has_need)
-            score += 500;
-        // Prefer warps parked outside the active ready set.
-        if (v.loc != WarpLoc::kReady)
-            score += 200;
-        if (score > best_score) {
-            best_score = score;
-            best = static_cast<i32>(wi);
-            best_cands = std::move(cands);
+    // Victim candidates from one mask sweep over the live warps.  The
+    // scoring pass only needs each warp's candidate count and whether
+    // one lives in the needed bank — a counting scan, so the per-warp
+    // list is materialized exactly once, for the winner.
+    const u64 *valid = wt_.validWords();
+    const u64 *finished = wt_.finishedWords();
+    for (u32 w = 0; w < wt_.maskWords(); ++w) {
+        u64 live = valid[w] & ~finished[w];
+        while (live) {
+            const u32 wi = w * 64 + findFirstSet(live);
+            live &= live - 1;
+            if (wi == stalled_warp)
+                continue;
+            if (wt_.pendingRegs[wi] || wt_.pendingPreds[wi] ||
+                wt_.pendingLoads[wi])
+                continue; // in-flight writes pin the physical registers
+            if (now < wt_.spillProtectedUntil[wi])
+                continue;
+            bool has_need = false;
+            const u32 count =
+                mgr_.countSpillCandidates(wi, need_bank, has_need);
+            if (count == 0)
+                continue;
+            i64 score = static_cast<i64>(count);
+            if (wt_.ctaSlot[wi] != throttleCta_ || !throttleActive_)
+                score += 1000;
+            if (has_need)
+                score += 500;
+            // Prefer warps parked outside the active ready set.
+            if (wt_.loc(wi) != WarpLoc::kReady)
+                score += 200;
+            if (score > best_score) {
+                best_score = score;
+                best = static_cast<i32>(wi);
+            }
         }
     }
     if (best < 0)
         return;
-    Warp &victim = warps_[static_cast<u32>(best)];
+    const u32 victim = static_cast<u32>(best);
+    const auto best_cands = mgr_.spillCandidates(victim);
     for (u32 r : best_cands)
-        mgr_.spillReg(static_cast<u32>(best), victim.ctaSlot, r);
+        mgr_.spillReg(victim, wt_.ctaSlot[victim], r);
     const Cycle done =
         dram_.access(now, static_cast<u32>(best_cands.size()));
-    victim.blockedUntil = std::max(victim.blockedUntil, done);
-    victim.spillProtectedUntil = done + cfg_.spillCooldown;
+    wt_.blockedUntil[victim] = std::max(wt_.blockedUntil[victim], done);
+    wt_.spillProtectedUntil[victim] = done + cfg_.spillCooldown;
     ++stats_.spillEvents;
     stats_.spilledRegs += best_cands.size();
 }
@@ -1169,22 +1370,22 @@ Sm::debugState(Cycle now) const
         out += std::to_string(wi) + " ";
     out += "] sleeping=" + std::to_string(sleepHeap_.size()) +
            " parked=" + std::to_string(throttleParked_.size()) + "\n";
-    for (u32 wi = 0; wi < warps_.size(); ++wi) {
-        const Warp &w = warps_[wi];
-        if (!w.valid)
+    for (u32 wi = 0; wi < wt_.size(); ++wi) {
+        if (!wt_.valid(wi))
             continue;
         out += "  w" + std::to_string(wi) + " cta" +
-               std::to_string(w.ctaSlot) +
-               (w.finished ? " done" : " pc=" + std::to_string(
-                                           w.stack.done()
-                                               ? kInvalidPc
-                                               : w.stack.pc())) +
-               (w.atBarrier ? " BAR" : "") +
-               " pendR=" + std::to_string(w.pendingRegs) +
-               " pendL=" + std::to_string(w.pendingLoads) +
+               std::to_string(wt_.ctaSlot[wi]) +
+               (wt_.finished(wi)
+                    ? " done"
+                    : " pc=" + std::to_string(wt_.stack(wi).done()
+                                                  ? kInvalidPc
+                                                  : wt_.stack(wi).pc())) +
+               (wt_.atBarrier(wi) ? " BAR" : "") +
+               " pendR=" + std::to_string(wt_.pendingRegs[wi]) +
+               " pendL=" + std::to_string(wt_.pendingLoads[wi]) +
                " blocked=" +
-               std::to_string(w.blockedUntil > now
-                                  ? w.blockedUntil - now
+               std::to_string(wt_.blockedUntil[wi] > now
+                                  ? wt_.blockedUntil[wi] - now
                                   : 0) +
                " spilled=" +
                std::to_string(mgr_.spilledRegs(wi).size()) + "\n";
@@ -1195,6 +1396,14 @@ Sm::debugState(Cycle now) const
 void
 Sm::step(Cycle now)
 {
+    const bool prof = profiling_;
+    u64 t0 = 0;
+    u64 t1 = 0;
+    u64 fetch0 = 0;
+    u64 exec0 = 0;
+    if (prof)
+        t0 = profileNowNs();
+
     drainCompletions(now);
     wakeSleepers(now);
     std::fill(bankPortUse_.begin(), bankPortUse_.end(), 0);
@@ -1203,18 +1412,44 @@ Sm::step(Cycle now)
         ++stats_.throttleActiveCycles;
     refillReadyQueue();
 
+    if (prof) {
+        t1 = profileNowNs();
+        prof_.scheduleNs += t1 - t0;
+        fetch0 = prof_.fetchNs;
+        exec0 = prof_.executeNs;
+    }
+
     u32 issued = 0;
     if (!readyQueue_.empty()) {
-        // Snapshot in LRR order; the queue may mutate during issue.
+        // The LRR snapshot keeps only warps issuable at the start of
+        // the cycle, tested per ready warp on the packed arrays
+        // (WarpTable::issuable — the whole-table issuableMask() sweep
+        // answers the same query for full-table scans like the spill
+        // engine, but the active set here is at most the ready-queue
+        // cap, so per-warp probes touch less memory).  The filter is
+        // exact: blockedUntil never decreases within a cycle,
+        // valid/finished only flip toward non-issuable, and no ready
+        // warp is atBarrier at step entry — so a warp not issuable in
+        // the snapshot stays non-issuable all cycle and its
+        // attemptIssue would have been a side-effect-free skip.
+        // (attemptIssue still re-checks per-warp state: a warp
+        // issuable at the snapshot can be blocked mid-cycle, e.g. as
+        // a spill victim.)
         issueOrder_.clear();
         const u32 n = static_cast<u32>(readyQueue_.size());
-        for (u32 i = 0; i < n; ++i)
-            issueOrder_.push_back(readyQueue_[(lrrCursor_ + i) % n]);
+        u32 j = lrrCursor_ < n ? lrrCursor_ : lrrCursor_ % n;
+        for (u32 i = 0; i < n; ++i) {
+            const u32 wi = readyQueue_[j];
+            if (++j == n)
+                j = 0;
+            if (wt_.issuable(wi, now))
+                issueOrder_.push_back(wi);
+        }
         for (u32 wi : issueOrder_) {
             if (issued >= cfg_.issuePerCycle)
                 break;
             // The warp may have been demoted by a previous issue.
-            if (warps_[wi].loc != WarpLoc::kReady)
+            if (wt_.loc(wi) != WarpLoc::kReady)
                 continue;
             const IssueOutcome outcome = attemptIssue(wi, now);
             if (outcome == IssueOutcome::kIssued)
@@ -1222,22 +1457,21 @@ Sm::step(Cycle now)
             // Post-attempt rule: route the warp to the container its
             // state demands.  Issue side effects (barrier, finish,
             // demotion inside execute) may already have moved it.
-            Warp &w = warps_[wi];
-            if (w.loc != WarpLoc::kReady)
+            if (wt_.loc(wi) != WarpLoc::kReady)
                 continue;
-            if (!w.valid || w.finished) {
+            if (!wt_.valid(wi) || wt_.finished(wi)) {
                 removeFromReady(wi);
-                w.loc = WarpLoc::kNone;
+                wt_.loc(wi, WarpLoc::kNone);
                 continue;
             }
-            if (w.atBarrier) {
+            if (wt_.atBarrier(wi)) {
                 removeFromReady(wi);
-                w.loc = WarpLoc::kBarrier;
+                wt_.loc(wi, WarpLoc::kBarrier);
                 continue;
             }
             if (outcome == IssueOutcome::kParked) {
                 removeFromReady(wi);
-                w.loc = WarpLoc::kParked;
+                wt_.loc(wi, WarpLoc::kParked);
                 throttleParked_.push_back(wi);
                 continue;
             }
@@ -1247,6 +1481,15 @@ Sm::step(Cycle now)
         if (!readyQueue_.empty())
             lrrCursor_ = static_cast<u32>((lrrCursor_ + 1) %
                                           readyQueue_.size());
+    }
+
+    if (prof) {
+        // The issue loop's time minus what attemptIssue booked to the
+        // fetch/execute buckets is scheduling overhead.
+        const u64 t2 = profileNowNs();
+        prof_.scheduleNs += (t2 - t1) - (prof_.fetchNs - fetch0) -
+                            (prof_.executeNs - exec0);
+        t1 = t2;
     }
 
     // Re-evaluate the throttle with this cycle's allocations/releases
@@ -1265,6 +1508,11 @@ Sm::step(Cycle now)
         hooks_.liveSample(now, mgr_.mappedCount(),
                           residentWarps() * prog_.numRegs);
     }
+
+    if (prof) {
+        prof_.commitNs += profileNowNs() - t1;
+        ++prof_.steps;
+    }
 }
 
 Cycle
@@ -1272,7 +1520,7 @@ Sm::nextEventCycle(Cycle now) const
 {
     Cycle next = kNoEventCycle;
     for (u32 wi : readyQueue_) {
-        const Cycle at = std::max(warps_[wi].blockedUntil, now + 1);
+        const Cycle at = std::max(wt_.blockedUntil[wi], now + 1);
         next = std::min(next, at);
     }
     if (!sleepHeap_.empty())
@@ -1311,6 +1559,9 @@ Sm::skipCycles(u64 k)
 void
 Sm::commitAtomics(Cycle now)
 {
+    ScopedNs commit_t(profiling_ && !pendingAtomics_.empty()
+                          ? &prof_.commitNs
+                          : nullptr);
     for (const PendingAtomic &pa : pendingAtomics_) {
         WarpValue out{};
         for (u32 l = 0; l < kWarpSize; ++l) {

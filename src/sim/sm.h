@@ -1,12 +1,19 @@
 /**
  * @file
- * One streaming multiprocessor: warp contexts, two-level scheduler,
+ * One streaming multiprocessor: SoA warp table, two-level scheduler,
  * scoreboard, functional SIMT execution, register management, CTA
  * throttling (GPU-shrink) and the scheduler-issued spill engine.
+ *
+ * Warp state lives in a structure-of-arrays WarpTable (see
+ * sim/warp_table.h and docs/ARCHITECTURE.md §3.6): the per-cycle
+ * sweeps — issuable-mask computation, barrier release, scoreboard
+ * clears — operate on packed arrays and bitmasks instead of hopping
+ * across per-warp objects.
  */
 #ifndef RFV_SIM_SM_H
 #define RFV_SIM_SM_H
 
+#include <array>
 #include <deque>
 
 #include "isa/program.h"
@@ -15,9 +22,10 @@
 #include "sim/dcache.h"
 #include "sim/decode_cache.h"
 #include "sim/icache.h"
+#include "sim/loop_profiler.h"
 #include "sim/memory.h"
 #include "sim/sim_config.h"
-#include "sim/warp.h"
+#include "sim/warp_table.h"
 
 namespace rfv {
 
@@ -113,6 +121,9 @@ class Sm {
     const RegisterManager &regs() const { return mgr_; }
     const ReleaseFlagCache &flagCache() const { return flagCache_; }
 
+    /** Per-phase wall-clock profile (populated when profiling is on). */
+    const LoopProfile &loopProfile() const { return prof_; }
+
     /** Resident (valid) warps right now. */
     u32 residentWarps() const;
 
@@ -164,24 +175,56 @@ class Sm {
         WarpValue val;  //!< per-lane addends
     };
 
-    void drainCompletions(Cycle now);
-    void wakeSleepers(Cycle now);
-    void evaluateThrottle();
+    // The per-cycle phases below split into an inline guard (the
+    // common nothing-due case, a compare or two on this SM's own
+    // state) and an out-of-line body, so quiet cycles pay no call.
+    void
+    drainCompletions(Cycle now)
+    {
+        if (wheelOccupied_ != 0 ||
+            (!completions_.empty() && completions_.front().time <= now))
+            drainCompletionsWork(now);
+    }
+    void drainCompletionsWork(Cycle now);
+    void
+    wakeSleepers(Cycle now)
+    {
+        if (!sleepHeap_.empty() && sleepHeap_.front().wake <= now)
+            wakeSleepersWork(now);
+    }
+    void wakeSleepersWork(Cycle now);
+    void
+    evaluateThrottle()
+    {
+        // Pure function of the manager's allocation state (free pool,
+        // resident-CTA set, per-CTA held counts): an unchanged epoch
+        // means an identical decision and no signature change.
+        if (mgr_.allocEpoch() != throttleEpoch_)
+            evaluateThrottleWork();
+    }
+    void evaluateThrottleWork();
     void unparkThrottled();
     IssueOutcome attemptIssue(u32 warpIdx, Cycle now);
-    bool processMetadata(Warp &warp, u32 warpIdx, Cycle now);
-    void execute(Warp &warp, u32 warpIdx, const Instr &ins,
-                 const StaticDecode &dec, u32 execMask, Cycle now);
+    bool processMetadata(u32 warpIdx, Cycle now);
+    void execute(u32 warpIdx, const Instr &ins, const StaticDecode &dec,
+                 u32 execMask, Cycle now);
     void finishWarp(u32 warpIdx, Cycle now);
     void releaseBarrier(u32 ctaSlot);
-    void tryRefill(Warp &warp, u32 warpIdx, Cycle now);
+    void tryRefill(u32 warpIdx, Cycle now);
     i32 spillPriorityWarp() const;
     void attemptSpill(u32 stalledWarp, u32 needBank, Cycle now);
     void demoteWarp(u32 warpIdx);
     void pendWarp(u32 warpIdx);
     void sleepWarp(u32 warpIdx);
     void removeFromReady(u32 warpIdx);
-    void refillReadyQueue();
+    void
+    refillReadyQueue()
+    {
+        if (readyQueue_.size() < effectiveReadyQueue_ &&
+            !pendingQueue_.empty())
+            refillReadyQueueWork();
+    }
+    void refillReadyQueueWork();
     void normalizeReadyQueue(Cycle now);
     void pushCompletion(const Completion &c);
     Cycle scoreboardWake(u32 warpIdx, u64 needRegs, u32 needPreds,
@@ -191,8 +234,11 @@ class Sm {
         const std::vector<u32> &byteAddrs, Cycle now);
     u32 firstWarpSlot(u32 ctaSlot) const { return ctaSlot * warpsPerCta_; }
 
-    // Value plumbing.
-    WarpValue readOperand(u32 warpIdx, const Operand &op);
+    // Value plumbing.  Returns the register file's lane array directly
+    // for register operands (no per-operand copy); immediates are
+    // splatted into the caller-provided scratch.
+    const WarpValue &readOperand(u32 warpIdx, const Operand &op,
+                                 WarpValue &scratch);
     void writeDest(u32 warpIdx, u32 reg, const WarpValue &value,
                    u32 execMask, Cycle now);
 
@@ -217,7 +263,8 @@ class Sm {
     u32 effectiveReadyQueue_;
     bool twoLevel_;
 
-    std::vector<Warp> warps_;
+    /** SoA warp state: hot packed arrays + flag masks + cold stacks. */
+    WarpTable wt_;
     std::vector<CtaSlot> ctaSlots_;
     std::vector<std::vector<u32>> sharedMem_; //!< per CTA slot, words
     std::vector<std::vector<WarpValue>> localMem_; //!< [warpSlot][slot]
@@ -237,11 +284,41 @@ class Sm {
 
     /**
      * Completion min-heap (std::push_heap/pop_heap with
-     * std::greater): kept as a plain vector so the exact-wakeup
-     * queries (scoreboardWake/mshrWake) can scan pending entries.
+     * std::greater).  The exact-wakeup queries no longer scan it:
+     * scoreboardWake walks the warp table's per-register ready-time
+     * index and mshrWake reads the load-time heap below.  Holds load
+     * completions (whose drain order must stay globally time-sorted
+     * to mirror the load-time heap) and the rare non-load completion
+     * further than the wheel below reaches.
      */
     std::vector<Completion> completions_;
     u32 inFlightLoads_ = 0;
+
+    /**
+     * Timing wheel for short-latency non-load completions (the bulk:
+     * ALU/store writebacks a few cycles out).  Slot t % kWheelSlots
+     * holds the completions retiring at absolute cycle t; pushes and
+     * drains are O(1) slot operations instead of heap sifts.  Every
+     * resident entry's time lies in (wheelPos_, wheelPos_ + 64), so
+     * residues map to absolute cycles uniquely and a drain at cycle
+     * `now` empties exactly the slots of cycles in (wheelPos_, now].
+     * Order between wheel and heap entries of equal time is
+     * irrelevant: non-load completion effects are commutative
+     * scoreboard-mask clears.
+     */
+    static constexpr u32 kWheelSlots = 64;
+    std::array<std::vector<Completion>, kWheelSlots> wheel_;
+    u64 wheelOccupied_ = 0; //!< bit s set while wheel_[s] is non-empty
+    Cycle wheelPos_ = 0;    //!< cycles <= wheelPos_ are fully drained
+
+    /**
+     * Min-heap of in-flight DRAM-load completion times, maintained
+     * alongside completions_ (pushed per load issue, popped when the
+     * load drains — loads drain in time order, so the fronts agree).
+     * Makes mshrWake O(1) instead of a scan over every completion on
+     * each MSHR-full issue attempt.
+     */
+    std::vector<Cycle> loadHeap_;
 
     /** Min-heap of (wake cycle, warp) for long-blocked warps. */
     std::vector<SleepEntry> sleepHeap_;
@@ -260,6 +337,12 @@ class Sm {
 
     bool throttleActive_ = false;
     u32 throttleCta_ = 0;
+    /** mgr_ allocation epoch at the last throttle evaluation (the
+     *  initial ~0 forces the first call to compute). */
+    u64 throttleEpoch_ = ~0ull;
+    /** mgr_ allocation epoch at the last failed CTA-launch attempt
+     *  (the initial ~0 lets the first attempt through). */
+    u64 launchFailEpoch_ = ~0ull;
 
     /**
      * Operand-collector port usage in the current cycle: reads issued
@@ -271,6 +354,10 @@ class Sm {
     std::vector<u32> bankPortUse_;
 
     SmStats stats_;
+
+    /** Per-phase wall-clock buckets; accumulated only when profiling_. */
+    LoopProfile prof_;
+    bool profiling_ = false;
 };
 
 } // namespace rfv

@@ -1,13 +1,18 @@
 /**
  * @file
- * Per-warp execution context.
+ * Warp scheduling enums shared by the SoA warp table and the SM.
+ *
+ * The per-warp execution state itself lives in WarpTable
+ * (sim/warp_table.h) as structure-of-arrays: the old array-of-structs
+ * `Warp` object was the SM hot path's main source of pointer-chasing
+ * (every issue attempt touched a ~200-byte object with an embedded
+ * SimtStack vector), so the fields every cycle reads were split into
+ * packed parallel arrays and per-SM bitmasks.
  */
 #ifndef RFV_SIM_WARP_H
 #define RFV_SIM_WARP_H
 
-#include <array>
-
-#include "sim/simt_stack.h"
+#include "common/types.h"
 
 namespace rfv {
 
@@ -30,8 +35,8 @@ enum class WarpStall : u8 {
  * reason about which warps can generate wakeup events:
  *  - kReady/kPending: the two-level scheduler queues (runnable or
  *    short-blocked warps).
- *  - kSleeping: parked in the wakeup-cycle min-heap until
- *    Warp::blockedUntil (long-latency stall with a known end).
+ *  - kSleeping: parked in the wakeup-cycle min-heap until the warp's
+ *    blockedUntil cycle (long-latency stall with a known end).
  *  - kBarrier: parked until the CTA barrier releases.
  *  - kParked: parked by the CTA throttle until the throttle signature
  *    (active flag, chosen CTA) changes.
@@ -44,54 +49,6 @@ enum class WarpLoc : u8 {
     kSleeping,
     kBarrier,
     kParked,
-};
-
-/** One warp's execution state within an SM. */
-struct Warp {
-    bool valid = false;     //!< slot holds a live warp
-    bool finished = false;  //!< all lanes exited
-    bool atBarrier = false; //!< waiting at a CTA barrier
-
-    /** Scheduler container currently holding this warp. */
-    WarpLoc loc = WarpLoc::kNone;
-
-    u32 ctaSlot = 0;      //!< CTA slot within the SM
-    u32 warpInCta = 0;    //!< warp index within the CTA
-    u32 globalCtaId = 0;  //!< CTA id within the grid
-
-    SimtStack stack;
-
-    /** Registers with an outstanding write (scoreboard). */
-    u64 pendingRegs = 0;
-    /** Predicates with an outstanding write. */
-    u32 pendingPreds = 0;
-    /** Outstanding long-latency loads. */
-    u32 pendingLoads = 0;
-
-    /** Warp cannot issue before this cycle (latency/bubbles). */
-    Cycle blockedUntil = 0;
-
-    /** Cycle until which this warp must not be chosen as spill victim. */
-    Cycle spillProtectedUntil = 0;
-
-    /** Consecutive cycles spent stalled on register allocation. */
-    u32 allocStallStreak = 0;
-
-    /**
-     * pc whose instruction-cache miss was already paid: the fetch
-     * completes when the stall ends even if the line is evicted
-     * meanwhile (prevents fetch-retry livelock under thrashing).
-     */
-    u32 paidFetchPc = kInvalidPc;
-
-    /** Per-lane predicate register bits: predBits[p] bit l = lane l. */
-    std::array<u32, kNumPredRegs> predBits{};
-
-    bool
-    issuable(Cycle now) const
-    {
-        return valid && !finished && !atBarrier && blockedUntil <= now;
-    }
 };
 
 } // namespace rfv

@@ -1,0 +1,33 @@
+#include "sim/warp_table.h"
+
+namespace rfv {
+
+void
+WarpTable::reset(u32 slots)
+{
+    slots_ = slots;
+    words_ = static_cast<u32>(ceilDiv(slots, 64));
+
+    valid_.reset(words_, 0);
+    finished_.reset(words_, 0);
+    atBarrier_.reset(words_, 0);
+    loc_.reset(slots, WarpLoc::kNone);
+    predBank_.reset(slots * kPredStrideWords, 0);
+    regReadyAt_.reset(slots * 64, 0);
+    predReadyAt_.reset(slots * kNumPredRegs, 0);
+
+    blockedUntil.reset(slots, 0);
+    pendingRegs.reset(slots, 0);
+    pendingPreds.reset(slots, 0);
+    pendingLoads.reset(slots, 0);
+    spillProtectedUntil.reset(slots, 0);
+    allocStallStreak.reset(slots, 0);
+    paidFetchPc.reset(slots, kInvalidPc);
+    ctaSlot.reset(slots, 0);
+    warpInCta.reset(slots, 0);
+    globalCtaId.reset(slots, 0);
+
+    stacks_.assign(slots, SimtStack{});
+}
+
+} // namespace rfv

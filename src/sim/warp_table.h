@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Structure-of-arrays warp state for one SM.
+ *
+ * The fields the scheduler touches every cycle live in packed parallel
+ * arrays (one cache-line-aligned array per field) and per-SM bitmasks
+ * (valid / finished / atBarrier, one bit per warp slot), so the
+ * per-cycle sweeps — "which ready warp can issue", "when does the
+ * earliest ready warp wake", "release this CTA's barrier" — are
+ * branch-free passes over contiguous memory instead of per-warp hops
+ * across ~200-byte objects.  Cold state a warp touches only when it
+ * actually issues a control-flow instruction (the SIMT reconvergence
+ * stack) stays in a side table so it never pollutes the hot lines.
+ *
+ * Layout contracts (asserted at reset()):
+ *  - every hot array starts on a 64-byte cache-line boundary;
+ *  - the predicate bank is a contiguous 2-D array with one cache line
+ *    per warp (kPredStrideWords words), so no warp's predicates
+ *    straddle a line and no two warps share one.
+ */
+#ifndef RFV_SIM_WARP_TABLE_H
+#define RFV_SIM_WARP_TABLE_H
+
+#include <algorithm>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "common/bit_utils.h"
+#include "common/error.h"
+#include "sim/simt_stack.h"
+#include "sim/warp.h"
+
+namespace rfv {
+
+/** Cache-line size the hot arrays are aligned and padded to. */
+inline constexpr u32 kCacheLineBytes = 64;
+static_assert(kCacheLineBytes == 64, "layout contracts assume 64B lines");
+
+/**
+ * Predicate-bank stride in words: one warp's kNumPredRegs predicate
+ * registers padded to a full cache line, so bank rows never straddle
+ * or share lines (the old per-warp std::array<u32, 8> packed two
+ * warps per line inside scattered Warp objects).
+ */
+inline constexpr u32 kPredStrideWords = kCacheLineBytes / sizeof(u32);
+static_assert(kPredStrideWords >= kNumPredRegs,
+              "a warp's predicate bank must fit one cache line");
+static_assert(kPredStrideWords * sizeof(u32) % kCacheLineBytes == 0,
+              "predicate rows must be cache-line multiples");
+
+/**
+ * Fixed-size array of trivially-destructible elements in 64-byte
+ * aligned storage.  std::vector gives no alignment guarantee beyond
+ * alignof(T); the warp table's packed arrays want to start on line
+ * boundaries so whole-table sweeps never split a load across lines
+ * and adjacent arrays never share a line.
+ */
+template <typename T>
+class AlignedArray {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "AlignedArray skips destructors");
+    static_assert(alignof(T) <= kCacheLineBytes,
+                  "element alignment exceeds the line alignment");
+
+  public:
+    AlignedArray() = default;
+    AlignedArray(const AlignedArray &) = delete;
+    AlignedArray &operator=(const AlignedArray &) = delete;
+    ~AlignedArray() { release(); }
+
+    /** Size to @p n elements, all set to @p fill. */
+    void
+    reset(u32 n, T fill = T{})
+    {
+        release();
+        if (n == 0)
+            return;
+        data_ = static_cast<T *>(::operator new(
+            sizeof(T) * n, std::align_val_t{kCacheLineBytes}));
+        size_ = n;
+        panicIf(reinterpret_cast<std::uintptr_t>(data_) %
+                        kCacheLineBytes !=
+                    0,
+                "aligned allocation violated the 64-byte contract");
+        for (u32 i = 0; i < n; ++i)
+            data_[i] = fill;
+    }
+
+    T &operator[](u32 i) { return data_[i]; }
+    const T &operator[](u32 i) const { return data_[i]; }
+    T *data() { return data_; }
+    const T *data() const { return data_; }
+    u32 size() const { return size_; }
+
+  private:
+    void
+    release()
+    {
+        if (data_ != nullptr)
+            ::operator delete(data_, std::align_val_t{kCacheLineBytes});
+        data_ = nullptr;
+        size_ = 0;
+    }
+
+    T *data_ = nullptr;
+    u32 size_ = 0;
+};
+
+/**
+ * The SoA warp state of one SM.
+ *
+ * Flags (valid / finished / atBarrier) are bitmasks — one u64 word per
+ * 64 warp slots — so "every live warp of this CTA" and "any issuable
+ * warp at all" are a handful of word operations.  Scalar hot fields
+ * are public packed arrays indexed by warp slot; the predicate bank is
+ * one contiguous line-per-warp 2-D array; SIMT stacks are the cold
+ * side table.
+ *
+ * The table is a data container: scheduler-queue membership semantics
+ * (what loc transitions mean) stay in Sm.  Sm mutates flags only
+ * through the setters so the masks are always coherent.
+ */
+class WarpTable {
+  public:
+    /** (Re)size to @p slots warp slots, everything reset to defaults. */
+    void reset(u32 slots);
+
+    u32 size() const { return slots_; }
+
+    /** Mask words covering size() slots (64 slots per word). */
+    u32 maskWords() const { return words_; }
+
+    // ---- flag bitmasks -------------------------------------------------
+
+    bool
+    valid(u32 wi) const
+    {
+        return ((valid_[wi >> 6] >> (wi & 63)) & 1) != 0;
+    }
+    bool
+    finished(u32 wi) const
+    {
+        return ((finished_[wi >> 6] >> (wi & 63)) & 1) != 0;
+    }
+    bool
+    atBarrier(u32 wi) const
+    {
+        return ((atBarrier_[wi >> 6] >> (wi & 63)) & 1) != 0;
+    }
+
+    void
+    setValid(u32 wi, bool v)
+    {
+        setBit(valid_, wi, v);
+    }
+    void
+    setFinished(u32 wi, bool v)
+    {
+        setBit(finished_, wi, v);
+    }
+    void
+    setAtBarrier(u32 wi, bool v)
+    {
+        setBit(atBarrier_, wi, v);
+    }
+
+    /**
+     * Barrier release as a mask operation: clear atBarrier for the
+     * contiguous warp-slot range [first, first + n).
+     */
+    void
+    clearBarrierRange(u32 first, u32 n)
+    {
+        const u32 last = first + n; // exclusive
+        for (u32 w = 0; w < words_; ++w) {
+            const u32 base = w * 64;
+            const u32 lo = first > base ? first - base : 0;
+            const u32 hi = last > base ? last - base : 0;
+            if (lo >= 64 || hi <= lo)
+                continue;
+            atBarrier_[w] &= ~(lowMask(std::min(hi, 64u)) & ~lowMask(lo));
+        }
+    }
+
+    const u64 *validWords() const { return valid_.data(); }
+    const u64 *finishedWords() const { return finished_.data(); }
+    const u64 *atBarrierWords() const { return atBarrier_.data(); }
+
+    // ---- issuability ---------------------------------------------------
+
+    /**
+     * Single-warp issuability test on the packed arrays: live, not at
+     * a barrier, and past its stall.  Exactly the old
+     * Warp::issuable(now).
+     */
+    bool
+    issuable(u32 wi, Cycle now) const
+    {
+        const u64 bit = 1ull << (wi & 63);
+        const u64 live = valid_[wi >> 6] & ~finished_[wi >> 6] &
+                         ~atBarrier_[wi >> 6];
+        return (live & bit) != 0 && blockedUntil[wi] <= now;
+    }
+
+    /**
+     * Whole-table issuable mask by a branch-free sweep: @p out (at
+     * least maskWords() words) gets one bit per slot that is valid,
+     * unfinished, not at a barrier, and has blockedUntil <= now.  The
+     * per-slot compare folds in as an unpredicated bit merge, so the
+     * sweep is a straight pass over the packed arrays regardless of
+     * how the flags are distributed.
+     */
+    void
+    issuableMask(Cycle now, u64 *out) const
+    {
+        for (u32 w = 0; w < words_; ++w)
+            out[w] = valid_[w] & ~finished_[w] & ~atBarrier_[w];
+        for (u32 i = 0; i < slots_; ++i)
+            out[i >> 6] &=
+                ~(static_cast<u64>(blockedUntil[i] > now) << (i & 63));
+    }
+
+    /**
+     * Reference issuability: field-by-field re-derivation used as the
+     * oracle for issuableMask()/issuable() in tests and debug checks.
+     */
+    bool
+    issuableRef(u32 wi, Cycle now) const
+    {
+        return valid(wi) && !finished(wi) && !atBarrier(wi) &&
+               blockedUntil[wi] <= now;
+    }
+
+    // ---- scheduler container membership --------------------------------
+
+    WarpLoc loc(u32 wi) const { return loc_[wi]; }
+    void loc(u32 wi, WarpLoc l) { loc_[wi] = l; }
+
+    // ---- packed hot scalar fields (indexed by warp slot) ---------------
+
+    AlignedArray<Cycle> blockedUntil; //!< cannot issue before this cycle
+    AlignedArray<u64> pendingRegs;    //!< scoreboard: in-flight reg writes
+    AlignedArray<u32> pendingPreds;   //!< scoreboard: in-flight pred writes
+
+    /**
+     * Per-register completion-time index: regReadyAt(wi)[r] is the
+     * retire cycle of the in-flight write to architectural register
+     * @p r of warp @p wi.  Valid only while the matching pendingRegs /
+     * pendingPreds bit is set (each pending bit has exactly one
+     * in-flight completion, so the entry written at issue is the one);
+     * stale entries are never read and need no clearing.  Turns the
+     * exact scoreboard-wake query from a scan of the completion heap
+     * into a walk of the blocked instruction's need bits.
+     */
+    Cycle *regReadyAt(u32 wi) { return &regReadyAt_[wi * 64]; }
+    const Cycle *regReadyAt(u32 wi) const { return &regReadyAt_[wi * 64]; }
+    Cycle *predReadyAt(u32 wi) { return &predReadyAt_[wi * kNumPredRegs]; }
+    const Cycle *
+    predReadyAt(u32 wi) const
+    {
+        return &predReadyAt_[wi * kNumPredRegs];
+    }
+    AlignedArray<u32> pendingLoads;   //!< outstanding long-latency loads
+    AlignedArray<Cycle> spillProtectedUntil; //!< spill-victim cooldown
+    AlignedArray<u32> allocStallStreak; //!< consecutive alloc-stall cycles
+    AlignedArray<u32> paidFetchPc;    //!< icache miss already paid for pc
+    AlignedArray<u32> ctaSlot;        //!< CTA slot within the SM
+    AlignedArray<u32> warpInCta;      //!< warp index within the CTA
+    AlignedArray<u32> globalCtaId;    //!< CTA id within the grid
+
+    // ---- predicate bank ------------------------------------------------
+
+    /** Warp @p wi's predicate row (kNumPredRegs used words). */
+    u32 *preds(u32 wi) { return &predBank_[wi * kPredStrideWords]; }
+    const u32 *
+    preds(u32 wi) const
+    {
+        return &predBank_[wi * kPredStrideWords];
+    }
+
+    u32 &pred(u32 wi, u32 p) { return predBank_[wi * kPredStrideWords + p]; }
+    u32
+    pred(u32 wi, u32 p) const
+    {
+        return predBank_[wi * kPredStrideWords + p];
+    }
+
+    const u32 *predBankData() const { return predBank_.data(); }
+
+    // ---- cold side table -----------------------------------------------
+
+    SimtStack &stack(u32 wi) { return stacks_[wi]; }
+    const SimtStack &stack(u32 wi) const { return stacks_[wi]; }
+
+    // ---- lifecycle -----------------------------------------------------
+
+    /**
+     * Reinitialize slot @p wi for a fresh warp of CTA slot @p cta
+     * (everything a default-constructed Warp used to hold; the SIMT
+     * stack is reset separately by the caller with the launch mask).
+     */
+    void
+    launchWarp(u32 wi, u32 cta, u32 warp_in_cta, u32 global_cta_id)
+    {
+        setValid(wi, true);
+        setFinished(wi, false);
+        setAtBarrier(wi, false);
+        loc_[wi] = WarpLoc::kNone;
+        blockedUntil[wi] = 0;
+        pendingRegs[wi] = 0;
+        pendingPreds[wi] = 0;
+        pendingLoads[wi] = 0;
+        spillProtectedUntil[wi] = 0;
+        allocStallStreak[wi] = 0;
+        paidFetchPc[wi] = kInvalidPc;
+        ctaSlot[wi] = cta;
+        warpInCta[wi] = warp_in_cta;
+        globalCtaId[wi] = global_cta_id;
+        u32 *row = preds(wi);
+        for (u32 p = 0; p < kNumPredRegs; ++p)
+            row[p] = 0;
+    }
+
+  private:
+    static void
+    setBit(AlignedArray<u64> &words, u32 wi, bool v)
+    {
+        const u64 bit = 1ull << (wi & 63);
+        if (v)
+            words[wi >> 6] |= bit;
+        else
+            words[wi >> 6] &= ~bit;
+    }
+
+    u32 slots_ = 0;
+    u32 words_ = 0;
+
+    AlignedArray<u64> valid_;
+    AlignedArray<u64> finished_;
+    AlignedArray<u64> atBarrier_;
+    AlignedArray<WarpLoc> loc_;
+    AlignedArray<u32> predBank_; //!< [slot][kPredStrideWords]
+    AlignedArray<Cycle> regReadyAt_;  //!< [slot][64] (u64 mask width)
+    AlignedArray<Cycle> predReadyAt_; //!< [slot][kNumPredRegs]
+
+    std::vector<SimtStack> stacks_; //!< cold: touched on issue only
+};
+
+} // namespace rfv
+
+#endif // RFV_SIM_WARP_TABLE_H

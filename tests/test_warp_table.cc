@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Unit tests for the structure-of-arrays warp table that backs the SM
+ * scheduler hot path:
+ *  - the layout contracts (64-byte alignment of every hot array, one
+ *    cache line per predicate-bank row),
+ *  - the branch-free issuableMask() sweep cross-checked against the
+ *    field-by-field issuableRef() oracle under randomized state,
+ *  - flag-mask membership invariants (barrier / sleep / finished warps
+ *    never appear issuable; scoreboard wakes re-admit them),
+ *  - clearBarrierRange() across word boundaries,
+ *  - launchWarp()/reset() slot lifecycle.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/warp_table.h"
+
+namespace rfv {
+namespace {
+
+bool
+aligned64(const void *p)
+{
+    return reinterpret_cast<std::uintptr_t>(p) % kCacheLineBytes == 0;
+}
+
+/** Randomize every scheduler-relevant field of every slot. */
+void
+randomizeTable(WarpTable &wt, Rng &rng, Cycle horizon)
+{
+    for (u32 wi = 0; wi < wt.size(); ++wi) {
+        wt.setValid(wi, rng.chance(3, 4));
+        wt.setFinished(wi, rng.chance(1, 4));
+        wt.setAtBarrier(wi, rng.chance(1, 4));
+        wt.blockedUntil[wi] = rng.below(horizon);
+        wt.pendingRegs[wi] = rng.next64();
+        wt.pendingLoads[wi] = static_cast<u32>(rng.below(3));
+    }
+}
+
+TEST(WarpTable, HotArraysAreCacheLineAligned)
+{
+    WarpTable wt;
+    // A slot count that is neither a power of two nor a word multiple,
+    // so padding/rounding bugs would surface.
+    wt.reset(100);
+
+    EXPECT_TRUE(aligned64(wt.validWords()));
+    EXPECT_TRUE(aligned64(wt.finishedWords()));
+    EXPECT_TRUE(aligned64(wt.atBarrierWords()));
+    EXPECT_TRUE(aligned64(wt.blockedUntil.data()));
+    EXPECT_TRUE(aligned64(wt.pendingRegs.data()));
+    EXPECT_TRUE(aligned64(wt.pendingPreds.data()));
+    EXPECT_TRUE(aligned64(wt.pendingLoads.data()));
+    EXPECT_TRUE(aligned64(wt.spillProtectedUntil.data()));
+    EXPECT_TRUE(aligned64(wt.allocStallStreak.data()));
+    EXPECT_TRUE(aligned64(wt.paidFetchPc.data()));
+    EXPECT_TRUE(aligned64(wt.ctaSlot.data()));
+    EXPECT_TRUE(aligned64(wt.warpInCta.data()));
+    EXPECT_TRUE(aligned64(wt.globalCtaId.data()));
+    EXPECT_TRUE(aligned64(wt.predBankData()));
+}
+
+TEST(WarpTable, PredicateRowsOccupyWholeLines)
+{
+    WarpTable wt;
+    wt.reset(17);
+    for (u32 wi = 0; wi < wt.size(); ++wi) {
+        const u32 *row = wt.preds(wi);
+        // Each row starts a fresh cache line ...
+        EXPECT_TRUE(aligned64(row)) << "warp " << wi;
+        // ... and the used registers fit inside it.
+        EXPECT_LE(kNumPredRegs * sizeof(u32),
+                  static_cast<size_t>(kCacheLineBytes));
+    }
+    // Writing one warp's full stride never touches a neighbour's row.
+    for (u32 p = 0; p < kPredStrideWords; ++p)
+        wt.preds(5)[p] = 0xdeadbeefu;
+    for (u32 wi = 0; wi < wt.size(); ++wi) {
+        if (wi == 5)
+            continue;
+        for (u32 p = 0; p < kNumPredRegs; ++p)
+            EXPECT_EQ(wt.pred(wi, p), 0u) << "warp " << wi << " p" << p;
+    }
+}
+
+TEST(WarpTable, IssuableMaskMatchesOracleUnderRandomizedState)
+{
+    Rng rng(0x5eedf00du);
+    // Slot counts straddling word boundaries: partial word, exact
+    // word, word + 1, multi-word.
+    const u32 sizes[] = {1, 5, 63, 64, 65, 100, 128, 192};
+    for (const u32 slots : sizes) {
+        WarpTable wt;
+        wt.reset(slots);
+        std::vector<u64> mask(wt.maskWords());
+        for (u32 trial = 0; trial < 200; ++trial) {
+            const Cycle horizon = 50;
+            randomizeTable(wt, rng, horizon);
+            const Cycle now = rng.below(horizon + 5);
+            wt.issuableMask(now, mask.data());
+            for (u32 wi = 0; wi < slots; ++wi) {
+                const bool in_mask =
+                    ((mask[wi >> 6] >> (wi & 63)) & 1) != 0;
+                EXPECT_EQ(in_mask, wt.issuableRef(wi, now))
+                    << "slots=" << slots << " trial=" << trial
+                    << " wi=" << wi << " now=" << now;
+                EXPECT_EQ(wt.issuable(wi, now), wt.issuableRef(wi, now))
+                    << "slots=" << slots << " trial=" << trial
+                    << " wi=" << wi << " now=" << now;
+            }
+            // Bits above the last slot stay clear: the step() sweep
+            // trusts the mask to index only real slots.
+            for (u32 b = slots; b < wt.maskWords() * 64; ++b)
+                EXPECT_EQ((mask[b >> 6] >> (b & 63)) & 1, 0u)
+                    << "ghost bit " << b << " for " << slots << " slots";
+        }
+    }
+}
+
+TEST(WarpTable, MembershipInvariantsExcludeBlockedWarps)
+{
+    WarpTable wt;
+    wt.reset(8);
+    std::vector<u64> mask(wt.maskWords());
+
+    wt.launchWarp(0, 0, 0, 0);
+    wt.issuableMask(0, mask.data());
+    EXPECT_TRUE(mask[0] & 1) << "fresh warp must be issuable";
+
+    // A sleeping warp (future blockedUntil) drops out of the mask and
+    // reappears exactly when the stall expires — the scoreboard-wake
+    // pattern Sm relies on.
+    wt.blockedUntil[0] = 10;
+    wt.issuableMask(9, mask.data());
+    EXPECT_FALSE(mask[0] & 1);
+    EXPECT_FALSE(wt.issuable(0, 9));
+    wt.issuableMask(10, mask.data());
+    EXPECT_TRUE(mask[0] & 1);
+    EXPECT_TRUE(wt.issuable(0, 10));
+
+    // Barrier membership overrides readiness.
+    wt.setAtBarrier(0, true);
+    wt.issuableMask(10, mask.data());
+    EXPECT_FALSE(mask[0] & 1);
+    wt.setAtBarrier(0, false);
+    wt.issuableMask(10, mask.data());
+    EXPECT_TRUE(mask[0] & 1);
+
+    // Finished warps never come back.
+    wt.setFinished(0, true);
+    wt.issuableMask(10, mask.data());
+    EXPECT_FALSE(mask[0] & 1);
+
+    // Invalid slots were never in the mask to begin with.
+    for (u32 wi = 1; wi < wt.size(); ++wi)
+        EXPECT_FALSE(wt.issuable(wi, 1000)) << "unlaunched slot " << wi;
+}
+
+TEST(WarpTable, LocRoundTripsSchedulerMembership)
+{
+    WarpTable wt;
+    wt.reset(6);
+    const WarpLoc locs[] = {WarpLoc::kNone,    WarpLoc::kReady,
+                            WarpLoc::kPending, WarpLoc::kSleeping,
+                            WarpLoc::kBarrier, WarpLoc::kParked};
+    for (u32 wi = 0; wi < 6; ++wi)
+        wt.loc(wi, locs[wi]);
+    for (u32 wi = 0; wi < 6; ++wi)
+        EXPECT_EQ(wt.loc(wi), locs[wi]) << "slot " << wi;
+}
+
+TEST(WarpTable, ClearBarrierRangeCrossesWordBoundaries)
+{
+    Rng rng(0xba55u);
+    WarpTable wt;
+    const u32 slots = 192; // three mask words
+    wt.reset(slots);
+    for (u32 trial = 0; trial < 500; ++trial) {
+        for (u32 wi = 0; wi < slots; ++wi)
+            wt.setAtBarrier(wi, true);
+        const u32 first = static_cast<u32>(rng.below(slots));
+        const u32 n = static_cast<u32>(rng.below(slots - first + 1));
+        wt.clearBarrierRange(first, n);
+        for (u32 wi = 0; wi < slots; ++wi) {
+            const bool in_range = wi >= first && wi < first + n;
+            EXPECT_EQ(wt.atBarrier(wi), !in_range)
+                << "trial=" << trial << " first=" << first << " n=" << n
+                << " wi=" << wi;
+        }
+    }
+    // The degenerate and full-table cases explicitly.
+    for (u32 wi = 0; wi < slots; ++wi)
+        wt.setAtBarrier(wi, true);
+    wt.clearBarrierRange(100, 0);
+    for (u32 wi = 0; wi < slots; ++wi)
+        EXPECT_TRUE(wt.atBarrier(wi));
+    wt.clearBarrierRange(0, slots);
+    for (u32 wi = 0; wi < slots; ++wi)
+        EXPECT_FALSE(wt.atBarrier(wi));
+}
+
+TEST(WarpTable, LaunchWarpReinitializesTheSlot)
+{
+    WarpTable wt;
+    wt.reset(4);
+
+    // Dirty a slot the way a completed warp leaves it.
+    wt.launchWarp(2, 0, 1, 7);
+    wt.blockedUntil[2] = 99;
+    wt.pendingRegs[2] = ~0ull;
+    wt.pendingPreds[2] = 0xffu;
+    wt.pendingLoads[2] = 3;
+    wt.spillProtectedUntil[2] = 50;
+    wt.allocStallStreak[2] = 12;
+    wt.paidFetchPc[2] = 4;
+    wt.pred(2, 3) = 0xffffffffu;
+    wt.setAtBarrier(2, true);
+    wt.setFinished(2, true);
+    wt.loc(2, WarpLoc::kParked);
+
+    wt.launchWarp(2, 1, 0, 9);
+    EXPECT_TRUE(wt.valid(2));
+    EXPECT_FALSE(wt.finished(2));
+    EXPECT_FALSE(wt.atBarrier(2));
+    EXPECT_EQ(wt.loc(2), WarpLoc::kNone);
+    EXPECT_EQ(wt.blockedUntil[2], 0u);
+    EXPECT_EQ(wt.pendingRegs[2], 0u);
+    EXPECT_EQ(wt.pendingPreds[2], 0u);
+    EXPECT_EQ(wt.pendingLoads[2], 0u);
+    EXPECT_EQ(wt.spillProtectedUntil[2], 0u);
+    EXPECT_EQ(wt.allocStallStreak[2], 0u);
+    EXPECT_EQ(wt.paidFetchPc[2], kInvalidPc);
+    EXPECT_EQ(wt.ctaSlot[2], 1u);
+    EXPECT_EQ(wt.warpInCta[2], 0u);
+    EXPECT_EQ(wt.globalCtaId[2], 9u);
+    for (u32 p = 0; p < kNumPredRegs; ++p)
+        EXPECT_EQ(wt.pred(2, p), 0u) << "p" << p;
+    // Relaunching slot 2 must not disturb its neighbours.
+    EXPECT_FALSE(wt.valid(1));
+    EXPECT_FALSE(wt.valid(3));
+}
+
+TEST(WarpTable, ResetClearsAllState)
+{
+    WarpTable wt;
+    wt.reset(70);
+    for (u32 wi = 0; wi < 70; ++wi)
+        wt.launchWarp(wi, 0, wi, 0);
+    wt.reset(70);
+    std::vector<u64> mask(wt.maskWords());
+    wt.issuableMask(0, mask.data());
+    for (u32 w = 0; w < wt.maskWords(); ++w)
+        EXPECT_EQ(mask[w], 0u) << "word " << w;
+    for (u32 wi = 0; wi < 70; ++wi) {
+        EXPECT_FALSE(wt.valid(wi));
+        EXPECT_EQ(wt.loc(wi), WarpLoc::kNone);
+        EXPECT_EQ(wt.paidFetchPc[wi], kInvalidPc);
+    }
+    // Resizing down and back up keeps the contracts.
+    wt.reset(3);
+    EXPECT_EQ(wt.size(), 3u);
+    EXPECT_EQ(wt.maskWords(), 1u);
+    wt.reset(130);
+    EXPECT_EQ(wt.size(), 130u);
+    EXPECT_EQ(wt.maskWords(), 3u);
+    EXPECT_TRUE(aligned64(wt.blockedUntil.data()));
+}
+
+} // namespace
+} // namespace rfv

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Gate: the SM core's lane loops must stay auto-vectorizable.
+#
+# Compiles src/sim/sm.cc standalone at -O2 with the compiler's
+# vectorization report turned on (gcc: -fopt-info-vec-optimized,
+# clang: -Rpass=loop-vectorize) and counts how many loops *inside
+# sm.cc itself* the vectorizer accepted.  The data-oriented rewrite
+# of execute() exists so the per-lane ALU loops compile to SIMD; a
+# refactor that quietly reintroduces a per-lane branch or an aliasing
+# hazard would drop the count and fail here instead of showing up as
+# an unexplained perf regression.
+#
+# Usage: tools/check_vectorization.sh [min_loops]
+#   min_loops  minimum vectorized-loop count required (default 8;
+#              the execute() ALU block alone contributes ~16).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+MIN="${1:-8}"
+CXX="${CXX:-g++}"
+TU=src/sim/sm.cc
+
+case "$("${CXX}" --version | head -n1)" in
+*clang*)
+    FLAGS=(-Rpass=loop-vectorize)
+    PATTERN='sm\.cc.*vectorized loop'
+    ;;
+*)
+    FLAGS=(-fopt-info-vec-optimized)
+    PATTERN='sm\.cc.*loop vectorized'
+    ;;
+esac
+
+echo "== ${CXX} -std=c++20 -O2 ${FLAGS[*]} ${TU}"
+REPORT=$("${CXX}" -std=c++20 -O2 -Isrc "${FLAGS[@]}" -c "${TU}" \
+    -o /dev/null 2>&1) || {
+    echo "${REPORT}"
+    echo "FAIL: ${TU} does not compile standalone"
+    exit 1
+}
+
+COUNT=$(echo "${REPORT}" | grep -cE "${PATTERN}" || true)
+echo "${REPORT}" | grep -E "${PATTERN}" | sort -u | head -30
+echo "== ${COUNT} vectorized loops in ${TU} (minimum ${MIN})"
+
+if [ "${COUNT}" -lt "${MIN}" ]; then
+    echo "FAIL: lane loops stopped vectorizing — inspect with"
+    echo "      ${CXX} -O2 -Isrc -fopt-info-vec-missed -c ${TU}"
+    exit 1
+fi
+echo "OK"
