@@ -9,6 +9,7 @@
  *             [--no-cache] [--cache-budget-mb=N]
  *             [--cache-policy=lru|clock] [--csv=FILE] [--json=FILE]
  *             [--sms=N] [--rounds=N] [--expect-hit-rate=F] [--quiet]
+ *             [--cluster=H1:P1,H2:P2,... [--deadline-ms=N]]
  *
  * The manifest is a text file, one job per line:
  *
@@ -43,6 +44,16 @@
  * --json=FILE        engine counters + per-job rows as JSON.
  * --expect-hit-rate=F  exit 1 unless jobsCached/jobsTotal >= F (CI
  *                    gating for warm-cache runs).
+ * --cluster=LIST     dispatch every job to its owner node on a simd
+ *                    cluster (consistent-hash routing, failover,
+ *                    cluster-wide deadlines) instead of simulating
+ *                    locally; --jobs=N becomes concurrent dispatch
+ *                    threads and the CSV columns stay identical, so
+ *                    routed and local sweeps diff bit-for-bit.
+ *                    --json is not available in this mode (engine
+ *                    counters live on the servers; use simd_client
+ *                    --stats).
+ * --deadline-ms=N    cluster-wide per-job deadline (with --cluster).
  *
  * Examples:
  *   run_sweep --default --jobs=8 --csv=sweep.csv
@@ -55,7 +66,9 @@
 #include <iostream>
 #include <sstream>
 
+#include "common/sync.h"
 #include "core/report.h"
+#include "net/cluster_coordinator.h"
 #include "service/request.h"
 #include "service/sweep.h"
 #include "service/version.h"
@@ -204,6 +217,8 @@ main(int argc, char **argv)
     SweepOptions opts;
     opts.cacheDir = ".rfv-cache";
     std::string csvOut, jsonOut;
+    std::string cluster;
+    i64 deadlineMs = -1;
     u32 sms = 0, rounds = 0;
     bool haveSms = false, haveRounds = false, quiet = false;
     double expectHitRate = -1;
@@ -244,6 +259,10 @@ main(int argc, char **argv)
             haveRounds = true;
         } else if (arg.rfind("--expect-hit-rate=", 0) == 0)
             expectHitRate = std::stod(arg.substr(18));
+        else if (arg.rfind("--cluster=", 0) == 0)
+            cluster = arg.substr(10);
+        else if (arg.rfind("--deadline-ms=", 0) == 0)
+            deadlineMs = std::stol(arg.substr(14));
         else if (arg == "--quiet")
             quiet = true;
         else if (arg.rfind("--", 0) == 0) {
@@ -254,6 +273,11 @@ main(int argc, char **argv)
     }
     if (useDefault == !manifestPath.empty()) {
         std::cerr << "expected exactly one of <manifest> or --default\n";
+        return 2;
+    }
+    if (!cluster.empty() && !jsonOut.empty()) {
+        std::cerr << "--json is not available with --cluster "
+                     "(engine counters live on the servers)\n";
         return 2;
     }
 
@@ -267,6 +291,134 @@ main(int argc, char **argv)
     try {
         std::vector<ManifestEntry> entries =
             useDefault ? defaultManifest() : loadManifest(manifestPath);
+
+        // ---- routed dispatch: the cluster is the sweep engine ----------
+        if (!cluster.empty()) {
+            CoordinatorOptions co;
+            std::vector<RingNode> nodes;
+            std::string perr;
+            if (!parseEndpointList(cluster, nodes, perr))
+                throw std::runtime_error("--cluster: " + perr);
+            for (const RingNode &n : nodes)
+                co.nodes.push_back(n.endpoint());
+            ClusterCoordinator coordinator(co);
+            std::string rerr;
+            coordinator.refreshRing(rerr); // adopt the live epoch
+
+            std::vector<SweepJobResult> results(entries.size());
+            for (size_t i = 0; i < entries.size(); ++i) {
+                results[i].job.workload = entries[i].workload;
+                results[i].job.config = entries[i].config;
+                if (entries[i].status != ServiceStatus::kOk) {
+                    results[i].status = entries[i].status;
+                    results[i].error = entries[i].error;
+                }
+            }
+
+            std::atomic<size_t> nextIndex{0};
+            auto worker = [&]() {
+                for (;;) {
+                    // relaxed: the claim counter only partitions
+                    // indices; results[i] has exactly one writer and
+                    // is read after the joins below.
+                    const size_t i = nextIndex.fetch_add(
+                        1, std::memory_order_relaxed);
+                    if (i >= entries.size())
+                        return;
+                    if (entries[i].status != ServiceStatus::kOk)
+                        continue; // parse error, already recorded
+                    if (gInterrupted.load()) {
+                        results[i].status = ServiceStatus::kCancelled;
+                        results[i].error = "interrupted";
+                        continue;
+                    }
+                    ServiceRequest req;
+                    req.workload = entries[i].workload;
+                    req.configName = entries[i].configName;
+                    req.overrides = entries[i].overrides;
+                    if (haveSms)
+                        req.overrides.emplace_back(
+                            "numSms", std::to_string(sms));
+                    if (haveRounds)
+                        req.overrides.emplace_back(
+                            "roundsPerSm", std::to_string(rounds));
+                    req.deadlineMs = deadlineMs;
+                    std::string error;
+                    results[i].status =
+                        coordinator.run(req, results[i], error);
+                    if (results[i].error.empty())
+                        results[i].error = error;
+                }
+            };
+            std::vector<Thread> threads;
+            const u32 numWorkers = static_cast<u32>(std::min<size_t>(
+                std::max(1u, opts.jobs), entries.size()));
+            for (u32 w = 1; w < numWorkers; ++w)
+                threads.emplace_back(worker);
+            if (numWorkers > 0)
+                worker();
+            for (Thread &t : threads)
+                t.join();
+
+            u64 ok = 0, cached = 0, failed = 0, cancelled = 0;
+            for (size_t i = 0; i < results.size(); ++i) {
+                if (results[i].ok()) {
+                    ++ok;
+                    if (results[i].fromCache)
+                        ++cached;
+                    continue;
+                }
+                if (results[i].status == ServiceStatus::kCancelled) {
+                    ++cancelled;
+                    continue;
+                }
+                ++failed;
+                std::cerr << "FAIL " << entries[i].workload << " ["
+                          << entries[i].source << "]: "
+                          << serviceStatusName(results[i].status)
+                          << ": " << results[i].error << "\n";
+            }
+
+            if (!csvOut.empty()) {
+                std::ofstream file;
+                std::ostream &os = openOut(csvOut, file, std::cout);
+                os << csvHeader() << ",from_cache,seconds\n";
+                for (const SweepJobResult &r : results)
+                    if (r.ok())
+                        os << csvRow(r.outcome) << ","
+                           << (r.fromCache ? 1 : 0) << "," << r.seconds
+                           << "\n";
+            }
+            if (!quiet) {
+                const ClusterCoordinator::Stats cs =
+                    coordinator.statsSnapshot();
+                std::cerr << "cluster-sweep: total=" << entries.size()
+                          << " ok=" << ok << " cached=" << cached
+                          << " failed=" << failed
+                          << " dispatches=" << cs.dispatches
+                          << " reroutes=" << cs.reroutes
+                          << " failovers=" << cs.failovers
+                          << " epoch=" << coordinator.ringEpoch()
+                          << "\n";
+            }
+            if (gInterrupted.load()) {
+                std::cerr << "interrupted: " << ok << "/"
+                          << entries.size() << " jobs completed ("
+                          << cancelled << " cancelled)\n";
+                return 130;
+            }
+            const double hitRate =
+                entries.empty() ? 0.0
+                                : static_cast<double>(cached) /
+                                      static_cast<double>(entries.size());
+            if (expectHitRate >= 0 && hitRate < expectHitRate) {
+                std::cerr << "FAIL: hit rate " << hitRate
+                          << " below expected " << expectHitRate << "\n";
+                return 1;
+            }
+            return failed ? 1 : 0;
+        }
+
         std::vector<SweepJob> manifest;
         std::vector<size_t> jobToEntry; //!< manifest index -> entry index
         for (size_t i = 0; i < entries.size(); ++i) {

@@ -3,7 +3,8 @@
  * `simd_client` — submit simulation jobs to a running `simd_server`.
  *
  * Usage:
- *   simd_client --port=N [--host=H] <what> [options]
+ *   simd_client (--port=N [--host=H] | --cluster=H1:P1,H2:P2,...)
+ *               <what> [options]
  *
  * What to run (one of):
  *   --workload=W [--config=C] [--set=key=value]...   one request
@@ -12,8 +13,13 @@
  *   --stats                only fetch and print the server counters
  *
  * Options:
+ *   --cluster=LIST     route each job to its owner node on the
+ *                      consistent-hash ring instead of one server;
+ *                      handles NOT_OWNER/REDIRECT, node failover and
+ *                      ring-epoch refresh (docs/SERVICE.md §cluster)
  *   --jobs=N           concurrent client connections (default 1)
- *   --deadline-ms=N    per-request deadline enforced by the server
+ *   --deadline-ms=N    per-request deadline; with --cluster it is
+ *                      cluster-wide (spans failovers and redirects)
  *   --retries=N        max attempts for transient failures (default 5)
  *   --backoff-ms=N     base backoff between retries (default 100)
  *   --sms=N --rounds=N shorthand for numSms / roundsPerSm overrides
@@ -33,12 +39,15 @@
 #include <atomic>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <sstream>
 #include <vector>
 
 #include "common/sync.h"
 #include "core/report.h"
 #include "net/client.h"
+#include "net/cluster_coordinator.h"
 #include "workloads/workload.h"
 
 using namespace rfv;
@@ -85,6 +94,7 @@ int
 main(int argc, char **argv)
 {
     ClientOptions copts;
+    std::string cluster;
     std::string workload, config = "baseline", manifestPath, csvOut;
     std::vector<std::pair<std::string, std::string>> overrides;
     bool useDefault = false, wantStats = false, quiet = false;
@@ -98,6 +108,8 @@ main(int argc, char **argv)
                 copts.host = arg.substr(7);
             else if (arg.rfind("--port=", 0) == 0)
                 copts.port = static_cast<u16>(std::stoul(arg.substr(7)));
+            else if (arg.rfind("--cluster=", 0) == 0)
+                cluster = arg.substr(10);
             else if (arg.rfind("--workload=", 0) == 0)
                 workload = arg.substr(11);
             else if (arg.rfind("--config=", 0) == 0)
@@ -145,8 +157,9 @@ main(int argc, char **argv)
             return 2;
         }
     }
-    if (copts.port == 0) {
-        std::cerr << "usage: simd_client --port=N (--workload=W | "
+    if (copts.port == 0 && cluster.empty()) {
+        std::cerr << "usage: simd_client (--port=N | "
+                     "--cluster=H1:P1,...) (--workload=W | "
                      "--manifest=FILE | --default | --stats) "
                      "[--jobs=N] [--deadline-ms=N] [--csv=FILE]\n";
         return 2;
@@ -202,12 +215,30 @@ main(int argc, char **argv)
         }
 
         // ---- fire the requests on --jobs connections -------------------
+        // One routed front door shared by every worker thread, or one
+        // direct connection per worker when targeting a single server.
+        std::unique_ptr<ClusterCoordinator> coordinator;
+        if (!cluster.empty()) {
+            CoordinatorOptions co;
+            std::vector<RingNode> nodes;
+            std::string perr;
+            if (!parseEndpointList(cluster, nodes, perr))
+                throw std::runtime_error("--cluster: " + perr);
+            for (const RingNode &n : nodes)
+                co.nodes.push_back(n.endpoint());
+            co.client = copts;
+            coordinator = std::make_unique<ClusterCoordinator>(co);
+            std::string rerr;
+            coordinator->refreshRing(rerr); // adopt the live epoch
+        }
         std::atomic<size_t> nextIndex{0};
         std::atomic<u64> totalAttempts{0};
         auto worker = [&](u32 workerId) {
             ClientOptions wopts = copts;
             wopts.jitterSeed = copts.jitterSeed + workerId;
-            SimdClient client(wopts);
+            std::optional<SimdClient> direct;
+            if (!coordinator)
+                direct.emplace(wopts);
             for (;;) {
                 // relaxed: the claim counter only partitions indices
                 // across workers; outcomes[i] is written by exactly
@@ -224,9 +255,15 @@ main(int argc, char **argv)
                 req.overrides = entries[i].overrides;
                 req.deadlineMs = deadlineMs;
                 u32 attempts = 0;
-                outcomes[i].result.status = client.runWithRetry(
-                    req, outcomes[i].result, outcomes[i].error,
-                    &attempts);
+                if (coordinator) {
+                    outcomes[i].result.status = coordinator->run(
+                        req, outcomes[i].result, outcomes[i].error);
+                    attempts = 1;
+                } else {
+                    outcomes[i].result.status = direct->runWithRetry(
+                        req, outcomes[i].result, outcomes[i].error,
+                        &attempts);
+                }
                 outcomes[i].attempts = attempts;
                 // relaxed: monotonic statistic, read after the joins.
                 totalAttempts.fetch_add(attempts,
@@ -281,20 +318,45 @@ main(int argc, char **argv)
                       << " ok=" << ok << " cached=" << cached
                       << " failed=" << failed
                       << " attempts=" << totalAttempts.load() << "\n";
+        if (!quiet && coordinator) {
+            const ClusterCoordinator::Stats cs =
+                coordinator->statsSnapshot();
+            std::cerr << "cluster-summary: dispatches=" << cs.dispatches
+                      << " reroutes=" << cs.reroutes
+                      << " failovers=" << cs.failovers
+                      << " shed_retries=" << cs.shedRetries
+                      << " ring_refreshes=" << cs.ringRefreshes
+                      << " nodes_marked_down=" << cs.nodesMarkedDown
+                      << " epoch=" << coordinator->ringEpoch() << "\n";
+        }
 
         if (wantStats) {
-            SimdClient client(copts);
-            Message stats;
-            std::string error;
-            ServiceStatus s = client.connect(error);
-            if (s == ServiceStatus::kOk)
-                s = client.stats(stats, error);
-            if (s != ServiceStatus::kOk) {
-                std::cerr << "STATS failed: " << error << "\n";
-                return 1;
+            if (coordinator) {
+                // One STATS block per reachable node, endpoint-prefixed
+                // so the blocks stay greppable after concatenation.
+                const auto all = coordinator->statsAll();
+                if (all.empty()) {
+                    std::cerr << "STATS failed: no node reachable\n";
+                    return 1;
+                }
+                for (const auto &[endpoint, stats] : all)
+                    for (const auto &[key, value] : stats.fields)
+                        std::cout << endpoint << " " << key << " "
+                                  << value << "\n";
+            } else {
+                SimdClient client(copts);
+                Message stats;
+                std::string error;
+                ServiceStatus s = client.connect(error);
+                if (s == ServiceStatus::kOk)
+                    s = client.stats(stats, error);
+                if (s != ServiceStatus::kOk) {
+                    std::cerr << "STATS failed: " << error << "\n";
+                    return 1;
+                }
+                for (const auto &[key, value] : stats.fields)
+                    std::cout << key << " " << value << "\n";
             }
-            for (const auto &[key, value] : stats.fields)
-                std::cout << key << " " << value << "\n";
         }
 
         return anyFailed ? 1 : 0;

@@ -7,6 +7,8 @@
  *               [--max-conns=N] [--idle-timeout-ms=N]
  *               [--cache-dir=DIR] [--no-cache] [--cache-budget-mb=N]
  *               [--cache-policy=lru|clock] [--quiet]
+ *               [--cluster=H1:P1,H2:P2,... --self=H:P]
+ *               [--replication=N] [--vnodes=N] [--ring-epoch=N]
  *
  * --port=N            TCP port on 127.0.0.1 (default 0 = ephemeral;
  *                     the bound port is printed on startup).
@@ -22,6 +24,16 @@
  *                     256) — a daemon meant to survive millions of
  *                     requests must not pin every outcome in RAM.
  * --cache-policy=P    memory-tier eviction: lru (default) or clock.
+ * --cluster=LIST      comma-separated host:port membership; the same
+ *                     list (same order) must be passed to every node.
+ *                     Requires --self.  See docs/SERVICE.md §cluster.
+ * --self=H:P          this node's entry in the --cluster list.
+ * --replication=N     owners per key (default 2, clamped to cluster
+ *                     size).
+ * --vnodes=N          virtual nodes per member on the hash ring
+ *                     (default 64).
+ * --ring-epoch=N      membership-view version (default 1); bump it
+ *                     when restarting the cluster with a new list.
  *
  * On startup the daemon prints exactly one line to stdout:
  *
@@ -96,7 +108,27 @@ main(int argc, char **argv)
                               << " (expected lru or clock)\n";
                     return 2;
                 }
-            } else if (arg == "--quiet")
+            } else if (arg.rfind("--cluster=", 0) == 0) {
+                std::vector<RingNode> nodes;
+                std::string error;
+                if (!parseEndpointList(arg.substr(10), nodes, error)) {
+                    std::cerr << "--cluster: " << error << "\n";
+                    return 2;
+                }
+                opts.cluster.nodes.clear();
+                for (const RingNode &n : nodes)
+                    opts.cluster.nodes.push_back(n.endpoint());
+            } else if (arg.rfind("--self=", 0) == 0)
+                opts.cluster.self = arg.substr(7);
+            else if (arg.rfind("--replication=", 0) == 0)
+                opts.cluster.replication =
+                    static_cast<u32>(std::stoul(arg.substr(14)));
+            else if (arg.rfind("--vnodes=", 0) == 0)
+                opts.cluster.vnodes =
+                    static_cast<u32>(std::stoul(arg.substr(9)));
+            else if (arg.rfind("--ring-epoch=", 0) == 0)
+                opts.cluster.epoch = std::stoull(arg.substr(13));
+            else if (arg == "--quiet")
                 quiet = true;
             else {
                 std::cerr << "unknown option " << arg << "\n";
@@ -108,6 +140,11 @@ main(int argc, char **argv)
         }
     }
 
+    if (opts.cluster.enabled() && opts.cluster.self.empty()) {
+        std::cerr << "--cluster requires --self\n";
+        return 2;
+    }
+
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);
 
@@ -117,6 +154,14 @@ main(int argc, char **argv)
         std::cout << "simd_server listening on 127.0.0.1:"
                   << server.port() << "\n"
                   << std::flush;
+        if (!quiet && server.clustered()) {
+            const HashRing ring = server.ringSnapshot();
+            std::cerr << "simd_server: cluster node "
+                      << opts.cluster.self << " of "
+                      << ring.nodes().size() << " (epoch "
+                      << ring.epoch() << ", replication "
+                      << ring.replication() << ")\n";
+        }
 
         while (!gStopRequested)
             std::this_thread::sleep_for(std::chrono::milliseconds(100));

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Fixed-layout FIFO ring buffer: the hot-loop replacement for
+ * std::deque in single-producer scheduler queues.
+ *
+ * std::deque allocates its elements in separate chunks behind a map
+ * of pointers — every push can touch two cache lines and an allocator
+ * path.  RingQueue keeps the live window [head_, head_ + size_) in
+ * one contiguous power-of-two array: push/pop are an index mask and
+ * a store/load, and growth (rare; capacity doubles) is the only
+ * allocation.  FIFO-only by design: no insertion or erasure in the
+ * middle, which is exactly the discipline the SM pending queue needs.
+ */
+#ifndef RFV_COMMON_RING_QUEUE_H
+#define RFV_COMMON_RING_QUEUE_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace rfv {
+
+template <typename T> class RingQueue {
+  public:
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+
+    void
+    clear()
+    {
+        head_ = 0;
+        size_ = 0;
+    }
+
+    void
+    push_back(const T &v)
+    {
+        if (size_ == buf_.size())
+            grow();
+        buf_[(head_ + size_) & (buf_.size() - 1)] = v;
+        ++size_;
+    }
+
+    const T &
+    front() const
+    {
+        return buf_[head_];
+    }
+
+    void
+    pop_front()
+    {
+        head_ = (head_ + 1) & (buf_.size() - 1);
+        --size_;
+    }
+
+    /** i-th element from the front (0 = front()). */
+    const T &
+    operator[](std::size_t i) const
+    {
+        return buf_[(head_ + i) & (buf_.size() - 1)];
+    }
+
+  private:
+    void
+    grow()
+    {
+        const std::size_t cap = buf_.empty() ? kMinCapacity
+                                             : buf_.size() * 2;
+        std::vector<T> next(cap);
+        for (std::size_t i = 0; i < size_; ++i)
+            next[i] = (*this)[i];
+        buf_ = std::move(next);
+        head_ = 0;
+    }
+
+    static constexpr std::size_t kMinCapacity = 16;
+
+    std::vector<T> buf_; //!< size is always 0 or a power of two
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace rfv
+
+#endif // RFV_COMMON_RING_QUEUE_H

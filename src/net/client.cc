@@ -70,7 +70,7 @@ SimdClient::roundTrip(const Message &request, Message &response,
 
 ServiceStatus
 SimdClient::run(const ServiceRequest &req, SweepJobResult &res,
-                std::string &error)
+                std::string &error, Message *rawResponse)
 {
     if (!connected()) {
         const ServiceStatus s = connect(error);
@@ -83,9 +83,23 @@ SimdClient::run(const ServiceRequest &req, SweepJobResult &res,
     if (transport != ServiceStatus::kOk)
         return transport;
     const ServiceStatus s = decodeResult(response, res, error);
+    if (rawResponse)
+        *rawResponse = std::move(response);
     if (res.error.empty() && !error.empty())
         res.error = error;
     return s;
+}
+
+ServiceStatus
+SimdClient::request(const Message &req, Message &response,
+                    std::string &error)
+{
+    if (!connected()) {
+        const ServiceStatus s = connect(error);
+        if (s != ServiceStatus::kOk)
+            return s;
+    }
+    return roundTrip(req, response, error);
 }
 
 i64
@@ -109,17 +123,41 @@ SimdClient::runWithRetry(const ServiceRequest &req, SweepJobResult &res,
 {
     ServiceStatus last = ServiceStatus::kInternalError;
     const u32 maxAttempts = std::max<u32>(1, opts_.maxAttempts);
+
+    // The retry budget is capped by the request's own deadline: the
+    // server stops waiting at deadlineMs, so wall time a client
+    // spends beyond it — however it is split between backoff sleeps
+    // and attempts — can only produce answers nobody is owed.
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto budgetLeftMs = [&]() -> i64 {
+        const i64 elapsed =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        return req.deadlineMs - elapsed;
+    };
+
+    u32 used = 0;
     for (u32 attempt = 0; attempt < maxAttempts; ++attempt) {
-        if (attempt > 0)
+        if (attempt > 0) {
+            i64 sleepMs = backoffMsForAttempt(attempt);
+            if (req.deadlineMs >= 0) {
+                const i64 left = budgetLeftMs();
+                if (left <= 0)
+                    break; // budget exhausted: return the last status
+                sleepMs = std::min(sleepMs, left);
+            }
             std::this_thread::sleep_for(
-                std::chrono::milliseconds(backoffMsForAttempt(attempt)));
+                std::chrono::milliseconds(sleepMs));
+        }
+        used = attempt + 1;
 
         if (!connected()) {
             last = connect(error);
             if (last == ServiceStatus::kVersionMismatch) {
                 // A version mismatch is permanent for this binary.
                 if (attempts)
-                    *attempts = attempt + 1;
+                    *attempts = used;
                 return last;
             }
             if (last != ServiceStatus::kOk)
@@ -135,13 +173,13 @@ SimdClient::runWithRetry(const ServiceRequest &req, SweepJobResult &res,
                 last == ServiceStatus::kInternalError && !connected();
             if (!transportFailure) {
                 if (attempts)
-                    *attempts = attempt + 1;
+                    *attempts = used;
                 return last;
             }
         }
     }
     if (attempts)
-        *attempts = maxAttempts;
+        *attempts = used;
     return last;
 }
 

@@ -10,6 +10,12 @@
  * so tests can pin the schedule via the seed.  Non-retryable statuses
  * (BAD_CONFIG, UNKNOWN_WORKLOAD, VERSION_MISMATCH, …) are returned
  * immediately — retrying an invalid request can never help.
+ *
+ * The retry budget is additionally capped by the request's own
+ * deadline: with deadlineMs >= 0 the total wall time across attempts
+ * and backoff sleeps never exceeds deadlineMs — a client must not
+ * spend longer retrying than the deadline it asked the server to
+ * enforce.
  */
 #ifndef RFV_NET_CLIENT_H
 #define RFV_NET_CLIENT_H
@@ -53,10 +59,13 @@ class SimdClient {
      * connecting (with handshake) first if no session is open.
      * Returns the response status; kInternalError with @p error on
      * transport failure (the connection is closed and must be
-     * re-established).
+     * re-established).  @p rawResponse, when non-null, receives the
+     * undecoded RESULT — cluster routers read the NOT_OWNER/REDIRECT
+     * owner list from it (see protocol.h decodeRedirect).
      */
     ServiceStatus run(const ServiceRequest &req, SweepJobResult &res,
-                      std::string &error);
+                      std::string &error,
+                      Message *rawResponse = nullptr);
 
     /**
      * run() plus the retry policy: reconnects as needed, retries
@@ -71,8 +80,27 @@ class SimdClient {
     /** Fetch the server's STATS counters (connects on demand). */
     ServiceStatus stats(Message &out, std::string &error);
 
+    /**
+     * One generic request/response round trip, connecting (with
+     * handshake) on demand — the transport for the v2 cluster verbs
+     * (CLUSTER, PING, STORE).  kInternalError with @p error on
+     * transport failure; the response is otherwise returned verbatim
+     * for the caller to interpret.
+     */
+    ServiceStatus request(const Message &req, Message &response,
+                          std::string &error);
+
     /** The backoff the retry loop would sleep before try @p attempt. */
     i64 backoffMsForAttempt(u32 attempt);
+
+    /**
+     * Override the response-frame wait (cluster routers tighten it to
+     * the request's remaining deadline so a dead node is detected at
+     * request grain, not only by heartbeat).
+     */
+    void setResponseTimeoutMs(i64 ms) { opts_.responseTimeoutMs = ms; }
+
+    const ClientOptions &options() const { return opts_; }
 
   private:
     ServiceStatus roundTrip(const Message &request, Message &response,

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Consistent-hash ring over the ResultCache keyspace.
+ *
+ * Every cluster node is projected onto a 64-bit ring at `vnodes`
+ * pseudo-random positions (virtual nodes flatten the ownership
+ * distribution); a key's owners are the first `replication` distinct
+ * nodes clockwise from the key's position.  The ring is a pure
+ * function of (node list, vnodes, replication, epoch): every client
+ * and server that agrees on those four inputs computes identical
+ * ownership, so routing needs no coordination service — the CLUSTER
+ * verb ships the inputs, not the ring.
+ *
+ * The epoch is a monotonically increasing version of the membership
+ * view.  A node answering NOT_OWNER attaches its epoch so a client
+ * holding a stale ring knows to refresh before re-routing; nodes
+ * never proxy requests, keeping the data path one hop.
+ *
+ * Ring positions hash only the node *endpoint string* and the vnode
+ * index through the repo's deterministic two-lane Hasher — no
+ * platform-dependent std::hash — so ownership is reproducible across
+ * builds, platforms and processes (the same property the result-cache
+ * key already guarantees).
+ */
+#ifndef RFV_NET_CLUSTER_RING_H
+#define RFV_NET_CLUSTER_RING_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/protocol.h"
+#include "service/hash.h"
+
+namespace rfv {
+
+/** One cluster member, addressed as "host:port". */
+struct RingNode {
+    std::string host;
+    u16 port = 0;
+
+    std::string
+    endpoint() const
+    {
+        return host + ":" + std::to_string(port);
+    }
+
+    bool operator==(const RingNode &) const = default;
+};
+
+/** Parse "host:port"; false (with @p error) on malformed input. */
+bool parseEndpoint(const std::string &text, RingNode &out,
+                   std::string &error);
+
+/** Parse a comma-separated endpoint list ("h1:p1,h2:p2,..."). */
+bool parseEndpointList(const std::string &text,
+                       std::vector<RingNode> &out, std::string &error);
+
+class HashRing {
+  public:
+    /** Default ring is empty: no cluster, every key owned locally. */
+    HashRing() = default;
+
+    /**
+     * Build a ring deterministically from its inputs.  Throws
+     * ConfigError on an empty node list, a duplicate endpoint, or
+     * replication == 0.  Replication is clamped to the node count.
+     */
+    static HashRing build(std::vector<RingNode> nodes, u32 vnodes,
+                          u32 replication, u64 epoch);
+
+    bool empty() const { return nodes_.empty(); }
+    u64 epoch() const { return epoch_; }
+    u32 replication() const { return replication_; }
+    u32 vnodesPerNode() const { return vnodes_; }
+    const std::vector<RingNode> &nodes() const { return nodes_; }
+
+    /** Index of @p endpoint in nodes(), or -1 when absent. */
+    i32 indexOf(const std::string &endpoint) const;
+
+    /**
+     * The first min(replication, nodes) distinct node indices
+     * clockwise from @p key's ring position, primary first.  Every
+     * caller that shares this ring gets the same list for the same
+     * key — that agreement *is* the routing protocol.
+     */
+    std::vector<u32> ownersFor(const Hash128 &key) const;
+
+    /** ownersFor(key)[0]. */
+    u32 primaryFor(const Hash128 &key) const;
+
+    /** True when @p endpoint is one of ownersFor(key). */
+    bool owns(const std::string &endpoint, const Hash128 &key) const;
+
+    /** Ring position of a key: both digest lanes folded together. */
+    static u64 positionOf(const Hash128 &key);
+
+    bool
+    operator==(const HashRing &o) const
+    {
+        return nodes_ == o.nodes_ && vnodes_ == o.vnodes_ &&
+               replication_ == o.replication_ && epoch_ == o.epoch_;
+    }
+
+  private:
+    std::vector<RingNode> nodes_;
+    u32 vnodes_ = 0;
+    u32 replication_ = 1;
+    u64 epoch_ = 0;
+    /** (ring position, node index), sorted by position then index. */
+    std::vector<std::pair<u64, u32>> points_;
+};
+
+// ---- CLUSTER verb codec ------------------------------------------------
+
+/**
+ * CLUSTER response: the ring's defining inputs plus the answering
+ * node's own endpoint (`self`), so a client can both rebuild the ring
+ * and learn which member it is talking to.
+ */
+Message encodeClusterInfo(const HashRing &ring, const std::string &self);
+
+/**
+ * Parse a CLUSTER response and rebuild the ring.  False (with
+ * @p error) on a missing/malformed field, an unparsable endpoint, a
+ * duplicate node, or a `self` not present in the node list.
+ */
+bool decodeClusterInfo(const Message &msg, HashRing &out,
+                       std::string &self, std::string &error);
+
+} // namespace rfv
+
+#endif // RFV_NET_CLUSTER_RING_H

@@ -248,6 +248,8 @@ encodeRunRequest(const ServiceRequest &req)
         m.add("set", key + "=" + value);
     if (req.deadlineMs >= 0)
         m.addI64("deadline_ms", req.deadlineMs);
+    if (req.ringEpoch != 0)
+        m.addU64("ring_epoch", req.ringEpoch);
     return m;
 }
 
@@ -277,6 +279,11 @@ decodeRunRequest(const Message &msg, ServiceRequest &req,
     if (msg.find("deadline_ms") &&
         !msg.getI64("deadline_ms", req.deadlineMs)) {
         error = "unparsable deadline_ms '" + msg.get("deadline_ms") + "'";
+        return ServiceStatus::kBadRequest;
+    }
+    if (msg.find("ring_epoch") &&
+        !msg.getU64("ring_epoch", req.ringEpoch)) {
+        error = "unparsable ring_epoch '" + msg.get("ring_epoch") + "'";
         return ServiceStatus::kBadRequest;
     }
     return ServiceStatus::kOk;
@@ -311,6 +318,66 @@ makeErrorResult(ServiceStatus status, const std::string &error)
     res.status = status;
     res.error = error;
     return encodeResult(res);
+}
+
+Message
+makeRedirectResult(ServiceStatus status,
+                   const std::vector<std::string> &owners, u64 ringEpoch,
+                   const std::string &error)
+{
+    Message m = makeErrorResult(status, error);
+    m.addU64("ring_epoch", ringEpoch);
+    for (const std::string &owner : owners)
+        m.add("owner", owner);
+    return m;
+}
+
+bool
+decodeRedirect(const Message &msg, RedirectInfo &out)
+{
+    out = RedirectInfo{};
+    if (!msg.getU64("ring_epoch", out.ringEpoch))
+        return false;
+    out.owners = msg.getAll("owner");
+    return !out.owners.empty();
+}
+
+// ---- STORE (replica push) ----------------------------------------------
+
+Message
+encodeStoreRequest(const ServiceRequest &req, const std::string &keyHex,
+                   const std::string &outcomeBlob)
+{
+    Message m = encodeRunRequest(req);
+    m.verb = kVerbStore;
+    m.add("key", keyHex);
+    m.blob = outcomeBlob;
+    return m;
+}
+
+ServiceStatus
+decodeStoreRequest(const Message &msg, ServiceRequest &req,
+                   std::string &keyHex, std::string &error)
+{
+    if (msg.verb != kVerbStore) {
+        error = "expected STORE, got '" + msg.verb + "'";
+        return ServiceStatus::kBadRequest;
+    }
+    Message asRun = msg;
+    asRun.verb = kVerbRun;
+    const ServiceStatus s = decodeRunRequest(asRun, req, error);
+    if (s != ServiceStatus::kOk)
+        return s;
+    keyHex = msg.get("key");
+    if (keyHex.empty()) {
+        error = "STORE without key";
+        return ServiceStatus::kBadRequest;
+    }
+    if (msg.blob.empty()) {
+        error = "STORE without outcome blob";
+        return ServiceStatus::kBadRequest;
+    }
+    return ServiceStatus::kOk;
 }
 
 ServiceStatus

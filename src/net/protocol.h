@@ -44,9 +44,15 @@
 
 namespace rfv {
 
-/** Protocol versions this build can speak (currently only v1). */
+/**
+ * Protocol versions this build can speak.  v2 adds the cluster tier:
+ * CLUSTER/PING/PONG/STORE verbs, the optional ring_epoch field on
+ * RUN, and NOT_OWNER/REDIRECT results carrying an owner list.  All
+ * v2 additions are optional fields or new verbs, so v1 peers
+ * interoperate untouched (the min stays at 1).
+ */
 inline constexpr u32 kProtoVersionMin = 1;
-inline constexpr u32 kProtoVersionMax = 1;
+inline constexpr u32 kProtoVersionMax = 2;
 
 /** Server-side payload cap: requests are small. */
 inline constexpr u32 kMaxRequestFrameBytes = 1u << 20;
@@ -61,6 +67,12 @@ inline constexpr const char *kVerbRun = "RUN";
 inline constexpr const char *kVerbResult = "RESULT";
 inline constexpr const char *kVerbStats = "STATS";
 inline constexpr const char *kVerbError = "ERROR";
+// v2 cluster verbs.
+inline constexpr const char *kVerbCluster = "CLUSTER"; //!< ring fetch
+inline constexpr const char *kVerbPing = "PING";       //!< heartbeat
+inline constexpr const char *kVerbPong = "PONG";
+inline constexpr const char *kVerbStore = "STORE";   //!< replica push
+inline constexpr const char *kVerbStored = "STORED"; //!< STORE ack
 
 /** One decoded message: verb, ordered fields, optional binary blob. */
 struct Message {
@@ -149,6 +161,42 @@ Message encodeResult(const SweepJobResult &res);
 
 /** Shorthand: RESULT carrying only a failure status. */
 Message makeErrorResult(ServiceStatus status, const std::string &error);
+
+/**
+ * RESULT for a cluster routing outcome (NOT_OWNER or REDIRECT): the
+ * refusing node's ring epoch plus the endpoints that *can* serve the
+ * key, primary first, so the client re-dispatches without a second
+ * round trip (and refreshes its ring when the epochs differ).
+ */
+Message makeRedirectResult(ServiceStatus status,
+                           const std::vector<std::string> &owners,
+                           u64 ringEpoch, const std::string &error);
+
+/** Routing payload of a NOT_OWNER/REDIRECT result. */
+struct RedirectInfo {
+    u64 ringEpoch = 0;
+    std::vector<std::string> owners; //!< endpoints, primary first
+};
+
+/** Extract the routing payload; false when absent or malformed. */
+bool decodeRedirect(const Message &msg, RedirectInfo &out);
+
+/**
+ * STORE request: push one finished outcome to a replica.  Carries the
+ * job naming (so the replica can recompute — and thereby verify — the
+ * cache key itself), the sender's key as a cross-check, and the
+ * ResultCache-serialized outcome as the blob.
+ */
+Message encodeStoreRequest(const ServiceRequest &req,
+                           const std::string &keyHex,
+                           const std::string &outcomeBlob);
+
+/**
+ * Parse a STORE request into the job naming + claimed key; the blob
+ * stays in @p msg.blob.  kOk or a client-error status with @p error.
+ */
+ServiceStatus decodeStoreRequest(const Message &msg, ServiceRequest &req,
+                                 std::string &keyHex, std::string &error);
 
 /**
  * Parse a RESULT message into @p res (including blob deserialization

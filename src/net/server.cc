@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <map>
+#include <sstream>
 
+#include "common/error.h"
 #include "common/framing.h"
+#include "net/client.h"
 #include "service/version.h"
 
 namespace rfv {
@@ -45,10 +49,18 @@ SimdServer::start()
     closing_ = false;
     running_ = true;
 
+    if (opts_.cluster.enabled())
+        configureCluster(opts_.cluster);
+    {
+        MutexLock lk(replMu_);
+        replDraining_ = false;
+    }
+
     const u32 executors = std::max<u32>(1, opts_.executors);
     executors_.reserve(executors);
     for (u32 i = 0; i < executors; ++i)
         executors_.emplace_back([this] { executorLoop(); });
+    replThread_ = Thread([this] { replicatorLoop(); });
     acceptThread_ = Thread([this] { acceptLoop(); });
 }
 
@@ -89,6 +101,18 @@ SimdServer::stop()
             t.join();
     executors_.clear();
 
+    // Phase 2.5: flush the replication queue.  Executors are done, so
+    // nothing enqueues anymore; pushing the backlog now (peers may be
+    // draining too — failures are counted and dropped) keeps a rolling
+    // cluster restart from losing the freshest results.
+    {
+        MutexLock lk(replMu_);
+        replDraining_ = true;
+    }
+    replCv_.notifyAll();
+    if (replThread_.joinable())
+        replThread_.join();
+
     // Phase 3: nothing is in flight anymore — drop the connections.
     closing_ = true;
     joinAllConnections();
@@ -99,6 +123,238 @@ SimdServer::stop()
     // server answered is durable before the process exits.
     engine_.results().drain();
     running_ = false;
+}
+
+// ---- cluster membership ------------------------------------------------
+
+void
+SimdServer::configureCluster(const ClusterConfig &cfg)
+{
+    if (!cfg.enabled()) {
+        {
+            MutexLock lk(clusterMu_);
+            cluster_.reset();
+        }
+        clustered_ = false;
+        return;
+    }
+    std::vector<RingNode> nodes;
+    nodes.reserve(cfg.nodes.size());
+    std::string error;
+    for (const std::string &endpoint : cfg.nodes) {
+        RingNode node;
+        if (!parseEndpoint(endpoint, node, error))
+            throw ConfigError("cluster node: " + error);
+        nodes.push_back(std::move(node));
+    }
+    auto state = std::make_shared<ClusterState>();
+    state->ring = HashRing::build(std::move(nodes), cfg.vnodes,
+                                  cfg.replication, cfg.epoch);
+    state->self = cfg.self;
+    if (state->ring.indexOf(cfg.self) < 0)
+        throw ConfigError("cluster self '" + cfg.self +
+                          "' is not in the node list");
+    {
+        MutexLock lk(clusterMu_);
+        cluster_ = std::move(state);
+    }
+    clustered_ = true;
+}
+
+std::shared_ptr<const SimdServer::ClusterState>
+SimdServer::clusterState() const
+{
+    MutexLock lk(clusterMu_);
+    return cluster_;
+}
+
+HashRing
+SimdServer::ringSnapshot() const
+{
+    const auto state = clusterState();
+    return state ? state->ring : HashRing{};
+}
+
+// ---- replication -------------------------------------------------------
+
+void
+SimdServer::enqueueReplication(const ServiceRequest &naming,
+                               const SweepJobResult &res)
+{
+    bool dropped = false;
+    {
+        MutexLock lk(replMu_);
+        if (replQueue_.size() >= opts_.replicationQueueDepth ||
+            replDraining_) {
+            dropped = true;
+        } else {
+            ReplicationItem item;
+            item.naming = naming;
+            item.job = res.job;
+            item.keyHex = res.key;
+            item.outcome = res.outcome;
+            replQueue_.push_back(std::move(item));
+        }
+    }
+    if (dropped) {
+        MutexLock lk(statsMu_);
+        ++stats_.replicationDropped;
+        return;
+    }
+    replCv_.notifyOne();
+}
+
+void
+SimdServer::replicatorLoop()
+{
+    // Peer sessions are owned by this thread alone: created on first
+    // use, reconnected on demand by SimdClient, discarded on failure.
+    std::map<std::string, std::unique_ptr<SimdClient>> peers;
+
+    for (;;) {
+        ReplicationItem item;
+        {
+            MutexLock lk(replMu_);
+            while (replQueue_.empty() && !replDraining_) {
+                replBusy_ = false;
+                replCv_.notifyAll(); // wake drainReplication waiters
+                replCv_.wait(lk);
+            }
+            if (replQueue_.empty()) {
+                replBusy_ = false;
+                replCv_.notifyAll();
+                return; // draining and drained
+            }
+            item = std::move(replQueue_.front());
+            replQueue_.pop_front();
+            replBusy_ = true;
+        }
+
+        const auto state = clusterState();
+        if (!state)
+            continue;
+
+        Hash128 rkey;
+        try {
+            rkey = routingKey(item.job.workload, item.job.config);
+        } catch (const std::exception &) {
+            continue; // cannot route an unroutable config
+        }
+        std::string blob;
+        {
+            std::ostringstream os;
+            ResultCache::serialize(os, item.outcome);
+            blob = os.str();
+        }
+        const Message store =
+            encodeStoreRequest(item.naming, item.keyHex, blob);
+
+        for (const u32 ownerIndex : state->ring.ownersFor(rkey)) {
+            const std::string endpoint =
+                state->ring.nodes()[ownerIndex].endpoint();
+            if (endpoint == state->self)
+                continue;
+            std::unique_ptr<SimdClient> &peer = peers[endpoint];
+            if (!peer) {
+                RingNode node;
+                std::string parseError;
+                if (!parseEndpoint(endpoint, node, parseError))
+                    continue; // ring admits only parsable endpoints
+                ClientOptions copts;
+                copts.host = node.host;
+                copts.port = node.port;
+                copts.connectTimeoutMs = 2000;
+                copts.responseTimeoutMs = 10000;
+                peer = std::make_unique<SimdClient>(copts);
+            }
+            Message ack;
+            std::string error;
+            const bool sent =
+                peer->request(store, ack, error) ==
+                    ServiceStatus::kOk &&
+                ack.verb == kVerbStored && ack.get("stored") == "1";
+            {
+                MutexLock lk(statsMu_);
+                if (sent)
+                    ++stats_.replicationSent;
+                else
+                    ++stats_.replicationFailed;
+            }
+            if (!sent)
+                peer->disconnect(); // force a clean reconnect next time
+        }
+    }
+}
+
+void
+SimdServer::drainReplication()
+{
+    MutexLock lk(replMu_);
+    while (!replQueue_.empty() || replBusy_)
+        replCv_.wait(lk);
+}
+
+bool
+SimdServer::handleStore(Connection *conn, const Message &msg)
+{
+    Socket &sock = conn->sock;
+    const auto reply = [&](const Message &m) {
+        return writeFrame(sock, m.encode(),
+                          deadlineAfterMs(opts_.frameTimeoutMs)) ==
+               FrameStatus::kOk;
+    };
+
+    ServiceStatus s = ServiceStatus::kOk;
+    std::string error;
+    ServiceRequest req;
+    std::string keyHex;
+    SweepJob job;
+
+    if (!clustered_) {
+        s = ServiceStatus::kBadRequest;
+        error = "STORE on a standalone server";
+    }
+    if (s == ServiceStatus::kOk)
+        s = decodeStoreRequest(msg, req, keyHex, error);
+    if (s == ServiceStatus::kOk)
+        s = buildJob(req, job, error);
+    if (s == ServiceStatus::kOk) {
+        // Never trust the sender's key: recompute it from the job
+        // naming (prepare() is memoized, so this compiles each unique
+        // config once per process) and admit the outcome only under a
+        // key this node would itself have produced.  A replica can
+        // therefore never poison the cache with a mislabeled result.
+        try {
+            const PreparedJob p = engine_.prepare(job);
+            if (p.key.hex() != keyHex) {
+                s = ServiceStatus::kBadRequest;
+                error = "STORE key mismatch: claimed " + keyHex +
+                        ", computed " + p.key.hex();
+            } else {
+                std::istringstream is(msg.blob);
+                const RunOutcome outcome = ResultCache::deserialize(is);
+                engine_.results().store(p.key, outcome);
+            }
+        } catch (const std::exception &e) {
+            s = ServiceStatus::kBadRequest;
+            error = std::string("STORE rejected: ") + e.what();
+        }
+    }
+
+    {
+        MutexLock lk(statsMu_);
+        if (s == ServiceStatus::kOk)
+            ++stats_.replicationStored;
+        else
+            ++stats_.replicationRejected;
+    }
+    Message ack;
+    ack.verb = kVerbStored;
+    ack.add("status", serviceStatusName(s));
+    ack.add("stored", s == ServiceStatus::kOk ? "1" : "0");
+    if (!error.empty())
+        ack.add("error", error);
+    return reply(ack);
 }
 
 // ---- accept / connection lifecycle -------------------------------------
@@ -171,6 +427,12 @@ SimdServer::serveConnection(Connection *conn)
         MutexLock lk(statsMu_);
         ++stats_.badFrames;
     };
+    // Clustered peers push STORE frames carrying full outcome blobs;
+    // plain clients stay under the small request cap.
+    const auto requestCap = [this] {
+        return clustered_ ? kMaxResponseFrameBytes
+                          : kMaxRequestFrameBytes;
+    };
 
     // Wait for the next frame's first byte in short slices so closing_
     // and the idle budget are observed without ever expiring a
@@ -202,7 +464,7 @@ SimdServer::serveConnection(Connection *conn)
         return;
     }
     const FrameStatus hs =
-        readFrame(sock, payload, kMaxRequestFrameBytes, frameDeadline());
+        readFrame(sock, payload, requestCap(), frameDeadline());
     if (hs != FrameStatus::kOk) {
         if (hs != FrameStatus::kClosed)
             countBadFrame();
@@ -236,9 +498,8 @@ SimdServer::serveConnection(Connection *conn)
         if (awaitData(std::chrono::steady_clock::now()) != IoStatus::kOk)
             break;
 
-        const FrameStatus fs = readFrame(sock, payload,
-                                         kMaxRequestFrameBytes,
-                                         frameDeadline());
+        const FrameStatus fs =
+            readFrame(sock, payload, requestCap(), frameDeadline());
         if (fs == FrameStatus::kClosed)
             break; // orderly client exit
         if (fs != FrameStatus::kOk) {
@@ -272,6 +533,35 @@ SimdServer::serveConnection(Connection *conn)
                 ++stats_.statsRequests;
             }
             if (!sendMessage(statsMessage()))
+                break;
+        } else if (msg.verb == kVerbCluster) {
+            {
+                MutexLock lk(statsMu_);
+                ++stats_.clusterRequests;
+            }
+            const auto state = clusterState();
+            const Message response =
+                state ? encodeClusterInfo(state->ring, state->self)
+                      : makeErrorResult(ServiceStatus::kBadRequest,
+                                        "server is not clustered");
+            if (!sendMessage(response))
+                break;
+        } else if (msg.verb == kVerbPing) {
+            {
+                MutexLock lk(statsMu_);
+                ++stats_.pingRequests;
+            }
+            const auto state = clusterState();
+            Message pong;
+            pong.verb = kVerbPong;
+            pong.add("status", serviceStatusName(ServiceStatus::kOk));
+            pong.addU64("ring_epoch",
+                        state ? state->ring.epoch() : 0);
+            pong.add("draining", draining_ ? "1" : "0");
+            if (!sendMessage(pong))
+                break;
+        } else if (msg.verb == kVerbStore) {
+            if (!handleStore(conn, msg))
                 break;
         } else {
             if (!sendMessage(makeErrorResult(
@@ -319,14 +609,54 @@ SimdServer::handleRun(Connection *conn, const Message &msg)
     if (s != ServiceStatus::kOk)
         return replyFailed(s, error);
 
-    const IoDeadline deadline = req.deadlineMs >= 0
-                                    ? deadlineAfterMs(req.deadlineMs)
-                                    : std::nullopt;
+    // Cluster ownership: only a ring owner of this job's routing key
+    // may serve it.  The owner list is computed once here and reused
+    // for the drain-time REDIRECT below.
+    std::vector<std::string> otherOwners;
+    u64 ringEpoch = 0;
+    if (clustered_) {
+        if (const auto state = clusterState()) {
+            ringEpoch = state->ring.epoch();
+            bool owned = true;
+            try {
+                const Hash128 rkey =
+                    routingKey(job.workload, job.config);
+                owned = false;
+                for (const u32 index : state->ring.ownersFor(rkey)) {
+                    const std::string endpoint =
+                        state->ring.nodes()[index].endpoint();
+                    if (endpoint == state->self)
+                        owned = true;
+                    else
+                        otherOwners.push_back(endpoint);
+                }
+            } catch (const std::exception &) {
+                // Unroutable config: serve it here and let execute()
+                // classify the error into the per-job result.
+                owned = true;
+            }
+            if (!owned) {
+                {
+                    MutexLock lk(statsMu_);
+                    ++stats_.requestsNotOwner;
+                }
+                return reply(makeRedirectResult(
+                    ServiceStatus::kNotOwner, otherOwners, ringEpoch,
+                    "key is owned by another node under ring epoch " +
+                        std::to_string(ringEpoch)));
+            }
+        }
+    }
+
+    const i64 deadlineMs = req.deadlineMs;
+    const IoDeadline deadline =
+        deadlineMs >= 0 ? deadlineAfterMs(deadlineMs) : std::nullopt;
 
     // Admission control: a full queue sheds the request immediately —
     // never an unbounded queue, never a blocked connection.
     auto pending = std::make_unique<PendingRequest>();
     pending->job = std::move(job);
+    pending->naming = std::move(req);
     pending->deadline = deadline;
     std::future<SweepJobResult> future = pending->promise.get_future();
     bool drainRefused = false, shed = false;
@@ -351,6 +681,18 @@ SimdServer::handleRun(Connection *conn, const Message &msg)
         }
     }
     if (drainRefused) {
+        // A draining cluster node knows who else can serve the key:
+        // answer REDIRECT with the surviving replicas so the client
+        // re-dispatches in one hop instead of blindly retrying.
+        if (clustered_ && !otherOwners.empty()) {
+            {
+                MutexLock lk(statsMu_);
+                ++stats_.requestsRedirected;
+            }
+            return reply(makeRedirectResult(
+                ServiceStatus::kRedirect, otherOwners, ringEpoch,
+                "server is draining; re-dispatch to a replica"));
+        }
         {
             MutexLock lk(statsMu_);
             ++stats_.requestsShutdown;
@@ -379,7 +721,7 @@ SimdServer::handleRun(Connection *conn, const Message &msg)
             ++stats_.requestsTimedOut;
             return reply(makeErrorResult(
                 ServiceStatus::kDeadlineExceeded,
-                "deadline of " + std::to_string(req.deadlineMs) +
+                "deadline of " + std::to_string(deadlineMs) +
                     " ms expired while the job was in flight"));
         }
     }
@@ -444,7 +786,14 @@ SimdServer::executorLoop()
             continue;
         }
 
-        pending->promise.set_value(engine_.execute(pending->job));
+        SweepJobResult res = engine_.execute(pending->job);
+        // Freshly computed results fan out to the key's other owners
+        // (bounded queue, best effort) so a failover target usually
+        // answers the re-dispatched job from its warmed cache instead
+        // of re-simulating.
+        if (clustered_ && res.ok() && !res.fromCache)
+            enqueueReplication(pending->naming, res);
+        pending->promise.set_value(std::move(res));
     }
 }
 
@@ -495,6 +844,21 @@ SimdServer::statsMessage()
     m.addU64("requests_timed_out", s.requestsTimedOut);
     m.addU64("stats_requests", s.statsRequests);
     m.addU64("served_from_cache", s.servedFromCache);
+    if (clustered_) {
+        const HashRing ring = ringSnapshot();
+        m.addU64("ring_epoch", ring.epoch());
+        m.addU64("ring_nodes", ring.nodes().size());
+        m.addU64("ring_replication", ring.replication());
+        m.addU64("requests_not_owner", s.requestsNotOwner);
+        m.addU64("requests_redirected", s.requestsRedirected);
+        m.addU64("cluster_requests", s.clusterRequests);
+        m.addU64("ping_requests", s.pingRequests);
+        m.addU64("replication_sent", s.replicationSent);
+        m.addU64("replication_failed", s.replicationFailed);
+        m.addU64("replication_dropped", s.replicationDropped);
+        m.addU64("replication_stored", s.replicationStored);
+        m.addU64("replication_rejected", s.replicationRejected);
+    }
     m.addU64("queue_depth", s.queueDepth);
     m.addU64("queue_high_water", s.queueHighWater);
     m.addU64("cache_memory_hits", cache.memoryHits);

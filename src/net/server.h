@@ -38,10 +38,36 @@
 
 #include "common/socket.h"
 #include "common/sync.h"
+#include "net/cluster_ring.h"
 #include "net/protocol.h"
 #include "service/sweep.h"
 
 namespace rfv {
+
+/**
+ * Static cluster membership for one node.  Every node of a cluster
+ * is started with the *same* node list/vnodes/replication/epoch (the
+ * ring is a pure function of them — see cluster_ring.h) plus its own
+ * `self` endpoint.  A clustered node:
+ *
+ *  - refuses RUNs whose routing key it does not own (NOT_OWNER with
+ *    the owner list attached),
+ *  - answers CLUSTER with the ring inputs and PING with its epoch,
+ *  - redirects RUNs to the surviving replicas while draining
+ *    (REDIRECT instead of a bare SHUTTING_DOWN), and
+ *  - pushes every live-computed outcome to the key's other replicas
+ *    (best-effort STORE), so a failover target usually answers the
+ *    re-dispatched job from its warmed cache.
+ */
+struct ClusterConfig {
+    std::vector<std::string> nodes; //!< "host:port", same order on all
+    std::string self;               //!< this node's entry in nodes
+    u32 vnodes = 64;                //!< virtual nodes per member
+    u32 replication = 2;            //!< owners per key (clamped to N)
+    u64 epoch = 1;                  //!< membership-view version
+
+    bool enabled() const { return !nodes.empty(); }
+};
 
 struct ServerOptions {
     u16 port = 0;           //!< 0 = ephemeral (read back via port())
@@ -51,6 +77,10 @@ struct ServerOptions {
     i64 idleTimeoutMs = 30000; //!< reap connections idle this long
     i64 frameTimeoutMs = 10000; //!< max wall time for one frame's bytes
     SweepOptions sweep;         //!< cache dir etc. (jobs is ignored)
+    ClusterConfig cluster;      //!< empty nodes = standalone daemon
+
+    /** Replication push queue depth; overflow drops the push. */
+    u32 replicationQueueDepth = 256;
 
     /**
      * Test seam: runs on the executor thread immediately before each
@@ -76,6 +106,15 @@ class SimdServer {
         u64 requestsTimedOut = 0; //!< deadline expiry (queued or waiting)
         u64 statsRequests = 0;
         u64 servedFromCache = 0;
+        u64 requestsNotOwner = 0;   //!< RUNs refused: key owned elsewhere
+        u64 requestsRedirected = 0; //!< RUNs redirected during drain
+        u64 clusterRequests = 0;    //!< CLUSTER verb servings
+        u64 pingRequests = 0;       //!< PING verb servings
+        u64 replicationSent = 0;    //!< STOREs acked by a peer
+        u64 replicationFailed = 0;  //!< STOREs a peer refused/dropped
+        u64 replicationDropped = 0; //!< pushes dropped (queue full)
+        u64 replicationStored = 0;  //!< peer STOREs admitted locally
+        u64 replicationRejected = 0; //!< peer STOREs refused locally
         u64 queueDepth = 0;
         u64 queueHighWater = 0;
         u64 aggregateCycles = 0;
@@ -122,11 +161,48 @@ class SimdServer {
     /** The engine (tests inspect cache/artifact counters). */
     SweepEngine &engine() { return engine_; }
 
+    /**
+     * Install (or replace) the cluster view.  Callable before or
+     * after start() — harnesses that bind ephemeral ports only learn
+     * the endpoints once every node is up.  An empty node list
+     * reverts the server to standalone.  Throws ConfigError when
+     * `self` is not in the node list or an endpoint is malformed.
+     */
+    void configureCluster(const ClusterConfig &cfg)
+        RFV_EXCLUDES(clusterMu_);
+
+    bool clustered() const { return clustered_; }
+
+    /** Current ring (empty when standalone). */
+    HashRing ringSnapshot() const RFV_EXCLUDES(clusterMu_);
+
+    /**
+     * Block until every queued replication push has been attempted
+     * (tests assert a peer's cache warmed; returns immediately when
+     * standalone).
+     */
+    void drainReplication() RFV_EXCLUDES(replMu_);
+
   private:
     struct PendingRequest {
         SweepJob job;
+        ServiceRequest naming; //!< wire naming, forwarded on STORE
         IoDeadline deadline; //!< absolute; expired-in-queue check
         std::promise<SweepJobResult> promise;
+    };
+
+    /** Immutable cluster view, swapped wholesale by configureCluster. */
+    struct ClusterState {
+        HashRing ring;
+        std::string self;
+    };
+
+    /** One live outcome queued for best-effort push to replicas. */
+    struct ReplicationItem {
+        ServiceRequest naming;
+        SweepJob job;
+        std::string keyHex;
+        RunOutcome outcome;
     };
 
     struct Connection {
@@ -140,8 +216,17 @@ class SimdServer {
     void serveConnection(Connection *conn) RFV_EXCLUDES(statsMu_);
     bool handleRun(Connection *conn, const Message &msg)
         RFV_EXCLUDES(queueMu_, statsMu_);
+    bool handleStore(Connection *conn, const Message &msg)
+        RFV_EXCLUDES(statsMu_);
     void reapFinishedConnections() RFV_EXCLUDES(connMu_);
     void joinAllConnections() RFV_EXCLUDES(connMu_);
+
+    std::shared_ptr<const ClusterState> clusterState() const
+        RFV_EXCLUDES(clusterMu_);
+    void enqueueReplication(const ServiceRequest &naming,
+                            const SweepJobResult &res)
+        RFV_EXCLUDES(replMu_, statsMu_);
+    void replicatorLoop() RFV_EXCLUDES(replMu_, statsMu_);
 
     ServerOptions opts_;
     SweepEngine engine_;
@@ -179,6 +264,26 @@ class SimdServer {
     mutable Mutex statsMu_ RFV_ACQUIRED_AFTER(queueMu_, connMu_);
     Stats stats_ RFV_GUARDED_BY(statsMu_);
     std::chrono::steady_clock::time_point startTime_;
+
+    // Cluster view.  Readers copy the shared_ptr under a short lock
+    // and use the immutable state outside it; configureCluster swaps
+    // the pointer wholesale — no reader ever observes a half-built
+    // ring.
+    mutable Mutex clusterMu_;
+    std::shared_ptr<const ClusterState>
+        cluster_ RFV_GUARDED_BY(clusterMu_);
+    std::atomic<bool> clustered_{false};
+
+    // Replication push queue (bounded, drop-on-overflow): executors
+    // enqueue live outcomes, one replicator thread pushes them to the
+    // key's other owners.  Best effort by design — a replica that
+    // missed a push simply recomputes on failover, bit-identically.
+    mutable Mutex replMu_;
+    CondVar replCv_;
+    std::deque<ReplicationItem> replQueue_ RFV_GUARDED_BY(replMu_);
+    bool replBusy_ RFV_GUARDED_BY(replMu_) = false;
+    bool replDraining_ RFV_GUARDED_BY(replMu_) = false;
+    Thread replThread_;
 };
 
 } // namespace rfv

@@ -194,4 +194,16 @@ resultKey(const std::string &workload, const Hash128 &program_hash,
     return h.digest();
 }
 
+Hash128
+routingKey(const std::string &workload, const RunConfig &cfg)
+{
+    const Hash128 config = canonicalConfigHash(cfg);
+    Hasher h;
+    h.str("route");
+    h.str(workload);
+    h.u64v(config.hi);
+    h.u64v(config.lo);
+    return h.digest();
+}
+
 } // namespace rfv

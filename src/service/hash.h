@@ -132,6 +132,16 @@ Hash128 resultKey(const std::string &workload, const Hash128 &programHash,
                   const Hash128 &configHash, const LaunchParams &launch,
                   const std::string &simVersion);
 
+/**
+ * Cluster routing key: workload identity x canonical config.  A
+ * strict coarsening of resultKey — every field of the full key is a
+ * function of (workload, config), so all cache keys that share a
+ * routing key land on the same ring owner — computable identically
+ * by client and server without assembling or compiling the program
+ * (the expensive inputs to resultKey).
+ */
+Hash128 routingKey(const std::string &workload, const RunConfig &cfg);
+
 } // namespace rfv
 
 #endif // RFV_SERVICE_HASH_H

@@ -54,6 +54,13 @@ struct ServiceRequest {
     std::string configName = "baseline";
     std::vector<std::pair<std::string, std::string>> overrides;
     i64 deadlineMs = -1; //!< < 0 = no deadline
+
+    /**
+     * Ring epoch the sender routed by (0 = not cluster-routed).  A
+     * clustered server answering NOT_OWNER attaches its own epoch so
+     * a stale sender knows to refresh before re-dispatching.
+     */
+    u64 ringEpoch = 0;
 };
 
 struct SweepJob;

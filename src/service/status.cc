@@ -7,7 +7,7 @@ namespace rfv {
 
 namespace {
 
-constexpr std::array<std::pair<ServiceStatus, const char *>, 10> kNames{{
+constexpr std::array<std::pair<ServiceStatus, const char *>, 12> kNames{{
     {ServiceStatus::kOk, "OK"},
     {ServiceStatus::kBadRequest, "BAD_REQUEST"},
     {ServiceStatus::kUnknownWorkload, "UNKNOWN_WORKLOAD"},
@@ -15,6 +15,8 @@ constexpr std::array<std::pair<ServiceStatus, const char *>, 10> kNames{{
     {ServiceStatus::kVersionMismatch, "VERSION_MISMATCH"},
     {ServiceStatus::kRetryLater, "RETRY_LATER"},
     {ServiceStatus::kShuttingDown, "SHUTTING_DOWN"},
+    {ServiceStatus::kNotOwner, "NOT_OWNER"},
+    {ServiceStatus::kRedirect, "REDIRECT"},
     {ServiceStatus::kDeadlineExceeded, "DEADLINE_EXCEEDED"},
     {ServiceStatus::kCancelled, "CANCELLED"},
     {ServiceStatus::kInternalError, "INTERNAL_ERROR"},

@@ -32,6 +32,12 @@ enum class ServiceStatus : u32 {
     kRetryLater,   //!< admission queue full — load was shed
     kShuttingDown, //!< server is draining; no new work accepted
 
+    // Cluster routing outcomes (retrying the *same node* cannot
+    // succeed, but re-dispatching to a node from the attached owner
+    // list can — see net/cluster_ring.h).
+    kNotOwner, //!< key is owned by another node per the ring epoch
+    kRedirect, //!< node cannot serve now; try the attached owners
+
     // Terminal per-job outcomes.
     kDeadlineExceeded, //!< the request's deadline expired
     kCancelled,        //!< sweep was interrupted before this job ran
@@ -50,6 +56,18 @@ isRetryable(ServiceStatus s)
 {
     return s == ServiceStatus::kRetryLater ||
            s == ServiceStatus::kShuttingDown;
+}
+
+/**
+ * True for statuses a cluster-aware client should answer by
+ * re-dispatching to a node from the response's owner list rather
+ * than retrying the same node (which can never succeed).
+ */
+inline bool
+isRerouteable(ServiceStatus s)
+{
+    return s == ServiceStatus::kNotOwner ||
+           s == ServiceStatus::kRedirect;
 }
 
 } // namespace rfv

@@ -341,17 +341,17 @@ Sm::pushCompletion(const Completion &c)
     // answer from the need bits alone.  A second write to a pending
     // register is itself a hazard, so each pending bit has exactly one
     // in-flight completion and this write is the authoritative one.
-    Cycle *reg_ready = wt_.regReadyAt(c.warp);
+    Cycle *reg_ready = wt_.regReadyAt(c.warp());
     for (u64 m = c.regMask; m != 0; m &= m - 1)
         reg_ready[findFirstSet(m)] = c.time;
-    Cycle *pred_ready = wt_.predReadyAt(c.warp);
+    Cycle *pred_ready = wt_.predReadyAt(c.warp());
     for (u32 m = c.predMask; m != 0; m &= m - 1)
         pred_ready[findFirstSet(m)] = c.time;
     // Short non-load completions go to the timing wheel (O(1) push
     // and drain); loads and far completions to the min-heap.  Pushes
     // only happen while stepping cycle >= wheelPos_, so c.time >
     // wheelPos_ keeps the wheel invariant (see the member comment).
-    if (!c.isLoad && c.time > wheelPos_ &&
+    if (!c.isLoad() && c.time > wheelPos_ &&
         c.time - wheelPos_ < kWheelSlots) {
         const u32 s = static_cast<u32>(c.time % kWheelSlots);
         wheel_[s].push_back(c);
@@ -361,7 +361,7 @@ Sm::pushCompletion(const Completion &c)
     completions_.push_back(c);
     std::push_heap(completions_.begin(), completions_.end(),
                    std::greater<Completion>{});
-    if (c.isLoad) {
+    if (c.isLoad()) {
         loadHeap_.push_back(c.time);
         std::push_heap(loadHeap_.begin(), loadHeap_.end(),
                        std::greater<Cycle>{});
@@ -388,8 +388,8 @@ Sm::drainCompletionsWork(Cycle now)
                 // Scoreboard wake; the wheel never holds loads, so no
                 // load bookkeeping here.  Slots drain in residue (not
                 // time) order, but these mask clears commute.
-                wt_.pendingRegs[c.warp] &= ~c.regMask;
-                wt_.pendingPreds[c.warp] &= ~c.predMask;
+                wt_.pendingRegs[c.warp()] &= ~c.regMask;
+                wt_.pendingPreds[c.warp()] &= ~c.predMask;
             }
             wheel_[s].clear();
         }
@@ -402,12 +402,12 @@ Sm::drainCompletionsWork(Cycle now)
         const Completion c = completions_.back();
         completions_.pop_back();
         // Scoreboard wake as mask operations on the packed arrays.
-        wt_.pendingRegs[c.warp] &= ~c.regMask;
-        wt_.pendingPreds[c.warp] &= ~c.predMask;
-        if (c.isLoad) {
-            panicIf(wt_.pendingLoads[c.warp] == 0,
+        wt_.pendingRegs[c.warp()] &= ~c.regMask;
+        wt_.pendingPreds[c.warp()] &= ~c.predMask;
+        if (c.isLoad()) {
+            panicIf(wt_.pendingLoads[c.warp()] == 0,
                     "load completion underflow");
-            --wt_.pendingLoads[c.warp];
+            --wt_.pendingLoads[c.warp()];
             panicIf(inFlightLoads_ == 0, "MSHR underflow");
             --inFlightLoads_;
             // Loads drain in time order, so the load-time heap's front
@@ -1366,8 +1366,8 @@ Sm::debugState(Cycle now) const
     for (u32 wi : readyQueue_)
         out += std::to_string(wi) + " ";
     out += "] pending=[";
-    for (u32 wi : pendingQueue_)
-        out += std::to_string(wi) + " ";
+    for (std::size_t i = 0; i < pendingQueue_.size(); ++i)
+        out += std::to_string(pendingQueue_[i]) + " ";
     out += "] sleeping=" + std::to_string(sleepHeap_.size()) +
            " parked=" + std::to_string(throttleParked_.size()) + "\n";
     for (u32 wi = 0; wi < wt_.size(); ++wi) {

@@ -7,11 +7,16 @@
  * — including bit-exact RunOutcome transport through the ResultCache
  * serialization — and the client backoff schedule.
  */
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
+#include "common/error.h"
 #include "common/framing.h"
 #include "net/client.h"
+#include "net/cluster_ring.h"
 #include "net/protocol.h"
+#include "service/hash.h"
 #include "service/version.h"
 
 namespace rfv {
@@ -322,7 +327,8 @@ TEST(Status, NamesRoundTrip)
          {ServiceStatus::kOk, ServiceStatus::kBadRequest,
           ServiceStatus::kUnknownWorkload, ServiceStatus::kBadConfig,
           ServiceStatus::kVersionMismatch, ServiceStatus::kRetryLater,
-          ServiceStatus::kShuttingDown,
+          ServiceStatus::kShuttingDown, ServiceStatus::kNotOwner,
+          ServiceStatus::kRedirect,
           ServiceStatus::kDeadlineExceeded, ServiceStatus::kCancelled,
           ServiceStatus::kInternalError}) {
         ServiceStatus back;
@@ -343,6 +349,249 @@ TEST(Status, OnlySheddingAndDrainAreRetryable)
     EXPECT_FALSE(isRetryable(ServiceStatus::kVersionMismatch));
     EXPECT_FALSE(isRetryable(ServiceStatus::kDeadlineExceeded));
     EXPECT_FALSE(isRetryable(ServiceStatus::kInternalError));
+    // Routing outcomes are not retryable *on the same node* — they
+    // re-dispatch to a different node instead (isRerouteable).
+    EXPECT_FALSE(isRetryable(ServiceStatus::kNotOwner));
+    EXPECT_FALSE(isRetryable(ServiceStatus::kRedirect));
+}
+
+TEST(Status, OnlyRoutingOutcomesAreRerouteable)
+{
+    EXPECT_TRUE(isRerouteable(ServiceStatus::kNotOwner));
+    EXPECT_TRUE(isRerouteable(ServiceStatus::kRedirect));
+    EXPECT_FALSE(isRerouteable(ServiceStatus::kOk));
+    EXPECT_FALSE(isRerouteable(ServiceStatus::kRetryLater));
+    EXPECT_FALSE(isRerouteable(ServiceStatus::kShuttingDown));
+    EXPECT_FALSE(isRerouteable(ServiceStatus::kInternalError));
+}
+
+
+// ---- cluster codecs ------------------------------------------------------
+
+static HashRing
+testRing()
+{
+    std::vector<RingNode> nodes;
+    std::string error;
+    EXPECT_TRUE(parseEndpointList(
+        "10.0.0.1:7001,10.0.0.2:7002,10.0.0.3:7003", nodes, error))
+        << error;
+    return HashRing::build(nodes, 64, 2, 7);
+}
+
+TEST(HashRing, IsAPureFunctionOfItsInputs)
+{
+    const HashRing a = testRing();
+    const HashRing b = testRing();
+    EXPECT_EQ(a, b);
+    // Same key, same owners, on independently built rings: that
+    // agreement is the routing protocol.
+    for (const char *workload : {"BFS", "MatrixMul", "LUD", "NN"}) {
+        const Hash128 key{0x1234u ^ workload[0], 0x5678u};
+        EXPECT_EQ(a.ownersFor(key), b.ownersFor(key));
+    }
+}
+
+TEST(HashRing, OwnersAreDistinctPrimaryFirstAndClamped)
+{
+    const HashRing ring = testRing();
+    const Hash128 key{42, 4242};
+    const std::vector<u32> owners = ring.ownersFor(key);
+    ASSERT_EQ(owners.size(), 2u); // replication 2
+    EXPECT_NE(owners[0], owners[1]);
+    EXPECT_EQ(ring.primaryFor(key), owners[0]);
+    EXPECT_TRUE(ring.owns(ring.nodes()[owners[0]].endpoint(), key));
+    EXPECT_TRUE(ring.owns(ring.nodes()[owners[1]].endpoint(), key));
+
+    // Replication beyond the member count clamps to the member count.
+    std::vector<RingNode> two;
+    std::string error;
+    ASSERT_TRUE(parseEndpointList("a:1,b:2", two, error));
+    const HashRing clamped = HashRing::build(two, 8, 5, 1);
+    EXPECT_EQ(clamped.replication(), 2u);
+    EXPECT_EQ(clamped.ownersFor(key).size(), 2u);
+}
+
+TEST(HashRing, SpreadsKeysAcrossEveryNode)
+{
+    const HashRing ring = testRing();
+    std::vector<u32> hits(ring.nodes().size(), 0);
+    for (u64 i = 0; i < 1000; ++i)
+        ++hits[ring.primaryFor(Hash128{i * 0x9e3779b97f4a7c15ull,
+                                       i ^ 0xdeadbeefull})];
+    for (size_t n = 0; n < hits.size(); ++n)
+        EXPECT_GT(hits[n], 100u) << "node " << n << " starved";
+}
+
+TEST(HashRing, MalformedEndpointsAndBadGeometryAreRejected)
+{
+    std::vector<RingNode> nodes;
+    std::string error;
+    EXPECT_FALSE(parseEndpointList("nocolon", nodes, error));
+    EXPECT_FALSE(parseEndpointList("host:notaport", nodes, error));
+    EXPECT_FALSE(parseEndpointList("host:0", nodes, error));
+    EXPECT_FALSE(parseEndpointList("host:70000", nodes, error));
+    EXPECT_FALSE(parseEndpointList("", nodes, error));
+
+    ASSERT_TRUE(parseEndpointList("a:1,a:1", nodes, error));
+    EXPECT_THROW(HashRing::build(nodes, 8, 1, 1), ConfigError);
+    ASSERT_TRUE(parseEndpointList("a:1,b:2", nodes, error));
+    EXPECT_THROW(HashRing::build(nodes, 8, 0, 1), ConfigError);
+    EXPECT_THROW(HashRing::build({}, 8, 1, 1), ConfigError);
+}
+
+TEST(RunCodec, RingEpochRoundTripsAndDefaultsToZero)
+{
+    ServiceRequest req;
+    req.workload = "BFS";
+    req.ringEpoch = 99;
+    ServiceRequest out;
+    std::string error;
+    ASSERT_EQ(decodeRunRequest(encodeRunRequest(req), out, error),
+              ServiceStatus::kOk)
+        << error;
+    EXPECT_EQ(out.ringEpoch, 99u);
+
+    // A v1 client never sends the field; it must decode as 0.
+    req.ringEpoch = 0;
+    const Message msg = encodeRunRequest(req);
+    EXPECT_EQ(msg.find("ring_epoch"), nullptr);
+    ASSERT_EQ(decodeRunRequest(msg, out, error), ServiceStatus::kOk);
+    EXPECT_EQ(out.ringEpoch, 0u);
+
+    Message bad = encodeRunRequest(req);
+    bad.fields.emplace_back("ring_epoch", "eleventy");
+    EXPECT_EQ(decodeRunRequest(bad, out, error),
+              ServiceStatus::kBadRequest);
+}
+
+TEST(RedirectCodec, RoundTripCarriesEpochAndOwners)
+{
+    const Message msg = makeRedirectResult(
+        ServiceStatus::kNotOwner, {"10.0.0.2:7002", "10.0.0.3:7003"}, 7,
+        "key is owned by another node");
+    SweepJobResult res;
+    std::string error;
+    EXPECT_EQ(decodeResult(msg, res, error), ServiceStatus::kNotOwner);
+
+    RedirectInfo info;
+    ASSERT_TRUE(decodeRedirect(msg, info));
+    EXPECT_EQ(info.ringEpoch, 7u);
+    ASSERT_EQ(info.owners.size(), 2u);
+    EXPECT_EQ(info.owners[0], "10.0.0.2:7002");
+    EXPECT_EQ(info.owners[1], "10.0.0.3:7003");
+}
+
+TEST(RedirectCodec, MissingEpochOrOwnersIsRejected)
+{
+    Message noEpoch = makeRedirectResult(ServiceStatus::kRedirect,
+                                         {"a:1"}, 3, "drain");
+    noEpoch.fields.erase(
+        std::remove_if(noEpoch.fields.begin(), noEpoch.fields.end(),
+                       [](const auto &kv) {
+                           return kv.first == "ring_epoch";
+                       }),
+        noEpoch.fields.end());
+    RedirectInfo info;
+    EXPECT_FALSE(decodeRedirect(noEpoch, info));
+
+    Message noOwners = makeRedirectResult(ServiceStatus::kRedirect, {},
+                                          3, "drain");
+    EXPECT_FALSE(decodeRedirect(noOwners, info));
+}
+
+TEST(ClusterCodec, RoundTripRebuildsTheSameRing)
+{
+    const HashRing ring = testRing();
+    const Message msg = encodeClusterInfo(ring, "10.0.0.2:7002");
+    EXPECT_EQ(msg.verb, kVerbCluster);
+
+    HashRing back;
+    std::string self, error;
+    ASSERT_TRUE(decodeClusterInfo(msg, back, self, error)) << error;
+    EXPECT_EQ(back, ring);
+    EXPECT_EQ(self, "10.0.0.2:7002");
+}
+
+TEST(ClusterCodec, EveryTruncatedPrefixFailsCleanly)
+{
+    // A partial frame — any byte prefix of a valid CLUSTER payload —
+    // must be rejected by the codec stack, never crash it.  This is
+    // the CLUSTER analogue of the framing fuzz: readFrame already
+    // guarantees whole payloads, so the decoders are the last line.
+    const std::string payload =
+        encodeClusterInfo(testRing(), "10.0.0.1:7001").encode();
+    for (size_t n = 0; n < payload.size(); ++n) {
+        const std::string prefix = payload.substr(0, n);
+        Message msg;
+        std::string error;
+        if (!Message::decode(prefix, msg, error))
+            continue; // structurally dead before the cluster codec
+        HashRing ring;
+        std::string self;
+        EXPECT_FALSE(decodeClusterInfo(msg, ring, self, error))
+            << "prefix of " << n << " bytes decoded as a full ring";
+    }
+}
+
+TEST(ClusterCodec, TamperedFieldsAreRejected)
+{
+    const HashRing ring = testRing();
+    const auto mutate = [&](const char *key, const char *value) {
+        Message msg = encodeClusterInfo(ring, "10.0.0.1:7001");
+        for (auto &[k, v] : msg.fields)
+            if (k == key)
+                v = value;
+        HashRing back;
+        std::string self, error;
+        return decodeClusterInfo(msg, back, self, error);
+    };
+    EXPECT_FALSE(mutate("ring_epoch", "minus-one"));
+    EXPECT_FALSE(mutate("replication", "0"));
+    EXPECT_FALSE(mutate("vnodes", "0"));
+    EXPECT_FALSE(mutate("vnodes", "1000000"));
+    EXPECT_FALSE(mutate("self", "not-a-member:9"));
+    EXPECT_FALSE(mutate("node", "broken-endpoint"));
+}
+
+TEST(StoreCodec, RoundTripCarriesNamingKeyAndBlob)
+{
+    ServiceRequest req;
+    req.workload = "BFS";
+    req.configName = "shrink50";
+    req.overrides = {{"numSms", "2"}};
+    const std::string key = "00112233445566778899aabbccddeeff";
+    const std::string blob = std::string("\x00\x01binary\xff", 9);
+
+    const Message msg = encodeStoreRequest(req, key, blob);
+    EXPECT_EQ(msg.verb, kVerbStore);
+
+    ServiceRequest out;
+    std::string outKey, error;
+    ASSERT_EQ(decodeStoreRequest(msg, out, outKey, error),
+              ServiceStatus::kOk)
+        << error;
+    EXPECT_EQ(out.workload, req.workload);
+    EXPECT_EQ(out.configName, req.configName);
+    EXPECT_EQ(out.overrides, req.overrides);
+    EXPECT_EQ(outKey, key);
+    EXPECT_EQ(msg.blob, blob);
+}
+
+TEST(StoreCodec, MissingKeyOrBlobIsRejected)
+{
+    ServiceRequest req;
+    req.workload = "BFS";
+    ServiceRequest out;
+    std::string outKey, error;
+
+    Message noKey = encodeStoreRequest(req, "", "blob");
+    EXPECT_EQ(decodeStoreRequest(noKey, out, outKey, error),
+              ServiceStatus::kBadRequest);
+
+    Message noBlob = encodeStoreRequest(req, "aa", "");
+    EXPECT_EQ(decodeStoreRequest(noBlob, out, outKey, error),
+              ServiceStatus::kBadRequest);
 }
 
 // ---- client backoff schedule --------------------------------------------
