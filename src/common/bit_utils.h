@@ -61,6 +61,13 @@ ceilDiv(u64 num, u64 den)
     return (num + den - 1) / den;
 }
 
+/** True when @p x is a nonzero power of two. */
+inline bool
+isPow2(u64 x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
 } // namespace rfv
 
 #endif // RFV_COMMON_BIT_UTILS_H

@@ -5,6 +5,13 @@
  * A splitmix64-seeded xoshiro256** generator.  Every stochastic element of
  * the simulator and the test suite draws from this class so that runs are
  * reproducible from a single seed.
+ *
+ * SeedSeq is the splittable seed-sequence layer on top: subsystems that
+ * each need their own decorrelated stream (the kernel generator's knob /
+ * body / input-data streams, fuzz-scenario derivation, client retry
+ * jitter) derive *child* seeds from one root instead of handing out
+ * root, root+1, root+2 — adjacent raw seeds are exactly the correlated
+ * streams a differential fuzzer must not feed itself.
  */
 #ifndef RFV_COMMON_RNG_H
 #define RFV_COMMON_RNG_H
@@ -79,6 +86,64 @@ class Rng {
     }
 
     u64 state_[4];
+};
+
+/**
+ * Splittable seed sequence: a 64-bit state from which independent child
+ * sequences (and leaf Rng streams) are derived by index.
+ *
+ * Derivation is a pure function of (state, index) — no hidden counter —
+ * so `root.child(i)` names the same stream no matter how many other
+ * children were derived before it, from which thread, or in which
+ * process.  The mixing function below is FROZEN: child seeds are baked
+ * into generated-kernel identities (`gen:` workload names, result-cache
+ * keys) and the committed fuzz regression corpus, so changing it is a
+ * corpus-invalidating event on par with bumping kSimulatorVersion.
+ *
+ * Children at distinct indices, and grandchildren of distinct children,
+ * go through independent full-avalanche mixes, so the streams do not
+ * correlate the way `Rng(seed)` / `Rng(seed + 1)` pairs can.
+ */
+class SeedSeq {
+  public:
+    explicit SeedSeq(u64 root) : state_(mix(root ^ kRootTag)) {}
+
+    /** Child sequence @p index (stable under any derivation order). */
+    SeedSeq
+    child(u64 index) const
+    {
+        return SeedSeq(FromState{},
+                       mix(state_ ^ (kChildGamma * (index + 1))));
+    }
+
+    /** Leaf seed for this node (feed to Rng or store in a spec). */
+    u64 seed() const { return state_; }
+
+    /** Rng over this node's stream. */
+    Rng rng() const { return Rng(state_); }
+
+  private:
+    struct FromState {};
+    SeedSeq(FromState, u64 state) : state_(state) {}
+
+    /** splitmix64 finalizer: full-avalanche 64-bit mix. */
+    static u64
+    mix(u64 x)
+    {
+        x ^= x >> 30;
+        x *= 0xbf58476d1ce4e5b9ull;
+        x ^= x >> 27;
+        x *= 0x94d049bb133111ebull;
+        x ^= x >> 31;
+        return x;
+    }
+
+    // Distinct tag constants keep a root's own stream, its children and
+    // a *different* root's children in separate hash domains.
+    static constexpr u64 kRootTag = 0x8f462907'5f3c0e15ull;
+    static constexpr u64 kChildGamma = 0x9e3779b9'7f4a7c15ull;
+
+    u64 state_;
 };
 
 } // namespace rfv

@@ -1,0 +1,211 @@
+#include "gen/gen_spec.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/bit_utils.h"
+#include "common/error.h"
+
+namespace rfv {
+
+namespace {
+
+bool
+parseU64(const std::string &s, u64 &out)
+{
+    if (s.empty())
+        return false;
+    u64 v = 0;
+    for (char c : s) {
+        if (c < '0' || c > '9')
+            return false;
+        if (v > (~0ull - (c - '0')) / 10)
+            return false; // overflow
+        v = v * 10 + static_cast<u64>(c - '0');
+    }
+    out = v;
+    return true;
+}
+
+bool
+parseU32(const std::string &s, u32 &out)
+{
+    u64 v = 0;
+    if (!parseU64(s, v) || v > 0xffffffffull)
+        return false;
+    out = static_cast<u32>(v);
+    return true;
+}
+
+/** Split @p s on @p sep (no empty-token elision). */
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    for (size_t i = 0; i <= s.size(); ++i) {
+        if (i == s.size() || s[i] == sep) {
+            out.push_back(s.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+GenSpec::name() const
+{
+    std::ostringstream os;
+    os << kGenWorkloadPrefix << "s" << seed << ":d" << depth << ":b"
+       << blocks << ":r" << regs << ":l" << longLived << ":w"
+       << loopWeight << "." << branchWeight << "." << memWeight << ":a"
+       << auxStores << ":x" << (exchanges ? 1 : 0)
+       << (earlyExits ? 1 : 0) << ":g" << ctas << "x" << threadsPerCta
+       << "x" << concCtasPerSm;
+    if (!prune.empty()) {
+        os << ":p";
+        for (size_t i = 0; i < prune.size(); ++i)
+            os << (i ? "." : "") << prune[i];
+    }
+    return os.str();
+}
+
+bool
+GenSpec::parse(const std::string &name, GenSpec &spec, std::string &error)
+{
+    const std::string prefix = kGenWorkloadPrefix;
+    if (name.rfind(prefix, 0) != 0) {
+        error = "not a generated-workload name (missing '" + prefix +
+                "' prefix): " + name;
+        return false;
+    }
+    GenSpec out;
+    out.prune.clear();
+    out.exchanges = false;
+    out.earlyExits = false;
+
+    // Every field must appear exactly once; 'p' is optional.
+    u32 seen = 0;
+    const auto mark = [&](u32 bit) {
+        if (seen & (1u << bit))
+            return false;
+        seen |= 1u << bit;
+        return true;
+    };
+
+    const auto fields =
+        split(name.substr(prefix.size()), ':');
+    for (const std::string &field : fields) {
+        if (field.size() < 2) {
+            error = "malformed gen field '" + field + "' in " + name;
+            return false;
+        }
+        const char key = field[0];
+        const std::string val = field.substr(1);
+        bool ok = true;
+        switch (key) {
+          case 's':
+            ok = mark(0) && parseU64(val, out.seed);
+            break;
+          case 'd':
+            ok = mark(1) && parseU32(val, out.depth);
+            break;
+          case 'b':
+            ok = mark(2) && parseU32(val, out.blocks);
+            break;
+          case 'r':
+            ok = mark(3) && parseU32(val, out.regs);
+            break;
+          case 'l':
+            ok = mark(4) && parseU32(val, out.longLived);
+            break;
+          case 'w': {
+            const auto parts = split(val, '.');
+            ok = mark(5) && parts.size() == 3 &&
+                 parseU32(parts[0], out.loopWeight) &&
+                 parseU32(parts[1], out.branchWeight) &&
+                 parseU32(parts[2], out.memWeight);
+            break;
+          }
+          case 'a':
+            ok = mark(6) && parseU32(val, out.auxStores);
+            break;
+          case 'x': {
+            ok = mark(7) && val.size() == 2 &&
+                 (val[0] == '0' || val[0] == '1') &&
+                 (val[1] == '0' || val[1] == '1');
+            if (ok) {
+                out.exchanges = val[0] == '1';
+                out.earlyExits = val[1] == '1';
+            }
+            break;
+          }
+          case 'g': {
+            const auto parts = split(val, 'x');
+            ok = mark(8) && parts.size() == 3 &&
+                 parseU32(parts[0], out.ctas) &&
+                 parseU32(parts[1], out.threadsPerCta) &&
+                 parseU32(parts[2], out.concCtasPerSm);
+            break;
+          }
+          case 'p': {
+            for (const std::string &id : split(val, '.')) {
+                u32 v = 0;
+                if (!parseU32(id, v)) {
+                    ok = false;
+                    break;
+                }
+                out.prune.push_back(v);
+            }
+            break;
+          }
+          default:
+            ok = false;
+            break;
+        }
+        if (!ok) {
+            error = "bad gen field '" + field + "' in " + name;
+            return false;
+        }
+    }
+    if (seen != 0x1ff) {
+        error = "gen name missing required fields: " + name;
+        return false;
+    }
+    try {
+        out.validate();
+    } catch (const ConfigError &e) {
+        error = e.what();
+        return false;
+    }
+    spec = std::move(out);
+    return true;
+}
+
+void
+GenSpec::validate()
+{
+    fatalIf(ctas == 0 || threadsPerCta == 0 || concCtasPerSm == 0,
+            "gen spec needs nonzero launch geometry: " + name());
+    fatalIf(threadsPerCta > 1024,
+            "gen spec threadsPerCta too large: " + name());
+    fatalIf(ctas > 4096, "gen spec grid too large: " + name());
+    fatalIf(regs < 4 || regs > 48,
+            "gen spec regs out of [4, 48]: " + name());
+    fatalIf(longLived > regs,
+            "gen spec longLived exceeds regs: " + name());
+    fatalIf(depth > 4, "gen spec depth out of [0, 4]: " + name());
+    fatalIf(blocks == 0 || blocks > 64,
+            "gen spec blocks out of [1, 64]: " + name());
+    fatalIf(loopWeight > 16 || branchWeight > 16 || memWeight > 16,
+            "gen spec construct weight out of [0, 16]: " + name());
+    fatalIf(auxStores > 4, "gen spec auxStores out of [0, 4]: " + name());
+    fatalIf(exchanges && !isPow2(threadsPerCta),
+            "gen spec exchanges need a power-of-two CTA: " + name());
+    std::sort(prune.begin(), prune.end());
+    prune.erase(std::unique(prune.begin(), prune.end()), prune.end());
+}
+
+} // namespace rfv

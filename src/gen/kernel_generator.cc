@@ -1,0 +1,494 @@
+#include "gen/kernel_generator.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "isa/builder.h"
+
+namespace rfv {
+
+namespace {
+
+// SeedSeq child-stream indices of one spec's root.  Frozen: these
+// feed committed corpus entries and golden program hashes.
+constexpr u64 kStreamInit = 0;  //!< vreg prologue constants
+constexpr u64 kStreamBody = 1;  //!< construct tree
+constexpr u64 kStreamInput = 2; //!< input-region content
+constexpr u64 kStreamOut = 3;   //!< initial output-region pattern
+
+/** Stateful IR builder walking the construct grammar. */
+class IrBuilder {
+  public:
+    explicit IrBuilder(const GenSpec &spec)
+        : spec_(spec), rng_(SeedSeq(spec.seed).child(kStreamBody).rng())
+    {
+    }
+
+    GenIr
+    run()
+    {
+        GenIr ir;
+        ir.spec = spec_;
+
+        Rng initRng = SeedSeq(spec_.seed).child(kStreamInit).rng();
+        ir.init.resize(spec_.regs);
+        for (GenInit &init : ir.init) {
+            // Odd multiplier: gtid*mulA is a bijection mod 2^32, so
+            // every thread starts from distinct register values.
+            init.mulA = static_cast<u32>(initRng.next64()) | 1u;
+            init.addB = static_cast<u32>(initRng.next64());
+        }
+
+        ir.top.reserve(spec_.blocks);
+        for (u32 i = 0; i < spec_.blocks; ++i)
+            ir.top.push_back(construct(0));
+        ir.numNodes = nextId_;
+
+        applyPrune(ir.top);
+        return ir;
+    }
+
+  private:
+    u32
+    pickReg()
+    {
+        return static_cast<u32>(rng_.below(spec_.regs));
+    }
+
+    GenSrc
+    pickSrc()
+    {
+        if (rng_.chance(1, 4))
+            return GenSrc::immediate(
+                static_cast<u32>(rng_.below(1u << 16)));
+        return GenSrc::reg(pickReg());
+    }
+
+    CmpOp
+    pickCmp()
+    {
+        return static_cast<CmpOp>(rng_.below(6));
+    }
+
+    GenNode
+    makeNode(GenNode::Kind kind)
+    {
+        GenNode n;
+        n.kind = kind;
+        n.id = nextId_++;
+        return n;
+    }
+
+    GenNode
+    arith()
+    {
+        GenNode n = makeNode(GenNode::Kind::kArith);
+        n.op = static_cast<GenOp>(rng_.below(11));
+        n.dst = pickReg();
+        n.a = pickSrc();
+        n.b = pickSrc();
+        if (n.op == GenOp::kMad)
+            n.c = pickSrc();
+        return n;
+    }
+
+    GenNode
+    load()
+    {
+        GenNode n = makeNode(GenNode::Kind::kLoad);
+        n.dst = pickReg();
+        n.a = GenSrc::reg(pickReg());
+        n.salt = static_cast<u32>(rng_.below(1u << 16));
+        return n;
+    }
+
+    GenNode
+    ifElse(u32 depth)
+    {
+        GenNode n = makeNode(GenNode::Kind::kIf);
+        n.a = GenSrc::reg(pickReg());
+        n.cmp = pickCmp();
+        n.imm = static_cast<u32>(rng_.below(64));
+        body(n.body, depth + 1);
+        if (rng_.chance(3, 4))
+            body(n.elseBody, depth + 1);
+        return n;
+    }
+
+    GenNode
+    loop(u32 depth)
+    {
+        GenNode n = makeNode(GenNode::Kind::kLoop);
+        n.divergent = rng_.chance(1, 2);
+        n.trip = 2 + static_cast<u32>(rng_.below(3));
+        body(n.body, depth + 1);
+        return n;
+    }
+
+    GenNode
+    exchange()
+    {
+        GenNode n = makeNode(GenNode::Kind::kExchange);
+        n.a = GenSrc::reg(pickReg());
+        n.dst = pickReg();
+        n.offset =
+            1 + static_cast<u32>(rng_.below(spec_.threadsPerCta - 1));
+        return n;
+    }
+
+    GenNode
+    earlyExit()
+    {
+        GenNode n = makeNode(GenNode::Kind::kEarlyExit);
+        // Half the draws name a tid outside the CTA: no lane exits,
+        // but the guarded-exit CFG edge still exists.
+        n.salt =
+            static_cast<u32>(rng_.below(2ull * spec_.threadsPerCta));
+        return n;
+    }
+
+    GenNode
+    auxStore()
+    {
+        GenNode n = makeNode(GenNode::Kind::kAuxStore);
+        n.aux = 1 + static_cast<u32>(rng_.below(spec_.auxStores));
+        n.a = GenSrc::reg(pickReg());
+        return n;
+    }
+
+    void
+    body(std::vector<GenNode> &out, u32 depth)
+    {
+        const u32 constructs = 1 + static_cast<u32>(rng_.below(3));
+        out.reserve(constructs);
+        for (u32 i = 0; i < constructs; ++i)
+            out.push_back(construct(depth));
+    }
+
+    GenNode
+    construct(u32 depth)
+    {
+        // Weighted pick over the constructs legal at this depth.  The
+        // weight table is consulted in a fixed order so the RNG
+        // consumption is a pure function of (spec, position).
+        const bool nested = depth < spec_.depth;
+        const bool top = depth == 0;
+        const u32 wArith = 6;
+        const u32 wLoad = spec_.memWeight;
+        const u32 wIf = nested ? spec_.branchWeight : 0;
+        const u32 wLoop = nested ? spec_.loopWeight : 0;
+        const u32 wExch = (top && spec_.exchanges) ? 2 : 0;
+        const u32 wBar = top ? 1 : 0;
+        const u32 wExit = (top && spec_.earlyExits) ? 1 : 0;
+        const u32 wAux = (top && spec_.auxStores > 0) ? 1 : 0;
+        const u32 total = wArith + wLoad + wIf + wLoop + wExch + wBar +
+                          wExit + wAux;
+        u32 roll = static_cast<u32>(rng_.below(total));
+
+        if (roll < wArith)
+            return arith();
+        roll -= wArith;
+        if (roll < wLoad)
+            return load();
+        roll -= wLoad;
+        if (roll < wIf)
+            return ifElse(depth);
+        roll -= wIf;
+        if (roll < wLoop)
+            return loop(depth);
+        roll -= wLoop;
+        if (roll < wExch)
+            return exchange();
+        roll -= wExch;
+        if (roll < wBar)
+            return makeNode(GenNode::Kind::kBarrier);
+        roll -= wBar;
+        if (roll < wExit)
+            return earlyExit();
+        return auxStore();
+    }
+
+    /** Drop every node whose id is in the spec's prune list. */
+    void
+    applyPrune(std::vector<GenNode> &nodes)
+    {
+        if (spec_.prune.empty())
+            return;
+        const auto pruned = [this](const GenNode &n) {
+            return std::binary_search(spec_.prune.begin(),
+                                      spec_.prune.end(), n.id);
+        };
+        nodes.erase(
+            std::remove_if(nodes.begin(), nodes.end(), pruned),
+            nodes.end());
+        for (GenNode &n : nodes) {
+            applyPrune(n.body);
+            applyPrune(n.elseBody);
+        }
+    }
+
+    const GenSpec &spec_;
+    Rng rng_;
+    u32 nextId_ = 0;
+};
+
+/** Lowers a pruned IR to builder calls. */
+class Lowering {
+  public:
+    explicit Lowering(const GenIr &ir)
+        : ir_(ir), spec_(ir.spec), b_(spec_.name())
+    {
+    }
+
+    Program
+    run()
+    {
+        // Fixed register file layout: the virtual registers first (so
+        // the pressure knob directly sets the low ids the renamer
+        // sees), then the addressing/scratch registers, then one
+        // counter + limit pair per loop-nesting level.
+        for (u32 i = 0; i < spec_.regs; ++i)
+            vreg_.push_back(b_.reg());
+        tid_ = b_.reg();
+        gtid_ = b_.reg();
+        outAddr_ = b_.reg();
+        scratch_ = b_.reg();
+        xtmp_ = b_.reg();
+        for (u32 d = 0; d <= spec_.depth; ++d) {
+            counter_.push_back(b_.reg());
+            limit_.push_back(b_.reg());
+        }
+        if (spec_.exchanges)
+            b_.setSharedMem(spec_.threadsPerCta * 4);
+
+        // Prologue: thread identity, output address, vreg init.
+        b_.s2r(tid_, SpecialReg::kTid);
+        b_.s2r(gtid_, SpecialReg::kCtaId);
+        b_.s2r(scratch_, SpecialReg::kNTid);
+        b_.imad(gtid_, R(gtid_), R(scratch_), R(tid_));
+        b_.iadd(outAddr_, R(gtid_), I(kGenInputWords));
+        b_.shl(outAddr_, R(outAddr_), I(2));
+        for (u32 i = 0; i < spec_.regs; ++i) {
+            b_.mov(vreg_[i], I(ir_.init[i].addB));
+            b_.imad(vreg_[i], R(gtid_), I(ir_.init[i].mulA),
+                    R(vreg_[i]));
+        }
+
+        for (const GenNode &n : ir_.top)
+            lower(n, 0);
+
+        // Checksum epilogue: fold the long-lived band into vreg[0]
+        // (keeping those registers live to the last instruction),
+        // store the checksum to this thread's output word, exit.
+        const u32 first =
+            std::max(1u, spec_.regs - spec_.longLived);
+        for (u32 i = first; i < spec_.regs; ++i)
+            b_.xor_(vreg_[0], R(vreg_[0]), R(vreg_[i]));
+        b_.stg(outAddr_, 0, vreg_[0]);
+        b_.exit();
+        return b_.build();
+    }
+
+  private:
+    Operand
+    src(const GenSrc &s) const
+    {
+        return s.imm ? I(s.v) : R(vreg_[s.v]);
+    }
+
+    void
+    lowerArith(const GenNode &n)
+    {
+        const u32 d = vreg_[n.dst];
+        const Operand a = src(n.a);
+        const Operand b = src(n.b);
+        switch (n.op) {
+          case GenOp::kAdd: b_.iadd(d, a, b); break;
+          case GenOp::kSub: b_.isub(d, a, b); break;
+          case GenOp::kMul: b_.imul(d, a, b); break;
+          case GenOp::kMad: b_.imad(d, a, b, src(n.c)); break;
+          case GenOp::kMin: b_.imin(d, a, b); break;
+          case GenOp::kMax: b_.imax(d, a, b); break;
+          case GenOp::kAnd: b_.and_(d, a, b); break;
+          case GenOp::kOr: b_.or_(d, a, b); break;
+          case GenOp::kXor: b_.xor_(d, a, b); break;
+          case GenOp::kShl: b_.shl(d, a, b); break;
+          case GenOp::kShr: b_.shr(d, a, b); break;
+        }
+    }
+
+    void
+    lowerLoad(const GenNode &n)
+    {
+        b_.xor_(scratch_, R(vreg_[n.a.v]), I(n.salt));
+        b_.and_(scratch_, R(scratch_), I(kGenInputWords - 1));
+        b_.shl(scratch_, R(scratch_), I(2));
+        b_.ldg(vreg_[n.dst], scratch_, 0);
+    }
+
+    void
+    lowerIf(const GenNode &n, u32 depth)
+    {
+        const u32 p = depth & 3;
+        const std::string elseL = "e" + std::to_string(n.id);
+        const std::string joinL = "j" + std::to_string(n.id);
+        b_.setp(p, n.cmp, R(vreg_[n.a.v]), I(n.imm));
+        b_.guard(static_cast<i32>(p), true).bra(elseL);
+        for (const GenNode &child : n.body)
+            lower(child, depth + 1);
+        b_.bra(joinL);
+        b_.label(elseL);
+        for (const GenNode &child : n.elseBody)
+            lower(child, depth + 1);
+        b_.label(joinL);
+    }
+
+    void
+    lowerLoop(const GenNode &n, u32 depth)
+    {
+        // Counter and divergent limit live in per-depth dedicated
+        // registers the body cannot clobber (vregs are disjoint), so
+        // the trip count is always bounded.
+        const u32 p = 4 + (depth & 3);
+        const u32 counter = counter_[std::min<size_t>(
+            depth, counter_.size() - 1)];
+        const u32 limit =
+            limit_[std::min<size_t>(depth, limit_.size() - 1)];
+        const std::string topL = "t" + std::to_string(n.id);
+        b_.mov(counter, I(0));
+        if (n.divergent)
+            b_.and_(limit, R(tid_), I(3));
+        b_.label(topL);
+        for (const GenNode &child : n.body)
+            lower(child, depth + 1);
+        b_.iadd(counter, R(counter), I(1));
+        if (n.divergent)
+            b_.setp(p, CmpOp::kLe, R(counter), R(limit));
+        else
+            b_.setp(p, CmpOp::kLt, R(counter), I(n.trip));
+        b_.guard(static_cast<i32>(p)).bra(topL);
+    }
+
+    void
+    lowerExchange(const GenNode &n)
+    {
+        // shared[tid] = vreg[a]; bar;
+        // vreg[dst] ^= shared[(tid + offset) & (ntid - 1)]; bar.
+        // The second barrier keeps a later stage's stores from racing
+        // this stage's reads.
+        b_.shl(scratch_, R(tid_), I(2));
+        b_.sts(scratch_, 0, vreg_[n.a.v]);
+        b_.bar();
+        b_.s2r(xtmp_, SpecialReg::kNTid);
+        b_.isub(xtmp_, R(xtmp_), I(1));
+        b_.iadd(scratch_, R(tid_), I(n.offset));
+        b_.and_(scratch_, R(scratch_), R(xtmp_));
+        b_.shl(scratch_, R(scratch_), I(2));
+        b_.lds(scratch_, scratch_, 0);
+        b_.xor_(vreg_[n.dst], R(vreg_[n.dst]), R(scratch_));
+        b_.bar();
+    }
+
+    void
+    lowerEarlyExit(const GenNode &n)
+    {
+        b_.setp(3, CmpOp::kEq, R(tid_), I(n.salt));
+        b_.guard(3);
+        b_.exit();
+    }
+
+    void
+    lowerAuxStore(const GenNode &n)
+    {
+        // out[inputWords + aux*totalThreads + gtid] = vreg[a].  The
+        // total thread count is computed at run time (nctaid * ntid)
+        // so the program bytes stay independent of the launch scaling.
+        b_.s2r(xtmp_, SpecialReg::kNCtaId);
+        b_.s2r(scratch_, SpecialReg::kNTid);
+        b_.imul(xtmp_, R(xtmp_), R(scratch_));
+        b_.imul(xtmp_, R(xtmp_), I(n.aux));
+        b_.iadd(xtmp_, R(xtmp_), R(gtid_));
+        b_.iadd(xtmp_, R(xtmp_), I(kGenInputWords));
+        b_.shl(xtmp_, R(xtmp_), I(2));
+        b_.stg(xtmp_, 0, vreg_[n.a.v]);
+    }
+
+    void
+    lower(const GenNode &n, u32 depth)
+    {
+        switch (n.kind) {
+          case GenNode::Kind::kArith: lowerArith(n); break;
+          case GenNode::Kind::kLoad: lowerLoad(n); break;
+          case GenNode::Kind::kIf: lowerIf(n, depth); break;
+          case GenNode::Kind::kLoop: lowerLoop(n, depth); break;
+          case GenNode::Kind::kExchange: lowerExchange(n); break;
+          case GenNode::Kind::kBarrier: b_.bar(); break;
+          case GenNode::Kind::kEarlyExit: lowerEarlyExit(n); break;
+          case GenNode::Kind::kAuxStore: lowerAuxStore(n); break;
+        }
+    }
+
+    const GenIr &ir_;
+    const GenSpec &spec_;
+    KernelBuilder b_;
+    std::vector<u32> vreg_;
+    std::vector<u32> counter_, limit_;
+    u32 tid_ = 0, gtid_ = 0, outAddr_ = 0, scratch_ = 0, xtmp_ = 0;
+};
+
+void
+collectIds(const std::vector<GenNode> &nodes, std::vector<u32> &out)
+{
+    for (const GenNode &n : nodes) {
+        out.push_back(n.id);
+        collectIds(n.body, out);
+        collectIds(n.elseBody, out);
+    }
+}
+
+} // namespace
+
+GenIr
+buildGenIr(const GenSpec &spec)
+{
+    GenSpec validated = spec;
+    validated.validate();
+    return IrBuilder(validated).run();
+}
+
+Program
+lowerGenIr(const GenIr &ir)
+{
+    return Lowering(ir).run();
+}
+
+std::vector<u32>
+genInputWords(const GenSpec &spec)
+{
+    Rng rng = SeedSeq(spec.seed).child(kStreamInput).rng();
+    std::vector<u32> words(kGenInputWords);
+    for (u32 &w : words)
+        w = static_cast<u32>(rng.next64());
+    return words;
+}
+
+u32
+genInitialOutputWord(const GenSpec &spec, u32 index)
+{
+    // Random-access derivation: early-exited threads must leave their
+    // word untouched, so the reference needs the pre-kernel value of
+    // any output word without streaming through the whole region.
+    return static_cast<u32>(
+        SeedSeq(spec.seed).child(kStreamOut).child(index).seed());
+}
+
+std::vector<u32>
+collectNodeIds(const GenIr &ir)
+{
+    std::vector<u32> ids;
+    collectIds(ir.top, ids);
+    return ids;
+}
+
+} // namespace rfv

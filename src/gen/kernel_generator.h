@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Deterministic, seed-addressed kernel generator.
+ *
+ * Generation is split into three layers so the same intermediate
+ * representation drives both the simulated program and its host-side
+ * oracle:
+ *
+ *   GenSpec --buildGenIr--> GenIr --lowerGenIr--------> Program
+ *                                 --referenceOutput--> expected memory
+ *
+ * The IR is a tree of structured constructs (straight-line ALU ops,
+ * data-dependent loads, if/else with reconvergence, counted and
+ * divergent loops, shared-memory exchanges, barriers, guarded early
+ * exits, auxiliary stores).  Every node carries a stable preorder id;
+ * the minimizer shrinks kernels by *pruning* subtrees by id, which
+ * never perturbs the RNG draws of the surviving nodes — the shrunken
+ * kernel is byte-identical to the original minus the pruned code.
+ *
+ * Self-checking contract: every thread folds its live registers into a
+ * checksum and stores it to its private output word; the host-side
+ * reference (reference.h) computes the same value from the same IR by
+ * independent interpretation, and the workload adapter compares the
+ * full output image word by word after simulation.
+ *
+ * Determinism contract: buildGenIr/lowerGenIr are pure functions of
+ * the spec — no globals, no pointers hashed, no iteration-order
+ * dependence — so any process, thread, or `-j` level produces
+ * byte-identical programs for the same spec (tests/test_gen.cc pins
+ * golden program hashes).
+ */
+#ifndef RFV_GEN_KERNEL_GENERATOR_H
+#define RFV_GEN_KERNEL_GENERATOR_H
+
+#include <vector>
+
+#include "gen/gen_spec.h"
+#include "isa/program.h"
+
+namespace rfv {
+
+/** IR arithmetic ops (all u32 lane semantics, like the machine). */
+enum class GenOp : u8 {
+    kAdd,
+    kSub,
+    kMul,
+    kMad, // d = a*b + c
+    kMin, // signed
+    kMax, // signed
+    kAnd,
+    kOr,
+    kXor,
+    kShl, // count masked & 31
+    kShr, // logical, count masked & 31
+};
+
+/** IR source operand: a virtual register index or an immediate. */
+struct GenSrc {
+    bool imm = false;
+    u32 v = 0; //!< virtual register index, or immediate value
+
+    static GenSrc reg(u32 r) { return {false, r}; }
+    static GenSrc immediate(u32 val) { return {true, val}; }
+};
+
+/** One structured IR construct. */
+struct GenNode {
+    enum class Kind : u8 {
+        kArith,    //!< vreg[dst] = op(a, b[, c])
+        kLoad,     //!< vreg[dst] = input[(vreg[a] ^ salt) & mask]
+        kIf,       //!< if (vreg[a] cmp imm) body else elseBody
+        kLoop,     //!< counted or divergent (tid & 3) trip count
+        kExchange, //!< shared[tid] = vreg[a]; bar; vreg[dst] ^= neighbour
+        kBarrier,  //!< CTA barrier (top level only)
+        kEarlyExit, //!< lanes with tid == salt retire here
+        kAuxStore, //!< out[aux*threads + gtid] = vreg[a]
+    };
+
+    Kind kind = Kind::kArith;
+    u32 id = 0; //!< stable preorder id (prune handle)
+
+    GenOp op = GenOp::kAdd; //!< kArith
+    u32 dst = 0;            //!< kArith / kLoad / kExchange
+    GenSrc a, b, c;         //!< operands (a.v = source vreg for most kinds)
+    u32 salt = 0;           //!< kLoad address salt / kEarlyExit tid
+    CmpOp cmp = CmpOp::kEq; //!< kIf condition
+    u32 imm = 0;            //!< kIf comparison immediate
+    bool divergent = false; //!< kLoop: trip = tid & 3 instead of a constant
+    u32 trip = 2;           //!< kLoop constant trip count
+    u32 offset = 1;         //!< kExchange neighbour distance
+    u32 aux = 1;            //!< kAuxStore output plane [1, auxStores]
+
+    std::vector<GenNode> body;     //!< kIf then / kLoop body
+    std::vector<GenNode> elseBody; //!< kIf else
+};
+
+/** Per-vreg prologue initialisation: vreg[i] = gtid * mulA + addB. */
+struct GenInit {
+    u32 mulA = 1;
+    u32 addB = 0;
+};
+
+/** The generated kernel, pre-lowering. */
+struct GenIr {
+    GenSpec spec;              //!< the identity this IR was built from
+    std::vector<GenInit> init; //!< one per virtual register
+    std::vector<GenNode> top;  //!< top-level construct list (pruned)
+    u32 numNodes = 0;          //!< ids assigned before pruning
+};
+
+/**
+ * Build the IR for @p spec (validated copy), applying its prune list.
+ * Pure function of the spec.
+ */
+GenIr buildGenIr(const GenSpec &spec);
+
+/** Lower @p ir to an executable Program.  Pure function of the IR. */
+Program lowerGenIr(const GenIr &ir);
+
+/** Deterministic input-region content for @p spec (kGenInputWords). */
+std::vector<u32> genInputWords(const GenSpec &spec);
+
+/**
+ * Initial value of output word @p index (the value early-exited
+ * threads leave behind; setup() pre-fills the region with these).
+ */
+u32 genInitialOutputWord(const GenSpec &spec, u32 index);
+
+/** All node ids present in @p ir (preorder; prune candidates). */
+std::vector<u32> collectNodeIds(const GenIr &ir);
+
+} // namespace rfv
+
+#endif // RFV_GEN_KERNEL_GENERATOR_H

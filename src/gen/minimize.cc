@@ -1,0 +1,225 @@
+#include "gen/minimize.h"
+
+#include <algorithm>
+
+#include "gen/kernel_generator.h"
+
+namespace rfv {
+
+namespace {
+
+/** Budget-capped predicate wrapper. */
+class Tester {
+  public:
+    Tester(const std::function<bool(const GenSpec &)> &pred, u32 budget)
+        : pred_(pred), budget_(budget)
+    {
+    }
+
+    bool
+    fails(const GenSpec &candidate)
+    {
+        if (testsRun_ >= budget_)
+            return false; // out of budget: treat as "does not reproduce"
+        ++testsRun_;
+        return pred_(candidate);
+    }
+
+    u32 testsRun() const { return testsRun_; }
+    bool exhausted() const { return testsRun_ >= budget_; }
+
+  private:
+    const std::function<bool(const GenSpec &)> &pred_;
+    const u32 budget_;
+    u32 testsRun_ = 0;
+};
+
+/**
+ * Knob-shrinking pass: each transform proposes a strictly smaller
+ * spec; accepted shrinks restart the scan (a smaller kernel may make
+ * previously rejected shrinks viable).  Every transform clears the
+ * prune list — node ids do not survive a knob change.
+ */
+GenSpec
+shrinkKnobs(GenSpec spec, Tester &tester)
+{
+    using Transform = bool (*)(GenSpec &);
+    // Ordered most-drastic first: dropping whole feature classes
+    // before trimming counts converges in fewer predicate calls.
+    static constexpr Transform kTransforms[] = {
+        [](GenSpec &s) {
+            if (s.blocks <= 1)
+                return false;
+            s.blocks /= 2;
+            return true;
+        },
+        [](GenSpec &s) {
+            if (s.depth == 0)
+                return false;
+            --s.depth;
+            return true;
+        },
+        [](GenSpec &s) {
+            if (!s.exchanges)
+                return false;
+            s.exchanges = false;
+            return true;
+        },
+        [](GenSpec &s) {
+            if (!s.earlyExits)
+                return false;
+            s.earlyExits = false;
+            return true;
+        },
+        [](GenSpec &s) {
+            if (s.auxStores == 0)
+                return false;
+            s.auxStores = 0;
+            return true;
+        },
+        [](GenSpec &s) {
+            if (s.memWeight == 0)
+                return false;
+            s.memWeight = 0;
+            return true;
+        },
+        [](GenSpec &s) {
+            if (s.loopWeight == 0)
+                return false;
+            s.loopWeight = 0;
+            return true;
+        },
+        [](GenSpec &s) {
+            if (s.branchWeight == 0)
+                return false;
+            s.branchWeight = 0;
+            return true;
+        },
+        [](GenSpec &s) {
+            if (s.regs <= 4)
+                return false;
+            s.regs = std::max(4u, s.regs / 2);
+            s.longLived = std::min(s.longLived, s.regs);
+            return true;
+        },
+        [](GenSpec &s) {
+            if (s.longLived == 0)
+                return false;
+            s.longLived = 0;
+            return true;
+        },
+        [](GenSpec &s) {
+            if (s.ctas <= 1)
+                return false;
+            s.ctas /= 2;
+            return true;
+        },
+        [](GenSpec &s) {
+            // Halving keeps a power of two (exchange constraint).
+            if (s.threadsPerCta <= 32)
+                return false;
+            s.threadsPerCta /= 2;
+            return true;
+        },
+        [](GenSpec &s) {
+            if (s.concCtasPerSm <= 1)
+                return false;
+            s.concCtasPerSm /= 2;
+            return true;
+        },
+    };
+
+    bool progress = true;
+    while (progress && !tester.exhausted()) {
+        progress = false;
+        for (const Transform &transform : kTransforms) {
+            GenSpec candidate = spec;
+            candidate.prune.clear();
+            if (!transform(candidate))
+                continue;
+            candidate.validate();
+            if (tester.fails(candidate)) {
+                spec = candidate;
+                progress = true;
+            }
+        }
+    }
+    return spec;
+}
+
+/**
+ * ddmin-style node pruning: try removing chunks of the surviving node
+ * ids (halving the chunk size down to single nodes) while the failure
+ * reproduces.  Pruning a parent id drops its whole subtree, so large
+ * chunks converge quickly on tree-shaped kernels.
+ */
+GenSpec
+pruneNodes(GenSpec spec, Tester &tester)
+{
+    std::vector<u32> alive = collectNodeIds(buildGenIr(spec));
+    size_t chunk = std::max<size_t>(1, alive.size() / 2);
+    while (!alive.empty() && !tester.exhausted()) {
+        bool progress = false;
+        for (size_t at = 0; at < alive.size() && !tester.exhausted();) {
+            const size_t n = std::min(chunk, alive.size() - at);
+            GenSpec candidate = spec;
+            candidate.prune.insert(candidate.prune.end(),
+                                   alive.begin() + static_cast<long>(at),
+                                   alive.begin() + static_cast<long>(at + n));
+            candidate.validate(); // re-sorts/dedups the prune list
+            if (tester.fails(candidate)) {
+                spec = std::move(candidate);
+                alive.erase(alive.begin() + static_cast<long>(at),
+                            alive.begin() + static_cast<long>(at + n));
+                progress = true;
+            } else {
+                at += n;
+            }
+        }
+        if (chunk == 1 && !progress)
+            break;
+        chunk = std::max<size_t>(1, chunk / 2);
+    }
+    return spec;
+}
+
+/**
+ * Drop prune ids that do no work (descendants of an already-pruned
+ * parent): an id earns its place iff the node reappears when the id
+ * alone is lifted from the list.  Order-independent, predicate-free.
+ */
+GenSpec
+canonicalizePrune(GenSpec spec)
+{
+    std::vector<u32> kept;
+    for (u32 id : spec.prune) {
+        GenSpec trial = spec;
+        trial.prune.erase(
+            std::remove(trial.prune.begin(), trial.prune.end(), id),
+            trial.prune.end());
+        const std::vector<u32> alive = collectNodeIds(buildGenIr(trial));
+        if (std::find(alive.begin(), alive.end(), id) != alive.end())
+            kept.push_back(id);
+    }
+    spec.prune = std::move(kept);
+    spec.validate();
+    return spec;
+}
+
+} // namespace
+
+MinimizeResult
+minimizeSpec(const GenSpec &start,
+             const std::function<bool(const GenSpec &)> &stillFails,
+             u32 budget)
+{
+    Tester tester(stillFails, budget);
+    // Knobs first: a knob change invalidates node ids (the IR is
+    // rebuilt), so pruning must come after the knob set has settled.
+    GenSpec spec = shrinkKnobs(start, tester);
+    spec = pruneNodes(std::move(spec), tester);
+    spec = canonicalizePrune(std::move(spec));
+    return {std::move(spec), tester.testsRun()};
+}
+
+} // namespace rfv

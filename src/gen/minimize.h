@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Delta-debugging minimizer for generated-kernel failures.
+ *
+ * Shrinks a failing GenSpec along two axes while a caller-supplied
+ * predicate keeps reproducing the failure:
+ *
+ *   1. knob shrinking — halve/clear the spec's generation knobs
+ *      (blocks, depth, weights, registers, geometry, feature toggles).
+ *      Each accepted shrink rebuilds the IR from scratch, so the prune
+ *      list is reset alongside (node ids are only stable for a fixed
+ *      knob set).
+ *   2. node pruning — ddmin-style chunked removal of IR subtrees by
+ *      stable preorder id.  Pruning never perturbs the RNG draws of
+ *      surviving nodes (the IR is built in full, then pruned), so the
+ *      surviving code is byte-identical and the failure predicate
+ *      shrinks monotonically toward a minimal construct set.
+ *
+ * The result is a spec whose canonical name *is* the reproducer: it
+ * replays the minimal kernel exactly, from any process, and is what
+ * gets committed to the regression corpus.
+ */
+#ifndef RFV_GEN_MINIMIZE_H
+#define RFV_GEN_MINIMIZE_H
+
+#include <functional>
+
+#include "gen/gen_spec.h"
+
+namespace rfv {
+
+struct MinimizeResult {
+    GenSpec spec;     //!< smallest spec that still fails
+    u32 testsRun = 0; //!< predicate evaluations spent
+};
+
+/**
+ * Shrink @p start under @p stillFails (true = candidate still
+ * reproduces).  @p start itself must fail; at most @p budget predicate
+ * evaluations are spent.  Deterministic: candidate order is a pure
+ * function of the specs visited.
+ */
+MinimizeResult minimizeSpec(const GenSpec &start,
+                            const std::function<bool(const GenSpec &)>
+                                &stillFails,
+                            u32 budget = 400);
+
+} // namespace rfv
+
+#endif // RFV_GEN_MINIMIZE_H

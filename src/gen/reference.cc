@@ -1,0 +1,205 @@
+#include "gen/reference.h"
+
+#include <algorithm>
+
+namespace rfv {
+
+namespace {
+
+/**
+ * One CTA's interpretation state.  Top-level constructs execute in
+ * CTA-lockstep phases (matching the barrier placement in the lowered
+ * program); nested constructs are purely thread-local and run each
+ * thread to completion independently.
+ */
+class CtaInterp {
+  public:
+    CtaInterp(const GenIr &ir, const std::vector<u32> &input, u32 ctaId,
+              u32 gridCtas, u32 threadsPerCta, std::vector<u32> &out)
+        : ir_(ir), input_(input), ctaId_(ctaId), gridCtas_(gridCtas),
+          tpc_(threadsPerCta), out_(out)
+    {
+    }
+
+    void
+    run()
+    {
+        const u32 regs = ir_.spec.regs;
+        vregs_.assign(static_cast<size_t>(tpc_) * regs, 0);
+        exited_.assign(tpc_, false);
+        shared_.assign(tpc_, 0); // zero-filled at CTA launch (sm.cc)
+
+        for (u32 t = 0; t < tpc_; ++t) {
+            const u32 gtid = ctaId_ * tpc_ + t;
+            for (u32 i = 0; i < regs; ++i)
+                vreg(t, i) =
+                    gtid * ir_.init[i].mulA + ir_.init[i].addB;
+        }
+
+        // Top-level constructs phase by phase: exchanges and barriers
+        // synchronise the whole CTA, everything else is thread-local.
+        for (const GenNode &n : ir_.top) {
+            if (n.kind == GenNode::Kind::kExchange) {
+                exchange(n);
+                continue;
+            }
+            if (n.kind == GenNode::Kind::kBarrier)
+                continue; // pure synchronisation, no data effect
+            for (u32 t = 0; t < tpc_; ++t)
+                if (!exited_[t])
+                    exec(n, t);
+        }
+
+        // Checksum epilogue for threads that reached the end.
+        const u32 first = std::max(1u, regs - ir_.spec.longLived);
+        for (u32 t = 0; t < tpc_; ++t) {
+            if (exited_[t])
+                continue;
+            u32 acc = vreg(t, 0);
+            for (u32 i = first; i < regs; ++i)
+                acc ^= vreg(t, i);
+            out_[ctaId_ * tpc_ + t] = acc;
+        }
+    }
+
+  private:
+    u32 &
+    vreg(u32 t, u32 i)
+    {
+        return vregs_[static_cast<size_t>(t) * ir_.spec.regs + i];
+    }
+
+    u32
+    srcVal(u32 t, const GenSrc &s)
+    {
+        return s.imm ? s.v : vreg(t, s.v);
+    }
+
+    void
+    arith(const GenNode &n, u32 t)
+    {
+        const u32 a = srcVal(t, n.a);
+        const u32 b = srcVal(t, n.b);
+        u32 r = 0;
+        switch (n.op) {
+          case GenOp::kAdd: r = a + b; break;
+          case GenOp::kSub: r = a - b; break;
+          case GenOp::kMul: r = a * b; break;
+          case GenOp::kMad: r = a * b + srcVal(t, n.c); break;
+          case GenOp::kMin:
+            r = static_cast<u32>(std::min(static_cast<i32>(a),
+                                          static_cast<i32>(b)));
+            break;
+          case GenOp::kMax:
+            r = static_cast<u32>(std::max(static_cast<i32>(a),
+                                          static_cast<i32>(b)));
+            break;
+          case GenOp::kAnd: r = a & b; break;
+          case GenOp::kOr: r = a | b; break;
+          case GenOp::kXor: r = a ^ b; break;
+          case GenOp::kShl: r = a << (b & 31); break;
+          case GenOp::kShr: r = a >> (b & 31); break;
+        }
+        vreg(t, n.dst) = r;
+    }
+
+    bool
+    cond(const GenNode &n, u32 t)
+    {
+        // kLt/kLe/kGt/kGe are signed on the machine (cmpMask).
+        const i32 a = static_cast<i32>(vreg(t, n.a.v));
+        const i32 b = static_cast<i32>(n.imm);
+        switch (n.cmp) {
+          case CmpOp::kEq: return a == b;
+          case CmpOp::kNe: return a != b;
+          case CmpOp::kLt: return a < b;
+          case CmpOp::kLe: return a <= b;
+          case CmpOp::kGt: return a > b;
+          case CmpOp::kGe: return a >= b;
+        }
+        return false;
+    }
+
+    void
+    exec(const GenNode &n, u32 t)
+    {
+        switch (n.kind) {
+          case GenNode::Kind::kArith:
+            arith(n, t);
+            break;
+          case GenNode::Kind::kLoad:
+            vreg(t, n.dst) =
+                input_[(vreg(t, n.a.v) ^ n.salt) &
+                       (kGenInputWords - 1)];
+            break;
+          case GenNode::Kind::kIf: {
+            const auto &taken = cond(n, t) ? n.body : n.elseBody;
+            for (const GenNode &child : taken)
+                exec(child, t);
+            break;
+          }
+          case GenNode::Kind::kLoop: {
+            const u32 trips = n.divergent ? ((t & 3) + 1) : n.trip;
+            for (u32 i = 0; i < trips; ++i)
+                for (const GenNode &child : n.body)
+                    exec(child, t);
+            break;
+          }
+          case GenNode::Kind::kEarlyExit:
+            if (t == n.salt)
+                exited_[t] = true;
+            break;
+          case GenNode::Kind::kAuxStore: {
+            const u32 total = gridCtas_ * tpc_;
+            out_[n.aux * total + ctaId_ * tpc_ + t] = vreg(t, n.a.v);
+            break;
+          }
+          case GenNode::Kind::kExchange:
+          case GenNode::Kind::kBarrier:
+            break; // top level only; handled by run()
+        }
+    }
+
+    void
+    exchange(const GenNode &n)
+    {
+        // Phase 1: every live thread publishes; exited threads leave
+        // their slot's previous content (zero or an older exchange).
+        for (u32 t = 0; t < tpc_; ++t)
+            if (!exited_[t])
+                shared_[t] = vreg(t, n.a.v);
+        // Phase 2: every live thread folds in its neighbour's word
+        // (reads only — no write-after-read hazard to snapshot).
+        for (u32 t = 0; t < tpc_; ++t)
+            if (!exited_[t])
+                vreg(t, n.dst) ^=
+                    shared_[(t + n.offset) & (tpc_ - 1)];
+    }
+
+    const GenIr &ir_;
+    const std::vector<u32> &input_;
+    const u32 ctaId_, gridCtas_, tpc_;
+    std::vector<u32> &out_;
+    std::vector<u32> vregs_;
+    std::vector<u32> shared_;
+    std::vector<bool> exited_;
+};
+
+} // namespace
+
+std::vector<u32>
+referenceOutput(const GenIr &ir, u32 gridCtas, u32 threadsPerCta)
+{
+    const u32 total = gridCtas * threadsPerCta;
+    const u32 words = total * (1 + ir.spec.auxStores);
+    std::vector<u32> out(words);
+    for (u32 i = 0; i < words; ++i)
+        out[i] = genInitialOutputWord(ir.spec, i);
+
+    const std::vector<u32> input = genInputWords(ir.spec);
+    for (u32 cta = 0; cta < gridCtas; ++cta)
+        CtaInterp(ir, input, cta, gridCtas, threadsPerCta, out).run();
+    return out;
+}
+
+} // namespace rfv

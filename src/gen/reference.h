@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Host-side oracle for generated kernels.
+ *
+ * Interprets a GenIr with scalar per-thread semantics that mirror the
+ * machine exactly (u32 wrap-around arithmetic, signed min/max and
+ * compares, shift counts masked & 31, per-CTA zero-initialised shared
+ * memory, early-exited lanes skipping all later side effects) and
+ * returns the expected content of the kernel's output region.
+ *
+ * The interpreter is deliberately independent of src/sim: it never
+ * models warps, schedulers, or the register file — only architectural
+ * thread semantics — so a mismatch against the simulator localises a
+ * bug to the execution pipeline rather than to a shared helper.
+ */
+#ifndef RFV_GEN_REFERENCE_H
+#define RFV_GEN_REFERENCE_H
+
+#include <vector>
+
+#include "gen/kernel_generator.h"
+
+namespace rfv {
+
+/**
+ * Expected output image for @p ir under the *actual* launch geometry
+ * (`scaledLaunch` may cap the grid below `ir.spec.ctas`).  The image
+ * covers words [kGenInputWords, kGenInputWords + totalThreads *
+ * (1 + auxStores)) of the kernel's memory, indexed from zero:
+ * word gtid is the thread's checksum, word aux*totalThreads + gtid its
+ * aux-plane store.  Words of early-exited threads (and never-written
+ * aux words) hold genInitialOutputWord().
+ */
+std::vector<u32> referenceOutput(const GenIr &ir, u32 gridCtas,
+                                 u32 threadsPerCta);
+
+} // namespace rfv
+
+#endif // RFV_GEN_REFERENCE_H

@@ -3,11 +3,16 @@
 #include <thread>
 
 #include "common/framing.h"
+#include "common/rng.h"
 
 namespace rfv {
 
 SimdClient::SimdClient(ClientOptions opts)
-    : opts_(std::move(opts)), jitter_(opts_.jitterSeed)
+    // Derive the jitter stream through SeedSeq: callers hand out
+    // jitterSeed, jitterSeed+1, ... to sibling clients, and the
+    // split keeps those adjacent raw seeds from producing correlated
+    // backoff schedules (thundering retries defeat full jitter).
+    : opts_(std::move(opts)), jitter_(SeedSeq(opts_.jitterSeed).rng())
 {
 }
 

@@ -285,8 +285,11 @@ ClusterCoordinator::run(const ServiceRequest &req, SweepJobResult &res,
     Rng backoffJitter(0);
     {
         MutexLock lk(mu_);
-        backoffJitter = Rng(opts_.client.jitterSeed ^
-                            (0x5eedu + ++nextJitterSeed_));
+        // Child-stream derivation: dispatch n gets stream child(n) of
+        // the configured jitter root, decorrelated from every sibling
+        // dispatch (adjacent raw xor-seeds are not).
+        backoffJitter =
+            SeedSeq(opts_.client.jitterSeed).child(++nextJitterSeed_).rng();
     }
 
     std::vector<std::string> preferred; //!< owner hint from a redirect

@@ -161,6 +161,28 @@ RegisterManager::completeCta(u32 cta_slot, u32 first_warp_slot,
     }
 }
 
+void
+RegisterManager::completeWarp(u32 warp_slot, u32 cta_slot)
+{
+    if (cfg_.mode != RegFileMode::kVirtualized)
+        return;
+    for (u32 r = 0; r <= kMaxArchRegs; ++r) {
+        const u32 idx = slotIndex(warp_slot, r);
+        if (state_[idx] == RegState::kMapped)
+            freeMapping(warp_slot, cta_slot, r);
+        else
+            state_[idx] = RegState::kUnmapped;
+        // Reads from a finished warp's slot are bugs; completeCta
+        // resets the slot to kFresh for the next occupant.
+        if (cfg_.lifecycleLint)
+            lint_[idx] = RegLifecycle::kReleased;
+    }
+    if (spilledCount_[warp_slot] != 0) {
+        spilledCount_[warp_slot] = 0;
+        ++allocEpoch_;
+    }
+}
+
 RegisterManager::AllocOutcome
 RegisterManager::allocRenamed(u32 warp_slot, u32 cta_slot, u32 reg)
 {

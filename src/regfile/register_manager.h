@@ -73,6 +73,19 @@ class RegisterManager {
     /** CTA completion: frees everything the CTA still holds. */
     void completeCta(u32 ctaSlot, u32 firstWarpSlot, u32 numWarps);
 
+    /**
+     * Warp exit (Virtualized only; no-op otherwise): frees the warp's
+     * remaining footprint — mapped registers, including exempt ones
+     * that have no release points, and any spill-store residue.  A
+     * finished warp's values are dead, so the renaming table can hand
+     * them back the moment the warp exits instead of waiting for
+     * completeCta.  Under GPU-shrink this is a forward-progress
+     * requirement: early-exited warps would otherwise pin exempt
+     * registers in exactly the banks the surviving warps need to
+     * refill, and the spill engine cannot victimize finished warps.
+     */
+    void completeWarp(u32 warpSlot, u32 ctaSlot);
+
     /** Outcome of a write-side mapping request. */
     struct AllocOutcome {
         bool ok = false;

@@ -60,45 +60,47 @@ laneKeep(u32 mask, u32 l)
 /**
  * Full-width lane compare: one loop per comparison op (the dispatch
  * hoisted out of the lane loop) producing a 32-bit result mask.
+ *
+ * Two phases: a branch-free per-lane compare into a 0/1 array, then a
+ * scalar movemask-style pack.  The single-loop form `m |= cmp << l` is
+ * a variable-shift OR-reduction no auto-vectorizer accepts; split this
+ * way the six compare loops compile to SIMD compares (they count
+ * toward the tools/check_vectorization.sh gate) and only the cheap
+ * pack stays scalar.
  */
 u32
 cmpMask(CmpOp op, const WarpValue &a, const WarpValue &b)
 {
-    u32 m = 0;
+    u32 lanes[kWarpSize];
     switch (op) {
       case CmpOp::kEq:
         for (u32 l = 0; l < kWarpSize; ++l)
-            m |= static_cast<u32>(a[l] == b[l]) << l;
+            lanes[l] = a[l] == b[l];
         break;
       case CmpOp::kNe:
         for (u32 l = 0; l < kWarpSize; ++l)
-            m |= static_cast<u32>(a[l] != b[l]) << l;
+            lanes[l] = a[l] != b[l];
         break;
       case CmpOp::kLt:
         for (u32 l = 0; l < kWarpSize; ++l)
-            m |= static_cast<u32>(static_cast<i32>(a[l]) <
-                                  static_cast<i32>(b[l]))
-                 << l;
+            lanes[l] = static_cast<i32>(a[l]) < static_cast<i32>(b[l]);
         break;
       case CmpOp::kLe:
         for (u32 l = 0; l < kWarpSize; ++l)
-            m |= static_cast<u32>(static_cast<i32>(a[l]) <=
-                                  static_cast<i32>(b[l]))
-                 << l;
+            lanes[l] = static_cast<i32>(a[l]) <= static_cast<i32>(b[l]);
         break;
       case CmpOp::kGt:
         for (u32 l = 0; l < kWarpSize; ++l)
-            m |= static_cast<u32>(static_cast<i32>(a[l]) >
-                                  static_cast<i32>(b[l]))
-                 << l;
+            lanes[l] = static_cast<i32>(a[l]) > static_cast<i32>(b[l]);
         break;
       case CmpOp::kGe:
         for (u32 l = 0; l < kWarpSize; ++l)
-            m |= static_cast<u32>(static_cast<i32>(a[l]) >=
-                                  static_cast<i32>(b[l]))
-                 << l;
+            lanes[l] = static_cast<i32>(a[l]) >= static_cast<i32>(b[l]);
         break;
     }
+    u32 m = 0;
+    for (u32 l = 0; l < kWarpSize; ++l)
+        m |= lanes[l] << l;
     return m;
 }
 
@@ -723,6 +725,20 @@ Sm::attemptIssue(u32 warp_idx, Cycle now)
         return IssueOutcome::kSkipped;
     }
 
+    // A warp cannot retire with loads in flight: finishWarp would
+    // recycle the slot (and eventually the CTA) while the completion
+    // heap still references it, corrupting the next occupant's
+    // scoreboard.  The hazard is real for *dead* loads — a result no
+    // later instruction reads, so the scoreboard check above never
+    // blocks on it (found by differential fuzzing; see src/gen).
+    if (ins.op == Opcode::kExit && wt_.pendingLoads[warp_idx] > 0) {
+        ++stats_.scoreboardStalls;
+        wt_.blockedUntil[warp_idx] =
+            scoreboardWake(warp_idx, wt_.pendingRegs[warp_idx],
+                           wt_.pendingPreds[warp_idx], now);
+        return IssueOutcome::kDemoted; // long-latency drain stall
+    }
+
     // MSHR availability for long-latency loads: an entry cannot free
     // before the earliest in-flight load completes.
     if (dec.dramLoad && inFlightLoads_ >= cfg_.mshrsPerSm) {
@@ -1227,6 +1243,15 @@ Sm::finishWarp(u32 warp_idx, Cycle now)
         return;
     wt_.setFinished(warp_idx, true);
     const u32 cta_slot = wt_.ctaSlot[warp_idx];
+    // Hand the warp's remaining register footprint back now, not at
+    // CTA completion: under GPU-shrink, exempt registers (which have
+    // no release points) of early-exited warps otherwise pin exactly
+    // the banks the surviving warps must refill from, and the spill
+    // engine cannot victimize finished warps — a circular wait the
+    // differential fuzzer caught as a watchdog deadlock.  Safe at this
+    // point: values are written functionally at issue, so in-flight
+    // completions only clear scoreboard bits.
+    mgr_.completeWarp(warp_idx, cta_slot);
     CtaSlot &cta = ctaSlots_[cta_slot];
     ++cta.warpsFinished;
 

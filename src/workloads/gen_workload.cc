@@ -1,0 +1,103 @@
+#include "workloads/gen_workload.h"
+
+#include <string>
+
+#include "common/error.h"
+#include "gen/kernel_generator.h"
+#include "gen/reference.h"
+
+namespace rfv {
+
+namespace {
+
+class GenWorkload : public Workload {
+  public:
+    GenWorkload(WorkloadConfig config, GenIr ir, Program prog)
+        : Workload(std::move(config)), ir_(std::move(ir)),
+          prog_(std::move(prog))
+    {
+    }
+
+    Program
+    buildKernel() const override
+    {
+        return prog_;
+    }
+
+    u32
+    memoryBytes(const LaunchParams &launch) const override
+    {
+        return (kGenInputWords + outputWords(launch)) * 4;
+    }
+
+    void
+    setup(GlobalMemory &mem, const LaunchParams &launch) const override
+    {
+        const std::vector<u32> input = genInputWords(ir_.spec);
+        for (u32 i = 0; i < kGenInputWords; ++i)
+            mem.setWord(i, input[i]);
+        // Pre-fill the output region with the deterministic initial
+        // pattern: words of early-exited threads (and unwritten aux
+        // words) must come back unchanged, and verify() checks that.
+        const u32 words = outputWords(launch);
+        for (u32 i = 0; i < words; ++i)
+            mem.setWord(kGenInputWords + i,
+                        genInitialOutputWord(ir_.spec, i));
+    }
+
+    void
+    verify(const GlobalMemory &mem, const LaunchParams &launch) const
+        override
+    {
+        const std::vector<u32> want = referenceOutput(
+            ir_, launch.gridCtas, launch.threadsPerCta);
+        for (u32 i = 0; i < want.size(); ++i) {
+            const u32 got = mem.word(kGenInputWords + i);
+            panicIf(got != want[i],
+                    name() + " self-check mismatch at output word " +
+                        std::to_string(i) + ": got " +
+                        std::to_string(got) + ", want " +
+                        std::to_string(want[i]));
+        }
+    }
+
+  private:
+    u32
+    outputWords(const LaunchParams &launch) const
+    {
+        return launch.gridCtas * launch.threadsPerCta *
+               (1 + ir_.spec.auxStores);
+    }
+
+    GenIr ir_;
+    Program prog_;
+};
+
+} // namespace
+
+std::shared_ptr<Workload>
+makeGenWorkload(const GenSpec &spec)
+{
+    GenIr ir = buildGenIr(spec);
+    Program prog = lowerGenIr(ir);
+    WorkloadConfig config;
+    config.name = ir.spec.name();
+    config.gridCtas = ir.spec.ctas;
+    config.threadsPerCta = ir.spec.threadsPerCta;
+    config.regsPerKernel = prog.numRegs;
+    config.concCtasPerSm = ir.spec.concCtasPerSm;
+    return std::make_shared<GenWorkload>(
+        std::move(config), std::move(ir), std::move(prog));
+}
+
+std::shared_ptr<Workload>
+makeGenWorkload(const std::string &name)
+{
+    GenSpec spec;
+    std::string error;
+    if (!GenSpec::parse(name, spec, error))
+        fatal(error);
+    return makeGenWorkload(spec);
+}
+
+} // namespace rfv

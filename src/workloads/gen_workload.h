@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Workload adapter for generated kernels.
+ *
+ * Any workload name starting with "gen:" is parsed as a GenSpec and
+ * served by this adapter, which makes generated kernels first-class
+ * citizens of everything keyed by workload name: sweep manifests, the
+ * simd daemon protocol, cluster routing, and the result cache.  The
+ * adapter's verify() is the *self-check oracle* of the fuzz driver —
+ * it compares the full output image word-for-word against the host
+ * reference interpreter.
+ */
+#ifndef RFV_WORKLOADS_GEN_WORKLOAD_H
+#define RFV_WORKLOADS_GEN_WORKLOAD_H
+
+#include <memory>
+#include <string>
+
+#include "gen/gen_spec.h"
+#include "workloads/workload.h"
+
+namespace rfv {
+
+/**
+ * Build the workload for a canonical `gen:` name (or a parsed spec).
+ * Throws ConfigError on a malformed name.  Construction generates and
+ * lowers the kernel eagerly, so an impossible spec fails here, not at
+ * simulation time.
+ */
+std::shared_ptr<Workload> makeGenWorkload(const std::string &name);
+std::shared_ptr<Workload> makeGenWorkload(const GenSpec &spec);
+
+} // namespace rfv
+
+#endif // RFV_WORKLOADS_GEN_WORKLOAD_H

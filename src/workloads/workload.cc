@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "workloads/gen_workload.h"
 
 namespace rfv {
 
@@ -50,6 +51,11 @@ allWorkloads()
 std::shared_ptr<Workload>
 findWorkload(const std::string &name)
 {
+    // Generated kernels are addressed by their full spec name; the
+    // adapter re-derives the kernel deterministically on every lookup,
+    // so no registry entry is needed (or possible — the space is vast).
+    if (name.rfind(kGenWorkloadPrefix, 0) == 0)
+        return makeGenWorkload(name);
     for (const auto &w : allWorkloads())
         if (w->name() == name)
             return w;

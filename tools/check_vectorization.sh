@@ -11,13 +11,14 @@
 # an unexplained perf regression.
 #
 # Usage: tools/check_vectorization.sh [min_loops]
-#   min_loops  minimum vectorized-loop count required (default 8;
-#              the execute() ALU block alone contributes ~16).
+#   min_loops  minimum vectorized-loop count required (default 18;
+#              the execute() ALU block contributes ~16 and the cmpMask
+#              compare loops another 6).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-MIN="${1:-8}"
+MIN="${1:-18}"
 CXX="${CXX:-g++}"
 TU=src/sim/sm.cc
 
